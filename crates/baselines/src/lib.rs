@@ -1,0 +1,26 @@
+//! `mmkgr-baselines` — the multi-hop comparators of the MMKGR evaluation.
+//!
+//! | Model | Family | Implementation notes |
+//! |---|---|---|
+//! | [`RlWalker`] (MINERVA) | RL walker | LSTM + MLP policy, 0/1 reward |
+//! | [`RlWalker`] (RLH) | hierarchical RL | relation-cluster high-level policy |
+//! | [`RlWalker`] (FIRE) | pruned RL | TransE-consistency action pruning |
+//! | [`Gaats`] | graph attention | attenuated neighbor attention + TransE decode |
+//! | [`NeuralLp`] | differentiable rules | mined chain rules with soft confidences |
+//! | [`FusedWalker`] | naive fusion | Table VII's Concatenation/Attention adapters |
+//!
+//! RL walkers implement `mmkgr_core::infer::RolloutPolicy`, so they share
+//! MMKGR's beam-search ranking protocol; embedding/rule models implement
+//! `mmkgr_embed::TripleScorer` and rank by exhaustive scoring. Departures
+//! from the original systems (all are substantial GPU codebases) are
+//! documented per module and in DESIGN.md.
+
+pub mod fusion_adapters;
+pub mod gaats;
+pub mod neurallp;
+pub mod walker;
+
+pub use fusion_adapters::{FusedWalker, ModalLateFusion, NaiveFusion};
+pub use gaats::{Gaats, GaatsConfig};
+pub use neurallp::{NeuralLp, NeuralLpConfig, Rule};
+pub use walker::{RlWalker, WalkerConfig, WalkerKind};

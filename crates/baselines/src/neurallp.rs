@@ -1,0 +1,296 @@
+//! NeuralLP-style rule learner (Yang et al., NeurIPS 2017).
+//!
+//! The original learns differentiable TensorLog rule weights end to end.
+//! Our substitution keeps the essence — *soft-weighted chain rules over
+//! relations* — with a two-phase procedure that fits this repo's
+//! from-scratch substrate:
+//!
+//! 1. **Mining**: for every training triple `(s, r, o)`, enumerate paths
+//!    `s → o` of length ≤ 3 in the graph (excluding the direct `(r)` edge)
+//!    and harvest their relation sequences as candidate rule bodies.
+//! 2. **Confidence fitting**: each rule body's weight is its smoothed
+//!    precision — `support / (fires + α)` — estimated by replaying the
+//!    body over sampled sources (this is the closed-form optimum of the
+//!    per-rule logistic fit NeuralLP's gradient descent approximates).
+//!
+//! Inference scores `(s, r, o)` with a noisy-OR over rules whose body
+//! connects `s` to `o`; `score_all_objects` walks each body forward from
+//! `s` accumulating per-endpoint noisy-OR mass.
+
+use std::collections::HashMap;
+
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{
+    enumerate_paths, EntityId, KnowledgeGraph, MultiModalKG, RelationId,
+};
+use mmkgr_tensor::init::seeded_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A chain rule `body ⇒ head` with a learned confidence in `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    pub body: Vec<RelationId>,
+    pub confidence: f32,
+    pub support: usize,
+}
+
+pub struct NeuralLp {
+    /// Rules per head relation (base + inverse heads).
+    pub rules: HashMap<RelationId, Vec<Rule>>,
+    graph: KnowledgeGraph,
+    max_body_len: usize,
+}
+
+#[derive(Clone, Debug)]
+pub struct NeuralLpConfig {
+    pub max_body_len: usize,
+    /// Max mined paths per training triple.
+    pub paths_per_triple: usize,
+    /// Rules kept per head relation (by confidence).
+    pub rules_per_head: usize,
+    /// Laplace smoothing of the confidence estimate.
+    pub smoothing: f32,
+    /// Sampled sources for the precision estimate.
+    pub precision_samples: usize,
+    pub seed: u64,
+}
+
+impl Default for NeuralLpConfig {
+    fn default() -> Self {
+        NeuralLpConfig {
+            max_body_len: 3,
+            paths_per_triple: 8,
+            rules_per_head: 32,
+            smoothing: 2.0,
+            precision_samples: 64,
+            seed: 13,
+        }
+    }
+}
+
+impl NeuralLp {
+    pub fn train(kg: &MultiModalKG, cfg: &NeuralLpConfig) -> Self {
+        let graph = kg.graph.clone();
+        let rs = graph.relations();
+        let mut rng = seeded_rng(cfg.seed);
+
+        // --- phase 1: mine candidate bodies per head ---------------------
+        // body key: the relation id sequence.
+        let mut support: HashMap<(u32, Vec<u32>), usize> = HashMap::new();
+        for t in &kg.split.train {
+            let paths = enumerate_paths(&graph, t.s, t.o, cfg.max_body_len, cfg.paths_per_triple);
+            for p in paths {
+                let body: Vec<u32> = p.relation_seq().iter().map(|r| r.0).collect();
+                // skip the trivial one-hop body equal to the head itself
+                if body.len() == 1 && body[0] == t.r.0 {
+                    continue;
+                }
+                *support.entry((t.r.0, body)).or_default() += 1;
+                // also mine for the inverse head (answering head queries)
+                let inv_head = rs.inverse(t.r).0;
+                let inv_body: Vec<u32> = p
+                    .relation_seq()
+                    .iter()
+                    .rev()
+                    .map(|r| rs.inverse(*r).0)
+                    .collect();
+                if !(inv_body.len() == 1 && inv_body[0] == inv_head) {
+                    *support.entry((inv_head, inv_body)).or_default() += 1;
+                }
+            }
+        }
+
+        // --- phase 2: fit confidences -----------------------------------
+        // head → known (s, o) pairs for the precision estimate
+        let mut head_pairs: HashMap<u32, Vec<(EntityId, EntityId)>> = HashMap::new();
+        for t in &kg.split.train {
+            head_pairs.entry(t.r.0).or_default().push((t.s, t.o));
+            head_pairs.entry(rs.inverse(t.r).0).or_default().push((t.o, t.s));
+        }
+
+        let mut rules: HashMap<RelationId, Vec<Rule>> = HashMap::new();
+        let all_sources: Vec<u32> = (0..graph.num_entities() as u32).collect();
+        for ((head, body), sup) in support {
+            if sup < 2 {
+                continue; // singleton evidence is noise
+            }
+            let body_rels: Vec<RelationId> = body.iter().map(|&r| RelationId(r)).collect();
+            // precision: of sampled body firings, how many land on a known
+            // (s, head, o) pair?
+            let pairs = head_pairs.get(&head);
+            let mut fires = 0usize;
+            let mut hits = 0usize;
+            for _ in 0..cfg.precision_samples {
+                let s = EntityId(*all_sources.choose(&mut rng).unwrap());
+                if let Some(o) = walk_body(&graph, s, &body_rels, &mut rng) {
+                    fires += 1;
+                    if let Some(pairs) = pairs {
+                        if pairs.iter().any(|&(ps, po)| ps == s && po == o) {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            let confidence = (sup as f32 + hits as f32)
+                / (sup as f32 + fires as f32 + cfg.smoothing);
+            rules.entry(RelationId(head)).or_default().push(Rule {
+                body: body_rels,
+                confidence,
+                support: sup,
+            });
+        }
+        for list in rules.values_mut() {
+            list.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+            list.truncate(cfg.rules_per_head);
+        }
+        NeuralLp { rules, graph, max_body_len: cfg.max_body_len }
+    }
+
+    /// Noisy-OR mass over all endpoints reachable from `s` by each rule
+    /// body for `head`. Endpoint scores land in `out` keyed by entity.
+    pub fn endpoint_scores(&self, s: EntityId, head: RelationId) -> HashMap<EntityId, f32> {
+        let mut not_prob: HashMap<EntityId, f32> = HashMap::new();
+        let Some(rules) = self.rules.get(&head) else { return HashMap::new() };
+        let mut frontier: Vec<EntityId> = Vec::new();
+        let mut next: Vec<EntityId> = Vec::new();
+        for rule in rules {
+            frontier.clear();
+            frontier.push(s);
+            for (depth, &r) in rule.body.iter().enumerate() {
+                next.clear();
+                for &e in &frontier {
+                    for tgt in self.graph.targets(e, r) {
+                        next.push(tgt);
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                // bound the frontier: rule bodies on hubs can explode
+                if next.len() > 256 {
+                    next.truncate(256);
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                if frontier.is_empty() {
+                    break;
+                }
+                let _ = depth;
+            }
+            for &e in &frontier {
+                let slot = not_prob.entry(e).or_insert(1.0);
+                *slot *= 1.0 - rule.confidence;
+            }
+        }
+        not_prob.into_iter().map(|(e, np)| (e, 1.0 - np)).collect()
+    }
+
+    pub fn num_rules(&self) -> usize {
+        self.rules.values().map(|v| v.len()).sum()
+    }
+
+    pub fn max_body_len(&self) -> usize {
+        self.max_body_len
+    }
+}
+
+/// Follow `body` from `s`, choosing uniformly at branching points.
+fn walk_body(
+    graph: &KnowledgeGraph,
+    s: EntityId,
+    body: &[RelationId],
+    rng: &mut rand::rngs::StdRng,
+) -> Option<EntityId> {
+    let mut cur = s;
+    for &r in body {
+        let targets: Vec<EntityId> = graph.targets(cur, r).collect();
+        if targets.is_empty() {
+            return None;
+        }
+        cur = targets[rng.gen_range(0..targets.len())];
+    }
+    Some(cur)
+}
+
+impl TripleScorer for NeuralLp {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        self.endpoint_scores(s, r).get(&o).copied().unwrap_or(0.0)
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        let scores = self.endpoint_scores(s, r);
+        out.clear();
+        out.resize(n, 0.0);
+        for (e, v) in scores {
+            if e.index() < n {
+                out[e.index()] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_datagen::{generate, GenConfig};
+
+    #[test]
+    fn mines_rules_on_tiny_dataset() {
+        let kg = generate(&GenConfig::tiny());
+        let model = NeuralLp::train(&kg, &NeuralLpConfig::default());
+        assert!(model.num_rules() > 0, "no rules mined");
+        for rules in model.rules.values() {
+            for r in rules {
+                assert!((0.0..=1.0).contains(&r.confidence));
+                assert!(!r.body.is_empty() && r.body.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn composed_relations_get_their_defining_rule() {
+        // The tiny generator plants r_composed = r1 ∘ r2; the miner should
+        // recover at least one length-2 body for some composed head.
+        let kg = generate(&GenConfig::tiny());
+        let model = NeuralLp::train(&kg, &NeuralLpConfig::default());
+        let has_two_hop_rule = model
+            .rules
+            .values()
+            .flatten()
+            .any(|r| r.body.len() == 2 && r.confidence > 0.1);
+        assert!(has_two_hop_rule, "no confident 2-hop rule found");
+    }
+
+    #[test]
+    fn scores_are_noisy_or_bounded() {
+        let kg = generate(&GenConfig::tiny());
+        let model = NeuralLp::train(&kg, &NeuralLpConfig::default());
+        let t = &kg.split.test[0];
+        let mut out = Vec::new();
+        model.score_all_objects(t.s, t.r, kg.num_entities(), &mut out);
+        assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn scoring_beats_random_on_test_triples() {
+        let kg = generate(&GenConfig::tiny());
+        let model = NeuralLp::train(&kg, &NeuralLpConfig::default());
+        // On average the gold object should outscore a random entity.
+        let mut rng = seeded_rng(5);
+        let mut gold_sum = 0.0f32;
+        let mut rand_sum = 0.0f32;
+        let mut n = 0;
+        for t in kg.split.test.iter().take(40) {
+            let g = model.score(t.s, t.r, t.o);
+            let ro = EntityId(rng.gen_range(0..kg.num_entities()) as u32);
+            let r = model.score(t.s, t.r, ro);
+            gold_sum += g;
+            rand_sum += r;
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(
+            gold_sum >= rand_sum,
+            "gold avg {gold_sum} should be ≥ random avg {rand_sum}"
+        );
+    }
+}

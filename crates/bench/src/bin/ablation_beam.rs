@@ -1,0 +1,54 @@
+//! Inference ablation — beam width vs ranking quality and latency.
+//!
+//! The paper follows the MINERVA evaluation protocol (rank candidates by
+//! best reaching-path probability) but does not report the beam width's
+//! effect. Since the beam is the main inference-time cost knob a
+//! downstream user will turn, this binary trains MMKGR once and sweeps
+//! the evaluation beam over {1, 2, 4, 8, 16, 32}, reporting quality and
+//! per-query latency. Expected: Hits@10 saturates well before the widest
+//! beam; Hits@1 saturates earliest.
+//!
+//! Usage: `cargo run --release -p mmkgr-bench --bin ablation_beam [-- --scale quick|standard|full]`
+
+use std::time::Instant;
+
+use mmkgr_core::Variant;
+use mmkgr_eval::{
+    eval_policy_entity, pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table,
+};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let h = Harness::new(HarnessConfig::new(Dataset::Wn9ImgTxt, scale));
+    println!("{} ({} eval triples)", h.kg.stats(), h.eval_triples.len());
+    let (trainer, _) = h.train_variant(Variant::Full);
+
+    let mut table = Table::new(
+        "Beam width sweep (MMKGR, trained once; evaluation-time knob)",
+        &["Beam", "MRR", "Hits@1", "Hits@5", "Hits@10", "ms/query"],
+    );
+    let mut dump = Vec::new();
+    for beam in [1usize, 2, 4, 8, 16, 32] {
+        let start = Instant::now();
+        let r = eval_policy_entity(
+            &trainer.model,
+            &h.kg.graph,
+            &h.eval_triples,
+            &h.known,
+            beam,
+            4,
+        );
+        let ms = start.elapsed().as_secs_f64() * 1000.0 / r.queries.max(1) as f64;
+        table.push_row(vec![
+            beam.to_string(),
+            pct(r.mrr),
+            pct(r.hits1),
+            pct(r.hits5),
+            pct(r.hits10),
+            format!("{ms:.2}"),
+        ]);
+        dump.push((beam, r.mrr, r.hits1, r.hits5, r.hits10, ms));
+    }
+    table.print();
+    save_json("ablation_beam", &dump);
+}

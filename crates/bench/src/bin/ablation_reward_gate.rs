@@ -1,0 +1,64 @@
+//! Deviation ablation 1 — success-gated vs paper-literal distance reward.
+//!
+//! DESIGN.md deviation 1 reads Eq. 14's distance reward as paid only when
+//! the agent stands on the gold entity; the equation as literally written
+//! pays `1/k` for *any* terminated walk of `k ≤ 3` hops. This binary
+//! trains MMKGR both ways and shows the literal reading collapses: mean
+//! reward rises (the agent farms `1/1` by hopping once anywhere) while
+//! success rate and Hits@1 fall — evidence the gated reading is the only
+//! one consistent with the paper's reported behaviour.
+//!
+//! Usage: `cargo run --release -p mmkgr-bench --bin ablation_reward_gate [-- --scale quick|standard|full]`
+
+use mmkgr_eval::{pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let h = Harness::new(HarnessConfig::new(Dataset::Wn9ImgTxt, scale));
+    println!("{} ({} eval triples)", h.kg.stats(), h.eval_triples.len());
+
+    let mut table = Table::new(
+        "Eq. 14 reading — success-gated (ours) vs literal (as written)",
+        &["Reading", "final mean reward", "final success %", "Hits@1", "MRR"],
+    );
+    let mut dump = Vec::new();
+    for (label, literal) in [("success-gated", false), ("paper-literal", true)] {
+        // No warm start here: the collapse is a property of the *reward
+        // landscape*, and behaviour cloning would mask its onset.
+        let (trainer, report) = h.train_mmkgr_with(
+            |c| {
+                c.paper_literal_distance = literal;
+                c.warmstart_epochs = 0;
+            },
+            0,
+        );
+        let last = report.epochs.last().expect("at least one epoch");
+        let r = h.eval_policy(&trainer.model);
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.3}", last.mean_reward),
+            format!("{:.1}", last.success_rate * 100.0),
+            pct(r.hits1),
+            pct(r.mrr),
+        ]);
+        dump.push((
+            label.to_string(),
+            last.mean_reward,
+            last.success_rate,
+            r.hits1,
+            r.mrr,
+        ));
+    }
+    table.print();
+    let (gated, literal) = (&dump[0], &dump[1]);
+    println!(
+        "collapse check: literal reward {:.3} {} gated {:.3} while literal success {:.1}% {} gated {:.1}%",
+        literal.1,
+        if literal.1 > gated.1 { ">" } else { "!>" },
+        gated.1,
+        literal.2 * 100.0,
+        if literal.2 < gated.2 { "<" } else { "!<" },
+        gated.2 * 100.0,
+    );
+    save_json("ablation_reward_gate", &dump);
+}

@@ -1,0 +1,80 @@
+//! Deviation ablation 4 — tie-break policy in filtered ranking.
+//!
+//! The crate ranks tied candidates at their expected position; optimistic
+//! tie-ranking (gold wins every tie) is a known KGE evaluation bug that
+//! hands degenerate scorers inflated metrics. This binary quantifies the
+//! gap on two tie-heavy scorers: a constant scorer (the worst case — every
+//! candidate ties) and NeuralLP (whose noisy-or confidences give all
+//! rule-unreachable candidates an identical zero score).
+//!
+//! Usage: `cargo run --release -p mmkgr-bench --bin ablation_tiebreak [-- --scale quick|standard|full]`
+
+use mmkgr_embed::TripleScorer;
+use mmkgr_eval::{filtered_rank_with, pct, save_json, Dataset, Harness, HarnessConfig, RankAccum, ScaleChoice, Table, TieBreak};
+use mmkgr_kg::{EntityId, RelationId};
+
+/// The degenerate scorer: everything is equally plausible.
+struct Constant;
+impl TripleScorer for Constant {
+    fn score(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+        0.5
+    }
+}
+
+fn eval_with_ties(
+    scorer: &impl TripleScorer,
+    h: &Harness,
+    tie: TieBreak,
+) -> (f64, f64) {
+    let n = h.kg.num_entities();
+    let mut scores = Vec::new();
+    let mut accum = RankAccum::default();
+    for t in &h.eval_triples {
+        scorer.score_all_objects(t.s, t.r, n, &mut scores);
+        let filtered: Vec<bool> = (0..n)
+            .map(|o| {
+                let o = EntityId(o as u32);
+                o != t.o && h.known.contains(t.s, t.r, o)
+            })
+            .collect();
+        accum.push(filtered_rank_with(&scores, t.o.index(), &filtered, tie));
+    }
+    (accum.mrr(), accum.hits(1))
+}
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let h = Harness::new(HarnessConfig::new(Dataset::Wn9ImgTxt, scale));
+    println!("{} ({} eval triples)", h.kg.stats(), h.eval_triples.len());
+    let neurallp = h.train_neurallp();
+
+    let mut table = Table::new(
+        "Tie-break policy vs measured quality (tail queries)",
+        &["Scorer", "Policy", "MRR", "Hits@1"],
+    );
+    let mut dump = Vec::new();
+    for (name, scorer) in [
+        ("Constant", &Constant as &dyn TripleScorer),
+        ("NeuralLP", &neurallp as &dyn TripleScorer),
+    ] {
+        for tie in [TieBreak::Optimistic, TieBreak::Expected, TieBreak::Pessimistic] {
+            let (mrr, hits1) = eval_with_ties(&scorer, &h, tie);
+            table.push_row(vec![
+                name.to_string(),
+                format!("{tie:?}"),
+                pct(mrr),
+                pct(hits1),
+            ]);
+            dump.push((name.to_string(), format!("{tie:?}"), mrr, hits1));
+        }
+    }
+    table.print();
+    let const_opt = dump.iter().find(|d| d.0 == "Constant" && d.1 == "Optimistic").unwrap();
+    println!(
+        "inflation check: a constant scorer gets Hits@1 {} under optimistic ties — \
+         the expected-rank protocol (DESIGN.md deviation 4) reports {} instead",
+        pct(const_opt.3),
+        pct(dump.iter().find(|d| d.0 == "Constant" && d.1 == "Expected").unwrap().3),
+    );
+    save_json("ablation_tiebreak", &dump);
+}

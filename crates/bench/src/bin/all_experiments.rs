@@ -1,0 +1,45 @@
+//! Run the full experiment suite (every table and figure) sequentially.
+//!
+//! `cargo run --release -p mmkgr-bench --bin all_experiments -- --scale quick`
+//!
+//! Each experiment is also available as its own binary (`table3` …
+//! `fig12`); this driver just invokes them in-process in paper order.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exes = [
+        // the paper's own artifacts, in paper order
+        "table3", "table4", "table5", "table6", "table7", "table8", "fig4", "fig5", "fig6",
+        "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        // extension + deviation-ablation experiments (DESIGN.md index)
+        "table1_kge", "ext_fewshot", "ablation_reward_gate", "ablation_tiebreak",
+        "ablation_beam", "ablation_history",
+    ];
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exe in exes {
+        println!("\n######## {exe} ########");
+        let path = bin_dir.join(exe);
+        let status = Command::new(&path).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exe} exited with {s}");
+                failures.push(exe);
+            }
+            Err(e) => {
+                eprintln!("could not launch {exe}: {e} (build with `cargo build --release -p mmkgr-bench --bins` first)");
+                failures.push(exe);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 10 — Hits@1 of MMKGR as a function of training epochs E and
+//! batch size N. The paper sweeps E ∈ {10..110} × N ∈ {16..512}; the grid
+//! shrinks with `--scale` so the experiment stays tractable on one core
+//! (the full grid is available with `--scale full`).
+//!
+//! Expected shape: rise-then-plateau/decline in E (under-training vs
+//! over-fitting) with an interior optimum in N.
+
+use mmkgr_bench::Stopwatch;
+use mmkgr_eval::{pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let (epochs_grid, batch_grid): (Vec<usize>, Vec<usize>) = match scale {
+        ScaleChoice::Quick => (vec![3, 6], vec![32, 128]),
+        ScaleChoice::Standard => (vec![5, 15, 30], vec![32, 128, 512]),
+        ScaleChoice::Full => (vec![10, 30, 50, 70, 90, 110], vec![16, 32, 64, 128, 256, 512]),
+    };
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut headers: Vec<String> = vec!["N \\ E".into()];
+        headers.extend(epochs_grid.iter().map(|e| format!("E={e}")));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Fig. 10 — Hits@1 vs epochs and batch size on {}", dataset.name()),
+            &header_refs,
+        );
+        for &n in &batch_grid {
+            let mut cells = vec![format!("N={n}")];
+            for &e in &epochs_grid {
+                let (trainer, _) = h.train_mmkgr_with(
+                    |c| {
+                        c.epochs = e;
+                        c.batch_size = n;
+                    },
+                    0,
+                );
+                let r = h.eval_policy(&trainer.model);
+                sw.lap(&format!("E={e} N={n}"));
+                cells.push(pct(r.hits1));
+                dump.push((dataset.name().to_string(), e, n, r.hits1));
+            }
+            table.push_row(cells);
+        }
+        table.print();
+    }
+    save_json("fig10", &dump);
+}

@@ -1,0 +1,33 @@
+//! Figure 11 — sensitivity to the diversity-reward Gaussian bandwidth
+//! u ∈ {1..6}. Expected shape (paper): optimum near u = 3, roughly stable
+//! beyond (the kernel saturates once its support covers the path space).
+
+use mmkgr_bench::{print_series, Stopwatch};
+use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let u_values: Vec<f32> = match scale {
+        ScaleChoice::Quick => vec![1.0, 3.0, 5.0],
+        _ => vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    };
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut mrr_series = Vec::new();
+        let mut h1_series = Vec::new();
+        for &u in &u_values {
+            let (trainer, _) = h.train_mmkgr_with(|c| c.bandwidth = u, 0);
+            let r = h.eval_policy(&trainer.model);
+            sw.lap(&format!("u={u}"));
+            mrr_series.push((format!("u={u}"), r.mrr));
+            h1_series.push((format!("u={u}"), r.hits1));
+            dump.push((dataset.name().to_string(), u, r.mrr, r.hits1));
+        }
+        print_series("MRR   ", &mrr_series);
+        print_series("Hits@1", &h1_series);
+    }
+    save_json("fig11", &dump);
+}

@@ -1,0 +1,30 @@
+//! Figure 4 — ablation of the unified gate-attention network:
+//! FGKGR (no attention-fusion), FAKGR (no irrelevance-filtration), full
+//! MMKGR; Hits@{1,5,10} and MRR on both datasets.
+
+use mmkgr_bench::{ModelRow, Stopwatch};
+use mmkgr_core::Variant;
+use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut table = Table::new(
+            format!("Fig. 4 — gate-attention ablation on {}", dataset.name()),
+            &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
+        );
+        for v in [Variant::Fgkgr, Variant::Fakgr, Variant::Full] {
+            let (trainer, _) = h.train_variant(v);
+            let row = ModelRow::new(v.name(), &h.eval_policy(&trainer.model));
+            sw.lap(v.name());
+            table.push_row(row.cells());
+            dump.push((dataset.name().to_string(), row));
+        }
+        table.print();
+    }
+    save_json("fig4", &dump);
+}

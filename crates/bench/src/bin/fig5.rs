@@ -1,0 +1,29 @@
+//! Figure 5 — ablation of the 3D reward mechanism: DEKGR (destination
+//! only), DSKGR (+distance), DVKGR (+diversity), full MMKGR.
+
+use mmkgr_bench::{ModelRow, Stopwatch};
+use mmkgr_core::Variant;
+use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut table = Table::new(
+            format!("Fig. 5 — 3D-reward ablation on {}", dataset.name()),
+            &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
+        );
+        for v in [Variant::Dekgr, Variant::Dskgr, Variant::Dvkgr, Variant::Full] {
+            let (trainer, _) = h.train_variant(v);
+            let row = ModelRow::new(v.name(), &h.eval_policy(&trainer.model));
+            sw.lap(v.name());
+            table.push_row(row.cells());
+            dump.push((dataset.name().to_string(), row));
+        }
+        table.print();
+    }
+    save_json("fig5", &dump);
+}

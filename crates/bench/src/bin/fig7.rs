@@ -1,0 +1,8 @@
+//! Figure 7 — same hop-proportion experiment as Fig. 6, on FB-IMG-TXT.
+
+use mmkgr_bench::run_hops_figure;
+use mmkgr_eval::{Dataset, ScaleChoice};
+
+fn main() {
+    run_hops_figure(Dataset::FbImgTxt, ScaleChoice::from_args(), "fig7");
+}

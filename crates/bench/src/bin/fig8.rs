@@ -1,0 +1,49 @@
+//! Figure 8 — Hits@1 versus the maximum reasoning step T for the RL-based
+//! models (MINERVA, FIRE, RLH, MMKGR).
+//!
+//! Models are trained once at their default horizon and evaluated with
+//! beam horizons T ∈ {2..6}; the NO_OP action makes longer horizons
+//! strictly more expressive, reproducing the paper's "fast growth to T=3,
+//! plateau/slight decline after T=4" shape. (The paper retrains per T;
+//! on this substrate the evaluated-horizon sweep shows the same shape at
+//! a fraction of the cost — Table VI does the retrain-per-T version.)
+
+use mmkgr_bench::{print_series, Stopwatch};
+use mmkgr_core::Variant;
+use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let t_values: Vec<usize> = match scale {
+        ScaleChoice::Quick => vec![2, 3, 4],
+        _ => vec![2, 3, 4, 5, 6],
+    };
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{} (Hits@1 vs T)", h.kg.stats());
+
+        let (minerva, _) = h.train_minerva();
+        sw.lap("MINERVA");
+        let (fire, _) = h.train_fire();
+        sw.lap("FIRE");
+        let (rlh, _) = h.train_rlh();
+        sw.lap("RLH");
+        let (mmkgr, _) = h.train_variant(Variant::Full);
+        sw.lap("MMKGR");
+
+        let mut eval_series = |name: &str, f: &dyn Fn(usize) -> f64| {
+            let series: Vec<(String, f64)> =
+                t_values.iter().map(|&t| (format!("T={t}"), f(t))).collect();
+            print_series(name, &series);
+            dump.push((dataset.name().to_string(), name.to_string(), series));
+        };
+        eval_series("MINERVA", &|t| h.eval_policy_steps(&minerva, t).hits1);
+        eval_series("FIRE", &|t| h.eval_policy_steps(&fire, t).hits1);
+        eval_series("RLH", &|t| h.eval_policy_steps(&rlh, t).hits1);
+        eval_series("MMKGR", &|t| h.eval_policy_steps(&mmkgr.model, t).hits1);
+        sw.lap("sweeps evaluated");
+    }
+    save_json("fig8", &dump);
+}

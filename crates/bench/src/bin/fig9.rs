@@ -1,0 +1,41 @@
+//! Figure 9 — convergence-rate comparison: per-epoch validation MRR for
+//! DEKGR, DSKGR, DVKGR, MMKGR and ZOKGR (the 0/1-reward control).
+//!
+//! Expected shape (paper): ZOKGR fluctuates and fails to converge; all
+//! shaped variants converge; distance/diversity accelerate convergence.
+
+use mmkgr_bench::Stopwatch;
+use mmkgr_core::Variant;
+use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let valid_sample = match scale {
+        ScaleChoice::Quick => 20,
+        ScaleChoice::Standard => 50,
+        ScaleChoice::Full => 100,
+    };
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{} (validation MRR per epoch)", h.kg.stats());
+        for v in [Variant::Dekgr, Variant::Dskgr, Variant::Dvkgr, Variant::Full, Variant::Zokgr]
+        {
+            let (_, report) = h.train_mmkgr_with(
+                |c| *c = c.clone().variant(v),
+                valid_sample,
+            );
+            let series: Vec<f64> =
+                report.epochs.iter().map(|e| e.valid_mrr.unwrap_or(0.0)).collect();
+            print!("{:<6}: ", v.name());
+            for m in &series {
+                print!("{:.3} ", m);
+            }
+            println!();
+            sw.lap(v.name());
+            dump.push((dataset.name().to_string(), v.name().to_string(), series));
+        }
+    }
+    save_json("fig9", &dump);
+}

@@ -1,0 +1,89 @@
+//! Table IV — relation link prediction MAP (per relation + overall).
+//!
+//! Each test triple becomes a `(e_s, ?, e_d)` query; models rank the true
+//! relation among candidate relations. Policy models score a relation by
+//! the best beam probability of reaching `e_d` under it; scorer models by
+//! `score(e_s, r, e_d)`.
+
+use mmkgr_bench::Stopwatch;
+use mmkgr_core::Variant;
+use mmkgr_eval::{pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+
+        let mtrl = h.train_mtrl();
+        let map_mtrl = h.relation_map_scorer(&mtrl);
+        sw.lap("MTRL");
+        let nlp = h.train_neurallp();
+        let map_nlp = h.relation_map_scorer(&nlp);
+        sw.lap("NeuralLP");
+        let (minerva, _) = h.train_minerva();
+        let map_minerva = h.relation_map_policy(&minerva);
+        sw.lap("MINERVA");
+        let (fire, _) = h.train_fire();
+        let map_fire = h.relation_map_policy(&fire);
+        sw.lap("FIRE");
+        let gaats = h.train_gaats();
+        let map_gaats = h.relation_map_scorer(&gaats);
+        sw.lap("GAATs");
+        let (rlh, _) = h.train_rlh();
+        let map_rlh = h.relation_map_policy(&rlh);
+        sw.lap("RLH");
+        let (mmkgr, _) = h.train_variant(Variant::Full);
+        let map_mmkgr = h.relation_map_policy(&mmkgr.model);
+        sw.lap("MMKGR");
+
+        let models = [
+            ("MTRL", &map_mtrl),
+            ("NeuralLP", &map_nlp),
+            ("MINERVA", &map_minerva),
+            ("FIRE", &map_fire),
+            ("GAATs", &map_gaats),
+            ("RLH", &map_rlh),
+            ("MMKGR", &map_mmkgr),
+        ];
+        let mut headers: Vec<&str> = vec!["Task"];
+        headers.extend(models.iter().map(|(n, _)| *n));
+        let mut table = Table::new(
+            format!("Table IV — relation link prediction MAP on {}", dataset.name()),
+            &headers,
+        );
+        // Top per-relation rows (up to 3 most frequent, like the paper's
+        // excerpt), then Overall.
+        let mut by_count = map_mmkgr.per_relation.clone();
+        by_count.sort_by_key(|&(_, _, n)| std::cmp::Reverse(n));
+        for &(rel, _, _) in by_count.iter().take(3) {
+            let mut cells = vec![format!("relation {}", rel.0)];
+            for (_, m) in &models {
+                let v = m
+                    .per_relation
+                    .iter()
+                    .find(|&&(r, _, _)| r == rel)
+                    .map(|&(_, map, _)| map)
+                    .unwrap_or(0.0);
+                cells.push(pct(v));
+            }
+            table.push_row(cells);
+        }
+        let mut cells = vec!["Overall".to_string()];
+        for (_, m) in &models {
+            cells.push(pct(m.overall));
+        }
+        table.push_row(cells);
+        table.print();
+        dump.push((
+            dataset.name().to_string(),
+            models
+                .iter()
+                .map(|(n, m)| (n.to_string(), m.overall))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    save_json("table4", &dump);
+}

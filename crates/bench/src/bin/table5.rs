@@ -1,0 +1,31 @@
+//! Table V — effect of multi-modal auxiliary features: OSKGR (structure
+//! only), STKGR (+text), SIKGR (+image), MMKGR (all).
+
+use mmkgr_bench::{ModelRow, Stopwatch};
+use mmkgr_core::Variant;
+use mmkgr_eval::{datasets_from_args, save_json, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let mut dump = Vec::new();
+    for dataset in datasets_from_args() {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut table = Table::new(
+            format!("Table V — modality ablation on {}", dataset.name()),
+            &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
+        );
+        let mut rows = Vec::new();
+        for v in [Variant::Oskgr, Variant::Stkgr, Variant::Sikgr, Variant::Full] {
+            let (trainer, _) = h.train_variant(v);
+            let row = ModelRow::new(v.name(), &h.eval_policy(&trainer.model));
+            sw.lap(v.name());
+            table.push_row(row.cells());
+            rows.push(row);
+        }
+        table.print();
+        dump.push((dataset.name().to_string(), rows));
+    }
+    save_json("table5", &dump);
+}

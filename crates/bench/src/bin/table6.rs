@@ -1,0 +1,51 @@
+//! Table VI — Hits@1 of MMKGR across the (max step T, distance threshold
+//! k) grid. Cells with k > T are structurally empty (the paper's dashes).
+
+use mmkgr_bench::Stopwatch;
+use mmkgr_eval::{pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let (t_values, k_values): (Vec<usize>, Vec<usize>) = match scale {
+        ScaleChoice::Quick => (vec![2, 3, 4], vec![2, 3]),
+        _ => (vec![2, 3, 4, 5, 6], vec![2, 3, 4, 5, 6]),
+    };
+    let mut dump = Vec::new();
+    for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("\n{}", h.kg.stats());
+        let mut headers: Vec<String> = vec!["Th. k".into()];
+        headers.extend(t_values.iter().map(|t| format!("T={t}")));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(
+            format!("Table VI — Hits@1 vs T and threshold k on {}", dataset.name()),
+            &header_refs,
+        );
+        let mut grid = Vec::new();
+        for &k in &k_values {
+            let mut cells = vec![k.to_string()];
+            for &t in &t_values {
+                if k > t {
+                    cells.push("—".into());
+                    continue;
+                }
+                let (trainer, _) = h.train_mmkgr_with(
+                    |c| {
+                        c.max_steps = t;
+                        c.distance_threshold = k;
+                    },
+                    0,
+                );
+                let r = h.eval_policy_steps(&trainer.model, t);
+                sw.lap(&format!("{} T={t} k={k}", dataset.name()));
+                cells.push(pct(r.hits1));
+                grid.push((dataset.name().to_string(), t, k, r.hits1));
+            }
+            table.push_row(cells);
+        }
+        table.print();
+        dump.extend(grid);
+    }
+    save_json("table6", &dump);
+}

@@ -1,0 +1,52 @@
+//! Table VIII — Hits@1 of MMKGR vs OSKGR on random test subsets of
+//! 20/40/60/80/100% (the multi-modal benefit across evaluation regimes).
+
+use mmkgr_bench::Stopwatch;
+use mmkgr_core::Variant;
+use mmkgr_eval::{pct, save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
+use mmkgr_tensor::init::seeded_rng;
+use rand::seq::SliceRandom;
+
+fn main() {
+    let scale = ScaleChoice::from_args();
+    let sw = Stopwatch::start();
+    let mut dump = Vec::new();
+    let mut table = Table::new(
+        "Table VIII — Hits@1 on test subsets (MMKGR vs OSKGR)",
+        &["Proportion", "WN9 MMKGR", "WN9 OSKGR", "FB MMKGR", "FB OSKGR"],
+    );
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); 4];
+    for (d_i, dataset) in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt].into_iter().enumerate() {
+        let h = Harness::new(HarnessConfig::new(dataset, scale));
+        println!("{}", h.kg.stats());
+        let (mmkgr, _) = h.train_variant(Variant::Full);
+        sw.lap("MMKGR trained");
+        let (oskgr, _) = h.train_variant(Variant::Oskgr);
+        sw.lap("OSKGR trained");
+        let mut rng = seeded_rng(h.cfg.seed ^ 0xAB);
+        let mut pool = h.eval_triples.clone();
+        pool.shuffle(&mut rng);
+        for (p_i, prop) in [0.2, 0.4, 0.6, 0.8, 1.0].into_iter().enumerate() {
+            let n = ((pool.len() as f64 * prop).round() as usize).max(1);
+            let subset = &pool[..n];
+            let m = h.eval_policy_on(&mmkgr.model, subset).hits1;
+            let o = h.eval_policy_on(&oskgr.model, subset).hits1;
+            columns[2 * d_i].push(pct(m));
+            columns[2 * d_i + 1].push(pct(o));
+            dump.push((dataset.name().to_string(), prop, m, o));
+            let _ = p_i;
+        }
+        sw.lap("proportions evaluated");
+    }
+    for (i, prop) in ["20%", "40%", "60%", "80%", "100%"].iter().enumerate() {
+        table.push_row(vec![
+            prop.to_string(),
+            columns[0][i].clone(),
+            columns[1][i].clone(),
+            columns[2][i].clone(),
+            columns[3][i].clone(),
+        ]);
+    }
+    table.print();
+    save_json("table8", &dump);
+}

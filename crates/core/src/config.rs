@@ -1,0 +1,355 @@
+//! Hyper-parameters and ablation switches for MMKGR.
+//!
+//! Defaults follow §V-A3 of the paper (T=4, distance threshold k=3,
+//! bandwidth u=3, λ=(0.1, 0.8, 0.1), batch 128, 50 epochs), with feature
+//! widths scaled down from the paper's GPU sizes (d_s=200, d_i≤4096,
+//! d_t=1000) to CPU-friendly ones — see DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Which reward components are active (the paper's 3D reward and its
+/// ablations, §V-D2 and Fig. 9).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Reward-shaping on the destination reward (ConvE score when the
+    /// agent misses; Eq. 13). Off = plain 0/1 destination reward.
+    pub shaping: bool,
+    /// Distance reward (Eq. 14).
+    pub distance: bool,
+    /// Diversity reward (Eq. 15).
+    pub diversity: bool,
+}
+
+impl RewardConfig {
+    /// The full 3D mechanism.
+    pub fn full() -> Self {
+        RewardConfig { shaping: true, distance: true, diversity: true }
+    }
+
+    /// DEKGR: destination (with shaping) only.
+    pub fn destination_only() -> Self {
+        RewardConfig { shaping: true, distance: false, diversity: false }
+    }
+
+    /// DSKGR: destination + distance.
+    pub fn destination_distance() -> Self {
+        RewardConfig { shaping: true, distance: true, diversity: false }
+    }
+
+    /// DVKGR: destination + diversity.
+    pub fn destination_diversity() -> Self {
+        RewardConfig { shaping: true, distance: false, diversity: true }
+    }
+
+    /// ZOKGR: the bare "0-1 reward" of prior RL reasoners.
+    pub fn zero_one() -> Self {
+        RewardConfig { shaping: false, distance: false, diversity: false }
+    }
+}
+
+/// Which recurrent cell encodes the path history `h_t` of Eq. (1).
+///
+/// The paper fixes an LSTM; the alternatives exist for the
+/// `ablation_history` bench, which asks whether that choice is load-
+/// bearing at reproduction scale.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryEncoder {
+    /// The paper's encoder (Eq. 1).
+    #[default]
+    Lstm,
+    /// Gated recurrent unit — fewer parameters, no cell state.
+    Gru,
+    /// Exponential moving average of projected inputs — a deliberately
+    /// weak, gate-free encoder that bounds how much the gating machinery
+    /// actually contributes.
+    Ema,
+}
+
+impl HistoryEncoder {
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistoryEncoder::Lstm => "LSTM",
+            HistoryEncoder::Gru => "GRU",
+            HistoryEncoder::Ema => "EMA",
+        }
+    }
+}
+
+/// Named model variants used throughout the paper's ablations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// Full MMKGR.
+    Full,
+    /// Structure only (no multi-modal features), 3D reward kept.
+    Oskgr,
+    /// Structure + text (no images).
+    Stkgr,
+    /// Structure + images (no text).
+    Sikgr,
+    /// No irrelevance-filtration module.
+    Fakgr,
+    /// No attention-fusion module (MLB fusion + filtration only).
+    Fgkgr,
+    /// Destination reward only.
+    Dekgr,
+    /// Destination + distance rewards.
+    Dskgr,
+    /// Destination + diversity rewards.
+    Dvkgr,
+    /// Plain 0/1 terminal reward.
+    Zokgr,
+}
+
+impl Variant {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Full => "MMKGR",
+            Variant::Oskgr => "OSKGR",
+            Variant::Stkgr => "STKGR",
+            Variant::Sikgr => "SIKGR",
+            Variant::Fakgr => "FAKGR",
+            Variant::Fgkgr => "FGKGR",
+            Variant::Dekgr => "DEKGR",
+            Variant::Dskgr => "DSKGR",
+            Variant::Dvkgr => "DVKGR",
+            Variant::Zokgr => "ZOKGR",
+        }
+    }
+}
+
+/// Full MMKGR configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MmkgrConfig {
+    /// Structural embedding width `d_s`.
+    pub struct_dim: usize,
+    /// Attention width `d` (Q/K/V projections).
+    pub fusion_dim: usize,
+    /// MLB joint width `j`.
+    pub mlb_dim: usize,
+    /// Projected per-modality width (`d_x/2` in Eq. 3).
+    pub modal_proj_dim: usize,
+    /// Maximum reasoning step `T`.
+    pub max_steps: usize,
+    /// Distance-reward threshold on hops `k` (Eq. 14).
+    pub distance_threshold: usize,
+    /// Gaussian bandwidth `u` (Eq. 15).
+    pub bandwidth: f32,
+    /// Reward mixture `(λ1, λ2, λ3)`, summing to 1 (Eq. 16).
+    pub lambda: (f32, f32, f32),
+    pub batch_size: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    /// Moving-average reward baseline decay.
+    pub baseline_decay: f32,
+    /// Entropy-bonus weight (0 disables; REINFORCE exploration aid).
+    pub entropy_weight: f32,
+    /// ε-exploration during training: the behaviour policy samples from
+    /// `(1−ε)·π + ε·uniform` (gradients still use π, i.e. vanilla
+    /// REINFORCE with an exploratory behaviour mix).
+    pub epsilon: f32,
+    /// Beam width for ranking inference.
+    pub beam_width: usize,
+    /// Paths remembered per query relation for the diversity reward.
+    pub diversity_memory: usize,
+    /// Sampled rollouts per training query per epoch (MINERVA-style
+    /// multiplicity; more rollouts = denser exploration per query).
+    pub rollouts_per_query: usize,
+    pub seed: u64,
+    // --- ablation switches -------------------------------------------
+    pub use_text: bool,
+    pub use_image: bool,
+    pub use_attention_fusion: bool,
+    pub use_irrelevance_filtration: bool,
+    pub reward: RewardConfig,
+    /// Path-history encoder (Eq. 1); serde-default keeps older
+    /// checkpoints loadable.
+    #[serde(default)]
+    pub history: HistoryEncoder,
+    /// Behaviour-cloning epochs on BFS demonstration paths before the
+    /// REINFORCE phase. 0 = the paper's protocol (pure RL); nonzero is
+    /// the reproduction-scale training protocol applied uniformly to all
+    /// RL reasoners (DESIGN.md, deviation list).
+    #[serde(default)]
+    pub warmstart_epochs: usize,
+    /// Pay the distance reward (Eq. 14) for *any* terminated walk, as the
+    /// equation literally reads — not only on reaching the gold entity.
+    /// Exists for the `ablation_reward_gate` bench, which demonstrates
+    /// why the success-gated reading (DESIGN.md deviation 1) is the only
+    /// one consistent with the paper's results: under the literal reading
+    /// "hop once anywhere and stop" is the optimal policy.
+    #[serde(default)]
+    pub paper_literal_distance: bool,
+}
+
+impl Default for MmkgrConfig {
+    fn default() -> Self {
+        MmkgrConfig {
+            struct_dim: 32,
+            fusion_dim: 32,
+            mlb_dim: 32,
+            modal_proj_dim: 16,
+            max_steps: 4,
+            distance_threshold: 3,
+            bandwidth: 3.0,
+            lambda: (0.1, 0.8, 0.1),
+            batch_size: 128,
+            epochs: 50,
+            lr: 1e-3,
+            baseline_decay: 0.95,
+            entropy_weight: 0.02,
+            epsilon: 0.0,
+            beam_width: 16,
+            diversity_memory: 32,
+            rollouts_per_query: 2,
+            seed: 7,
+            use_text: true,
+            use_image: true,
+            use_attention_fusion: true,
+            use_irrelevance_filtration: true,
+            reward: RewardConfig::full(),
+            history: HistoryEncoder::Lstm,
+            warmstart_epochs: 0,
+            paper_literal_distance: false,
+        }
+    }
+}
+
+impl MmkgrConfig {
+    /// A fast configuration for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        MmkgrConfig {
+            struct_dim: 16,
+            fusion_dim: 16,
+            mlb_dim: 16,
+            modal_proj_dim: 8,
+            epochs: 5,
+            batch_size: 32,
+            beam_width: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Apply a named ablation variant.
+    pub fn variant(mut self, v: Variant) -> Self {
+        match v {
+            Variant::Full => {}
+            Variant::Oskgr => {
+                self.use_text = false;
+                self.use_image = false;
+            }
+            Variant::Stkgr => self.use_image = false,
+            Variant::Sikgr => self.use_text = false,
+            Variant::Fakgr => self.use_irrelevance_filtration = false,
+            Variant::Fgkgr => self.use_attention_fusion = false,
+            Variant::Dekgr => self.reward = RewardConfig::destination_only(),
+            Variant::Dskgr => self.reward = RewardConfig::destination_distance(),
+            Variant::Dvkgr => self.reward = RewardConfig::destination_diversity(),
+            Variant::Zokgr => self.reward = RewardConfig::zero_one(),
+        }
+        self
+    }
+
+    /// Structural row width `d_y = 3·d_s` ( `[e_s; h_t; r_q]`, Eq. 1).
+    pub fn struct_row_dim(&self) -> usize {
+        3 * self.struct_dim
+    }
+
+    /// Multi-modal row width `d_x` (Eq. 3): one or two projected blocks.
+    pub fn modal_row_dim(&self) -> usize {
+        let blocks = self.use_text as usize + self.use_image as usize;
+        blocks * self.modal_proj_dim
+    }
+
+    /// Action-embedding width `d_a = 2·d_s` (`[r; e]` stacking).
+    pub fn action_dim(&self) -> usize {
+        2 * self.struct_dim
+    }
+
+    pub fn uses_modalities(&self) -> bool {
+        self.use_text || self.use_image
+    }
+
+    /// Validate invariant: λ sums to 1 (Eq. 16 side condition).
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.lambda.0 + self.lambda.1 + self.lambda.2;
+        if (sum - 1.0).abs() > 1e-4 {
+            return Err(format!("lambda must sum to 1, got {sum}"));
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be ≥ 1".into());
+        }
+        if self.bandwidth <= 0.0 {
+            return Err("bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_hyperparameters() {
+        let c = MmkgrConfig::default();
+        assert_eq!(c.max_steps, 4);
+        assert_eq!(c.distance_threshold, 3);
+        assert_eq!(c.bandwidth, 3.0);
+        assert_eq!(c.lambda, (0.1, 0.8, 0.1));
+        assert_eq!(c.batch_size, 128);
+        assert_eq!(c.epochs, 50);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn variant_switches() {
+        let os = MmkgrConfig::default().variant(Variant::Oskgr);
+        assert!(!os.uses_modalities());
+        assert_eq!(os.modal_row_dim(), 0);
+
+        let st = MmkgrConfig::default().variant(Variant::Stkgr);
+        assert!(st.use_text && !st.use_image);
+        assert_eq!(st.modal_row_dim(), st.modal_proj_dim);
+
+        let zo = MmkgrConfig::default().variant(Variant::Zokgr);
+        assert_eq!(zo.reward, RewardConfig::zero_one());
+
+        let fa = MmkgrConfig::default().variant(Variant::Fakgr);
+        assert!(!fa.use_irrelevance_filtration && fa.use_attention_fusion);
+    }
+
+    #[test]
+    fn validation_catches_bad_lambda() {
+        let mut c = MmkgrConfig::default();
+        c.lambda = (0.5, 0.5, 0.5);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn derived_dims() {
+        let c = MmkgrConfig::default();
+        assert_eq!(c.struct_row_dim(), 96);
+        assert_eq!(c.modal_row_dim(), 32);
+        assert_eq!(c.action_dim(), 64);
+    }
+
+    #[test]
+    fn variant_names_unique() {
+        let all = [
+            Variant::Full,
+            Variant::Oskgr,
+            Variant::Stkgr,
+            Variant::Sikgr,
+            Variant::Fakgr,
+            Variant::Fgkgr,
+            Variant::Dekgr,
+            Variant::Dskgr,
+            Variant::Dvkgr,
+            Variant::Zokgr,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

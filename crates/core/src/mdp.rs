@@ -1,0 +1,184 @@
+//! The MDP over the multi-modal KG (paper §IV-C): states, actions,
+//! transitions.
+//!
+//! The action space at entity `e_t` is its outgoing edges plus the NO_OP
+//! self-loop (the paper's STOP mechanism: once the agent believes it has
+//! arrived it can hold position until the horizon `T`). During training the
+//! direct edge answering the current query is masked so the agent must
+//! learn multi-hop paths — the standard MINERVA-family protocol MMKGR
+//! inherits.
+
+use mmkgr_kg::{Edge, EntityId, KnowledgeGraph, RelationId};
+
+/// A triple query the agent is rolling out: start entity + query relation,
+/// with the gold answer kept for reward computation and edge masking.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RolloutQuery {
+    pub source: EntityId,
+    pub relation: RelationId,
+    pub answer: EntityId,
+}
+
+/// Mutable rollout state for one query.
+#[derive(Clone, Debug)]
+pub struct RolloutState {
+    pub query: RolloutQuery,
+    pub current: EntityId,
+    /// Relation taken at the previous step (NO_OP at t=0).
+    pub last_relation: RelationId,
+    /// Non-NO_OP hops taken so far (the `k` of the distance reward).
+    pub hops: usize,
+    /// Full action trace for path reporting / diversity reward.
+    pub trace: Vec<Edge>,
+}
+
+impl RolloutState {
+    pub fn new(query: RolloutQuery, no_op: RelationId) -> Self {
+        RolloutState {
+            query,
+            current: query.source,
+            last_relation: no_op,
+            hops: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Apply a chosen edge.
+    pub fn step(&mut self, edge: Edge, no_op: RelationId) {
+        if edge.relation != no_op {
+            self.hops += 1;
+        }
+        self.current = edge.target;
+        self.last_relation = edge.relation;
+        self.trace.push(edge);
+    }
+
+    pub fn at_answer(&self) -> bool {
+        self.current == self.query.answer
+    }
+
+    /// Relation sequence excluding NO_OPs (the "path" of Eq. 15).
+    pub fn relation_path(&self, no_op: RelationId) -> Vec<RelationId> {
+        self.trace
+            .iter()
+            .filter(|e| e.relation != no_op)
+            .map(|e| e.relation)
+            .collect()
+    }
+}
+
+/// Environment: wraps the graph and produces masked action spaces.
+pub struct Env<'g> {
+    pub graph: &'g KnowledgeGraph,
+    no_op: RelationId,
+    /// When true, the direct `(source, r_q, answer)` edge is hidden while
+    /// the agent stands on the query source (training protocol).
+    pub mask_answer_edge: bool,
+}
+
+impl<'g> Env<'g> {
+    pub fn new(graph: &'g KnowledgeGraph, mask_answer_edge: bool) -> Self {
+        Env { graph, no_op: graph.relations().no_op(), mask_answer_edge }
+    }
+
+    #[inline]
+    pub fn no_op(&self) -> RelationId {
+        self.no_op
+    }
+
+    /// Fill `buf` with the available actions at `state` — NO_OP self-loop
+    /// first, then the (possibly masked) outgoing edges.
+    pub fn fill_actions(&self, state: &RolloutState, buf: &mut Vec<Edge>) {
+        buf.clear();
+        buf.push(Edge { relation: self.no_op, target: state.current });
+        let masking = self.mask_answer_edge && state.current == state.query.source;
+        for &e in self.graph.neighbors(state.current) {
+            if masking && e.relation == state.query.relation && e.target == state.query.answer {
+                continue;
+            }
+            buf.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_kg::{KnowledgeGraph, Triple};
+
+    fn graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(
+            4,
+            2,
+            vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2), Triple::new(1, 1, 3)],
+            None,
+        )
+    }
+
+    fn query() -> RolloutQuery {
+        RolloutQuery {
+            source: EntityId(0),
+            relation: RelationId(0),
+            answer: EntityId(1),
+        }
+    }
+
+    #[test]
+    fn actions_include_no_op_first() {
+        let g = graph();
+        let env = Env::new(&g, false);
+        let state = RolloutState::new(query(), env.no_op());
+        let mut buf = Vec::new();
+        env.fill_actions(&state, &mut buf);
+        assert_eq!(buf[0].relation, env.no_op());
+        assert_eq!(buf[0].target, EntityId(0));
+        assert_eq!(buf.len(), 1 + g.out_degree(EntityId(0)));
+    }
+
+    #[test]
+    fn answer_edge_masked_at_source_only() {
+        let g = graph();
+        let env = Env::new(&g, true);
+        let state = RolloutState::new(query(), env.no_op());
+        let mut buf = Vec::new();
+        env.fill_actions(&state, &mut buf);
+        assert!(
+            !buf.iter().any(|e| e.relation == RelationId(0) && e.target == EntityId(1)),
+            "direct answer edge must be masked at the source"
+        );
+        // After moving away, the same edge would be visible again (no
+        // masking away from the source).
+        let mut moved = state.clone();
+        moved.step(Edge { relation: RelationId(1), target: EntityId(2) }, env.no_op());
+        env.fill_actions(&moved, &mut buf);
+        assert_eq!(buf.len(), 1 + g.out_degree(EntityId(2)));
+    }
+
+    #[test]
+    fn hops_ignore_no_op() {
+        let g = graph();
+        let env = Env::new(&g, false);
+        let mut state = RolloutState::new(query(), env.no_op());
+        state.step(Edge { relation: env.no_op(), target: EntityId(0) }, env.no_op());
+        assert_eq!(state.hops, 0);
+        state.step(Edge { relation: RelationId(0), target: EntityId(1) }, env.no_op());
+        assert_eq!(state.hops, 1);
+        assert!(state.at_answer());
+        assert_eq!(state.relation_path(env.no_op()), vec![RelationId(0)]);
+    }
+
+    #[test]
+    fn isolated_entity_still_has_no_op() {
+        let g = KnowledgeGraph::from_triples(3, 1, vec![Triple::new(0, 0, 1)], None);
+        let env = Env::new(&g, false);
+        let q = RolloutQuery {
+            source: EntityId(2),
+            relation: RelationId(0),
+            answer: EntityId(0),
+        };
+        let state = RolloutState::new(q, env.no_op());
+        let mut buf = Vec::new();
+        env.fill_actions(&state, &mut buf);
+        assert_eq!(buf.len(), 1, "dead ends must still offer NO_OP");
+    }
+}

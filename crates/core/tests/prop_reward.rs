@@ -1,0 +1,100 @@
+//! Property-based tests for the 3D reward mechanism and the MDP.
+
+use mmkgr_core::config::{MmkgrConfig, RewardConfig};
+use mmkgr_core::mdp::{RolloutQuery, RolloutState};
+use mmkgr_core::reward::{NoShaper, RewardEngine};
+use mmkgr_kg::{Edge, EntityId, RelationId};
+use proptest::prelude::*;
+
+fn engine_with(
+    lambda: (f32, f32, f32),
+    bandwidth: f32,
+    threshold: usize,
+) -> RewardEngine<NoShaper> {
+    let mut cfg = MmkgrConfig::quick();
+    cfg.lambda = lambda;
+    cfg.bandwidth = bandwidth;
+    cfg.distance_threshold = threshold;
+    cfg.reward = RewardConfig::full();
+    RewardEngine::new(&cfg, Some(NoShaper))
+}
+
+fn state_with_hops(hops: usize, at_answer: bool) -> RolloutState {
+    let answer = EntityId(99);
+    let q = RolloutQuery { source: EntityId(0), relation: RelationId(0), answer };
+    let no_op = RelationId(1000);
+    let mut s = RolloutState::new(q, no_op);
+    for i in 0..hops.saturating_sub(if at_answer { 1 } else { 0 }) {
+        s.step(Edge { relation: RelationId(1), target: EntityId(i as u32 + 1) }, no_op);
+    }
+    if at_answer && hops > 0 {
+        s.step(Edge { relation: RelationId(1), target: answer }, no_op);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn total_reward_is_bounded(
+        hops in 0usize..8,
+        at_answer in any::<bool>(),
+        threshold in 1usize..6,
+        u in 0.5f32..6.0,
+    ) {
+        let e = engine_with((0.1, 0.8, 0.1), u, threshold);
+        let s = state_with_hops(hops, at_answer);
+        let b = e.total(&s, &[0.5, -0.5]);
+        // each component ∈ [-1, 1] and λ sums to 1 → total ∈ [-1, 1]
+        prop_assert!(b.total >= -1.0 - 1e-5 && b.total <= 1.0 + 1e-5,
+            "total {} out of bounds", b.total);
+        prop_assert!(b.destination >= 0.0 && b.destination <= 1.0);
+        prop_assert!(b.diversity <= 0.0 && b.diversity >= -1.0);
+    }
+
+    #[test]
+    fn success_never_pays_less_than_failure(
+        hops in 1usize..4,
+        u in 1.0f32..5.0,
+    ) {
+        // With NoShaper (miss reward 0) and hops ≤ threshold, reaching the
+        // answer must dominate missing it, all else equal.
+        let e = engine_with((0.1, 0.8, 0.1), u, 3);
+        let hit = e.total(&state_with_hops(hops, true), &[]);
+        let miss = e.total(&state_with_hops(hops, false), &[]);
+        prop_assert!(hit.total > miss.total,
+            "hit {} !> miss {}", hit.total, miss.total);
+    }
+
+    #[test]
+    fn shorter_successful_paths_pay_more(
+        k1 in 1usize..3,
+        extra in 1usize..3,
+    ) {
+        let e = engine_with((0.1, 0.8, 0.1), 3.0, 3);
+        let short = e.total(&state_with_hops(k1, true), &[]);
+        let long = e.total(&state_with_hops(k1 + extra, true), &[]);
+        prop_assert!(short.total >= long.total,
+            "short {} !>= long {}", short.total, long.total);
+    }
+
+    #[test]
+    fn diversity_memory_never_rewards(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 4), 0..8),
+        probe in proptest::collection::vec(-3.0f32..3.0, 4),
+    ) {
+        let mut e = engine_with((0.1, 0.8, 0.1), 3.0, 3);
+        for p in paths {
+            e.remember(RelationId(0), p);
+        }
+        let d = e.diversity(RelationId(0), &probe);
+        prop_assert!(d <= 0.0 && d >= -1.0, "diversity {d}");
+    }
+
+    #[test]
+    fn hops_counted_exactly(hops in 0usize..6) {
+        let s = state_with_hops(hops, false);
+        prop_assert_eq!(s.hops, hops);
+        prop_assert_eq!(s.relation_path(RelationId(1000)).len(), hops);
+    }
+}

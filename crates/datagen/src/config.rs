@@ -1,0 +1,180 @@
+//! Generator configuration and the two paper-dataset presets.
+
+/// Parameters of the synthetic multi-modal KG generator.
+///
+/// The presets mirror the shape statistics of the paper's Table II; the
+/// `scaled` combinator shrinks a preset for CI-speed runs while keeping
+/// ratios (relations per entity, triples per entity, images per entity).
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    pub name: String,
+    pub entities: usize,
+    pub base_relations: usize,
+    /// Target number of training triples (approximate; generation is
+    /// stochastic but lands within a few percent).
+    pub train_triples: usize,
+    pub valid_frac: f64,
+    pub test_frac: f64,
+    /// Latent semantic dimensionality entities are embedded in.
+    pub latent_dim: usize,
+    /// Number of entity-type clusters.
+    pub clusters: usize,
+    /// Fraction of relations defined as compositions `r3 = r1 ∘ r2`.
+    /// Held-out facts of composed relations are the multi-hop-inferable
+    /// knowledge the RL agent must find.
+    pub composed_frac: f64,
+    /// Probability that a derivable composed fact is materialized into the
+    /// triple store (the rest stays latent → inferable-only).
+    pub close_prob: f64,
+    /// Fraction of syntactic chain instances `s →r1→ m →r2→ o` that are
+    /// *actually true* for the composed relation (the latent-compatibility
+    /// filter). Below 1.0, pure symbolic rule-following is ambiguous —
+    /// several chain endpoints are reachable but only the latent-closest
+    /// ones are facts — so models need the (latent-correlated) embedding
+    /// and modality signal to disambiguate, as in the real datasets.
+    pub rule_precision: f64,
+    /// Images per entity (paper: 10 for WN9, 100 for FB).
+    pub images_per_entity: usize,
+    /// Raw image feature width (signal + background).
+    pub image_dim: usize,
+    /// Trailing image dims that carry pure noise ("black background").
+    pub image_bg_dim: usize,
+    /// Probability an image is a near-duplicate of an earlier one
+    /// (the redundancy the filtration gate must cope with).
+    pub image_dup_prob: f64,
+    /// Gaussian noise std on modality signal dims.
+    pub modality_noise: f32,
+    /// Raw text feature width.
+    pub text_dim: usize,
+    /// Action-space cap applied to the walker graph.
+    pub max_out_degree: usize,
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// WN9-IMG-TXT analogue: 6,555 entities, 9 relations, ~11.7k train.
+    pub fn wn9_img_txt() -> Self {
+        GenConfig {
+            name: "WN9-IMG-TXT".into(),
+            entities: 6_555,
+            base_relations: 9,
+            train_triples: 11_747,
+            valid_frac: 0.09,
+            test_frac: 0.09,
+            latent_dim: 16,
+            clusters: 12,
+            composed_frac: 0.34, // 3 of 9 relations are composed
+            close_prob: 0.55,
+            rule_precision: 0.72,
+            images_per_entity: 10,
+            image_dim: 48,
+            image_bg_dim: 12,
+            image_dup_prob: 0.3,
+            modality_noise: 0.25,
+            text_dim: 48,
+            max_out_degree: 64,
+            seed: 0x574E39, // "WN9"
+        }
+    }
+
+    /// FB-IMG-TXT analogue: 11,757 entities, 1,231 relations, ~286k train.
+    /// Sparser *per relation* and more complex than WN9 (the property the
+    /// paper leans on to explain the lower absolute scores).
+    pub fn fb_img_txt() -> Self {
+        GenConfig {
+            name: "FB-IMG-TXT".into(),
+            entities: 11_757,
+            base_relations: 1_231,
+            train_triples: 285_850,
+            valid_frac: 0.094,
+            test_frac: 0.109,
+            latent_dim: 24,
+            clusters: 40,
+            composed_frac: 0.3,
+            close_prob: 0.5,
+            rule_precision: 0.62, // FB chains are noisier than WN9's
+            images_per_entity: 100,
+            image_dim: 48,
+            image_bg_dim: 12,
+            image_dup_prob: 0.5, // FB images are crawled en masse → more dupes
+            modality_noise: 0.35, // noisier modality data than WN9
+            text_dim: 48,
+            max_out_degree: 48,
+            seed: 0xFB15C,
+        }
+    }
+
+    /// Shrink every count by `factor` (e.g. `0.1` → one-tenth scale),
+    /// keeping densities. Used by the experiment harness's default scale.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor in (0, 1]");
+        let f = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+        self.name = format!("{}@{factor}", self.name);
+        self.entities = f(self.entities).max(50);
+        self.base_relations = f(self.base_relations).max(3);
+        self.train_triples = f(self.train_triples).max(100);
+        self.clusters = f(self.clusters).clamp(4, self.entities / 4);
+        self.images_per_entity = f(self.images_per_entity).max(2);
+        self
+    }
+
+    /// A miniature config for unit tests: generates in milliseconds.
+    pub fn tiny() -> Self {
+        GenConfig {
+            name: "tiny".into(),
+            entities: 60,
+            base_relations: 6,
+            train_triples: 260,
+            valid_frac: 0.1,
+            test_frac: 0.1,
+            latent_dim: 8,
+            clusters: 4,
+            composed_frac: 0.34,
+            close_prob: 0.6,
+            rule_precision: 0.7,
+            images_per_entity: 3,
+            image_dim: 12,
+            image_bg_dim: 4,
+            image_dup_prob: 0.3,
+            modality_noise: 0.2,
+            text_dim: 10,
+            max_out_degree: 32,
+            seed: 42,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shapes() {
+        let wn9 = GenConfig::wn9_img_txt();
+        assert_eq!(wn9.entities, 6555);
+        assert_eq!(wn9.base_relations, 9);
+        let fb = GenConfig::fb_img_txt();
+        assert_eq!(fb.entities, 11757);
+        assert_eq!(fb.base_relations, 1231);
+        assert!(fb.images_per_entity > wn9.images_per_entity);
+    }
+
+    #[test]
+    fn scaled_shrinks_proportionally() {
+        let s = GenConfig::wn9_img_txt().scaled(0.1);
+        assert_eq!(s.entities, 656);
+        assert!(s.base_relations >= 3);
+        assert!((s.train_triples as f64 - 1174.7).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scale_zero_rejected() {
+        let _ = GenConfig::wn9_img_txt().scaled(0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic modality features.
+//!
+//! Stands in for the paper's VGG image features and word2vec text features
+//! (unobtainable here — no crawled images/descriptions). Each modality is a
+//! different random linear view of the entity's latent semantics plus:
+//!
+//! - per-image Gaussian noise (sensor/crawl noise),
+//! - a *background* sub-vector of pure noise on images (the "black
+//!   background" irrelevant features the irrelevance-filtration module is
+//!   designed to suppress),
+//! - near-duplicate images with probability `image_dup_prob` (the
+//!   redundancy the attention-fusion gate must down-weight).
+//!
+//! This preserves exactly the signal/noise/redundancy structure the MMKGR
+//! fusion network is built to handle, per the DESIGN.md substitution table.
+
+use mmkgr_kg::ModalBank;
+use mmkgr_tensor::init::normal;
+use mmkgr_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::GenConfig;
+use crate::schema::LatentWorld;
+
+pub fn generate_modalities(cfg: &GenConfig, world: &LatentWorld, rng: &mut StdRng) -> ModalBank {
+    let sig_dim = cfg.image_dim.saturating_sub(cfg.image_bg_dim);
+    let scale = 1.0 / (cfg.latent_dim as f32).sqrt();
+    // Modality-specific projections of the latent space.
+    let a_img = normal(rng, cfg.latent_dim, sig_dim, scale);
+    let a_txt = normal(rng, cfg.latent_dim, cfg.text_dim, scale);
+
+    let mut texts = Matrix::zeros(cfg.entities, cfg.text_dim);
+    let mut stacks: Vec<Matrix> = Vec::with_capacity(cfg.entities);
+
+    for e in 0..cfg.entities {
+        let z = world.latents.row(e);
+
+        // Text: projection + noise.
+        for (c, out) in texts.row_mut(e).iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (i, &zi) in z.iter().enumerate() {
+                acc += zi * a_txt.get(i, c);
+            }
+            *out = acc + gauss(rng, cfg.modality_noise);
+        }
+
+        // Images: signal block + background block, with duplicates.
+        let mut stack = Matrix::zeros(cfg.images_per_entity, cfg.image_dim);
+        for k in 0..cfg.images_per_entity {
+            if k > 0 && rng.gen_bool(cfg.image_dup_prob) {
+                // near-duplicate of a random earlier image
+                let src = rng.gen_range(0..k);
+                let prev: Vec<f32> = stack.row(src).to_vec();
+                for (v, p) in stack.row_mut(k).iter_mut().zip(prev) {
+                    *v = p + gauss(rng, 0.05);
+                }
+                continue;
+            }
+            for c in 0..sig_dim {
+                let mut acc = 0.0f32;
+                for (i, &zi) in z.iter().enumerate() {
+                    acc += zi * a_img.get(i, c);
+                }
+                stack.set(k, c, acc + gauss(rng, cfg.modality_noise));
+            }
+            for c in sig_dim..cfg.image_dim {
+                // pure-noise background dims, shared scale across entities
+                stack.set(k, c, gauss(rng, 1.0));
+            }
+        }
+        stacks.push(stack);
+    }
+    ModalBank::new(stacks, texts)
+}
+
+/// Cheap Gaussian sample (Irwin–Hall approximation, matches `init::normal`).
+fn gauss(rng: &mut StdRng, std: f32) -> f32 {
+    let s: f32 = (0..12).map(|_| rng.gen_range(0.0..1.0f32)).sum::<f32>() - 6.0;
+    s * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::sample_latents;
+    use mmkgr_kg::EntityId;
+    use mmkgr_tensor::init::seeded_rng;
+
+    fn world_and_bank() -> (GenConfig, LatentWorld, ModalBank) {
+        let cfg = GenConfig::tiny();
+        let mut rng = seeded_rng(cfg.seed);
+        let world = sample_latents(&cfg, &mut rng);
+        let bank = generate_modalities(&cfg, &world, &mut rng);
+        (cfg, world, bank)
+    }
+
+    #[test]
+    fn bank_shapes_match_config() {
+        let (cfg, _, bank) = world_and_bank();
+        assert_eq!(bank.num_entities(), cfg.entities);
+        assert_eq!(bank.image_dim(), cfg.image_dim);
+        assert_eq!(bank.text_dim(), cfg.text_dim);
+        assert_eq!(bank.image_count(EntityId(0)), cfg.images_per_entity);
+        assert_eq!(bank.total_images(), cfg.entities * cfg.images_per_entity);
+    }
+
+    #[test]
+    fn same_cluster_entities_have_similar_signal() {
+        // modality signal is a projection of latents, so same-cluster
+        // entities should be closer in *signal* dims than cross-cluster.
+        let (cfg, world, bank) = world_and_bank();
+        let sig = cfg.image_dim - cfg.image_bg_dim;
+        let dist = |a: usize, b: usize| -> f32 {
+            bank.mean_image(EntityId(a as u32))[..sig]
+                .iter()
+                .zip(&bank.mean_image(EntityId(b as u32))[..sig])
+                .map(|(x, y)| (x - y).powi(2))
+                .sum()
+        };
+        // average same-cluster vs cross-cluster distance over many pairs
+        let mut same = (0.0f32, 0usize);
+        let mut cross = (0.0f32, 0usize);
+        for a in 0..cfg.entities {
+            for b in (a + 1)..cfg.entities {
+                let d = dist(a, b);
+                if world.cluster_of[a] == world.cluster_of[b] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        let same_avg = same.0 / same.1 as f32;
+        let cross_avg = cross.0 / cross.1 as f32;
+        assert!(
+            same_avg < cross_avg,
+            "signal dims must reflect cluster structure: same {same_avg} !< cross {cross_avg}"
+        );
+    }
+
+    #[test]
+    fn text_and_image_are_different_views() {
+        let (_, _, bank) = world_and_bank();
+        // Not literally equal projections: text ≠ image signal for entity 0.
+        let t = bank.text(EntityId(0));
+        let i = bank.mean_image(EntityId(0));
+        assert_ne!(&t[..4], &i[..4]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GenConfig::tiny();
+        let run = || {
+            let mut rng = seeded_rng(cfg.seed);
+            let world = sample_latents(&cfg, &mut rng);
+            generate_modalities(&cfg, &world, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.mean_image(EntityId(5)), b.mean_image(EntityId(5)));
+        assert_eq!(a.text(EntityId(5)), b.text(EntityId(5)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Entity latents and the relation schema with planted compositions.
+
+use mmkgr_tensor::init::normal;
+use mmkgr_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::GenConfig;
+
+/// Latent world model: every entity has a semantic vector near one of
+/// `clusters` centroids. Modality features and relation structure are both
+/// derived from these latents, which is what gives the modalities genuine
+/// (but noisy) signal about graph structure — the property MMKGR exploits.
+pub struct LatentWorld {
+    pub latents: Matrix,
+    pub cluster_of: Vec<usize>,
+    pub centroids: Matrix,
+}
+
+pub fn sample_latents(cfg: &GenConfig, rng: &mut StdRng) -> LatentWorld {
+    let centroids = normal(rng, cfg.clusters, cfg.latent_dim, 1.0);
+    let mut cluster_of = Vec::with_capacity(cfg.entities);
+    let mut latents = Matrix::zeros(cfg.entities, cfg.latent_dim);
+    for e in 0..cfg.entities {
+        let c = rng.gen_range(0..cfg.clusters);
+        cluster_of.push(c);
+        let noise = normal(rng, 1, cfg.latent_dim, 0.3);
+        for (i, v) in latents.row_mut(e).iter_mut().enumerate() {
+            *v = centroids.get(c, i) + noise.get(0, i);
+        }
+    }
+    LatentWorld { latents, cluster_of, centroids }
+}
+
+/// How a single relation behaves in the latent world.
+#[derive(Clone, Debug)]
+pub struct RelationSchema {
+    /// Source entities come from this cluster.
+    pub src_cluster: usize,
+    /// Target entities come from this cluster.
+    pub tgt_cluster: usize,
+    /// TransE-style translation vector in latent space.
+    pub offset: Vec<f32>,
+    /// If `Some((r1, r2))`, this relation is (approximately) the
+    /// composition `r1 ∘ r2` — the planted multi-hop rule.
+    pub composed_of: Option<(usize, usize)>,
+    /// Average out-fanout per participating source entity.
+    pub fanout: usize,
+}
+
+/// Build schemas for all base relations. The first
+/// `(1 - composed_frac) * R` relations are atomic; the rest are
+/// compositions of two atomic relations with chainable clusters.
+pub fn build_schema(cfg: &GenConfig, world: &LatentWorld, rng: &mut StdRng) -> Vec<RelationSchema> {
+    let total = cfg.base_relations;
+    let num_composed = ((total as f64) * cfg.composed_frac).round() as usize;
+    let num_atomic = total - num_composed;
+    assert!(num_atomic >= 2, "need at least two atomic relations to compose");
+
+    // Rough per-relation quota so the expected triple count matches cfg.
+    let quota = (cfg.train_triples as f64 / (1.0 - cfg.valid_frac - cfg.test_frac)
+        / total as f64)
+        .ceil() as usize;
+
+    let mut schemas: Vec<RelationSchema> = Vec::with_capacity(total);
+    for _ in 0..num_atomic {
+        let src = rng.gen_range(0..cfg.clusters);
+        let tgt = rng.gen_range(0..cfg.clusters);
+        let offset: Vec<f32> = (0..cfg.latent_dim)
+            .map(|i| world.centroids.get(tgt, i) - world.centroids.get(src, i)
+                + rng.gen_range(-0.2..0.2))
+            .collect();
+        schemas.push(RelationSchema {
+            src_cluster: src,
+            tgt_cluster: tgt,
+            offset,
+            composed_of: None,
+            fanout: rng.gen_range(1..=3),
+        });
+        let _ = quota;
+    }
+    for _ in 0..num_composed {
+        // Find a chainable pair r1: A→B, r2: B→C.
+        let mut r1 = rng.gen_range(0..num_atomic);
+        let mut r2 = rng.gen_range(0..num_atomic);
+        let mut tries = 0;
+        while schemas[r1].tgt_cluster != schemas[r2].src_cluster && tries < 200 {
+            r1 = rng.gen_range(0..num_atomic);
+            r2 = rng.gen_range(0..num_atomic);
+            tries += 1;
+        }
+        if schemas[r1].tgt_cluster != schemas[r2].src_cluster {
+            // No chainable pair — force-chain r2 after r1.
+            r2 = (0..num_atomic)
+                .min_by_key(|&j| {
+                    (schemas[j].src_cluster as i64 - schemas[r1].tgt_cluster as i64).abs()
+                })
+                .unwrap();
+        }
+        let offset: Vec<f32> = (0..cfg.latent_dim)
+            .map(|i| schemas[r1].offset[i] + schemas[r2].offset[i])
+            .collect();
+        schemas.push(RelationSchema {
+            src_cluster: schemas[r1].src_cluster,
+            tgt_cluster: schemas[r2].tgt_cluster,
+            offset,
+            composed_of: Some((r1, r2)),
+            fanout: 1,
+        });
+    }
+    schemas
+}
+
+/// Squared Euclidean distance between `z_s + offset` and `z_o` — the
+/// compatibility score that decides which pairs become triples.
+pub fn translate_score(latents: &Matrix, s: usize, offset: &[f32], o: usize) -> f32 {
+    let zs = latents.row(s);
+    let zo = latents.row(o);
+    let mut d = 0.0f32;
+    for i in 0..offset.len() {
+        let diff = zs[i] + offset[i] - zo[i];
+        d += diff * diff;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::init::seeded_rng;
+
+    #[test]
+    fn latents_cluster_near_centroids() {
+        let cfg = GenConfig::tiny();
+        let mut rng = seeded_rng(1);
+        let w = sample_latents(&cfg, &mut rng);
+        assert_eq!(w.latents.rows(), cfg.entities);
+        for e in 0..cfg.entities {
+            let c = w.cluster_of[e];
+            let d: f32 = w
+                .latents
+                .row(e)
+                .iter()
+                .zip(w.centroids.row(c))
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            // noise std 0.3 over 8 dims → E[d] ≈ 0.72; 6σ bound
+            assert!(d < 8.0, "entity {e} too far from its centroid: {d}");
+        }
+    }
+
+    #[test]
+    fn schema_has_requested_compositions() {
+        let cfg = GenConfig::tiny();
+        let mut rng = seeded_rng(2);
+        let w = sample_latents(&cfg, &mut rng);
+        let schemas = build_schema(&cfg, &w, &mut rng);
+        assert_eq!(schemas.len(), cfg.base_relations);
+        let composed = schemas.iter().filter(|s| s.composed_of.is_some()).count();
+        assert_eq!(composed, 2); // 0.34 * 6 rounds to 2
+        for s in &schemas {
+            if let Some((r1, r2)) = s.composed_of {
+                // composed offset = sum of parents
+                for i in 0..cfg.latent_dim {
+                    let want = schemas[r1].offset[i] + schemas[r2].offset[i];
+                    assert!((s.offset[i] - want).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translate_score_zero_for_exact_translation() {
+        let latents = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 2.0]);
+        let offset = vec![1.0, 2.0];
+        assert_eq!(translate_score(&latents, 0, &offset, 1), 0.0);
+        assert!(translate_score(&latents, 1, &offset, 0) > 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests on the synthetic MKG generator — the invariants
+//! every experiment's dataset rests on.
+
+use std::collections::HashSet;
+
+use mmkgr_datagen::{generate, GenConfig};
+use proptest::prelude::*;
+
+fn small_cfg(entities: usize, relations: usize, triples: usize, seed: u64) -> GenConfig {
+    let mut c = GenConfig::tiny();
+    c.entities = entities;
+    c.base_relations = relations;
+    c.train_triples = triples;
+    c.seed = seed;
+    c
+}
+
+proptest! {
+    // Generation is expensive relative to unit tests; a handful of cases
+    // per property is enough to cover the parameter space.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every triple references a valid entity and a valid base relation,
+    /// in all three splits.
+    #[test]
+    fn triples_reference_valid_ids(
+        entities in 40usize..120,
+        relations in 4usize..10,
+        triples in 150usize..400,
+        seed in 0u64..1000,
+    ) {
+        let kg = generate(&small_cfg(entities, relations, triples, seed));
+        let n = kg.num_entities() as u32;
+        let r = kg.num_base_relations() as u32;
+        for split in [&kg.split.train, &kg.split.valid, &kg.split.test] {
+            for t in split {
+                prop_assert!(t.s.0 < n);
+                prop_assert!(t.o.0 < n);
+                prop_assert!(t.r.0 < r, "split triples use base relations only");
+            }
+        }
+    }
+
+    /// The three splits are pairwise disjoint — no leakage of evaluation
+    /// facts into training.
+    #[test]
+    fn splits_are_disjoint(seed in 0u64..1000) {
+        let kg = generate(&small_cfg(80, 6, 300, seed));
+        let as_set = |ts: &[mmkgr_kg::Triple]| -> HashSet<(u32, u32, u32)> {
+            ts.iter().map(|t| (t.s.0, t.r.0, t.o.0)).collect()
+        };
+        let train = as_set(&kg.split.train);
+        let valid = as_set(&kg.split.valid);
+        let test = as_set(&kg.split.test);
+        prop_assert!(train.is_disjoint(&valid));
+        prop_assert!(train.is_disjoint(&test));
+        prop_assert!(valid.is_disjoint(&test));
+    }
+
+    /// The modality bank covers every entity with consistent dimensions
+    /// and at least one image.
+    #[test]
+    fn modal_bank_is_complete(seed in 0u64..1000) {
+        let cfg = small_cfg(60, 5, 250, seed);
+        let kg = generate(&cfg);
+        prop_assert_eq!(kg.modal.num_entities(), kg.num_entities());
+        prop_assert_eq!(kg.modal.text_dim(), cfg.text_dim);
+        prop_assert_eq!(kg.modal.image_dim(), cfg.image_dim);
+        for e in 0..kg.num_entities() {
+            let e = mmkgr_kg::EntityId(e as u32);
+            prop_assert!(kg.modal.image_count(e) >= 1);
+            prop_assert_eq!(kg.modal.text(e).len(), cfg.text_dim);
+            prop_assert_eq!(kg.modal.mean_image(e).len(), cfg.image_dim);
+            for v in kg.modal.text(e) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    /// Same config → identical dataset; different seed → different data
+    /// (determinism is what makes CLI checkpoints portable).
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let a = generate(&small_cfg(60, 5, 250, seed));
+        let b = generate(&small_cfg(60, 5, 250, seed));
+        prop_assert_eq!(&a.split.train, &b.split.train);
+        prop_assert_eq!(&a.split.test, &b.split.test);
+        let c = generate(&small_cfg(60, 5, 250, seed ^ 0xFFFF_FFFF));
+        prop_assert_ne!(&a.split.train, &c.split.train);
+    }
+
+    /// The walker graph respects the configured out-degree cap.
+    #[test]
+    fn out_degree_is_capped(seed in 0u64..500) {
+        let mut cfg = small_cfg(60, 5, 400, seed);
+        cfg.max_out_degree = 12;
+        let kg = generate(&cfg);
+        for e in 0..kg.num_entities() {
+            prop_assert!(
+                kg.graph.out_degree(mmkgr_kg::EntityId(e as u32)) <= 12,
+                "degree cap violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn test_facts_are_mostly_multihop_reachable() {
+    // The generator's purpose: held-out facts should be provable by
+    // alternative paths (≤ 4 hops) rather than memorizable — otherwise
+    // multi-hop reasoning models have nothing to find. Plain BFS that
+    // skips the direct gold edge (the training protocol's masking).
+    use std::collections::VecDeque;
+    let kg = generate(&GenConfig::tiny());
+    let reach = |t: &mmkgr_kg::Triple| -> bool {
+        let mut seen = vec![false; kg.num_entities()];
+        seen[t.s.index()] = true;
+        let mut frontier = VecDeque::from([(t.s, 0usize)]);
+        while let Some((cur, d)) = frontier.pop_front() {
+            if d >= 4 {
+                continue;
+            }
+            for e in kg.graph.neighbors(cur) {
+                if cur == t.s && e.relation == t.r && e.target == t.o {
+                    continue; // masked gold edge
+                }
+                if seen[e.target.index()] {
+                    continue;
+                }
+                if e.target == t.o {
+                    return true;
+                }
+                seen[e.target.index()] = true;
+                frontier.push_back((e.target, d + 1));
+            }
+        }
+        false
+    };
+    let reachable = kg.split.test.iter().filter(|t| reach(t)).count();
+    let frac = reachable as f64 / kg.split.test.len().max(1) as f64;
+    assert!(frac > 0.6, "only {frac:.2} of test facts reachable within 4 hops");
+}

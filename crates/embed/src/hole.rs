@@ -1,0 +1,206 @@
+//! HolE (Nickel et al., AAAI 2016): holographic embeddings scoring triples
+//! with the circular correlation of subject and object,
+//! `score = r · (s ⋆ o)` where `(s ⋆ o)_k = Σ_j s_j o_{(j+k) mod d}`.
+//!
+//! Circular correlation compresses the full `d×d` interaction of RESCAL
+//! into `d` dimensions while staying non-commutative, so HolE can model
+//! asymmetric relations at TransE-like parameter cost. Listed in the
+//! paper's Table I among the traditional single-hop baselines.
+
+use mmkgr_kg::{EntityId, RelationId, Triple, TripleSet};
+use mmkgr_nn::{Adam, Ctx, Embedding, Params};
+use mmkgr_tensor::init::seeded_rng;
+use mmkgr_tensor::{Tape, Var};
+
+use crate::negative::NegativeSampler;
+use crate::scorer::TripleScorer;
+use crate::trainer::{batch_indices, KgeTrainConfig};
+
+pub struct Hole {
+    pub params: Params,
+    pub entities: Embedding,
+    pub relations: Embedding,
+    pub dim: usize,
+}
+
+/// Reference circular correlation `(s ⋆ o)_k = Σ_j s_j o_{(j+k) mod d}`.
+/// O(d²); public so tests and the bench suite can cross-check the tape
+/// formulation against the textbook definition.
+pub fn circular_correlation(s: &[f32], o: &[f32]) -> Vec<f32> {
+    let d = s.len();
+    assert_eq!(d, o.len());
+    let mut c = vec![0.0f32; d];
+    for (k, ck) in c.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for j in 0..d {
+            acc += s[j] * o[(j + k) % d];
+        }
+        *ck = acc;
+    }
+    c
+}
+
+impl Hole {
+    pub fn new(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(seed);
+        let entities = Embedding::new(&mut params, &mut rng, "hole.ent", num_entities, dim);
+        let relations = Embedding::new(&mut params, &mut rng, "hole.rel", num_relations, dim);
+        Hole { params, entities, relations, dim }
+    }
+
+    /// Batch scores `B×1`. The correlation is unrolled over the shift `k`:
+    /// `score = Σ_k r_k · Σ_j s_j o_{(j+k) mod d}`, with the inner rotation
+    /// expressed as a column-slice + concat (a differentiable "roll").
+    fn batch_score(&self, ctx: &Ctx<'_>, triples: &[&Triple]) -> Var {
+        let t = ctx.tape;
+        let d = self.dim;
+        let s_idx: Vec<usize> = triples.iter().map(|x| x.s.index()).collect();
+        let r_idx: Vec<usize> = triples.iter().map(|x| x.r.index()).collect();
+        let o_idx: Vec<usize> = triples.iter().map(|x| x.o.index()).collect();
+        let s = self.entities.forward(ctx, &s_idx);
+        let r = self.relations.forward(ctx, &r_idx);
+        let o = self.entities.forward(ctx, &o_idx);
+        let mut acc: Option<Var> = None;
+        for k in 0..d {
+            let rolled = if k == 0 {
+                o
+            } else {
+                t.concat_cols(t.slice_cols(o, k, d), t.slice_cols(o, 0, k))
+            };
+            let inner = t.sum_rows(t.mul(s, rolled)); // B×1 = (s ⋆ o)_k
+            let r_k = t.slice_cols(r, k, k + 1);
+            let term = t.mul(r_k, inner);
+            acc = Some(match acc {
+                None => term,
+                Some(p) => t.add(p, term),
+            });
+        }
+        acc.expect("dim must be > 0")
+    }
+
+    /// Margin-ranking training on score gaps (higher = more plausible).
+    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+        let mut rng = seeded_rng(cfg.seed);
+        let sampler = NegativeSampler::new(known, self.entities.count);
+        let mut opt = Adam::new(cfg.lr);
+        let mut trace = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
+                let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
+                let negs: Vec<Triple> =
+                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let neg_refs: Vec<&Triple> = negs.iter().collect();
+
+                let tape = Tape::new();
+                let ctx = Ctx::new(&tape, &self.params);
+                let pos_s = self.batch_score(&ctx, &pos);
+                let neg_s = self.batch_score(&ctx, &neg_refs);
+                let gap = tape.sub(neg_s, pos_s);
+                let hinge = tape.relu(tape.add_scalar(gap, cfg.margin));
+                let loss = tape.mean(hinge);
+                epoch_loss += tape.scalar(loss);
+                batches += 1;
+                let grads = tape.backward(loss);
+                ctx.into_leases().accumulate(&mut self.params, &grads);
+                opt.step(&mut self.params);
+                self.params.zero_grads();
+            }
+            trace.push(epoch_loss / batches.max(1) as f32);
+        }
+        trace
+    }
+
+    /// `q_m = Σ_k r_k s_{(m−k) mod d}` (circular convolution of `r` and
+    /// `s`), so that `score(s,r,o) = q · o` — one O(d²) precompute shared
+    /// by every candidate object.
+    fn query_vector(&self, s: EntityId, r: RelationId) -> Vec<f32> {
+        let es = self.entities.row(&self.params, s.index());
+        let er = self.relations.row(&self.params, r.index());
+        let d = self.dim;
+        let mut q = vec![0.0f32; d];
+        for k in 0..d {
+            let rk = er[k];
+            for j in 0..d {
+                q[(j + k) % d] += rk * es[j];
+            }
+        }
+        q
+    }
+}
+
+impl TripleScorer for Hole {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        let q = self.query_vector(s, r);
+        let eo = self.entities.row(&self.params, o.index());
+        q.iter().zip(eo).map(|(a, b)| a * b).sum()
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        let q = self.query_vector(s, r);
+        let table = self.params.value(self.entities.table);
+        out.clear();
+        out.reserve(n);
+        for o in 0..n {
+            let row = table.row(o);
+            out.push(q.iter().zip(row).map(|(a, b)| a * b).sum());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_matches_textbook_correlation() {
+        let model = Hole::new(4, 2, 8, 9);
+        let s = model.entities.row(&model.params, 1).to_vec();
+        let o = model.entities.row(&model.params, 2).to_vec();
+        let r = model.relations.row(&model.params, 0).to_vec();
+        let corr = circular_correlation(&s, &o);
+        let want: f32 = r.iter().zip(&corr).map(|(a, b)| a * b).sum();
+        let got = model.score(EntityId(1), RelationId(0), EntityId(2));
+        assert!((got - want).abs() < 1e-4, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn correlation_is_non_commutative() {
+        // Avoid reversed/palindromic pairs: for those, correlation *is*
+        // symmetric, which is exactly why the values matter here.
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let o = vec![1.0, 3.0, 2.0, 5.0];
+        assert_ne!(circular_correlation(&s, &o), circular_correlation(&o, &s));
+    }
+
+    #[test]
+    fn training_separates_pos_from_neg() {
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)];
+        let known = TripleSet::from_triples(&triples);
+        let mut model = Hole::new(4, 1, 8, 0);
+        model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(80));
+        let pos = model.score(EntityId(0), RelationId(0), EntityId(1));
+        let neg = model.score(EntityId(0), RelationId(0), EntityId(2));
+        assert!(pos > neg, "pos {pos} !> neg {neg}");
+    }
+
+    #[test]
+    fn vectorized_matches_pointwise() {
+        let model = Hole::new(6, 2, 8, 5);
+        let mut out = Vec::new();
+        model.score_all_objects(EntityId(2), RelationId(1), 6, &mut out);
+        for (o, &v) in out.iter().enumerate() {
+            assert!((v - model.score(EntityId(2), RelationId(1), EntityId(o as u32))).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn asymmetric_scores_at_init() {
+        let model = Hole::new(4, 1, 8, 3);
+        let a = model.score(EntityId(0), RelationId(0), EntityId(1));
+        let b = model.score(EntityId(1), RelationId(0), EntityId(0));
+        assert!((a - b).abs() > 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! `mmkgr-embed` — single-hop knowledge-graph embedding models.
+//!
+//! These play three roles in the MMKGR reproduction:
+//!
+//! 1. **[`TransE`]** initializes the structural features MMKGR's feature
+//!    extraction consumes (paper §IV-B1).
+//! 2. **[`ConvE`]** is the score function inside the destination reward's
+//!    shaping term (paper Eq. 13).
+//! 3. The remaining models are the single-hop baselines of the paper's
+//!    Table I: traditional structural models ([`DistMult`], [`ComplEx`],
+//!    [`Rescal`], [`Hole`], [`TransD`]) and multi-modal single-hop models
+//!    ([`Ikrl`], [`TransAe`], [`Mtrl`] — MTRL being the strongest one the
+//!    paper evaluates against). The `table1_kge` bench binary re-checks
+//!    the §II-C claim that the multi-modal single-hop family beats the
+//!    structural-only family on MKGs.
+//!
+//! All models implement [`TripleScorer`] (higher score = more plausible).
+
+pub mod complex;
+pub mod conve;
+pub mod distmult;
+pub mod hole;
+pub mod ikrl;
+pub mod mtrl;
+pub mod negative;
+pub mod rescal;
+pub mod scorer;
+pub mod trainer;
+pub mod transae;
+pub mod transd;
+pub mod transe;
+
+pub use complex::ComplEx;
+pub use conve::ConvE;
+pub use distmult::DistMult;
+pub use hole::Hole;
+pub use ikrl::Ikrl;
+pub use mtrl::Mtrl;
+pub use negative::{BernoulliSampler, NegativeSampler};
+pub use rescal::Rescal;
+pub use scorer::TripleScorer;
+pub use trainer::KgeTrainConfig;
+pub use transae::TransAe;
+pub use transd::TransD;
+pub use transe::TransE;

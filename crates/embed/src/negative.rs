@@ -1,0 +1,217 @@
+//! Uniform negative sampling with known-positive rejection.
+
+use mmkgr_kg::{Triple, TripleSet};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Corrupts heads or tails of positive triples, rejecting corruptions that
+/// are themselves known facts (the "filtered" negative protocol TransE-
+/// family training uses to avoid false negatives).
+pub struct NegativeSampler<'a> {
+    known: &'a TripleSet,
+    num_entities: usize,
+}
+
+impl<'a> NegativeSampler<'a> {
+    pub fn new(known: &'a TripleSet, num_entities: usize) -> Self {
+        assert!(num_entities > 1, "need ≥2 entities to corrupt");
+        NegativeSampler { known, num_entities }
+    }
+
+    /// One corruption of `t`: flips a fair coin between head and tail.
+    /// Falls back to an unchecked corruption after a bounded number of
+    /// rejections (dense graphs could otherwise loop).
+    pub fn corrupt(&self, t: &Triple, rng: &mut StdRng) -> Triple {
+        for _ in 0..32 {
+            let e = rng.gen_range(0..self.num_entities) as u32;
+            let cand = if rng.gen_bool(0.5) {
+                if e == t.s.0 {
+                    continue;
+                }
+                Triple { s: mmkgr_kg::EntityId(e), r: t.r, o: t.o }
+            } else {
+                if e == t.o.0 {
+                    continue;
+                }
+                Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+            };
+            if cand.s != cand.o && !self.known.contains_triple(&cand) {
+                return cand;
+            }
+        }
+        // Bounded fallback: force a tail flip to the next entity id.
+        let e = (t.o.0 + 1) % self.num_entities as u32;
+        Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+    }
+
+    /// `k` corruptions of `t`.
+    pub fn corrupt_many(&self, t: &Triple, k: usize, rng: &mut StdRng) -> Vec<Triple> {
+        (0..k).map(|_| self.corrupt(t, rng)).collect()
+    }
+}
+
+/// Bernoulli negative sampling (Wang et al., TransH 2014): per relation,
+/// heads are corrupted with probability `tph / (tph + hpt)` (tails
+/// otherwise), where `tph`/`hpt` are the relation's mean tails-per-head /
+/// heads-per-tail. 1-to-N relations then mostly corrupt the head and
+/// N-to-1 the tail, which lowers the false-negative rate uniform
+/// sampling suffers on skewed relations.
+pub struct BernoulliSampler<'a> {
+    known: &'a TripleSet,
+    num_entities: usize,
+    /// `P(corrupt head)` per relation id.
+    head_prob: Vec<f64>,
+}
+
+impl<'a> BernoulliSampler<'a> {
+    /// Build the per-relation statistics from the training triples.
+    pub fn new(known: &'a TripleSet, num_entities: usize, train: &[Triple]) -> Self {
+        assert!(num_entities > 1, "need ≥2 entities to corrupt");
+        use std::collections::HashMap;
+        let mut heads_of: HashMap<(u32, u32), usize> = HashMap::new(); // (r, o) → #heads
+        let mut tails_of: HashMap<(u32, u32), usize> = HashMap::new(); // (r, s) → #tails
+        let mut max_rel = 0u32;
+        for t in train {
+            *heads_of.entry((t.r.0, t.o.0)).or_insert(0) += 1;
+            *tails_of.entry((t.r.0, t.s.0)).or_insert(0) += 1;
+            max_rel = max_rel.max(t.r.0);
+        }
+        let mut tph_sum = vec![0.0f64; max_rel as usize + 1];
+        let mut tph_n = vec![0usize; max_rel as usize + 1];
+        for ((r, _), &n) in &tails_of {
+            tph_sum[*r as usize] += n as f64;
+            tph_n[*r as usize] += 1;
+        }
+        let mut hpt_sum = vec![0.0f64; max_rel as usize + 1];
+        let mut hpt_n = vec![0usize; max_rel as usize + 1];
+        for ((r, _), &n) in &heads_of {
+            hpt_sum[*r as usize] += n as f64;
+            hpt_n[*r as usize] += 1;
+        }
+        let head_prob = (0..=max_rel as usize)
+            .map(|r| {
+                let tph = if tph_n[r] > 0 { tph_sum[r] / tph_n[r] as f64 } else { 1.0 };
+                let hpt = if hpt_n[r] > 0 { hpt_sum[r] / hpt_n[r] as f64 } else { 1.0 };
+                tph / (tph + hpt)
+            })
+            .collect();
+        BernoulliSampler { known, num_entities, head_prob }
+    }
+
+    /// `P(corrupt head)` for a relation (0.5 for unseen relations).
+    pub fn head_probability(&self, r: mmkgr_kg::RelationId) -> f64 {
+        self.head_prob.get(r.index()).copied().unwrap_or(0.5)
+    }
+
+    /// One corruption of `t`, side chosen by the relation's Bernoulli
+    /// probability; filtered against known positives like the uniform
+    /// sampler.
+    pub fn corrupt(&self, t: &Triple, rng: &mut StdRng) -> Triple {
+        let p_head = self.head_probability(t.r);
+        for _ in 0..32 {
+            let e = rng.gen_range(0..self.num_entities) as u32;
+            let cand = if rng.gen_bool(p_head.clamp(0.01, 0.99)) {
+                if e == t.s.0 {
+                    continue;
+                }
+                Triple { s: mmkgr_kg::EntityId(e), r: t.r, o: t.o }
+            } else {
+                if e == t.o.0 {
+                    continue;
+                }
+                Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+            };
+            if cand.s != cand.o && !self.known.contains_triple(&cand) {
+                return cand;
+            }
+        }
+        let e = (t.o.0 + 1) % self.num_entities as u32;
+        Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::init::seeded_rng;
+
+    #[test]
+    fn corruptions_avoid_known_positives() {
+        let positives = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2), Triple::new(0, 0, 3)];
+        let known = TripleSet::from_triples(&positives);
+        let sampler = NegativeSampler::new(&known, 10);
+        let mut rng = seeded_rng(0);
+        for _ in 0..100 {
+            let neg = sampler.corrupt(&positives[0], &mut rng);
+            assert!(!known.contains_triple(&neg), "sampled a known positive: {neg}");
+        }
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_slot() {
+        let t = Triple::new(4, 1, 7);
+        let known = TripleSet::new();
+        let sampler = NegativeSampler::new(&known, 20);
+        let mut rng = seeded_rng(1);
+        for _ in 0..50 {
+            let neg = sampler.corrupt(&t, &mut rng);
+            assert_eq!(neg.r, t.r);
+            let head_changed = neg.s != t.s;
+            let tail_changed = neg.o != t.o;
+            assert!(head_changed ^ tail_changed, "exactly one side must change");
+        }
+    }
+
+    #[test]
+    fn corrupt_many_count() {
+        let known = TripleSet::new();
+        let sampler = NegativeSampler::new(&known, 5);
+        let mut rng = seeded_rng(2);
+        assert_eq!(sampler.corrupt_many(&Triple::new(0, 0, 1), 7, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn bernoulli_prefers_head_corruption_for_one_to_many() {
+        // r0 is 1-to-N: one head (0) with many tails → tph high, hpt = 1
+        // → corrupting the head is the safer negative.
+        let train: Vec<Triple> =
+            (1..9).map(|o| Triple::new(0, 0, o)).collect();
+        let known = TripleSet::from_triples(&train);
+        let sampler = BernoulliSampler::new(&known, 20, &train);
+        let p = sampler.head_probability(mmkgr_kg::RelationId(0));
+        assert!(p > 0.8, "1-to-N relation should mostly corrupt heads, p = {p}");
+        let mut rng = seeded_rng(3);
+        let mut head_flips = 0;
+        for _ in 0..200 {
+            let neg = sampler.corrupt(&train[0], &mut rng);
+            assert!(!known.contains_triple(&neg));
+            if neg.s != train[0].s {
+                head_flips += 1;
+            }
+        }
+        assert!(head_flips > 140, "observed {head_flips}/200 head flips");
+    }
+
+    #[test]
+    fn bernoulli_prefers_tail_corruption_for_many_to_one() {
+        // r0 is N-to-1: many heads share one tail.
+        let train: Vec<Triple> =
+            (1..9).map(|s| Triple::new(s, 0, 0)).collect();
+        let known = TripleSet::from_triples(&train);
+        let sampler = BernoulliSampler::new(&known, 20, &train);
+        let p = sampler.head_probability(mmkgr_kg::RelationId(0));
+        assert!(p < 0.2, "N-to-1 relation should mostly corrupt tails, p = {p}");
+    }
+
+    #[test]
+    fn bernoulli_balanced_for_one_to_one() {
+        let train: Vec<Triple> =
+            (0..8).map(|i| Triple::new(2 * i, 0, 2 * i + 1)).collect();
+        let known = TripleSet::from_triples(&train);
+        let sampler = BernoulliSampler::new(&known, 40, &train);
+        let p = sampler.head_probability(mmkgr_kg::RelationId(0));
+        assert!((p - 0.5).abs() < 0.1, "1-to-1 relation should be balanced, p = {p}");
+        // unseen relation defaults to a fair coin
+        assert_eq!(sampler.head_probability(mmkgr_kg::RelationId(99)), 0.5);
+    }
+}

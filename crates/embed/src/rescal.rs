@@ -1,0 +1,190 @@
+//! RESCAL (Nickel et al., ICML 2011): full-bilinear scoring `e_sᵀ W_r e_o`
+//! with one dense `d×d` interaction matrix per relation.
+//!
+//! Listed in the paper's Table I among the traditional single-hop models
+//! that MKG-aware models (TransAE, MTRL) were shown to beat; the
+//! `table1_kge` bench binary checks exactly that ordering.
+
+use mmkgr_kg::{EntityId, RelationId, Triple, TripleSet};
+use mmkgr_nn::{Adam, Ctx, Embedding, Params};
+use mmkgr_tensor::init::seeded_rng;
+use mmkgr_tensor::{Tape, Var};
+
+use crate::negative::NegativeSampler;
+use crate::scorer::TripleScorer;
+use crate::trainer::{batch_indices, KgeTrainConfig};
+
+pub struct Rescal {
+    pub params: Params,
+    pub entities: Embedding,
+    /// Relation interaction matrices stored row-major as `R×d²`.
+    pub relations: Embedding,
+    pub dim: usize,
+}
+
+impl Rescal {
+    pub fn new(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(seed);
+        let entities = Embedding::new(&mut params, &mut rng, "rescal.ent", num_entities, dim);
+        let relations =
+            Embedding::new(&mut params, &mut rng, "rescal.rel", num_relations, dim * dim);
+        Rescal { params, entities, relations, dim }
+    }
+
+    /// Batch bilinear scores `B×1`. The per-row contraction
+    /// `Σ_a s_a (W_r o)_a` is unrolled over the first index so only
+    /// elementwise tape ops are needed (no batched matmul).
+    fn batch_score(&self, ctx: &Ctx<'_>, triples: &[&Triple]) -> Var {
+        let t = ctx.tape;
+        let d = self.dim;
+        let s_idx: Vec<usize> = triples.iter().map(|x| x.s.index()).collect();
+        let r_idx: Vec<usize> = triples.iter().map(|x| x.r.index()).collect();
+        let o_idx: Vec<usize> = triples.iter().map(|x| x.o.index()).collect();
+        let s = self.entities.forward(ctx, &s_idx); // B×d
+        let w = self.relations.forward(ctx, &r_idx); // B×d²
+        let o = self.entities.forward(ctx, &o_idx); // B×d
+        let mut acc: Option<Var> = None;
+        for a in 0..d {
+            let w_a = t.slice_cols(w, a * d, (a + 1) * d); // row a of each W_r
+            let inner = t.sum_rows(t.mul(w_a, o)); // B×1: (W_r o)_a
+            let s_a = t.slice_cols(s, a, a + 1); // B×1
+            let term = t.mul(s_a, inner);
+            acc = Some(match acc {
+                None => term,
+                Some(p) => t.add(p, term),
+            });
+        }
+        acc.expect("dim must be > 0")
+    }
+
+    /// Margin-ranking training on score gaps (higher = more plausible).
+    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+        let mut rng = seeded_rng(cfg.seed);
+        let sampler = NegativeSampler::new(known, self.entities.count);
+        let mut opt = Adam::new(cfg.lr);
+        let mut trace = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
+                let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
+                let negs: Vec<Triple> =
+                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let neg_refs: Vec<&Triple> = negs.iter().collect();
+
+                let tape = Tape::new();
+                let ctx = Ctx::new(&tape, &self.params);
+                let pos_s = self.batch_score(&ctx, &pos);
+                let neg_s = self.batch_score(&ctx, &neg_refs);
+                let gap = tape.sub(neg_s, pos_s);
+                let hinge = tape.relu(tape.add_scalar(gap, cfg.margin));
+                let loss = tape.mean(hinge);
+                epoch_loss += tape.scalar(loss);
+                batches += 1;
+                let grads = tape.backward(loss);
+                ctx.into_leases().accumulate(&mut self.params, &grads);
+                opt.step(&mut self.params);
+                self.params.zero_grads();
+            }
+            trace.push(epoch_loss / batches.max(1) as f32);
+        }
+        trace
+    }
+
+    /// `q = e_sᵀ W_r` — the length-`d` query vector shared by every
+    /// candidate object.
+    fn query_vector(&self, s: EntityId, r: RelationId) -> Vec<f32> {
+        let es = self.entities.row(&self.params, s.index());
+        let w = self.relations.row(&self.params, r.index());
+        let d = self.dim;
+        let mut q = vec![0.0f32; d];
+        for a in 0..d {
+            let sa = es[a];
+            let row = &w[a * d..(a + 1) * d];
+            for b in 0..d {
+                q[b] += sa * row[b];
+            }
+        }
+        q
+    }
+}
+
+impl TripleScorer for Rescal {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        let q = self.query_vector(s, r);
+        let eo = self.entities.row(&self.params, o.index());
+        q.iter().zip(eo).map(|(a, b)| a * b).sum()
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        let q = self.query_vector(s, r);
+        let table = self.params.value(self.entities.table);
+        out.clear();
+        out.reserve(n);
+        for o in 0..n {
+            let row = table.row(o);
+            out.push(q.iter().zip(row).map(|(a, b)| a * b).sum());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_separates_pos_from_neg() {
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)];
+        let known = TripleSet::from_triples(&triples);
+        let mut model = Rescal::new(4, 1, 8, 0);
+        model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(60));
+        let pos = model.score(EntityId(0), RelationId(0), EntityId(1));
+        let neg = model.score(EntityId(0), RelationId(0), EntityId(2));
+        assert!(pos > neg, "pos {pos} !> neg {neg}");
+    }
+
+    #[test]
+    fn vectorized_matches_pointwise() {
+        let model = Rescal::new(6, 2, 8, 5);
+        let mut out = Vec::new();
+        model.score_all_objects(EntityId(2), RelationId(1), 6, &mut out);
+        for (o, &v) in out.iter().enumerate() {
+            assert!((v - model.score(EntityId(2), RelationId(1), EntityId(o as u32))).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn full_bilinear_models_asymmetric_relations() {
+        // Unlike DistMult's diagonal W, RESCAL's dense W_r makes
+        // score(s,r,o) ≠ score(o,r,s) at random init.
+        let model = Rescal::new(4, 1, 8, 3);
+        let a = model.score(EntityId(0), RelationId(0), EntityId(1));
+        let b = model.score(EntityId(1), RelationId(0), EntityId(0));
+        assert!((a - b).abs() > 1e-9, "dense bilinear should be asymmetric");
+    }
+
+    #[test]
+    fn can_fit_an_antisymmetric_pattern() {
+        // 0→1 holds, 1→0 must not: diagonal models cannot represent this.
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)];
+        let known = TripleSet::from_triples(&triples);
+        let mut model = Rescal::new(4, 1, 8, 1);
+        model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(80));
+        let fwd = model.score(EntityId(0), RelationId(0), EntityId(1));
+        let rev = model.score(EntityId(1), RelationId(0), EntityId(0));
+        assert!(fwd > rev, "forward {fwd} !> reverse {rev}");
+    }
+
+    #[test]
+    fn query_vector_is_row_times_matrix() {
+        let model = Rescal::new(3, 1, 4, 7);
+        let q = model.query_vector(EntityId(1), RelationId(0));
+        let es = model.entities.row(&model.params, 1);
+        let w = model.relations.row(&model.params, 0);
+        for b in 0..4 {
+            let want: f32 = (0..4).map(|a| es[a] * w[a * 4 + b]).sum();
+            assert!((q[b] - want).abs() < 1e-6);
+        }
+    }
+}

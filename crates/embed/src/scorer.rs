@@ -1,0 +1,85 @@
+//! The scoring interface all single-hop KGE models implement.
+
+use mmkgr_kg::{EntityId, RelationId};
+
+/// Scores a candidate triple; **higher is more plausible**.
+///
+/// Distance-based models (TransE, MTRL) return negated distances so the
+/// convention is uniform across the crate.
+pub trait TripleScorer {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32;
+
+    /// Score `(s, r, o)` for every entity `o` in `0..n`. The default loops
+    /// over [`TripleScorer::score`]; models override with a vectorized path.
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(n);
+        for o in 0..n {
+            out.push(self.score(s, r, EntityId(o as u32)));
+        }
+    }
+
+    /// Plausibility probability via a sigmoid squash — the `l(e_s, r_q, e_T)`
+    /// shaping term of the paper's destination reward (Eq. 13).
+    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        let x = self.score(s, r, o);
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f32);
+    impl TripleScorer for Fixed {
+        fn score(&self, _: EntityId, _: RelationId, o: EntityId) -> f32 {
+            self.0 + o.0 as f32
+        }
+    }
+
+    #[test]
+    fn default_score_all_objects() {
+        let m = Fixed(1.0);
+        let mut out = Vec::new();
+        m.score_all_objects(EntityId(0), RelationId(0), 3, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn probability_is_sigmoid_of_score() {
+        let m = Fixed(0.0);
+        let p = m.probability(EntityId(0), RelationId(0), EntityId(0));
+        assert!((p - 0.5).abs() < 1e-6);
+        let p_hi = m.probability(EntityId(0), RelationId(0), EntityId(10));
+        assert!(p_hi > 0.99);
+    }
+}
+
+impl<T: TripleScorer> TripleScorer for std::sync::Arc<T> {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).score(s, r, o)
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        (**self).score_all_objects(s, r, n, out)
+    }
+
+    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).probability(s, r, o)
+    }
+}
+
+impl<T: TripleScorer + ?Sized> TripleScorer for &T {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).score(s, r, o)
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        (**self).score_all_objects(s, r, n, out)
+    }
+
+    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).probability(s, r, o)
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared training configuration for the single-hop KGE models.
+
+/// Hyper-parameters for embedding-model training.
+#[derive(Clone, Debug)]
+pub struct KgeTrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    /// Margin for ranking losses (TransE/DistMult/ComplEx/MTRL).
+    pub margin: f32,
+    pub seed: u64,
+}
+
+impl Default for KgeTrainConfig {
+    fn default() -> Self {
+        KgeTrainConfig { epochs: 30, batch_size: 256, lr: 1e-2, margin: 1.0, seed: 7 }
+    }
+}
+
+impl KgeTrainConfig {
+    pub fn quick() -> Self {
+        KgeTrainConfig { epochs: 8, batch_size: 128, ..Self::default() }
+    }
+
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Mini-batch iteration order helper: yields shuffled index windows.
+pub fn batch_indices(n: usize, batch: usize, rng: &mut rand::rngs::StdRng) -> Vec<Vec<usize>> {
+    use rand::seq::SliceRandom;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::init::seeded_rng;
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let mut rng = seeded_rng(0);
+        let batches = batch_indices(10, 3, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_respect_limit() {
+        let mut rng = seeded_rng(1);
+        for b in batch_indices(10, 4, &mut rng) {
+            assert!(b.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = KgeTrainConfig::default().with_epochs(3).with_lr(0.5).with_seed(9);
+        assert_eq!(c.epochs, 3);
+        assert_eq!(c.lr, 0.5);
+        assert_eq!(c.seed, 9);
+    }
+}

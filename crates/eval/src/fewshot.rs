@@ -1,0 +1,202 @@
+//! Few-shot relation evaluation — the paper's stated future work
+//! (§VI: "How to infer missing triplets over few-shot relations on MKGs,
+//! still awaits further exploration").
+//!
+//! This module does the exploration the paper defers: it buckets test
+//! triples by how many *training* triples their relation has, then
+//! evaluates any policy/scorer per bucket. The hypothesis the
+//! `ext_fewshot` bench checks is that multi-modal auxiliary features help
+//! *most* on rare relations (structure is sparse there, so modality
+//! signal carries relatively more of the decision), mirroring the
+//! motivation of few-shot KGR work (FIRE, Meta-KGR).
+
+use std::collections::HashMap;
+
+use mmkgr_core::RolloutPolicy;
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{KnowledgeGraph, RelationId, Triple, TripleSet};
+
+use crate::ranker::{eval_policy_entity, eval_scorer_entity, LinkPredictionResult};
+
+/// A frequency bucket: test triples whose relation has a training count
+/// in `[lo, hi]`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FrequencyBucket {
+    pub label: String,
+    pub lo: usize,
+    pub hi: usize,
+    /// Distinct relations falling in the bucket.
+    pub relations: usize,
+    /// Test triples falling in the bucket.
+    pub triples: usize,
+}
+
+/// Test triples partitioned by training-frequency of their relation.
+pub struct FewShotSplit {
+    pub buckets: Vec<FrequencyBucket>,
+    groups: Vec<Vec<Triple>>,
+}
+
+/// Count training triples per relation (base + inverse counted
+/// separately — queries are directional).
+pub fn relation_frequencies(train: &[Triple]) -> HashMap<RelationId, usize> {
+    let mut freq = HashMap::new();
+    for t in train {
+        *freq.entry(t.r).or_insert(0) += 1;
+    }
+    freq
+}
+
+impl FewShotSplit {
+    /// Partition `test` by the training frequency of each triple's
+    /// relation, using `boundaries` as inclusive upper edges (e.g.
+    /// `[5, 20, 100]` → buckets `≤5`, `6–20`, `21–100`, `>100`).
+    pub fn new(train: &[Triple], test: &[Triple], boundaries: &[usize]) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        let freq = relation_frequencies(train);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut lo = 0usize;
+        for &b in boundaries {
+            edges.push((lo, b));
+            lo = b + 1;
+        }
+        edges.push((lo, usize::MAX));
+        let mut groups: Vec<Vec<Triple>> = vec![Vec::new(); edges.len()];
+        for t in test {
+            let f = freq.get(&t.r).copied().unwrap_or(0);
+            let idx = edges
+                .iter()
+                .position(|&(a, b)| f >= a && f <= b)
+                .expect("edges cover all frequencies");
+            groups[idx].push(*t);
+        }
+        let buckets = edges
+            .iter()
+            .zip(&groups)
+            .map(|(&(a, b), g)| {
+                let mut rels: Vec<RelationId> = g.iter().map(|t| t.r).collect();
+                rels.sort_unstable_by_key(|r| r.0);
+                rels.dedup();
+                FrequencyBucket {
+                    label: if b == usize::MAX {
+                        format!(">{}", a.saturating_sub(1))
+                    } else {
+                        format!("{a}–{b}")
+                    },
+                    lo: a,
+                    hi: b,
+                    relations: rels.len(),
+                    triples: g.len(),
+                }
+            })
+            .collect();
+        FewShotSplit { buckets, groups }
+    }
+
+    /// Test triples in bucket `i`.
+    pub fn triples(&self, i: usize) -> &[Triple] {
+        &self.groups[i]
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Evaluate a rollout policy per bucket. Empty buckets yield `None`.
+    pub fn eval_policy(
+        &self,
+        policy: &impl RolloutPolicy,
+        graph: &KnowledgeGraph,
+        known: &TripleSet,
+        beam: usize,
+        steps: usize,
+    ) -> Vec<Option<LinkPredictionResult>> {
+        self.groups
+            .iter()
+            .map(|g| {
+                if g.is_empty() {
+                    None
+                } else {
+                    Some(eval_policy_entity(policy, graph, g, known, beam, steps))
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluate a single-hop scorer per bucket.
+    pub fn eval_scorer(
+        &self,
+        scorer: &impl TripleScorer,
+        graph: &KnowledgeGraph,
+        known: &TripleSet,
+    ) -> Vec<Option<LinkPredictionResult>> {
+        self.groups
+            .iter()
+            .map(|g| {
+                if g.is_empty() {
+                    None
+                } else {
+                    Some(eval_scorer_entity(scorer, graph, g, known))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, r: u32, o: u32) -> Triple {
+        Triple::new(s, r, o)
+    }
+
+    #[test]
+    fn frequencies_count_directionally() {
+        let train = vec![t(0, 0, 1), t(1, 0, 2), t(0, 1, 2)];
+        let f = relation_frequencies(&train);
+        assert_eq!(f[&RelationId(0)], 2);
+        assert_eq!(f[&RelationId(1)], 1);
+        assert!(!f.contains_key(&RelationId(2)));
+    }
+
+    #[test]
+    fn buckets_partition_the_test_set() {
+        let train = vec![
+            // r0 seen 3×, r1 seen 1×, r2 unseen
+            t(0, 0, 1),
+            t(1, 0, 2),
+            t(2, 0, 3),
+            t(0, 1, 2),
+        ];
+        let test = vec![t(5, 0, 6), t(5, 1, 6), t(5, 2, 6)];
+        let fs = FewShotSplit::new(&train, &test, &[1, 2]);
+        assert_eq!(fs.num_buckets(), 3);
+        // r1 (freq 1) and r2 (freq 0) land in ≤1; r0 (freq 3) in >2
+        assert_eq!(fs.triples(0).len(), 2);
+        assert_eq!(fs.triples(1).len(), 0);
+        assert_eq!(fs.triples(2).len(), 1);
+        let total: usize = (0..fs.num_buckets()).map(|i| fs.triples(i).len()).sum();
+        assert_eq!(total, test.len(), "partition must be exhaustive");
+    }
+
+    #[test]
+    fn bucket_labels_and_counts() {
+        let train = vec![t(0, 0, 1)];
+        let test = vec![t(2, 0, 3), t(2, 5, 3)];
+        let fs = FewShotSplit::new(&train, &test, &[5]);
+        assert_eq!(fs.buckets[0].label, "0–5");
+        assert_eq!(fs.buckets[1].label, ">5");
+        assert_eq!(fs.buckets[0].relations, 2); // r0 and r5 both ≤5
+        assert_eq!(fs.buckets[0].triples, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_boundaries() {
+        FewShotSplit::new(&[], &[], &[10, 5]);
+    }
+}

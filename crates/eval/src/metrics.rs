@@ -1,0 +1,250 @@
+//! Ranking metrics: filtered rank, MRR, Hits@N, MAP.
+
+/// 1-based filtered rank of `gold` within `scores` (higher score = better).
+/// `filtered[i] = true` marks candidates that are other known-true answers
+/// and must not count against the gold answer.
+///
+/// Ties rank at their *expected* position (`better + ties/2 + 1`), the
+/// standard randomized tie-break protocol. Optimistic tie-ranking is a
+/// known evaluation bug: a model that scores everything identically would
+/// otherwise get Hits@1 = 100%.
+pub fn filtered_rank(scores: &[f32], gold: usize, filtered: &[bool]) -> usize {
+    assert_eq!(scores.len(), filtered.len(), "scores/filter length mismatch");
+    assert!(gold < scores.len(), "gold index out of range");
+    let gold_score = scores[gold];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for (i, (&s, &f)) in scores.iter().zip(filtered).enumerate() {
+        if i == gold || f {
+            continue;
+        }
+        if s > gold_score {
+            better += 1;
+        } else if s == gold_score {
+            ties += 1;
+        }
+    }
+    1 + better + ties / 2
+}
+
+/// How tied candidate scores rank against the gold answer. The crate's
+/// evaluation protocol fixes [`TieBreak::Expected`] (see
+/// [`filtered_rank`]); the other policies exist for the
+/// `ablation_tiebreak` bench, which quantifies how much metric inflation
+/// optimistic tie-ranking buys a degenerate (constant or heavily-tied)
+/// scorer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Gold wins every tie: `1 + better`.
+    Optimistic,
+    /// Gold ranks at the expected position of a random shuffle:
+    /// `1 + better + ties/2` (the crate default).
+    Expected,
+    /// Gold loses every tie: `1 + better + ties`.
+    Pessimistic,
+}
+
+/// [`filtered_rank`] under an explicit tie-break policy.
+pub fn filtered_rank_with(
+    scores: &[f32],
+    gold: usize,
+    filtered: &[bool],
+    tie: TieBreak,
+) -> usize {
+    assert_eq!(scores.len(), filtered.len(), "scores/filter length mismatch");
+    assert!(gold < scores.len(), "gold index out of range");
+    let gold_score = scores[gold];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for (i, (&s, &f)) in scores.iter().zip(filtered).enumerate() {
+        if i == gold || f {
+            continue;
+        }
+        if s > gold_score {
+            better += 1;
+        } else if s == gold_score {
+            ties += 1;
+        }
+    }
+    match tie {
+        TieBreak::Optimistic => 1 + better,
+        TieBreak::Expected => 1 + better + ties / 2,
+        TieBreak::Pessimistic => 1 + better + ties,
+    }
+}
+
+/// Accumulator for MRR / Hits@{1,5,10}.
+#[derive(Clone, Debug, Default)]
+pub struct RankAccum {
+    sum_rr: f64,
+    hits1: usize,
+    hits5: usize,
+    hits10: usize,
+    n: usize,
+}
+
+impl RankAccum {
+    pub fn push(&mut self, rank: usize) {
+        assert!(rank >= 1, "ranks are 1-based");
+        self.sum_rr += 1.0 / rank as f64;
+        if rank <= 1 {
+            self.hits1 += 1;
+        }
+        if rank <= 5 {
+            self.hits5 += 1;
+        }
+        if rank <= 10 {
+            self.hits10 += 1;
+        }
+        self.n += 1;
+    }
+
+    pub fn merge(&mut self, other: &RankAccum) {
+        self.sum_rr += other.sum_rr;
+        self.hits1 += other.hits1;
+        self.hits5 += other.hits5;
+        self.hits10 += other.hits10;
+        self.n += other.n;
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn mrr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_rr / self.n as f64
+        }
+    }
+
+    pub fn hits(&self, k: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let h = match k {
+            1 => self.hits1,
+            5 => self.hits5,
+            10 => self.hits10,
+            _ => panic!("tracked cutoffs are 1, 5, 10"),
+        };
+        h as f64 / self.n as f64
+    }
+}
+
+/// Average precision when exactly one item is relevant: `1/rank`.
+pub fn average_precision_single(rank: usize) -> f64 {
+    assert!(rank >= 1);
+    1.0 / rank as f64
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_better_and_half_of_ties() {
+        let scores = [0.9, 0.5, 0.5, 0.1];
+        // gold at index 1; index 0 strictly better, index 2 tied →
+        // rank = 1 + 1 + 1/2 (integer) = 2
+        assert_eq!(filtered_rank(&scores, 1, &[false; 4]), 2);
+        // gold at index 0 → rank 1
+        assert_eq!(filtered_rank(&scores, 0, &[false; 4]), 1);
+    }
+
+    #[test]
+    fn constant_scorer_ranks_mid_pack() {
+        // A degenerate model scoring everything equally must NOT get
+        // rank 1: with n−1 ties, expected rank is 1 + (n−1)/2.
+        let scores = [0.5f32; 9];
+        assert_eq!(filtered_rank(&scores, 4, &[false; 9]), 5);
+    }
+
+    #[test]
+    fn filtering_removes_known_positives() {
+        let scores = [0.9, 0.5, 0.8, 0.1];
+        // without filter: two better → rank 3
+        assert_eq!(filtered_rank(&scores, 1, &[false; 4]), 3);
+        // filter index 0 → rank 2
+        assert_eq!(filtered_rank(&scores, 1, &[true, false, false, false]), 2);
+    }
+
+    #[test]
+    fn accum_aggregates() {
+        let mut a = RankAccum::default();
+        a.push(1);
+        a.push(2);
+        a.push(20);
+        assert!((a.mrr() - (1.0 + 0.5 + 0.05) / 3.0).abs() < 1e-12);
+        assert!((a.hits(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.hits(5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.hits(10) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = RankAccum::default();
+        a.push(1);
+        a.push(4);
+        let mut b = RankAccum::default();
+        b.push(7);
+        let mut m = RankAccum::default();
+        m.merge(&a);
+        m.merge(&b);
+        let mut s = RankAccum::default();
+        for r in [1, 4, 7] {
+            s.push(r);
+        }
+        assert_eq!(m.mrr(), s.mrr());
+        assert_eq!(m.len(), s.len());
+    }
+
+    #[test]
+    fn ap_single() {
+        assert_eq!(average_precision_single(1), 1.0);
+        assert_eq!(average_precision_single(4), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rank_rejected() {
+        RankAccum::default().push(0);
+    }
+
+    #[test]
+    fn tie_break_policies_bracket_the_default() {
+        let scores = [0.5f32; 9];
+        let f = [false; 9];
+        let opt = filtered_rank_with(&scores, 4, &f, TieBreak::Optimistic);
+        let exp = filtered_rank_with(&scores, 4, &f, TieBreak::Expected);
+        let pes = filtered_rank_with(&scores, 4, &f, TieBreak::Pessimistic);
+        assert_eq!(opt, 1);
+        assert_eq!(exp, 5);
+        assert_eq!(pes, 9);
+        assert_eq!(exp, filtered_rank(&scores, 4, &f), "Expected is the default");
+    }
+
+    #[test]
+    fn tie_break_policies_agree_without_ties() {
+        let scores = [0.9, 0.5, 0.8, 0.1];
+        let f = [false; 4];
+        for tie in [TieBreak::Optimistic, TieBreak::Expected, TieBreak::Pessimistic] {
+            assert_eq!(filtered_rank_with(&scores, 1, &f, tie), 3);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Ranking protocols for the two model families.
+//!
+//! - **Scorer models** (TransE/DistMult/ComplEx/ConvE/MTRL/GAATs/NeuralLP)
+//!   rank by exhaustively scoring every candidate entity.
+//! - **Policy models** (MMKGR, MINERVA, RLH, FIRE) rank by beam-search
+//!   path probability via `mmkgr_core::infer`.
+//!
+//! Both produce the same [`LinkPredictionResult`], so tables compare
+//! apples to apples.
+
+use mmkgr_core::infer::{evaluate_ranking, RankingSummary, RolloutPolicy};
+use mmkgr_core::mdp::RolloutQuery;
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, Triple, TripleSet};
+
+use crate::metrics::{average_precision_single, filtered_rank, mean, RankAccum};
+
+/// Uniform result row for entity link prediction.
+#[derive(Clone, Debug, Default)]
+pub struct LinkPredictionResult {
+    pub mrr: f64,
+    pub hits1: f64,
+    pub hits5: f64,
+    pub hits10: f64,
+    pub queries: usize,
+    /// Hop histogram (policy models only; zeros for scorers).
+    pub hop_counts: [usize; 5],
+}
+
+impl From<RankingSummary> for LinkPredictionResult {
+    fn from(s: RankingSummary) -> Self {
+        LinkPredictionResult {
+            mrr: s.mrr,
+            hits1: s.hits1,
+            hits5: s.hits5,
+            hits10: s.hits10,
+            queries: s.total,
+            hop_counts: s.hop_counts,
+        }
+    }
+}
+
+/// Entity link prediction for a scorer model: tail and head queries with
+/// filtered ranking.
+pub fn eval_scorer_entity(
+    scorer: &impl TripleScorer,
+    graph: &KnowledgeGraph,
+    test: &[Triple],
+    known: &TripleSet,
+) -> LinkPredictionResult {
+    let n = graph.num_entities();
+    let rs = graph.relations();
+    let mut accum = RankAccum::default();
+    let mut scores: Vec<f32> = Vec::with_capacity(n);
+    let mut filtered: Vec<bool> = Vec::with_capacity(n);
+    for t in test {
+        // tail query (s, r, ?)
+        scorer.score_all_objects(t.s, t.r, n, &mut scores);
+        filtered.clear();
+        filtered.extend((0..n).map(|o| {
+            let o = EntityId(o as u32);
+            o != t.o && known.contains(t.s, t.r, o)
+        }));
+        accum.push(filtered_rank(&scores, t.o.index(), &filtered));
+
+        // head query (?, r, o) via the inverse relation
+        let inv = rs.inverse(t.r);
+        scorer.score_all_objects(t.o, inv, n, &mut scores);
+        filtered.clear();
+        filtered.extend((0..n).map(|s| {
+            let s = EntityId(s as u32);
+            s != t.s && known.contains(s, t.r, t.o)
+        }));
+        accum.push(filtered_rank(&scores, t.s.index(), &filtered));
+    }
+    LinkPredictionResult {
+        mrr: accum.mrr(),
+        hits1: accum.hits(1),
+        hits5: accum.hits(5),
+        hits10: accum.hits(10),
+        queries: accum.len(),
+        hop_counts: [0; 5],
+    }
+}
+
+/// Entity link prediction for a policy model (tail + head queries).
+pub fn eval_policy_entity(
+    policy: &impl RolloutPolicy,
+    graph: &KnowledgeGraph,
+    test: &[Triple],
+    known: &TripleSet,
+    beam: usize,
+    steps: usize,
+) -> LinkPredictionResult {
+    let queries = mmkgr_core::rollout::queries_from_triples(test, graph.relations(), true);
+    evaluate_ranking(policy, graph, &queries, known, beam, steps).into()
+}
+
+/// Relation link prediction (Table IV): per-relation and overall MAP.
+#[derive(Clone, Debug, Default)]
+pub struct RelationMapResult {
+    /// `(relation, MAP, #queries)` sorted by relation id.
+    pub per_relation: Vec<(RelationId, f64, usize)>,
+    pub overall: f64,
+    pub queries: usize,
+}
+
+/// MAP for a scorer model: rank the true relation among `candidates` by
+/// `score(s, r, o)`.
+pub fn eval_scorer_relation_map(
+    scorer: &impl TripleScorer,
+    test: &[Triple],
+    candidates: &[RelationId],
+) -> RelationMapResult {
+    relation_map_impl(test, candidates, |t, cands| {
+        cands.iter().map(|&r| scorer.score(t.s, r, t.o)).collect()
+    })
+}
+
+/// MAP for a policy model: rank the true relation by the best beam
+/// probability of reaching `o` from `s` under each candidate relation.
+pub fn eval_policy_relation_map(
+    policy: &impl RolloutPolicy,
+    graph: &KnowledgeGraph,
+    test: &[Triple],
+    candidates: &[RelationId],
+    beam: usize,
+    steps: usize,
+) -> RelationMapResult {
+    relation_map_impl(test, candidates, |t, cands| {
+        mmkgr_core::infer::relation_scores(policy, graph, t.s, t.o, cands, beam, steps)
+    })
+}
+
+fn relation_map_impl(
+    test: &[Triple],
+    candidates: &[RelationId],
+    score_fn: impl Fn(&Triple, &[RelationId]) -> Vec<f32>,
+) -> RelationMapResult {
+    use std::collections::BTreeMap;
+    let mut per_rel: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for t in test {
+        // candidate set always contains the true relation
+        let mut cands: Vec<RelationId> = candidates.to_vec();
+        if !cands.contains(&t.r) {
+            cands.push(t.r);
+        }
+        let scores = score_fn(t, &cands);
+        let gold_idx = cands.iter().position(|&r| r == t.r).unwrap();
+        let rank = filtered_rank(&scores, gold_idx, &vec![false; cands.len()]);
+        per_rel.entry(t.r.0).or_default().push(average_precision_single(rank));
+    }
+    let mut per_relation = Vec::with_capacity(per_rel.len());
+    let mut all: Vec<f64> = Vec::new();
+    for (r, aps) in per_rel {
+        per_relation.push((RelationId(r), mean(&aps), aps.len()));
+        all.extend(aps);
+    }
+    RelationMapResult { per_relation, overall: mean(&all), queries: all.len() }
+}
+
+/// Training-query construction helper re-exported for binaries.
+pub fn tail_queries(test: &[Triple]) -> Vec<RolloutQuery> {
+    test.iter()
+        .map(|t| RolloutQuery { source: t.s, relation: t.r, answer: t.o })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_datagen::{generate, GenConfig};
+    use mmkgr_embed::{KgeTrainConfig, TransE};
+
+    #[test]
+    fn scorer_eval_produces_sane_metrics() {
+        let kg = generate(&GenConfig::tiny());
+        let known = kg.all_known();
+        let mut model =
+            TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
+        model.train(&kg.split.train, &known, &KgeTrainConfig::quick());
+        let r = eval_scorer_entity(&model, &kg.graph, &kg.split.test, &known);
+        assert_eq!(r.queries, 2 * kg.split.test.len());
+        assert!((0.0..=1.0).contains(&r.mrr));
+        assert!(r.hits1 <= r.hits5 && r.hits5 <= r.hits10);
+    }
+
+    #[test]
+    fn trained_scorer_beats_untrained() {
+        let kg = generate(&GenConfig::tiny());
+        let known = kg.all_known();
+        let untrained = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
+        let r0 = eval_scorer_entity(&untrained, &kg.graph, &kg.split.test, &known);
+        let mut trained = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
+        trained.train(
+            &kg.split.train,
+            &known,
+            &KgeTrainConfig::default().with_epochs(25),
+        );
+        let r1 = eval_scorer_entity(&trained, &kg.graph, &kg.split.test, &known);
+        assert!(
+            r1.mrr > r0.mrr,
+            "training must help: {:.3} !> {:.3}",
+            r1.mrr,
+            r0.mrr
+        );
+    }
+
+    #[test]
+    fn relation_map_includes_every_gold_relation() {
+        let kg = generate(&GenConfig::tiny());
+        let known = kg.all_known();
+        let mut model = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 1);
+        model.train(&kg.split.train, &known, &KgeTrainConfig::quick());
+        let cands: Vec<RelationId> =
+            (0..kg.num_base_relations() as u32).map(RelationId).collect();
+        let m = eval_scorer_relation_map(&model, &kg.split.test, &cands);
+        assert_eq!(m.queries, kg.split.test.len());
+        assert!((0.0..=1.0).contains(&m.overall));
+        for (_, map, n) in &m.per_relation {
+            assert!((0.0..=1.0).contains(map));
+            assert!(*n > 0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Paper-style table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A printable results table mirroring the paper's layout.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{c:<width$}  ", width = w));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = write!(lock, "{}", self.render());
+        let _ = lock.flush();
+    }
+}
+
+/// Percentage formatting used throughout the paper (73.6 for 0.736).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Signed percentage-change formatting for Table VII (-3.7%).
+pub fn pct_delta(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Where experiment JSON dumps go.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MMKGR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persist a machine-readable copy of an experiment result.
+pub fn save_json(id: &str, value: &impl Serialize) {
+    let path = results_dir().join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warn: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: could not serialize {id}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Model", "MRR"]);
+        t.push_row(vec!["MMKGR".into(), "80.2".into()]);
+        t.push_row(vec!["RLH".into(), "62.4".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("MMKGR"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.736), "73.6");
+        assert_eq!(pct_delta(-0.037), "-3.7%");
+        assert_eq!(pct_delta(0.021), "+2.1%");
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        std::env::set_var("MMKGR_RESULTS_DIR", std::env::temp_dir().join("mmkgr_test"));
+        save_json("unit_test", &vec![1, 2, 3]);
+        let path = results_dir().join("unit_test.json");
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("MMKGR_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the ranking metrics — the invariants every
+//! evaluation number in EXPERIMENTS.md rests on.
+
+use mmkgr_eval::{filtered_rank, filtered_rank_with, FewShotSplit, RankAccum, TieBreak};
+use mmkgr_kg::Triple;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rank is 1-based and never exceeds the unfiltered candidate count.
+    #[test]
+    fn rank_bounds(
+        scores in proptest::collection::vec(-10.0f32..10.0, 2..40),
+        gold_seed in any::<usize>(),
+    ) {
+        let gold = gold_seed % scores.len();
+        let filtered = vec![false; scores.len()];
+        let r = filtered_rank(&scores, gold, &filtered);
+        prop_assert!(r >= 1);
+        prop_assert!(r <= scores.len());
+    }
+
+    /// Permutation invariance: shuffling the candidates (tracking gold)
+    /// leaves the rank unchanged.
+    #[test]
+    fn rank_is_permutation_invariant(
+        scores in proptest::collection::vec(-10.0f32..10.0, 2..30),
+        gold_seed in any::<usize>(),
+        rot in 1usize..29,
+    ) {
+        let n = scores.len();
+        let gold = gold_seed % n;
+        let filtered = vec![false; n];
+        let base = filtered_rank(&scores, gold, &filtered);
+        // rotate by `rot`
+        let rot = rot % n;
+        let rotated: Vec<f32> =
+            (0..n).map(|i| scores[(i + rot) % n]).collect();
+        let new_gold = (gold + n - rot) % n;
+        let r = filtered_rank(&rotated, new_gold, &filtered);
+        prop_assert_eq!(base, r);
+    }
+
+    /// Raising the gold score never worsens the rank (monotonicity).
+    #[test]
+    fn rank_monotone_in_gold_score(
+        scores in proptest::collection::vec(-10.0f32..10.0, 2..30),
+        gold_seed in any::<usize>(),
+        boost in 0.0f32..5.0,
+    ) {
+        let gold = gold_seed % scores.len();
+        let filtered = vec![false; scores.len()];
+        let before = filtered_rank(&scores, gold, &filtered);
+        let mut boosted = scores.clone();
+        boosted[gold] += boost;
+        let after = filtered_rank(&boosted, gold, &filtered);
+        prop_assert!(after <= before);
+    }
+
+    /// Filtering a competitor never worsens the rank.
+    #[test]
+    fn filtering_never_hurts(
+        scores in proptest::collection::vec(-10.0f32..10.0, 3..30),
+        gold_seed in any::<usize>(),
+        victim_seed in any::<usize>(),
+    ) {
+        let n = scores.len();
+        let gold = gold_seed % n;
+        let mut victim = victim_seed % n;
+        if victim == gold {
+            victim = (victim + 1) % n;
+        }
+        let none = vec![false; n];
+        let mut one = none.clone();
+        one[victim] = true;
+        let before = filtered_rank(&scores, gold, &none);
+        let after = filtered_rank(&scores, gold, &one);
+        prop_assert!(after <= before);
+    }
+
+    /// The three tie policies always bracket each other:
+    /// optimistic ≤ expected ≤ pessimistic.
+    #[test]
+    fn tie_policies_are_ordered(
+        scores in proptest::collection::vec(-2.0f32..2.0, 2..30),
+        gold_seed in any::<usize>(),
+    ) {
+        let gold = gold_seed % scores.len();
+        // quantize to force ties
+        let q: Vec<f32> = scores.iter().map(|v| (v * 2.0).round() / 2.0).collect();
+        let f = vec![false; q.len()];
+        let opt = filtered_rank_with(&q, gold, &f, TieBreak::Optimistic);
+        let exp = filtered_rank_with(&q, gold, &f, TieBreak::Expected);
+        let pes = filtered_rank_with(&q, gold, &f, TieBreak::Pessimistic);
+        prop_assert!(opt <= exp && exp <= pes, "{opt} {exp} {pes}");
+    }
+
+    /// MRR is invariant under push order and merge splits.
+    #[test]
+    fn accum_merge_is_order_free(ranks in proptest::collection::vec(1usize..100, 1..40), cut_seed in any::<usize>()) {
+        let cut = 1 + cut_seed % ranks.len();
+        let mut all = RankAccum::default();
+        for &r in &ranks {
+            all.push(r);
+        }
+        let (a, b) = ranks.split_at(cut.min(ranks.len()));
+        let mut left = RankAccum::default();
+        for &r in a { left.push(r); }
+        let mut right = RankAccum::default();
+        for &r in b { right.push(r); }
+        let mut merged = RankAccum::default();
+        merged.merge(&right);
+        merged.merge(&left);
+        prop_assert!((all.mrr() - merged.mrr()).abs() < 1e-12);
+        prop_assert_eq!(all.len(), merged.len());
+    }
+
+    /// Few-shot buckets always partition the test set, whatever the
+    /// boundaries and frequency profile.
+    #[test]
+    fn fewshot_partition_is_exhaustive(
+        train_rels in proptest::collection::vec(0u32..8, 0..60),
+        test_rels in proptest::collection::vec(0u32..8, 1..40),
+        b1 in 1usize..5,
+        extra in 1usize..10,
+    ) {
+        let train: Vec<Triple> =
+            train_rels.iter().map(|&r| Triple::new(0, r, 1)).collect();
+        let test: Vec<Triple> =
+            test_rels.iter().map(|&r| Triple::new(2, r, 3)).collect();
+        let split = FewShotSplit::new(&train, &test, &[b1, b1 + extra]);
+        let total: usize =
+            (0..split.num_buckets()).map(|i| split.triples(i).len()).sum();
+        prop_assert_eq!(total, test.len());
+        let meta_total: usize = split.buckets.iter().map(|b| b.triples).sum();
+        prop_assert_eq!(meta_total, test.len());
+    }
+}

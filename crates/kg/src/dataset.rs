@@ -1,0 +1,141 @@
+//! A complete multi-modal KG dataset: graph + modality banks + splits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::KnowledgeGraph;
+use crate::modal::ModalBank;
+use crate::triple::{Triple, TripleSet};
+
+/// Train/valid/test triple split.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Split {
+    pub train: Vec<Triple>,
+    pub valid: Vec<Triple>,
+    pub test: Vec<Triple>,
+}
+
+impl Split {
+    pub fn total(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+}
+
+/// A multi-modal knowledge graph (Definition 1 of the paper): structural
+/// triples plus per-entity image/text auxiliary data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiModalKG {
+    pub name: String,
+    /// Adjacency built from the *training* triples only (the standard
+    /// protocol: valid/test edges must not leak into the walker's graph).
+    pub graph: KnowledgeGraph,
+    pub modal: ModalBank,
+    pub split: Split,
+}
+
+impl MultiModalKG {
+    pub fn new(name: impl Into<String>, graph: KnowledgeGraph, modal: ModalBank, split: Split) -> Self {
+        assert_eq!(
+            modal.num_entities(),
+            graph.num_entities(),
+            "modal bank and graph must agree on entity count"
+        );
+        MultiModalKG { name: name.into(), graph, modal, split }
+    }
+
+    pub fn num_entities(&self) -> usize {
+        self.graph.num_entities()
+    }
+
+    pub fn num_base_relations(&self) -> usize {
+        self.graph.relations().base()
+    }
+
+    /// Membership set over *all* known triples (train ∪ valid ∪ test) —
+    /// the filter used by filtered ranking metrics.
+    pub fn all_known(&self) -> TripleSet {
+        let mut set = TripleSet::from_triples(&self.split.train);
+        for t in self.split.valid.iter().chain(&self.split.test) {
+            set.insert(*t);
+        }
+        set
+    }
+
+    /// Dataset statistics in the shape of the paper's Table II.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            entities: self.num_entities(),
+            relations: self.num_base_relations(),
+            train: self.split.train.len(),
+            valid: self.split.valid.len(),
+            test: self.split.test.len(),
+            mean_out_degree: self.graph.mean_out_degree(),
+            images: self.modal.total_images(),
+        }
+    }
+}
+
+/// Summary row for Table II-style reporting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub entities: usize,
+    pub relations: usize,
+    pub train: usize,
+    pub valid: usize,
+    pub test: usize,
+    pub mean_out_degree: f64,
+    pub images: usize,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} #Ent {:<7} #Rel {:<6} #Train {:<8} #Valid {:<7} #Test {:<7} deg {:.1}",
+            self.name, self.entities, self.relations, self.train, self.valid, self.test,
+            self.mean_out_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modal::ModalBank;
+
+    fn tiny() -> MultiModalKG {
+        let train = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)];
+        let valid = vec![Triple::new(0, 0, 2)];
+        let test = vec![Triple::new(2, 0, 0)];
+        let graph = KnowledgeGraph::from_triples(3, 1, train.clone(), None);
+        let modal = ModalBank::empty(3);
+        MultiModalKG::new("tiny", graph, modal, Split { train, valid, test })
+    }
+
+    #[test]
+    fn all_known_includes_every_split() {
+        let kg = tiny();
+        let known = kg.all_known();
+        assert_eq!(known.len(), 4);
+        assert!(known.contains_triple(&Triple::new(2, 0, 0)));
+    }
+
+    #[test]
+    fn stats_reflect_split_sizes() {
+        let kg = tiny();
+        let s = kg.stats();
+        assert_eq!(s.train, 2);
+        assert_eq!(s.valid, 1);
+        assert_eq!(s.test, 1);
+        assert_eq!(s.entities, 3);
+        assert!(s.to_string().contains("tiny"));
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on entity count")]
+    fn modal_bank_size_checked() {
+        let graph = KnowledgeGraph::from_triples(3, 1, vec![Triple::new(0, 0, 1)], None);
+        let _ = MultiModalKG::new("bad", graph, ModalBank::empty(2), Split::default());
+    }
+}

@@ -1,0 +1,263 @@
+//! CSR-backed knowledge-graph adjacency.
+//!
+//! The graph stores each training triple twice: once as `(s, r, o)` and once
+//! as `(o, inverse(r), s)`, so RL walkers can traverse edges both ways — the
+//! standard MINERVA-style construction the paper builds on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EntityId, RelationId, RelationSpace};
+use crate::triple::{Triple, TripleSet};
+
+/// One outgoing edge `(relation, target)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    pub relation: RelationId,
+    pub target: EntityId,
+}
+
+/// Immutable CSR adjacency over a set of triples (plus inverses).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    num_entities: usize,
+    relations: RelationSpace,
+    /// CSR offsets: edges of entity `e` live at `edges[offsets[e]..offsets[e+1]]`.
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    /// The original (non-inverse) triples this graph was built from.
+    triples: Vec<Triple>,
+}
+
+impl KnowledgeGraph {
+    /// Build from base triples. Inverse edges are added automatically.
+    ///
+    /// `max_out_degree` (if `Some`) truncates each entity's edge list to
+    /// bound the RL action space, keeping the first edges in insertion
+    /// order after sorting by `(relation, target)` — mirrors the action-
+    /// space truncation used by MINERVA-family implementations.
+    pub fn from_triples(
+        num_entities: usize,
+        num_base_relations: usize,
+        triples: Vec<Triple>,
+        max_out_degree: Option<usize>,
+    ) -> Self {
+        let relations = RelationSpace::new(num_base_relations);
+        for t in &triples {
+            assert!(t.s.index() < num_entities, "triple source {} out of range", t.s);
+            assert!(t.o.index() < num_entities, "triple target {} out of range", t.o);
+            assert!(
+                relations.is_base(t.r),
+                "triple relation {} must be a base relation (< {num_base_relations})",
+                t.r
+            );
+        }
+        // Count degrees (forward + inverse).
+        let mut degree = vec![0u32; num_entities];
+        for t in &triples {
+            degree[t.s.index()] += 1;
+            degree[t.o.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_entities + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut edges = vec![Edge { relation: RelationId(0), target: EntityId(0) }; total];
+        let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
+        for t in &triples {
+            let slot = cursor[t.s.index()] as usize;
+            edges[slot] = Edge { relation: t.r, target: t.o };
+            cursor[t.s.index()] += 1;
+            let slot = cursor[t.o.index()] as usize;
+            edges[slot] = Edge { relation: relations.inverse(t.r), target: t.s };
+            cursor[t.o.index()] += 1;
+        }
+        // Sort each bucket for determinism and binary-searchability.
+        for e in 0..num_entities {
+            let (a, b) = (offsets[e] as usize, offsets[e + 1] as usize);
+            edges[a..b].sort_unstable_by_key(|e| (e.relation, e.target));
+        }
+        let mut graph = KnowledgeGraph { num_entities, relations, offsets, edges, triples };
+        if let Some(cap) = max_out_degree {
+            graph = graph.truncated(cap);
+        }
+        graph
+    }
+
+    /// Copy with each entity's out-edges truncated to `cap`.
+    fn truncated(&self, cap: usize) -> Self {
+        let mut offsets = Vec::with_capacity(self.num_entities + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for e in 0..self.num_entities {
+            let bucket = self.neighbors(EntityId(e as u32));
+            let take = bucket.len().min(cap);
+            edges.extend_from_slice(&bucket[..take]);
+            offsets.push(edges.len() as u32);
+        }
+        KnowledgeGraph {
+            num_entities: self.num_entities,
+            relations: self.relations,
+            offsets,
+            edges,
+            triples: self.triples.clone(),
+        }
+    }
+
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Relation id layout (base / inverse / NO_OP).
+    #[inline]
+    pub fn relations(&self) -> RelationSpace {
+        self.relations
+    }
+
+    /// All outgoing edges of `e` (inverse edges included), sorted.
+    #[inline]
+    pub fn neighbors(&self, e: EntityId) -> &[Edge] {
+        let (a, b) = (self.offsets[e.index()] as usize, self.offsets[e.index() + 1] as usize);
+        &self.edges[a..b]
+    }
+
+    #[inline]
+    pub fn out_degree(&self, e: EntityId) -> usize {
+        (self.offsets[e.index() + 1] - self.offsets[e.index()]) as usize
+    }
+
+    /// Total directed edges (2× the base triples, before truncation).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The base triples the graph was built from.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Membership set over the base triples.
+    pub fn triple_set(&self) -> TripleSet {
+        TripleSet::from_triples(&self.triples)
+    }
+
+    /// Does the edge `(s, r, o)` exist (r may be base or inverse)?
+    pub fn has_edge(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
+        self.neighbors(s)
+            .binary_search_by_key(&(r, o), |e| (e.relation, e.target))
+            .is_ok()
+    }
+
+    /// Targets reachable from `s` via relation `r` (base or inverse).
+    pub fn targets(&self, s: EntityId, r: RelationId) -> impl Iterator<Item = EntityId> + '_ {
+        let bucket = self.neighbors(s);
+        let start = bucket.partition_point(|e| e.relation < r);
+        bucket[start..]
+            .iter()
+            .take_while(move |e| e.relation == r)
+            .map(|e| e.target)
+    }
+
+    /// Mean out-degree — a sparsity diagnostic used by the harness.
+    pub fn mean_out_degree(&self) -> f64 {
+        if self.num_entities == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.num_entities as f64
+        }
+    }
+
+    /// Largest action space any walker will see.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_entities)
+            .map(|e| self.out_degree(EntityId(e as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnowledgeGraph {
+        // 0 -r0-> 1, 1 -r1-> 2, 0 -r1-> 2
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(0, 1, 2)];
+        KnowledgeGraph::from_triples(3, 2, triples, None)
+    }
+
+    #[test]
+    fn edge_counts_include_inverses() {
+        let g = toy();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(EntityId(0)), 2);
+        assert_eq!(g.out_degree(EntityId(1)), 2); // inverse of r0 + forward r1
+        assert_eq!(g.out_degree(EntityId(2)), 2); // two inverse edges
+    }
+
+    #[test]
+    fn neighbors_sorted_and_correct() {
+        let g = toy();
+        let n0 = g.neighbors(EntityId(0));
+        assert_eq!(n0[0], Edge { relation: RelationId(0), target: EntityId(1) });
+        assert_eq!(n0[1], Edge { relation: RelationId(1), target: EntityId(2) });
+    }
+
+    #[test]
+    fn inverse_edges_use_inverse_relation_ids() {
+        let g = toy();
+        let rs = g.relations();
+        // entity 1 has inverse edge back to 0 via inverse(r0) = r0 + 2 = r2
+        assert!(g.has_edge(EntityId(1), rs.inverse(RelationId(0)), EntityId(0)));
+    }
+
+    #[test]
+    fn targets_iterator_filters_by_relation() {
+        let g = toy();
+        let t: Vec<_> = g.targets(EntityId(0), RelationId(1)).collect();
+        assert_eq!(t, vec![EntityId(2)]);
+        let none: Vec<_> = g.targets(EntityId(2), RelationId(0)).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn truncation_caps_action_space() {
+        let triples: Vec<Triple> = (1..=10).map(|o| Triple::new(0, 0, o)).collect();
+        let g = KnowledgeGraph::from_triples(11, 1, triples, Some(4));
+        assert_eq!(g.out_degree(EntityId(0)), 4);
+        assert_eq!(g.max_out_degree(), 4);
+    }
+
+    #[test]
+    fn has_edge_negative() {
+        let g = toy();
+        assert!(!g.has_edge(EntityId(0), RelationId(0), EntityId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_entities() {
+        let _ = KnowledgeGraph::from_triples(2, 1, vec![Triple::new(0, 0, 5)], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "base relation")]
+    fn rejects_inverse_relation_in_input() {
+        let _ = KnowledgeGraph::from_triples(3, 1, vec![Triple::new(0, 1, 2)], None);
+    }
+
+    #[test]
+    fn empty_entity_has_no_neighbors() {
+        let g = KnowledgeGraph::from_triples(4, 1, vec![Triple::new(0, 0, 1)], None);
+        assert_eq!(g.out_degree(EntityId(3)), 0);
+        assert!(g.neighbors(EntityId(3)).is_empty());
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = toy();
+        assert!((g.mean_out_degree() - 2.0).abs() < 1e-9);
+    }
+}

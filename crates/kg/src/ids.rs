@@ -1,0 +1,141 @@
+//! Typed identifiers for entities and relations.
+//!
+//! Relations use a layered id space (see [`RelationSpace`]): the base
+//! relations from the dataset, their synthetic inverses (needed so the RL
+//! walker can traverse edges backwards), and a NO_OP/self-loop relation the
+//! agents use to stay in place once they believe they have arrived.
+
+use serde::{Deserialize, Serialize};
+
+/// Entity identifier (dense, `0..num_entities`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Relation identifier (dense; see [`RelationSpace`] for the layout).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Layout of the relation id space.
+///
+/// ```text
+/// [0, base)          original dataset relations
+/// [base, 2*base)     inverse relations  (inverse(r) = r + base)
+/// 2*base             NO_OP self-loop relation
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSpace {
+    base: u32,
+}
+
+impl RelationSpace {
+    pub fn new(base_relations: usize) -> Self {
+        RelationSpace { base: base_relations as u32 }
+    }
+
+    /// Number of base (dataset) relations.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base as usize
+    }
+
+    /// Total distinct relation ids including inverses and NO_OP.
+    /// This is the embedding-table size agents must allocate.
+    #[inline]
+    pub fn total(&self) -> usize {
+        2 * self.base as usize + 1
+    }
+
+    /// The NO_OP (stay-in-place) relation id.
+    #[inline]
+    pub fn no_op(&self) -> RelationId {
+        RelationId(2 * self.base)
+    }
+
+    /// Inverse of a base or inverse relation (involution).
+    #[inline]
+    pub fn inverse(&self, r: RelationId) -> RelationId {
+        if r == self.no_op() {
+            r
+        } else if r.0 < self.base {
+            RelationId(r.0 + self.base)
+        } else {
+            RelationId(r.0 - self.base)
+        }
+    }
+
+    /// True if `r` is one of the original dataset relations.
+    #[inline]
+    pub fn is_base(&self, r: RelationId) -> bool {
+        r.0 < self.base
+    }
+
+    /// True if `r` is a synthetic inverse relation.
+    #[inline]
+    pub fn is_inverse(&self, r: RelationId) -> bool {
+        r.0 >= self.base && r.0 < 2 * self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_space_layout() {
+        let rs = RelationSpace::new(9);
+        assert_eq!(rs.base(), 9);
+        assert_eq!(rs.total(), 19);
+        assert_eq!(rs.no_op(), RelationId(18));
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        let rs = RelationSpace::new(5);
+        for i in 0..10 {
+            let r = RelationId(i);
+            assert_eq!(rs.inverse(rs.inverse(r)), r);
+        }
+        assert_eq!(rs.inverse(rs.no_op()), rs.no_op());
+    }
+
+    #[test]
+    fn base_and_inverse_classification() {
+        let rs = RelationSpace::new(3);
+        assert!(rs.is_base(RelationId(2)));
+        assert!(!rs.is_base(RelationId(3)));
+        assert!(rs.is_inverse(RelationId(3)));
+        assert!(!rs.is_inverse(rs.no_op()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EntityId(7).to_string(), "e7");
+        assert_eq!(RelationId(3).to_string(), "r3");
+    }
+}

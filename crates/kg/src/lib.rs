@@ -1,0 +1,33 @@
+//! `mmkgr-kg` — the multi-modal knowledge-graph storage substrate.
+//!
+//! A multi-modal KG (Definition 1 of the MMKGR paper) couples a structural
+//! graph of relation triples with per-entity auxiliary data (image and text
+//! feature vectors). This crate provides:
+//!
+//! - typed ids and the layered relation space ([`RelationSpace`]: base,
+//!   inverse, NO_OP),
+//! - CSR adjacency with automatic inverse edges ([`KnowledgeGraph`]),
+//! - per-entity modality banks ([`ModalBank`]),
+//! - dataset bundles with splits ([`MultiModalKG`]),
+//! - evaluation queries and filtered-ranking helpers ([`query`]),
+//! - path utilities for walks, BFS and rule mining ([`paths`]).
+
+pub mod dataset;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod modal;
+pub mod paths;
+pub mod query;
+pub mod stats;
+pub mod triple;
+
+pub use dataset::{DatasetStats, MultiModalKG, Split};
+pub use graph::{Edge, KnowledgeGraph};
+pub use stats::{gini, GraphProfile};
+pub use ids::{EntityId, RelationId, RelationSpace};
+pub use io::{load_split_dir, read_triples, write_triples, Vocab};
+pub use modal::ModalBank;
+pub use paths::{enumerate_paths, hop_distance, random_walk, Path};
+pub use query::{Query, QueryKind, RankFilter};
+pub use triple::{Triple, TripleSet};

@@ -1,0 +1,203 @@
+//! Per-entity multi-modal auxiliary data: image-feature banks and text
+//! features.
+//!
+//! The paper attaches ~10 (WN9) or ~100 (FB) VGG image-feature vectors and
+//! one word2vec text vector to each entity. We store all image features in
+//! one contiguous matrix with per-entity offsets (CSR-style) and cache the
+//! per-entity mean image vector, which is what the fusion network consumes
+//! as `f_i` (the per-image detail is kept for the redundancy/noise
+//! experiments).
+
+use mmkgr_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::EntityId;
+
+/// Image + text features for all entities of a multi-modal KG.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModalBank {
+    num_entities: usize,
+    image_dim: usize,
+    text_dim: usize,
+    /// All image features stacked: `total_images × image_dim`.
+    images: Matrix,
+    /// `image offsets[e]..offsets[e+1]` are entity `e`'s image rows.
+    image_offsets: Vec<u32>,
+    /// One text feature per entity: `num_entities × text_dim`.
+    texts: Matrix,
+    /// Cached per-entity mean image feature: `num_entities × image_dim`.
+    mean_images: Matrix,
+}
+
+impl ModalBank {
+    /// Assemble from per-entity image stacks and a text matrix.
+    pub fn new(image_stacks: Vec<Matrix>, texts: Matrix) -> Self {
+        let num_entities = image_stacks.len();
+        assert_eq!(texts.rows(), num_entities, "one text row per entity");
+        let image_dim = image_stacks
+            .iter()
+            .find(|m| m.rows() > 0)
+            .map(|m| m.cols())
+            .unwrap_or(0);
+        let total: usize = image_stacks.iter().map(|m| m.rows()).sum();
+        let mut images = Matrix::zeros(total, image_dim);
+        let mut image_offsets = Vec::with_capacity(num_entities + 1);
+        image_offsets.push(0u32);
+        let mut mean_images = Matrix::zeros(num_entities, image_dim);
+        let mut row = 0usize;
+        for (e, stack) in image_stacks.iter().enumerate() {
+            assert!(
+                stack.rows() == 0 || stack.cols() == image_dim,
+                "entity {e}: image dim {} != {image_dim}",
+                stack.cols()
+            );
+            for r in 0..stack.rows() {
+                images.row_mut(row).copy_from_slice(stack.row(r));
+                for (acc, &v) in mean_images.row_mut(e).iter_mut().zip(stack.row(r)) {
+                    *acc += v;
+                }
+                row += 1;
+            }
+            if stack.rows() > 0 {
+                let inv = 1.0 / stack.rows() as f32;
+                for v in mean_images.row_mut(e) {
+                    *v *= inv;
+                }
+            }
+            image_offsets.push(row as u32);
+        }
+        ModalBank {
+            num_entities,
+            image_dim,
+            text_dim: texts.cols(),
+            images,
+            image_offsets,
+            texts,
+            mean_images,
+        }
+    }
+
+    /// A bank with zero-width modalities (used by structure-only ablations).
+    pub fn empty(num_entities: usize) -> Self {
+        ModalBank {
+            num_entities,
+            image_dim: 0,
+            text_dim: 0,
+            images: Matrix::zeros(0, 0),
+            image_offsets: vec![0; num_entities + 1],
+            texts: Matrix::zeros(num_entities, 0),
+            mean_images: Matrix::zeros(num_entities, 0),
+        }
+    }
+
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    #[inline]
+    pub fn image_dim(&self) -> usize {
+        self.image_dim
+    }
+
+    #[inline]
+    pub fn text_dim(&self) -> usize {
+        self.text_dim
+    }
+
+    /// Number of images attached to `e`.
+    pub fn image_count(&self, e: EntityId) -> usize {
+        (self.image_offsets[e.index() + 1] - self.image_offsets[e.index()]) as usize
+    }
+
+    /// All image feature rows of `e`.
+    pub fn images_of(&self, e: EntityId) -> impl Iterator<Item = &[f32]> + '_ {
+        let (a, b) =
+            (self.image_offsets[e.index()] as usize, self.image_offsets[e.index() + 1] as usize);
+        (a..b).map(move |r| self.images.row(r))
+    }
+
+    /// Cached mean image feature `f_i` of `e`.
+    #[inline]
+    pub fn mean_image(&self, e: EntityId) -> &[f32] {
+        self.mean_images.row(e.index())
+    }
+
+    /// Text feature `f_t` of `e`.
+    #[inline]
+    pub fn text(&self, e: EntityId) -> &[f32] {
+        self.texts.row(e.index())
+    }
+
+    /// The whole mean-image matrix (`num_entities × image_dim`).
+    pub fn mean_images(&self) -> &Matrix {
+        &self.mean_images
+    }
+
+    /// The whole text matrix (`num_entities × text_dim`).
+    pub fn texts(&self) -> &Matrix {
+        &self.texts
+    }
+
+    /// Total stored image vectors.
+    pub fn total_images(&self) -> usize {
+        self.images.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> ModalBank {
+        let stacks = vec![
+            Matrix::from_vec(2, 3, vec![1., 1., 1., 3., 3., 3.]),
+            Matrix::from_vec(1, 3, vec![5., 5., 5.]),
+            Matrix::zeros(0, 3),
+        ];
+        let texts = Matrix::from_fn(3, 2, |r, _| r as f32);
+        ModalBank::new(stacks, texts)
+    }
+
+    #[test]
+    fn mean_image_is_average() {
+        let b = bank();
+        assert_eq!(b.mean_image(EntityId(0)), &[2.0, 2.0, 2.0]);
+        assert_eq!(b.mean_image(EntityId(1)), &[5.0, 5.0, 5.0]);
+        assert_eq!(b.mean_image(EntityId(2)), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn image_counts_and_offsets() {
+        let b = bank();
+        assert_eq!(b.image_count(EntityId(0)), 2);
+        assert_eq!(b.image_count(EntityId(1)), 1);
+        assert_eq!(b.image_count(EntityId(2)), 0);
+        assert_eq!(b.total_images(), 3);
+        let imgs: Vec<&[f32]> = b.images_of(EntityId(0)).collect();
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(imgs[1], &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn text_rows() {
+        let b = bank();
+        assert_eq!(b.text(EntityId(2)), &[2.0, 2.0]);
+        assert_eq!(b.text_dim(), 2);
+    }
+
+    #[test]
+    fn empty_bank_has_zero_dims() {
+        let b = ModalBank::empty(4);
+        assert_eq!(b.image_dim(), 0);
+        assert_eq!(b.text_dim(), 0);
+        assert_eq!(b.image_count(EntityId(3)), 0);
+        assert_eq!(b.mean_image(EntityId(0)), &[] as &[f32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one text row per entity")]
+    fn text_row_count_must_match() {
+        let _ = ModalBank::new(vec![Matrix::zeros(0, 0)], Matrix::zeros(3, 2));
+    }
+}

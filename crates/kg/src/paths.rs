@@ -1,0 +1,232 @@
+//! Path utilities: random walks, bounded BFS, and hop-distance queries.
+//!
+//! Used by the diversity reward (path embeddings), the NeuralLP-style rule
+//! miner (random-walk rule harvesting), and the Fig. 6/7 hop-statistics
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{EntityId, RelationId};
+
+/// A walked path: alternating start entity and (relation, entity) steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    pub start: EntityId,
+    pub steps: Vec<(RelationId, EntityId)>,
+}
+
+impl Path {
+    pub fn new(start: EntityId) -> Self {
+        Path { start, steps: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Last entity on the path (the current position).
+    pub fn end(&self) -> EntityId {
+        self.steps.last().map(|&(_, e)| e).unwrap_or(self.start)
+    }
+
+    /// The relation sequence (the "rule body" view of the path).
+    pub fn relation_seq(&self) -> Vec<RelationId> {
+        self.steps.iter().map(|&(r, _)| r).collect()
+    }
+}
+
+/// Uniform random walk of exactly `len` steps (stops early at dead ends).
+pub fn random_walk(g: &KnowledgeGraph, start: EntityId, len: usize, rng: &mut StdRng) -> Path {
+    let mut path = Path::new(start);
+    let mut cur = start;
+    for _ in 0..len {
+        let edges = g.neighbors(cur);
+        if edges.is_empty() {
+            break;
+        }
+        let e = edges[rng.gen_range(0..edges.len())];
+        path.steps.push((e.relation, e.target));
+        cur = e.target;
+    }
+    path
+}
+
+/// Hop distance from `start` to `goal` with BFS, bounded by `max_hops`.
+/// Returns `None` if unreachable within the bound.
+pub fn hop_distance(
+    g: &KnowledgeGraph,
+    start: EntityId,
+    goal: EntityId,
+    max_hops: usize,
+) -> Option<usize> {
+    if start == goal {
+        return Some(0);
+    }
+    let mut visited = vec![false; g.num_entities()];
+    visited[start.index()] = true;
+    let mut frontier = VecDeque::new();
+    frontier.push_back((start, 0usize));
+    while let Some((e, d)) = frontier.pop_front() {
+        if d == max_hops {
+            continue;
+        }
+        for edge in g.neighbors(e) {
+            if edge.target == goal {
+                return Some(d + 1);
+            }
+            if !visited[edge.target.index()] {
+                visited[edge.target.index()] = true;
+                frontier.push_back((edge.target, d + 1));
+            }
+        }
+    }
+    None
+}
+
+/// All simple paths from `start` to `goal` of length ≤ `max_hops`
+/// (capped at `max_paths` results to bound work on dense graphs).
+pub fn enumerate_paths(
+    g: &KnowledgeGraph,
+    start: EntityId,
+    goal: EntityId,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Path> {
+    let mut results = Vec::new();
+    let mut stack: Vec<(RelationId, EntityId)> = Vec::with_capacity(max_hops);
+    let mut on_path = vec![false; g.num_entities()];
+    on_path[start.index()] = true;
+    dfs(g, start, goal, max_hops, max_paths, &mut stack, &mut on_path, &mut results, start);
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &KnowledgeGraph,
+    cur: EntityId,
+    goal: EntityId,
+    budget: usize,
+    max_paths: usize,
+    stack: &mut Vec<(RelationId, EntityId)>,
+    on_path: &mut [bool],
+    results: &mut Vec<Path>,
+    start: EntityId,
+) {
+    if results.len() >= max_paths || budget == 0 {
+        return;
+    }
+    for edge in g.neighbors(cur) {
+        if results.len() >= max_paths {
+            return;
+        }
+        if edge.target == goal {
+            stack.push((edge.relation, edge.target));
+            results.push(Path { start, steps: stack.clone() });
+            stack.pop();
+            continue;
+        }
+        if !on_path[edge.target.index()] {
+            on_path[edge.target.index()] = true;
+            stack.push((edge.relation, edge.target));
+            dfs(g, edge.target, goal, budget - 1, max_paths, stack, on_path, results, start);
+            stack.pop();
+            on_path[edge.target.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+    use mmkgr_tensor::init::seeded_rng;
+
+    fn chain() -> KnowledgeGraph {
+        // 0 -> 1 -> 2 -> 3 (relation 0)
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2), Triple::new(2, 0, 3)];
+        KnowledgeGraph::from_triples(4, 1, triples, None)
+    }
+
+    #[test]
+    fn hop_distance_on_chain() {
+        let g = chain();
+        assert_eq!(hop_distance(&g, EntityId(0), EntityId(0), 4), Some(0));
+        assert_eq!(hop_distance(&g, EntityId(0), EntityId(1), 4), Some(1));
+        assert_eq!(hop_distance(&g, EntityId(0), EntityId(3), 4), Some(3));
+        assert_eq!(hop_distance(&g, EntityId(0), EntityId(3), 2), None);
+    }
+
+    #[test]
+    fn hop_distance_uses_inverse_edges() {
+        let g = chain();
+        // 3 can reach 0 through inverse edges
+        assert_eq!(hop_distance(&g, EntityId(3), EntityId(0), 4), Some(3));
+    }
+
+    #[test]
+    fn random_walk_respects_length_and_adjacency() {
+        let g = chain();
+        let mut rng = seeded_rng(0);
+        for _ in 0..20 {
+            let p = random_walk(&g, EntityId(0), 3, &mut rng);
+            assert!(p.len() <= 3);
+            let mut cur = p.start;
+            for &(r, e) in &p.steps {
+                assert!(g.has_edge(cur, r, e), "walk used a non-edge");
+                cur = e;
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_stops_at_dead_end() {
+        let g = KnowledgeGraph::from_triples(3, 1, vec![Triple::new(0, 0, 1)], None);
+        // entity 2 is isolated
+        let mut rng = seeded_rng(1);
+        let p = random_walk(&g, EntityId(2), 5, &mut rng);
+        assert!(p.is_empty());
+        assert_eq!(p.end(), EntityId(2));
+    }
+
+    #[test]
+    fn enumerate_simple_paths() {
+        // 0->1->3 and 0->2->3 (two 2-hop paths), plus direct 0->3
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 3),
+            Triple::new(0, 0, 2),
+            Triple::new(2, 0, 3),
+            Triple::new(0, 1, 3),
+        ];
+        let g = KnowledgeGraph::from_triples(4, 2, triples, None);
+        let paths = enumerate_paths(&g, EntityId(0), EntityId(3), 2, 100);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.end() == EntityId(3)));
+        let one_hop = paths.iter().filter(|p| p.len() == 1).count();
+        assert_eq!(one_hop, 1);
+    }
+
+    #[test]
+    fn enumerate_respects_cap() {
+        let triples: Vec<Triple> =
+            (1..=6).flat_map(|m| [Triple::new(0, 0, m), Triple::new(m, 0, 7)]).collect();
+        let g = KnowledgeGraph::from_triples(8, 1, triples, None);
+        let paths = enumerate_paths(&g, EntityId(0), EntityId(7), 2, 3);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn relation_seq_extraction() {
+        let mut p = Path::new(EntityId(0));
+        p.steps.push((RelationId(1), EntityId(2)));
+        p.steps.push((RelationId(0), EntityId(3)));
+        assert_eq!(p.relation_seq(), vec![RelationId(1), RelationId(0)]);
+    }
+}

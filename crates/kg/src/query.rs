@@ -1,0 +1,138 @@
+//! Triple queries (Problem 1 of the paper) and ranking candidate filters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EntityId, RelationId, RelationSpace};
+use crate::triple::{Triple, TripleSet};
+
+/// Which element of the triple is missing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// `(e_s, r_q, ?)` — predict the target entity.
+    Tail,
+    /// `(?, r_q, e_d)` — predict the source entity.
+    Head,
+    /// `(e_s, ?, e_d)` — predict the relation.
+    Relation,
+}
+
+/// A concrete evaluation query derived from a held-out triple.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    pub kind: QueryKind,
+    pub triple: Triple,
+}
+
+impl Query {
+    pub fn tail(t: Triple) -> Self {
+        Query { kind: QueryKind::Tail, triple: t }
+    }
+
+    pub fn head(t: Triple) -> Self {
+        Query { kind: QueryKind::Head, triple: t }
+    }
+
+    pub fn relation(t: Triple) -> Self {
+        Query { kind: QueryKind::Relation, triple: t }
+    }
+
+    /// The entity the agent starts from. Head queries are answered by
+    /// walking from `e_d` with the inverse relation — the usual reduction.
+    pub fn start(&self, relations: RelationSpace) -> (EntityId, RelationId) {
+        match self.kind {
+            QueryKind::Tail => (self.triple.s, self.triple.r),
+            QueryKind::Head => (self.triple.o, relations.inverse(self.triple.r)),
+            QueryKind::Relation => (self.triple.s, relations.no_op()),
+        }
+    }
+
+    /// The gold answer entity for Tail/Head queries.
+    pub fn answer(&self) -> EntityId {
+        match self.kind {
+            QueryKind::Tail => self.triple.o,
+            QueryKind::Head => self.triple.s,
+            QueryKind::Relation => self.triple.o, // destination; relation is the label
+        }
+    }
+}
+
+/// Filtered-ranking helper: given a query and a candidate entity, is the
+/// candidate a *different* known-true answer (and must be skipped when
+/// computing the gold answer's rank)?
+pub struct RankFilter<'a> {
+    known: &'a TripleSet,
+    relations: RelationSpace,
+}
+
+impl<'a> RankFilter<'a> {
+    pub fn new(known: &'a TripleSet, relations: RelationSpace) -> Self {
+        RankFilter { known, relations }
+    }
+
+    /// True if `candidate` should be filtered out of the ranking for `q`
+    /// (it is a known-true answer other than the gold one).
+    pub fn is_filtered(&self, q: &Query, candidate: EntityId) -> bool {
+        if candidate == q.answer() {
+            return false;
+        }
+        match q.kind {
+            QueryKind::Tail => self.known.contains(q.triple.s, q.triple.r, candidate),
+            QueryKind::Head => self.known.contains(candidate, q.triple.r, q.triple.o),
+            QueryKind::Relation => false,
+        }
+    }
+
+    pub fn relations(&self) -> RelationSpace {
+        self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_of_tail_and_head_queries() {
+        let rs = RelationSpace::new(4);
+        let t = Triple::new(1, 2, 3);
+        let (s, r) = Query::tail(t).start(rs);
+        assert_eq!((s, r), (EntityId(1), RelationId(2)));
+        let (s, r) = Query::head(t).start(rs);
+        assert_eq!((s, r), (EntityId(3), RelationId(6)));
+    }
+
+    #[test]
+    fn answers() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(Query::tail(t).answer(), EntityId(3));
+        assert_eq!(Query::head(t).answer(), EntityId(1));
+    }
+
+    #[test]
+    fn filter_skips_other_true_answers_only() {
+        let rs = RelationSpace::new(2);
+        let mut known = TripleSet::new();
+        known.insert(Triple::new(0, 0, 1));
+        known.insert(Triple::new(0, 0, 2));
+        let f = RankFilter::new(&known, rs);
+        let q = Query::tail(Triple::new(0, 0, 1));
+        // candidate 2 is another true answer → filtered
+        assert!(f.is_filtered(&q, EntityId(2)));
+        // the gold answer itself is never filtered
+        assert!(!f.is_filtered(&q, EntityId(1)));
+        // unknown candidate is a genuine negative → not filtered
+        assert!(!f.is_filtered(&q, EntityId(3)));
+    }
+
+    #[test]
+    fn head_filter_checks_source_position() {
+        let rs = RelationSpace::new(2);
+        let mut known = TripleSet::new();
+        known.insert(Triple::new(0, 0, 5));
+        known.insert(Triple::new(1, 0, 5));
+        let f = RankFilter::new(&known, rs);
+        let q = Query::head(Triple::new(0, 0, 5));
+        assert!(f.is_filtered(&q, EntityId(1)));
+        assert!(!f.is_filtered(&q, EntityId(2)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Graph profiling: the distributional statistics DESIGN.md's
+//! substitution argument rests on ("the synthetic MKGs match the paper
+//! datasets' shape"). [`GraphProfile::compute`] summarizes a
+//! [`KnowledgeGraph`]; the CLI's `generate` command and the datagen tests
+//! use it to verify that scaled presets keep their shape.
+
+use std::collections::VecDeque;
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::{EntityId, RelationId};
+
+/// Distributional summary of a knowledge graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphProfile {
+    pub entities: usize,
+    /// Base relations only (inverses and NO_OP excluded).
+    pub base_relations: usize,
+    /// Directed base edges (forward direction only).
+    pub edges: usize,
+    pub mean_out_degree: f64,
+    pub max_out_degree: usize,
+    /// Entities with no outgoing edges at all (dead ends for a walker —
+    /// they still get the NO_OP self-loop at rollout time).
+    pub sinks: usize,
+    /// Number of weakly-connected components.
+    pub components: usize,
+    /// Size of the largest weak component as a fraction of all entities.
+    pub largest_component_frac: f64,
+    /// Gini coefficient of the per-relation edge counts — 0 means all
+    /// relations are equally frequent; near 1 means a few dominate
+    /// (Freebase-like imbalance).
+    pub relation_gini: f64,
+    /// Fraction of sampled ordered entity pairs connected within k hops,
+    /// for k = 1..=4 (index 0 ⇔ 1 hop). Sampled, not exhaustive.
+    pub reach_within: [f64; 4],
+}
+
+impl GraphProfile {
+    /// Profile `graph`. `reach_samples` bounds the BFS sampling work
+    /// (256 is plenty for 2-digit precision).
+    pub fn compute(graph: &KnowledgeGraph, reach_samples: usize) -> Self {
+        let n = graph.num_entities();
+        let base = graph.relations().base();
+
+        // Degrees over *base* edges only: the CSR stores inverses too, so
+        // filter by relation id.
+        let is_base = |r: RelationId| (r.0 as usize) < base;
+        let mut edges = 0usize;
+        let mut max_out = 0usize;
+        let mut sinks = 0usize;
+        let mut rel_counts = vec![0usize; base.max(1)];
+        for e in 0..n {
+            let mut out = 0usize;
+            for edge in graph.neighbors(EntityId(e as u32)) {
+                if is_base(edge.relation) {
+                    out += 1;
+                    rel_counts[edge.relation.0 as usize] += 1;
+                }
+            }
+            edges += out;
+            max_out = max_out.max(out);
+            if graph.out_degree(EntityId(e as u32)) == 0 {
+                sinks += 1;
+            }
+        }
+
+        let (components, largest) = weak_components(graph);
+        let reach_within = reachability(graph, reach_samples);
+
+        GraphProfile {
+            entities: n,
+            base_relations: base,
+            edges,
+            mean_out_degree: edges as f64 / n.max(1) as f64,
+            max_out_degree: max_out,
+            sinks,
+            components,
+            largest_component_frac: largest as f64 / n.max(1) as f64,
+            relation_gini: gini(&rel_counts),
+            reach_within,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#Ent {} #Rel {} #Edges {} deg {:.1} (max {}) sinks {} \
+             components {} (largest {:.0}%) rel-gini {:.2} \
+             reach@1..4 {:.0}/{:.0}/{:.0}/{:.0}%",
+            self.entities,
+            self.base_relations,
+            self.edges,
+            self.mean_out_degree,
+            self.max_out_degree,
+            self.sinks,
+            self.components,
+            self.largest_component_frac * 100.0,
+            self.relation_gini,
+            self.reach_within[0] * 100.0,
+            self.reach_within[1] * 100.0,
+            self.reach_within[2] * 100.0,
+            self.reach_within[3] * 100.0,
+        )
+    }
+}
+
+/// Gini coefficient of non-negative counts (0 for uniform, → 1 for
+/// maximally concentrated; 0 for empty or all-zero input).
+pub fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    // G = (2·Σ i·x_i) / (n·Σ x) − (n + 1)/n   with 1-based i over sorted x
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Weakly-connected components via union-find over all stored edges
+/// (inverses included — they do not change weak connectivity).
+/// Returns `(component count, size of the largest)`.
+fn weak_components(graph: &KnowledgeGraph) -> (usize, usize) {
+    let n = graph.num_entities();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in 0..n {
+        for edge in graph.neighbors(EntityId(e as u32)) {
+            let a = find(&mut parent, e as u32);
+            let b = find(&mut parent, edge.target.0);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let mut sizes = std::collections::HashMap::new();
+    for e in 0..n {
+        let root = find(&mut parent, e as u32);
+        *sizes.entry(root).or_insert(0usize) += 1;
+    }
+    let largest = sizes.values().copied().max().unwrap_or(0);
+    (sizes.len(), largest)
+}
+
+/// Sampled k-hop reachability: from `samples` deterministic source
+/// entities, BFS to depth 4 and report the mean fraction of *other*
+/// entities first reached within 1, 2, 3, 4 hops (cumulative).
+fn reachability(graph: &KnowledgeGraph, samples: usize) -> [f64; 4] {
+    let n = graph.num_entities();
+    if n <= 1 || samples == 0 {
+        return [0.0; 4];
+    }
+    let stride = (n / samples.min(n)).max(1);
+    let mut acc = [0.0f64; 4];
+    let mut sampled = 0usize;
+    let mut depth = vec![u8::MAX; n];
+    let mut frontier = VecDeque::new();
+    for start in (0..n).step_by(stride) {
+        sampled += 1;
+        depth.iter_mut().for_each(|d| *d = u8::MAX);
+        depth[start] = 0;
+        frontier.clear();
+        frontier.push_back(EntityId(start as u32));
+        let mut counts = [0usize; 4];
+        while let Some(cur) = frontier.pop_front() {
+            let d = depth[cur.index()];
+            if d >= 4 {
+                continue;
+            }
+            for edge in graph.neighbors(cur) {
+                if depth[edge.target.index()] != u8::MAX {
+                    continue;
+                }
+                depth[edge.target.index()] = d + 1;
+                counts[d as usize] += 1;
+                frontier.push_back(edge.target);
+            }
+        }
+        let denom = (n - 1) as f64;
+        let mut cum = 0usize;
+        for (k, &c) in counts.iter().enumerate() {
+            cum += c;
+            acc[k] += cum as f64 / denom;
+        }
+    }
+    acc.map(|v| v / sampled.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn chain(n: u32) -> KnowledgeGraph {
+        let triples: Vec<Triple> =
+            (0..n - 1).map(|i| Triple::new(i, 0, i + 1)).collect();
+        KnowledgeGraph::from_triples(n as usize, 1, triples, None)
+    }
+
+    #[test]
+    fn profile_of_a_chain() {
+        let g = chain(5);
+        let p = GraphProfile::compute(&g, 8);
+        assert_eq!(p.entities, 5);
+        assert_eq!(p.base_relations, 1);
+        assert_eq!(p.edges, 4);
+        assert_eq!(p.components, 1, "a chain is one weak component");
+        assert!((p.largest_component_frac - 1.0).abs() < 1e-12);
+        assert_eq!(p.max_out_degree, 1);
+        // one relation → perfectly uniform
+        assert!(p.relation_gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_counted_per_island() {
+        // two disjoint edges + one isolated entity = 3 weak components
+        let g = KnowledgeGraph::from_triples(
+            5,
+            1,
+            vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)],
+            None,
+        );
+        let p = GraphProfile::compute(&g, 8);
+        assert_eq!(p.components, 3);
+        assert!((p.largest_component_frac - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_uniform_vs_concentrated() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        let concentrated = gini(&[0, 0, 0, 100]);
+        assert!(concentrated > 0.7, "one dominant relation → high Gini, got {concentrated}");
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        // monotone: moving mass to one bucket raises inequality
+        assert!(gini(&[1, 9]) > gini(&[4, 6]));
+    }
+
+    #[test]
+    fn reachability_cumulative_and_bounded() {
+        let g = chain(6);
+        let p = GraphProfile::compute(&g, 6);
+        for k in 1..4 {
+            assert!(
+                p.reach_within[k] >= p.reach_within[k - 1] - 1e-12,
+                "reachability must be cumulative"
+            );
+        }
+        for v in p.reach_within {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // chains include inverse edges → from the middle everything is
+        // reachable within 4 hops; from the ends less. Strictly positive.
+        assert!(p.reach_within[0] > 0.0);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let g = chain(4);
+        let p = GraphProfile::compute(&g, 4);
+        let s = p.to_string();
+        assert!(!s.contains('\n'));
+        assert!(s.contains("#Ent 4"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Relation triples and packed triple sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+use crate::ids::{EntityId, RelationId};
+
+/// A `(source, relation, target)` fact.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    pub s: EntityId,
+    pub r: RelationId,
+    pub o: EntityId,
+}
+
+impl Triple {
+    pub fn new(s: u32, r: u32, o: u32) -> Self {
+        Triple { s: EntityId(s), r: RelationId(r), o: EntityId(o) }
+    }
+
+    /// Pack into a single u64 key (supports ≤2^24 entities, ≤2^16 rels).
+    #[inline]
+    pub fn key(&self) -> u64 {
+        debug_assert!(self.s.0 < (1 << 24) && self.o.0 < (1 << 24) && self.r.0 < (1 << 16));
+        ((self.s.0 as u64) << 40) | ((self.r.0 as u64) << 24) | self.o.0 as u64
+    }
+
+    /// Inverse key packing for `(o, r, s)` style lookups.
+    #[inline]
+    pub fn key_of(s: EntityId, r: RelationId, o: EntityId) -> u64 {
+        Triple { s, r, o }.key()
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.r, self.o)
+    }
+}
+
+/// A membership set over triples, used for filtered ranking and for the
+/// "known facts" environment masks.
+#[derive(Default, Clone, Debug)]
+pub struct TripleSet {
+    keys: HashSet<u64>,
+}
+
+impl TripleSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Self {
+        let mut set = Self::new();
+        for t in triples {
+            set.insert(*t);
+        }
+        set
+    }
+
+    pub fn insert(&mut self, t: Triple) -> bool {
+        self.keys.insert(t.key())
+    }
+
+    pub fn contains(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
+        self.keys.contains(&Triple::key_of(s, r, o))
+    }
+
+    pub fn contains_triple(&self, t: &Triple) -> bool {
+        self.keys.contains(&t.key())
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_injective_on_small_ids() {
+        let a = Triple::new(1, 2, 3);
+        let b = Triple::new(3, 2, 1);
+        let c = Triple::new(1, 3, 2);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_ne!(b.key(), c.key());
+    }
+
+    #[test]
+    fn set_membership() {
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)];
+        let set = TripleSet::from_triples(&triples);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(EntityId(0), RelationId(0), EntityId(1)));
+        assert!(!set.contains(EntityId(1), RelationId(0), EntityId(0)));
+    }
+
+    #[test]
+    fn duplicate_insert_returns_false() {
+        let mut set = TripleSet::new();
+        assert!(set.insert(Triple::new(5, 1, 7)));
+        assert!(!set.insert(Triple::new(5, 1, 7)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_triple() {
+        assert_eq!(Triple::new(1, 2, 3).to_string(), "(e1, r2, e3)");
+    }
+}

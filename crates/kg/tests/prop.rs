@@ -1,0 +1,88 @@
+//! Property-based invariants for the graph substrate.
+
+use mmkgr_kg::{EntityId, KnowledgeGraph, RelationSpace, Triple};
+use proptest::prelude::*;
+
+fn arb_triples(
+    entities: usize,
+    relations: usize,
+) -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (0..entities as u32, 0..relations as u32, 0..entities as u32)
+            .prop_map(|(s, r, o)| Triple::new(s, r, o)),
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_equals_edges(triples in arb_triples(12, 3)) {
+        let g = KnowledgeGraph::from_triples(12, 3, triples.clone(), None);
+        let degree_sum: usize = (0..12).map(|e| g.out_degree(EntityId(e))).sum();
+        prop_assert_eq!(degree_sum, 2 * triples.len());
+        prop_assert_eq!(g.num_edges(), 2 * triples.len());
+    }
+
+    #[test]
+    fn every_forward_edge_has_inverse(triples in arb_triples(10, 4)) {
+        let g = KnowledgeGraph::from_triples(10, 4, triples.clone(), None);
+        let rs = g.relations();
+        for t in &triples {
+            prop_assert!(g.has_edge(t.s, t.r, t.o));
+            prop_assert!(g.has_edge(t.o, rs.inverse(t.r), t.s));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted(triples in arb_triples(8, 3)) {
+        let g = KnowledgeGraph::from_triples(8, 3, triples, None);
+        for e in 0..8 {
+            let bucket = g.neighbors(EntityId(e));
+            for w in bucket.windows(2) {
+                prop_assert!((w[0].relation, w[0].target) <= (w[1].relation, w[1].target));
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_exceeds_cap(triples in arb_triples(8, 3), cap in 1usize..6) {
+        let g = KnowledgeGraph::from_triples(8, 3, triples, Some(cap));
+        prop_assert!(g.max_out_degree() <= cap);
+    }
+
+    #[test]
+    fn targets_subset_of_neighbors(triples in arb_triples(8, 3)) {
+        let g = KnowledgeGraph::from_triples(8, 3, triples, None);
+        for e in 0..8u32 {
+            for r in 0..7u32 { // includes inverse range
+                for tgt in g.targets(EntityId(e), mmkgr_kg::RelationId(r)) {
+                    prop_assert!(g.has_edge(EntityId(e), mmkgr_kg::RelationId(r), tgt));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_relation_space_total(base in 1usize..50) {
+        let rs = RelationSpace::new(base);
+        prop_assert_eq!(rs.total(), 2 * base + 1);
+        for r in 0..(2 * base) as u32 {
+            let rel = mmkgr_kg::RelationId(r);
+            prop_assert_eq!(rs.inverse(rs.inverse(rel)), rel);
+            prop_assert_ne!(rs.inverse(rel), rel);
+        }
+    }
+
+    #[test]
+    fn hop_distance_symmetric_with_inverses(triples in arb_triples(10, 2)) {
+        // Because every edge has an inverse, reachability is symmetric.
+        let g = KnowledgeGraph::from_triples(10, 2, triples, None);
+        for a in 0..5u32 {
+            for b in 5..10u32 {
+                let ab = mmkgr_kg::hop_distance(&g, EntityId(a), EntityId(b), 6);
+                let ba = mmkgr_kg::hop_distance(&g, EntityId(b), EntityId(a), 6);
+                prop_assert_eq!(ab.is_some(), ba.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Layers: linear, embedding, LSTM cell, MLP.
+
+use mmkgr_tensor::init;
+use mmkgr_tensor::{Matrix, Var};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::param::{Ctx, ParamId, Params};
+
+/// Fully-connected layer `y = x·W (+ b)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: Option<ParamId>,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init::xavier(rng, in_dim, out_dim));
+        let b = bias.then(|| params.add(format!("{name}.b"), Matrix::zeros(1, out_dim)));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// `x: batch×in_dim → batch×out_dim`.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
+        let y = ctx.tape.matmul(x, ctx.p(self.w));
+        match self.b {
+            Some(b) => ctx.tape.add(y, ctx.p(b)),
+            None => y,
+        }
+    }
+}
+
+/// Embedding table with row-gather lookup.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub count: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        count: usize,
+        dim: usize,
+    ) -> Self {
+        let table = params.add(name, init::xavier(rng, count, dim));
+        Embedding { table, count, dim }
+    }
+
+    /// Wrap an existing (e.g. pre-trained) table.
+    pub fn from_matrix(params: &mut Params, name: &str, table: Matrix) -> Self {
+        let (count, dim) = table.shape();
+        let table = params.add(name, table);
+        Embedding { table, count, dim }
+    }
+
+    /// `indices.len()×dim` gather.
+    pub fn forward(&self, ctx: &Ctx<'_>, indices: &[usize]) -> Var {
+        ctx.tape.gather_rows(ctx.p(self.table), indices)
+    }
+
+    /// Read one row without touching a tape (inference fast path).
+    pub fn row<'p>(&self, params: &'p Params, index: usize) -> &'p [f32] {
+        params.value(self.table).row(index)
+    }
+}
+
+/// A single LSTM cell. Used by MMKGR as the path-history encoder of
+/// Eq. (1): `h_t = LSTM(h_{t-1}, [r_{t-1}; e_t])`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmCell {
+    pub wx: ParamId,
+    pub wh: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = params.add(format!("{name}.wx"), init::xavier(rng, in_dim, 4 * hidden));
+        let wh = params.add(format!("{name}.wh"), init::xavier(rng, hidden, 4 * hidden));
+        // Forget-gate bias starts at 1.0 (standard trick for gradient flow).
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0);
+        }
+        let b = params.add(format!("{name}.b"), bias);
+        LstmCell { wx, wh, b, in_dim, hidden }
+    }
+
+    /// One step. `x: batch×in_dim`, `h,c: batch×hidden` → `(h', c')`.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let t = ctx.tape;
+        let gates_x = t.matmul(x, ctx.p(self.wx));
+        let gates_h = t.matmul(h, ctx.p(self.wh));
+        let gates = t.add(gates_x, gates_h);
+        let gates = t.add(gates, ctx.p(self.b));
+        let hsz = self.hidden;
+        let i = t.sigmoid(t.slice_cols(gates, 0, hsz));
+        let f = t.sigmoid(t.slice_cols(gates, hsz, 2 * hsz));
+        let g = t.tanh(t.slice_cols(gates, 2 * hsz, 3 * hsz));
+        let o = t.sigmoid(t.slice_cols(gates, 3 * hsz, 4 * hsz));
+        let c_next = t.add(t.mul(f, c), t.mul(i, g));
+        let h_next = t.mul(o, t.tanh(c_next));
+        (h_next, c_next)
+    }
+
+    /// Zero state for a batch.
+    pub fn zero_state(&self, ctx: &Ctx<'_>, batch: usize) -> (Var, Var) {
+        (
+            ctx.input(Matrix::zeros(batch, self.hidden)),
+            ctx.input(Matrix::zeros(batch, self.hidden)),
+        )
+    }
+}
+
+/// A single GRU cell — the alternative path-history encoder for the
+/// `ablation_history` bench (the paper fixes LSTM in Eq. (1); GRU tests
+/// whether the choice matters at our scale).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GruCell {
+    pub wx: ParamId,
+    pub wh: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        // Gate order in the 3h-wide blocks: reset (r), update (z), candidate (n).
+        let wx = params.add(format!("{name}.wx"), init::xavier(rng, in_dim, 3 * hidden));
+        let wh = params.add(format!("{name}.wh"), init::xavier(rng, hidden, 3 * hidden));
+        let b = params.add(format!("{name}.b"), Matrix::zeros(1, 3 * hidden));
+        GruCell { wx, wh, b, in_dim, hidden }
+    }
+
+    /// One step. `x: batch×in_dim`, `h: batch×hidden` → `h'`.
+    ///
+    /// `h' = (1 − z) ⊙ n + z ⊙ h`, with
+    /// `n = tanh(x·Wxn + (r ⊙ h)·Whn + bn)`.
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var, h: Var) -> Var {
+        let t = ctx.tape;
+        let hsz = self.hidden;
+        let gx = t.add(t.matmul(x, ctx.p(self.wx)), ctx.p(self.b));
+        let gh = t.matmul(h, ctx.p(self.wh));
+        let r = t.sigmoid(t.add(
+            t.slice_cols(gx, 0, hsz),
+            t.slice_cols(gh, 0, hsz),
+        ));
+        let z = t.sigmoid(t.add(
+            t.slice_cols(gx, hsz, 2 * hsz),
+            t.slice_cols(gh, hsz, 2 * hsz),
+        ));
+        // candidate uses the reset-gated recurrent contribution
+        let rh = t.mul(r, h);
+        let nh = t.matmul(rh, {
+            // Whn is the third hsz-wide block of wh; slicing a parameter
+            // keeps the gradient routed into the right columns.
+            let whn = t.slice_cols(ctx.p(self.wh), 2 * hsz, 3 * hsz);
+            whn
+        });
+        // x·Wxn + bn is already inside gx's third block.
+        let n = t.tanh(t.add(t.slice_cols(gx, 2 * hsz, 3 * hsz), nh));
+        // h' = (1−z)⊙n + z⊙h  ⇔  n + z⊙(h − n)
+        t.add(n, t.mul(z, t.sub(h, n)))
+    }
+
+    /// Zero state for a batch.
+    pub fn zero_state(&self, ctx: &Ctx<'_>, batch: usize) -> Var {
+        ctx.input(Matrix::zeros(batch, self.hidden))
+    }
+}
+
+/// Two-layer MLP with ReLU: the policy-head shape used across the RL models.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp2 {
+    pub l1: Linear,
+    pub l2: Linear,
+}
+
+impl Mlp2 {
+    pub fn new(
+        params: &mut Params,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+    ) -> Self {
+        Mlp2 {
+            l1: Linear::new(params, rng, &format!("{name}.l1"), in_dim, hidden, true),
+            l2: Linear::new(params, rng, &format!("{name}.l2"), hidden, out_dim, true),
+        }
+    }
+
+    pub fn forward(&self, ctx: &Ctx<'_>, x: Var) -> Var {
+        let h = self.l1.forward(ctx, x);
+        let h = ctx.tape.relu(h);
+        self.l2.forward(ctx, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::init::seeded_rng;
+    use mmkgr_tensor::Tape;
+
+    #[test]
+    fn linear_shapes() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(0);
+        let lin = Linear::new(&mut params, &mut rng, "l", 4, 3, true);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let x = ctx.input(Matrix::ones(2, 4));
+        let y = lin.forward(&ctx, x);
+        assert_eq!(tape.shape(y), (2, 3));
+    }
+
+    #[test]
+    fn linear_no_bias_is_pure_matmul() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(0);
+        let lin = Linear::new(&mut params, &mut rng, "l", 2, 2, false);
+        // overwrite with identity
+        *params.value_mut(lin.w) = Matrix::eye(2);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let x = ctx.input(Matrix::from_vec(1, 2, vec![5.0, -3.0]));
+        let y = lin.forward(&ctx, x);
+        assert_eq!(tape.value_cloned(y).as_slice(), &[5.0, -3.0]);
+    }
+
+    #[test]
+    fn embedding_lookup_rows() {
+        let mut params = Params::new();
+        let table = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let emb = Embedding::from_matrix(&mut params, "e", table);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let out = emb.forward(&ctx, &[3, 1]);
+        let v = tape.value_cloned(out);
+        assert_eq!(v.as_slice(), &[3.0, 3.0, 1.0, 1.0]);
+        assert_eq!(emb.row(&params, 2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_bounds() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(1);
+        let cell = LstmCell::new(&mut params, &mut rng, "lstm", 3, 5);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let (h0, c0) = cell.zero_state(&ctx, 2);
+        let x = ctx.input(Matrix::ones(2, 3));
+        let (h1, c1) = cell.forward(&ctx, x, h0, c0);
+        assert_eq!(tape.shape(h1), (2, 5));
+        assert_eq!(tape.shape(c1), (2, 5));
+        // h is a tanh-sigmoid product: strictly inside (-1, 1)
+        let hv = tape.value_cloned(h1);
+        assert!(hv.as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn lstm_state_evolves() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(2);
+        let cell = LstmCell::new(&mut params, &mut rng, "lstm", 2, 4);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let (mut h, mut c) = cell.zero_state(&ctx, 1);
+        let x = ctx.input(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        let h_first;
+        (h, c) = cell.forward(&ctx, x, h, c);
+        h_first = tape.value_cloned(h);
+        (h, _) = cell.forward(&ctx, x, h, c);
+        let h_second = tape.value_cloned(h);
+        assert_ne!(h_first, h_second, "same input, different state → different h");
+    }
+
+    #[test]
+    fn gru_step_shapes_and_bounds() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(3);
+        let cell = GruCell::new(&mut params, &mut rng, "gru", 3, 5);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let h0 = cell.zero_state(&ctx, 2);
+        let x = ctx.input(Matrix::ones(2, 3));
+        let h1 = cell.forward(&ctx, x, h0);
+        assert_eq!(tape.shape(h1), (2, 5));
+        // h' is a convex combination of tanh candidate and previous h=0:
+        // strictly inside (-1, 1).
+        let hv = tape.value_cloned(h1);
+        assert!(hv.as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gru_state_evolves() {
+        let mut params = Params::new();
+        let mut rng = seeded_rng(4);
+        let cell = GruCell::new(&mut params, &mut rng, "gru", 2, 4);
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let mut h = cell.zero_state(&ctx, 1);
+        let x = ctx.input(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        h = cell.forward(&ctx, x, h);
+        let h_first = tape.value_cloned(h);
+        h = cell.forward(&ctx, x, h);
+        let h_second = tape.value_cloned(h);
+        assert_ne!(h_first, h_second);
+    }
+
+    #[test]
+    fn gru_update_gate_interpolates_toward_previous_state() {
+        // With the update gate saturated at z≈1 (huge bias on the z
+        // block), h' must stay ≈ h regardless of the input.
+        let mut params = Params::new();
+        let mut rng = seeded_rng(5);
+        let cell = GruCell::new(&mut params, &mut rng, "gru", 2, 3);
+        let bias = params.value_mut(cell.b);
+        for c in 3..6 {
+            bias.set(0, c, 50.0); // z-block
+        }
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let h_prev = ctx.input(Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.9]));
+        let x = ctx.input(Matrix::from_vec(1, 2, vec![5.0, -5.0]));
+        let h_next = tape.value_cloned(cell.forward(&ctx, x, h_prev));
+        for (a, b) in h_next.as_slice().iter().zip([0.3, -0.2, 0.9]) {
+            assert!((a - b).abs() < 1e-3, "z≈1 should copy state: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gru_gradients_reach_all_parameter_blocks() {
+        use crate::optim::Adam;
+        // One optimization step on a squared-norm loss must move wx, wh
+        // and b — i.e. gradient flows through reset, update and candidate.
+        let mut params = Params::new();
+        let mut rng = seeded_rng(6);
+        let cell = GruCell::new(&mut params, &mut rng, "gru", 2, 3);
+        let before: Vec<Matrix> =
+            params.iter().map(|(_, _, m)| m.clone()).collect();
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &params);
+        let h0 = ctx.input(Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.25]));
+        let x = ctx.input(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let h1 = cell.forward(&ctx, x, h0);
+        let loss = tape.sum(tape.mul(h1, h1));
+        let grads = tape.backward(loss);
+        ctx.into_leases().accumulate(&mut params, &grads);
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut params);
+        for ((_, name, after), before) in params.iter().zip(&before) {
+            assert_ne!(
+                after.as_slice(),
+                before.as_slice(),
+                "param {name} did not receive gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_trains_xor() {
+        use crate::optim::Adam;
+        let mut params = Params::new();
+        let mut rng = seeded_rng(7);
+        let mlp = Mlp2::new(&mut params, &mut rng, "xor", 2, 8, 1);
+        let mut opt = Adam::new(0.05);
+        let xs = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let ys = [0.0f32, 1.0, 1.0, 0.0];
+        let mut final_loss = f32::MAX;
+        for _ in 0..300 {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, &params);
+            let x = ctx.input(xs.clone());
+            let logits = mlp.forward(&ctx, x);
+            let probs = tape.sigmoid(logits);
+            let target = ctx.input(Matrix::col_vector(&ys));
+            let diff = tape.sub(probs, target);
+            let sq = tape.mul(diff, diff);
+            let loss = tape.mean(sq);
+            final_loss = tape.scalar(loss);
+            let grads = tape.backward(loss);
+            ctx.into_leases().accumulate(&mut params, &grads);
+            opt.step(&mut params);
+            params.zero_grads();
+        }
+        assert!(final_loss < 0.03, "XOR did not converge: loss {final_loss}");
+    }
+}

@@ -1,0 +1,40 @@
+//! `mmkgr-nn` — neural-network building blocks on the `mmkgr-tensor` tape.
+//!
+//! Provides the pieces the MMKGR reproduction composes into models:
+//! parameter arena with per-tape leasing ([`Params`], [`Ctx`]), layers
+//! ([`Linear`], [`Embedding`], [`LstmCell`], [`Mlp2`]), optimizers
+//! ([`Adam`], [`Sgd`]) and losses ([`loss`]).
+//!
+//! # Training-loop shape
+//!
+//! ```
+//! use mmkgr_nn::{Params, Ctx, Linear, Adam};
+//! use mmkgr_tensor::{Matrix, Tape};
+//! use mmkgr_tensor::init::seeded_rng;
+//!
+//! let mut params = Params::new();
+//! let mut rng = seeded_rng(0);
+//! let layer = Linear::new(&mut params, &mut rng, "l", 2, 1, true);
+//! let mut opt = Adam::new(0.01);
+//!
+//! for _ in 0..10 {
+//!     let tape = Tape::new();
+//!     let ctx = Ctx::new(&tape, &params);
+//!     let x = ctx.input(Matrix::ones(4, 2));
+//!     let y = layer.forward(&ctx, x);
+//!     let loss = tape.mean(tape.mul(y, y));
+//!     let grads = tape.backward(loss);
+//!     ctx.into_leases().accumulate(&mut params, &grads);
+//!     opt.step(&mut params);
+//!     params.zero_grads();
+//! }
+//! ```
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+
+pub use layers::{Embedding, GruCell, Linear, LstmCell, Mlp2};
+pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
+pub use param::{Ctx, Leases, ParamId, Params};

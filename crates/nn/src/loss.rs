@@ -1,0 +1,111 @@
+//! Loss functions used across the MMKGR stack.
+
+use mmkgr_tensor::{Tape, Var};
+
+/// Mean cross-entropy over rows of `logits` against integer `targets`.
+pub fn cross_entropy(tape: &Tape, logits: Var, targets: &[usize]) -> Var {
+    let logp = tape.log_softmax_rows(logits);
+    let picked = tape.pick_per_row(logp, targets);
+    let s = tape.mean(picked);
+    tape.neg(s)
+}
+
+/// Margin ranking loss `mean(max(0, margin + pos - neg))` — the TransE
+/// objective shape, where `pos`/`neg` are *distances* (lower is better),
+/// both `n×1`.
+pub fn margin_ranking(tape: &Tape, pos: Var, neg: Var, margin: f32) -> Var {
+    let d = tape.sub(pos, neg);
+    let shifted = tape.add_scalar(d, margin);
+    let hinge = tape.relu(shifted);
+    tape.mean(hinge)
+}
+
+/// Binary cross-entropy of probabilities `p` against 0/1 `targets`
+/// (both `n×1`), numerically guarded by an epsilon inside the logs.
+pub fn bce(tape: &Tape, p: Var, targets: Var) -> Var {
+    let eps = 1e-7;
+    let log_p = tape.ln_eps(p, eps);
+    let one_minus_p = tape.scale(tape.add_scalar(tape.neg(p), 1.0), 1.0);
+    let log_1mp = tape.ln_eps(one_minus_p, eps);
+    let one_minus_t = tape.add_scalar(tape.neg(targets), 1.0);
+    let a = tape.mul(targets, log_p);
+    let b = tape.mul(one_minus_t, log_1mp);
+    let s = tape.add(a, b);
+    let m = tape.mean(s);
+    tape.neg(m)
+}
+
+/// Mean squared error between two equally-shaped values.
+pub fn mse(tape: &Tape, a: Var, b: Var) -> Var {
+    let d = tape.sub(a, b);
+    let sq = tape.mul(d, d);
+    tape.mean(sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::Matrix;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let tape = Tape::new();
+        let logits = tape.input(Matrix::from_vec(2, 3, vec![10., 0., 0., 0., 10., 0.]));
+        let loss = cross_entropy(&tape, logits, &[0, 1]);
+        assert!(tape.scalar(loss) < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let tape = Tape::new();
+        let logits = tape.input(Matrix::zeros(1, 4));
+        let loss = cross_entropy(&tape, logits, &[2]);
+        assert!((tape.scalar(loss) - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn margin_ranking_zero_when_separated() {
+        let tape = Tape::new();
+        let pos = tape.input(Matrix::full(3, 1, 0.1));
+        let neg = tape.input(Matrix::full(3, 1, 5.0));
+        let loss = margin_ranking(&tape, pos, neg, 1.0);
+        assert_eq!(tape.scalar(loss), 0.0);
+    }
+
+    #[test]
+    fn margin_ranking_penalizes_violations() {
+        let tape = Tape::new();
+        let pos = tape.input(Matrix::full(1, 1, 2.0));
+        let neg = tape.input(Matrix::full(1, 1, 1.0));
+        let loss = margin_ranking(&tape, pos, neg, 1.0);
+        // margin + pos - neg = 1 + 2 - 1 = 2
+        assert!((tape.scalar(loss) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_confident_correct_is_small() {
+        let tape = Tape::new();
+        let p = tape.input(Matrix::from_vec(2, 1, vec![0.999, 0.001]));
+        let t = tape.input(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        let loss = bce(&tape, p, t);
+        assert!(tape.scalar(loss) < 0.01);
+    }
+
+    #[test]
+    fn bce_survives_extreme_probs() {
+        let tape = Tape::new();
+        let p = tape.input(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        let t = tape.input(Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let loss = bce(&tape, p, t);
+        assert!(tape.scalar(loss).is_finite());
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let tape = Tape::new();
+        let a = tape.input(Matrix::ones(2, 2));
+        let b = tape.input(Matrix::ones(2, 2));
+        let loss = mse(&tape, a, b);
+        assert_eq!(tape.scalar(loss), 0.0);
+    }
+}

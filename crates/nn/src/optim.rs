@@ -1,0 +1,269 @@
+//! Optimizers: SGD (with momentum) and Adam, plus global-norm clipping.
+
+use mmkgr_tensor::Matrix;
+
+use crate::param::Params;
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Apply one step using the accumulated gradients. Does *not* zero the
+    /// gradients — callers do that explicitly so accumulation across
+    /// mini-batches stays possible.
+    pub fn step(&mut self, params: &mut Params) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        for (id, value, grad) in params.iter_mut() {
+            if mu == 0.0 {
+                value.add_scaled(-lr, grad);
+            } else {
+                if self.velocity.len() <= id.0 {
+                    self.velocity
+                        .resize_with(id.0 + 1, || Matrix::zeros(value.rows(), value.cols()));
+                }
+                let v = &mut self.velocity[id.0];
+                if v.shape() != value.shape() {
+                    *v = Matrix::zeros(value.rows(), value.cols());
+                }
+                v.scale_inplace(mu);
+                v.add_scaled(1.0, grad);
+                value.add_scaled(-lr, v);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Apply one Adam step. Gradients are left untouched (zero explicitly).
+    pub fn step(&mut self, params: &mut Params) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, value, grad) in params.iter_mut() {
+            if self.m.len() <= id.0 {
+                let (r, c) = value.shape();
+                self.m.resize_with(id.0 + 1, || Matrix::zeros(r, c));
+                self.v.resize_with(id.0 + 1, || Matrix::zeros(r, c));
+            }
+            let m = &mut self.m[id.0];
+            let v = &mut self.v[id.0];
+            if m.shape() != value.shape() {
+                *m = Matrix::zeros(value.rows(), value.cols());
+                *v = Matrix::zeros(value.rows(), value.cols());
+            }
+            let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+            for i in 0..value.len() {
+                let g = grad.as_slice()[i];
+                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                value.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Learning-rate schedules for the training loops. All schedules map an
+/// epoch index to a multiplier on the base rate; trainers set
+/// `opt.lr = base_lr * schedule.factor(epoch)` at epoch boundaries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// No decay — the paper's setting.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step { every: usize, gamma: f32 },
+    /// Cosine annealing from 1.0 down to `floor` across `total` epochs.
+    Cosine { total: usize, floor: f32 },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup { warmup: usize },
+}
+
+impl LrSchedule {
+    /// Multiplier for the given epoch (0-based). Always in `(0, 1]` for
+    /// the decaying schedules; warmup starts below 1 and saturates at 1.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => {
+                gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 {
+                    1.0
+                } else {
+                    ((epoch + 1) as f32 / warmup as f32).min(1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Scale all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut Params, max_norm: f32) -> f32 {
+    let norm = params.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for (_, _, grad) in params.iter_mut() {
+            grad.scale_inplace(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_tensor::{Matrix, Tape};
+
+    use crate::param::Ctx;
+
+    /// Minimize (w - 3)² from w = 0.
+    fn quadratic_loss(params: &mut Params, opt: &mut dyn FnMut(&mut Params)) -> f32 {
+        let id = params.iter().next().unwrap().0;
+        for _ in 0..200 {
+            let tape = Tape::new();
+            let ctx = Ctx::new(&tape, params);
+            let w = ctx.p(id);
+            let target = ctx.input(Matrix::full(1, 1, 3.0));
+            let d = tape.sub(w, target);
+            let sq = tape.mul(d, d);
+            let loss = tape.sum(sq);
+            let grads = tape.backward(loss);
+            ctx.into_leases().accumulate(params, &grads);
+            opt(params);
+            params.zero_grads();
+        }
+        params.iter().next().unwrap().2.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = Params::new();
+        params.add("w", Matrix::zeros(1, 1));
+        let mut sgd = Sgd::new(0.1);
+        let w = quadratic_loss(&mut params, &mut |p| sgd.step(p));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut params = Params::new();
+        params.add("w", Matrix::zeros(1, 1));
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        let w = quadratic_loss(&mut params, &mut |p| sgd.step(p));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = Params::new();
+        params.add("w", Matrix::zeros(1, 1));
+        let mut adam = Adam::new(0.1);
+        let w = quadratic_loss(&mut params, &mut |p| adam.step(p));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut params = Params::new();
+        let id = params.add("w", Matrix::zeros(1, 2));
+        params.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![30.0, 40.0]));
+        let pre = clip_grad_norm(&mut params, 5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        assert!((params.grad_norm() - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_noop_when_under_limit() {
+        let mut params = Params::new();
+        let id = params.add("w", Matrix::zeros(1, 2));
+        params.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.3, 0.4]));
+        clip_grad_norm(&mut params, 5.0);
+        assert!((params.grad_norm() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_handles_late_registered_params() {
+        let mut params = Params::new();
+        params.add("a", Matrix::zeros(1, 1));
+        let mut adam = Adam::new(0.05);
+        adam.step(&mut params); // initializes state for a
+        params.add("b", Matrix::zeros(2, 2));
+        adam.step(&mut params); // must grow state without panicking
+    }
+
+    #[test]
+    fn constant_schedule_is_identity() {
+        for e in [0, 1, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_schedule_decays_geometrically() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_monotonicity() {
+        let s = LrSchedule::Cosine { total: 20, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(20) - 0.1).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6, "clamps past total");
+        let mut prev = f32::INFINITY;
+        for e in 0..=20 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6, "cosine must be non-increasing");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn warmup_schedule_ramps_then_saturates() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.factor(50), 1.0);
+        assert_eq!(LrSchedule::Warmup { warmup: 0 }.factor(0), 1.0);
+    }
+}

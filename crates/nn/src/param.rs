@@ -1,0 +1,255 @@
+//! Parameter storage and per-tape leasing.
+//!
+//! Parameters live in a [`Params`] arena, addressed by [`ParamId`]. A
+//! forward pass runs inside a [`Ctx`], which *leases* each parameter onto
+//! the tape (as a leaf node) at most once; after `backward`, the recorded
+//! leases route tape gradients back into the arena with
+//! [`Leases::accumulate`].
+//!
+//! This indirection is what lets us rebuild a fresh dynamic graph every RL
+//! step while the parameters (and their optimizer state) persist.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mmkgr_tensor::{Grads, Matrix, Tape, Var};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter in a [`Params`] arena.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Serialize, Deserialize)]
+struct Entry {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Arena of named, trainable parameters.
+#[derive(Default, Serialize, Deserialize)]
+pub struct Params {
+    entries: Vec<Entry>,
+}
+
+impl Params {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; names are for diagnostics/serialization and
+    /// need not be unique (suffix them at the call site if they must be).
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.entries.push(Entry { name: name.into(), value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.entries[id.0].value
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0].grad
+    }
+
+    /// Add `delta` into the stored gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.entries[id.0].grad.add_assign(delta);
+    }
+
+    /// Reset all gradients to zero (keeps allocations).
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill_zero();
+        }
+    }
+
+    /// Iterate `(id, value, grad)` for optimizer steps.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Matrix, &mut Matrix)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| (ParamId(i), &mut e.value, &mut e.grad))
+    }
+
+    /// Iterate `(id, name, value)` read-only.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e.name.as_str(), &e.value))
+    }
+
+    /// Global gradient L2 norm (for clipping diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Serialize all parameters to JSON (model checkpoint).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Params serialize")
+    }
+
+    /// Restore from [`Params::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Recorded (parameter → tape leaf) pairs for one forward pass.
+#[derive(Default)]
+pub struct Leases {
+    pairs: Vec<(ParamId, Var)>,
+}
+
+impl Leases {
+    /// Route tape gradients back into the parameter arena.
+    pub fn accumulate(&self, params: &mut Params, grads: &Grads) {
+        for &(id, var) in &self.pairs {
+            if let Some(g) = grads.get(var) {
+                params.accumulate_grad(id, g);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Forward-pass context: a tape plus the parameter arena it reads from.
+pub struct Ctx<'a> {
+    pub tape: &'a Tape,
+    params: &'a Params,
+    leased: RefCell<HashMap<ParamId, Var>>,
+    order: RefCell<Vec<(ParamId, Var)>>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(tape: &'a Tape, params: &'a Params) -> Self {
+        Ctx {
+            tape,
+            params,
+            leased: RefCell::new(HashMap::new()),
+            order: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Lease parameter `id` onto the tape (cached: one leaf per parameter).
+    pub fn p(&self, id: ParamId) -> Var {
+        if let Some(&v) = self.leased.borrow().get(&id) {
+            return v;
+        }
+        let v = self.tape.input(self.params.value(id).clone());
+        self.leased.borrow_mut().insert(id, v);
+        self.order.borrow_mut().push((id, v));
+        v
+    }
+
+    /// Record a non-trainable input on the tape.
+    pub fn input(&self, m: Matrix) -> Var {
+        self.tape.input(m)
+    }
+
+    /// Finish the pass, returning the lease list for gradient routing.
+    pub fn into_leases(self) -> Leases {
+        Leases { pairs: self.order.into_inner() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Params::new();
+        let id = p.add("w", Matrix::ones(2, 2));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.num_scalars(), 4);
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.value(id).sum(), 4.0);
+    }
+
+    #[test]
+    fn lease_is_cached() {
+        let mut p = Params::new();
+        let id = p.add("w", Matrix::ones(1, 1));
+        let tape = Tape::new();
+        let ctx = Ctx::new(&tape, &p);
+        let a = ctx.p(id);
+        let b = ctx.p(id);
+        assert_eq!(a, b);
+        assert_eq!(ctx.into_leases().len(), 1);
+    }
+
+    #[test]
+    fn grads_flow_back_to_params() {
+        let mut p = Params::new();
+        let id = p.add("w", Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let tape = Tape::new();
+        let leases = {
+            let ctx = Ctx::new(&tape, &p);
+            let w = ctx.p(id);
+            let sq = tape.mul(w, w);
+            let loss = tape.sum(sq);
+            let grads = tape.backward(loss);
+            let leases = ctx.into_leases();
+            leases.accumulate(&mut p, &grads);
+            leases
+        };
+        assert_eq!(leases.len(), 1);
+        // d/dw sum(w²) = 2w
+        assert_eq!(p.grad(id).as_slice(), &[4.0, 6.0]);
+        p.zero_grads();
+        assert_eq!(p.grad(id).sum(), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut p = Params::new();
+        p.add("a", Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+        p.add("b", Matrix::zeros(2, 2));
+        let s = p.to_json();
+        let q = Params::from_json(&s).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.value(ParamId(0)).as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn grad_norm_accumulates_across_params() {
+        let mut p = Params::new();
+        let a = p.add("a", Matrix::zeros(1, 1));
+        let b = p.add("b", Matrix::zeros(1, 1));
+        p.accumulate_grad(a, &Matrix::full(1, 1, 3.0));
+        p.accumulate_grad(b, &Matrix::full(1, 1, 4.0));
+        assert!((p.grad_norm() - 5.0).abs() < 1e-6);
+    }
+}

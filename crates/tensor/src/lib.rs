@@ -1,0 +1,30 @@
+//! `mmkgr-tensor` — dense `f32` matrices and tape-based reverse-mode
+//! automatic differentiation.
+//!
+//! This crate is the deep-learning substrate for the MMKGR reproduction
+//! (ICDE 2023). The paper's stack assumes a Python autograd framework; per
+//! the reproduction's substitution policy we build the equivalent from
+//! scratch: a [`Matrix`] storage type with cache-friendly kernels and a
+//! dynamic [`Tape`] that records ops eagerly and differentiates in reverse.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mmkgr_tensor::{Matrix, Tape};
+//!
+//! let tape = Tape::new();
+//! let w = tape.input(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+//! let x = tape.input(Matrix::from_vec(1, 2, vec![3.0, -1.0]));
+//! let y = tape.matmul(x, w);
+//! let h = tape.relu(y);
+//! let loss = tape.sum(h);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(x).unwrap().as_slice(), &[1.0, 0.0]);
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod tape;
+
+pub use matrix::{softmax_slice, Matrix};
+pub use tape::{Grads, Tape, Var};

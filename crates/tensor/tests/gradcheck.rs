@@ -1,0 +1,325 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! For each op we build a scalar loss `L(x) = sum(op(x) ⊙ c)` with a fixed
+//! random cotangent `c`, compare the tape gradient against central
+//! differences, and require agreement to ~1e-2 relative (f32 + 1e-3 step).
+
+use mmkgr_tensor::init::seeded_rng;
+use mmkgr_tensor::{Matrix, Tape, Var};
+use rand::Rng;
+
+/// Builds loss = sum(f(tape, x) * cot) and returns (loss_value, grad_of_x).
+fn loss_and_grad(
+    x: &Matrix,
+    cot: &Matrix,
+    f: &dyn Fn(&Tape, Var) -> Var,
+) -> (f32, Matrix) {
+    let tape = Tape::new();
+    let vx = tape.input(x.clone());
+    let y = f(&tape, vx);
+    let vc = tape.input(cot.clone());
+    let prod = tape.mul(y, vc);
+    let loss = tape.sum(prod);
+    let l = tape.scalar(loss);
+    let grads = tape.backward(loss);
+    let g = grads.get_or_zero(vx, x.rows(), x.cols());
+    (l, g)
+}
+
+fn check_op(name: &str, x: Matrix, f: impl Fn(&Tape, Var) -> Var) {
+    // Determine output shape to build the cotangent.
+    let probe = {
+        let tape = Tape::new();
+        let vx = tape.input(x.clone());
+        let y = f(&tape, vx);
+        tape.value_cloned(y)
+    };
+    let mut rng = seeded_rng(0xC0FFEE);
+    let cot = Matrix::from_fn(probe.rows(), probe.cols(), |_, _| rng.gen_range(-1.0..1.0f32));
+
+    let (_, analytic) = loss_and_grad(&x, &cot, &f);
+
+    let eps = 1e-3f32;
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += eps;
+        let (lp, _) = loss_and_grad(&xp, &cot, &f);
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let (lm, _) = loss_and_grad(&xm, &cot, &f);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        assert!(
+            (a - numeric).abs() / denom < 2e-2,
+            "{name}: grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.5..1.5f32))
+}
+
+#[test]
+fn grad_sigmoid() {
+    check_op("sigmoid", rand_matrix(3, 4, 1), |t, x| t.sigmoid(x));
+}
+
+#[test]
+fn grad_tanh() {
+    check_op("tanh", rand_matrix(3, 4, 2), |t, x| t.tanh(x));
+}
+
+#[test]
+fn grad_relu() {
+    // keep values away from the kink at 0
+    let mut m = rand_matrix(3, 4, 3);
+    m.map_inplace(|v| if v.abs() < 0.05 { v + 0.2 } else { v });
+    check_op("relu", m, |t, x| t.relu(x));
+}
+
+#[test]
+fn grad_exp() {
+    check_op("exp", rand_matrix(2, 3, 4), |t, x| t.exp(x));
+}
+
+#[test]
+fn grad_ln_eps() {
+    let mut m = rand_matrix(2, 3, 5);
+    m.map_inplace(|v| v.abs() + 0.5);
+    check_op("ln_eps", m, |t, x| t.ln_eps(x, 1e-6));
+}
+
+#[test]
+fn grad_softmax_rows() {
+    check_op("softmax", rand_matrix(3, 5, 6), |t, x| t.softmax_rows(x));
+}
+
+#[test]
+fn grad_log_softmax_rows() {
+    check_op("log_softmax", rand_matrix(3, 5, 7), |t, x| t.log_softmax_rows(x));
+}
+
+#[test]
+fn grad_matmul_left() {
+    let b = rand_matrix(4, 3, 100);
+    check_op("matmul_left", rand_matrix(2, 4, 8), move |t, x| {
+        let vb = t.input(b.clone());
+        t.matmul(x, vb)
+    });
+}
+
+#[test]
+fn grad_matmul_right() {
+    let a = rand_matrix(2, 4, 101);
+    check_op("matmul_right", rand_matrix(4, 3, 9), move |t, x| {
+        let va = t.input(a.clone());
+        t.matmul(va, x)
+    });
+}
+
+#[test]
+fn grad_mul_hadamard() {
+    let b = rand_matrix(3, 3, 102);
+    check_op("mul", rand_matrix(3, 3, 10), move |t, x| {
+        let vb = t.input(b.clone());
+        t.mul(x, vb)
+    });
+}
+
+#[test]
+fn grad_div() {
+    let mut b = rand_matrix(3, 3, 103);
+    b.map_inplace(|v| v.abs() + 1.0);
+    check_op("div", rand_matrix(3, 3, 11), move |t, x| {
+        let vb = t.input(b.clone());
+        t.div(x, vb)
+    });
+}
+
+#[test]
+fn grad_div_denominator() {
+    let a = rand_matrix(3, 3, 104);
+    let mut x = rand_matrix(3, 3, 12);
+    x.map_inplace(|v| v.abs() + 1.0);
+    check_op("div_denom", x, move |t, d| {
+        let va = t.input(a.clone());
+        t.div(va, d)
+    });
+}
+
+#[test]
+fn grad_transpose() {
+    check_op("transpose", rand_matrix(3, 5, 13), |t, x| t.transpose(x));
+}
+
+#[test]
+fn grad_concat_cols() {
+    let b = rand_matrix(3, 2, 105);
+    check_op("concat_cols", rand_matrix(3, 4, 14), move |t, x| {
+        let vb = t.input(b.clone());
+        t.concat_cols(x, vb)
+    });
+}
+
+#[test]
+fn grad_concat_rows() {
+    let b = rand_matrix(2, 4, 106);
+    check_op("concat_rows", rand_matrix(3, 4, 15), move |t, x| {
+        let vb = t.input(b.clone());
+        t.concat_rows(x, vb)
+    });
+}
+
+#[test]
+fn grad_gather_rows() {
+    check_op("gather", rand_matrix(5, 3, 16), |t, x| t.gather_rows(x, &[0, 2, 2, 4]));
+}
+
+#[test]
+fn grad_slice_cols() {
+    check_op("slice_cols", rand_matrix(3, 6, 17), |t, x| t.slice_cols(x, 1, 4));
+}
+
+#[test]
+fn grad_pick_per_row() {
+    check_op("pick", rand_matrix(4, 3, 18), |t, x| t.pick_per_row(x, &[0, 2, 1, 1]));
+}
+
+#[test]
+fn grad_sum_rows() {
+    check_op("sum_rows", rand_matrix(4, 3, 19), |t, x| t.sum_rows(x));
+}
+
+#[test]
+fn grad_sum_cols() {
+    check_op("sum_cols", rand_matrix(4, 3, 20), |t, x| t.sum_cols(x));
+}
+
+#[test]
+fn grad_mean() {
+    check_op("mean", rand_matrix(4, 3, 21), |t, x| t.mean(x));
+}
+
+#[test]
+fn grad_scale_add_scalar() {
+    check_op("scale", rand_matrix(2, 2, 22), |t, x| {
+        let s = t.scale(x, 2.5);
+        t.add_scalar(s, -0.75)
+    });
+}
+
+#[test]
+fn grad_mul_col_broadcast() {
+    let b = rand_matrix(4, 1, 107);
+    check_op("mul_col_bc", rand_matrix(4, 3, 23), move |t, x| {
+        let vb = t.input(b.clone());
+        t.mul_col_broadcast(x, vb)
+    });
+    let a = rand_matrix(4, 3, 108);
+    check_op("mul_col_bc_rhs", rand_matrix(4, 1, 24), move |t, x| {
+        let va = t.input(a.clone());
+        t.mul_col_broadcast(va, x)
+    });
+}
+
+#[test]
+fn grad_mul_row_broadcast() {
+    let b = rand_matrix(1, 3, 109);
+    check_op("mul_row_bc", rand_matrix(4, 3, 25), move |t, x| {
+        let vb = t.input(b.clone());
+        t.mul_row_broadcast(x, vb)
+    });
+    let a = rand_matrix(4, 3, 110);
+    check_op("mul_row_bc_rhs", rand_matrix(1, 3, 26), move |t, x| {
+        let va = t.input(a.clone());
+        t.mul_row_broadcast(va, x)
+    });
+}
+
+#[test]
+fn grad_add_broadcast_row() {
+    let b = rand_matrix(1, 3, 111);
+    check_op("add_bc_row", rand_matrix(4, 3, 27), move |t, x| {
+        let vb = t.input(b.clone());
+        t.add(x, vb)
+    });
+    let a = rand_matrix(4, 3, 112);
+    check_op("add_bc_row_rhs", rand_matrix(1, 3, 28), move |t, x| {
+        let va = t.input(a.clone());
+        t.add(va, x)
+    });
+}
+
+#[test]
+fn grad_composite_mlp() {
+    // Two-layer MLP: checks op composition end to end.
+    let w1 = rand_matrix(4, 6, 113);
+    let w2 = rand_matrix(6, 2, 114);
+    check_op("mlp", rand_matrix(3, 4, 29), move |t, x| {
+        let vw1 = t.input(w1.clone());
+        let vw2 = t.input(w2.clone());
+        let h = t.matmul(x, vw1);
+        let h = t.tanh(h);
+        let o = t.matmul(h, vw2);
+        t.softmax_rows(o)
+    });
+}
+
+#[test]
+fn grad_composite_gate() {
+    // A sigmoid gate with Hadamard products — the irrelevance-filtration
+    // pattern of the paper (Eq. 11–12).
+    let b = rand_matrix(3, 4, 115);
+    check_op("gate", rand_matrix(3, 4, 30), move |t, x| {
+        let vb = t.input(b.clone());
+        let prod = t.mul(vb, x);
+        let gate = t.sigmoid(prod);
+        t.mul(gate, prod)
+    });
+}
+
+#[test]
+fn grad_reshape() {
+    check_op("reshape", rand_matrix(3, 4, 31), |t, x| t.reshape(x, 2, 6));
+}
+
+#[test]
+fn grad_gather_flat() {
+    // repeats and skips — the im2col access pattern
+    let idx: Vec<u32> = vec![0, 5, 5, 2, 7, 1];
+    check_op("gather_flat", rand_matrix(2, 4, 32), move |t, x| {
+        t.gather_flat(x, &idx, 2, 3)
+    });
+}
+
+#[test]
+fn grad_im2col_conv_composite() {
+    // A miniature 1-channel 3x3 "image" convolved with one 2x2 filter via
+    // im2col: exactly ConvE's computation path.
+    let img_h = 3usize;
+    let img_w = 3usize;
+    let kh = 2usize;
+    let kw = 2usize;
+    let out_h = img_h - kh + 1;
+    let out_w = img_w - kw + 1;
+    let mut idx: Vec<u32> = Vec::new();
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    idx.push(((oy + dy) * img_w + (ox + dx)) as u32);
+                }
+            }
+        }
+    }
+    let filt = rand_matrix(kh * kw, 1, 200);
+    check_op("im2col_conv", rand_matrix(1, img_h * img_w, 33), move |t, x| {
+        let patches = t.gather_flat(x, &idx, out_h * out_w, kh * kw);
+        let vf = t.input(filt.clone());
+        let conv = t.matmul(patches, vf);
+        t.relu(conv)
+    });
+}

@@ -1,0 +1,61 @@
+//! Few-shot relation analysis — the paper's stated future work, runnable
+//! as an example.
+//!
+//! Trains MMKGR and its structure-only ablation on a small synthetic
+//! FB-IMG-TXT analogue, then reports Hits@1 per relation-frequency
+//! bucket, showing where the multi-modal features pay off most.
+//!
+//! Run: `cargo run --release --example fewshot`
+
+use mmkgr::core::prelude::*;
+use mmkgr::datagen::{generate, GenConfig};
+use mmkgr::eval::{pct, FewShotSplit};
+
+fn main() {
+    let kg = generate(&GenConfig::fb_img_txt().scaled(0.01));
+    println!("{}", kg.stats());
+    let known = kg.all_known();
+
+    let train = |variant: Variant| {
+        let cfg = MmkgrConfig {
+            epochs: 8,
+            warmstart_epochs: 2,
+            batch_size: 64,
+            ..MmkgrConfig::quick()
+        }
+        .variant(variant);
+        let engine = RewardEngine::new(&cfg, Some(NoShaper));
+        let model = MmkgrModel::new(&kg, cfg, None);
+        let mut trainer = Trainer::new(model, engine);
+        trainer.train(&kg, 0);
+        trainer
+    };
+
+    println!("training MMKGR…");
+    let mmkgr = train(Variant::Full);
+    println!("training OSKGR (structure only)…");
+    let oskgr = train(Variant::Oskgr);
+
+    // Bucket the test triples by how often their relation appears in
+    // training: ≤10 = few-shot, 11–100 = mid, >100 = frequent.
+    let split = FewShotSplit::new(&kg.split.train, &kg.split.test, &[10, 100]);
+    let full = split.eval_policy(&mmkgr.model, &kg.graph, &known, 8, 4);
+    let os = split.eval_policy(&oskgr.model, &kg.graph, &known, 8, 4);
+
+    println!("\n{:<10} {:>8} {:>8} {:>8} {:>9}", "bucket", "triples", "OSKGR", "MMKGR", "modal Δ");
+    for (i, b) in split.buckets.iter().enumerate() {
+        let (os_h, mm_h) = match (&os[i], &full[i]) {
+            (Some(a), Some(c)) => (a.hits1, c.hits1),
+            _ => continue,
+        };
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>+8.1}%",
+            b.label,
+            b.triples,
+            pct(os_h),
+            pct(mm_h),
+            (mm_h - os_h) * 100.0
+        );
+    }
+    println!("\nFew-shot buckets are where the multi-modal complementary features\nmatter most: with few structural examples, the text/image signal\ncarries relatively more of the ranking decision.");
+}

@@ -1,0 +1,58 @@
+//! Explainability showcase: RL-based multi-hop reasoning produces an
+//! explicit relation path for every answer — the property the paper
+//! contrasts with black-box embedding models (§I).
+//!
+//! ```sh
+//! cargo run --release --example path_explain
+//! ```
+
+use mmkgr::prelude::*;
+use mmkgr::datagen::generate;
+
+fn main() {
+    let kg = generate(&GenConfig::wn9_img_txt().scaled(0.05));
+    println!("{}", kg.stats());
+    let known = kg.all_known();
+
+    let mut cfg = MmkgrConfig::default();
+    cfg.epochs = 12;
+    cfg.lr = 3e-3;
+    let engine = RewardEngine::new(&cfg, Some(NoShaper));
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let mut trainer = Trainer::new(model, engine);
+    trainer.train(&kg, 0);
+
+    let rs = kg.graph.relations();
+    let fmt_rel = |r: RelationId| -> String {
+        if rs.is_base(r) {
+            format!("r{}", r.index())
+        } else if rs.is_inverse(r) {
+            format!("r{}⁻¹", rs.inverse(r).index())
+        } else {
+            "stay".into()
+        }
+    };
+
+    let mut explained = 0;
+    let mut attempted = 0;
+    for t in kg.split.test.iter().take(25) {
+        attempted += 1;
+        let q = RolloutQuery { source: t.s, relation: t.r, answer: t.o };
+        let outcome = rank_query(&trainer.model, &kg.graph, &q, Some(&known), 16, 4);
+        if !outcome.reached {
+            continue;
+        }
+        explained += 1;
+        let mut paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 16, 4);
+        paths.retain(|p| p.entity == t.o);
+        paths.sort_by(|a, b| b.logp.total_cmp(&a.logp));
+        println!("\n({}, r{}, ?) = {}   [rank {}]", t.s, t.r.index(), t.o, outcome.rank);
+        for p in paths.iter().take(2) {
+            let chain: Vec<String> = p.relations.iter().map(|&r| fmt_rel(r)).collect();
+            println!("   proof ({} hops, logp {:.2}): {}", p.hops, p.logp, chain.join(" → "));
+        }
+    }
+    println!(
+        "\n{explained}/{attempted} test queries answered with an explicit relation-path proof"
+    );
+}

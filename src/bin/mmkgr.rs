@@ -1,0 +1,523 @@
+//! `mmkgr` — command-line front end for the library.
+//!
+//! Subcommands cover the full downstream workflow without writing Rust:
+//!
+//! ```text
+//! mmkgr generate --dataset wn9 --scale 0.1 --out data/wn9      # synthesize + export TSV
+//! mmkgr train    --dataset wn9 --scale 0.1 --epochs 25 \
+//!                --out runs/wn9                                # train + checkpoint
+//! mmkgr eval     --run runs/wn9                                # MRR / Hits@N of a checkpoint
+//! mmkgr explain  --run runs/wn9 --source 17 --relation 3       # top reasoning paths
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs only) to keep the
+//! dependency set at the workspace's sanctioned crates.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mmkgr::core::prelude::*;
+use mmkgr::core::HistoryEncoder;
+use mmkgr::datagen::{generate, GenConfig};
+use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
+use mmkgr::eval::{eval_policy_entity, pct};
+use mmkgr::kg::io::{write_triples, Vocab};
+use mmkgr::kg::MultiModalKG;
+
+const USAGE: &str = "\
+mmkgr — Multi-hop Multi-modal Knowledge Graph Reasoning (ICDE 2023)
+
+USAGE: mmkgr <command> [--flag value]...
+
+COMMANDS
+  generate   synthesize a multi-modal KG and export its triple splits
+             --dataset wn9|fb|tiny   --scale <f64>   --seed <u64>
+             --out <dir>
+  train      train an MMKGR variant and write a checkpoint directory
+             --dataset wn9|fb|tiny   --scale <f64>   --seed <u64>
+             --epochs <n>  --variant MMKGR|OSKGR|STKGR|SIKGR|FAKGR|FGKGR|
+                                      DEKGR|DSKGR|DVKGR|ZOKGR
+             --history lstm|gru|ema  --shaper conve|none
+             --out <dir>
+  eval       evaluate a checkpoint (entity link prediction)
+             --run <dir>   [--beam <n>]  [--steps <n>]  [--max-eval <n>]
+  explain    print the highest-probability reasoning paths for a query
+             --run <dir>   --source <entity-id>  --relation <relation-id>
+             [--beam <n>]  [--steps <n>]  [--top <n>]
+  stats      profile a dataset (degrees, components, relation skew,
+             k-hop reachability, modality shape)
+             --dataset wn9|fb|tiny   --scale <f64>   --seed <u64>
+
+The dataset is regenerated deterministically from (dataset, scale, seed)
+recorded in the checkpoint's meta.json, so checkpoints stay portable.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "explain" => cmd_explain(&flags),
+        "stats" => cmd_stats(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------- flags
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(name) = k.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{k}`"));
+        };
+        let v = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Option<&'a str> {
+    flags.get(name).map(String::as_str)
+}
+
+fn parse_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+// ---------------------------------------------------------------- dataset
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RunMeta {
+    dataset: String,
+    scale: f64,
+    seed: u64,
+    variant: String,
+    history: String,
+    epochs: usize,
+}
+
+fn dataset_config(flags: &HashMap<String, String>) -> Result<(String, f64, u64, GenConfig), String> {
+    let name = flag(flags, "dataset").unwrap_or("tiny").to_string();
+    let scale: f64 = parse_or(flags, "scale", 1.0)?;
+    let seed: u64 = parse_or(flags, "seed", 0)?;
+    let cfg = build_gen_config(&name, scale, seed)?;
+    Ok((name, scale, seed, cfg))
+}
+
+fn build_gen_config(name: &str, scale: f64, seed: u64) -> Result<GenConfig, String> {
+    let base = match name {
+        "wn9" => GenConfig::wn9_img_txt(),
+        "fb" => GenConfig::fb_img_txt(),
+        "tiny" => GenConfig::tiny(),
+        other => return Err(format!("unknown dataset `{other}` (wn9|fb|tiny)")),
+    };
+    let base = if (scale - 1.0).abs() > 1e-12 { base.scaled(scale) } else { base };
+    Ok(if seed != 0 { base.with_seed(seed) } else { base })
+}
+
+fn synthetic_vocab(kg: &MultiModalKG) -> Vocab {
+    let mut vocab = Vocab::default();
+    for e in 0..kg.num_entities() {
+        vocab.entity_id(&format!("e{e}"));
+    }
+    for r in 0..kg.num_base_relations() {
+        vocab.relation_id(&format!("r{r}"));
+    }
+    vocab
+}
+
+// ---------------------------------------------------------------- generate
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (name, scale, seed, gen_cfg) = dataset_config(flags)?;
+    let out = PathBuf::from(flag(flags, "out").ok_or("--out <dir> is required")?);
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let kg = generate(&gen_cfg);
+    println!("{}", kg.stats());
+    println!("{}", mmkgr::kg::GraphProfile::compute(&kg.graph, 128));
+    let vocab = synthetic_vocab(&kg);
+    for (file, triples) in [
+        ("train.tsv", &kg.split.train),
+        ("valid.tsv", &kg.split.valid),
+        ("test.tsv", &kg.split.test),
+    ] {
+        let path = out.join(file);
+        write_triples(&path, triples, &vocab).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {} ({} triples)", path.display(), triples.len());
+    }
+    let meta = serde_json::json!({
+        "dataset": name, "scale": scale, "seed": seed,
+        "entities": kg.num_entities(),
+        "base_relations": kg.num_base_relations(),
+        "text_dim": kg.modal.text_dim(),
+        "image_dim": kg.modal.image_dim(),
+        "images_total": kg.modal.total_images(),
+    });
+    let meta_path = out.join("dataset.json");
+    std::fs::write(&meta_path, serde_json::to_string_pretty(&meta).unwrap())
+        .map_err(|e| format!("{}: {e}", meta_path.display()))?;
+    println!("wrote {}", meta_path.display());
+    Ok(())
+}
+
+// ---------------------------------------------------------------- train
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    Ok(match s.to_ascii_uppercase().as_str() {
+        "MMKGR" | "FULL" => Variant::Full,
+        "OSKGR" => Variant::Oskgr,
+        "STKGR" => Variant::Stkgr,
+        "SIKGR" => Variant::Sikgr,
+        "FAKGR" => Variant::Fakgr,
+        "FGKGR" => Variant::Fgkgr,
+        "DEKGR" => Variant::Dekgr,
+        "DSKGR" => Variant::Dskgr,
+        "DVKGR" => Variant::Dvkgr,
+        "ZOKGR" => Variant::Zokgr,
+        other => return Err(format!("unknown variant `{other}`")),
+    })
+}
+
+fn parse_history(s: &str) -> Result<HistoryEncoder, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "lstm" => HistoryEncoder::Lstm,
+        "gru" => HistoryEncoder::Gru,
+        "ema" => HistoryEncoder::Ema,
+        other => return Err(format!("unknown history encoder `{other}`")),
+    })
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (name, scale, seed, gen_cfg) = dataset_config(flags)?;
+    let out = PathBuf::from(flag(flags, "out").ok_or("--out <dir> is required")?);
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let epochs: usize = parse_or(flags, "epochs", 15)?;
+    let variant = parse_variant(flag(flags, "variant").unwrap_or("MMKGR"))?;
+    let history = parse_history(flag(flags, "history").unwrap_or("lstm"))?;
+    let shaper = flag(flags, "shaper").unwrap_or("conve");
+
+    let kg = generate(&gen_cfg);
+    println!("{}", kg.stats());
+
+    let cfg = MmkgrConfig {
+        epochs,
+        seed: seed ^ 0x33,
+        history,
+        ..MmkgrConfig::default()
+    }
+    .variant(variant);
+    cfg.validate().map_err(|e| format!("config: {e}"))?;
+
+    // Structural init (paper §IV-B1): TransE over the training split.
+    println!("training TransE structural init…");
+    let mut transe = TransE::new(
+        kg.num_entities(),
+        kg.graph.relations().total(),
+        cfg.struct_dim,
+        seed,
+    );
+    let known = kg.all_known();
+    transe.train(
+        &kg.split.train,
+        &known,
+        &KgeTrainConfig::default().with_epochs(epochs.min(25)).with_seed(seed),
+    );
+
+    let model = MmkgrModel::new(&kg, cfg.clone(), Some(&transe));
+    let report = match shaper {
+        "conve" => {
+            println!("training ConvE reward shaper…");
+            let mut conve = ConvE::new(
+                kg.num_entities(),
+                kg.graph.relations().total(),
+                4,
+                8,
+                6,
+                seed ^ 0xC0,
+            );
+            conve.train(
+                &kg.split.train,
+                &known,
+                &KgeTrainConfig {
+                    epochs: epochs.min(20),
+                    batch_size: 128,
+                    lr: 3e-3,
+                    margin: 1.0,
+                    seed: seed ^ 0xC1,
+                },
+            );
+            println!("training {} ({} epochs, {} encoder)…", variant.name(), epochs, history.name());
+            let engine = RewardEngine::new(&cfg, Some(conve));
+            let mut trainer = Trainer::new(model, engine);
+            let report = trainer.train(&kg, 0);
+            save_run(&out, &trainer.model, &name, scale, seed, variant, history, epochs)?;
+            report
+        }
+        "none" => {
+            println!("training {} ({} epochs, {} encoder, unshaped)…", variant.name(), epochs, history.name());
+            let engine = RewardEngine::new(&cfg, Some(NoShaper));
+            let mut trainer = Trainer::new(model, engine);
+            let report = trainer.train(&kg, 0);
+            save_run(&out, &trainer.model, &name, scale, seed, variant, history, epochs)?;
+            report
+        }
+        other => return Err(format!("unknown shaper `{other}` (conve|none)")),
+    };
+    if let Some(last) = report.epochs.last() {
+        println!(
+            "final epoch: mean reward {:.3}, success rate {:.1}%",
+            last.mean_reward,
+            last.success_rate * 100.0
+        );
+    }
+    println!("checkpoint written to {}", out.display());
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn save_run(
+    out: &Path,
+    model: &MmkgrModel,
+    dataset: &str,
+    scale: f64,
+    seed: u64,
+    variant: Variant,
+    history: HistoryEncoder,
+    epochs: usize,
+) -> Result<(), String> {
+    let meta = RunMeta {
+        dataset: dataset.to_string(),
+        scale,
+        seed,
+        variant: variant.name().to_string(),
+        history: history.name().to_string(),
+        epochs,
+    };
+    std::fs::write(
+        out.join("meta.json"),
+        serde_json::to_string_pretty(&meta).unwrap(),
+    )
+    .map_err(|e| format!("meta.json: {e}"))?;
+    model
+        .save(&out.join("model.json"))
+        .map_err(|e| format!("model.json: {e}"))?;
+    Ok(())
+}
+
+fn load_run(flags: &HashMap<String, String>) -> Result<(RunMeta, MmkgrModel, MultiModalKG), String> {
+    let run = PathBuf::from(flag(flags, "run").ok_or("--run <dir> is required")?);
+    let meta: RunMeta = serde_json::from_str(
+        &std::fs::read_to_string(run.join("meta.json"))
+            .map_err(|e| format!("{}/meta.json: {e}", run.display()))?,
+    )
+    .map_err(|e| format!("meta.json: {e}"))?;
+    let model = MmkgrModel::load(&run.join("model.json"))
+        .map_err(|e| format!("{}/model.json: {e}", run.display()))?;
+    let gen_cfg = build_gen_config(&meta.dataset, meta.scale, meta.seed)?;
+    let kg = generate(&gen_cfg);
+    if model.ent.count != kg.num_entities() {
+        return Err(format!(
+            "checkpoint/dataset mismatch: model has {} entities, dataset {}",
+            model.ent.count,
+            kg.num_entities()
+        ));
+    }
+    Ok((meta, model, kg))
+}
+
+// ---------------------------------------------------------------- eval
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (meta, model, kg) = load_run(flags)?;
+    let beam: usize = parse_or(flags, "beam", 16)?;
+    let steps: usize = parse_or(flags, "steps", model.cfg.max_steps)?;
+    let max_eval: usize = parse_or(flags, "max-eval", 500)?;
+    let known = kg.all_known();
+    let triples: Vec<_> = kg.split.test.iter().copied().take(max_eval).collect();
+    println!(
+        "evaluating {} ({} on {}@{}) on {} test triples (beam {beam}, T={steps})…",
+        meta.variant, meta.history, meta.dataset, meta.scale, triples.len()
+    );
+    let r = eval_policy_entity(&model, &kg.graph, &triples, &known, beam, steps);
+    println!(
+        "MRR {}  Hits@1 {}  Hits@5 {}  Hits@10 {}  ({} queries)",
+        pct(r.mrr),
+        pct(r.hits1),
+        pct(r.hits5),
+        pct(r.hits10),
+        r.queries
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------- explain
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (meta, model, kg) = load_run(flags)?;
+    let beam: usize = parse_or(flags, "beam", 16)?;
+    let steps: usize = parse_or(flags, "steps", model.cfg.max_steps)?;
+    let top: usize = parse_or(flags, "top", 5)?;
+    // Default query: the first test triple (so `explain --run X` just works).
+    let default = kg.split.test.first().copied();
+    let source: u32 = match flag(flags, "source") {
+        Some(v) => v.parse().map_err(|_| "--source: not an id".to_string())?,
+        None => default.map(|t| t.s.0).ok_or("--source required (empty test split)")?,
+    };
+    let relation: u32 = match flag(flags, "relation") {
+        Some(v) => v.parse().map_err(|_| "--relation: not an id".to_string())?,
+        None => default.map(|t| t.r.0).ok_or("--relation required")?,
+    };
+    if source as usize >= kg.num_entities() {
+        return Err(format!("entity e{source} out of range (< {})", kg.num_entities()));
+    }
+    if relation as usize >= kg.graph.relations().total() {
+        return Err(format!(
+            "relation r{relation} out of range (< {})",
+            kg.graph.relations().total()
+        ));
+    }
+    println!(
+        "query (e{source}, r{relation}, ?) on {}@{} — {} paths, beam {beam}, T={steps}",
+        meta.dataset, meta.scale, meta.variant
+    );
+    let paths = beam_search(
+        &model,
+        &kg.graph,
+        mmkgr::kg::EntityId(source),
+        mmkgr::kg::RelationId(relation),
+        beam,
+        steps,
+    );
+    let rels = kg.graph.relations();
+    for (i, p) in paths.iter().take(top).enumerate() {
+        let chain: Vec<String> = p
+            .relations
+            .iter()
+            .map(|r| {
+                if *r == rels.no_op() {
+                    "·stay".to_string()
+                } else if rels.is_inverse(*r) {
+                    format!("r{}⁻¹", rels.inverse(*r).0)
+                } else {
+                    format!("r{}", r.0)
+                }
+            })
+            .collect();
+        println!(
+            "#{:<2} → e{:<6} logp {:>8.3}  hops {}  path: {}",
+            i + 1,
+            p.entity.0,
+            p.logp,
+            p.hops,
+            if chain.is_empty() { "(source)".to_string() } else { chain.join(" → ") }
+        );
+    }
+    if paths.is_empty() {
+        println!("(no path found within T={steps})");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- stats
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (_, _, _, gen_cfg) = dataset_config(flags)?;
+    let kg = generate(&gen_cfg);
+    println!("{}", kg.stats());
+    println!("{}", mmkgr::kg::GraphProfile::compute(&kg.graph, 256));
+
+    // Relation frequency head: which relations dominate the training set.
+    let freq = mmkgr::eval::relation_frequencies(&kg.split.train);
+    let mut by_count: Vec<(u32, usize)> = freq.iter().map(|(r, &n)| (r.0, n)).collect();
+    by_count.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top relations by training frequency:");
+    for (r, n) in by_count.iter().take(10) {
+        println!("  r{r:<6} {n}");
+    }
+    let few = by_count.iter().filter(|(_, n)| *n <= 10).count();
+    println!("few-shot relations (≤10 training triples): {few} of {}", by_count.len());
+    println!(
+        "modalities: {} images total ({} per entity avg), image_dim {}, text_dim {}",
+        kg.modal.total_images(),
+        kg.modal.total_images() / kg.num_entities().max(1),
+        kg.modal.image_dim(),
+        kg.modal.text_dim(),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_roundtrip() {
+        let args: Vec<String> =
+            ["--dataset", "wn9", "--scale", "0.1"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(flag(&f, "dataset"), Some("wn9"));
+        assert_eq!(parse_or::<f64>(&f, "scale", 1.0).unwrap(), 0.1);
+        assert_eq!(parse_or::<usize>(&f, "missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_parser_rejects_bare_values() {
+        let args: Vec<String> = ["wn9"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+        let args: Vec<String> = ["--x"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn variant_and_history_parsing() {
+        assert_eq!(parse_variant("mmkgr").unwrap(), Variant::Full);
+        assert_eq!(parse_variant("OSKGR").unwrap(), Variant::Oskgr);
+        assert!(parse_variant("nope").is_err());
+        assert_eq!(parse_history("GRU").unwrap(), HistoryEncoder::Gru);
+        assert!(parse_history("transformer").is_err());
+    }
+
+    #[test]
+    fn gen_config_rejects_unknown_dataset() {
+        assert!(build_gen_config("freebase", 1.0, 0).is_err());
+        assert!(build_gen_config("wn9", 0.05, 1).is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! # MMKGR — Multi-hop Multi-modal Knowledge Graph Reasoning
+//!
+//! A complete, from-scratch Rust reproduction of *"MMKGR: Multi-hop
+//! Multi-modal Knowledge Graph Reasoning"* (Zheng et al., ICDE 2023),
+//! including every substrate the paper depends on: a tape-based autodiff
+//! engine, neural-network layers, multi-modal KG storage, synthetic
+//! dataset generation, single-hop KGE models (the full Table I family:
+//! TransE/TransD/DistMult/ComplEx/RESCAL/HolE/ConvE/IKRL/TransAE/MTRL),
+//! the MMKGR model itself (unified gate-attention fusion +
+//! 3D-reward RL), the paper's multi-hop baselines (MINERVA/RLH/FIRE/
+//! GAATs/NeuralLP), and an evaluation harness regenerating every table
+//! and figure of the paper's experimental section.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `mmkgr-tensor` | matrices + reverse-mode autodiff |
+//! | [`nn`] | `mmkgr-nn` | layers, optimizers, losses |
+//! | [`kg`] | `mmkgr-kg` | multi-modal KG storage |
+//! | [`datagen`] | `mmkgr-datagen` | synthetic MKG generator |
+//! | [`embed`] | `mmkgr-embed` | single-hop KGE models |
+//! | [`core`] | `mmkgr-core` | **the MMKGR model** |
+//! | [`baselines`] | `mmkgr-baselines` | multi-hop comparators |
+//! | [`eval`] | `mmkgr-eval` | metrics + experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mmkgr::prelude::*;
+//!
+//! // 1. A multi-modal KG (synthetic WN9-IMG-TXT analogue at 10% scale).
+//! let kg = mmkgr::datagen::generate(&GenConfig::wn9_img_txt().scaled(0.1));
+//!
+//! // 2. Train MMKGR (gate-attention fusion + 3D-reward REINFORCE).
+//! let cfg = MmkgrConfig::default();
+//! let engine = RewardEngine::new(&cfg, Some(NoShaper));
+//! let model = MmkgrModel::new(&kg, cfg, None);
+//! let mut trainer = Trainer::new(model, engine);
+//! trainer.train(&kg, 0);
+//!
+//! // 3. Answer a query with an explainable multi-hop path.
+//! let t = kg.split.test[0];
+//! let paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 16, 4);
+//! println!("best path: {:?}", paths.first());
+//! ```
+
+pub use mmkgr_baselines as baselines;
+pub use mmkgr_core as core;
+pub use mmkgr_datagen as datagen;
+pub use mmkgr_embed as embed;
+pub use mmkgr_eval as eval;
+pub use mmkgr_kg as kg;
+pub use mmkgr_nn as nn;
+pub use mmkgr_tensor as tensor;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use mmkgr_core::prelude::*;
+    pub use mmkgr_datagen::GenConfig;
+    pub use mmkgr_embed::{ConvE, KgeTrainConfig, Mtrl, TransE, TripleScorer};
+    pub use mmkgr_eval::FewShotSplit;
+    pub use mmkgr_eval::{Dataset, Harness, HarnessConfig, ScaleChoice};
+    pub use mmkgr_kg::{
+        EntityId, KnowledgeGraph, ModalBank, MultiModalKG, Query, RelationId, Split, Triple,
+    };
+}

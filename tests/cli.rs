@@ -1,0 +1,158 @@
+//! Integration tests for the `mmkgr` CLI binary: the full
+//! generate → train → eval → explain workflow plus its failure modes.
+//!
+//! These shell out to the compiled binary (`CARGO_BIN_EXE_mmkgr`), so they
+//! exercise argument parsing, exit codes and on-disk artifacts exactly as
+//! a user would.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mmkgr(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mmkgr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmkgr-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_command_prints_usage_and_fails() {
+    let out = mmkgr(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = mmkgr(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = mmkgr(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("COMMANDS"));
+}
+
+#[test]
+fn generate_requires_out() {
+    let out = mmkgr(&["generate", "--dataset", "tiny"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"));
+}
+
+#[test]
+fn generate_rejects_unknown_dataset() {
+    let dir = temp_dir("baddata");
+    let out = mmkgr(&["generate", "--dataset", "freebase", "--out", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown dataset"));
+}
+
+#[test]
+fn eval_rejects_missing_run_dir() {
+    let out = mmkgr(&["eval", "--run", "/nonexistent/run"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("meta.json"));
+}
+
+#[test]
+fn flag_without_value_fails() {
+    let out = mmkgr(&["generate", "--out"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("needs a value"));
+}
+
+#[test]
+fn full_workflow_generate_train_eval_explain() {
+    let data = temp_dir("data");
+    let run = temp_dir("run");
+
+    // generate: writes the three splits + dataset meta
+    let out = mmkgr(&["generate", "--dataset", "tiny", "--out", data.to_str().unwrap()]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    for f in ["train.tsv", "valid.tsv", "test.tsv", "dataset.json"] {
+        assert!(data.join(f).exists(), "missing {f}");
+    }
+    let first = std::fs::read_to_string(data.join("train.tsv")).unwrap();
+    let line = first.lines().next().unwrap();
+    assert_eq!(line.split('\t').count(), 3, "TSV triple format: {line:?}");
+
+    // train: tiny dataset, minimal epochs, unshaped reward for speed
+    let out = mmkgr(&[
+        "train", "--dataset", "tiny", "--epochs", "2", "--shaper", "none",
+        "--variant", "OSKGR", "--out", run.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "train failed: {}", stderr(&out));
+    assert!(run.join("meta.json").exists());
+    assert!(run.join("model.json").exists());
+
+    // eval: reports the four metrics
+    let out = mmkgr(&["eval", "--run", run.to_str().unwrap(), "--max-eval", "10", "--beam", "4"]);
+    assert!(out.status.success(), "eval failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MRR"), "metrics line missing: {text}");
+
+    // explain: prints ranked paths for the default (first test) query
+    let out = mmkgr(&["explain", "--run", run.to_str().unwrap(), "--top", "3", "--beam", "4"]);
+    assert!(out.status.success(), "explain failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("query (e"), "query header missing: {text}");
+    assert!(text.contains("logp"), "paths missing: {text}");
+
+    // explain with an out-of-range entity fails cleanly
+    let out = mmkgr(&[
+        "explain", "--run", run.to_str().unwrap(), "--source", "99999", "--relation", "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of range"));
+
+    cleanup(&data);
+    cleanup(&run);
+}
+
+#[test]
+fn stats_profiles_a_dataset() {
+    let out = mmkgr(&["stats", "--dataset", "tiny"]);
+    assert!(out.status.success(), "stats failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("components"), "graph profile missing: {text}");
+    assert!(text.contains("top relations"), "frequency head missing");
+    assert!(text.contains("modalities:"), "modality line missing");
+}
+
+#[test]
+fn corrupted_checkpoint_fails_cleanly() {
+    let run = temp_dir("corrupt");
+    std::fs::write(
+        run.join("meta.json"),
+        r#"{"dataset":"tiny","scale":1.0,"seed":0,"variant":"MMKGR","history":"LSTM","epochs":1}"#,
+    )
+    .unwrap();
+    std::fs::write(run.join("model.json"), "{ not json").unwrap();
+    let out = mmkgr(&["eval", "--run", run.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("model.json"));
+    cleanup(&run);
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_dir_all(p);
+}

@@ -1,0 +1,113 @@
+//! Failure-injection tests: degenerate graphs, empty modalities, dead
+//! ends, and pathological configurations must not panic or emit NaN.
+
+use mmkgr::prelude::*;
+use mmkgr::core::{NoShaper, RewardEngine};
+use mmkgr::kg::{KnowledgeGraph, ModalBank};
+
+/// A graph where one entity is a dead end and one is isolated.
+fn degenerate_kg() -> MultiModalKG {
+    let train = vec![
+        Triple::new(0, 0, 1),
+        Triple::new(1, 0, 2),
+        Triple::new(2, 1, 0),
+    ];
+    let test = vec![Triple::new(0, 1, 2)];
+    // entity 3 is isolated; entity 4 exists only as padding
+    let graph = KnowledgeGraph::from_triples(5, 2, train.clone(), None);
+    let modal = ModalBank::empty(5);
+    MultiModalKG::new(
+        "degenerate",
+        graph,
+        modal,
+        Split { train, valid: vec![], test },
+    )
+}
+
+#[test]
+fn training_survives_empty_modalities_and_isolated_entities() {
+    let kg = degenerate_kg();
+    let mut cfg = MmkgrConfig::quick();
+    cfg.struct_dim = 8;
+    cfg.fusion_dim = 8;
+    cfg.mlb_dim = 8;
+    cfg.epochs = 2;
+    cfg.batch_size = 4;
+    // modalities off automatically? No — the bank is empty (0-dim), so
+    // projections are degenerate; the model must still run.
+    cfg.use_text = false;
+    cfg.use_image = false;
+    let engine = RewardEngine::new(&cfg, Some(NoShaper));
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let mut trainer = Trainer::new(model, engine);
+    let report = trainer.train(&kg, 0);
+    assert!(report.epochs.iter().all(|e| e.mean_loss.is_finite()));
+}
+
+#[test]
+fn beam_search_from_isolated_entity_stays_put() {
+    let kg = degenerate_kg();
+    let cfg = MmkgrConfig::quick().variant(mmkgr::core::Variant::Oskgr);
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let paths = beam_search(&model, &kg.graph, EntityId(3), RelationId(0), 4, 3);
+    assert!(!paths.is_empty());
+    assert!(
+        paths.iter().all(|p| p.entity == EntityId(3) && p.hops == 0),
+        "isolated entities can only NO_OP"
+    );
+}
+
+#[test]
+fn empty_test_split_evaluates_to_zero_metrics() {
+    let kg = degenerate_kg();
+    let cfg = MmkgrConfig::quick().variant(mmkgr::core::Variant::Oskgr);
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let known = kg.all_known();
+    let summary = evaluate_ranking(&model, &kg.graph, &[], &known, 4, 3);
+    assert_eq!(summary.total, 0);
+    assert_eq!(summary.mrr, 0.0);
+}
+
+#[test]
+fn zero_modal_dims_bank_is_consistent() {
+    let bank = ModalBank::empty(3);
+    assert_eq!(bank.image_dim(), 0);
+    assert_eq!(bank.text_dim(), 0);
+    assert_eq!(bank.text(EntityId(2)), &[] as &[f32]);
+    assert_eq!(bank.images_of(EntityId(0)).count(), 0);
+}
+
+#[test]
+fn single_entity_graph_does_not_panic() {
+    // One entity, zero triples: every query degenerates.
+    let graph = KnowledgeGraph::from_triples(1, 1, vec![], None);
+    let modal = ModalBank::empty(1);
+    let kg = MultiModalKG::new(
+        "singleton",
+        graph,
+        modal,
+        Split { train: vec![], valid: vec![], test: vec![] },
+    );
+    let cfg = MmkgrConfig::quick().variant(mmkgr::core::Variant::Oskgr);
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let paths = beam_search(&model, &kg.graph, EntityId(0), kg.graph.relations().no_op(), 2, 2);
+    assert!(paths.iter().all(|p| p.entity == EntityId(0)));
+}
+
+#[test]
+fn reward_engine_handles_empty_path_embeddings() {
+    let cfg = MmkgrConfig::quick();
+    let mut engine: RewardEngine<NoShaper> = RewardEngine::new(&cfg, None);
+    engine.remember(RelationId(0), vec![]); // ignored, not stored
+    assert_eq!(engine.memory_len(RelationId(0)), 0);
+    assert_eq!(engine.diversity(RelationId(0), &[]), 0.0);
+}
+
+#[test]
+fn nan_guard_matrix_detection() {
+    use mmkgr::tensor::Matrix;
+    let mut m = Matrix::ones(2, 2);
+    assert!(!m.has_non_finite());
+    m.set(0, 0, f32::INFINITY);
+    assert!(m.has_non_finite());
+}

@@ -1,0 +1,76 @@
+//! Integration test: the few-shot relation pipeline (the paper's §VI
+//! future work) from dataset generation through bucketed evaluation.
+
+use mmkgr::core::prelude::*;
+use mmkgr::datagen::{generate, GenConfig};
+use mmkgr::eval::{relation_frequencies, FewShotSplit};
+
+#[test]
+fn fewshot_buckets_partition_and_evaluate() {
+    let kg = generate(&GenConfig::tiny());
+    let known = kg.all_known();
+    let split = FewShotSplit::new(&kg.split.train, &kg.split.test, &[5, 20]);
+
+    // The buckets partition the test set exactly.
+    let total: usize = (0..split.num_buckets()).map(|i| split.triples(i).len()).sum();
+    assert_eq!(total, kg.split.test.len());
+    assert_eq!(split.num_buckets(), 3);
+    let counted: usize = split.buckets.iter().map(|b| b.triples).sum();
+    assert_eq!(counted, total, "bucket metadata consistent with groups");
+
+    // Frequencies reflect actual training counts.
+    let freq = relation_frequencies(&kg.split.train);
+    for (i, bucket) in split.buckets.iter().enumerate() {
+        for t in split.triples(i) {
+            let f = freq.get(&t.r).copied().unwrap_or(0);
+            assert!(
+                f >= bucket.lo && f <= bucket.hi,
+                "triple with freq {f} in bucket [{}, {}]",
+                bucket.lo,
+                bucket.hi
+            );
+        }
+    }
+
+    // A trained model evaluates per bucket; empty buckets yield None.
+    let cfg = MmkgrConfig {
+        epochs: 1,
+        warmstart_epochs: 1,
+        batch_size: 32,
+        ..MmkgrConfig::quick()
+    };
+    let engine = RewardEngine::new(&cfg, Some(NoShaper));
+    let model = MmkgrModel::new(&kg, cfg, None);
+    let mut trainer = Trainer::new(model, engine);
+    trainer.train(&kg, 0);
+    let results = split.eval_policy(&trainer.model, &kg.graph, &known, 4, 4);
+    assert_eq!(results.len(), split.num_buckets());
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Some(res) => {
+                assert!(!split.triples(i).is_empty());
+                assert!((0.0..=1.0).contains(&res.mrr));
+                assert!(res.queries > 0);
+            }
+            None => assert!(split.triples(i).is_empty()),
+        }
+    }
+}
+
+#[test]
+fn fewshot_scorer_evaluation_matches_bucket_shapes() {
+    use mmkgr::embed::{KgeTrainConfig, TransE};
+    let kg = generate(&GenConfig::tiny());
+    let known = kg.all_known();
+    let mut transe = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
+    transe.train(&kg.split.train, &known, &KgeTrainConfig::quick().with_epochs(3));
+    let split = FewShotSplit::new(&kg.split.train, &kg.split.test, &[10]);
+    let results = split.eval_scorer(&transe, &kg.graph, &known);
+    assert_eq!(results.len(), 2);
+    for (i, r) in results.iter().enumerate() {
+        if let Some(res) = r {
+            // scorer evaluation ranks tails and heads → 2 queries/triple
+            assert_eq!(res.queries, 2 * split.triples(i).len());
+        }
+    }
+}
