@@ -85,8 +85,22 @@ impl FusedWalker {
             NaiveFusion::Concatenation => 2 * proj,
             NaiveFusion::Attention => proj,
         };
-        let l1 = Linear::new(&mut params, &mut rng, "fused.l1", 3 * ds + modal_w, cfg.hidden, true);
-        let l2 = Linear::new(&mut params, &mut rng, "fused.l2", cfg.hidden, 2 * ds + modal_w, true);
+        let l1 = Linear::new(
+            &mut params,
+            &mut rng,
+            "fused.l1",
+            3 * ds + modal_w,
+            cfg.hidden,
+            true,
+        );
+        let l2 = Linear::new(
+            &mut params,
+            &mut rng,
+            "fused.l2",
+            cfg.hidden,
+            2 * ds + modal_w,
+            true,
+        );
         let mix = matches!(fusion, NaiveFusion::Attention)
             .then(|| params.add("fused.mix", Matrix::zeros(1, 2)));
         FusedWalker {
@@ -188,11 +202,8 @@ impl FusedWalker {
     /// 0/1-reward REINFORCE, mirroring the plain walker. Returns the
     /// per-epoch mean-reward trace (Table VII's "Rewards" column).
     pub fn train(&mut self, kg: &MultiModalKG) -> Vec<f32> {
-        let mut queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.train,
-            kg.graph.relations(),
-            true,
-        );
+        let mut queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.train, kg.graph.relations(), true);
         let mult = self.cfg.rollouts_per_query.max(1);
         if mult > 1 {
             let base = queries.clone();
@@ -211,8 +222,10 @@ impl FusedWalker {
             order.shuffle(&mut rng);
             let mut epoch_reward = 0.0f32;
             let mut count = 0usize;
-            let chunks: Vec<Vec<usize>> =
-                order.chunks(self.cfg.batch_size).map(|c| c.to_vec()).collect();
+            let chunks: Vec<Vec<usize>> = order
+                .chunks(self.cfg.batch_size)
+                .map(|c| c.to_vec())
+                .collect();
             for chunk in chunks {
                 let batch: Vec<RolloutQuery> = chunk.iter().map(|&i| queries[i]).collect();
                 let r = self.train_batch(kg, &batch, &mut opt, &mut rng);
@@ -228,11 +241,8 @@ impl FusedWalker {
     /// walker and `mmkgr-core`'s Trainer — Table VII's deltas require a
     /// uniform training protocol across the fused/unfused pairs).
     pub fn warm_start(&mut self, kg: &MultiModalKG, epochs: usize, opt: &mut Adam) -> usize {
-        let queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.train,
-            kg.graph.relations(),
-            true,
-        );
+        let queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.train, kg.graph.relations(), true);
         let demos: Vec<(RolloutQuery, Vec<Edge>)> = queries
             .into_iter()
             .filter_map(|q| {
@@ -267,8 +277,10 @@ impl FusedWalker {
         let b = batch.len();
         let tape = Tape::new();
         let mut picked: Vec<Var> = Vec::new();
-        let mut states: Vec<RolloutState> =
-            batch.iter().map(|(q, _)| RolloutState::new(*q, no_op)).collect();
+        let mut states: Vec<RolloutState> = batch
+            .iter()
+            .map(|(q, _)| RolloutState::new(*q, no_op))
+            .collect();
         {
             let ctx = Ctx::new(&tape, &self.params);
             let (mut h, mut c) = self.lstm.zero_state(&ctx, b);
@@ -276,8 +288,7 @@ impl FusedWalker {
             for step in 0..self.cfg.max_steps {
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -286,10 +297,10 @@ impl FusedWalker {
                 c = c2;
                 for (i, state) in states.iter_mut().enumerate() {
                     let demo = &batch[i].1;
-                    let target_edge = demo
-                        .get(step)
-                        .copied()
-                        .unwrap_or(Edge { relation: no_op, target: state.current });
+                    let target_edge = demo.get(step).copied().unwrap_or(Edge {
+                        relation: no_op,
+                        target: state.current,
+                    });
                     env.fill_actions(state, &mut action_buf);
                     let chosen = action_buf
                         .iter()
@@ -340,8 +351,7 @@ impl FusedWalker {
             for _ in 0..self.cfg.max_steps {
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -360,8 +370,10 @@ impl FusedWalker {
                     state.step(action_buf[chosen], no_op);
                 }
             }
-            let rewards: Vec<f32> =
-                states.iter().map(|s| if s.at_answer() { 1.0 } else { 0.0 }).collect();
+            let rewards: Vec<f32> = states
+                .iter()
+                .map(|s| if s.at_answer() { 1.0 } else { 0.0 })
+                .collect();
             let mean_reward: f32 = rewards.iter().sum::<f32>() / b.max(1) as f32;
             let mut loss: Option<Var> = None;
             for &(pick, qi) in &picked {
@@ -504,7 +516,11 @@ mod tests {
     use mmkgr_datagen::{generate, GenConfig};
 
     fn quick_cfg() -> WalkerConfig {
-        WalkerConfig { epochs: 2, batch_size: 32, ..Default::default() }
+        WalkerConfig {
+            epochs: 2,
+            batch_size: 32,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -538,13 +554,17 @@ mod tests {
         let kg = generate(&GenConfig::tiny());
         let mut w = FusedWalker::new(&kg, NaiveFusion::Attention, 8, quick_cfg());
         w.train(&kg);
-        let queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.test,
-            kg.graph.relations(),
-            false,
-        );
+        let queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.test, kg.graph.relations(), false);
         let known = kg.all_known();
-        let s = evaluate_ranking(&w, &kg.graph, &queries[..6.min(queries.len())], &known, 8, 4);
+        let s = evaluate_ranking(
+            &w,
+            &kg.graph,
+            &queries[..6.min(queries.len())],
+            &known,
+            8,
+            4,
+        );
         assert!((0.0..=1.0).contains(&s.mrr));
     }
 
@@ -605,7 +625,13 @@ impl<S> ModalLateFusion<S> {
         let mut images = kg.modal.mean_images().clone();
         texts.l2_normalize_rows();
         images.l2_normalize_rows();
-        ModalLateFusion { inner, texts, images, weight, fusion }
+        ModalLateFusion {
+            inner,
+            texts,
+            images,
+            weight,
+            fusion,
+        }
     }
 
     fn modal_similarity(&self, a: EntityId, b: EntityId) -> f32 {

@@ -173,8 +173,7 @@ impl Gaats {
             let mut batches = 0usize;
             for chunk in order.chunks(self.cfg.batch_size) {
                 let pos: Vec<&Triple> = chunk.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
                 let tape = Tape::new();
                 let ctx = Ctx::new(&tape, &self.params);
@@ -238,7 +237,9 @@ impl Gaats {
     }
 
     fn enc(&self) -> &Matrix {
-        self.encoded.as_ref().expect("Gaats::materialize must run before scoring")
+        self.encoded
+            .as_ref()
+            .expect("Gaats::materialize must run before scoring")
     }
 }
 
@@ -261,8 +262,7 @@ impl TripleScorer for Gaats {
         let er = self.rel.row(&self.params, r.index());
         let hs = h.row(s.index());
         let query: Vec<f32> = hs.iter().zip(er).map(|(a, b)| a + b).collect();
-        out.clear();
-        out.reserve(n);
+        mmkgr_embed::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = h.row(o);
             let mut dist = 0.0f32;
@@ -284,7 +284,14 @@ mod tests {
     fn training_reduces_loss() {
         let kg = generate(&GenConfig::tiny());
         let known = kg.all_known();
-        let mut g = Gaats::new(&kg, GaatsConfig { epochs: 6, dim: 16, ..Default::default() });
+        let mut g = Gaats::new(
+            &kg,
+            GaatsConfig {
+                epochs: 6,
+                dim: 16,
+                ..Default::default()
+            },
+        );
         let trace = g.train(&kg, &known);
         assert!(trace.last().unwrap() < &trace[0], "{trace:?}");
     }
@@ -292,7 +299,14 @@ mod tests {
     #[test]
     fn encoding_differs_from_raw_embedding() {
         let kg = generate(&GenConfig::tiny());
-        let mut g = Gaats::new(&kg, GaatsConfig { epochs: 1, dim: 16, ..Default::default() });
+        let mut g = Gaats::new(
+            &kg,
+            GaatsConfig {
+                epochs: 1,
+                dim: 16,
+                ..Default::default()
+            },
+        );
         g.materialize();
         // any connected entity's encoding should differ from its raw row
         let e = (0..kg.num_entities())
@@ -307,7 +321,14 @@ mod tests {
     fn isolated_entity_keeps_raw_embedding() {
         // Build a dataset, then query an entity with no neighbors if any.
         let kg = generate(&GenConfig::tiny());
-        let mut g = Gaats::new(&kg, GaatsConfig { epochs: 1, dim: 16, ..Default::default() });
+        let mut g = Gaats::new(
+            &kg,
+            GaatsConfig {
+                epochs: 1,
+                dim: 16,
+                ..Default::default()
+            },
+        );
         g.materialize();
         if let Some(e) =
             (0..kg.num_entities()).find(|&e| kg.graph.out_degree(EntityId(e as u32)) == 0)
@@ -319,7 +340,14 @@ mod tests {
     #[test]
     fn vectorized_matches_pointwise() {
         let kg = generate(&GenConfig::tiny());
-        let mut g = Gaats::new(&kg, GaatsConfig { epochs: 1, dim: 16, ..Default::default() });
+        let mut g = Gaats::new(
+            &kg,
+            GaatsConfig {
+                epochs: 1,
+                dim: 16,
+                ..Default::default()
+            },
+        );
         g.materialize();
         let mut out = Vec::new();
         g.score_all_objects(EntityId(1), RelationId(0), 8, &mut out);

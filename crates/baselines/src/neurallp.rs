@@ -20,9 +20,7 @@
 use std::collections::HashMap;
 
 use mmkgr_embed::TripleScorer;
-use mmkgr_kg::{
-    enumerate_paths, EntityId, KnowledgeGraph, MultiModalKG, RelationId,
-};
+use mmkgr_kg::{enumerate_paths, EntityId, KnowledgeGraph, MultiModalKG, RelationId};
 use mmkgr_tensor::init::seeded_rng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -106,7 +104,10 @@ impl NeuralLp {
         let mut head_pairs: HashMap<u32, Vec<(EntityId, EntityId)>> = HashMap::new();
         for t in &kg.split.train {
             head_pairs.entry(t.r.0).or_default().push((t.s, t.o));
-            head_pairs.entry(rs.inverse(t.r).0).or_default().push((t.o, t.s));
+            head_pairs
+                .entry(rs.inverse(t.r).0)
+                .or_default()
+                .push((t.o, t.s));
         }
 
         let mut rules: HashMap<RelationId, Vec<Rule>> = HashMap::new();
@@ -132,8 +133,8 @@ impl NeuralLp {
                     }
                 }
             }
-            let confidence = (sup as f32 + hits as f32)
-                / (sup as f32 + fires as f32 + cfg.smoothing);
+            let confidence =
+                (sup as f32 + hits as f32) / (sup as f32 + fires as f32 + cfg.smoothing);
             rules.entry(RelationId(head)).or_default().push(Rule {
                 body: body_rels,
                 confidence,
@@ -144,14 +145,20 @@ impl NeuralLp {
             list.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
             list.truncate(cfg.rules_per_head);
         }
-        NeuralLp { rules, graph, max_body_len: cfg.max_body_len }
+        NeuralLp {
+            rules,
+            graph,
+            max_body_len: cfg.max_body_len,
+        }
     }
 
     /// Noisy-OR mass over all endpoints reachable from `s` by each rule
     /// body for `head`. Endpoint scores land in `out` keyed by entity.
     pub fn endpoint_scores(&self, s: EntityId, head: RelationId) -> HashMap<EntityId, f32> {
         let mut not_prob: HashMap<EntityId, f32> = HashMap::new();
-        let Some(rules) = self.rules.get(&head) else { return HashMap::new() };
+        let Some(rules) = self.rules.get(&head) else {
+            return HashMap::new();
+        };
         let mut frontier: Vec<EntityId> = Vec::new();
         let mut next: Vec<EntityId> = Vec::new();
         for rule in rules {

@@ -30,9 +30,15 @@ use rand::Rng;
 pub enum WalkerKind {
     Minerva,
     /// Relation-cluster hierarchy: `cluster_of[rel] = cluster id`.
-    Rlh { cluster_of: Vec<u32>, num_clusters: usize },
+    Rlh {
+        cluster_of: Vec<u32>,
+        num_clusters: usize,
+    },
     /// Keep only the `keep` most TransE-consistent actions.
-    Fire { transe: TransE, keep: usize },
+    Fire {
+        transe: TransE,
+        keep: usize,
+    },
 }
 
 impl WalkerKind {
@@ -123,7 +129,19 @@ impl RlWalker {
             }
             _ => (None, None),
         };
-        RlWalker { kind, cfg, params, ent, rel, lstm, l1, l2, cluster_emb, hi_head, baseline: 0.0 }
+        RlWalker {
+            kind,
+            cfg,
+            params,
+            ent,
+            rel,
+            lstm,
+            l1,
+            l2,
+            cluster_emb,
+            hi_head,
+            baseline: 0.0,
+        }
     }
 
     /// k-means relation clustering for RLH from a (TransE-initialized)
@@ -132,28 +150,27 @@ impl RlWalker {
         let n = table.rows();
         let k = k.min(n.max(1));
         let mut rng = seeded_rng(seed);
-        let mut centroids: Vec<Vec<f32>> =
-            (0..k).map(|_| table.row(rng.gen_range(0..n)).to_vec()).collect();
+        let mut centroids: Vec<Vec<f32>> = (0..k)
+            .map(|_| table.row(rng.gen_range(0..n)).to_vec())
+            .collect();
         let mut assign = vec![0u32; n];
         for _iter in 0..10 {
-            for i in 0..n {
+            for (i, slot) in assign.iter_mut().enumerate() {
                 let row = table.row(i);
                 let mut best = 0usize;
                 let mut best_d = f32::MAX;
                 for (c, cen) in centroids.iter().enumerate() {
-                    let d: f32 =
-                        row.iter().zip(cen).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let d: f32 = row.iter().zip(cen).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d < best_d {
                         best_d = d;
                         best = c;
                     }
                 }
-                assign[i] = best as u32;
+                *slot = best as u32;
             }
             // recompute centroids
             for (c, cen) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| assign[i] == c as u32).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assign[i] == c as u32).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -222,8 +239,10 @@ impl RlWalker {
             (&self.kind, &self.cluster_emb, &self.hi_head)
         {
             let wc = hh.forward(ctx, hid); // 1×ds
-            let c_idx: Vec<usize> =
-                keep.iter().map(|&i| cluster_of[actions[i].relation.index()] as usize).collect();
+            let c_idx: Vec<usize> = keep
+                .iter()
+                .map(|&i| cluster_of[actions[i].relation.index()] as usize)
+                .collect();
             let cmat = t.gather_rows(ctx.p(ce.table), &c_idx); // m×ds
             let hi_scores = t.transpose(t.matmul(cmat, t.transpose(wc))); // 1×m
             scores = t.add(scores, hi_scores);
@@ -236,17 +255,13 @@ impl RlWalker {
     /// demonstrated action, the step contributes no loss but the rollout
     /// still follows the demonstration.
     pub fn warm_start(&mut self, kg: &MultiModalKG, epochs: usize, opt: &mut Adam) -> usize {
-        let queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.train,
-            kg.graph.relations(),
-            true,
-        );
+        let queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.train, kg.graph.relations(), true);
         let max_steps = self.cfg.max_steps;
         let demos: Vec<(RolloutQuery, Vec<Edge>)> = queries
             .into_iter()
             .filter_map(|q| {
-                mmkgr_core::rollout::demonstration_path(&kg.graph, &q, max_steps)
-                    .map(|p| (q, p))
+                mmkgr_core::rollout::demonstration_path(&kg.graph, &q, max_steps).map(|p| (q, p))
             })
             .collect();
         if demos.is_empty() {
@@ -276,8 +291,10 @@ impl RlWalker {
         let b = batch.len();
         let tape = Tape::new();
         let mut picked: Vec<Var> = Vec::new();
-        let mut states: Vec<RolloutState> =
-            batch.iter().map(|(q, _)| RolloutState::new(*q, no_op)).collect();
+        let mut states: Vec<RolloutState> = batch
+            .iter()
+            .map(|(q, _)| RolloutState::new(*q, no_op))
+            .collect();
         {
             let ctx = Ctx::new(&tape, &self.params);
             let (mut h, mut c) = self.lstm.zero_state(&ctx, b);
@@ -285,8 +302,7 @@ impl RlWalker {
             for step in 0..self.cfg.max_steps {
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -295,14 +311,13 @@ impl RlWalker {
                 c = c2;
                 for (i, state) in states.iter_mut().enumerate() {
                     let demo = &batch[i].1;
-                    let target_edge = demo
-                        .get(step)
-                        .copied()
-                        .unwrap_or(Edge { relation: no_op, target: state.current });
+                    let target_edge = demo.get(step).copied().unwrap_or(Edge {
+                        relation: no_op,
+                        target: state.current,
+                    });
                     env.fill_actions(state, &mut action_buf);
                     let h_i = tape.gather_rows(h, &[i]);
-                    let (logp, keep) =
-                        self.state_logp(&ctx, &state.query, h_i, &action_buf);
+                    let (logp, keep) = self.state_logp(&ctx, &state.query, h_i, &action_buf);
                     let demo_idx = action_buf
                         .iter()
                         .position(|e| *e == target_edge)
@@ -339,11 +354,8 @@ impl RlWalker {
     /// Runs the shared warm-start phase first when
     /// `cfg.warmstart_epochs > 0`.
     pub fn train(&mut self, kg: &MultiModalKG) -> Vec<f32> {
-        let mut queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.train,
-            kg.graph.relations(),
-            true,
-        );
+        let mut queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.train, kg.graph.relations(), true);
         let mult = self.cfg.rollouts_per_query.max(1);
         if mult > 1 {
             let base = queries.clone();
@@ -362,8 +374,10 @@ impl RlWalker {
             order.shuffle(&mut rng);
             let mut epoch_reward = 0.0f32;
             let mut count = 0usize;
-            let batches: Vec<Vec<usize>> =
-                order.chunks(self.cfg.batch_size).map(|c| c.to_vec()).collect();
+            let batches: Vec<Vec<usize>> = order
+                .chunks(self.cfg.batch_size)
+                .map(|c| c.to_vec())
+                .collect();
             for chunk in batches {
                 let batch: Vec<RolloutQuery> = chunk.iter().map(|&i| queries[i]).collect();
                 let r = self.train_batch(kg, &batch, &mut opt, &mut rng);
@@ -398,8 +412,7 @@ impl RlWalker {
             for _step in 0..self.cfg.max_steps {
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -413,8 +426,8 @@ impl RlWalker {
                     // Forced-exploration steps carry no gradient (see
                     // mmkgr-core::rollout for why off-policy REINFORCE
                     // terms diverge).
-                    let forced = self.cfg.epsilon > 0.0
-                        && rng.gen_range(0.0..1.0f32) < self.cfg.epsilon;
+                    let forced =
+                        self.cfg.epsilon > 0.0 && rng.gen_range(0.0..1.0f32) < self.cfg.epsilon;
                     let chosen = if forced {
                         rng.gen_range(0..keep.len())
                     } else {
@@ -433,8 +446,10 @@ impl RlWalker {
                 }
             }
             // 0/1 terminal reward
-            let rewards: Vec<f32> =
-                states.iter().map(|s| if s.at_answer() { 1.0 } else { 0.0 }).collect();
+            let rewards: Vec<f32> = states
+                .iter()
+                .map(|s| if s.at_answer() { 1.0 } else { 0.0 })
+                .collect();
             let mean_reward: f32 = rewards.iter().sum::<f32>() / b.max(1) as f32;
             let mut loss: Option<Var> = None;
             for &(pick, qi) in &picked {
@@ -518,7 +533,11 @@ impl RolloutPolicy for RlWalker {
         out: &mut Vec<f32>,
     ) {
         // state = [e_src; h; r_q] → hidden → w; score_i = A_i · w (+ RLH hi)
-        let q = RolloutQuery { source, relation: rq, answer: source };
+        let q = RolloutQuery {
+            source,
+            relation: rq,
+            answer: source,
+        };
         let keep = self.pruned_actions(&q, actions);
         let ds = self.cfg.struct_dim;
         let e_cur = self.ent.row(&self.params, source.index());
@@ -558,7 +577,12 @@ impl RolloutPolicy for RlWalker {
                 let table = self.params.value(ce.table);
                 let scores: Vec<f32> = (0..table.rows())
                     .map(|ci| {
-                        table.row(ci).iter().zip(wc.row(0)).map(|(a, b)| a * b).sum()
+                        table
+                            .row(ci)
+                            .iter()
+                            .zip(wc.row(0))
+                            .map(|(a, b)| a * b)
+                            .sum()
                     })
                     .collect();
                 Some((scores, cluster_of))
@@ -613,7 +637,11 @@ mod tests {
     use mmkgr_datagen::{generate, GenConfig};
 
     fn quick_cfg() -> WalkerConfig {
-        WalkerConfig { epochs: 2, batch_size: 32, ..Default::default() }
+        WalkerConfig {
+            epochs: 2,
+            batch_size: 32,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -627,13 +655,17 @@ mod tests {
         );
         let trace = w.train(&kg);
         assert_eq!(trace.len(), 2);
-        let queries = mmkgr_core::rollout::queries_from_triples(
-            &kg.split.test,
-            kg.graph.relations(),
-            false,
-        );
+        let queries =
+            mmkgr_core::rollout::queries_from_triples(&kg.split.test, kg.graph.relations(), false);
         let known = kg.all_known();
-        let s = evaluate_ranking(&w, &kg.graph, &queries[..8.min(queries.len())], &known, 8, 4);
+        let s = evaluate_ranking(
+            &w,
+            &kg.graph,
+            &queries[..8.min(queries.len())],
+            &known,
+            8,
+            4,
+        );
         assert!((0.0..=1.0).contains(&s.mrr));
     }
 
@@ -656,7 +688,10 @@ mod tests {
         let w = RlWalker::new(
             kg.num_entities(),
             r_total,
-            WalkerKind::Rlh { cluster_of, num_clusters: 4 },
+            WalkerKind::Rlh {
+                cluster_of,
+                num_clusters: 4,
+            },
             quick_cfg(),
         );
         let mut actions = vec![Edge {
@@ -757,6 +792,8 @@ mod tests {
             quick_cfg(),
         );
         let trace = w.train(&kg);
-        assert!(trace.iter().all(|r| r.is_finite() && (0.0..=1.0).contains(r)));
+        assert!(trace
+            .iter()
+            .all(|r| r.is_finite() && (0.0..=1.0).contains(r)));
     }
 }

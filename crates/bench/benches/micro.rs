@@ -47,7 +47,10 @@ fn bench_rollout_step(c: &mut Criterion) {
     let kg = generate(&GenConfig::tiny());
     let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
     let no_op = kg.graph.relations().no_op();
-    let mut actions = vec![Edge { relation: no_op, target: EntityId(0) }];
+    let mut actions = vec![Edge {
+        relation: no_op,
+        target: EntityId(0),
+    }];
     actions.extend_from_slice(kg.graph.neighbors(EntityId(0)));
     let h = vec![0.1f32; model.hidden_dim()];
     let mut probs = Vec::new();
@@ -69,7 +72,10 @@ fn bench_transe_epoch(c: &mut Criterion) {
                 m.train(
                     &kg.split.train,
                     &known,
-                    &KgeTrainConfig { epochs: 1, ..KgeTrainConfig::quick() },
+                    &KgeTrainConfig {
+                        epochs: 1,
+                        ..KgeTrainConfig::quick()
+                    },
                 );
                 std::hint::black_box(m.entity_matrix().get(0, 0));
             },

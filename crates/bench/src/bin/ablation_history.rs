@@ -21,7 +21,11 @@ fn main() {
         &["Encoder", "MRR", "Hits@1", "Hits@5", "Hits@10", "params"],
     );
     let mut dump = Vec::new();
-    for kind in [HistoryEncoder::Lstm, HistoryEncoder::Gru, HistoryEncoder::Ema] {
+    for kind in [
+        HistoryEncoder::Lstm,
+        HistoryEncoder::Gru,
+        HistoryEncoder::Ema,
+    ] {
         let (trainer, _) = h.train_mmkgr_with(|c| c.history = kind, 0);
         let r = h.eval_policy(&trainer.model);
         let row = ModelRow::new(kind.name(), &r);

@@ -19,7 +19,13 @@ fn main() {
 
     let mut table = Table::new(
         "Eq. 14 reading — success-gated (ours) vs literal (as written)",
-        &["Reading", "final mean reward", "final success %", "Hits@1", "MRR"],
+        &[
+            "Reading",
+            "final mean reward",
+            "final success %",
+            "Hits@1",
+            "MRR",
+        ],
     );
     let mut dump = Vec::new();
     for (label, literal) in [("success-gated", false), ("paper-literal", true)] {

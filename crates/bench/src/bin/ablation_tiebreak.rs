@@ -10,7 +10,10 @@
 //! Usage: `cargo run --release -p mmkgr-bench --bin ablation_tiebreak [-- --scale quick|standard|full]`
 
 use mmkgr_embed::TripleScorer;
-use mmkgr_eval::{filtered_rank_with, pct, save_json, Dataset, Harness, HarnessConfig, RankAccum, ScaleChoice, Table, TieBreak};
+use mmkgr_eval::{
+    filtered_rank_with, pct, save_json, Dataset, Harness, HarnessConfig, RankAccum, ScaleChoice,
+    Table, TieBreak,
+};
 use mmkgr_kg::{EntityId, RelationId};
 
 /// The degenerate scorer: everything is equally plausible.
@@ -21,11 +24,7 @@ impl TripleScorer for Constant {
     }
 }
 
-fn eval_with_ties(
-    scorer: &impl TripleScorer,
-    h: &Harness,
-    tie: TieBreak,
-) -> (f64, f64) {
+fn eval_with_ties(scorer: &impl TripleScorer, h: &Harness, tie: TieBreak) -> (f64, f64) {
     let n = h.kg.num_entities();
     let mut scores = Vec::new();
     let mut accum = RankAccum::default();
@@ -57,7 +56,11 @@ fn main() {
         ("Constant", &Constant as &dyn TripleScorer),
         ("NeuralLP", &neurallp as &dyn TripleScorer),
     ] {
-        for tie in [TieBreak::Optimistic, TieBreak::Expected, TieBreak::Pessimistic] {
+        for tie in [
+            TieBreak::Optimistic,
+            TieBreak::Expected,
+            TieBreak::Pessimistic,
+        ] {
             let (mrr, hits1) = eval_with_ties(&scorer, &h, tie);
             table.push_row(vec![
                 name.to_string(),
@@ -69,12 +72,19 @@ fn main() {
         }
     }
     table.print();
-    let const_opt = dump.iter().find(|d| d.0 == "Constant" && d.1 == "Optimistic").unwrap();
+    let const_opt = dump
+        .iter()
+        .find(|d| d.0 == "Constant" && d.1 == "Optimistic")
+        .unwrap();
     println!(
         "inflation check: a constant scorer gets Hits@1 {} under optimistic ties — \
          the expected-rank protocol (DESIGN.md deviation 4) reports {} instead",
         pct(const_opt.3),
-        pct(dump.iter().find(|d| d.0 == "Constant" && d.1 == "Expected").unwrap().3),
+        pct(dump
+            .iter()
+            .find(|d| d.0 == "Constant" && d.1 == "Expected")
+            .unwrap()
+            .3),
     );
     save_json("ablation_tiebreak", &dump);
 }

@@ -11,11 +11,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exes = [
         // the paper's own artifacts, in paper order
-        "table3", "table4", "table5", "table6", "table7", "table8", "fig4", "fig5", "fig6",
-        "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
         // extension + deviation-ablation experiments (DESIGN.md index)
-        "table1_kge", "ext_fewshot", "ablation_reward_gate", "ablation_tiebreak",
-        "ablation_beam", "ablation_history",
+        "table1_kge",
+        "ext_fewshot",
+        "ablation_reward_gate",
+        "ablation_tiebreak",
+        "ablation_beam",
+        "ablation_history",
     ];
     let self_path = std::env::current_exe().expect("current exe");
     let bin_dir = self_path.parent().expect("bin dir");

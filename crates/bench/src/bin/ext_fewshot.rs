@@ -42,13 +42,32 @@ fn main() {
         sw.lap("MINERVA");
 
         let mut table = Table::new(
-            format!("Few-shot relations on {} (Hits@1 per frequency bucket)", dataset.name()),
-            &["Freq bucket", "Triples", "MINERVA", "OSKGR", "MMKGR", "MM-OS gain"],
+            format!(
+                "Few-shot relations on {} (Hits@1 per frequency bucket)",
+                dataset.name()
+            ),
+            &[
+                "Freq bucket",
+                "Triples",
+                "MINERVA",
+                "OSKGR",
+                "MMKGR",
+                "MM-OS gain",
+            ],
         );
         let rows = [
-            ("MINERVA", split.eval_policy(&minerva, &h.kg.graph, &h.known, h.cfg.beam, 4)),
-            ("OSKGR", split.eval_policy(&oskgr.model, &h.kg.graph, &h.known, h.cfg.beam, 4)),
-            ("MMKGR", split.eval_policy(&mmkgr.model, &h.kg.graph, &h.known, h.cfg.beam, 4)),
+            (
+                "MINERVA",
+                split.eval_policy(&minerva, &h.kg.graph, &h.known, h.cfg.beam, 4),
+            ),
+            (
+                "OSKGR",
+                split.eval_policy(&oskgr.model, &h.kg.graph, &h.known, h.cfg.beam, 4),
+            ),
+            (
+                "MMKGR",
+                split.eval_policy(&mmkgr.model, &h.kg.graph, &h.known, h.cfg.beam, 4),
+            ),
         ];
         let mut gains: Vec<(String, f64)> = Vec::new();
         for (i, bucket) in split.buckets.iter().enumerate() {

@@ -15,7 +15,10 @@ fn main() {
     let (epochs_grid, batch_grid): (Vec<usize>, Vec<usize>) = match scale {
         ScaleChoice::Quick => (vec![3, 6], vec![32, 128]),
         ScaleChoice::Standard => (vec![5, 15, 30], vec![32, 128, 512]),
-        ScaleChoice::Full => (vec![10, 30, 50, 70, 90, 110], vec![16, 32, 64, 128, 256, 512]),
+        ScaleChoice::Full => (
+            vec![10, 30, 50, 70, 90, 110],
+            vec![16, 32, 64, 128, 256, 512],
+        ),
     };
     let mut dump = Vec::new();
     for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
@@ -25,7 +28,10 @@ fn main() {
         headers.extend(epochs_grid.iter().map(|e| format!("E={e}")));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
-            format!("Fig. 10 — Hits@1 vs epochs and batch size on {}", dataset.name()),
+            format!(
+                "Fig. 10 — Hits@1 vs epochs and batch size on {}",
+                dataset.name()
+            ),
             &header_refs,
         );
         for &n in &batch_grid {

@@ -16,7 +16,12 @@ fn main() {
             format!("Fig. 5 — 3D-reward ablation on {}", dataset.name()),
             &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
         );
-        for v in [Variant::Dekgr, Variant::Dskgr, Variant::Dvkgr, Variant::Full] {
+        for v in [
+            Variant::Dekgr,
+            Variant::Dskgr,
+            Variant::Dvkgr,
+            Variant::Full,
+        ] {
             let (trainer, _) = h.train_variant(v);
             let row = ModelRow::new(v.name(), &h.eval_policy(&trainer.model));
             sw.lap(v.name());

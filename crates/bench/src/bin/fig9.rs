@@ -20,14 +20,19 @@ fn main() {
     for dataset in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt] {
         let h = Harness::new(HarnessConfig::new(dataset, scale));
         println!("\n{} (validation MRR per epoch)", h.kg.stats());
-        for v in [Variant::Dekgr, Variant::Dskgr, Variant::Dvkgr, Variant::Full, Variant::Zokgr]
-        {
-            let (_, report) = h.train_mmkgr_with(
-                |c| *c = c.clone().variant(v),
-                valid_sample,
-            );
-            let series: Vec<f64> =
-                report.epochs.iter().map(|e| e.valid_mrr.unwrap_or(0.0)).collect();
+        for v in [
+            Variant::Dekgr,
+            Variant::Dskgr,
+            Variant::Dvkgr,
+            Variant::Full,
+            Variant::Zokgr,
+        ] {
+            let (_, report) = h.train_mmkgr_with(|c| *c = c.clone().variant(v), valid_sample);
+            let series: Vec<f64> = report
+                .epochs
+                .iter()
+                .map(|e| e.valid_mrr.unwrap_or(0.0))
+                .collect();
             print!("{:<6}: ", v.name());
             for m in &series {
                 print!("{:.3} ", m);

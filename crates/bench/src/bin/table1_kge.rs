@@ -10,9 +10,7 @@
 //! Usage: `cargo run --release -p mmkgr-bench --bin table1_kge [-- --scale quick|standard|full]`
 
 use mmkgr_bench::{ModelRow, Stopwatch};
-use mmkgr_embed::{
-    ComplEx, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD, TransE,
-};
+use mmkgr_embed::{ComplEx, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD, TransE};
 use mmkgr_eval::{save_json, Dataset, Harness, HarnessConfig, ScaleChoice, Table};
 
 fn main() {
@@ -30,7 +28,10 @@ fn main() {
             .with_seed(h.cfg.seed ^ 0xA11);
 
         let mut table = Table::new(
-            format!("Table I family — single-hop link prediction on {}", dataset.name()),
+            format!(
+                "Table I family — single-hop link prediction on {}",
+                dataset.name()
+            ),
             &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
         );
         let mut rows: Vec<ModelRow> = Vec::new();
@@ -99,7 +100,11 @@ fn main() {
         table.print();
         println!(
             "claim (§II-C): best multimodal single-hop Hits@1 {} best structural ({:.1} vs {:.1})",
-            if multimodal_best > structural_best { ">" } else { "!>" },
+            if multimodal_best > structural_best {
+                ">"
+            } else {
+                "!>"
+            },
             multimodal_best * 100.0,
             structural_best * 100.0,
         );

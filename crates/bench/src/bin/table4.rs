@@ -51,7 +51,10 @@ fn main() {
         let mut headers: Vec<&str> = vec!["Task"];
         headers.extend(models.iter().map(|(n, _)| *n));
         let mut table = Table::new(
-            format!("Table IV — relation link prediction MAP on {}", dataset.name()),
+            format!(
+                "Table IV — relation link prediction MAP on {}",
+                dataset.name()
+            ),
             &headers,
         );
         // Top per-relation rows (up to 3 most frequent, like the paper's

@@ -17,7 +17,12 @@ fn main() {
             &["Model", "MRR", "Hits@1", "Hits@5", "Hits@10"],
         );
         let mut rows = Vec::new();
-        for v in [Variant::Oskgr, Variant::Stkgr, Variant::Sikgr, Variant::Full] {
+        for v in [
+            Variant::Oskgr,
+            Variant::Stkgr,
+            Variant::Sikgr,
+            Variant::Full,
+        ] {
             let (trainer, _) = h.train_variant(v);
             let row = ModelRow::new(v.name(), &h.eval_policy(&trainer.model));
             sw.lap(v.name());

@@ -19,7 +19,10 @@ fn main() {
         headers.extend(t_values.iter().map(|t| format!("T={t}")));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
-            format!("Table VI — Hits@1 vs T and threshold k on {}", dataset.name()),
+            format!(
+                "Table VI — Hits@1 vs T and threshold k on {}",
+                dataset.name()
+            ),
             &header_refs,
         );
         let mut grid = Vec::new();

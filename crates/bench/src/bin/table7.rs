@@ -101,17 +101,27 @@ fn main() {
 
     let mut table = Table::new(
         "Table VII — naive fusion on existing multi-hop models (FB-IMG-TXT)",
-        &["Model", "Attn ΔRewards", "Attn ΔHits@1", "Concat ΔRewards", "Concat ΔHits@1"],
+        &[
+            "Model",
+            "Attn ΔRewards",
+            "Attn ΔHits@1",
+            "Concat ΔRewards",
+            "Concat ΔHits@1",
+        ],
     );
     for model in ["GAATs", "NeuralLP", "MINERVA", "FIRE", "RLH"] {
         let get = |fusion: &str| rows.iter().find(|r| r.model == model && r.fusion == fusion);
         let a = get("Attention");
         let c = get("Concatenation");
         let fmt_r = |r: Option<&Row>| {
-            r.and_then(|r| r.delta_reward).map(pct_delta).unwrap_or_else(|| "—".into())
+            r.and_then(|r| r.delta_reward)
+                .map(pct_delta)
+                .unwrap_or_else(|| "—".into())
         };
-        let fmt_h =
-            |r: Option<&Row>| r.map(|r| pct_delta(r.delta_hits1)).unwrap_or_else(|| "—".into());
+        let fmt_h = |r: Option<&Row>| {
+            r.map(|r| pct_delta(r.delta_hits1))
+                .unwrap_or_else(|| "—".into())
+        };
         table.push_row(vec![
             model.to_string(),
             fmt_r(a),

@@ -13,10 +13,19 @@ fn main() {
     let mut dump = Vec::new();
     let mut table = Table::new(
         "Table VIII — Hits@1 on test subsets (MMKGR vs OSKGR)",
-        &["Proportion", "WN9 MMKGR", "WN9 OSKGR", "FB MMKGR", "FB OSKGR"],
+        &[
+            "Proportion",
+            "WN9 MMKGR",
+            "WN9 OSKGR",
+            "FB MMKGR",
+            "FB OSKGR",
+        ],
     );
     let mut columns: Vec<Vec<String>> = vec![Vec::new(); 4];
-    for (d_i, dataset) in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt].into_iter().enumerate() {
+    for (d_i, dataset) in [Dataset::Wn9ImgTxt, Dataset::FbImgTxt]
+        .into_iter()
+        .enumerate()
+    {
         let h = Harness::new(HarnessConfig::new(dataset, scale));
         println!("{}", h.kg.stats());
         let (mmkgr, _) = h.train_variant(Variant::Full);

@@ -67,13 +67,8 @@ impl Default for Stopwatch {
     }
 }
 
-
 /// Shared driver for the Fig. 6/7 hop-proportion experiment.
-pub fn run_hops_figure(
-    dataset: mmkgr_eval::Dataset,
-    scale: mmkgr_eval::ScaleChoice,
-    fig: &str,
-) {
+pub fn run_hops_figure(dataset: mmkgr_eval::Dataset, scale: mmkgr_eval::ScaleChoice, fig: &str) {
     use mmkgr_core::Variant;
     use mmkgr_eval::{save_json, Harness, HarnessConfig, Table};
 
@@ -81,8 +76,18 @@ pub fn run_hops_figure(
     let h = Harness::new(HarnessConfig::new(dataset, scale));
     println!("{}", h.kg.stats());
     let mut table = Table::new(
-        format!("{fig} — successful inferences by path length on {}", dataset.name()),
-        &["Model", "≤1 hop", "2 hops", "3 hops", "4+ hops", "successes"],
+        format!(
+            "{fig} — successful inferences by path length on {}",
+            dataset.name()
+        ),
+        &[
+            "Model",
+            "≤1 hop",
+            "2 hops",
+            "3 hops",
+            "4+ hops",
+            "successes",
+        ],
     );
     let mut dump = Vec::new();
     for v in [Variant::Full, Variant::Dvkgr, Variant::Oskgr] {

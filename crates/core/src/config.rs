@@ -23,27 +23,47 @@ pub struct RewardConfig {
 impl RewardConfig {
     /// The full 3D mechanism.
     pub fn full() -> Self {
-        RewardConfig { shaping: true, distance: true, diversity: true }
+        RewardConfig {
+            shaping: true,
+            distance: true,
+            diversity: true,
+        }
     }
 
     /// DEKGR: destination (with shaping) only.
     pub fn destination_only() -> Self {
-        RewardConfig { shaping: true, distance: false, diversity: false }
+        RewardConfig {
+            shaping: true,
+            distance: false,
+            diversity: false,
+        }
     }
 
     /// DSKGR: destination + distance.
     pub fn destination_distance() -> Self {
-        RewardConfig { shaping: true, distance: true, diversity: false }
+        RewardConfig {
+            shaping: true,
+            distance: true,
+            diversity: false,
+        }
     }
 
     /// DVKGR: destination + diversity.
     pub fn destination_diversity() -> Self {
-        RewardConfig { shaping: true, distance: false, diversity: true }
+        RewardConfig {
+            shaping: true,
+            distance: false,
+            diversity: true,
+        }
     }
 
     /// ZOKGR: the bare "0-1 reward" of prior RL reasoners.
     pub fn zero_one() -> Self {
-        RewardConfig { shaping: false, distance: false, diversity: false }
+        RewardConfig {
+            shaping: false,
+            distance: false,
+            diversity: false,
+        }
     }
 }
 
@@ -320,8 +340,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_lambda() {
-        let mut c = MmkgrConfig::default();
-        c.lambda = (0.5, 0.5, 0.5);
+        let c = MmkgrConfig {
+            lambda: (0.5, 0.5, 0.5),
+            ..MmkgrConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

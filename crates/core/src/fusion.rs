@@ -134,8 +134,14 @@ impl GateAttention {
         let k_row = y_row.matmul(params.value(self.wk));
         let v_row = y_row.matmul(params.value(self.wv));
 
-        let bl = row_broadcast_mul(&q.matmul(params.value(self.wlq)), k_row.matmul(params.value(self.wlk)).row(0));
-        let br = row_broadcast_mul(&q.matmul(params.value(self.wrq)), v_row.matmul(params.value(self.wrv)).row(0));
+        let bl = row_broadcast_mul(
+            &q.matmul(params.value(self.wlq)),
+            k_row.matmul(params.value(self.wlk)).row(0),
+        );
+        let br = row_broadcast_mul(
+            &q.matmul(params.value(self.wrq)),
+            v_row.matmul(params.value(self.wrv)).row(0),
+        );
 
         let v_hat = if use_attention_fusion {
             let gt = bl.matmul(params.value(self.wm)).map(sigmoid);
@@ -275,7 +281,9 @@ mod tests {
         };
         assert!(leases.len() >= 8, "all gate weights leased");
         // every gate parameter should receive a nonzero gradient
-        for pid in [gate.wq, gate.wk, gate.wv, gate.wlk, gate.wlq, gate.wrv, gate.wrq, gate.wm] {
+        for pid in [
+            gate.wq, gate.wk, gate.wv, gate.wlk, gate.wlq, gate.wrv, gate.wrq, gate.wm,
+        ] {
             let g = params.grad(pid);
             assert!(g.norm() > 0.0, "no gradient for {:?}", params.name(pid));
         }

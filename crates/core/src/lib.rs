@@ -38,21 +38,35 @@ pub mod mdp;
 pub mod model;
 pub mod reward;
 pub mod rollout;
+pub mod serve;
 
 pub use config::{HistoryEncoder, MmkgrConfig, RewardConfig, Variant};
 pub use fusion::GateAttention;
-pub use infer::{beam_search, evaluate_ranking, rank_query, relation_scores, BeamPath, RankOutcome, RankingSummary, RolloutPolicy};
+pub use infer::{
+    beam_search, evaluate_ranking, rank_query, relation_scores, BeamPath, RankOutcome,
+    RankingSummary, RolloutPolicy,
+};
 pub use mdp::{Env, RolloutQuery, RolloutState};
 pub use model::{HistoryCell, MmkgrModel};
 pub use reward::{NoShaper, RewardBreakdown, RewardEngine};
-pub use rollout::{demonstration_path, queries_from_triples, EpochStats, Trainer, TrainReport};
+pub use rollout::{demonstration_path, queries_from_triples, EpochStats, TrainReport, Trainer};
+pub use serve::{
+    answer_batch, Answer, Candidate, Coverage, Evidence, KgReasoner, PolicyReasoner, Query,
+    ScorerReasoner, ServeConfig,
+};
 
 /// Common imports for downstream crates and examples.
 pub mod prelude {
     pub use crate::config::{HistoryEncoder, MmkgrConfig, RewardConfig, Variant};
-    pub use crate::infer::{beam_search, evaluate_ranking, rank_query, RankingSummary, RolloutPolicy};
+    pub use crate::infer::{
+        beam_search, evaluate_ranking, rank_query, RankingSummary, RolloutPolicy,
+    };
     pub use crate::mdp::{Env, RolloutQuery};
     pub use crate::model::MmkgrModel;
     pub use crate::reward::{NoShaper, RewardEngine};
     pub use crate::rollout::{queries_from_triples, Trainer};
+    pub use crate::serve::{
+        answer_batch, Answer, Candidate, Coverage, Evidence, KgReasoner, PolicyReasoner, Query,
+        ScorerReasoner, ServeConfig,
+    };
 }

@@ -78,7 +78,11 @@ pub struct Env<'g> {
 
 impl<'g> Env<'g> {
     pub fn new(graph: &'g KnowledgeGraph, mask_answer_edge: bool) -> Self {
-        Env { graph, no_op: graph.relations().no_op(), mask_answer_edge }
+        Env {
+            graph,
+            no_op: graph.relations().no_op(),
+            mask_answer_edge,
+        }
     }
 
     #[inline]
@@ -90,7 +94,10 @@ impl<'g> Env<'g> {
     /// first, then the (possibly masked) outgoing edges.
     pub fn fill_actions(&self, state: &RolloutState, buf: &mut Vec<Edge>) {
         buf.clear();
-        buf.push(Edge { relation: self.no_op, target: state.current });
+        buf.push(Edge {
+            relation: self.no_op,
+            target: state.current,
+        });
         let masking = self.mask_answer_edge && state.current == state.query.source;
         for &e in self.graph.neighbors(state.current) {
             if masking && e.relation == state.query.relation && e.target == state.query.answer {
@@ -110,7 +117,11 @@ mod tests {
         KnowledgeGraph::from_triples(
             4,
             2,
-            vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2), Triple::new(1, 1, 3)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 1, 2),
+                Triple::new(1, 1, 3),
+            ],
             None,
         )
     }
@@ -143,13 +154,20 @@ mod tests {
         let mut buf = Vec::new();
         env.fill_actions(&state, &mut buf);
         assert!(
-            !buf.iter().any(|e| e.relation == RelationId(0) && e.target == EntityId(1)),
+            !buf.iter()
+                .any(|e| e.relation == RelationId(0) && e.target == EntityId(1)),
             "direct answer edge must be masked at the source"
         );
         // After moving away, the same edge would be visible again (no
         // masking away from the source).
         let mut moved = state.clone();
-        moved.step(Edge { relation: RelationId(1), target: EntityId(2) }, env.no_op());
+        moved.step(
+            Edge {
+                relation: RelationId(1),
+                target: EntityId(2),
+            },
+            env.no_op(),
+        );
         env.fill_actions(&moved, &mut buf);
         assert_eq!(buf.len(), 1 + g.out_degree(EntityId(2)));
     }
@@ -159,9 +177,21 @@ mod tests {
         let g = graph();
         let env = Env::new(&g, false);
         let mut state = RolloutState::new(query(), env.no_op());
-        state.step(Edge { relation: env.no_op(), target: EntityId(0) }, env.no_op());
+        state.step(
+            Edge {
+                relation: env.no_op(),
+                target: EntityId(0),
+            },
+            env.no_op(),
+        );
         assert_eq!(state.hops, 0);
-        state.step(Edge { relation: RelationId(0), target: EntityId(1) }, env.no_op());
+        state.step(
+            Edge {
+                relation: RelationId(0),
+                target: EntityId(1),
+            },
+            env.no_op(),
+        );
         assert_eq!(state.hops, 1);
         assert!(state.at_answer());
         assert_eq!(state.relation_path(env.no_op()), vec![RelationId(0)]);

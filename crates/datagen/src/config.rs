@@ -96,7 +96,7 @@ impl GenConfig {
             images_per_entity: 100,
             image_dim: 48,
             image_bg_dim: 12,
-            image_dup_prob: 0.5, // FB images are crawled en masse → more dupes
+            image_dup_prob: 0.5,  // FB images are crawled en masse → more dupes
             modality_noise: 0.35, // noisier modality data than WN9
             text_dim: 48,
             max_out_degree: 48,

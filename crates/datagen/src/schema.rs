@@ -29,7 +29,11 @@ pub fn sample_latents(cfg: &GenConfig, rng: &mut StdRng) -> LatentWorld {
             *v = centroids.get(c, i) + noise.get(0, i);
         }
     }
-    LatentWorld { latents, cluster_of, centroids }
+    LatentWorld {
+        latents,
+        cluster_of,
+        centroids,
+    }
 }
 
 /// How a single relation behaves in the latent world.
@@ -55,11 +59,13 @@ pub fn build_schema(cfg: &GenConfig, world: &LatentWorld, rng: &mut StdRng) -> V
     let total = cfg.base_relations;
     let num_composed = ((total as f64) * cfg.composed_frac).round() as usize;
     let num_atomic = total - num_composed;
-    assert!(num_atomic >= 2, "need at least two atomic relations to compose");
+    assert!(
+        num_atomic >= 2,
+        "need at least two atomic relations to compose"
+    );
 
     // Rough per-relation quota so the expected triple count matches cfg.
-    let quota = (cfg.train_triples as f64 / (1.0 - cfg.valid_frac - cfg.test_frac)
-        / total as f64)
+    let quota = (cfg.train_triples as f64 / (1.0 - cfg.valid_frac - cfg.test_frac) / total as f64)
         .ceil() as usize;
 
     let mut schemas: Vec<RelationSchema> = Vec::with_capacity(total);
@@ -67,8 +73,10 @@ pub fn build_schema(cfg: &GenConfig, world: &LatentWorld, rng: &mut StdRng) -> V
         let src = rng.gen_range(0..cfg.clusters);
         let tgt = rng.gen_range(0..cfg.clusters);
         let offset: Vec<f32> = (0..cfg.latent_dim)
-            .map(|i| world.centroids.get(tgt, i) - world.centroids.get(src, i)
-                + rng.gen_range(-0.2..0.2))
+            .map(|i| {
+                world.centroids.get(tgt, i) - world.centroids.get(src, i)
+                    + rng.gen_range(-0.2f32..0.2)
+            })
             .collect();
         schemas.push(RelationSchema {
             src_cluster: src,

@@ -138,5 +138,8 @@ fn test_facts_are_mostly_multihop_reachable() {
     };
     let reachable = kg.split.test.iter().filter(|t| reach(t)).count();
     let frac = reachable as f64 / kg.split.test.len().max(1) as f64;
-    assert!(frac > 0.6, "only {frac:.2} of test facts reachable within 4 hops");
+    assert!(
+        frac > 0.6,
+        "only {frac:.2} of test facts reachable within 4 hops"
+    );
 }

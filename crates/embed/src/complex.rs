@@ -28,7 +28,12 @@ impl ComplEx {
         let entities = Embedding::new(&mut params, &mut rng, "complex.ent", num_entities, 2 * dim);
         let relations =
             Embedding::new(&mut params, &mut rng, "complex.rel", num_relations, 2 * dim);
-        ComplEx { params, entities, relations, dim }
+        ComplEx {
+            params,
+            entities,
+            relations,
+            dim,
+        }
     }
 
     fn batch_score(&self, ctx: &Ctx<'_>, triples: &[&Triple]) -> Var {
@@ -51,7 +56,12 @@ impl ComplEx {
         t.sum_rows(sum)
     }
 
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -61,8 +71,7 @@ impl ComplEx {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
                 let tape = Tape::new();
                 let ctx = Ctx::new(&tape, &self.params);
@@ -115,12 +124,19 @@ mod tests {
         model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(80));
         let fwd = model.score(EntityId(0), RelationId(0), EntityId(1));
         let bwd = model.score(EntityId(1), RelationId(0), EntityId(0));
-        assert!(fwd > bwd, "ComplEx must break symmetry: fwd {fwd} !> bwd {bwd}");
+        assert!(
+            fwd > bwd,
+            "ComplEx must break symmetry: fwd {fwd} !> bwd {bwd}"
+        );
     }
 
     #[test]
     fn training_reduces_loss() {
-        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(2, 0, 3)];
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(2, 0, 3),
+        ];
         let known = TripleSet::from_triples(&triples);
         let mut model = ComplEx::new(4, 2, 8, 1);
         let trace = model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(50));

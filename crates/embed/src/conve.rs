@@ -40,7 +40,10 @@ impl ConvE {
         channels: usize,
         seed: u64,
     ) -> Self {
-        assert!(img_h >= 3 && img_w >= KERNEL, "image plane too small for 3×3 conv");
+        assert!(
+            img_h >= 3 && img_w >= KERNEL,
+            "image plane too small for 3×3 conv"
+        );
         let dim = img_h * img_w;
         let mut params = Params::new();
         let mut rng = seeded_rng(seed);
@@ -119,7 +122,12 @@ impl ConvE {
     }
 
     /// 1-vs-all training with cross-entropy over all entities.
-    pub fn train(&mut self, triples: &[Triple], _known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        _known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let mut opt = Adam::new(cfg.lr);
         let mut trace = Vec::with_capacity(cfg.epochs);
@@ -215,8 +223,7 @@ impl TripleScorer for ConvE {
         let feat = self.features_raw(s, r);
         let table = self.params.value(self.entities.table);
         let bias = self.params.value(self.out_bias);
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = table.row(o);
             let dot: f32 = feat.iter().zip(row).map(|(a, b)| a * b).sum();
@@ -243,6 +250,23 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_score_all_objects_matches_pointwise() {
+        let model = ConvE::new(7, 3, 3, 4, 4, 3);
+        let mut out = Vec::new();
+        for r in 0..3u32 {
+            model.score_all_objects(EntityId(2), RelationId(r), 7, &mut out);
+            assert_eq!(out.len(), 7);
+            for (o, &v) in out.iter().enumerate() {
+                let direct = model.score(EntityId(2), RelationId(r), EntityId(o as u32));
+                assert!(
+                    (v - direct).abs() < 1e-5,
+                    "vectorized {v} vs pointwise {direct} at o={o}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn training_reduces_loss() {
         let triples = vec![
             Triple::new(0, 0, 1),
@@ -252,9 +276,19 @@ mod tests {
         ];
         let known = TripleSet::from_triples(&triples);
         let mut model = ConvE::new(4, 1, 3, 4, 4, 1);
-        let cfg = KgeTrainConfig { epochs: 40, batch_size: 4, lr: 5e-3, margin: 1.0, seed: 2 };
+        let cfg = KgeTrainConfig {
+            epochs: 40,
+            batch_size: 4,
+            lr: 5e-3,
+            margin: 1.0,
+            seed: 2,
+        };
         let trace = model.train(&triples, &known, &cfg);
-        assert!(trace.last().unwrap() < &trace[0], "{:?}", (trace.first(), trace.last()));
+        assert!(
+            trace.last().unwrap() < &trace[0],
+            "{:?}",
+            (trace.first(), trace.last())
+        );
     }
 
     #[test]
@@ -262,7 +296,13 @@ mod tests {
         let triples = vec![Triple::new(0, 0, 1), Triple::new(2, 0, 3)];
         let known = TripleSet::from_triples(&triples);
         let mut model = ConvE::new(4, 1, 3, 4, 4, 3);
-        let cfg = KgeTrainConfig { epochs: 120, batch_size: 2, lr: 5e-3, margin: 1.0, seed: 4 };
+        let cfg = KgeTrainConfig {
+            epochs: 120,
+            batch_size: 2,
+            lr: 5e-3,
+            margin: 1.0,
+            seed: 4,
+        };
         model.train(&triples, &known, &cfg);
         let gold = model.score(EntityId(0), RelationId(0), EntityId(1));
         let other = model.score(EntityId(0), RelationId(0), EntityId(2));

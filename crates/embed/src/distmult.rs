@@ -22,7 +22,12 @@ impl DistMult {
         let mut rng = seeded_rng(seed);
         let entities = Embedding::new(&mut params, &mut rng, "distmult.ent", num_entities, dim);
         let relations = Embedding::new(&mut params, &mut rng, "distmult.rel", num_relations, dim);
-        DistMult { params, entities, relations, dim }
+        DistMult {
+            params,
+            entities,
+            relations,
+            dim,
+        }
     }
 
     fn batch_score(&self, ctx: &Ctx<'_>, triples: &[&Triple]) -> Var {
@@ -38,7 +43,12 @@ impl DistMult {
     }
 
     /// Margin loss on score gaps: `mean(relu(margin − pos + neg))`.
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -48,8 +58,7 @@ impl DistMult {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
 
                 let tape = Tape::new();
@@ -87,8 +96,7 @@ impl TripleScorer for DistMult {
     }
 
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         let es = self.entities.row(&self.params, s.index());
         let er = self.relations.row(&self.params, r.index());
         let query: Vec<f32> = es.iter().zip(er).map(|(a, b)| a * b).collect();

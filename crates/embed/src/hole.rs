@@ -46,7 +46,12 @@ impl Hole {
         let mut rng = seeded_rng(seed);
         let entities = Embedding::new(&mut params, &mut rng, "hole.ent", num_entities, dim);
         let relations = Embedding::new(&mut params, &mut rng, "hole.rel", num_relations, dim);
-        Hole { params, entities, relations, dim }
+        Hole {
+            params,
+            entities,
+            relations,
+            dim,
+        }
     }
 
     /// Batch scores `B×1`. The correlation is unrolled over the shift `k`:
@@ -80,7 +85,12 @@ impl Hole {
     }
 
     /// Margin-ranking training on score gaps (higher = more plausible).
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -90,8 +100,7 @@ impl Hole {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
 
                 let tape = Tape::new();
@@ -141,8 +150,7 @@ impl TripleScorer for Hole {
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
         let q = self.query_vector(s, r);
         let table = self.params.value(self.entities.table);
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = table.row(o);
             out.push(q.iter().zip(row).map(|(a, b)| a * b).sum());

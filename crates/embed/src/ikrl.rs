@@ -50,11 +50,13 @@ impl Ikrl {
         let mut rng = seeded_rng(seed);
         let struct_emb = Embedding::new(&mut params, &mut rng, "ikrl.ent", num_entities, dim);
         let relations = Embedding::new(&mut params, &mut rng, "ikrl.rel", num_relations, dim);
-        let w_img = params.add("ikrl.w_img", xavier(&mut rng, modal.image_dim().max(1), dim));
+        let w_img = params.add(
+            "ikrl.w_img",
+            xavier(&mut rng, modal.image_dim().max(1), dim),
+        );
         let image_stacks = (0..num_entities)
             .map(|e| {
-                let rows: Vec<&[f32]> =
-                    modal.images_of(EntityId(e as u32)).collect();
+                let rows: Vec<&[f32]> = modal.images_of(EntityId(e as u32)).collect();
                 if rows.is_empty() {
                     Matrix::zeros(1, modal.image_dim().max(1))
                 } else {
@@ -62,7 +64,15 @@ impl Ikrl {
                 }
             })
             .collect();
-        Ikrl { params, struct_emb, relations, w_img, image_stacks, dim, cache: None }
+        Ikrl {
+            params,
+            struct_emb,
+            relations,
+            w_img,
+            image_stacks,
+            dim,
+            cache: None,
+        }
     }
 
     /// Attention-aggregated image embedding of one entity under the
@@ -83,8 +93,8 @@ impl Ikrl {
             z += *l;
         }
         let mut out = vec![0.0f32; self.dim];
-        for i in 0..proj.rows() {
-            let a = logits[i] / z.max(1e-12);
+        for (i, &logit) in logits.iter().enumerate() {
+            let a = logit / z.max(1e-12);
             for (o, v) in out.iter_mut().zip(proj.row(i)) {
                 *o += a * v;
             }
@@ -113,9 +123,12 @@ impl Ikrl {
                 *l = (*l - max).exp();
                 z += *l;
             }
-            for i in 0..self.image_stacks[e].rows() {
-                let a = logits[i] / z.max(1e-12);
-                for (c, v) in weighted.row_mut(row).iter_mut().zip(self.image_stacks[e].row(i))
+            for (i, &logit) in logits.iter().enumerate() {
+                let a = logit / z.max(1e-12);
+                for (c, v) in weighted
+                    .row_mut(row)
+                    .iter_mut()
+                    .zip(self.image_stacks[e].row(i))
                 {
                     *c += a * v;
                 }
@@ -148,7 +161,12 @@ impl Ikrl {
         acc.expect("four energies")
     }
 
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.struct_emb.count);
         let mut opt = Adam::new(cfg.lr);
@@ -158,8 +176,7 @@ impl Ikrl {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
                 let tape = Tape::new();
                 let ctx = Ctx::new(&tape, &self.params);
@@ -223,8 +240,7 @@ impl TripleScorer for Ikrl {
         let er = self.relations.row(&self.params, r.index());
         let qs: Vec<f32> = ss.iter().zip(er).map(|(a, b)| a + b).collect();
         let qi: Vec<f32> = is.iter().zip(er).map(|(a, b)| a + b).collect();
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let so = structs.row(o);
             let io = img.row(o);
@@ -256,9 +272,19 @@ mod tests {
             16,
             0,
         );
-        let cfg = KgeTrainConfig { epochs: 8, batch_size: 64, lr: 5e-3, margin: 2.0, seed: 1 };
+        let cfg = KgeTrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            lr: 5e-3,
+            margin: 2.0,
+            seed: 1,
+        };
         let trace = model.train(&kg.split.train, &known, &cfg);
-        assert!(trace.last().unwrap() < &trace[0], "{:?}", (trace.first(), trace.last()));
+        assert!(
+            trace.last().unwrap() < &trace[0],
+            "{:?}",
+            (trace.first(), trace.last())
+        );
     }
 
     #[test]
@@ -266,27 +292,37 @@ mod tests {
         // With identical instances the aggregate equals any single
         // projected instance — the softmax must be a proper distribution.
         let kg = generate(&GenConfig::tiny());
-        let model =
-            Ikrl::new(kg.num_entities(), kg.graph.relations().total(), &kg.modal, 8, 1);
+        let model = Ikrl::new(
+            kg.num_entities(),
+            kg.graph.relations().total(),
+            &kg.modal,
+            8,
+            1,
+        );
         let agg = model.image_embedding(0);
         let w = model.params.value(model.w_img);
         let proj = model.image_stacks[0].matmul(w);
         // aggregate must lie inside the convex hull coordinate-wise range
-        for c in 0..8 {
+        for (c, &a) in agg.iter().enumerate().take(8) {
             let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
             for i in 0..proj.rows() {
                 lo = lo.min(proj.get(i, c));
                 hi = hi.max(proj.get(i, c));
             }
-            assert!(agg[c] >= lo - 1e-4 && agg[c] <= hi + 1e-4);
+            assert!(a >= lo - 1e-4 && a <= hi + 1e-4);
         }
     }
 
     #[test]
     fn vectorized_matches_pointwise() {
         let kg = generate(&GenConfig::tiny());
-        let mut model =
-            Ikrl::new(kg.num_entities(), kg.graph.relations().total(), &kg.modal, 8, 2);
+        let mut model = Ikrl::new(
+            kg.num_entities(),
+            kg.graph.relations().total(),
+            &kg.modal,
+            8,
+            2,
+        );
         model.materialize();
         let mut out = Vec::new();
         model.score_all_objects(EntityId(3), RelationId(1), 10, &mut out);

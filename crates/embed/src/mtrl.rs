@@ -98,7 +98,12 @@ impl Mtrl {
         t.sum_rows(sq)
     }
 
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.struct_emb.count);
         let mut opt = Adam::new(cfg.lr);
@@ -108,8 +113,7 @@ impl Mtrl {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
                 let tape = Tape::new();
                 let ctx = Ctx::new(&tape, &self.params);
@@ -164,8 +168,7 @@ impl TripleScorer for Mtrl {
         let hs = h.row(s.index());
         let er = self.relations.row(&self.params, r.index());
         let query: Vec<f32> = hs.iter().zip(er).map(|(a, b)| a + b).collect();
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = h.row(o);
             let mut d = 0.0f32;
@@ -195,7 +198,13 @@ mod tests {
             8,
             0,
         );
-        let cfg = KgeTrainConfig { epochs: 10, batch_size: 64, lr: 5e-3, margin: 1.0, seed: 1 };
+        let cfg = KgeTrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            lr: 5e-3,
+            margin: 1.0,
+            seed: 1,
+        };
         let trace = model.train(&kg.split.train, &known, &cfg);
         assert!(trace.last().unwrap() < &trace[0]);
     }

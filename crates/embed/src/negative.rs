@@ -15,7 +15,10 @@ pub struct NegativeSampler<'a> {
 impl<'a> NegativeSampler<'a> {
     pub fn new(known: &'a TripleSet, num_entities: usize) -> Self {
         assert!(num_entities > 1, "need ≥2 entities to corrupt");
-        NegativeSampler { known, num_entities }
+        NegativeSampler {
+            known,
+            num_entities,
+        }
     }
 
     /// One corruption of `t`: flips a fair coin between head and tail.
@@ -28,12 +31,20 @@ impl<'a> NegativeSampler<'a> {
                 if e == t.s.0 {
                     continue;
                 }
-                Triple { s: mmkgr_kg::EntityId(e), r: t.r, o: t.o }
+                Triple {
+                    s: mmkgr_kg::EntityId(e),
+                    r: t.r,
+                    o: t.o,
+                }
             } else {
                 if e == t.o.0 {
                     continue;
                 }
-                Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+                Triple {
+                    s: t.s,
+                    r: t.r,
+                    o: mmkgr_kg::EntityId(e),
+                }
             };
             if cand.s != cand.o && !self.known.contains_triple(&cand) {
                 return cand;
@@ -41,7 +52,11 @@ impl<'a> NegativeSampler<'a> {
         }
         // Bounded fallback: force a tail flip to the next entity id.
         let e = (t.o.0 + 1) % self.num_entities as u32;
-        Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+        Triple {
+            s: t.s,
+            r: t.r,
+            o: mmkgr_kg::EntityId(e),
+        }
     }
 
     /// `k` corruptions of `t`.
@@ -90,12 +105,24 @@ impl<'a> BernoulliSampler<'a> {
         }
         let head_prob = (0..=max_rel as usize)
             .map(|r| {
-                let tph = if tph_n[r] > 0 { tph_sum[r] / tph_n[r] as f64 } else { 1.0 };
-                let hpt = if hpt_n[r] > 0 { hpt_sum[r] / hpt_n[r] as f64 } else { 1.0 };
+                let tph = if tph_n[r] > 0 {
+                    tph_sum[r] / tph_n[r] as f64
+                } else {
+                    1.0
+                };
+                let hpt = if hpt_n[r] > 0 {
+                    hpt_sum[r] / hpt_n[r] as f64
+                } else {
+                    1.0
+                };
                 tph / (tph + hpt)
             })
             .collect();
-        BernoulliSampler { known, num_entities, head_prob }
+        BernoulliSampler {
+            known,
+            num_entities,
+            head_prob,
+        }
     }
 
     /// `P(corrupt head)` for a relation (0.5 for unseen relations).
@@ -114,19 +141,31 @@ impl<'a> BernoulliSampler<'a> {
                 if e == t.s.0 {
                     continue;
                 }
-                Triple { s: mmkgr_kg::EntityId(e), r: t.r, o: t.o }
+                Triple {
+                    s: mmkgr_kg::EntityId(e),
+                    r: t.r,
+                    o: t.o,
+                }
             } else {
                 if e == t.o.0 {
                     continue;
                 }
-                Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+                Triple {
+                    s: t.s,
+                    r: t.r,
+                    o: mmkgr_kg::EntityId(e),
+                }
             };
             if cand.s != cand.o && !self.known.contains_triple(&cand) {
                 return cand;
             }
         }
         let e = (t.o.0 + 1) % self.num_entities as u32;
-        Triple { s: t.s, r: t.r, o: mmkgr_kg::EntityId(e) }
+        Triple {
+            s: t.s,
+            r: t.r,
+            o: mmkgr_kg::EntityId(e),
+        }
     }
 }
 
@@ -137,13 +176,20 @@ mod tests {
 
     #[test]
     fn corruptions_avoid_known_positives() {
-        let positives = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2), Triple::new(0, 0, 3)];
+        let positives = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(0, 0, 3),
+        ];
         let known = TripleSet::from_triples(&positives);
         let sampler = NegativeSampler::new(&known, 10);
         let mut rng = seeded_rng(0);
         for _ in 0..100 {
             let neg = sampler.corrupt(&positives[0], &mut rng);
-            assert!(!known.contains_triple(&neg), "sampled a known positive: {neg}");
+            assert!(
+                !known.contains_triple(&neg),
+                "sampled a known positive: {neg}"
+            );
         }
     }
 
@@ -167,19 +213,26 @@ mod tests {
         let known = TripleSet::new();
         let sampler = NegativeSampler::new(&known, 5);
         let mut rng = seeded_rng(2);
-        assert_eq!(sampler.corrupt_many(&Triple::new(0, 0, 1), 7, &mut rng).len(), 7);
+        assert_eq!(
+            sampler
+                .corrupt_many(&Triple::new(0, 0, 1), 7, &mut rng)
+                .len(),
+            7
+        );
     }
 
     #[test]
     fn bernoulli_prefers_head_corruption_for_one_to_many() {
         // r0 is 1-to-N: one head (0) with many tails → tph high, hpt = 1
         // → corrupting the head is the safer negative.
-        let train: Vec<Triple> =
-            (1..9).map(|o| Triple::new(0, 0, o)).collect();
+        let train: Vec<Triple> = (1..9).map(|o| Triple::new(0, 0, o)).collect();
         let known = TripleSet::from_triples(&train);
         let sampler = BernoulliSampler::new(&known, 20, &train);
         let p = sampler.head_probability(mmkgr_kg::RelationId(0));
-        assert!(p > 0.8, "1-to-N relation should mostly corrupt heads, p = {p}");
+        assert!(
+            p > 0.8,
+            "1-to-N relation should mostly corrupt heads, p = {p}"
+        );
         let mut rng = seeded_rng(3);
         let mut head_flips = 0;
         for _ in 0..200 {
@@ -195,22 +248,26 @@ mod tests {
     #[test]
     fn bernoulli_prefers_tail_corruption_for_many_to_one() {
         // r0 is N-to-1: many heads share one tail.
-        let train: Vec<Triple> =
-            (1..9).map(|s| Triple::new(s, 0, 0)).collect();
+        let train: Vec<Triple> = (1..9).map(|s| Triple::new(s, 0, 0)).collect();
         let known = TripleSet::from_triples(&train);
         let sampler = BernoulliSampler::new(&known, 20, &train);
         let p = sampler.head_probability(mmkgr_kg::RelationId(0));
-        assert!(p < 0.2, "N-to-1 relation should mostly corrupt tails, p = {p}");
+        assert!(
+            p < 0.2,
+            "N-to-1 relation should mostly corrupt tails, p = {p}"
+        );
     }
 
     #[test]
     fn bernoulli_balanced_for_one_to_one() {
-        let train: Vec<Triple> =
-            (0..8).map(|i| Triple::new(2 * i, 0, 2 * i + 1)).collect();
+        let train: Vec<Triple> = (0..8).map(|i| Triple::new(2 * i, 0, 2 * i + 1)).collect();
         let known = TripleSet::from_triples(&train);
         let sampler = BernoulliSampler::new(&known, 40, &train);
         let p = sampler.head_probability(mmkgr_kg::RelationId(0));
-        assert!((p - 0.5).abs() < 0.1, "1-to-1 relation should be balanced, p = {p}");
+        assert!(
+            (p - 0.5).abs() < 0.1,
+            "1-to-1 relation should be balanced, p = {p}"
+        );
         // unseen relation defaults to a fair coin
         assert_eq!(sampler.head_probability(mmkgr_kg::RelationId(99)), 0.5);
     }

@@ -27,9 +27,19 @@ impl Rescal {
         let mut params = Params::new();
         let mut rng = seeded_rng(seed);
         let entities = Embedding::new(&mut params, &mut rng, "rescal.ent", num_entities, dim);
-        let relations =
-            Embedding::new(&mut params, &mut rng, "rescal.rel", num_relations, dim * dim);
-        Rescal { params, entities, relations, dim }
+        let relations = Embedding::new(
+            &mut params,
+            &mut rng,
+            "rescal.rel",
+            num_relations,
+            dim * dim,
+        );
+        Rescal {
+            params,
+            entities,
+            relations,
+            dim,
+        }
     }
 
     /// Batch bilinear scores `B×1`. The per-row contraction
@@ -59,7 +69,12 @@ impl Rescal {
     }
 
     /// Margin-ranking training on score gaps (higher = more plausible).
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -69,8 +84,7 @@ impl Rescal {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
 
                 let tape = Tape::new();
@@ -120,8 +134,7 @@ impl TripleScorer for Rescal {
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
         let q = self.query_vector(s, r);
         let table = self.params.value(self.entities.table);
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = table.row(o);
             out.push(q.iter().zip(row).map(|(a, b)| a * b).sum());

@@ -11,9 +11,12 @@ pub trait TripleScorer {
 
     /// Score `(s, r, o)` for every entity `o` in `0..n`. The default loops
     /// over [`TripleScorer::score`]; models override with a vectorized path.
+    ///
+    /// Callers reuse `out` across queries (the serving/eval hot loop), so
+    /// the default only grows the buffer when its capacity actually falls
+    /// short instead of paying a `reserve` call per query.
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        out.clear();
-        out.reserve(n);
+        prepare_score_buffer(out, n);
         for o in 0..n {
             out.push(self.score(s, r, EntityId(o as u32)));
         }
@@ -24,6 +27,48 @@ pub trait TripleScorer {
     fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
         let x = self.score(s, r, o);
         1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// Clear `out` and ensure capacity for `n` scores, growing only when the
+/// existing allocation actually falls short. `score_all_objects`
+/// implementations call this first so a buffer reused across the
+/// serving/eval hot loop never re-allocates (or even re-checks growth
+/// paths inside `reserve`) once warm.
+pub fn prepare_score_buffer(out: &mut Vec<f32>, n: usize) {
+    out.clear();
+    if out.capacity() < n {
+        // reserve_exact counts from len (0 after clear), so ask for the
+        // full n; the guard keeps warm buffers out of reserve entirely.
+        out.reserve_exact(n);
+    }
+}
+
+impl<T: TripleScorer> TripleScorer for std::sync::Arc<T> {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).score(s, r, o)
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        (**self).score_all_objects(s, r, n, out)
+    }
+
+    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).probability(s, r, o)
+    }
+}
+
+impl<T: TripleScorer + ?Sized> TripleScorer for &T {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).score(s, r, o)
+    }
+
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        (**self).score_all_objects(s, r, n, out)
+    }
+
+    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        (**self).probability(s, r, o)
     }
 }
 
@@ -54,32 +99,34 @@ mod tests {
         let p_hi = m.probability(EntityId(0), RelationId(0), EntityId(10));
         assert!(p_hi > 0.99);
     }
-}
 
-impl<T: TripleScorer> TripleScorer for std::sync::Arc<T> {
-    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
-        (**self).score(s, r, o)
+    #[test]
+    fn score_buffer_reuse_never_reallocates_once_warm() {
+        let m = Fixed(1.0);
+        let mut out = Vec::new();
+        m.score_all_objects(EntityId(0), RelationId(0), 64, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        // Smaller and equal follow-up queries must reuse the allocation.
+        for n in [1usize, 32, 64] {
+            m.score_all_objects(EntityId(0), RelationId(0), n, &mut out);
+            assert_eq!(out.len(), n);
+            assert_eq!(out.capacity(), cap, "capacity must not shrink or grow");
+            assert_eq!(out.as_ptr(), ptr, "buffer must be reused in place");
+        }
+        // A larger query grows exactly once.
+        m.score_all_objects(EntityId(0), RelationId(0), 128, &mut out);
+        assert_eq!(out.len(), 128);
+        assert!(out.capacity() >= 128);
     }
 
-    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        (**self).score_all_objects(s, r, n, out)
-    }
-
-    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
-        (**self).probability(s, r, o)
-    }
-}
-
-impl<T: TripleScorer + ?Sized> TripleScorer for &T {
-    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
-        (**self).score(s, r, o)
-    }
-
-    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        (**self).score_all_objects(s, r, n, out)
-    }
-
-    fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
-        (**self).probability(s, r, o)
+    #[test]
+    fn prepare_score_buffer_grows_to_exact_need() {
+        let mut buf: Vec<f32> = Vec::with_capacity(10);
+        prepare_score_buffer(&mut buf, 4);
+        assert_eq!(buf.capacity(), 10, "sufficient capacity untouched");
+        prepare_score_buffer(&mut buf, 100);
+        assert!(buf.capacity() >= 100);
+        assert!(buf.is_empty());
     }
 }

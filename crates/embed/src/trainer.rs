@@ -13,13 +13,23 @@ pub struct KgeTrainConfig {
 
 impl Default for KgeTrainConfig {
     fn default() -> Self {
-        KgeTrainConfig { epochs: 30, batch_size: 256, lr: 1e-2, margin: 1.0, seed: 7 }
+        KgeTrainConfig {
+            epochs: 30,
+            batch_size: 256,
+            lr: 1e-2,
+            margin: 1.0,
+            seed: 7,
+        }
     }
 }
 
 impl KgeTrainConfig {
     pub fn quick() -> Self {
-        KgeTrainConfig { epochs: 8, batch_size: 128, ..Self::default() }
+        KgeTrainConfig {
+            epochs: 8,
+            batch_size: 128,
+            ..Self::default()
+        }
     }
 
     pub fn with_epochs(mut self, epochs: usize) -> Self {
@@ -70,7 +80,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = KgeTrainConfig::default().with_epochs(3).with_lr(0.5).with_seed(9);
+        let c = KgeTrainConfig::default()
+            .with_epochs(3)
+            .with_lr(0.5)
+            .with_seed(9);
         assert_eq!(c.epochs, 3);
         assert_eq!(c.lr, 0.5);
         assert_eq!(c.seed, 9);

@@ -113,8 +113,7 @@ impl TransAe {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
                 // reconstruct every entity touched by the batch
                 let mut touched: Vec<usize> = pos
@@ -207,8 +206,7 @@ impl TripleScorer for TransAe {
         let hs = h.row(s.index());
         let er = self.relations.row(&self.params, r.index());
         let query: Vec<f32> = hs.iter().zip(er).map(|(a, b)| a + b).collect();
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let row = h.row(o);
             let mut d = 0.0f32;
@@ -237,9 +235,19 @@ mod tests {
             16,
             0,
         );
-        let cfg = KgeTrainConfig { epochs: 12, batch_size: 64, lr: 5e-3, margin: 1.0, seed: 1 };
+        let cfg = KgeTrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            lr: 5e-3,
+            margin: 1.0,
+            seed: 1,
+        };
         let (rank, recon) = model.train(&kg.split.train, &known, &cfg);
-        assert!(rank.last().unwrap() < &rank[0], "rank: {:?}", (rank.first(), rank.last()));
+        assert!(
+            rank.last().unwrap() < &rank[0],
+            "rank: {:?}",
+            (rank.first(), rank.last())
+        );
         assert!(
             recon.last().unwrap() < &recon[0],
             "recon: {:?}",
@@ -250,8 +258,13 @@ mod tests {
     #[test]
     fn vectorized_matches_pointwise() {
         let kg = generate(&GenConfig::tiny());
-        let mut model =
-            TransAe::new(kg.num_entities(), kg.graph.relations().total(), &kg.modal, 8, 2);
+        let mut model = TransAe::new(
+            kg.num_entities(),
+            kg.graph.relations().total(),
+            &kg.modal,
+            8,
+            2,
+        );
         model.materialize();
         let mut out = Vec::new();
         model.score_all_objects(EntityId(3), RelationId(1), 10, &mut out);
@@ -264,8 +277,13 @@ mod tests {
     #[test]
     fn code_lives_in_tanh_range() {
         let kg = generate(&GenConfig::tiny());
-        let mut model =
-            TransAe::new(kg.num_entities(), kg.graph.relations().total(), &kg.modal, 8, 3);
+        let mut model = TransAe::new(
+            kg.num_entities(),
+            kg.graph.relations().total(),
+            &kg.modal,
+            8,
+            3,
+        );
         model.materialize();
         let h = model.cached();
         for r in 0..h.rows() {
@@ -287,7 +305,13 @@ mod tests {
             4,
         );
         let before = model.reconstruction_error(EntityId(0));
-        let cfg = KgeTrainConfig { epochs: 10, batch_size: 64, lr: 5e-3, margin: 1.0, seed: 5 };
+        let cfg = KgeTrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            lr: 5e-3,
+            margin: 1.0,
+            seed: 5,
+        };
         model.train(&kg.split.train, &known, &cfg);
         let after = model.reconstruction_error(EntityId(0));
         assert!(after < before, "recon error {after} !< {before}");

@@ -29,13 +29,18 @@ impl TransD {
         let mut params = Params::new();
         let mut rng = seeded_rng(seed);
         let entities = Embedding::new(&mut params, &mut rng, "transd.ent", num_entities, dim);
-        let entity_proj =
-            Embedding::new(&mut params, &mut rng, "transd.ent_p", num_entities, dim);
+        let entity_proj = Embedding::new(&mut params, &mut rng, "transd.ent_p", num_entities, dim);
         let relations = Embedding::new(&mut params, &mut rng, "transd.rel", num_relations, dim);
         let relation_proj =
             Embedding::new(&mut params, &mut rng, "transd.rel_p", num_relations, dim);
-        let mut model =
-            TransD { params, entities, entity_proj, relations, relation_proj, dim };
+        let mut model = TransD {
+            params,
+            entities,
+            entity_proj,
+            relations,
+            relation_proj,
+            dim,
+        };
         model.normalize_entities();
         model
     }
@@ -67,7 +72,12 @@ impl TransD {
         t.sum_rows(sq)
     }
 
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -77,8 +87,7 @@ impl TransD {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
 
                 let tape = Tape::new();
@@ -101,7 +110,9 @@ impl TransD {
 
     /// The TransD norm constraint: base entity vectors on the unit sphere.
     pub fn normalize_entities(&mut self) {
-        self.params.value_mut(self.entities.table).l2_normalize_rows();
+        self.params
+            .value_mut(self.entities.table)
+            .l2_normalize_rows();
     }
 
     /// Plain-f32 projection of one entity under one relation.
@@ -134,8 +145,7 @@ impl TripleScorer for TransD {
         let rp = self.relation_proj.row(&self.params, r.index());
         let ents = self.params.value(self.entities.table);
         let projs = self.params.value(self.entity_proj.table);
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         for o in 0..n {
             let ev = ents.row(o);
             let ep = projs.row(o);
@@ -157,7 +167,11 @@ mod tests {
 
     #[test]
     fn training_separates_pos_from_neg() {
-        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2), Triple::new(2, 0, 3)];
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 0, 3),
+        ];
         let known = TripleSet::from_triples(&triples);
         let mut model = TransD::new(4, 1, 16, 0);
         model.train(&triples, &known, &KgeTrainConfig::quick().with_epochs(80));
@@ -189,7 +203,10 @@ mod tests {
     #[test]
     fn projection_reduces_to_identity_with_zero_vectors() {
         let mut model = TransD::new(4, 1, 8, 4);
-        model.params.value_mut(model.relation_proj.table).fill_zero();
+        model
+            .params
+            .value_mut(model.relation_proj.table)
+            .fill_zero();
         let p = model.project_one(EntityId(1), RelationId(0));
         let e = model.entities.row(&model.params, 1);
         for (a, b) in p.iter().zip(e) {

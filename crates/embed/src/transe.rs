@@ -29,7 +29,12 @@ impl TransE {
         let mut rng = seeded_rng(seed);
         let entities = Embedding::new(&mut params, &mut rng, "transe.ent", num_entities, dim);
         let relations = Embedding::new(&mut params, &mut rng, "transe.rel", num_relations, dim);
-        let mut model = TransE { params, entities, relations, dim };
+        let mut model = TransE {
+            params,
+            entities,
+            relations,
+            dim,
+        };
         model.normalize_entities();
         model
     }
@@ -50,7 +55,12 @@ impl TransE {
 
     /// Margin-ranking training with filtered uniform negatives.
     /// Returns the per-epoch mean loss trace.
-    pub fn train(&mut self, triples: &[Triple], known: &TripleSet, cfg: &KgeTrainConfig) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        triples: &[Triple],
+        known: &TripleSet,
+        cfg: &KgeTrainConfig,
+    ) -> Vec<f32> {
         let mut rng = seeded_rng(cfg.seed);
         let sampler = NegativeSampler::new(known, self.entities.count);
         let mut opt = Adam::new(cfg.lr);
@@ -60,8 +70,7 @@ impl TransE {
             let mut batches = 0usize;
             for batch in batch_indices(triples.len(), cfg.batch_size, &mut rng) {
                 let pos: Vec<&Triple> = batch.iter().map(|&i| &triples[i]).collect();
-                let negs: Vec<Triple> =
-                    pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
+                let negs: Vec<Triple> = pos.iter().map(|t| sampler.corrupt(t, &mut rng)).collect();
                 let neg_refs: Vec<&Triple> = negs.iter().collect();
 
                 let tape = Tape::new();
@@ -85,7 +94,9 @@ impl TransE {
     /// Project entity embeddings back onto the unit sphere (the TransE
     /// norm constraint that keeps distances comparable).
     pub fn normalize_entities(&mut self) {
-        self.params.value_mut(self.entities.table).l2_normalize_rows();
+        self.params
+            .value_mut(self.entities.table)
+            .l2_normalize_rows();
     }
 
     /// The trained entity table (`N×d`) — MMKGR's structural init.
@@ -113,8 +124,7 @@ impl TripleScorer for TransE {
     }
 
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        out.clear();
-        out.reserve(n);
+        crate::scorer::prepare_score_buffer(out, n);
         let es = self.entities.row(&self.params, s.index());
         let er = self.relations.row(&self.params, r.index());
         let query: Vec<f32> = es.iter().zip(er).map(|(a, b)| a + b).collect();
@@ -137,7 +147,11 @@ mod tests {
 
     /// A 4-entity cycle the model must fit: 0 -r0-> 1 -r0-> 2 -r0-> 3.
     fn chain_triples() -> Vec<Triple> {
-        vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2), Triple::new(2, 0, 3)]
+        vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 0, 3),
+        ]
     }
 
     #[test]

@@ -5,20 +5,22 @@
 use std::sync::{Arc, OnceLock};
 
 use mmkgr_baselines::{
-    FusedWalker, Gaats, GaatsConfig, NaiveFusion, NeuralLp, NeuralLpConfig, RlWalker,
-    WalkerConfig, WalkerKind,
+    FusedWalker, Gaats, GaatsConfig, NaiveFusion, NeuralLp, NeuralLpConfig, RlWalker, WalkerConfig,
+    WalkerKind,
 };
 use mmkgr_core::prelude::*;
 use mmkgr_core::rollout::TrainReport;
 use mmkgr_datagen::{generate, GenConfig};
 use mmkgr_embed::{ConvE, KgeTrainConfig, Mtrl, TransE, TripleScorer};
-use mmkgr_kg::{MultiModalKG, RelationId, Triple, TripleSet};
+use mmkgr_kg::{KnowledgeGraph, MultiModalKG, RelationId, Triple, TripleSet};
 use mmkgr_tensor::init::seeded_rng;
 use rand::seq::SliceRandom;
 
+use mmkgr_core::serve::{KgReasoner, PolicyReasoner, ScorerReasoner, ServeConfig};
+
 use crate::ranker::{
-    eval_policy_entity, eval_policy_relation_map, eval_scorer_entity,
-    eval_scorer_relation_map, LinkPredictionResult, RelationMapResult,
+    eval_policy_relation_map, eval_reasoner_entity, eval_scorer_relation_map, LinkPredictionResult,
+    RelationMapResult,
 };
 
 /// The two paper datasets.
@@ -156,6 +158,7 @@ pub struct Harness {
     pub eval_triples: Vec<Triple>,
     transe: OnceLock<Arc<TransE>>,
     conve: OnceLock<Arc<ConvE>>,
+    graph_arc: OnceLock<Arc<KnowledgeGraph>>,
 }
 
 impl Harness {
@@ -166,7 +169,23 @@ impl Harness {
         let mut rng = seeded_rng(cfg.seed ^ 0xE7A1);
         eval_triples.shuffle(&mut rng);
         eval_triples.truncate(cfg.max_eval);
-        Harness { cfg, kg, known, eval_triples, transe: OnceLock::new(), conve: OnceLock::new() }
+        Harness {
+            cfg,
+            kg,
+            known,
+            eval_triples,
+            transe: OnceLock::new(),
+            conve: OnceLock::new(),
+            graph_arc: OnceLock::new(),
+        }
+    }
+
+    /// The graph behind a shared handle, as the serving layer
+    /// (`PolicyReasoner`) requires. Cloned from the dataset once, lazily.
+    pub fn graph_arc(&self) -> Arc<KnowledgeGraph> {
+        self.graph_arc
+            .get_or_init(|| Arc::new(self.kg.graph.clone()))
+            .clone()
     }
 
     pub fn relation_total(&self) -> usize {
@@ -293,12 +312,14 @@ impl Harness {
     pub fn train_rlh(&self) -> (RlWalker, Vec<f32>) {
         let transe = self.transe();
         let k = 8.min(self.relation_total());
-        let cluster_of =
-            RlWalker::cluster_relations(transe.relation_matrix(), k, self.cfg.seed);
+        let cluster_of = RlWalker::cluster_relations(transe.relation_matrix(), k, self.cfg.seed);
         let mut w = RlWalker::new(
             self.kg.num_entities(),
             self.relation_total(),
-            WalkerKind::Rlh { cluster_of, num_clusters: k },
+            WalkerKind::Rlh {
+                cluster_of,
+                num_clusters: k,
+            },
             self.walker_config(),
         );
         let trace = w.train(&self.kg);
@@ -326,7 +347,10 @@ impl Harness {
         let mut w = RlWalker::new(
             self.kg.num_entities(),
             self.relation_total(),
-            WalkerKind::Fire { transe: frozen, keep: 16 },
+            WalkerKind::Fire {
+                transe: frozen,
+                keep: 16,
+            },
             self.walker_config(),
         );
         let trace = w.train(&self.kg);
@@ -352,7 +376,10 @@ impl Harness {
     pub fn train_neurallp(&self) -> NeuralLp {
         NeuralLp::train(
             &self.kg,
-            &NeuralLpConfig { seed: self.cfg.seed ^ 0x66, ..NeuralLpConfig::default() },
+            &NeuralLpConfig {
+                seed: self.cfg.seed ^ 0x66,
+                ..NeuralLpConfig::default()
+            },
         )
     }
 
@@ -384,16 +411,35 @@ impl Harness {
     }
 
     // ---- evaluation ----------------------------------------------------
+    //
+    // All entity link prediction flows through the unified serving
+    // surface: models are wrapped in their reasoner and evaluated by
+    // `eval_reasoner_entity` — one protocol for both families.
+
+    /// Wrap a policy in the serving protocol at this harness's beam.
+    fn policy_reasoner<'p, P: RolloutPolicy>(
+        &self,
+        policy: &'p P,
+        steps: usize,
+    ) -> PolicyReasoner<&'p P> {
+        PolicyReasoner::new(
+            "policy",
+            policy,
+            self.graph_arc(),
+            ServeConfig {
+                beam_width: self.cfg.beam,
+                max_steps: steps,
+            },
+        )
+    }
+
+    /// Evaluate anything already wrapped in the serving protocol.
+    pub fn eval_reasoner(&self, reasoner: &(impl KgReasoner + ?Sized)) -> LinkPredictionResult {
+        eval_reasoner_entity(reasoner, &self.eval_triples, &self.known)
+    }
 
     pub fn eval_policy(&self, policy: &impl RolloutPolicy) -> LinkPredictionResult {
-        eval_policy_entity(
-            policy,
-            &self.kg.graph,
-            &self.eval_triples,
-            &self.known,
-            self.cfg.beam,
-            4,
-        )
+        self.eval_reasoner(&self.policy_reasoner(policy, 4))
     }
 
     /// Policy evaluation with an explicit step horizon (Table VI/Fig. 8).
@@ -402,14 +448,7 @@ impl Harness {
         policy: &impl RolloutPolicy,
         steps: usize,
     ) -> LinkPredictionResult {
-        eval_policy_entity(
-            policy,
-            &self.kg.graph,
-            &self.eval_triples,
-            &self.known,
-            self.cfg.beam,
-            steps,
-        )
+        self.eval_reasoner(&self.policy_reasoner(policy, steps))
     }
 
     /// Policy evaluation on an explicit triple subset (Table VIII).
@@ -418,11 +457,12 @@ impl Harness {
         policy: &impl RolloutPolicy,
         triples: &[Triple],
     ) -> LinkPredictionResult {
-        eval_policy_entity(policy, &self.kg.graph, triples, &self.known, self.cfg.beam, 4)
+        eval_reasoner_entity(&self.policy_reasoner(policy, 4), triples, &self.known)
     }
 
     pub fn eval_scorer(&self, scorer: &impl TripleScorer) -> LinkPredictionResult {
-        eval_scorer_entity(scorer, &self.kg.graph, &self.eval_triples, &self.known)
+        let reasoner = ScorerReasoner::for_graph("scorer", scorer, &self.kg.graph);
+        eval_reasoner_entity(&reasoner, &self.eval_triples, &self.known)
     }
 
     /// Candidate relations for Table IV (all base relations, capped with a

@@ -2,10 +2,12 @@
 //! that regenerates every table and figure of the MMKGR paper.
 //!
 //! - [`metrics`]: filtered rank, MRR/Hits accumulators, MAP.
-//! - [`ranker`]: entity/relation link-prediction drivers for both model
-//!   families (beam-search policies and exhaustive scorers).
+//! - [`ranker`]: entity/relation link-prediction drivers, written once
+//!   against the unified serving surface (`mmkgr_core::serve`).
 //! - [`harness`]: dataset + substrate lifecycle and model builders; one
 //!   [`harness::Harness`] per (dataset, scale) pair.
+//! - [`serving`]: [`ReasonerBuilder`] — dataset → substrate → model →
+//!   `Arc<dyn KgReasoner + Send + Sync>` in one call.
 //! - [`report`]: paper-style aligned tables and JSON persistence.
 
 pub mod fewshot;
@@ -13,12 +15,16 @@ pub mod harness;
 pub mod metrics;
 pub mod ranker;
 pub mod report;
+pub mod serving;
 
 pub use fewshot::{relation_frequencies, FewShotSplit, FrequencyBucket};
 pub use harness::{datasets_from_args, Dataset, Harness, HarnessConfig, ScaleChoice};
-pub use metrics::{average_precision_single, filtered_rank, filtered_rank_with, RankAccum, TieBreak};
+pub use metrics::{
+    average_precision_single, filtered_rank, filtered_rank_with, RankAccum, TieBreak,
+};
 pub use ranker::{
-    eval_policy_entity, eval_policy_relation_map, eval_scorer_entity,
+    eval_policy_entity, eval_policy_relation_map, eval_reasoner_entity, eval_scorer_entity,
     eval_scorer_relation_map, LinkPredictionResult, RelationMapResult,
 };
 pub use report::{pct, pct_delta, save_json, Table};
+pub use serving::{build_reasoner, BuiltReasoner, ModelChoice, ReasonerBuilder};

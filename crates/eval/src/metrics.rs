@@ -9,7 +9,11 @@
 /// known evaluation bug: a model that scores everything identically would
 /// otherwise get Hits@1 = 100%.
 pub fn filtered_rank(scores: &[f32], gold: usize, filtered: &[bool]) -> usize {
-    assert_eq!(scores.len(), filtered.len(), "scores/filter length mismatch");
+    assert_eq!(
+        scores.len(),
+        filtered.len(),
+        "scores/filter length mismatch"
+    );
     assert!(gold < scores.len(), "gold index out of range");
     let gold_score = scores[gold];
     let mut better = 0usize;
@@ -45,13 +49,12 @@ pub enum TieBreak {
 }
 
 /// [`filtered_rank`] under an explicit tie-break policy.
-pub fn filtered_rank_with(
-    scores: &[f32],
-    gold: usize,
-    filtered: &[bool],
-    tie: TieBreak,
-) -> usize {
-    assert_eq!(scores.len(), filtered.len(), "scores/filter length mismatch");
+pub fn filtered_rank_with(scores: &[f32], gold: usize, filtered: &[bool], tie: TieBreak) -> usize {
+    assert_eq!(
+        scores.len(),
+        filtered.len(),
+        "scores/filter length mismatch"
+    );
     assert!(gold < scores.len(), "gold index out of range");
     let gold_score = scores[gold];
     let mut better = 0usize;
@@ -236,14 +239,22 @@ mod tests {
         assert_eq!(opt, 1);
         assert_eq!(exp, 5);
         assert_eq!(pes, 9);
-        assert_eq!(exp, filtered_rank(&scores, 4, &f), "Expected is the default");
+        assert_eq!(
+            exp,
+            filtered_rank(&scores, 4, &f),
+            "Expected is the default"
+        );
     }
 
     #[test]
     fn tie_break_policies_agree_without_ties() {
         let scores = [0.9, 0.5, 0.8, 0.1];
         let f = [false; 4];
-        for tie in [TieBreak::Optimistic, TieBreak::Expected, TieBreak::Pessimistic] {
+        for tie in [
+            TieBreak::Optimistic,
+            TieBreak::Expected,
+            TieBreak::Pessimistic,
+        ] {
             assert_eq!(filtered_rank_with(&scores, 1, &f, tie), 3);
         }
     }

@@ -1,15 +1,28 @@
-//! Ranking protocols for the two model families.
+//! Ranking protocols for the two model families, driven through the
+//! unified serving surface (`mmkgr_core::serve`).
+//!
+//! Both families answer the same [`Query`]; their [`Answer`]s differ only
+//! in [`Coverage`]:
 //!
 //! - **Scorer models** (TransE/DistMult/ComplEx/ConvE/MTRL/GAATs/NeuralLP)
-//!   rank by exhaustively scoring every candidate entity.
-//! - **Policy models** (MMKGR, MINERVA, RLH, FIRE) rank by beam-search
-//!   path probability via `mmkgr_core::infer`.
+//!   rank every candidate entity ([`Coverage::Exhaustive`]); ties rank at
+//!   their expected position.
+//! - **Policy models** (MMKGR, MINERVA, RLH, FIRE) rank the entities some
+//!   beam reaches ([`Coverage::Reached`]); unreached entities rank
+//!   pessimistically last and ties break optimistically — the MINERVA
+//!   protocol the paper follows.
 //!
-//! Both produce the same [`LinkPredictionResult`], so tables compare
-//! apples to apples.
+//! [`eval_reasoner_entity`] is the single filtered-ranking driver; the
+//! per-family entry points wrap a model in its reasoner and delegate, so
+//! tables compare apples to apples by construction.
 
-use mmkgr_core::infer::{evaluate_ranking, RankingSummary, RolloutPolicy};
+use std::sync::Arc;
+
+use mmkgr_core::infer::{RankingSummary, RolloutPolicy};
 use mmkgr_core::mdp::RolloutQuery;
+use mmkgr_core::serve::{
+    Answer, Coverage, KgReasoner, PolicyReasoner, Query, ScorerReasoner, ServeConfig,
+};
 use mmkgr_embed::TripleScorer;
 use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, Triple, TripleSet};
 
@@ -40,38 +53,74 @@ impl From<RankingSummary> for LinkPredictionResult {
     }
 }
 
-/// Entity link prediction for a scorer model: tail and head queries with
-/// filtered ranking.
-pub fn eval_scorer_entity(
-    scorer: &impl TripleScorer,
-    graph: &KnowledgeGraph,
+/// The gold answer's filtered rank within one [`Answer`], under the
+/// coverage-appropriate protocol (see module docs). Returns the rank and,
+/// when the reasoner attached path evidence to the gold candidate, its
+/// hop count.
+fn gold_rank(
+    answer: &Answer,
+    gold: EntityId,
+    num_entities: usize,
+    is_filtered: impl Fn(EntityId) -> bool,
+) -> (usize, Option<usize>) {
+    let Some(g) = answer.candidate(gold) else {
+        debug_assert_eq!(
+            answer.coverage,
+            Coverage::Reached,
+            "exhaustive answers must rank every entity"
+        );
+        return (num_entities.max(1), None);
+    };
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for c in &answer.ranked {
+        if c.entity == gold || is_filtered(c.entity) {
+            continue;
+        }
+        if c.score > g.score {
+            better += 1;
+        } else if c.score == g.score {
+            ties += 1;
+        }
+    }
+    let rank = match answer.coverage {
+        // Expected-position tie-break (matches `metrics::filtered_rank`).
+        Coverage::Exhaustive => 1 + better + ties / 2,
+        // Optimistic tie-break over reached entities (matches
+        // `infer::rank_query`).
+        Coverage::Reached => 1 + better,
+    };
+    (rank, g.evidence.as_ref().map(|e| e.hops))
+}
+
+/// Entity link prediction over the unified serving surface: tail + head
+/// queries per test triple, filtered ranking, hop histogram from path
+/// evidence. Works identically for both reasoner families.
+pub fn eval_reasoner_entity(
+    reasoner: &(impl KgReasoner + ?Sized),
     test: &[Triple],
     known: &TripleSet,
 ) -> LinkPredictionResult {
-    let n = graph.num_entities();
-    let rs = graph.relations();
+    let n = reasoner.num_entities();
+    let rs = reasoner.relations();
     let mut accum = RankAccum::default();
-    let mut scores: Vec<f32> = Vec::with_capacity(n);
-    let mut filtered: Vec<bool> = Vec::with_capacity(n);
+    let mut hop_counts = [0usize; 5];
+    let mut record = |answer: &Answer, gold: EntityId, filt: &dyn Fn(EntityId) -> bool| {
+        let (rank, hops) = gold_rank(answer, gold, n, filt);
+        accum.push(rank);
+        if rank <= 1 {
+            if let Some(h) = hops {
+                hop_counts[h.min(4)] += 1;
+            }
+        }
+    };
     for t in test {
         // tail query (s, r, ?)
-        scorer.score_all_objects(t.s, t.r, n, &mut scores);
-        filtered.clear();
-        filtered.extend((0..n).map(|o| {
-            let o = EntityId(o as u32);
-            o != t.o && known.contains(t.s, t.r, o)
-        }));
-        accum.push(filtered_rank(&scores, t.o.index(), &filtered));
-
+        let tail = reasoner.answer(&Query::new(t.s, t.r).with_top_k(0));
+        record(&tail, t.o, &|e| e != t.o && known.contains(t.s, t.r, e));
         // head query (?, r, o) via the inverse relation
-        let inv = rs.inverse(t.r);
-        scorer.score_all_objects(t.o, inv, n, &mut scores);
-        filtered.clear();
-        filtered.extend((0..n).map(|s| {
-            let s = EntityId(s as u32);
-            s != t.s && known.contains(s, t.r, t.o)
-        }));
-        accum.push(filtered_rank(&scores, t.s.index(), &filtered));
+        let head = reasoner.answer(&Query::new(t.o, rs.inverse(t.r)).with_top_k(0));
+        record(&head, t.s, &|e| e != t.s && known.contains(e, t.r, t.o));
     }
     LinkPredictionResult {
         mrr: accum.mrr(),
@@ -79,11 +128,24 @@ pub fn eval_scorer_entity(
         hits5: accum.hits(5),
         hits10: accum.hits(10),
         queries: accum.len(),
-        hop_counts: [0; 5],
+        hop_counts,
     }
 }
 
-/// Entity link prediction for a policy model (tail + head queries).
+/// Entity link prediction for a scorer model: wraps it in a
+/// [`ScorerReasoner`] and drives the unified protocol.
+pub fn eval_scorer_entity(
+    scorer: &impl TripleScorer,
+    graph: &KnowledgeGraph,
+    test: &[Triple],
+    known: &TripleSet,
+) -> LinkPredictionResult {
+    let reasoner = ScorerReasoner::for_graph("scorer", scorer, graph);
+    eval_reasoner_entity(&reasoner, test, known)
+}
+
+/// Entity link prediction for a policy model: wraps it in a
+/// [`PolicyReasoner`] and drives the unified protocol.
 pub fn eval_policy_entity(
     policy: &impl RolloutPolicy,
     graph: &KnowledgeGraph,
@@ -92,8 +154,16 @@ pub fn eval_policy_entity(
     beam: usize,
     steps: usize,
 ) -> LinkPredictionResult {
-    let queries = mmkgr_core::rollout::queries_from_triples(test, graph.relations(), true);
-    evaluate_ranking(policy, graph, &queries, known, beam, steps).into()
+    let reasoner = PolicyReasoner::new(
+        "policy",
+        policy,
+        Arc::new(graph.clone()),
+        ServeConfig {
+            beam_width: beam,
+            max_steps: steps,
+        },
+    );
+    eval_reasoner_entity(&reasoner, test, known)
 }
 
 /// Relation link prediction (Table IV): per-relation and overall MAP.
@@ -148,7 +218,10 @@ fn relation_map_impl(
         let scores = score_fn(t, &cands);
         let gold_idx = cands.iter().position(|&r| r == t.r).unwrap();
         let rank = filtered_rank(&scores, gold_idx, &vec![false; cands.len()]);
-        per_rel.entry(t.r.0).or_default().push(average_precision_single(rank));
+        per_rel
+            .entry(t.r.0)
+            .or_default()
+            .push(average_precision_single(rank));
     }
     let mut per_relation = Vec::with_capacity(per_rel.len());
     let mut all: Vec<f64> = Vec::new();
@@ -156,13 +229,21 @@ fn relation_map_impl(
         per_relation.push((RelationId(r), mean(&aps), aps.len()));
         all.extend(aps);
     }
-    RelationMapResult { per_relation, overall: mean(&all), queries: all.len() }
+    RelationMapResult {
+        per_relation,
+        overall: mean(&all),
+        queries: all.len(),
+    }
 }
 
 /// Training-query construction helper re-exported for binaries.
 pub fn tail_queries(test: &[Triple]) -> Vec<RolloutQuery> {
     test.iter()
-        .map(|t| RolloutQuery { source: t.s, relation: t.r, answer: t.o })
+        .map(|t| RolloutQuery {
+            source: t.s,
+            relation: t.r,
+            answer: t.o,
+        })
         .collect()
 }
 
@@ -176,8 +257,7 @@ mod tests {
     fn scorer_eval_produces_sane_metrics() {
         let kg = generate(&GenConfig::tiny());
         let known = kg.all_known();
-        let mut model =
-            TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
+        let mut model = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
         model.train(&kg.split.train, &known, &KgeTrainConfig::quick());
         let r = eval_scorer_entity(&model, &kg.graph, &kg.split.test, &known);
         assert_eq!(r.queries, 2 * kg.split.test.len());
@@ -212,8 +292,9 @@ mod tests {
         let known = kg.all_known();
         let mut model = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 1);
         model.train(&kg.split.train, &known, &KgeTrainConfig::quick());
-        let cands: Vec<RelationId> =
-            (0..kg.num_base_relations() as u32).map(RelationId).collect();
+        let cands: Vec<RelationId> = (0..kg.num_base_relations() as u32)
+            .map(RelationId)
+            .collect();
         let m = eval_scorer_relation_map(&model, &kg.split.test, &cands);
         assert_eq!(m.queries, kg.split.test.len());
         assert!((0.0..=1.0).contains(&m.overall));

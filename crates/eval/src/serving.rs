@@ -1,0 +1,291 @@
+//! [`ReasonerBuilder`]: dataset → substrate → model →
+//! `Arc<dyn KgReasoner + Send + Sync>` in one call.
+//!
+//! This is the construction half of the unified serving API
+//! (`mmkgr_core::serve`): it absorbs the model-assembly recipes that were
+//! previously copy-pasted across the CLI, the `mmkgr-bench` binaries, and
+//! the examples. Every model family the paper evaluates — MMKGR and its
+//! variants, the MINERVA/RLH/FIRE walkers, and the full Table-I KGE
+//! family — builds through the same three stages:
+//!
+//! 1. **dataset**: deterministic synthetic MKG from `(dataset, scale,
+//!    seed)` (via [`Harness`], which also samples eval triples);
+//! 2. **substrate**: shared TransE init and ConvE reward shaper, trained
+//!    once and cached on the harness;
+//! 3. **model**: the [`ModelChoice`], trained at harness scale and
+//!    wrapped in a [`PolicyReasoner`] or [`ScorerReasoner`].
+//!
+//! ```no_run
+//! use mmkgr_eval::{Dataset, ModelChoice, ReasonerBuilder, ScaleChoice};
+//! use mmkgr_core::serve::{KgReasoner, Query};
+//!
+//! let built = ReasonerBuilder::new(Dataset::Wn9ImgTxt, ScaleChoice::Quick)
+//!     .model(ModelChoice::Mmkgr(mmkgr_core::Variant::Full))
+//!     .build();
+//! let t = built.harness.eval_triples[0];
+//! let answer = built.reasoner.answer(&Query::new(t.s, t.r));
+//! println!("{} says: {:?}", built.reasoner.name(), answer.top());
+//! ```
+
+use std::sync::Arc;
+
+use mmkgr_core::serve::{KgReasoner, PolicyReasoner, ScorerReasoner, ServeConfig};
+use mmkgr_core::Variant;
+use mmkgr_embed::{ComplEx, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD};
+
+use crate::harness::{Dataset, Harness, HarnessConfig, ScaleChoice};
+
+/// Every model the unified serving protocol covers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// MMKGR or one of its §V ablation variants.
+    Mmkgr(Variant),
+    /// MINERVA walker (structure-only RL baseline).
+    Minerva,
+    /// RLH walker (hierarchical relation clusters).
+    Rlh,
+    /// FIRE walker (TransE-pruned action space).
+    Fire,
+    // --- Table-I single-hop family ---
+    TransE,
+    TransD,
+    DistMult,
+    ComplEx,
+    Rescal,
+    Hole,
+    ConvE,
+    Ikrl,
+    TransAe,
+    Mtrl,
+    // --- other multi-hop comparators ---
+    Gaats,
+    NeuralLp,
+}
+
+impl ModelChoice {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelChoice::Mmkgr(v) => v.name(),
+            ModelChoice::Minerva => "MINERVA",
+            ModelChoice::Rlh => "RLH",
+            ModelChoice::Fire => "FIRE",
+            ModelChoice::TransE => "TransE",
+            ModelChoice::TransD => "TransD",
+            ModelChoice::DistMult => "DistMult",
+            ModelChoice::ComplEx => "ComplEx",
+            ModelChoice::Rescal => "RESCAL",
+            ModelChoice::Hole => "HolE",
+            ModelChoice::ConvE => "ConvE",
+            ModelChoice::Ikrl => "IKRL",
+            ModelChoice::TransAe => "TransAE",
+            ModelChoice::Mtrl => "MTRL",
+            ModelChoice::Gaats => "GAATs",
+            ModelChoice::NeuralLp => "NeuralLP",
+        }
+    }
+
+    /// Does this model answer with reasoning-path evidence?
+    pub fn is_path_reasoner(&self) -> bool {
+        matches!(
+            self,
+            ModelChoice::Mmkgr(_) | ModelChoice::Minerva | ModelChoice::Rlh | ModelChoice::Fire
+        )
+    }
+}
+
+/// A built serving stack: the reasoner plus the harness that owns the
+/// dataset it serves (kept for test queries, filtered-eval sets, and for
+/// building further models over the same substrate).
+pub struct BuiltReasoner {
+    pub reasoner: Arc<dyn KgReasoner + Send + Sync>,
+    pub harness: Harness,
+}
+
+/// Fluent construction of a served reasoner. See the module docs.
+pub struct ReasonerBuilder {
+    cfg: HarnessConfig,
+    choice: ModelChoice,
+    serve: Option<ServeConfig>,
+}
+
+impl ReasonerBuilder {
+    pub fn new(dataset: Dataset, scale: ScaleChoice) -> Self {
+        ReasonerBuilder {
+            cfg: HarnessConfig::new(dataset, scale),
+            choice: ModelChoice::Mmkgr(Variant::Full),
+            serve: None,
+        }
+    }
+
+    /// Select the model family to train and serve (default: full MMKGR).
+    pub fn model(mut self, choice: ModelChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Adjust harness knobs (epochs, eval cap, seed, …) before training.
+    pub fn tune(mut self, f: impl FnOnce(&mut HarnessConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Serving defaults (beam width / step horizon). Defaults to the
+    /// harness beam and the paper's T = 4.
+    pub fn serve_config(mut self, serve: ServeConfig) -> Self {
+        self.serve = Some(serve);
+        self
+    }
+
+    /// Build the dataset + substrates, train the model, and wrap it.
+    pub fn build(self) -> BuiltReasoner {
+        let harness = Harness::new(self.cfg);
+        let serve = self.serve.unwrap_or(ServeConfig {
+            beam_width: harness.cfg.beam,
+            max_steps: 4,
+        });
+        let reasoner = build_reasoner(&harness, self.choice, serve);
+        BuiltReasoner { reasoner, harness }
+    }
+}
+
+/// Train `choice` on an existing harness (shared dataset + substrates)
+/// and wrap it in the serving protocol. Used by [`ReasonerBuilder`] and
+/// directly by experiment binaries that compare many models on one
+/// dataset.
+pub fn build_reasoner(
+    h: &Harness,
+    choice: ModelChoice,
+    serve: ServeConfig,
+) -> Arc<dyn KgReasoner + Send + Sync> {
+    let name = choice.name();
+    let n_ent = h.kg.num_entities();
+    let n_rel = h.relation_total();
+    let dim = h.cfg.struct_dim;
+    let kge_cfg = KgeTrainConfig::default()
+        .with_epochs(h.cfg.kge_epochs)
+        .with_seed(h.cfg.seed ^ 0xA11);
+    let rs = h.kg.graph.relations();
+
+    match choice {
+        ModelChoice::Mmkgr(v) => {
+            let (trainer, _) = h.train_variant(v);
+            Arc::new(PolicyReasoner::new(
+                name,
+                trainer.model,
+                h.graph_arc(),
+                serve,
+            ))
+        }
+        ModelChoice::Minerva => {
+            let (w, _) = h.train_minerva();
+            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+        }
+        ModelChoice::Rlh => {
+            let (w, _) = h.train_rlh();
+            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+        }
+        ModelChoice::Fire => {
+            let (w, _) = h.train_fire();
+            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+        }
+        ModelChoice::TransE => Arc::new(ScorerReasoner::new(name, h.transe(), n_ent, rs)),
+        ModelChoice::ConvE => Arc::new(ScorerReasoner::new(name, h.conve(), n_ent, rs)),
+        ModelChoice::TransD => {
+            let mut m = TransD::new(n_ent, n_rel, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::DistMult => {
+            let mut m = DistMult::new(n_ent, n_rel, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::ComplEx => {
+            let mut m = ComplEx::new(n_ent, n_rel, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::Rescal => {
+            let mut m = Rescal::new(n_ent, n_rel, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::Hole => {
+            let mut m = Hole::new(n_ent, n_rel, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::Ikrl => {
+            let mut m = Ikrl::new(n_ent, n_rel, &h.kg.modal, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::TransAe => {
+            let mut m = TransAe::new(n_ent, n_rel, &h.kg.modal, dim, kge_cfg.seed);
+            m.train(&h.kg.split.train, &h.known, &kge_cfg);
+            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+        }
+        ModelChoice::Mtrl => Arc::new(ScorerReasoner::new(name, h.train_mtrl(), n_ent, rs)),
+        ModelChoice::Gaats => Arc::new(ScorerReasoner::new(name, h.train_gaats(), n_ent, rs)),
+        ModelChoice::NeuralLp => Arc::new(ScorerReasoner::new(name, h.train_neurallp(), n_ent, rs)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmkgr_core::serve::{answer_batch, Query};
+
+    fn quick_builder(choice: ModelChoice) -> ReasonerBuilder {
+        ReasonerBuilder::new(Dataset::Wn9ImgTxt, ScaleChoice::Quick)
+            .model(choice)
+            .tune(|c| {
+                c.rl_epochs = 2;
+                c.kge_epochs = 2;
+                c.max_eval = 10;
+            })
+    }
+
+    #[test]
+    fn builds_policy_reasoner_for_mmkgr() {
+        let built = quick_builder(ModelChoice::Mmkgr(Variant::Full)).build();
+        assert_eq!(built.reasoner.name(), "MMKGR");
+        let t = built.harness.eval_triples[0];
+        let a = built
+            .reasoner
+            .answer(&Query::new(t.s, t.r).with_beam(8).with_steps(3));
+        assert!(!a.ranked.is_empty());
+        assert!(
+            a.ranked[0].evidence.is_some(),
+            "path reasoner must attach evidence"
+        );
+    }
+
+    #[test]
+    fn builds_scorer_reasoner_for_conve() {
+        let built = quick_builder(ModelChoice::ConvE).build();
+        assert_eq!(built.reasoner.name(), "ConvE");
+        let t = built.harness.eval_triples[0];
+        let a = built.reasoner.answer(&Query::new(t.s, t.r).with_top_k(0));
+        assert_eq!(a.ranked.len(), built.harness.kg.num_entities());
+    }
+
+    #[test]
+    fn one_harness_serves_both_families() {
+        let built = quick_builder(ModelChoice::Mmkgr(Variant::Full)).build();
+        let conve = build_reasoner(&built.harness, ModelChoice::ConvE, ServeConfig::default());
+        let t = built.harness.eval_triples[0];
+        let q = Query::new(t.s, t.r).with_beam(8).with_steps(3);
+        let from_policy = built.reasoner.answer(&q);
+        let from_scorer = conve.answer(&q);
+        assert!(!from_policy.ranked.is_empty());
+        assert!(!from_scorer.ranked.is_empty());
+        // Same protocol, different evidence contract.
+        assert!(from_policy.ranked[0].evidence.is_some());
+        assert!(from_scorer.ranked[0].evidence.is_none());
+        // Batch serving works over the trait object.
+        let answers = answer_batch(&built.reasoner, &[q, q], 2);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0], answers[1]);
+    }
+}

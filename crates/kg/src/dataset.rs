@@ -33,13 +33,23 @@ pub struct MultiModalKG {
 }
 
 impl MultiModalKG {
-    pub fn new(name: impl Into<String>, graph: KnowledgeGraph, modal: ModalBank, split: Split) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        graph: KnowledgeGraph,
+        modal: ModalBank,
+        split: Split,
+    ) -> Self {
         assert_eq!(
             modal.num_entities(),
             graph.num_entities(),
             "modal bank and graph must agree on entity count"
         );
-        MultiModalKG { name: name.into(), graph, modal, split }
+        MultiModalKG {
+            name: name.into(),
+            graph,
+            modal,
+            split,
+        }
     }
 
     pub fn num_entities(&self) -> usize {
@@ -93,7 +103,12 @@ impl std::fmt::Display for DatasetStats {
         write!(
             f,
             "{:<16} #Ent {:<7} #Rel {:<6} #Train {:<8} #Valid {:<7} #Test {:<7} deg {:.1}",
-            self.name, self.entities, self.relations, self.train, self.valid, self.test,
+            self.name,
+            self.entities,
+            self.relations,
+            self.train,
+            self.valid,
+            self.test,
             self.mean_out_degree
         )
     }

@@ -43,8 +43,16 @@ impl KnowledgeGraph {
     ) -> Self {
         let relations = RelationSpace::new(num_base_relations);
         for t in &triples {
-            assert!(t.s.index() < num_entities, "triple source {} out of range", t.s);
-            assert!(t.o.index() < num_entities, "triple target {} out of range", t.o);
+            assert!(
+                t.s.index() < num_entities,
+                "triple source {} out of range",
+                t.s
+            );
+            assert!(
+                t.o.index() < num_entities,
+                "triple target {} out of range",
+                t.o
+            );
             assert!(
                 relations.is_base(t.r),
                 "triple relation {} must be a base relation (< {num_base_relations})",
@@ -63,14 +71,26 @@ impl KnowledgeGraph {
             offsets.push(offsets.last().unwrap() + d);
         }
         let total = *offsets.last().unwrap() as usize;
-        let mut edges = vec![Edge { relation: RelationId(0), target: EntityId(0) }; total];
+        let mut edges = vec![
+            Edge {
+                relation: RelationId(0),
+                target: EntityId(0)
+            };
+            total
+        ];
         let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
         for t in &triples {
             let slot = cursor[t.s.index()] as usize;
-            edges[slot] = Edge { relation: t.r, target: t.o };
+            edges[slot] = Edge {
+                relation: t.r,
+                target: t.o,
+            };
             cursor[t.s.index()] += 1;
             let slot = cursor[t.o.index()] as usize;
-            edges[slot] = Edge { relation: relations.inverse(t.r), target: t.s };
+            edges[slot] = Edge {
+                relation: relations.inverse(t.r),
+                target: t.s,
+            };
             cursor[t.o.index()] += 1;
         }
         // Sort each bucket for determinism and binary-searchability.
@@ -78,7 +98,13 @@ impl KnowledgeGraph {
             let (a, b) = (offsets[e] as usize, offsets[e + 1] as usize);
             edges[a..b].sort_unstable_by_key(|e| (e.relation, e.target));
         }
-        let mut graph = KnowledgeGraph { num_entities, relations, offsets, edges, triples };
+        let mut graph = KnowledgeGraph {
+            num_entities,
+            relations,
+            offsets,
+            edges,
+            triples,
+        };
         if let Some(cap) = max_out_degree {
             graph = graph.truncated(cap);
         }
@@ -119,7 +145,10 @@ impl KnowledgeGraph {
     /// All outgoing edges of `e` (inverse edges included), sorted.
     #[inline]
     pub fn neighbors(&self, e: EntityId) -> &[Edge] {
-        let (a, b) = (self.offsets[e.index()] as usize, self.offsets[e.index() + 1] as usize);
+        let (a, b) = (
+            self.offsets[e.index()] as usize,
+            self.offsets[e.index() + 1] as usize,
+        );
         &self.edges[a..b]
     }
 
@@ -184,7 +213,11 @@ mod tests {
 
     fn toy() -> KnowledgeGraph {
         // 0 -r0-> 1, 1 -r1-> 2, 0 -r1-> 2
-        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(0, 1, 2)];
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(0, 1, 2),
+        ];
         KnowledgeGraph::from_triples(3, 2, triples, None)
     }
 
@@ -201,8 +234,20 @@ mod tests {
     fn neighbors_sorted_and_correct() {
         let g = toy();
         let n0 = g.neighbors(EntityId(0));
-        assert_eq!(n0[0], Edge { relation: RelationId(0), target: EntityId(1) });
-        assert_eq!(n0[1], Edge { relation: RelationId(1), target: EntityId(2) });
+        assert_eq!(
+            n0[0],
+            Edge {
+                relation: RelationId(0),
+                target: EntityId(1)
+            }
+        );
+        assert_eq!(
+            n0[1],
+            Edge {
+                relation: RelationId(1),
+                target: EntityId(2)
+            }
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub struct RelationSpace {
 
 impl RelationSpace {
     pub fn new(base_relations: usize) -> Self {
-        RelationSpace { base: base_relations as u32 }
+        RelationSpace {
+            base: base_relations as u32,
+        }
     }
 
     /// Number of base (dataset) relations.

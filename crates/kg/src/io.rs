@@ -99,9 +99,16 @@ pub fn read_triples(path: &Path, vocab: &mut Vocab) -> Result<Vec<Triple>, IoErr
         }
         let mut parts = trimmed.split_whitespace();
         let (Some(h), Some(r), Some(t)) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(IoError::Malformed { line: lineno, content: trimmed.to_string() });
+            return Err(IoError::Malformed {
+                line: lineno,
+                content: trimmed.to_string(),
+            });
         };
-        out.push(Triple::new(vocab.entity_id(h), vocab.relation_id(r), vocab.entity_id(t)));
+        out.push(Triple::new(
+            vocab.entity_id(h),
+            vocab.relation_id(r),
+            vocab.entity_id(t),
+        ));
     }
     Ok(out)
 }
@@ -153,8 +160,11 @@ mod tests {
     fn roundtrip_triples_file() {
         let dir = tmpdir();
         let path = dir.join("train.txt");
-        std::fs::write(&path, "titanic\tstarred_by\twinslet\njack\tplayed_by\tdicaprio\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "titanic\tstarred_by\twinslet\njack\tplayed_by\tdicaprio\n",
+        )
+        .unwrap();
         let mut vocab = Vocab::default();
         let triples = read_triples(&path, &mut vocab).unwrap();
         assert_eq!(triples.len(), 2);

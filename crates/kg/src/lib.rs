@@ -24,10 +24,10 @@ pub mod triple;
 
 pub use dataset::{DatasetStats, MultiModalKG, Split};
 pub use graph::{Edge, KnowledgeGraph};
-pub use stats::{gini, GraphProfile};
 pub use ids::{EntityId, RelationId, RelationSpace};
 pub use io::{load_split_dir, read_triples, write_triples, Vocab};
 pub use modal::ModalBank;
 pub use paths::{enumerate_paths, hop_distance, random_walk, Path};
 pub use query::{Query, QueryKind, RankFilter};
+pub use stats::{gini, GraphProfile};
 pub use triple::{Triple, TripleSet};

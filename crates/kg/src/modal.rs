@@ -112,8 +112,10 @@ impl ModalBank {
 
     /// All image feature rows of `e`.
     pub fn images_of(&self, e: EntityId) -> impl Iterator<Item = &[f32]> + '_ {
-        let (a, b) =
-            (self.image_offsets[e.index()] as usize, self.image_offsets[e.index() + 1] as usize);
+        let (a, b) = (
+            self.image_offsets[e.index()] as usize,
+            self.image_offsets[e.index() + 1] as usize,
+        );
         (a..b).map(move |r| self.images.row(r))
     }
 

@@ -20,7 +20,10 @@ pub struct Path {
 
 impl Path {
     pub fn new(start: EntityId) -> Self {
-        Path { start, steps: Vec::new() }
+        Path {
+            start,
+            steps: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -103,7 +106,17 @@ pub fn enumerate_paths(
     let mut stack: Vec<(RelationId, EntityId)> = Vec::with_capacity(max_hops);
     let mut on_path = vec![false; g.num_entities()];
     on_path[start.index()] = true;
-    dfs(g, start, goal, max_hops, max_paths, &mut stack, &mut on_path, &mut results, start);
+    dfs(
+        g,
+        start,
+        goal,
+        max_hops,
+        max_paths,
+        &mut stack,
+        &mut on_path,
+        &mut results,
+        start,
+    );
     results
 }
 
@@ -128,14 +141,27 @@ fn dfs(
         }
         if edge.target == goal {
             stack.push((edge.relation, edge.target));
-            results.push(Path { start, steps: stack.clone() });
+            results.push(Path {
+                start,
+                steps: stack.clone(),
+            });
             stack.pop();
             continue;
         }
         if !on_path[edge.target.index()] {
             on_path[edge.target.index()] = true;
             stack.push((edge.relation, edge.target));
-            dfs(g, edge.target, goal, budget - 1, max_paths, stack, on_path, results, start);
+            dfs(
+                g,
+                edge.target,
+                goal,
+                budget - 1,
+                max_paths,
+                stack,
+                on_path,
+                results,
+                start,
+            );
             stack.pop();
             on_path[edge.target.index()] = false;
         }
@@ -150,7 +176,11 @@ mod tests {
 
     fn chain() -> KnowledgeGraph {
         // 0 -> 1 -> 2 -> 3 (relation 0)
-        let triples = vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2), Triple::new(2, 0, 3)];
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 0, 3),
+        ];
         KnowledgeGraph::from_triples(4, 1, triples, None)
     }
 
@@ -215,8 +245,9 @@ mod tests {
 
     #[test]
     fn enumerate_respects_cap() {
-        let triples: Vec<Triple> =
-            (1..=6).flat_map(|m| [Triple::new(0, 0, m), Triple::new(m, 0, 7)]).collect();
+        let triples: Vec<Triple> = (1..=6)
+            .flat_map(|m| [Triple::new(0, 0, m), Triple::new(m, 0, 7)])
+            .collect();
         let g = KnowledgeGraph::from_triples(8, 1, triples, None);
         let paths = enumerate_paths(&g, EntityId(0), EntityId(7), 2, 3);
         assert_eq!(paths.len(), 3);

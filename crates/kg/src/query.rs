@@ -25,15 +25,24 @@ pub struct Query {
 
 impl Query {
     pub fn tail(t: Triple) -> Self {
-        Query { kind: QueryKind::Tail, triple: t }
+        Query {
+            kind: QueryKind::Tail,
+            triple: t,
+        }
     }
 
     pub fn head(t: Triple) -> Self {
-        Query { kind: QueryKind::Head, triple: t }
+        Query {
+            kind: QueryKind::Head,
+            triple: t,
+        }
     }
 
     pub fn relation(t: Triple) -> Self {
-        Query { kind: QueryKind::Relation, triple: t }
+        Query {
+            kind: QueryKind::Relation,
+            triple: t,
+        }
     }
 
     /// The entity the agent starts from. Head queries are answered by

@@ -206,8 +206,7 @@ mod tests {
     use crate::triple::Triple;
 
     fn chain(n: u32) -> KnowledgeGraph {
-        let triples: Vec<Triple> =
-            (0..n - 1).map(|i| Triple::new(i, 0, i + 1)).collect();
+        let triples: Vec<Triple> = (0..n - 1).map(|i| Triple::new(i, 0, i + 1)).collect();
         KnowledgeGraph::from_triples(n as usize, 1, triples, None)
     }
 
@@ -243,7 +242,10 @@ mod tests {
     fn gini_uniform_vs_concentrated() {
         assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
         let concentrated = gini(&[0, 0, 0, 100]);
-        assert!(concentrated > 0.7, "one dominant relation → high Gini, got {concentrated}");
+        assert!(
+            concentrated > 0.7,
+            "one dominant relation → high Gini, got {concentrated}"
+        );
         assert_eq!(gini(&[]), 0.0);
         assert_eq!(gini(&[0, 0]), 0.0);
         // monotone: moving mass to one bucket raises inequality

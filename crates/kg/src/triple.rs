@@ -15,7 +15,11 @@ pub struct Triple {
 
 impl Triple {
     pub fn new(s: u32, r: u32, o: u32) -> Self {
-        Triple { s: EntityId(s), r: RelationId(r), o: EntityId(o) }
+        Triple {
+            s: EntityId(s),
+            r: RelationId(r),
+            o: EntityId(o),
+        }
     }
 
     /// Pack into a single u64 key (supports ≤2^24 entities, ≤2^16 rels).

@@ -3,10 +3,7 @@
 use mmkgr_kg::{EntityId, KnowledgeGraph, RelationSpace, Triple};
 use proptest::prelude::*;
 
-fn arb_triples(
-    entities: usize,
-    relations: usize,
-) -> impl Strategy<Value = Vec<Triple>> {
+fn arb_triples(entities: usize, relations: usize) -> impl Strategy<Value = Vec<Triple>> {
     proptest::collection::vec(
         (0..entities as u32, 0..relations as u32, 0..entities as u32)
             .prop_map(|(s, r, o)| Triple::new(s, r, o)),

@@ -27,7 +27,12 @@ impl Linear {
     ) -> Self {
         let w = params.add(format!("{name}.w"), init::xavier(rng, in_dim, out_dim));
         let b = bias.then(|| params.add(format!("{name}.b"), Matrix::zeros(1, out_dim)));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// `x: batch×in_dim → batch×out_dim`.
@@ -105,7 +110,13 @@ impl LstmCell {
             bias.set(0, c, 1.0);
         }
         let b = params.add(format!("{name}.b"), bias);
-        LstmCell { wx, wh, b, in_dim, hidden }
+        LstmCell {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step. `x: batch×in_dim`, `h,c: batch×hidden` → `(h', c')`.
@@ -158,7 +169,13 @@ impl GruCell {
         let wx = params.add(format!("{name}.wx"), init::xavier(rng, in_dim, 3 * hidden));
         let wh = params.add(format!("{name}.wh"), init::xavier(rng, hidden, 3 * hidden));
         let b = params.add(format!("{name}.b"), Matrix::zeros(1, 3 * hidden));
-        GruCell { wx, wh, b, in_dim, hidden }
+        GruCell {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step. `x: batch×in_dim`, `h: batch×hidden` → `h'`.
@@ -170,10 +187,7 @@ impl GruCell {
         let hsz = self.hidden;
         let gx = t.add(t.matmul(x, ctx.p(self.wx)), ctx.p(self.b));
         let gh = t.matmul(h, ctx.p(self.wh));
-        let r = t.sigmoid(t.add(
-            t.slice_cols(gx, 0, hsz),
-            t.slice_cols(gh, 0, hsz),
-        ));
+        let r = t.sigmoid(t.add(t.slice_cols(gx, 0, hsz), t.slice_cols(gh, 0, hsz)));
         let z = t.sigmoid(t.add(
             t.slice_cols(gx, hsz, 2 * hsz),
             t.slice_cols(gh, hsz, 2 * hsz),
@@ -183,8 +197,8 @@ impl GruCell {
         let nh = t.matmul(rh, {
             // Whn is the third hsz-wide block of wh; slicing a parameter
             // keeps the gradient routed into the right columns.
-            let whn = t.slice_cols(ctx.p(self.wh), 2 * hsz, 3 * hsz);
-            whn
+
+            t.slice_cols(ctx.p(self.wh), 2 * hsz, 3 * hsz)
         });
         // x·Wxn + bn is already inside gx's third block.
         let n = t.tanh(t.add(t.slice_cols(gx, 2 * hsz, 3 * hsz), nh));
@@ -298,12 +312,15 @@ mod tests {
         let ctx = Ctx::new(&tape, &params);
         let (mut h, mut c) = cell.zero_state(&ctx, 1);
         let x = ctx.input(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
-        let h_first;
+
         (h, c) = cell.forward(&ctx, x, h, c);
-        h_first = tape.value_cloned(h);
+        let h_first = tape.value_cloned(h);
         (h, _) = cell.forward(&ctx, x, h, c);
         let h_second = tape.value_cloned(h);
-        assert_ne!(h_first, h_second, "same input, different state → different h");
+        assert_ne!(
+            h_first, h_second,
+            "same input, different state → different h"
+        );
     }
 
     #[test]
@@ -368,8 +385,7 @@ mod tests {
         let mut params = Params::new();
         let mut rng = seeded_rng(6);
         let cell = GruCell::new(&mut params, &mut rng, "gru", 2, 3);
-        let before: Vec<Matrix> =
-            params.iter().map(|(_, _, m)| m.clone()).collect();
+        let before: Vec<Matrix> = params.iter().map(|(_, _, m)| m.clone()).collect();
         let tape = Tape::new();
         let ctx = Ctx::new(&tape, &params);
         let h0 = ctx.input(Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.25]));

@@ -13,11 +13,19 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one step using the accumulated gradients. Does *not* zero the
@@ -59,7 +67,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply one Adam step. Gradients are left untouched (zero explicitly).
@@ -115,9 +131,7 @@ impl LrSchedule {
     pub fn factor(&self, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::Step { every, gamma } => {
-                gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, floor } => {
                 let t = (epoch as f32 / total.max(1) as f32).min(1.0);
                 floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
@@ -237,7 +251,10 @@ mod tests {
 
     #[test]
     fn step_schedule_decays_geometrically() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -246,7 +263,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_endpoints_and_monotonicity() {
-        let s = LrSchedule::Cosine { total: 20, floor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total: 20,
+            floor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(20) - 0.1).abs() < 1e-6);
         assert!((s.factor(100) - 0.1).abs() < 1e-6, "clamps past total");

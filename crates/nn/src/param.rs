@@ -41,7 +41,11 @@ impl Params {
     /// need not be unique (suffix them at the call site if they must be).
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.entries.push(Entry { name: name.into(), value, grad });
+        self.entries.push(Entry {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.entries.len() - 1)
     }
 
@@ -96,7 +100,10 @@ impl Params {
 
     /// Iterate `(id, name, value)` read-only.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e.name.as_str(), &e.value))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ParamId(i), e.name.as_str(), &e.value))
     }
 
     /// Global gradient L2 norm (for clipping diagnostics).
@@ -180,7 +187,9 @@ impl<'a> Ctx<'a> {
 
     /// Finish the pass, returning the lease list for gradient routing.
     pub fn into_leases(self) -> Leases {
-        Leases { pairs: self.order.into_inner() }
+        Leases {
+            pairs: self.order.into_inner(),
+        }
     }
 }
 

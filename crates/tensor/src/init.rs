@@ -61,8 +61,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         let m = normal(&mut rng, 50, 50, 1.0);
         assert!(m.mean().abs() < 0.05, "mean {}", m.mean());
-        let var: f32 =
-            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
 

@@ -35,12 +35,20 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A `rows × cols` matrix of ones.
@@ -81,12 +89,20 @@ impl Matrix {
 
     /// A `1 × n` row vector from a slice.
     pub fn row_vector(v: &[f32]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// A `n × 1` column vector from a slice.
     pub fn col_vector(v: &[f32]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Stack row slices (all of equal width) into a matrix.
@@ -98,7 +114,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     #[inline]
@@ -171,7 +191,11 @@ impl Matrix {
 
     /// Reinterpret as a different shape with the same element count.
     pub fn reshaped(mut self, rows: usize, cols: usize) -> Self {
-        assert_eq!(self.data.len(), rows * cols, "reshape: element count mismatch");
+        assert_eq!(
+            self.data.len(),
+            rows * cols,
+            "reshape: element count mismatch"
+        );
         self.rows = rows;
         self.cols = cols;
         self
@@ -201,7 +225,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -319,7 +348,11 @@ impl Matrix {
     /// Dot product of two matrices viewed as flat vectors.
     pub fn dot_flat(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "dot_flat: shape mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     // ---- reductions ----------------------------------------------------
@@ -387,7 +420,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Vertical concatenation (stack `other` below `self`).
@@ -396,7 +433,11 @@ impl Matrix {
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copy of columns `[start, end)`.
@@ -407,7 +448,11 @@ impl Matrix {
         for r in 0..self.rows {
             data.extend_from_slice(&self.row(r)[start..end]);
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Gather the given rows (with repetition allowed) into a new matrix.
@@ -417,7 +462,11 @@ impl Matrix {
             assert!(i < self.rows, "gather_rows: row {i} out of {}", self.rows);
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Row-wise softmax, numerically stabilized.

@@ -115,7 +115,9 @@ impl Grads {
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::with_capacity(64)) }
+        Tape {
+            nodes: RefCell::new(Vec::with_capacity(64)),
+        }
     }
 
     /// Number of recorded nodes.
@@ -140,7 +142,10 @@ impl Tape {
     /// Record a leaf (input or parameter) value.
     pub fn input(&self, value: Matrix) -> Var {
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, op: Op::Leaf });
+        nodes.push(Node {
+            value,
+            op: Op::Leaf,
+        });
         Var(nodes.len() - 1)
     }
 
@@ -283,7 +288,9 @@ impl Tape {
     }
 
     pub fn sigmoid(&self, a: Var) -> Var {
-        let v = self.nodes.borrow()[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.nodes.borrow()[a.0]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
         self.push(v, Op::Sigmoid(a))
     }
 
@@ -444,7 +451,11 @@ impl Tape {
     /// Flat gather into a `rows×cols` matrix: `out.flat[i] = a.flat[idx[i]]`.
     /// Indices may repeat; the backward pass scatter-adds.
     pub fn gather_flat(&self, a: Var, idx: &[u32], rows: usize, cols: usize) -> Var {
-        assert_eq!(idx.len(), rows * cols, "gather_flat: index count != rows*cols");
+        assert_eq!(
+            idx.len(),
+            rows * cols,
+            "gather_flat: index count != rows*cols"
+        );
         let v = {
             let nodes = self.nodes.borrow();
             let src = nodes[a.0].value.as_slice();
@@ -459,7 +470,11 @@ impl Tape {
     /// Reverse-mode sweep from a `1×1` loss node. Returns per-node grads.
     pub fn backward(&self, loss: Var) -> Grads {
         let nodes = self.nodes.borrow();
-        assert_eq!(nodes[loss.0].value.shape(), (1, 1), "backward: loss must be 1×1");
+        assert_eq!(
+            nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be 1×1"
+        );
         let mut grads: Vec<Option<Matrix>> = Vec::with_capacity(nodes.len());
         grads.resize_with(nodes.len(), || None);
         grads[loss.0] = Some(Matrix::ones(1, 1));
@@ -502,8 +517,7 @@ impl Tape {
                     acc(&mut grads, *a, g.zip_map(mb, |gv, bv| gv / bv));
                     let mut gb = Matrix::zeros(mb.rows(), mb.cols());
                     for i in 0..gb.len() {
-                        let (gv, av, bv) =
-                            (g.as_slice()[i], ma.as_slice()[i], mb.as_slice()[i]);
+                        let (gv, av, bv) = (g.as_slice()[i], ma.as_slice()[i], mb.as_slice()[i]);
                         gb.as_mut_slice()[i] = -gv * av / (bv * bv);
                     }
                     acc(&mut grads, *b, gb);
@@ -520,7 +534,11 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     let x = &nodes[a.0].value;
-                    acc(&mut grads, *a, g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+                    acc(
+                        &mut grads,
+                        *a,
+                        g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }),
+                    );
                 }
                 Op::Exp(a) => {
                     let y = &node.value;
@@ -534,10 +552,13 @@ impl Tape {
                     let y = &node.value;
                     let mut gx = Matrix::zeros(y.rows(), y.cols());
                     for r in 0..y.rows() {
-                        let dot: f32 =
-                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
-                        for ((o, &gv), &yv) in
-                            gx.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum();
+                        for ((o, &gv), &yv) in gx.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
                         {
                             *o = yv * (gv - dot);
                         }
@@ -549,8 +570,7 @@ impl Tape {
                     let mut gx = Matrix::zeros(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let gsum: f32 = g.row(r).iter().sum();
-                        for ((o, &gv), &yv) in
-                            gx.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        for ((o, &gv), &yv) in gx.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
                         {
                             *o = gv - yv.exp() * gsum;
                         }
@@ -645,8 +665,12 @@ impl Tape {
                     acc(&mut grads, *a, ga);
                     let mut gb = Matrix::zeros(mb.rows(), 1);
                     for r in 0..g.rows() {
-                        let dot: f32 =
-                            g.row(r).iter().zip(ma.row(r)).map(|(&gv, &av)| gv * av).sum();
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(ma.row(r))
+                            .map(|(&gv, &av)| gv * av)
+                            .sum();
                         gb.set(r, 0, dot);
                     }
                     acc(&mut grads, *b, gb);
@@ -675,8 +699,7 @@ impl Tape {
                     acc(&mut grads, *a, ga);
                     let mut gb = Matrix::zeros(1, mb.cols());
                     for r in 0..g.rows() {
-                        for ((o, &gv), &av) in
-                            gb.row_mut(0).iter_mut().zip(g.row(r)).zip(ma.row(r))
+                        for ((o, &gv), &av) in gb.row_mut(0).iter_mut().zip(g.row(r)).zip(ma.row(r))
                         {
                             *o += gv * av;
                         }

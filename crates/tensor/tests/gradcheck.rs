@@ -9,11 +9,7 @@ use mmkgr_tensor::{Matrix, Tape, Var};
 use rand::Rng;
 
 /// Builds loss = sum(f(tape, x) * cot) and returns (loss_value, grad_of_x).
-fn loss_and_grad(
-    x: &Matrix,
-    cot: &Matrix,
-    f: &dyn Fn(&Tape, Var) -> Var,
-) -> (f32, Matrix) {
+fn loss_and_grad(x: &Matrix, cot: &Matrix, f: &dyn Fn(&Tape, Var) -> Var) -> (f32, Matrix) {
     let tape = Tape::new();
     let vx = tape.input(x.clone());
     let y = f(&tape, vx);
@@ -35,7 +31,9 @@ fn check_op(name: &str, x: Matrix, f: impl Fn(&Tape, Var) -> Var) {
         tape.value_cloned(y)
     };
     let mut rng = seeded_rng(0xC0FFEE);
-    let cot = Matrix::from_fn(probe.rows(), probe.cols(), |_, _| rng.gen_range(-1.0..1.0f32));
+    let cot = Matrix::from_fn(probe.rows(), probe.cols(), |_, _| {
+        rng.gen_range(-1.0..1.0f32)
+    });
 
     let (_, analytic) = loss_and_grad(&x, &cot, &f);
 
@@ -99,7 +97,9 @@ fn grad_softmax_rows() {
 
 #[test]
 fn grad_log_softmax_rows() {
-    check_op("log_softmax", rand_matrix(3, 5, 7), |t, x| t.log_softmax_rows(x));
+    check_op("log_softmax", rand_matrix(3, 5, 7), |t, x| {
+        t.log_softmax_rows(x)
+    });
 }
 
 #[test]
@@ -175,17 +175,23 @@ fn grad_concat_rows() {
 
 #[test]
 fn grad_gather_rows() {
-    check_op("gather", rand_matrix(5, 3, 16), |t, x| t.gather_rows(x, &[0, 2, 2, 4]));
+    check_op("gather", rand_matrix(5, 3, 16), |t, x| {
+        t.gather_rows(x, &[0, 2, 2, 4])
+    });
 }
 
 #[test]
 fn grad_slice_cols() {
-    check_op("slice_cols", rand_matrix(3, 6, 17), |t, x| t.slice_cols(x, 1, 4));
+    check_op("slice_cols", rand_matrix(3, 6, 17), |t, x| {
+        t.slice_cols(x, 1, 4)
+    });
 }
 
 #[test]
 fn grad_pick_per_row() {
-    check_op("pick", rand_matrix(4, 3, 18), |t, x| t.pick_per_row(x, &[0, 2, 1, 1]));
+    check_op("pick", rand_matrix(4, 3, 18), |t, x| {
+        t.pick_per_row(x, &[0, 2, 1, 1])
+    });
 }
 
 #[test]
@@ -316,10 +322,14 @@ fn grad_im2col_conv_composite() {
         }
     }
     let filt = rand_matrix(kh * kw, 1, 200);
-    check_op("im2col_conv", rand_matrix(1, img_h * img_w, 33), move |t, x| {
-        let patches = t.gather_flat(x, &idx, out_h * out_w, kh * kw);
-        let vf = t.input(filt.clone());
-        let conv = t.matmul(patches, vf);
-        t.relu(conv)
-    });
+    check_op(
+        "im2col_conv",
+        rand_matrix(1, img_h * img_w, 33),
+        move |t, x| {
+            let patches = t.gather_flat(x, &idx, out_h * out_w, kh * kw);
+            let vf = t.input(filt.clone());
+            let conv = t.matmul(patches, vf);
+            t.relu(conv)
+        },
+    );
 }

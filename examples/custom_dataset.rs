@@ -60,17 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // facts must be provable by alternative paths, never walked directly.
     let num_entities = vocab.entities.len();
     let num_relations = vocab.relations.len();
-    let graph = KnowledgeGraph::from_triples(
-        num_entities,
-        num_relations,
-        split.train.clone(),
-        None,
-    );
+    let graph =
+        KnowledgeGraph::from_triples(num_entities, num_relations, split.train.clone(), None);
     let kg = MultiModalKG::new(
         "movie-world",
         graph,
         ModalBank::empty(num_entities),
-        Split { train: split.train, valid: split.valid, test: split.test },
+        Split {
+            train: split.train,
+            valid: split.valid,
+            test: split.test,
+        },
     );
     println!("{}", mmkgr::kg::GraphProfile::compute(&kg.graph, 32));
 
@@ -118,7 +118,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             i + 1,
             vocab.entities[p.entity.index()],
             p.logp,
-            if chain.is_empty() { "(stay)".into() } else { chain.join(" → ") }
+            if chain.is_empty() {
+                "(stay)".into()
+            } else {
+                chain.join(" → ")
+            }
         );
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -42,7 +42,10 @@ fn main() {
     let full = split.eval_policy(&mmkgr.model, &kg.graph, &known, 8, 4);
     let os = split.eval_policy(&oskgr.model, &kg.graph, &known, 8, 4);
 
-    println!("\n{:<10} {:>8} {:>8} {:>8} {:>9}", "bucket", "triples", "OSKGR", "MMKGR", "modal Δ");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>9}",
+        "bucket", "triples", "OSKGR", "MMKGR", "modal Δ"
+    );
     for (i, b) in split.buckets.iter().enumerate() {
         let (os_h, mm_h) = match (&os[i], &full[i]) {
             (Some(a), Some(c)) => (a.hits1, c.hits1),

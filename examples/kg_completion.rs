@@ -6,10 +6,10 @@
 //! cargo run --release --example kg_completion
 //! ```
 
-use mmkgr::eval::{eval_scorer_entity, pct, Table};
-use mmkgr::prelude::*;
 use mmkgr::datagen::generate;
 use mmkgr::embed::{ComplEx, DistMult};
+use mmkgr::eval::{eval_scorer_entity, pct, Table};
+use mmkgr::prelude::*;
 
 fn main() {
     let kg = generate(&GenConfig::wn9_img_txt().scaled(0.05));
@@ -27,34 +27,66 @@ fn main() {
     let mut transe = TransE::new(kg.num_entities(), r_total, 32, 1);
     transe.train(&kg.split.train, &known, &kge_cfg);
     let r = eval_scorer_entity(&transe, &kg.graph, &kg.split.test, &known);
-    table.push_row(vec!["TransE".into(), "single-hop".into(), pct(r.mrr), pct(r.hits1), pct(r.hits10)]);
+    table.push_row(vec![
+        "TransE".into(),
+        "single-hop".into(),
+        pct(r.mrr),
+        pct(r.hits1),
+        pct(r.hits10),
+    ]);
 
     let mut distmult = DistMult::new(kg.num_entities(), r_total, 32, 2);
     distmult.train(&kg.split.train, &known, &kge_cfg);
     let r = eval_scorer_entity(&distmult, &kg.graph, &kg.split.test, &known);
-    table.push_row(vec!["DistMult".into(), "single-hop".into(), pct(r.mrr), pct(r.hits1), pct(r.hits10)]);
+    table.push_row(vec![
+        "DistMult".into(),
+        "single-hop".into(),
+        pct(r.mrr),
+        pct(r.hits1),
+        pct(r.hits10),
+    ]);
 
     let mut complex = ComplEx::new(kg.num_entities(), r_total, 16, 3);
     complex.train(&kg.split.train, &known, &kge_cfg);
     let r = eval_scorer_entity(&complex, &kg.graph, &kg.split.test, &known);
-    table.push_row(vec!["ComplEx".into(), "single-hop".into(), pct(r.mrr), pct(r.hits1), pct(r.hits10)]);
+    table.push_row(vec![
+        "ComplEx".into(),
+        "single-hop".into(),
+        pct(r.mrr),
+        pct(r.hits1),
+        pct(r.hits10),
+    ]);
 
     // --- single-hop, multi-modal (MTRL) ------------------------------------
     let mut mtrl = Mtrl::new(kg.num_entities(), r_total, &kg.modal, 32, 16, 4);
     mtrl.train(&kg.split.train, &known, &kge_cfg);
     let r = eval_scorer_entity(&mtrl, &kg.graph, &kg.split.test, &known);
-    table.push_row(vec!["MTRL".into(), "single-hop+MM".into(), pct(r.mrr), pct(r.hits1), pct(r.hits10)]);
+    table.push_row(vec![
+        "MTRL".into(),
+        "single-hop+MM".into(),
+        pct(r.mrr),
+        pct(r.hits1),
+        pct(r.hits10),
+    ]);
 
     // --- multi-hop, multi-modal (MMKGR) -------------------------------------
     let mut conve = ConvE::new(kg.num_entities(), r_total, 4, 8, 6, 5);
     conve.train(
         &kg.split.train,
         &known,
-        &KgeTrainConfig { epochs: 10, batch_size: 128, lr: 3e-3, margin: 1.0, seed: 6 },
+        &KgeTrainConfig {
+            epochs: 10,
+            batch_size: 128,
+            lr: 3e-3,
+            margin: 1.0,
+            seed: 6,
+        },
     );
-    let mut cfg = MmkgrConfig::default();
-    cfg.epochs = 15;
-    cfg.lr = 3e-3;
+    let cfg = MmkgrConfig {
+        epochs: 15,
+        lr: 3e-3,
+        ..MmkgrConfig::default()
+    };
     let engine = RewardEngine::new(&cfg, Some(conve));
     let model = MmkgrModel::new(&kg, cfg, Some(&transe));
     let mut trainer = Trainer::new(model, engine);

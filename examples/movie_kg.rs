@@ -11,8 +11,8 @@
 //! cargo run --release --example movie_kg
 //! ```
 
-use mmkgr::prelude::*;
 use mmkgr::datagen; // for modality-like noise
+use mmkgr::prelude::*;
 use mmkgr_tensor::init::{normal, seeded_rng};
 use mmkgr_tensor::Matrix;
 
@@ -34,7 +34,14 @@ const ENTITIES: &[&str] = &[
     "Frank_Wheeler",      // 14
 ];
 
-const REL_NAMES: &[&str] = &["hero", "heroine", "played_by", "directs", "starred_by", "role_creator"];
+const REL_NAMES: &[&str] = &[
+    "hero",
+    "heroine",
+    "played_by",
+    "directs",
+    "starred_by",
+    "role_creator",
+];
 const HERO: u32 = 0;
 const HEROINE: u32 = 1;
 const PLAYED_BY: u32 = 2;
@@ -47,31 +54,31 @@ fn main() {
     // The rule the agent must discover: starred_by ≈ hero∘played_by and
     // heroine∘played_by (a character links a film to its actor).
     let train = vec![
-        Triple::new(0, HERO, 1),          // Titanic hero Jack
-        Triple::new(0, HEROINE, 2),       // Titanic heroine Rose
-        Triple::new(1, PLAYED_BY, 4),     // Jack played_by DiCaprio
-        Triple::new(2, PLAYED_BY, 5),     // Rose played_by Winslet
-        Triple::new(3, DIRECTS, 0),       // Cameron directs Titanic
-        Triple::new(1, ROLE_CREATOR, 3),  // Jack role_creator Cameron
+        Triple::new(0, HERO, 1),         // Titanic hero Jack
+        Triple::new(0, HEROINE, 2),      // Titanic heroine Rose
+        Triple::new(1, PLAYED_BY, 4),    // Jack played_by DiCaprio
+        Triple::new(2, PLAYED_BY, 5),    // Rose played_by Winslet
+        Triple::new(3, DIRECTS, 0),      // Cameron directs Titanic
+        Triple::new(1, ROLE_CREATOR, 3), // Jack role_creator Cameron
         Triple::new(2, ROLE_CREATOR, 3),
         // Avatar block (provides starred_by training examples)
         Triple::new(6, HERO, 7),
         Triple::new(7, PLAYED_BY, 8),
         Triple::new(3, DIRECTS, 6),
-        Triple::new(6, STARRED_BY, 8),    // observed starred_by fact
+        Triple::new(6, STARRED_BY, 8), // observed starred_by fact
         Triple::new(7, ROLE_CREATOR, 3),
         // Inception block
         Triple::new(9, HERO, 10),
         Triple::new(10, PLAYED_BY, 4),
         Triple::new(11, DIRECTS, 9),
-        Triple::new(9, STARRED_BY, 4),    // observed starred_by fact
+        Triple::new(9, STARRED_BY, 4), // observed starred_by fact
         Triple::new(10, ROLE_CREATOR, 11),
         // Revolutionary Road block
         Triple::new(12, HEROINE, 13),
         Triple::new(13, PLAYED_BY, 5),
         Triple::new(12, HERO, 14),
         Triple::new(14, PLAYED_BY, 4),
-        Triple::new(12, STARRED_BY, 5),   // observed starred_by fact
+        Triple::new(12, STARRED_BY, 5), // observed starred_by fact
     ];
     // Held out: the Fig. 1 queries.
     let test = vec![
@@ -94,7 +101,11 @@ fn main() {
     let mut stacks = Vec::new();
     let mut texts = Matrix::zeros(ENTITIES.len(), 12);
     for e in 0..ENTITIES.len() {
-        let proto = if is_person(e) { &person_proto } else { &film_proto };
+        let proto = if is_person(e) {
+            &person_proto
+        } else {
+            &film_proto
+        };
         let mut imgs = Matrix::zeros(3, 12);
         for k in 0..3 {
             for c in 0..12 {
@@ -113,15 +124,17 @@ fn main() {
     println!("{}", kg.stats());
 
     // ---- train MMKGR -------------------------------------------------------
-    let mut cfg = MmkgrConfig::default();
-    cfg.struct_dim = 16;
-    cfg.fusion_dim = 16;
-    cfg.mlb_dim = 16;
-    cfg.modal_proj_dim = 8;
-    cfg.epochs = 60;
-    cfg.batch_size = 16;
-    cfg.lr = 5e-3;
-    cfg.rollouts_per_query = 4;
+    let cfg = MmkgrConfig {
+        struct_dim: 16,
+        fusion_dim: 16,
+        mlb_dim: 16,
+        modal_proj_dim: 8,
+        epochs: 60,
+        batch_size: 16,
+        lr: 5e-3,
+        rollouts_per_query: 4,
+        ..MmkgrConfig::default()
+    };
     let engine = RewardEngine::new(&cfg, Some(NoShaper));
     let model = MmkgrModel::new(&kg, cfg, None);
     let mut trainer = Trainer::new(model, engine);
@@ -140,9 +153,16 @@ fn main() {
             REL_NAMES[t.r.index()],
             ENTITIES[t.o.index()]
         );
-        let q = RolloutQuery { source: t.s, relation: t.r, answer: t.o };
+        let q = RolloutQuery {
+            source: t.s,
+            relation: t.r,
+            answer: t.o,
+        };
         let outcome = rank_query(&trainer.model, &kg.graph, &q, Some(&known), 8, 3);
-        println!("  gold rank: {} (reached: {})", outcome.rank, outcome.reached);
+        println!(
+            "  gold rank: {} (reached: {})",
+            outcome.rank, outcome.reached
+        );
         let mut paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 8, 3);
         paths.retain(|p| p.entity == t.o);
         if let Some(p) = paths.first() {

@@ -2,55 +2,69 @@
 //! explicit relation path for every answer — the property the paper
 //! contrasts with black-box embedding models (§I).
 //!
+//! A hand-trained model (unshaped reward, no harness) wraps directly in
+//! [`PolicyReasoner`], so the serving surface is the same whether the
+//! model came from `ReasonerBuilder` or custom training code.
+//!
 //! ```sh
 //! cargo run --release --example path_explain
 //! ```
 
-use mmkgr::prelude::*;
+use std::sync::Arc;
+
 use mmkgr::datagen::generate;
+use mmkgr::prelude::*;
 
 fn main() {
     let kg = generate(&GenConfig::wn9_img_txt().scaled(0.05));
     println!("{}", kg.stats());
-    let known = kg.all_known();
 
-    let mut cfg = MmkgrConfig::default();
-    cfg.epochs = 12;
-    cfg.lr = 3e-3;
+    let cfg = MmkgrConfig {
+        epochs: 12,
+        lr: 3e-3,
+        ..MmkgrConfig::default()
+    };
     let engine = RewardEngine::new(&cfg, Some(NoShaper));
     let model = MmkgrModel::new(&kg, cfg, None);
     let mut trainer = Trainer::new(model, engine);
     trainer.train(&kg, 0);
 
-    let rs = kg.graph.relations();
-    let fmt_rel = |r: RelationId| -> String {
-        if rs.is_base(r) {
-            format!("r{}", r.index())
-        } else if rs.is_inverse(r) {
-            format!("r{}⁻¹", rs.inverse(r).index())
-        } else {
-            "stay".into()
-        }
-    };
+    // Wrap the trained model in the unified serving protocol.
+    let reasoner = PolicyReasoner::new(
+        "MMKGR (unshaped)",
+        trainer.model,
+        Arc::new(kg.graph.clone()),
+        ServeConfig {
+            beam_width: 16,
+            max_steps: 4,
+        },
+    );
+    let rs = reasoner.relations();
 
     let mut explained = 0;
     let mut attempted = 0;
     for t in kg.split.test.iter().take(25) {
         attempted += 1;
-        let q = RolloutQuery { source: t.s, relation: t.r, answer: t.o };
-        let outcome = rank_query(&trainer.model, &kg.graph, &q, Some(&known), 16, 4);
-        if !outcome.reached {
+        let answer = reasoner.answer(&Query::new(t.s, t.r).with_top_k(0));
+        // Did any beam reach the gold answer, and where does it rank?
+        let Some(rank) = answer.rank_of(t.o) else {
             continue;
-        }
+        };
+        let gold = answer.candidate(t.o).unwrap();
+        let proof = gold.evidence.as_ref().unwrap();
         explained += 1;
-        let mut paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 16, 4);
-        paths.retain(|p| p.entity == t.o);
-        paths.sort_by(|a, b| b.logp.total_cmp(&a.logp));
-        println!("\n({}, r{}, ?) = {}   [rank {}]", t.s, t.r.index(), t.o, outcome.rank);
-        for p in paths.iter().take(2) {
-            let chain: Vec<String> = p.relations.iter().map(|&r| fmt_rel(r)).collect();
-            println!("   proof ({} hops, logp {:.2}): {}", p.hops, p.logp, chain.join(" → "));
-        }
+        println!(
+            "\n({:?}, r{}, ?) = {:?}   [rank {rank}]",
+            t.s,
+            t.r.index(),
+            t.o
+        );
+        println!(
+            "   proof ({} hops, logp {:.2}): {}",
+            proof.hops,
+            proof.logp,
+            proof.render(&rs)
+        );
     }
     println!(
         "\n{explained}/{attempted} test queries answered with an explicit relation-path proof"

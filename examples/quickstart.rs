@@ -1,68 +1,85 @@
-//! Quickstart: build a multi-modal KG, train MMKGR, answer queries.
+//! Quickstart: the unified serving API — one `ReasonerBuilder` call goes
+//! from dataset to a shareable reasoner; one `Query`/`Answer` protocol
+//! covers every model family.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use mmkgr::prelude::*;
-use mmkgr::datagen::generate;
 
 fn main() {
-    // 1. A synthetic multi-modal KG shaped like WN9-IMG-TXT at 5% scale
-    //    (entities carry image + text feature vectors; test facts are
-    //    multi-hop inferable from the train graph).
-    let kg = generate(&GenConfig::wn9_img_txt().scaled(0.05));
-    println!("dataset: {}", kg.stats());
-
-    // 2. Substrates: TransE initializes structural features; ConvE shapes
-    //    the destination reward (Eq. 13 of the paper).
-    let known = kg.all_known();
-    let r_total = kg.graph.relations().total();
-    let mut transe = TransE::new(kg.num_entities(), r_total, 32, 1);
-    transe.train(&kg.split.train, &known, &KgeTrainConfig::default().with_epochs(15));
-    println!("TransE trained ({} params)", transe.params.num_scalars());
-
-    let mut conve = ConvE::new(kg.num_entities(), r_total, 4, 8, 6, 2);
-    conve.train(
-        &kg.split.train,
-        &known,
-        &KgeTrainConfig { epochs: 10, batch_size: 128, lr: 3e-3, margin: 1.0, seed: 3 },
-    );
-    println!("ConvE reward shaper trained");
-
-    // 3. MMKGR: unified gate-attention fusion + 3D-reward REINFORCE.
-    let mut cfg = MmkgrConfig::default();
-    cfg.epochs = 15;
-    cfg.lr = 3e-3;
-    let engine = RewardEngine::new(&cfg, Some(conve));
-    let model = MmkgrModel::new(&kg, cfg, Some(&transe));
-    let mut trainer = Trainer::new(model, engine);
-    let report = trainer.train(&kg, 0);
-    let last = report.epochs.last().unwrap();
+    // 1. dataset → substrate (TransE init + ConvE shaper) → MMKGR →
+    //    Arc<dyn KgReasoner + Send + Sync>, in one builder call. The
+    //    harness rides along with the dataset and its eval split.
+    let built = ReasonerBuilder::new(Dataset::Wn9ImgTxt, ScaleChoice::Quick)
+        .model(ModelChoice::Mmkgr(Variant::Full))
+        .build();
+    let h = &built.harness;
+    println!("dataset: {}", h.kg.stats());
     println!(
-        "trained {} epochs | mean reward {:.3} | rollout success {:.1}%",
-        report.epochs.len(),
-        last.mean_reward,
-        last.success_rate * 100.0
+        "serving {} over {} entities",
+        built.reasoner.name(),
+        built.reasoner.num_entities()
     );
 
-    // 4. Evaluate on the held-out test triples (filtered ranking).
-    let queries = queries_from_triples(&kg.split.test, kg.graph.relations(), false);
-    let summary = evaluate_ranking(&trainer.model, &kg.graph, &queries, &known, 16, 4);
-    println!(
-        "test MRR {:.3} | Hits@1 {:.3} | Hits@5 {:.3} | Hits@10 {:.3}",
-        summary.mrr, summary.hits1, summary.hits5, summary.hits10
-    );
-
-    // 5. Explainable answers: the agent's best reasoning paths.
-    let t = kg.split.test[0];
-    println!("\nquery ({}, {}, ?) — gold answer {}", t.s, t.r, t.o);
-    let mut paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 16, 4);
-    paths.truncate(3);
-    for p in &paths {
+    // 2. Answer a single query. Path reasoners attach the reasoning path
+    //    behind every candidate — the explainability the paper leads with.
+    let t = h.eval_triples[0];
+    let rs = built.reasoner.relations();
+    let answer = built.reasoner.answer(&Query::new(t.s, t.r).with_top_k(3));
+    println!("\nquery ({:?}, {:?}, ?) — gold answer {:?}", t.s, t.r, t.o);
+    for (i, c) in answer.ranked.iter().enumerate() {
+        let proof = c
+            .evidence
+            .as_ref()
+            .expect("policy reasoners attach evidence");
         println!(
-            "  → {}  (logp {:.2}, {} hops via {:?})",
-            p.entity, p.logp, p.hops, p.relations
+            "  #{} {:?}  score {:.2}  proof ({} hops): {}",
+            i + 1,
+            c.entity,
+            c.score,
+            proof.hops,
+            proof.render(&rs)
         );
     }
+
+    // 3. Batch serving: fan the whole eval split across 4 worker threads
+    //    sharing the reasoner Arc. Results are identical to sequential
+    //    `answer` calls, in query order.
+    let queries: Vec<Query> = h
+        .eval_triples
+        .iter()
+        .map(|t| Query::new(t.s, t.r))
+        .collect();
+    let answers = answer_batch(&built.reasoner, &queries, 4);
+    let hit1 = answers
+        .iter()
+        .zip(&h.eval_triples)
+        .filter(|(a, t)| a.top().is_some_and(|c| c.entity == t.o))
+        .count();
+    println!(
+        "\nbatch: {} queries on 4 threads, top-1 hits {}",
+        answers.len(),
+        hit1
+    );
+
+    // 4. The same protocol serves single-hop KGE scorers: reuse the
+    //    harness substrate to build ConvE behind the identical surface.
+    let conve = build_reasoner(h, ModelChoice::ConvE, ServeConfig::default());
+    let a = conve.answer(&Query::new(t.s, t.r).with_top_k(3));
+    println!(
+        "\n{} answers the same query (no path evidence, scores only):",
+        conve.name()
+    );
+    for (i, c) in a.ranked.iter().enumerate() {
+        println!("  #{} {:?}  score {:.2}", i + 1, c.entity, c.score);
+    }
+
+    // 5. Filtered link-prediction metrics through the same surface.
+    let r = h.eval_reasoner(&built.reasoner);
+    println!(
+        "\ntest MRR {:.3} | Hits@1 {:.3} | Hits@5 {:.3} | Hits@10 {:.3} ({} queries)",
+        r.mrr, r.hits1, r.hits5, r.hits10, r.queries
+    );
 }

@@ -7,8 +7,13 @@
 //! mmkgr train    --dataset wn9 --scale 0.1 --epochs 25 \
 //!                --out runs/wn9                                # train + checkpoint
 //! mmkgr eval     --run runs/wn9                                # MRR / Hits@N of a checkpoint
+//! mmkgr answer   --run runs/wn9 --source 17 --relation 3       # ranked answers + evidence
 //! mmkgr explain  --run runs/wn9 --source 17 --relation 3       # top reasoning paths
 //! ```
+//!
+//! `answer` and `explain` drive the unified serving API
+//! (`mmkgr::core::serve`): the checkpoint is wrapped in a
+//! [`PolicyReasoner`] and every query goes through [`KgReasoner::answer`].
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs only) to keep the
 //! dependency set at the workspace's sanctioned crates.
@@ -17,7 +22,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use mmkgr::core::prelude::*;
+use mmkgr::core::serve::{Evidence, KgReasoner, PolicyReasoner, Query, ServeConfig};
 use mmkgr::core::HistoryEncoder;
 use mmkgr::datagen::{generate, GenConfig};
 use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
@@ -42,6 +50,10 @@ COMMANDS
              --out <dir>
   eval       evaluate a checkpoint (entity link prediction)
              --run <dir>   [--beam <n>]  [--steps <n>]  [--max-eval <n>]
+  answer     answer a (source, relation, ?) query: ranked entities, each
+             with the reasoning path that found it
+             --run <dir>   --source <entity-id>  --relation <relation-id>
+             [--beam <n>]  [--steps <n>]  [--top <n>]
   explain    print the highest-probability reasoning paths for a query
              --run <dir>   --source <entity-id>  --relation <relation-id>
              [--beam <n>]  [--steps <n>]  [--top <n>]
@@ -71,6 +83,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
+        "answer" => cmd_answer(&flags),
         "explain" => cmd_explain(&flags),
         "stats" => cmd_stats(&flags),
         "help" | "--help" | "-h" => {
@@ -134,7 +147,9 @@ struct RunMeta {
     epochs: usize,
 }
 
-fn dataset_config(flags: &HashMap<String, String>) -> Result<(String, f64, u64, GenConfig), String> {
+fn dataset_config(
+    flags: &HashMap<String, String>,
+) -> Result<(String, f64, u64, GenConfig), String> {
     let name = flag(flags, "dataset").unwrap_or("tiny").to_string();
     let scale: f64 = parse_or(flags, "scale", 1.0)?;
     let seed: u64 = parse_or(flags, "seed", 0)?;
@@ -149,8 +164,16 @@ fn build_gen_config(name: &str, scale: f64, seed: u64) -> Result<GenConfig, Stri
         "tiny" => GenConfig::tiny(),
         other => return Err(format!("unknown dataset `{other}` (wn9|fb|tiny)")),
     };
-    let base = if (scale - 1.0).abs() > 1e-12 { base.scaled(scale) } else { base };
-    Ok(if seed != 0 { base.with_seed(seed) } else { base })
+    let base = if (scale - 1.0).abs() > 1e-12 {
+        base.scaled(scale)
+    } else {
+        base
+    };
+    Ok(if seed != 0 {
+        base.with_seed(seed)
+    } else {
+        base
+    })
 }
 
 fn synthetic_vocab(kg: &MultiModalKG) -> Vocab {
@@ -258,7 +281,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     transe.train(
         &kg.split.train,
         &known,
-        &KgeTrainConfig::default().with_epochs(epochs.min(25)).with_seed(seed),
+        &KgeTrainConfig::default()
+            .with_epochs(epochs.min(25))
+            .with_seed(seed),
     );
 
     let model = MmkgrModel::new(&kg, cfg.clone(), Some(&transe));
@@ -284,19 +309,47 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
                     seed: seed ^ 0xC1,
                 },
             );
-            println!("training {} ({} epochs, {} encoder)…", variant.name(), epochs, history.name());
+            println!(
+                "training {} ({} epochs, {} encoder)…",
+                variant.name(),
+                epochs,
+                history.name()
+            );
             let engine = RewardEngine::new(&cfg, Some(conve));
             let mut trainer = Trainer::new(model, engine);
             let report = trainer.train(&kg, 0);
-            save_run(&out, &trainer.model, &name, scale, seed, variant, history, epochs)?;
+            save_run(
+                &out,
+                &trainer.model,
+                &name,
+                scale,
+                seed,
+                variant,
+                history,
+                epochs,
+            )?;
             report
         }
         "none" => {
-            println!("training {} ({} epochs, {} encoder, unshaped)…", variant.name(), epochs, history.name());
+            println!(
+                "training {} ({} epochs, {} encoder, unshaped)…",
+                variant.name(),
+                epochs,
+                history.name()
+            );
             let engine = RewardEngine::new(&cfg, Some(NoShaper));
             let mut trainer = Trainer::new(model, engine);
             let report = trainer.train(&kg, 0);
-            save_run(&out, &trainer.model, &name, scale, seed, variant, history, epochs)?;
+            save_run(
+                &out,
+                &trainer.model,
+                &name,
+                scale,
+                seed,
+                variant,
+                history,
+                epochs,
+            )?;
             report
         }
         other => return Err(format!("unknown shaper `{other}` (conve|none)")),
@@ -342,7 +395,9 @@ fn save_run(
     Ok(())
 }
 
-fn load_run(flags: &HashMap<String, String>) -> Result<(RunMeta, MmkgrModel, MultiModalKG), String> {
+fn load_run(
+    flags: &HashMap<String, String>,
+) -> Result<(RunMeta, MmkgrModel, MultiModalKG), String> {
     let run = PathBuf::from(flag(flags, "run").ok_or("--run <dir> is required")?);
     let meta: RunMeta = serde_json::from_str(
         &std::fs::read_to_string(run.join("meta.json"))
@@ -374,7 +429,11 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let triples: Vec<_> = kg.split.test.iter().copied().take(max_eval).collect();
     println!(
         "evaluating {} ({} on {}@{}) on {} test triples (beam {beam}, T={steps})…",
-        meta.variant, meta.history, meta.dataset, meta.scale, triples.len()
+        meta.variant,
+        meta.history,
+        meta.dataset,
+        meta.scale,
+        triples.len()
     );
     let r = eval_policy_entity(&model, &kg.graph, &triples, &known, beam, steps);
     println!(
@@ -388,25 +447,27 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-// ---------------------------------------------------------------- explain
+// ------------------------------------------------------- answer / explain
 
-fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (meta, model, kg) = load_run(flags)?;
-    let beam: usize = parse_or(flags, "beam", 16)?;
-    let steps: usize = parse_or(flags, "steps", model.cfg.max_steps)?;
-    let top: usize = parse_or(flags, "top", 5)?;
-    // Default query: the first test triple (so `explain --run X` just works).
+/// Parse the `(source, relation)` of a query, defaulting to the first
+/// test triple so `answer --run X` just works; validate against the KG.
+fn query_flags(flags: &HashMap<String, String>, kg: &MultiModalKG) -> Result<(u32, u32), String> {
     let default = kg.split.test.first().copied();
     let source: u32 = match flag(flags, "source") {
         Some(v) => v.parse().map_err(|_| "--source: not an id".to_string())?,
-        None => default.map(|t| t.s.0).ok_or("--source required (empty test split)")?,
+        None => default
+            .map(|t| t.s.0)
+            .ok_or("--source required (empty test split)")?,
     };
     let relation: u32 = match flag(flags, "relation") {
         Some(v) => v.parse().map_err(|_| "--relation: not an id".to_string())?,
         None => default.map(|t| t.r.0).ok_or("--relation required")?,
     };
     if source as usize >= kg.num_entities() {
-        return Err(format!("entity e{source} out of range (< {})", kg.num_entities()));
+        return Err(format!(
+            "entity e{source} out of range (< {})",
+            kg.num_entities()
+        ));
     }
     if relation as usize >= kg.graph.relations().total() {
         return Err(format!(
@@ -414,6 +475,74 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
             kg.graph.relations().total()
         ));
     }
+    Ok((source, relation))
+}
+
+/// Wrap a loaded checkpoint in the unified serving protocol.
+fn reasoner_for_run(
+    meta: &RunMeta,
+    model: MmkgrModel,
+    kg: &MultiModalKG,
+    beam: usize,
+    steps: usize,
+) -> PolicyReasoner<MmkgrModel> {
+    PolicyReasoner::new(
+        meta.variant.clone(),
+        model,
+        Arc::new(kg.graph.clone()),
+        ServeConfig {
+            beam_width: beam,
+            max_steps: steps,
+        },
+    )
+}
+
+fn cmd_answer(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (meta, model, kg) = load_run(flags)?;
+    let beam: usize = parse_or(flags, "beam", 16)?;
+    let steps: usize = parse_or(flags, "steps", model.cfg.max_steps)?;
+    let top: usize = parse_or(flags, "top", 10)?;
+    let (source, relation) = query_flags(flags, &kg)?;
+    let reasoner = reasoner_for_run(&meta, model, &kg, beam, steps);
+    let rs = kg.graph.relations();
+    println!(
+        "query (e{source}, r{relation}, ?) on {}@{} — {} answers, beam {beam}, T={steps}",
+        meta.dataset,
+        meta.scale,
+        reasoner.name()
+    );
+    let answer = reasoner.answer(
+        &Query::new(mmkgr::kg::EntityId(source), mmkgr::kg::RelationId(relation)).with_top_k(top),
+    );
+    for (i, c) in answer.ranked.iter().enumerate() {
+        let evidence = c
+            .evidence
+            .as_ref()
+            .map(|e| format!("{} hops: {}", e.hops, e.render(&rs)))
+            .unwrap_or_else(|| "(no path evidence)".to_string());
+        println!(
+            "#{:<2} e{:<6} score {:>8.3}  {}",
+            i + 1,
+            c.entity.0,
+            c.score,
+            evidence
+        );
+    }
+    if answer.ranked.is_empty() {
+        println!("(no candidate reached within T={steps})");
+    }
+    Ok(())
+}
+
+/// Unlike `answer` (one best path per entity, the serving protocol),
+/// `explain` enumerates raw beam paths — including several distinct
+/// derivations of the same answer — which is the point of the command.
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (meta, model, kg) = load_run(flags)?;
+    let beam: usize = parse_or(flags, "beam", 16)?;
+    let steps: usize = parse_or(flags, "steps", model.cfg.max_steps)?;
+    let top: usize = parse_or(flags, "top", 5)?;
+    let (source, relation) = query_flags(flags, &kg)?;
     println!(
         "query (e{source}, r{relation}, ?) on {}@{} — {} paths, beam {beam}, T={steps}",
         meta.dataset, meta.scale, meta.variant
@@ -426,28 +555,24 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         beam,
         steps,
     );
-    let rels = kg.graph.relations();
+    let rs = kg.graph.relations();
     for (i, p) in paths.iter().take(top).enumerate() {
-        let chain: Vec<String> = p
-            .relations
-            .iter()
-            .map(|r| {
-                if *r == rels.no_op() {
-                    "·stay".to_string()
-                } else if rels.is_inverse(*r) {
-                    format!("r{}⁻¹", rels.inverse(*r).0)
-                } else {
-                    format!("r{}", r.0)
-                }
-            })
-            .collect();
+        let evidence = Evidence {
+            relations: p.relations.clone(),
+            hops: p.hops,
+            logp: p.logp,
+        };
         println!(
             "#{:<2} → e{:<6} logp {:>8.3}  hops {}  path: {}",
             i + 1,
             p.entity.0,
             p.logp,
             p.hops,
-            if chain.is_empty() { "(source)".to_string() } else { chain.join(" → ") }
+            if p.relations.is_empty() {
+                "(source)".to_string()
+            } else {
+                evidence.render(&rs)
+            }
         );
     }
     if paths.is_empty() {
@@ -473,7 +598,10 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("  r{r:<6} {n}");
     }
     let few = by_count.iter().filter(|(_, n)| *n <= 10).count();
-    println!("few-shot relations (≤10 training triples): {few} of {}", by_count.len());
+    println!(
+        "few-shot relations (≤10 training triples): {few} of {}",
+        by_count.len()
+    );
     println!(
         "modalities: {} images total ({} per entity avg), image_dim {}, text_dim {}",
         kg.modal.total_images(),
@@ -490,8 +618,10 @@ mod tests {
 
     #[test]
     fn flag_parser_roundtrip() {
-        let args: Vec<String> =
-            ["--dataset", "wn9", "--scale", "0.1"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--dataset", "wn9", "--scale", "0.1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(flag(&f, "dataset"), Some("wn9"));
         assert_eq!(parse_or::<f64>(&f, "scale", 1.0).unwrap(), 0.1);

@@ -22,28 +22,45 @@
 //! | [`embed`] | `mmkgr-embed` | single-hop KGE models |
 //! | [`core`] | `mmkgr-core` | **the MMKGR model** |
 //! | [`baselines`] | `mmkgr-baselines` | multi-hop comparators |
-//! | [`eval`] | `mmkgr-eval` | metrics + experiment harness |
+//! | [`eval`] | `mmkgr-eval` | metrics + experiment harness + [`ReasonerBuilder`] |
 //!
 //! # Quickstart
+//!
+//! Every model — MMKGR and its ablations, the MINERVA/RLH/FIRE walkers,
+//! and the Table-I KGE family — serves the same protocol: a typed
+//! [`Query`] in, an [`Answer`] of ranked candidates (with reasoning-path
+//! [`Evidence`] for multi-hop models) out. [`ReasonerBuilder`] goes from
+//! dataset to a shareable `Arc<dyn KgReasoner + Send + Sync>` in one call:
 //!
 //! ```no_run
 //! use mmkgr::prelude::*;
 //!
-//! // 1. A multi-modal KG (synthetic WN9-IMG-TXT analogue at 10% scale).
-//! let kg = mmkgr::datagen::generate(&GenConfig::wn9_img_txt().scaled(0.1));
+//! // 1. dataset → substrate → model → reasoner, in one call.
+//! let built = ReasonerBuilder::new(Dataset::Wn9ImgTxt, ScaleChoice::Quick)
+//!     .model(ModelChoice::Mmkgr(Variant::Full))
+//!     .build();
 //!
-//! // 2. Train MMKGR (gate-attention fusion + 3D-reward REINFORCE).
-//! let cfg = MmkgrConfig::default();
-//! let engine = RewardEngine::new(&cfg, Some(NoShaper));
-//! let model = MmkgrModel::new(&kg, cfg, None);
-//! let mut trainer = Trainer::new(model, engine);
-//! trainer.train(&kg, 0);
+//! // 2. Answer a query with explainable multi-hop evidence.
+//! let t = built.harness.eval_triples[0];
+//! let answer = built.reasoner.answer(&Query::new(t.s, t.r).with_top_k(5));
+//! let rs = built.reasoner.relations();
+//! for c in &answer.ranked {
+//!     let proof = c.evidence.as_ref().unwrap();
+//!     println!("{:?} (score {:.2}) via {}", c.entity, c.score, proof.render(&rs));
+//! }
 //!
-//! // 3. Answer a query with an explainable multi-hop path.
-//! let t = kg.split.test[0];
-//! let paths = beam_search(&trainer.model, &kg.graph, t.s, t.r, 16, 4);
-//! println!("best path: {:?}", paths.first());
+//! // 3. Serve a batch across threads over the shared Arc.
+//! let queries: Vec<Query> = built.harness.eval_triples.iter()
+//!     .map(|t| Query::new(t.s, t.r))
+//!     .collect();
+//! let answers = answer_batch(&built.reasoner, &queries, 4);
+//! assert_eq!(answers.len(), queries.len());
 //! ```
+//!
+//! The same `Arc<dyn KgReasoner + Send + Sync>` surface wraps a KGE
+//! scorer (`ModelChoice::ConvE`), a hand-trained model
+//! ([`mmkgr_core::serve::PolicyReasoner`]), or any [`TripleScorer`]
+//! ([`mmkgr_core::serve::ScorerReasoner`]).
 
 pub use mmkgr_baselines as baselines;
 pub use mmkgr_core as core;
@@ -55,13 +72,20 @@ pub use mmkgr_nn as nn;
 pub use mmkgr_tensor as tensor;
 
 /// One-stop imports for applications and examples.
+///
+/// `Query` here is the serving request type
+/// ([`mmkgr_core::serve::Query`]); the evaluation-protocol query lives at
+/// [`mmkgr_kg::Query`].
 pub mod prelude {
     pub use mmkgr_core::prelude::*;
     pub use mmkgr_datagen::GenConfig;
     pub use mmkgr_embed::{ConvE, KgeTrainConfig, Mtrl, TransE, TripleScorer};
     pub use mmkgr_eval::FewShotSplit;
-    pub use mmkgr_eval::{Dataset, Harness, HarnessConfig, ScaleChoice};
+    pub use mmkgr_eval::{
+        build_reasoner, BuiltReasoner, Dataset, Harness, HarnessConfig, ModelChoice,
+        ReasonerBuilder, ScaleChoice,
+    };
     pub use mmkgr_kg::{
-        EntityId, KnowledgeGraph, ModalBank, MultiModalKG, Query, RelationId, Split, Triple,
+        EntityId, KnowledgeGraph, ModalBank, MultiModalKG, RelationId, Split, Triple,
     };
 }

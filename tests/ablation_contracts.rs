@@ -1,12 +1,12 @@
 //! Integration tests for the ablation variants' *behavioural contracts*:
 //! each named variant must actually change the computation it claims to.
 
-use mmkgr::prelude::*;
+use mmkgr::core::mdp::{RolloutQuery, RolloutState};
+use mmkgr::core::{NoShaper, RewardEngine};
 use mmkgr::core::{RewardConfig, Variant};
 use mmkgr::datagen::generate;
-use mmkgr::core::{NoShaper, RewardEngine};
-use mmkgr::core::mdp::{RolloutQuery, RolloutState};
 use mmkgr::kg::Edge;
+use mmkgr::prelude::*;
 
 fn kg() -> MultiModalKG {
     generate(&GenConfig::tiny())
@@ -45,8 +45,20 @@ fn reward_ablations_change_totals() {
     };
     // a successful 2-hop rollout
     let mut state = RolloutState::new(q, no_op);
-    state.step(Edge { relation: RelationId(1), target: EntityId(3) }, no_op);
-    state.step(Edge { relation: RelationId(0), target: EntityId(1) }, no_op);
+    state.step(
+        Edge {
+            relation: RelationId(1),
+            target: EntityId(3),
+        },
+        no_op,
+    );
+    state.step(
+        Edge {
+            relation: RelationId(0),
+            target: EntityId(1),
+        },
+        no_op,
+    );
     assert!(state.at_answer());
 
     let total_of = |rc: RewardConfig| -> f32 {
@@ -84,7 +96,10 @@ fn gate_ablations_produce_distinct_policies() {
         let cfg = MmkgrConfig::quick().variant(v);
         let model = MmkgrModel::new(&kg, cfg, None);
         let no_op = kg.graph.relations().no_op();
-        let mut actions = vec![Edge { relation: no_op, target: EntityId(0) }];
+        let mut actions = vec![Edge {
+            relation: no_op,
+            target: EntityId(0),
+        }];
         actions.extend_from_slice(kg.graph.neighbors(EntityId(0)));
         let h = vec![0.1f32; model.cfg.struct_dim];
         let mut probs = Vec::new();
@@ -95,6 +110,9 @@ fn gate_ablations_produce_distinct_policies() {
     let fakgr = probe(Variant::Fakgr);
     let fgkgr = probe(Variant::Fgkgr);
     assert_ne!(full, fakgr, "removing filtration must change the policy");
-    assert_ne!(full, fgkgr, "removing attention-fusion must change the policy");
+    assert_ne!(
+        full, fgkgr,
+        "removing attention-fusion must change the policy"
+    );
     assert_ne!(fakgr, fgkgr);
 }

@@ -61,7 +61,13 @@ fn generate_requires_out() {
 #[test]
 fn generate_rejects_unknown_dataset() {
     let dir = temp_dir("baddata");
-    let out = mmkgr(&["generate", "--dataset", "freebase", "--out", dir.to_str().unwrap()]);
+    let out = mmkgr(&[
+        "generate",
+        "--dataset",
+        "freebase",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown dataset"));
 }
@@ -86,7 +92,13 @@ fn full_workflow_generate_train_eval_explain() {
     let run = temp_dir("run");
 
     // generate: writes the three splits + dataset meta
-    let out = mmkgr(&["generate", "--dataset", "tiny", "--out", data.to_str().unwrap()]);
+    let out = mmkgr(&[
+        "generate",
+        "--dataset",
+        "tiny",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "generate failed: {}", stderr(&out));
     for f in ["train.tsv", "valid.tsv", "test.tsv", "dataset.json"] {
         assert!(data.join(f).exists(), "missing {f}");
@@ -97,21 +109,62 @@ fn full_workflow_generate_train_eval_explain() {
 
     // train: tiny dataset, minimal epochs, unshaped reward for speed
     let out = mmkgr(&[
-        "train", "--dataset", "tiny", "--epochs", "2", "--shaper", "none",
-        "--variant", "OSKGR", "--out", run.to_str().unwrap(),
+        "train",
+        "--dataset",
+        "tiny",
+        "--epochs",
+        "2",
+        "--shaper",
+        "none",
+        "--variant",
+        "OSKGR",
+        "--out",
+        run.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "train failed: {}", stderr(&out));
     assert!(run.join("meta.json").exists());
     assert!(run.join("model.json").exists());
 
     // eval: reports the four metrics
-    let out = mmkgr(&["eval", "--run", run.to_str().unwrap(), "--max-eval", "10", "--beam", "4"]);
+    let out = mmkgr(&[
+        "eval",
+        "--run",
+        run.to_str().unwrap(),
+        "--max-eval",
+        "10",
+        "--beam",
+        "4",
+    ]);
     assert!(out.status.success(), "eval failed: {}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("MRR"), "metrics line missing: {text}");
 
+    // answer: the unified serving API — ranked entities with evidence
+    let out = mmkgr(&[
+        "answer",
+        "--run",
+        run.to_str().unwrap(),
+        "--top",
+        "5",
+        "--beam",
+        "4",
+    ]);
+    assert!(out.status.success(), "answer failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("query (e"), "query header missing: {text}");
+    assert!(text.contains("score"), "ranked answers missing: {text}");
+    assert!(text.contains("hops"), "evidence missing: {text}");
+
     // explain: prints ranked paths for the default (first test) query
-    let out = mmkgr(&["explain", "--run", run.to_str().unwrap(), "--top", "3", "--beam", "4"]);
+    let out = mmkgr(&[
+        "explain",
+        "--run",
+        run.to_str().unwrap(),
+        "--top",
+        "3",
+        "--beam",
+        "4",
+    ]);
     assert!(out.status.success(), "explain failed: {}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("query (e"), "query header missing: {text}");
@@ -119,7 +172,13 @@ fn full_workflow_generate_train_eval_explain() {
 
     // explain with an out-of-range entity fails cleanly
     let out = mmkgr(&[
-        "explain", "--run", run.to_str().unwrap(), "--source", "99999", "--relation", "0",
+        "explain",
+        "--run",
+        run.to_str().unwrap(),
+        "--source",
+        "99999",
+        "--relation",
+        "0",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("out of range"));

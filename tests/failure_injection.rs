@@ -1,9 +1,9 @@
 //! Failure-injection tests: degenerate graphs, empty modalities, dead
 //! ends, and pathological configurations must not panic or emit NaN.
 
-use mmkgr::prelude::*;
 use mmkgr::core::{NoShaper, RewardEngine};
 use mmkgr::kg::{KnowledgeGraph, ModalBank};
+use mmkgr::prelude::*;
 
 /// A graph where one entity is a dead end and one is isolated.
 fn degenerate_kg() -> MultiModalKG {
@@ -20,7 +20,11 @@ fn degenerate_kg() -> MultiModalKG {
         "degenerate",
         graph,
         modal,
-        Split { train, valid: vec![], test },
+        Split {
+            train,
+            valid: vec![],
+            test,
+        },
     )
 }
 
@@ -86,11 +90,22 @@ fn single_entity_graph_does_not_panic() {
         "singleton",
         graph,
         modal,
-        Split { train: vec![], valid: vec![], test: vec![] },
+        Split {
+            train: vec![],
+            valid: vec![],
+            test: vec![],
+        },
     );
     let cfg = MmkgrConfig::quick().variant(mmkgr::core::Variant::Oskgr);
     let model = MmkgrModel::new(&kg, cfg, None);
-    let paths = beam_search(&model, &kg.graph, EntityId(0), kg.graph.relations().no_op(), 2, 2);
+    let paths = beam_search(
+        &model,
+        &kg.graph,
+        EntityId(0),
+        kg.graph.relations().no_op(),
+        2,
+        2,
+    );
     assert!(paths.iter().all(|p| p.entity == EntityId(0)));
 }
 

@@ -12,7 +12,9 @@ fn fewshot_buckets_partition_and_evaluate() {
     let split = FewShotSplit::new(&kg.split.train, &kg.split.test, &[5, 20]);
 
     // The buckets partition the test set exactly.
-    let total: usize = (0..split.num_buckets()).map(|i| split.triples(i).len()).sum();
+    let total: usize = (0..split.num_buckets())
+        .map(|i| split.triples(i).len())
+        .sum();
     assert_eq!(total, kg.split.test.len());
     assert_eq!(split.num_buckets(), 3);
     let counted: usize = split.buckets.iter().map(|b| b.triples).sum();
@@ -63,7 +65,11 @@ fn fewshot_scorer_evaluation_matches_bucket_shapes() {
     let kg = generate(&GenConfig::tiny());
     let known = kg.all_known();
     let mut transe = TransE::new(kg.num_entities(), kg.graph.relations().total(), 16, 0);
-    transe.train(&kg.split.train, &known, &KgeTrainConfig::quick().with_epochs(3));
+    transe.train(
+        &kg.split.train,
+        &known,
+        &KgeTrainConfig::quick().with_epochs(3),
+    );
     let split = FewShotSplit::new(&kg.split.train, &kg.split.test, &[10]);
     let results = split.eval_scorer(&transe, &kg.graph, &known);
     assert_eq!(results.len(), 2);

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: datagen → substrates → MMKGR → eval.
 
-use mmkgr::prelude::*;
 use mmkgr::datagen::{generate, inferable_fraction, verify_no_leakage};
 use mmkgr::eval::{eval_scorer_entity, filtered_rank};
+use mmkgr::prelude::*;
 
 fn tiny_kg() -> MultiModalKG {
     generate(&GenConfig::tiny())

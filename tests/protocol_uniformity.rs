@@ -15,7 +15,10 @@ fn kg() -> MultiModalKG {
 fn policies(kg: &MultiModalKG) -> Vec<(&'static str, Box<dyn RolloutPolicy>)> {
     let n = kg.num_entities();
     let r = kg.graph.relations().total();
-    let wcfg = WalkerConfig { epochs: 0, ..Default::default() };
+    let wcfg = WalkerConfig {
+        epochs: 0,
+        ..Default::default()
+    };
     let mmkgr = {
         let cfg = MmkgrConfig::quick();
         MmkgrModel::new(kg, cfg, None)
@@ -30,7 +33,10 @@ fn policies(kg: &MultiModalKG) -> Vec<(&'static str, Box<dyn RolloutPolicy>)> {
 }
 
 fn action_space(kg: &MultiModalKG, e: EntityId) -> Vec<Edge> {
-    let mut actions = vec![Edge { relation: kg.graph.relations().no_op(), target: e }];
+    let mut actions = vec![Edge {
+        relation: kg.graph.relations().no_op(),
+        target: e,
+    }];
     actions.extend_from_slice(kg.graph.neighbors(e));
     actions
 }
@@ -75,10 +81,17 @@ fn beam_search_respects_width_and_scores() {
     for (name, p) in policies(&kg) {
         for width in [1usize, 4, 8] {
             let paths = beam_search(&p, &kg.graph, t.s, t.r, width, 4);
-            assert!(paths.len() <= width, "{name}: {} beams > width {width}", paths.len());
+            assert!(
+                paths.len() <= width,
+                "{name}: {} beams > width {width}",
+                paths.len()
+            );
             assert!(!paths.is_empty(), "{name}: NO_OP guarantees one beam");
             for path in &paths {
-                assert!(path.logp.is_finite() && path.logp <= 1e-6, "{name}: logp ≤ 0");
+                assert!(
+                    path.logp.is_finite() && path.logp <= 1e-6,
+                    "{name}: logp ≤ 0"
+                );
                 assert!(path.hops <= 4, "{name}: hop budget respected");
                 assert_eq!(
                     path.relations.len(),
@@ -106,7 +119,10 @@ fn ranking_summary_is_bounded_for_every_policy() {
     for (name, p) in policies(&kg) {
         let s = evaluate_ranking(&p, &kg.graph, &queries, &known, 4, 4);
         assert!((0.0..=1.0).contains(&s.mrr), "{name}");
-        assert!(s.hits1 <= s.hits5 && s.hits5 <= s.hits10, "{name}: Hits@N monotone");
+        assert!(
+            s.hits1 <= s.hits5 && s.hits5 <= s.hits10,
+            "{name}: Hits@N monotone"
+        );
         assert_eq!(s.total, queries.len(), "{name}");
     }
 }

@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` entry points and the
+//! `Bencher::iter`/`iter_batched` API with a simple wall-clock measurement
+//! loop (fixed warm-up, then timed batches, median-of-batches ns/iter).
+//! No statistics, plots, or baselines — enough to run `cargo bench` and
+//! compare hot paths across commits by eye.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup
+/// per measured call regardless, so the variants only document intent.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+    NumBatches(u64),
+}
+
+pub struct Criterion {
+    /// Target time per benchmark (split across measurement batches).
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget: self.measure,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<40} (no iterations run)");
+        } else {
+            let ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<40} {:>12.1} ns/iter ({} iters)", ns, b.iters);
+        }
+        self
+    }
+
+    /// Named group of related benchmarks; the stand-in only prefixes the
+    /// group name onto each benchmark id.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: one untimed call.
+        black_box(f());
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

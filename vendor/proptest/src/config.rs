@@ -1,0 +1,21 @@
+//! Runner configuration.
+
+/// Controls how many random cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 32 keeps the full-workspace test run
+        // fast while still exercising each property meaningfully.
+        ProptestConfig { cases: 32 }
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property against `ProptestConfig::cases` random inputs drawn
+//! from the strategy expressions. No shrinking: a failing case panics with
+//! the normal assert message (the inputs are deterministic per test name +
+//! case index, so failures reproduce exactly). Covers the strategy surface
+//! this workspace uses: numeric ranges, tuples, `prop_map`,
+//! `prop_flat_map`, `collection::vec`, `any::<usize>()`, `any::<bool>()`,
+//! and `Just`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic RNG for one property case, derived from the test name and
+/// case index so failures reproduce without a persistence file.
+pub fn case_rng(test_name: &str, case: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    rand::rngs::StdRng::seed_from_u64(h.finish())
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::config::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -2.0f32..2.0, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| {
+            crate::collection::vec(0i32..10, r * c).prop_map(move |v| (r, c, v))
+        })) {
+            let (r, c, v) = m;
+            prop_assert_eq!(v.len(), r * c);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_controls_cases(x in 0usize..1000) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = 0usize..1_000_000;
+        let a = Strategy::generate(&s, &mut crate::case_rng("t", 3));
+        let b = Strategy::generate(&s, &mut crate::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! The serialization value tree shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+
+/// A JSON-shaped value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (JSON object).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::F64(f)
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(f) =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (None for non-objects and absent keys).
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+macro_rules! value_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::U64(v as u64)
+            }
+        }
+    )*};
+}
+value_from_unsigned!(u8, u16, u32, u64, usize);
+
+// Non-negative integers normalize to U64 so value trees compare equal
+// regardless of whether they were built in Rust or parsed from JSON text
+// (the parser reads any non-negative integer as U64).
+macro_rules! value_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v as i64)
+                }
+            }
+        }
+    )*};
+}
+value_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::Str(v.clone())
+    }
+}
+
+/// Deserialization error (also serde_json's parse error).
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefix an error with the field/context it occurred in.
+    pub fn in_context(self, ctx: &str) -> Self {
+        DeError::new(format!("{ctx}: {}", self.msg))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

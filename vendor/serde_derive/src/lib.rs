@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, against the vendored value-tree
+//! `serde`:
+//!
+//! - structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` per field)
+//! - tuple structs (1-field newtypes serialize transparently; wider ones
+//!   as arrays)
+//! - unit structs (serialize as `null`)
+//! - enums whose variants are all unit variants (serialize as the
+//!   variant-name string)
+//!
+//! No `syn`/`quote` (unavailable offline): the input item is parsed
+//! directly from the `proc_macro` token stream, and the generated impl is
+//! assembled as a string and re-parsed. Generic types are unsupported and
+//! produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields with their `#[serde(default)]` handling.
+    Struct(Vec<(String, FieldDefault)>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+/// How a missing field deserializes.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// Required: missing field is an error.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    /// Struct variant with per-field `#[serde(default)]` handling.
+    Struct(Vec<(String, FieldDefault)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => render(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parse `[attrs] [vis] (struct|enum) Name { ... }` from the derive input.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+
+    while let Some(tok) = toks.next() {
+        match &tok {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)` / `(super)` restriction.
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    _ if kind.is_some() && name.is_none() => {
+                        name = Some(s);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.ok_or("serde derive: expected struct or enum")?;
+    let name = name.ok_or("serde derive: missing item name")?;
+
+    // Generics are unsupported; detect `<` right after the name.
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = toks.find_map(|t| match t {
+        TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g)
+        }
+        TokenTree::Punct(p) if p.as_char() == ';' => None,
+        _ => None,
+    });
+
+    let shape = match (kind.as_str(), body) {
+        ("struct", None) => Shape::Unit,
+        ("struct", Some(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(g)) => Shape::Struct(parse_named_fields(g.stream())?),
+        ("enum", Some(g)) => Shape::Enum(parse_variants(g.stream(), &name)?),
+        ("enum", None) => return Err(format!("enum `{name}` has no body")),
+        _ => unreachable!(),
+    };
+    Ok((name, shape))
+}
+
+/// Count comma-separated fields at angle-bracket depth 0.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => fields += 1,
+                _ => saw_any = true,
+            },
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        fields
+    }
+}
+
+/// Parse `attr* vis? name : type` field declarations, recording each
+/// field's `#[serde(default)]` / `#[serde(default = "path")]` handling.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<(String, FieldDefault)>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Collect attributes in front of the field.
+        let mut default = FieldDefault::None;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        let attr = g.stream().to_string();
+                        // matches `serde(default)`, `serde(default, ...)`,
+                        // and `serde(default = "module::path")`
+                        if attr.starts_with("serde") && attr.contains("default") {
+                            default = match attr.split('"').nth(1) {
+                                Some(path) => FieldDefault::Path(path.split_whitespace().collect()),
+                                None => FieldDefault::Std,
+                            };
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+        }
+        // Field name (or end of stream).
+        let fname = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{fname}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle depth 0.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push((fname, default));
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants: unit, tuple (newtype), or struct variants.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while let Some(tok) = toks.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // skip attribute group (e.g. #[default], doc)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                let kind = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        toks.next();
+                        VariantKind::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        toks.next();
+                        VariantKind::Struct(fields)
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "vendored serde derive does not support discriminants \
+                             (`{enum_name}::{v}`)"
+                        ));
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: v, kind });
+            }
+            other => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => render_serialize(name, shape),
+        Mode::Deserialize => render_deserialize(name, shape),
+    }
+}
+
+fn render_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!("({f:?}.to_string(), serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string())")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Object(vec![\
+                                 ({vn:?}.to_string(), serde::Serialize::serialize_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::serialize_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => serde::Value::Object(vec![\
+                                     ({vn:?}.to_string(), serde::Value::Array(vec![{items}]))])",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|(f, _)| f.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|(f, _)| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![\
+                                     ({vn:?}.to_string(), \
+                                      serde::Value::Object(vec![{items}]))])",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Deserialization initializer for one named field, reading out of the
+/// object expression `src` (e.g. `v` or `payload`).
+fn field_init(f: &str, default: &FieldDefault, src: &str) -> String {
+    let fallback = match default {
+        FieldDefault::None => None,
+        FieldDefault::Std => Some("Default::default()".to_string()),
+        FieldDefault::Path(path) => Some(format!("{path}()")),
+    };
+    match fallback {
+        Some(fallback) => format!(
+            "{f}: match {src}.get_field({f:?}) {{\n\
+                 Some(fv) => serde::Deserialize::deserialize_value(fv)\
+                     .map_err(|e| e.in_context({f:?}))?,\n\
+                 None => {fallback},\n\
+             }}"
+        ),
+        None => format!(
+            "{f}: serde::Deserialize::deserialize_value(\n\
+                 {src}.get_field({f:?}).ok_or_else(|| \
+                     serde::DeError::new(concat!(\"missing field `\", {f:?}, \"`\")))?\n\
+             ).map_err(|e| e.in_context({f:?}))?"
+        ),
+    }
+}
+
+fn render_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::deserialize_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&items[{i}])"))
+                .map(|e| format!("{e}?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({items})),\n\
+                     other => Err(serde::DeError::expected(\"{n}-element array\", other)),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|(f, default)| field_init(f, default, "v"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(serde::DeError::expected(\"object\", other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{})", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(\
+                                 serde::Deserialize::deserialize_value(payload)\
+                                     .map_err(|e| e.in_context({vn:?}))?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::deserialize_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match payload {{\n\
+                                     serde::Value::Array(items) if items.len() == {n} => \
+                                         Ok({name}::{vn}({items})),\n\
+                                     other => Err(serde::DeError::expected(\
+                                         \"{n}-element array\", other)),\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|(f, default)| field_init(f, default, "payload"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {inits} }})",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_match = if unit_arms.is_empty() {
+                "serde::Value::Str(s) => Err(serde::DeError::new(format!(\
+                     \"unknown {name} variant `{s}`\")))"
+                    .replace("{name}", name)
+            } else {
+                format!(
+                    "serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => Err(serde::DeError::new(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }}",
+                    arms = unit_arms.join(",\n")
+                )
+            };
+            let obj_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {arms},\n\
+                             other => Err(serde::DeError::new(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},",
+                    arms = tagged_arms.join(",\n")
+                )
+            };
+            format!(
+                "match v {{\n\
+                     {str_match},\n\
+                     {obj_match}\n\
+                     other => Err(serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`] tree as JSON text and parses it back.
+//!
+//! Covers the workspace's surface: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], the [`json!`] macro, and [`Error`]. Numbers round-trip
+//! losslessly for every type the workspace serializes (`f32` via `f64`,
+//! integers up to `u64`).
+
+pub use serde::Value;
+
+/// serde_json's error type (parse + data-shape errors).
+pub type Error = serde::DeError;
+
+mod parse;
+mod write;
+
+pub use parse::from_str_value;
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.serialize_value()))
+}
+
+/// Serialize `value` as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.serialize_value()))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::from_str_value(s)?;
+    T::deserialize_value(&value)
+}
+
+/// Entry accumulator for the [`json!`] macro (not public API).
+#[doc(hidden)]
+pub fn new_object_buf() -> Vec<(String, Value)> {
+    Vec::new()
+}
+
+/// Item accumulator for the [`json!`] macro (not public API).
+#[doc(hidden)]
+pub fn new_array_buf() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Build a [`Value`] from JSON-ish literal syntax.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut entries = $crate::new_object_buf();
+        $crate::json_entries!(entries; $($body)*);
+        $crate::Value::Object(entries)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items = $crate::new_array_buf();
+        $crate::json_items!(items; $($body)*);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_entries {
+    ($vec:ident;) => {};
+    ($vec:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_entries!($vec; $($rest)*); )?
+    };
+    ($vec:ident; $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!({ $($obj)* })));
+        $( $crate::json_entries!($vec; $($rest)*); )?
+    };
+    ($vec:ident; $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!([ $($arr)* ])));
+        $( $crate::json_entries!($vec; $($rest)*); )?
+    };
+    ($vec:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $vec.push(($key.to_string(), $crate::Value::from($val)));
+        $crate::json_entries!($vec; $($rest)*);
+    };
+    ($vec:ident; $key:literal : $val:expr) => {
+        $vec.push(($key.to_string(), $crate::Value::from($val)));
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_items {
+    ($vec:ident;) => {};
+    ($vec:ident; null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json_items!($vec; $($rest)*); )?
+    };
+    ($vec:ident; { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($obj)* }));
+        $( $crate::json_items!($vec; $($rest)*); )?
+    };
+    ($vec:ident; [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($arr)* ]));
+        $( $crate::json_items!($vec; $($rest)*); )?
+    };
+    ($vec:ident; $val:expr , $($rest:tt)*) => {
+        $vec.push($crate::Value::from($val));
+        $crate::json_items!($vec; $($rest)*);
+    };
+    ($vec:ident; $val:expr) => {
+        $vec.push($crate::Value::from($val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = json!({
+            "name": "wn9",
+            "scale": 0.1,
+            "seed": 42u64,
+            "tags": ["a", "b"],
+            "nested": { "ok": true, "none": null }
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "xs": [1, 2, 3], "f": 1.5 });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn f32_roundtrips_exactly() {
+        let xs: Vec<f32> = vec![0.1, -3.25, 1e-7, 123456.78, f32::MIN_POSITIVE];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tand \\ unicode: \u{1F600}".to_string();
+        let enc = to_string(&s).unwrap();
+        let back: String = from_str(&enc).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{ \"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn u64_extremes_roundtrip() {
+        let xs: Vec<u64> = vec![0, 1, u64::MAX, i64::MAX as u64 + 1];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+}
