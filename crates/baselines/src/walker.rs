@@ -484,12 +484,14 @@ impl RolloutPolicy for RlWalker {
     }
 
     fn lstm_input(&self, last_rel: RelationId, current: EntityId) -> Vec<f32> {
-        let r = self.rel.row(&self.params, last_rel.index());
-        let e = self.ent.row(&self.params, current.index());
-        let mut x = Vec::with_capacity(r.len() + e.len());
-        x.extend_from_slice(r);
-        x.extend_from_slice(e);
+        let mut x = Vec::with_capacity(2 * self.cfg.struct_dim);
+        self.lstm_input_into(last_rel, current, &mut x);
         x
+    }
+
+    fn lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.rel.row(&self.params, last_rel.index()));
+        out.extend_from_slice(self.ent.row(&self.params, current.index()));
     }
 
     fn lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]) {

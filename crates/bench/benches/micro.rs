@@ -97,9 +97,11 @@ fn bench_ranking(c: &mut Criterion) {
 }
 
 fn bench_beam_search(c: &mut Criterion) {
+    use mmkgr_core::beam::{beam_search_reference, BeamConfig, BeamEngine};
     let kg = generate(&GenConfig::tiny());
     let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
-    c.bench_function("beam_search_w8_t4", |b| {
+    let mut group = c.benchmark_group("beam_search");
+    group.bench_function("legacy_api_w8_t4", |b| {
         b.iter(|| {
             std::hint::black_box(mmkgr_core::beam_search(
                 &model,
@@ -111,6 +113,76 @@ fn bench_beam_search(c: &mut Criterion) {
             ))
         })
     });
+    let mut engine = BeamEngine::new();
+    for width in [8usize, 64] {
+        group.bench_function(&format!("reference_w{width}_t4"), |b| {
+            b.iter(|| {
+                std::hint::black_box(beam_search_reference(
+                    &model,
+                    &kg.graph,
+                    EntityId(0),
+                    RelationId(0),
+                    &BeamConfig::exact(width, 4),
+                ))
+            })
+        });
+        group.bench_function(&format!("engine_exact_w{width}_t4"), |b| {
+            b.iter(|| {
+                engine.run(
+                    &model,
+                    &kg.graph,
+                    EntityId(0),
+                    RelationId(0),
+                    &BeamConfig::exact(width, 4),
+                );
+                std::hint::black_box(engine.frontier_len())
+            })
+        });
+        group.bench_function(&format!("engine_dedup_w{width}_t4"), |b| {
+            b.iter(|| {
+                engine.run(
+                    &model,
+                    &kg.graph,
+                    EntityId(0),
+                    RelationId(0),
+                    &BeamConfig::dedup(width, 4),
+                );
+                std::hint::black_box(engine.frontier_len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serve_answer(c: &mut Criterion) {
+    use mmkgr_core::serve::{KgReasoner, PolicyReasoner, Query, ServeConfig};
+    use std::sync::Arc;
+    let kg = generate(&GenConfig::tiny());
+    let graph = Arc::new(kg.graph.clone());
+    let cold = PolicyReasoner::new(
+        "MMKGR",
+        MmkgrModel::new(&kg, MmkgrConfig::quick(), None),
+        Arc::clone(&graph),
+        ServeConfig::default(),
+    );
+    let cached = PolicyReasoner::new(
+        "MMKGR",
+        MmkgrModel::new(&kg, MmkgrConfig::quick(), None),
+        graph,
+        ServeConfig::default().with_cache(1024),
+    );
+    let q = Query::new(EntityId(0), RelationId(0))
+        .with_beam(8)
+        .with_steps(3);
+    let mut group = c.benchmark_group("serve_answer");
+    group.bench_function("uncached", |b| {
+        b.iter(|| std::hint::black_box(cold.answer(&q)))
+    });
+    cached.answer(&q); // prime
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| std::hint::black_box(cached.answer(&q)))
+    });
+    group.finish();
 }
 
 fn bench_graph_ops(c: &mut Criterion) {
@@ -167,6 +239,7 @@ criterion_group!(
     bench_transe_epoch,
     bench_ranking,
     bench_beam_search,
+    bench_serve_answer,
     bench_graph_ops,
     bench_autograd_tape,
 );

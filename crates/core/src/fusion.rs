@@ -130,34 +130,103 @@ impl GateAttention {
         use_attention_fusion: bool,
         use_irrelevance_filtration: bool,
     ) -> Matrix {
+        let px = self.prepare_x(params, x);
+        self.forward_raw_prepared(
+            params,
+            y_row,
+            &px,
+            use_attention_fusion,
+            use_irrelevance_filtration,
+        )
+    }
+
+    /// Precompute every `X`-side projection of the raw forward. `X`
+    /// depends only on the candidate action set, not on the agent state
+    /// `y`, so beam search shares one [`PreparedX`] across all frontier
+    /// beams standing at the same entity — the dominant saving of the
+    /// grouped policy forward.
+    pub fn prepare_x(&self, params: &Params, x: &Matrix) -> PreparedX {
         let q = x.matmul(params.value(self.wq));
-        let k_row = y_row.matmul(params.value(self.wk));
-        let v_row = y_row.matmul(params.value(self.wv));
+        let q_lq = q.matmul(params.value(self.wlq));
+        let q_rq = q.matmul(params.value(self.wrq));
+        PreparedX { q, q_lq, q_rq }
+    }
 
-        let bl = row_broadcast_mul(
-            &q.matmul(params.value(self.wlq)),
-            k_row.matmul(params.value(self.wlk)).row(0),
+    /// The per-state half of [`GateAttention::forward_raw`], given
+    /// shared [`PreparedX`] projections. Bitwise-identical to the
+    /// unshared path (same operations on the same values, in the same
+    /// order).
+    pub fn forward_raw_prepared(
+        &self,
+        params: &Params,
+        y_row: &Matrix,
+        px: &PreparedX,
+        use_attention_fusion: bool,
+        use_irrelevance_filtration: bool,
+    ) -> Matrix {
+        let mut scratch = GateScratch::new();
+        self.forward_raw_scratch(
+            params,
+            y_row,
+            px,
+            use_attention_fusion,
+            use_irrelevance_filtration,
+            &mut scratch,
         );
-        let br = row_broadcast_mul(
-            &q.matmul(params.value(self.wrq)),
-            v_row.matmul(params.value(self.wrv)).row(0),
-        );
+        scratch.z
+    }
 
-        let v_hat = if use_attention_fusion {
-            let gt = bl.matmul(params.value(self.wm)).map(sigmoid);
-            let gt_k = row_broadcast_mul(&gt, k_row.row(0));
-            let g_q = gt.map(|v| 1.0 - v).zip_map(&q, |a, b| a * b);
-            let gs = gt_k.matmul_nt(&g_q).softmax_rows();
-            gs.matmul(&br)
+    /// [`GateAttention::forward_raw_prepared`] with every intermediate in
+    /// caller-owned scratch: the inference hot loop runs this once per
+    /// beam state with zero allocations once the scratch is warm. The
+    /// result lands in `scratch.z`. Bit-identical to the allocating path
+    /// (same kernels, same operand order).
+    pub fn forward_raw_scratch(
+        &self,
+        params: &Params,
+        y_row: &Matrix,
+        px: &PreparedX,
+        use_attention_fusion: bool,
+        use_irrelevance_filtration: bool,
+        s: &mut GateScratch,
+    ) {
+        y_row.matmul_into(params.value(self.wk), &mut s.k); // 1×d
+        y_row.matmul_into(params.value(self.wv), &mut s.v); // 1×d
+        s.k.matmul_into(params.value(self.wlk), &mut s.klk); // 1×j
+        s.v.matmul_into(params.value(self.wrv), &mut s.vrv); // 1×j
+
+        s.bl.copy_from(&px.q_lq); // Eq. 6
+        row_scale_inplace(&mut s.bl, s.klk.row(0));
+        s.br.copy_from(&px.q_rq); // Eq. 7
+        row_scale_inplace(&mut s.br, s.vrv.row(0));
+
+        if use_attention_fusion {
+            s.bl.matmul_into(params.value(self.wm), &mut s.gt); // Eq. 8
+            s.gt.map_inplace(sigmoid);
+            s.gtk.copy_from(&s.gt); // (gt ⊙ K)
+            row_scale_inplace(&mut s.gtk, s.k.row(0));
+            // ((1−gt) ⊙ Q), in place over gt (gtk already captured it).
+            for (o, &qv) in s.gt.as_mut_slice().iter_mut().zip(px.q.as_slice()) {
+                *o = (1.0 - *o) * qv;
+            }
+            s.gtk.matmul_nt_into(&s.gt, &mut s.att); // Eq. 9
+            for r in 0..s.att.rows() {
+                mmkgr_tensor::softmax_slice(s.att.row_mut(r));
+            }
+            s.att.matmul_into(&s.br, &mut s.vhat); // Eq. 10
         } else {
-            bl.clone()
-        };
+            // FGKGR: the Eq. 6 MLB fusion goes straight to filtration.
+            s.vhat.copy_from(&s.bl);
+        }
 
         if use_irrelevance_filtration {
-            let prod = br.zip_map(&v_hat, |a, b| a * b);
-            prod.map(|p| sigmoid(p) * p)
+            s.z.copy_from(&s.br); // Eqs. 11–12
+            for (o, &vh) in s.z.as_mut_slice().iter_mut().zip(s.vhat.as_slice()) {
+                *o *= vh;
+            }
+            s.z.map_inplace(|p| sigmoid(p) * p);
         } else {
-            v_hat
+            s.z.copy_from(&s.vhat); // FAKGR
         }
     }
 
@@ -167,20 +236,69 @@ impl GateAttention {
     }
 }
 
+/// The action-set-dependent projections of the raw gate forward (`Q` and
+/// its MLB images), shareable across every agent state standing at the
+/// same entity. Built by [`GateAttention::prepare_x`].
+pub struct PreparedX {
+    pub q: Matrix,
+    pub q_lq: Matrix,
+    pub q_rq: Matrix,
+}
+
+/// Reusable intermediates of [`GateAttention::forward_raw_scratch`]: one
+/// per inference thread, warm after the first state.
+pub struct GateScratch {
+    k: Matrix,
+    v: Matrix,
+    klk: Matrix,
+    vrv: Matrix,
+    bl: Matrix,
+    br: Matrix,
+    gt: Matrix,
+    gtk: Matrix,
+    att: Matrix,
+    vhat: Matrix,
+    /// The output `Z` of the last forward.
+    pub z: Matrix,
+}
+
+impl GateScratch {
+    pub fn new() -> Self {
+        let empty = || Matrix::zeros(0, 0);
+        GateScratch {
+            k: empty(),
+            v: empty(),
+            klk: empty(),
+            vrv: empty(),
+            bl: empty(),
+            br: empty(),
+            gt: empty(),
+            gtk: empty(),
+            att: empty(),
+            vhat: empty(),
+            z: empty(),
+        }
+    }
+}
+
+impl Default for GateScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[inline]
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// `a ⊙ row` with `row` broadcast over every row of `a`.
-fn row_broadcast_mul(a: &Matrix, row: &[f32]) -> Matrix {
-    let mut out = a.clone();
-    for r in 0..out.rows() {
-        for (o, &s) in out.row_mut(r).iter_mut().zip(row) {
+/// `a ⊙ row` with `row` broadcast over every row of `a`, in place.
+fn row_scale_inplace(a: &mut Matrix, row: &[f32]) {
+    for r in 0..a.rows() {
+        for (o, &s) in a.row_mut(r).iter_mut().zip(row) {
             *o *= s;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -3,12 +3,16 @@
 //! RL reasoners rank candidates by the best path log-probability that
 //! reaches them within `T` steps (the MINERVA evaluation protocol the
 //! paper follows). Entities no beam reaches rank pessimistically last.
-
-use std::collections::HashMap;
+//!
+//! Since the [`crate::beam`] engine landed, every entry point here is a
+//! thin wrapper over a thread-local [`BeamEngine`](crate::beam::BeamEngine)
+//! in exact mode: the public contracts (and their outputs, bit for bit)
+//! are unchanged, but repeated calls no longer allocate.
 
 use mmkgr_kg::{Edge, EntityId, KnowledgeGraph, RelationId, TripleSet};
 
-use crate::mdp::{Env, RolloutQuery, RolloutState};
+use crate::beam::{with_thread_engine, BeamConfig};
+use crate::mdp::RolloutQuery;
 use crate::model::MmkgrModel;
 
 /// The raw (tape-free) interface beam search drives. [`MmkgrModel`]
@@ -22,6 +26,14 @@ pub trait RolloutPolicy {
     /// Build the recurrent input for a step.
     fn lstm_input(&self, last_rel: RelationId, current: EntityId) -> Vec<f32>;
 
+    /// Build the recurrent input into a caller-owned buffer (appended;
+    /// callers clear first). Implementors should override this to skip
+    /// the per-step allocation of [`Self::lstm_input`] — the beam engine
+    /// only calls this form.
+    fn lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.lstm_input(last_rel, current));
+    }
+
     /// Advance the recurrent state in place.
     fn lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]);
 
@@ -34,6 +46,91 @@ pub trait RolloutPolicy {
         actions: &[Edge],
         out: &mut Vec<f32>,
     );
+
+    /// Action distributions for `states` agent states standing at the
+    /// same entity (rows of `hs`, `hidden_dim()` apart), sharing one
+    /// action set. `out` is cleared and receives `states ×
+    /// actions.len()` probabilities, row-major. The default delegates to
+    /// [`Self::action_probs`] per state; policies with expensive
+    /// action-dependent features (MMKGR's modal projections) override it
+    /// to share that work across the group — the beam engine always
+    /// calls this form. Overrides must be bitwise-identical to the
+    /// per-state path.
+    fn action_probs_group(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        let ds = self.hidden_dim();
+        let mut row: Vec<f32> = Vec::with_capacity(actions.len());
+        for s in 0..states {
+            self.action_probs(source, &hs[s * ds..(s + 1) * ds], rq, actions, &mut row);
+            out.extend_from_slice(&row);
+        }
+    }
+
+    /// Precompute whatever of the policy forward depends only on the
+    /// action set (for MMKGR: modal gathers/projections and the gate's
+    /// `X`-side). The beam engine memoizes the returned box per entity
+    /// for the lifetime of one query and passes it back into
+    /// [`Self::action_probs_group_prepared`] — an entity revisited at a
+    /// later step pays the action-dependent work only once. Policies
+    /// with nothing to share return the default `()`.
+    fn prepare_actions(&self, actions: &[Edge]) -> Box<dyn std::any::Any> {
+        let _ = actions;
+        Box::new(())
+    }
+
+    /// [`Self::action_probs_group`] with a memoized
+    /// [`Self::prepare_actions`] context. Overrides must be
+    /// bitwise-identical to the unprepared path; the default ignores the
+    /// context.
+    #[allow(clippy::too_many_arguments)]
+    fn action_probs_group_prepared(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        prepared: &dyn std::any::Any,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = prepared;
+        self.action_probs_group(source, hs, states, rq, actions, out)
+    }
+
+    /// Precompute the input-dependent half of one recurrent step — for
+    /// an LSTM, `bias + x·Wx` — which is a pure function of `(last_rel,
+    /// current)`. The beam engine memoizes it per pair for one query:
+    /// beams traversing the same edge at any step share it. Policies
+    /// with nothing to share return the default `()`.
+    fn prepare_step(&self, last_rel: RelationId, current: EntityId) -> Box<dyn std::any::Any> {
+        let _ = (last_rel, current);
+        Box::new(())
+    }
+
+    /// [`Self::lstm_step`] with a memoized [`Self::prepare_step`]
+    /// context. Overrides must be bitwise-identical to the unprepared
+    /// path; the default rebuilds the input and ignores the context.
+    fn lstm_step_prepared(
+        &self,
+        last_rel: RelationId,
+        current: EntityId,
+        prepared: &dyn std::any::Any,
+        h: &mut [f32],
+        c: &mut [f32],
+    ) {
+        let _ = prepared;
+        let mut x = Vec::with_capacity(2 * self.hidden_dim());
+        self.lstm_input_into(last_rel, current, &mut x);
+        self.lstm_step(&x, h, c)
+    }
 }
 
 impl<P: RolloutPolicy + ?Sized> RolloutPolicy for &P {
@@ -43,6 +140,10 @@ impl<P: RolloutPolicy + ?Sized> RolloutPolicy for &P {
 
     fn lstm_input(&self, last_rel: RelationId, current: EntityId) -> Vec<f32> {
         (**self).lstm_input(last_rel, current)
+    }
+
+    fn lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        (**self).lstm_input_into(last_rel, current, out)
     }
 
     fn lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]) {
@@ -58,6 +159,50 @@ impl<P: RolloutPolicy + ?Sized> RolloutPolicy for &P {
         out: &mut Vec<f32>,
     ) {
         (**self).action_probs(source, h, rq, actions, out)
+    }
+
+    fn action_probs_group(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        (**self).action_probs_group(source, hs, states, rq, actions, out)
+    }
+
+    fn prepare_actions(&self, actions: &[Edge]) -> Box<dyn std::any::Any> {
+        (**self).prepare_actions(actions)
+    }
+
+    fn action_probs_group_prepared(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        prepared: &dyn std::any::Any,
+        out: &mut Vec<f32>,
+    ) {
+        (**self).action_probs_group_prepared(source, hs, states, rq, actions, prepared, out)
+    }
+
+    fn prepare_step(&self, last_rel: RelationId, current: EntityId) -> Box<dyn std::any::Any> {
+        (**self).prepare_step(last_rel, current)
+    }
+
+    fn lstm_step_prepared(
+        &self,
+        last_rel: RelationId,
+        current: EntityId,
+        prepared: &dyn std::any::Any,
+        h: &mut [f32],
+        c: &mut [f32],
+    ) {
+        (**self).lstm_step_prepared(last_rel, current, prepared, h, c)
     }
 }
 
@@ -70,6 +215,10 @@ impl<P: RolloutPolicy + ?Sized> RolloutPolicy for Box<P> {
         (**self).lstm_input(last_rel, current)
     }
 
+    fn lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        (**self).lstm_input_into(last_rel, current, out)
+    }
+
     fn lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]) {
         (**self).lstm_step(x, h, c)
     }
@@ -84,6 +233,50 @@ impl<P: RolloutPolicy + ?Sized> RolloutPolicy for Box<P> {
     ) {
         (**self).action_probs(source, h, rq, actions, out)
     }
+
+    fn action_probs_group(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        (**self).action_probs_group(source, hs, states, rq, actions, out)
+    }
+
+    fn prepare_actions(&self, actions: &[Edge]) -> Box<dyn std::any::Any> {
+        (**self).prepare_actions(actions)
+    }
+
+    fn action_probs_group_prepared(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        prepared: &dyn std::any::Any,
+        out: &mut Vec<f32>,
+    ) {
+        (**self).action_probs_group_prepared(source, hs, states, rq, actions, prepared, out)
+    }
+
+    fn prepare_step(&self, last_rel: RelationId, current: EntityId) -> Box<dyn std::any::Any> {
+        (**self).prepare_step(last_rel, current)
+    }
+
+    fn lstm_step_prepared(
+        &self,
+        last_rel: RelationId,
+        current: EntityId,
+        prepared: &dyn std::any::Any,
+        h: &mut [f32],
+        c: &mut [f32],
+    ) {
+        (**self).lstm_step_prepared(last_rel, current, prepared, h, c)
+    }
 }
 
 impl RolloutPolicy for MmkgrModel {
@@ -93,6 +286,10 @@ impl RolloutPolicy for MmkgrModel {
 
     fn lstm_input(&self, last_rel: RelationId, current: EntityId) -> Vec<f32> {
         self.raw_lstm_input(last_rel, current)
+    }
+
+    fn lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        self.raw_lstm_input_into(last_rel, current, out)
     }
 
     fn lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]) {
@@ -109,6 +306,61 @@ impl RolloutPolicy for MmkgrModel {
     ) {
         self.raw_state_probs(source, h, rq, actions, out)
     }
+
+    fn action_probs_group(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        self.raw_state_probs_group(source, hs, states, rq, actions, out)
+    }
+
+    fn prepare_actions(&self, actions: &[Edge]) -> Box<dyn std::any::Any> {
+        Box::new(self.raw_prepare_actions(actions))
+    }
+
+    fn action_probs_group_prepared(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        prepared: &dyn std::any::Any,
+        out: &mut Vec<f32>,
+    ) {
+        match prepared.downcast_ref::<crate::model::PreparedActions>() {
+            Some(prep) => {
+                self.raw_state_probs_group_prepared(source, hs, states, rq, actions, prep, out)
+            }
+            None => self.raw_state_probs_group(source, hs, states, rq, actions, out),
+        }
+    }
+
+    fn prepare_step(&self, last_rel: RelationId, current: EntityId) -> Box<dyn std::any::Any> {
+        Box::new(self.raw_prepare_step(last_rel, current))
+    }
+
+    fn lstm_step_prepared(
+        &self,
+        last_rel: RelationId,
+        current: EntityId,
+        prepared: &dyn std::any::Any,
+        h: &mut [f32],
+        c: &mut [f32],
+    ) {
+        match prepared.downcast_ref::<crate::model::PreparedStep>() {
+            Some(prep) => self.raw_lstm_step_prepared(prep, h, c),
+            None => {
+                let x = self.raw_lstm_input(last_rel, current);
+                self.raw_lstm_step(&x, h, c)
+            }
+        }
+    }
 }
 
 /// A completed beam: where it ended and how it got there.
@@ -121,18 +373,12 @@ pub struct BeamPath {
     pub relations: Vec<RelationId>,
 }
 
-#[derive(Clone)]
-struct Beam {
-    current: EntityId,
-    last_rel: RelationId,
-    hops: usize,
-    h: Vec<f32>,
-    c: Vec<f32>,
-    logp: f32,
-    rels: Vec<RelationId>,
-}
-
 /// Beam search from `(source, relation)` for `steps` steps.
+///
+/// Wraps the thread-local [`BeamEngine`](crate::beam::BeamEngine) in
+/// exact mode: output is bit-identical to the original per-call
+/// implementation (retained as [`crate::beam::beam_search_reference`]),
+/// but after the first call on a thread only the returned paths allocate.
 pub fn beam_search<P: RolloutPolicy>(
     model: &P,
     graph: &KnowledgeGraph,
@@ -141,78 +387,15 @@ pub fn beam_search<P: RolloutPolicy>(
     width: usize,
     steps: usize,
 ) -> Vec<BeamPath> {
-    let env = Env::new(graph, false);
-    let no_op = env.no_op();
-    let ds = model.hidden_dim();
-    let mut beams = vec![Beam {
-        current: source,
-        last_rel: no_op,
-        hops: 0,
-        h: vec![0.0; ds],
-        c: vec![0.0; ds],
-        logp: 0.0,
-        rels: Vec::new(),
-    }];
-    let mut action_buf: Vec<Edge> = Vec::new();
-    let mut prob_buf: Vec<f32> = Vec::new();
-    // A scratch state for Env::fill_actions (no masking at eval time).
-    let query = RolloutQuery {
-        source,
-        relation,
-        answer: source,
-    };
-
-    for _ in 0..steps {
-        let mut candidates: Vec<Beam> = Vec::with_capacity(beams.len() * 8);
-        for beam in &beams {
-            // History update for this beam.
-            let x = model.lstm_input(beam.last_rel, beam.current);
-            let mut h = beam.h.clone();
-            let mut c = beam.c.clone();
-            model.lstm_step(&x, &mut h, &mut c);
-
-            let mut state = RolloutState::new(query, no_op);
-            state.current = beam.current;
-            env.fill_actions(&state, &mut action_buf);
-            model.action_probs(source, &h, relation, &action_buf, &mut prob_buf);
-
-            for (a, &p) in action_buf.iter().zip(&prob_buf) {
-                let lp = p.max(1e-12).ln();
-                let mut rels = beam.rels.clone();
-                let hops = if a.relation == no_op {
-                    beam.hops
-                } else {
-                    rels.push(a.relation);
-                    beam.hops + 1
-                };
-                candidates.push(Beam {
-                    current: a.target,
-                    last_rel: a.relation,
-                    hops,
-                    h: h.clone(),
-                    c: c.clone(),
-                    logp: beam.logp + lp,
-                    rels,
-                });
-            }
-        }
-        candidates.sort_by(|a, b| b.logp.total_cmp(&a.logp));
-        candidates.truncate(width);
-        beams = candidates;
-        if beams.is_empty() {
-            break;
-        }
-    }
-
-    beams
-        .into_iter()
-        .map(|b| BeamPath {
-            entity: b.current,
-            logp: b.logp,
-            hops: b.hops,
-            relations: b.rels,
-        })
-        .collect()
+    with_thread_engine(|engine| {
+        engine.search(
+            model,
+            graph,
+            source,
+            relation,
+            &BeamConfig::exact(width, steps),
+        )
+    })
 }
 
 /// Outcome of ranking one query.
@@ -226,6 +409,49 @@ pub struct RankOutcome {
     pub hops: usize,
 }
 
+/// Reusable dense best-score table for [`rank_query`]: per-entity best
+/// log-prob and its hop count, with an epoch stamp instead of an O(N)
+/// clear between queries. Replaces the per-query `HashMap` the MINERVA
+/// protocol used to rebuild for every ranked triple.
+#[derive(Default)]
+struct RankScratch {
+    best: Vec<f32>,
+    hops: Vec<u32>,
+    stamp: Vec<u64>,
+    touched: Vec<u32>,
+    epoch: u64,
+}
+
+impl RankScratch {
+    fn begin(&mut self, num_entities: usize) {
+        if self.best.len() < num_entities {
+            self.best.resize(num_entities, f32::NEG_INFINITY);
+            self.hops.resize(num_entities, 0);
+            self.stamp.resize(num_entities, 0);
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    fn observe(&mut self, entity: EntityId, logp: f32, hops: usize) {
+        let e = entity.index();
+        if self.stamp[e] != self.epoch {
+            self.stamp[e] = self.epoch;
+            self.best[e] = logp;
+            self.hops[e] = hops as u32;
+            self.touched.push(e as u32);
+        } else if logp > self.best[e] {
+            self.best[e] = logp;
+            self.hops[e] = hops as u32;
+        }
+    }
+
+    fn get(&self, entity: EntityId) -> Option<(f32, usize)> {
+        let e = entity.index();
+        (self.stamp.get(e) == Some(&self.epoch)).then(|| (self.best[e], self.hops[e] as usize))
+    }
+}
+
 /// Rank the gold answer of `q` against all entities using beam scores.
 /// `known` enables filtered ranking (other true answers are skipped).
 pub fn rank_query<P: RolloutPolicy>(
@@ -236,47 +462,61 @@ pub fn rank_query<P: RolloutPolicy>(
     width: usize,
     steps: usize,
 ) -> RankOutcome {
-    let paths = beam_search(model, graph, q.source, q.relation, width, steps);
-    let mut best: HashMap<EntityId, (f32, usize)> = HashMap::with_capacity(paths.len());
-    for p in &paths {
-        let entry = best.entry(p.entity).or_insert((f32::NEG_INFINITY, 0));
-        if p.logp > entry.0 {
-            *entry = (p.logp, p.hops);
-        }
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<RankScratch> =
+            std::cell::RefCell::new(RankScratch::default());
     }
-    let Some(&(gold_score, gold_hops)) = best.get(&q.answer) else {
-        return RankOutcome {
-            rank: graph.num_entities().max(1),
-            reached: false,
-            hops: 0,
-        };
-    };
-    let rs = graph.relations();
-    let mut rank = 1usize;
-    for (&e, &(score, _)) in &best {
-        if e == q.answer || score <= gold_score {
-            continue;
-        }
-        // Filtered protocol: skip candidates that are themselves true.
-        if let Some(known) = known {
-            let is_known = if rs.is_base(q.relation) {
-                known.contains(q.source, q.relation, e)
-            } else if rs.is_inverse(q.relation) {
-                known.contains(e, rs.inverse(q.relation), q.source)
-            } else {
-                false
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        with_thread_engine(|engine| {
+            engine.run(
+                model,
+                graph,
+                q.source,
+                q.relation,
+                &BeamConfig::exact(width, steps),
+            );
+            scratch.begin(graph.num_entities());
+            for b in engine.frontier() {
+                scratch.observe(b.entity, b.logp, b.hops);
+            }
+        });
+        let Some((gold_score, gold_hops)) = scratch.get(q.answer) else {
+            return RankOutcome {
+                rank: graph.num_entities().max(1),
+                reached: false,
+                hops: 0,
             };
-            if is_known {
+        };
+        let rs = graph.relations();
+        let mut rank = 1usize;
+        for &e in &scratch.touched {
+            let e = EntityId(e);
+            let score = scratch.best[e.index()];
+            if e == q.answer || score <= gold_score {
                 continue;
             }
+            // Filtered protocol: skip candidates that are themselves true.
+            if let Some(known) = known {
+                let is_known = if rs.is_base(q.relation) {
+                    known.contains(q.source, q.relation, e)
+                } else if rs.is_inverse(q.relation) {
+                    known.contains(e, rs.inverse(q.relation), q.source)
+                } else {
+                    false
+                };
+                if is_known {
+                    continue;
+                }
+            }
+            rank += 1;
         }
-        rank += 1;
-    }
-    RankOutcome {
-        rank,
-        reached: true,
-        hops: gold_hops,
-    }
+        RankOutcome {
+            rank,
+            reached: true,
+            hops: gold_hops,
+        }
+    })
 }
 
 /// Aggregate link-prediction metrics (the columns of Tables III/V/VIII).
@@ -356,16 +596,19 @@ pub fn relation_scores<P: RolloutPolicy>(
     width: usize,
     steps: usize,
 ) -> Vec<f32> {
-    candidates
-        .iter()
-        .map(|&r| {
-            beam_search(model, graph, source, r, width, steps)
-                .iter()
-                .filter(|p| p.entity == destination)
-                .map(|p| p.logp)
-                .fold(f32::NEG_INFINITY, f32::max)
-        })
-        .collect()
+    // One warm engine across all candidate relations — no per-relation
+    // cold start, and no path materialization (only the frontier's best
+    // log-prob to `destination` is needed).
+    let cfg = BeamConfig::exact(width, steps);
+    with_thread_engine(|engine| {
+        candidates
+            .iter()
+            .map(|&r| {
+                engine.run(model, graph, source, r, &cfg);
+                engine.best_logp_to(destination)
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 //! println!("final reward {:.3}", report.epochs.last().unwrap().mean_reward);
 //! ```
 
+pub mod beam;
 pub mod config;
 pub mod fusion;
 pub mod infer;
@@ -40,6 +41,7 @@ pub mod reward;
 pub mod rollout;
 pub mod serve;
 
+pub use beam::{beam_search_reference, BeamConfig, BeamEngine, FrontierBeam};
 pub use config::{HistoryEncoder, MmkgrConfig, RewardConfig, Variant};
 pub use fusion::GateAttention;
 pub use infer::{
@@ -52,11 +54,12 @@ pub use reward::{NoShaper, RewardBreakdown, RewardEngine};
 pub use rollout::{demonstration_path, queries_from_triples, EpochStats, TrainReport, Trainer};
 pub use serve::{
     answer_batch, Answer, Candidate, Coverage, Evidence, KgReasoner, PolicyReasoner, Query,
-    ScorerReasoner, ServeConfig,
+    ScorerReasoner, ServeConfig, WorkerPool,
 };
 
 /// Common imports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::beam::{BeamConfig, BeamEngine};
     pub use crate::config::{HistoryEncoder, MmkgrConfig, RewardConfig, Variant};
     pub use crate::infer::{
         beam_search, evaluate_ranking, rank_query, RankingSummary, RolloutPolicy,

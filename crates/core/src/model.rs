@@ -244,40 +244,36 @@ impl MmkgrModel {
 
     /// LSTM input for a step: `[r_emb(last); e_emb(current)]`.
     pub fn raw_lstm_input(&self, last_rel: RelationId, current: EntityId) -> Vec<f32> {
-        let r = self.rel.row(&self.params, last_rel.index());
-        let e = self.ent.row(&self.params, current.index());
-        let mut x = Vec::with_capacity(r.len() + e.len());
-        x.extend_from_slice(r);
-        x.extend_from_slice(e);
+        let mut x = Vec::with_capacity(2 * self.cfg.struct_dim);
+        self.raw_lstm_input_into(last_rel, current, &mut x);
         x
+    }
+
+    /// Allocation-free form of [`Self::raw_lstm_input`]: appends the
+    /// step input to `out` (the beam-engine hot path).
+    pub fn raw_lstm_input_into(&self, last_rel: RelationId, current: EntityId, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.rel.row(&self.params, last_rel.index()));
+        out.extend_from_slice(self.ent.row(&self.params, current.index()));
     }
 
     /// One raw history-encoder step (mirrors [`HistoryCell::forward`] for
     /// batch 1); dispatches on the configured encoder.
     pub fn raw_lstm_step(&self, x: &[f32], h: &mut [f32], c: &mut [f32]) {
         let ds = self.cfg.struct_dim;
+        thread_local! {
+            static GATES: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         match &self.history {
-            HistoryCell::Lstm(cell) => {
+            HistoryCell::Lstm(cell) => GATES.with(|buf| {
+                let gates = &mut *buf.borrow_mut();
                 let wx = self.params.value(cell.wx);
                 let wh = self.params.value(cell.wh);
                 let b = self.params.value(cell.b);
-                let mut gates = b.row(0).to_vec(); // 4*ds
-                for (i, &xv) in x.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    for (g, &w) in gates.iter_mut().zip(wx.row(i)) {
-                        *g += xv * w;
-                    }
-                }
-                for (i, &hv) in h.iter().enumerate() {
-                    if hv == 0.0 {
-                        continue;
-                    }
-                    for (g, &w) in gates.iter_mut().zip(wh.row(i)) {
-                        *g += hv * w;
-                    }
-                }
+                gates.clear();
+                gates.extend_from_slice(b.row(0)); // 4*ds
+                accumulate_sparse(x, wx, gates);
+                accumulate_sparse(h, wh, gates);
                 for k in 0..ds {
                     let i_g = sigmoid(gates[k]);
                     let f_g = sigmoid(gates[ds + k]);
@@ -286,29 +282,16 @@ impl MmkgrModel {
                     c[k] = f_g * c[k] + i_g * g_g;
                     h[k] = o_g * c[k].tanh();
                 }
-            }
+            }),
             HistoryCell::Gru(cell) => {
                 let wx = self.params.value(cell.wx);
                 let wh = self.params.value(cell.wh);
                 let b = self.params.value(cell.b);
                 let mut gx = b.row(0).to_vec(); // 3*ds: r, z, n blocks
-                for (i, &xv) in x.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    for (g, &w) in gx.iter_mut().zip(wx.row(i)) {
-                        *g += xv * w;
-                    }
-                }
-                let mut gh = vec![0.0f32; 2 * ds]; // r, z recurrent blocks
-                for (i, &hv) in h.iter().enumerate() {
-                    if hv == 0.0 {
-                        continue;
-                    }
-                    for (g, &w) in gh.iter_mut().zip(&wh.row(i)[..2 * ds]) {
-                        *g += hv * w;
-                    }
-                }
+                accumulate_sparse(x, wx, &mut gx);
+                // r, z recurrent blocks (rows truncate to 2*ds).
+                let mut gh = vec![0.0f32; 2 * ds];
+                accumulate_sparse(h, wh, &mut gh);
                 let mut r = vec![0.0f32; ds];
                 let mut z = vec![0.0f32; ds];
                 for k in 0..ds {
@@ -335,16 +318,112 @@ impl MmkgrModel {
                 let wm = self.params.value(*w);
                 let a = HistoryCell::EMA_ALPHA;
                 let mut proj = vec![0.0f32; ds];
-                for (i, &xv) in x.iter().enumerate() {
-                    if xv == 0.0 {
+                accumulate_sparse(x, wm, &mut proj);
+                for k in 0..ds {
+                    h[k] = (1.0 - a) * h[k] + a * proj[k].tanh();
+                }
+            }
+        }
+    }
+
+    /// Precompute the input-dependent half of a recurrent step (see
+    /// `RolloutPolicy::prepare_step`): `bias + x·Wx` pre-activations for
+    /// LSTM/GRU, the tanh'd projection for EMA. A pure function of
+    /// `(last_rel, current)` under frozen parameters, so beam search
+    /// memoizes it per traversed edge for a whole query.
+    pub fn raw_prepare_step(&self, last_rel: RelationId, current: EntityId) -> PreparedStep {
+        thread_local! {
+            static X: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        X.with(|buf| {
+            let x = &mut *buf.borrow_mut();
+            x.clear();
+            self.raw_lstm_input_into(last_rel, current, x);
+            let ds = self.cfg.struct_dim;
+            let gx = match &self.history {
+                HistoryCell::Lstm(cell) => {
+                    let wx = self.params.value(cell.wx);
+                    let b = self.params.value(cell.b);
+                    let mut g = b.row(0).to_vec(); // 4*ds
+                    accumulate_sparse(x, wx, &mut g);
+                    g
+                }
+                HistoryCell::Gru(cell) => {
+                    let wx = self.params.value(cell.wx);
+                    let b = self.params.value(cell.b);
+                    let mut g = b.row(0).to_vec(); // 3*ds: r, z, n blocks
+                    accumulate_sparse(x, wx, &mut g);
+                    g
+                }
+                HistoryCell::Ema { w, .. } => {
+                    let wm = self.params.value(*w);
+                    let mut proj = vec![0.0f32; ds];
+                    accumulate_sparse(x, wm, &mut proj);
+                    proj.iter_mut().for_each(|v| *v = v.tanh());
+                    proj
+                }
+            };
+            PreparedStep { gx }
+        })
+    }
+
+    /// [`Self::raw_lstm_step`] with its input half memoized by
+    /// [`Self::raw_prepare_step`]. Bitwise-identical: the recurrent
+    /// accumulation runs in the same order on the same values.
+    pub fn raw_lstm_step_prepared(&self, prep: &PreparedStep, h: &mut [f32], c: &mut [f32]) {
+        let ds = self.cfg.struct_dim;
+        thread_local! {
+            static GATES: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        match &self.history {
+            HistoryCell::Lstm(cell) => GATES.with(|buf| {
+                let gates = &mut *buf.borrow_mut();
+                gates.clear();
+                gates.extend_from_slice(&prep.gx);
+                let wh = self.params.value(cell.wh);
+                accumulate_sparse(h, wh, gates);
+                for k in 0..ds {
+                    let i_g = sigmoid(gates[k]);
+                    let f_g = sigmoid(gates[ds + k]);
+                    let g_g = gates[2 * ds + k].tanh();
+                    let o_g = sigmoid(gates[3 * ds + k]);
+                    c[k] = f_g * c[k] + i_g * g_g;
+                    h[k] = o_g * c[k].tanh();
+                }
+            }),
+            HistoryCell::Gru(cell) => {
+                let wh = self.params.value(cell.wh);
+                let gx = &prep.gx;
+                // r, z recurrent blocks (rows truncate to 2*ds).
+                let mut gh = vec![0.0f32; 2 * ds];
+                accumulate_sparse(h, wh, &mut gh);
+                let mut r = vec![0.0f32; ds];
+                let mut z = vec![0.0f32; ds];
+                for k in 0..ds {
+                    r[k] = sigmoid(gx[k] + gh[k]);
+                    z[k] = sigmoid(gx[ds + k] + gh[ds + k]);
+                }
+                // candidate: tanh(gx_n + (r⊙h)·Whn)
+                let mut n = gx[2 * ds..3 * ds].to_vec();
+                for (i, &hv) in h.iter().enumerate() {
+                    let rh = r[i] * hv;
+                    if rh == 0.0 {
                         continue;
                     }
-                    for (p, &wv) in proj.iter_mut().zip(wm.row(i)) {
-                        *p += xv * wv;
+                    for (acc, &w) in n.iter_mut().zip(&wh.row(i)[2 * ds..3 * ds]) {
+                        *acc += rh * w;
                     }
                 }
                 for k in 0..ds {
-                    h[k] = (1.0 - a) * h[k] + a * proj[k].tanh();
+                    let nk = n[k].tanh();
+                    h[k] = nk + z[k] * (h[k] - nk);
+                }
+            }
+            HistoryCell::Ema { .. } => {
+                let a = HistoryCell::EMA_ALPHA;
+                for (hv, &gx) in h.iter_mut().zip(&prep.gx) {
+                    *hv = (1.0 - a) * *hv + a * gx;
                 }
             }
         }
@@ -386,6 +465,12 @@ impl MmkgrModel {
     }
 
     /// Raw policy probabilities over `actions` for one state.
+    ///
+    /// Beam search calls this width×steps times per query, so the
+    /// `targets` index list and the `y` row reuse thread-local scratch
+    /// (mirroring PR 1's `prepare_score_buffer` fix) instead of
+    /// allocating per call — `&self` stays shared, so reasoners remain
+    /// `Sync` without interior locking.
     pub fn raw_state_probs(
         &self,
         source: EntityId,
@@ -394,40 +479,147 @@ impl MmkgrModel {
         actions: &[Edge],
         out: &mut Vec<f32>,
     ) {
-        let y = self.raw_y_row(source, h, rq);
-        let targets: Vec<usize> = actions.iter().map(|e| e.target.index()).collect();
-        let z = match self.raw_modal_x(&targets) {
-            Some(x) => self.gate.forward_raw(
-                &self.params,
-                &y,
-                &x,
-                self.cfg.use_attention_fusion,
-                self.cfg.use_irrelevance_filtration,
-            ),
-            None => self.gate.bypass_raw(&self.params, &y),
-        };
-        let hz = z.map(|v| v.max(0.0));
-        let proj = hz.matmul(self.params.value(self.w2)); // m×d_a or 1×d_a
-        out.clear();
-        out.reserve(actions.len());
-        let rel_t = self.params.value(self.rel.table);
-        let ent_t = self.params.value(self.ent.table);
-        let ds = self.cfg.struct_dim;
-        for (i, a) in actions.iter().enumerate() {
-            let w = if proj.rows() == actions.len() {
-                proj.row(i)
-            } else {
-                proj.row(0)
-            };
-            let r_emb = rel_t.row(a.relation.index());
-            let e_emb = ent_t.row(a.target.index());
-            let mut s = 0.0f32;
-            for k in 0..ds {
-                s += w[k] * r_emb[k] + w[ds + k] * e_emb[k];
-            }
-            out.push(s);
+        let prep = self.raw_prepare_actions(actions);
+        self.raw_state_probs_group_prepared(source, h, 1, rq, actions, &prep, out)
+    }
+
+    /// Precompute the action-set-dependent half of the raw policy
+    /// forward: modal gathers/projections and the gate's `X`-side
+    /// ([`crate::fusion::PreparedX`]). Everything in here is a pure
+    /// function of `actions` and the (frozen-at-inference) parameters,
+    /// so the beam engine memoizes it per entity for a whole query.
+    pub fn raw_prepare_actions(&self, actions: &[Edge]) -> PreparedActions {
+        thread_local! {
+            static TARGETS: std::cell::RefCell<Vec<usize>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
-        softmax_slice(out);
+        TARGETS.with(|t| {
+            let targets = &mut *t.borrow_mut();
+            targets.clear();
+            targets.extend(actions.iter().map(|e| e.target.index()));
+            let ds = self.cfg.struct_dim;
+            let rel_t = self.params.value(self.rel.table);
+            let ent_t = self.params.value(self.ent.table);
+            let mut a_emb = Matrix::zeros(actions.len(), 2 * ds);
+            for (i, a) in actions.iter().enumerate() {
+                let row = a_emb.row_mut(i);
+                row[..ds].copy_from_slice(rel_t.row(a.relation.index()));
+                row[ds..].copy_from_slice(ent_t.row(a.target.index()));
+            }
+            PreparedActions {
+                px: self
+                    .raw_modal_x(targets)
+                    .map(|x| self.gate.prepare_x(&self.params, &x)),
+                a_emb,
+            }
+        })
+    }
+
+    /// Grouped raw policy forward: probabilities for `states` agent
+    /// states (rows of `hs`, `struct_dim` apart) that all stand at the
+    /// same entity and therefore share `actions` and `prep` (from
+    /// [`Self::raw_prepare_actions`]). Each state pays only its own
+    /// `y`-side. Bitwise-identical to calling [`Self::raw_state_probs`]
+    /// per state; the beam engine's hot path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raw_state_probs_group_prepared(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        prep: &PreparedActions,
+        out: &mut Vec<f32>,
+    ) {
+        thread_local! {
+            static Y_DATA: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        Y_DATA.with(|buf| {
+            let y_data = &mut *buf.borrow_mut();
+            let ds = self.cfg.struct_dim;
+            let es = self.ent.row(&self.params, source.index());
+            let rqe = self.rel.row(&self.params, rq.index());
+            out.clear();
+            out.reserve(states * actions.len());
+            for s in 0..states {
+                y_data.clear();
+                y_data.extend_from_slice(es);
+                y_data.extend_from_slice(&hs[s * ds..(s + 1) * ds]);
+                y_data.extend_from_slice(rqe);
+                let len = y_data.len();
+                let y = Matrix::from_vec(1, len, std::mem::take(y_data));
+                self.raw_probs_one(&y, prep, actions, out);
+                *y_data = y.into_vec();
+            }
+        })
+    }
+
+    /// Grouped raw policy forward without a memoized context (prepares
+    /// then delegates).
+    pub fn raw_state_probs_group(
+        &self,
+        source: EntityId,
+        hs: &[f32],
+        states: usize,
+        rq: RelationId,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        let prep = self.raw_prepare_actions(actions);
+        self.raw_state_probs_group_prepared(source, hs, states, rq, actions, &prep, out)
+    }
+
+    /// One state's probabilities appended to `out` (the shared tail of
+    /// the single and grouped raw forwards). Every intermediate lives in
+    /// thread-local scratch: after warmup a call allocates nothing.
+    fn raw_probs_one(
+        &self,
+        y: &Matrix,
+        prep: &PreparedActions,
+        actions: &[Edge],
+        out: &mut Vec<f32>,
+    ) {
+        thread_local! {
+            static GATE: std::cell::RefCell<(crate::fusion::GateScratch, Matrix)> =
+                std::cell::RefCell::new((crate::fusion::GateScratch::new(), Matrix::zeros(0, 0)));
+        }
+        GATE.with(|g| {
+            let (gs, proj) = &mut *g.borrow_mut();
+            match &prep.px {
+                Some(px) => self.gate.forward_raw_scratch(
+                    &self.params,
+                    y,
+                    px,
+                    self.cfg.use_attention_fusion,
+                    self.cfg.use_irrelevance_filtration,
+                    gs,
+                ),
+                None => y.matmul_into(self.params.value(self.gate.os_proj), &mut gs.z),
+            }
+            gs.z.map_inplace(|v| v.max(0.0)); // ReLU, in place
+            gs.z.matmul_into(self.params.value(self.w2), proj); // m×d_a or 1×d_a
+            let start = out.len();
+            out.reserve(actions.len());
+            let ds = self.cfg.struct_dim;
+            for i in 0..actions.len() {
+                let w = if proj.rows() == actions.len() {
+                    proj.row(i)
+                } else {
+                    proj.row(0)
+                };
+                // a_emb row i = [r_emb; e_emb]: same multiply/add order
+                // as the original scattered-table loop.
+                let emb = prep.a_emb.row(i);
+                let mut s = 0.0f32;
+                for k in 0..ds {
+                    s += w[k] * emb[k] + w[ds + k] * emb[ds + k];
+                }
+                out.push(s);
+            }
+            softmax_slice(&mut out[start..]);
+        })
     }
 
     /// Path embedding for the diversity reward: mean of relation
@@ -474,9 +666,41 @@ impl MmkgrModel {
     }
 }
 
+/// Memoizable action-set context for the raw policy forward (see
+/// [`MmkgrModel::raw_prepare_actions`]).
+pub struct PreparedActions {
+    px: Option<crate::fusion::PreparedX>,
+    /// Per-action `[r_emb; e_emb]` rows (`m × 2·struct_dim`), gathered
+    /// once so the per-state scoring loop reads contiguous memory.
+    a_emb: Matrix,
+}
+
+/// Memoizable input-dependent half of one recurrent step (see
+/// [`MmkgrModel::raw_prepare_step`]): `bias + x·Wx` pre-activations for
+/// LSTM/GRU, the already-tanh'd projection for EMA.
+pub struct PreparedStep {
+    gx: Vec<f32>,
+}
+
 #[inline]
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// `g[j] += x[i] · w[i][j]` for every non-zero `x[i]` (rows truncated to
+/// `g.len()`): the sparse accumulation shared by the unprepared and
+/// memoized recurrent paths. One definition keeps their required
+/// bit-identity structural rather than copy-paste-maintained.
+#[inline]
+fn accumulate_sparse(x: &[f32], w: &Matrix, g: &mut [f32]) {
+    for (i, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        for (gv, &wv) in g.iter_mut().zip(w.row(i)) {
+            *gv += xv * wv;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +821,37 @@ mod tests {
 
             for (a, b) in h_tape.row(0).iter().zip(&h_raw) {
                 assert!((a - b).abs() < 1e-4, "{kind:?}: tape {a} vs raw {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_step_matches_unprepared_for_every_encoder() {
+        // The beam engine's memoized step path must be bitwise-identical
+        // to raw_lstm_input + raw_lstm_step for all three encoders.
+        for kind in [
+            HistoryEncoder::Lstm,
+            HistoryEncoder::Gru,
+            HistoryEncoder::Ema,
+        ] {
+            let kg = generate(&GenConfig::tiny());
+            let mut cfg = MmkgrConfig::quick();
+            cfg.history = kind;
+            let model = MmkgrModel::new(&kg, cfg, None);
+            let ds = model.cfg.struct_dim;
+            let mut h_a = vec![0.3f32; ds];
+            let mut c_a = vec![0.1f32; ds];
+            let mut h_b = h_a.clone();
+            let mut c_b = c_a.clone();
+            for step in 0..3u32 {
+                let (rel, ent) = (RelationId(step % 2), EntityId(step));
+                let x = model.raw_lstm_input(rel, ent);
+                model.raw_lstm_step(&x, &mut h_a, &mut c_a);
+                let prep = model.raw_prepare_step(rel, ent);
+                model.raw_lstm_step_prepared(&prep, &mut h_b, &mut c_b);
+            }
+            for (a, b) in h_a.iter().zip(&h_b).chain(c_a.iter().zip(&c_b)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?}: prepared step diverged");
             }
         }
     }

@@ -19,6 +19,32 @@
 //! batch serving ([`answer_batch`]) are written once against
 //! `Arc<dyn KgReasoner + Send + Sync>`.
 //!
+//! # Serving performance architecture
+//!
+//! Three layers keep the path-reasoner hot loop fast, from the inside
+//! out:
+//!
+//! 1. **Engine** ([`crate::beam::BeamEngine`]): every [`PolicyReasoner`]
+//!    query runs on a thread-local engine — flat SoA frontier, path
+//!    arena, `select_nth` pruning, all scratch owned by the engine — so
+//!    a query after the first allocates only its output. The engine's
+//!    exact mode is bit-identical to the original `beam_search`;
+//!    [`ServeConfig::beam_dedup`] opts a reasoner into the deduplicated
+//!    frontier (one policy forward per unique `(entity, last_rel, hops)`
+//!    state), which is markedly faster at wide beams.
+//! 2. **Cache** ([`ServeConfig::cache_capacity`]): an LRU frontier cache
+//!    keyed by `(source, relation, width, steps)` behind a
+//!    read-concurrent `RwLock`. Repeated queries — the norm for
+//!    RAG-style workloads issuing near-duplicate multi-hop questions —
+//!    return the memoized ranking without touching the engine;
+//!    `top_k` truncation happens after the cache, so any cutoff shares
+//!    one entry. Hits are byte-identical to recomputation.
+//! 3. **Pool** ([`WorkerPool`]): a persistent, channel-fed worker pool
+//!    (engine per worker thread, spawned once) serves batches;
+//!    [`answer_batch`] is a one-shot convenience over the same
+//!    machinery. Work-stealing over an atomic cursor keeps stragglers
+//!    from serializing a batch.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -45,14 +71,16 @@
 //! assert_eq!(answers.len(), queries.len());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 use mmkgr_embed::TripleScorer;
 use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace};
 use serde::{Deserialize, Serialize};
 
-use crate::infer::{beam_search, RolloutPolicy};
+use crate::beam::{with_thread_engine, BeamConfig};
+use crate::infer::RolloutPolicy;
 
 /// A serving request: answer `(source, relation, ?)`.
 ///
@@ -208,6 +236,18 @@ pub struct ServeConfig {
     pub beam_width: usize,
     /// Default step horizon (`T` of the paper) for path reasoners.
     pub max_steps: usize,
+    /// Run the beam engine with frontier deduplication (one policy
+    /// forward per unique state — faster at wide beams, slightly
+    /// different frontier than the exact MINERVA protocol; see
+    /// [`crate::beam`]). Off by default so serving matches evaluation
+    /// bit for bit.
+    #[serde(default)]
+    pub beam_dedup: bool,
+    /// Capacity (entries) of the per-reasoner LRU frontier cache; 0
+    /// disables caching. Each entry holds one untruncated ranking for a
+    /// `(source, relation, width, steps)` key.
+    #[serde(default)]
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -215,7 +255,23 @@ impl Default for ServeConfig {
         ServeConfig {
             beam_width: 32,
             max_steps: 4,
+            beam_dedup: false,
+            cache_capacity: 0,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Enable the LRU frontier cache with `capacity` entries.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Enable frontier deduplication in the beam engine.
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.beam_dedup = dedup;
+        self
     }
 }
 
@@ -271,16 +327,119 @@ fn truncate_top_k(cands: &mut Vec<Candidate>, top_k: usize) {
     }
 }
 
+// ----------------------------------------------------------------- cache
+
+/// One frontier cache identity: per-query beam overrides are part of the
+/// key so differently-shaped searches never alias.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    source: EntityId,
+    relation: RelationId,
+    width: usize,
+    steps: usize,
+}
+
+struct CacheEntry {
+    /// Untruncated, rank-ordered candidates (shared with in-flight hits).
+    ranked: Arc<Vec<Candidate>>,
+    /// Monotone recency tick (LRU victim = smallest).
+    last_used: AtomicU64,
+}
+
+/// Observability counters for the frontier cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// LRU memo of beam-search frontiers. Reads share an `RwLock` read
+/// guard (recency is bumped with a relaxed atomic, not a write lock),
+/// so concurrent hit traffic never serializes; only insertions take the
+/// write lock.
+struct FrontierCache {
+    capacity: usize,
+    map: RwLock<HashMap<CacheKey, CacheEntry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FrontierCache {
+    fn new(capacity: usize) -> Self {
+        FrontierCache {
+            capacity,
+            map: RwLock::new(HashMap::with_capacity(capacity.min(1024))),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Candidate>>> {
+        let map = self.map.read().unwrap();
+        match map.get(key) {
+            Some(entry) => {
+                let now = self.tick.fetch_add(1, Ordering::Relaxed);
+                entry.last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.ranked))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, ranked: Arc<Vec<Candidate>>) {
+        let mut map = self.map.write().unwrap();
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // Evict the least-recently-used entry.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                map.remove(&victim);
+            }
+        }
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(
+            key,
+            CacheEntry {
+                ranked,
+                last_used: AtomicU64::new(now),
+            },
+        );
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.read().unwrap().len(),
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 // ---------------------------------------------------------------- policy
 
-/// Serves any [`RolloutPolicy`] via beam search: candidates are the
+/// Serves any [`RolloutPolicy`] via the beam engine: candidates are the
 /// entities some beam reaches, scored by their best path
-/// log-probability, each carrying that path as [`Evidence`].
+/// log-probability, each carrying that path as [`Evidence`]. Queries run
+/// on a thread-local [`crate::beam::BeamEngine`] and, when
+/// [`ServeConfig::cache_capacity`] is set, repeated `(source, relation,
+/// width, steps)` queries come from the LRU frontier cache.
 pub struct PolicyReasoner<P> {
     name: String,
     policy: P,
     graph: Arc<KnowledgeGraph>,
     cfg: ServeConfig,
+    cache: Option<FrontierCache>,
 }
 
 impl<P: RolloutPolicy> PolicyReasoner<P> {
@@ -295,6 +454,7 @@ impl<P: RolloutPolicy> PolicyReasoner<P> {
             policy,
             graph,
             cfg,
+            cache: (cfg.cache_capacity > 0).then(|| FrontierCache::new(cfg.cache_capacity)),
         }
     }
 
@@ -305,6 +465,61 @@ impl<P: RolloutPolicy> PolicyReasoner<P> {
 
     pub fn graph(&self) -> &Arc<KnowledgeGraph> {
         &self.graph
+    }
+
+    /// Frontier-cache counters (`None` when caching is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Run the beam and aggregate the best path per distinct end entity
+    /// (same aggregation as `infer::rank_query`, so serving and
+    /// evaluation agree). Returns the full rank-ordered candidate list.
+    fn compute_ranked(
+        &self,
+        source: EntityId,
+        relation: RelationId,
+        cfg: &BeamConfig,
+    ) -> Vec<Candidate> {
+        with_thread_engine(|engine| {
+            engine.run(&self.policy, &self.graph, source, relation, cfg);
+            let mut best: Vec<Candidate> = Vec::with_capacity(engine.frontier_len());
+            let mut best_slot: Vec<usize> = Vec::with_capacity(engine.frontier_len());
+            for (slot, b) in engine.frontier().enumerate() {
+                match best.iter().position(|c| c.entity == b.entity) {
+                    Some(i) if best[i].score >= b.logp => {}
+                    Some(i) => {
+                        best[i].score = b.logp;
+                        best[i].evidence = Some(Evidence {
+                            relations: Vec::new(),
+                            hops: b.hops,
+                            logp: b.logp,
+                        });
+                        best_slot[i] = slot;
+                    }
+                    None => {
+                        best.push(Candidate {
+                            entity: b.entity,
+                            score: b.logp,
+                            evidence: Some(Evidence {
+                                relations: Vec::new(),
+                                hops: b.hops,
+                                logp: b.logp,
+                            }),
+                        });
+                        best_slot.push(slot);
+                    }
+                }
+            }
+            // Materialize relation paths only for the winners.
+            for (c, &slot) in best.iter_mut().zip(&best_slot) {
+                if let Some(ev) = &mut c.evidence {
+                    engine.path_into(slot, &mut ev.relations);
+                }
+            }
+            sort_candidates(&mut best);
+            best
+        })
     }
 }
 
@@ -324,45 +539,47 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
     fn answer(&self, query: &Query) -> Answer {
         let width = query.beam.unwrap_or(self.cfg.beam_width);
         let steps = query.steps.unwrap_or(self.cfg.max_steps);
-        let paths = beam_search(
-            &self.policy,
-            &self.graph,
-            query.source,
-            query.relation,
+        let beam_cfg = BeamConfig {
             width,
             steps,
-        );
-        // Best path per distinct end entity (same aggregation as
-        // `infer::rank_query`, so serving and evaluation agree).
-        let mut best: Vec<Candidate> = Vec::with_capacity(paths.len());
-        for p in paths {
-            match best.iter_mut().find(|c| c.entity == p.entity) {
-                Some(c) if c.score >= p.logp => {}
-                Some(c) => {
-                    c.score = p.logp;
-                    c.evidence = Some(Evidence {
-                        relations: p.relations,
-                        hops: p.hops,
-                        logp: p.logp,
-                    });
+            dedup: self.cfg.beam_dedup,
+        };
+        let key = CacheKey {
+            source: query.source,
+            relation: query.relation,
+            width,
+            steps,
+        };
+        // Clone only the top_k prefix out of the shared cache entry
+        // (it is already in rank order; 0 means everything).
+        let prefix = |full: &[Candidate]| -> Vec<Candidate> {
+            let take = if query.top_k == 0 {
+                full.len()
+            } else {
+                query.top_k.min(full.len())
+            };
+            full[..take].to_vec()
+        };
+        let ranked: Vec<Candidate> = match &self.cache {
+            Some(cache) => match cache.get(&key) {
+                Some(hit) => prefix(&hit),
+                None => {
+                    let computed =
+                        Arc::new(self.compute_ranked(query.source, query.relation, &beam_cfg));
+                    cache.insert(key, Arc::clone(&computed));
+                    prefix(&computed)
                 }
-                None => best.push(Candidate {
-                    entity: p.entity,
-                    score: p.logp,
-                    evidence: Some(Evidence {
-                        relations: p.relations,
-                        hops: p.hops,
-                        logp: p.logp,
-                    }),
-                }),
+            },
+            None => {
+                let mut full = self.compute_ranked(query.source, query.relation, &beam_cfg);
+                truncate_top_k(&mut full, query.top_k);
+                full
             }
-        }
-        sort_candidates(&mut best);
-        truncate_top_k(&mut best, query.top_k);
+        };
         Answer {
             query: *query,
             coverage: Coverage::Reached,
-            ranked: best,
+            ranked,
         }
     }
 }
@@ -456,10 +673,167 @@ impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
 
 // ---------------------------------------------------------------- batch
 
-/// Answer a batch of queries, fanning work across `workers` OS threads
-/// sharing the reasoner `Arc`. Results come back in query order and are
-/// identical to calling [`KgReasoner::answer`] sequentially (each query
-/// is answered independently; candidate order is fully deterministic).
+/// Shared state of one in-flight batch. Workers steal indices from
+/// `next`, stash answers locally, then flush under one lock; the worker
+/// that fills the last slot signals `done_tx`. A reasoner panic is
+/// caught, recorded in `panicked`, and re-raised at the submitter (so
+/// the pool's threads survive, matching the old `thread::scope`
+/// behaviour of propagating the panic to the caller).
+struct BatchJob {
+    queries: Arc<Vec<Query>>,
+    next: Arc<AtomicUsize>,
+    slots: Arc<Mutex<Vec<Option<Answer>>>>,
+    filled: Arc<AtomicUsize>,
+    panicked: Arc<Mutex<Option<String>>>,
+    done_tx: mpsc::Sender<()>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A persistent serving pool: `workers` OS threads spawned **once**,
+/// each holding its own clone of the reasoner `Arc` (and, for path
+/// reasoners, its own thread-local beam engine), fed batches over a
+/// channel. Replaces the per-call `thread::scope` fan-out — repeated
+/// small batches no longer pay thread spawn/join latency.
+///
+/// Results come back in query order and are identical to calling
+/// [`KgReasoner::answer`] sequentially (each query is answered
+/// independently; candidate order is fully deterministic). Dropping the
+/// pool closes the channel and joins the workers.
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<BatchJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    pub fn new(reasoner: Arc<dyn KgReasoner + Send + Sync>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<BatchJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let reasoner = Arc::clone(&reasoner);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // One receiver, shared: idle workers block here.
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // pool dropped
+                    };
+                    let total = job.queries.len();
+                    let mut local: Vec<(usize, Answer)> = Vec::new();
+                    loop {
+                        let i = job.next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let reasoner = &reasoner;
+                        let queries = &job.queries;
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            reasoner.answer(&queries[i])
+                        })) {
+                            Ok(a) => local.push((i, a)),
+                            Err(payload) => {
+                                *job.panicked.lock().unwrap() = Some(panic_message(&*payload));
+                                let _ = job.done_tx.send(());
+                                break;
+                            }
+                        }
+                    }
+                    if local.is_empty() {
+                        continue;
+                    }
+                    let count = local.len();
+                    {
+                        let mut slots = job.slots.lock().unwrap();
+                        for (i, a) in local {
+                            slots[i] = Some(a);
+                        }
+                    }
+                    if job.filled.fetch_add(count, Ordering::AcqRel) + count == total {
+                        // Submitter may already have gone away on panic;
+                        // a closed channel is fine.
+                        let _ = job.done_tx.send(());
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Answer a batch on the pool; blocks until every query is answered.
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let queries = Arc::new(queries.to_vec());
+        let next = Arc::new(AtomicUsize::new(0));
+        let slots: Arc<Mutex<Vec<Option<Answer>>>> =
+            Arc::new(Mutex::new((0..queries.len()).map(|_| None).collect()));
+        let filled = Arc::new(AtomicUsize::new(0));
+        let panicked: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let (done_tx, done_rx) = mpsc::channel();
+        let tx = self.tx.as_ref().expect("pool channel open while alive");
+        // Every idle worker gets a handle to the job; late receivers see
+        // an exhausted cursor and move on.
+        for _ in 0..self.workers {
+            tx.send(BatchJob {
+                queries: Arc::clone(&queries),
+                next: Arc::clone(&next),
+                slots: Arc::clone(&slots),
+                filled: Arc::clone(&filled),
+                panicked: Arc::clone(&panicked),
+                done_tx: done_tx.clone(),
+            })
+            .expect("pool workers alive");
+        }
+        drop(done_tx);
+        let signal = done_rx.recv();
+        if let Some(msg) = panicked.lock().unwrap().take() {
+            panic!("WorkerPool: reasoner panicked while answering a batch: {msg}");
+        }
+        signal.expect("batch completion signal");
+        Arc::try_unwrap(slots)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_else(|slots| std::mem::take(&mut *slots.lock().unwrap()))
+            .into_iter()
+            .map(|a| a.expect("every query slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel → workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Answer a batch of queries across `workers` OS threads sharing the
+/// reasoner `Arc`. One-shot convenience over [`WorkerPool`] — services
+/// that answer repeatedly should hold a pool instead and amortize the
+/// spawn. Results come back in query order and are identical to calling
+/// [`KgReasoner::answer`] sequentially.
 pub fn answer_batch(
     reasoner: &Arc<dyn KgReasoner + Send + Sync>,
     queries: &[Query],
@@ -469,43 +843,14 @@ pub fn answer_batch(
     if workers == 1 {
         return queries.iter().map(|q| reasoner.answer(q)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Answer>>> = Mutex::new((0..queries.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let reasoner = Arc::clone(reasoner);
-            let next = &next;
-            let slots = &slots;
-            scope.spawn(move || {
-                // Work-stealing loop: threads pull the next unanswered
-                // query, so stragglers don't serialize the batch.
-                let mut local: Vec<(usize, Answer)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    local.push((i, reasoner.answer(&queries[i])));
-                }
-                let mut slots = slots.lock().unwrap();
-                for (i, a) in local {
-                    slots[i] = Some(a);
-                }
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|a| a.expect("every query slot filled"))
-        .collect()
+    WorkerPool::new(Arc::clone(reasoner), workers).answer_batch(queries)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::MmkgrConfig;
+    use crate::infer::beam_search;
     use crate::model::MmkgrModel;
     use mmkgr_datagen::{generate, GenConfig};
     use mmkgr_kg::Triple;

@@ -429,6 +429,7 @@ impl Harness {
             ServeConfig {
                 beam_width: self.cfg.beam,
                 max_steps: steps,
+                ..ServeConfig::default()
             },
         )
     }

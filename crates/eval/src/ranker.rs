@@ -161,6 +161,7 @@ pub fn eval_policy_entity(
         ServeConfig {
             beam_width: beam,
             max_steps: steps,
+            ..ServeConfig::default()
         },
     );
     eval_reasoner_entity(&reasoner, test, known)

@@ -106,6 +106,8 @@ pub struct ReasonerBuilder {
     cfg: HarnessConfig,
     choice: ModelChoice,
     serve: Option<ServeConfig>,
+    cache_capacity: Option<usize>,
+    beam_dedup: Option<bool>,
 }
 
 impl ReasonerBuilder {
@@ -114,6 +116,8 @@ impl ReasonerBuilder {
             cfg: HarnessConfig::new(dataset, scale),
             choice: ModelChoice::Mmkgr(Variant::Full),
             serve: None,
+            cache_capacity: None,
+            beam_dedup: None,
         }
     }
 
@@ -136,13 +140,36 @@ impl ReasonerBuilder {
         self
     }
 
+    /// Enable the LRU frontier cache on the served reasoner (path
+    /// reasoners only; scorers ignore it). Overrides any capacity set
+    /// via [`Self::serve_config`].
+    pub fn cache(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Run the beam engine with frontier deduplication (see
+    /// `mmkgr_core::beam`). Overrides any flag set via
+    /// [`Self::serve_config`].
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.beam_dedup = Some(dedup);
+        self
+    }
+
     /// Build the dataset + substrates, train the model, and wrap it.
     pub fn build(self) -> BuiltReasoner {
         let harness = Harness::new(self.cfg);
-        let serve = self.serve.unwrap_or(ServeConfig {
+        let mut serve = self.serve.unwrap_or(ServeConfig {
             beam_width: harness.cfg.beam,
             max_steps: 4,
+            ..ServeConfig::default()
         });
+        if let Some(capacity) = self.cache_capacity {
+            serve.cache_capacity = capacity;
+        }
+        if let Some(dedup) = self.beam_dedup {
+            serve.beam_dedup = dedup;
+        }
         let reasoner = build_reasoner(&harness, self.choice, serve);
         BuiltReasoner { reasoner, harness }
     }

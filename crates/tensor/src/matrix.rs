@@ -262,6 +262,26 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshape in place to `rows × cols`, reusing the backing storage
+    /// (growing it if needed) and zeroing every element. The building
+    /// block of the `*_into` ops below: inference hot loops keep a pool
+    /// of scratch matrices alive across calls instead of allocating.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become an element-wise copy of `other` (allocation-free once
+    /// capacity is warm).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     // ---- products ------------------------------------------------------
 
     /// `self · other` — the classic row-major ikj kernel. The inner loop
@@ -286,6 +306,28 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// [`Self::matmul`] into a caller-owned scratch matrix: identical
+    /// kernel (bit-identical output), no allocation once `out` is warm.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n, p) = (self.rows, self.cols, other.cols);
+        out.reset(m, p);
+        for i in 0..m {
+            let arow = &self.data[i * n..(i + 1) * n];
+            let orow = &mut out.data[i * p..(i + 1) * p];
+            for (k, &a) in arow.iter().enumerate() {
+                let brow = &other.data[k * p..(k + 1) * p];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -332,6 +374,30 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// [`Self::matmul_nt`] into a caller-owned scratch matrix: identical
+    /// kernel (bit-identical output), no allocation once `out` is warm.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt_into: {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        out.reset(m, n);
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
     }
 
     /// Materialized transpose.

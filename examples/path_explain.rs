@@ -37,6 +37,7 @@ fn main() {
         ServeConfig {
             beam_width: 16,
             max_steps: 4,
+            ..ServeConfig::default()
         },
     );
     let rs = reasoner.relations();

@@ -478,7 +478,9 @@ fn query_flags(flags: &HashMap<String, String>, kg: &MultiModalKG) -> Result<(u3
     Ok((source, relation))
 }
 
-/// Wrap a loaded checkpoint in the unified serving protocol.
+/// Wrap a loaded checkpoint in the unified serving protocol. Interactive
+/// serving keeps a modest frontier cache so repeated questions in one
+/// session (or one batch file) come back instantly.
 fn reasoner_for_run(
     meta: &RunMeta,
     model: MmkgrModel,
@@ -493,7 +495,9 @@ fn reasoner_for_run(
         ServeConfig {
             beam_width: beam,
             max_steps: steps,
-        },
+            ..ServeConfig::default()
+        }
+        .with_cache(1024),
     )
 }
 

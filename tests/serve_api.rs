@@ -32,6 +32,7 @@ fn built_mmkgr() -> BuiltReasoner {
         .serve_config(ServeConfig {
             beam_width: BEAM,
             max_steps: STEPS,
+            ..ServeConfig::default()
         })
         .build()
 }
