@@ -1,0 +1,235 @@
+//! HTTP serving throughput: the `"http"` section of `BENCH_serve.json`.
+//!
+//! Boots the real [`HttpServer`] (registry → protocol → `std::net`
+//! stack) on an ephemeral port and drives it with closed-loop client
+//! threads issuing one request per connection (the server is
+//! `Connection: close`), so the numbers include connection setup, HTTP
+//! parsing, JSON (de)serialization, and name resolution — the full
+//! remote-serving overhead on top of the in-process engine numbers that
+//! `bench_serve` records.
+//!
+//! Scenarios:
+//!
+//! - `healthz_rps` — protocol floor: accept + parse + tiny JSON body.
+//! - `answer` at 1/2/4 client threads — `POST /v1/answer` over distinct
+//!   queries (beam 8, T=3, cache off ⇒ every request runs the engine).
+//! - `answer_cached_qps` — same route on a cache-enabled model, hot:
+//!   isolates the wire overhead (the engine is out of the loop).
+//! - `answer_batch_qps` — the whole query set as one
+//!   `POST /v1/answer_batch`, fanned out on the server's worker pool.
+//!
+//! Usage: `cargo run --release -p mmkgr-bench --bin bench_http`
+//! (run `bench_serve` first; this merges `"http"` into its
+//! `BENCH_serve.json` in the current directory, creating the file if it
+//! is missing).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mmkgr_core::prelude::*;
+use mmkgr_core::serve::http::request;
+use mmkgr_core::serve::{
+    HttpServer, HttpServerConfig, ModelRegistry, NameIndex, NamedQuery, PolicyReasoner,
+    RunningServer, ServeConfig,
+};
+use mmkgr_datagen::{generate, GenConfig};
+use serde::{Serialize, Value};
+use serde_json::from_str_value;
+
+#[derive(Serialize)]
+struct AnswerLoad {
+    clients: usize,
+    requests: usize,
+    qps: f64,
+}
+
+#[derive(Serialize)]
+struct HttpBench {
+    dataset: String,
+    conn_threads: usize,
+    pool_workers: usize,
+    beam: usize,
+    steps: usize,
+    healthz_rps: f64,
+    answer: Vec<AnswerLoad>,
+    answer_cached_qps: f64,
+    answer_batch_qps: f64,
+}
+
+fn boot(kg: &mmkgr_kg::MultiModalKG, cache: usize) -> RunningServer {
+    let model = MmkgrModel::new(kg, MmkgrConfig::quick(), None);
+    let mut registry = ModelRegistry::new(NameIndex::synthetic(
+        kg.num_entities(),
+        kg.num_base_relations(),
+    ));
+    registry.register(Arc::new(PolicyReasoner::new(
+        "MMKGR",
+        model,
+        Arc::new(kg.graph.clone()),
+        ServeConfig::default().with_cache(cache),
+    )));
+    HttpServer::bind(
+        ("127.0.0.1", 0),
+        Arc::new(registry),
+        HttpServerConfig {
+            conn_threads: 4,
+            pool_workers: 2,
+            ..HttpServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+}
+
+/// Fire `per_client` requests from each of `clients` threads, round-robin
+/// over `bodies` (one connection per request), and return aggregate q/s.
+fn closed_loop(
+    addr: SocketAddr,
+    method: &'static str,
+    path: &'static str,
+    bodies: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                for i in 0..per_client {
+                    let body = &bodies[(c + i * clients) % bodies.len()];
+                    let (status, resp) =
+                        request(addr, method, path, body).expect("request succeeds");
+                    assert_eq!(status, 200, "{resp}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let kg = generate(&GenConfig::tiny());
+    let queries: Vec<NamedQuery> = kg
+        .split
+        .test
+        .iter()
+        .chain(kg.split.valid.iter())
+        .map(|t| {
+            NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                .with_top_k(5)
+                .with_beam(8)
+                .with_steps(3)
+        })
+        .collect();
+    let bodies: Arc<Vec<String>> = Arc::new(
+        queries
+            .iter()
+            .map(|q| {
+                format!(
+                    r#"{{"query": {}}}"#,
+                    serde_json::to_string(q).expect("query serializes")
+                )
+            })
+            .collect(),
+    );
+    let empty = Arc::new(vec![String::new()]);
+
+    println!("HTTP serving bench (tiny dataset, untrained quick model)");
+    let server = boot(&kg, 0);
+    let addr = server.addr();
+
+    // Warm: listener threads, beam engines, client path.
+    closed_loop(addr, "POST", "/v1/answer", Arc::clone(&bodies), 2, 50);
+    let healthz_rps = closed_loop(addr, "GET", "/healthz", Arc::clone(&empty), 4, 400);
+    println!("  GET /healthz: {healthz_rps:.0} req/s (4 clients)");
+
+    let mut answer = Vec::new();
+    for clients in [1, 2, 4] {
+        let per_client = 600 / clients;
+        let qps = closed_loop(
+            addr,
+            "POST",
+            "/v1/answer",
+            Arc::clone(&bodies),
+            clients,
+            per_client,
+        );
+        println!("  POST /v1/answer: {qps:.0} q/s ({clients} client(s), cache off)");
+        answer.push(AnswerLoad {
+            clients,
+            requests: clients * per_client,
+            qps,
+        });
+    }
+
+    // One big batch over the worker pool.
+    let batch_body = format!(
+        r#"{{"queries": [{}]}}"#,
+        queries
+            .iter()
+            .map(|q| serde_json::to_string(q).expect("query serializes"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let (status, _) = request(addr, "POST", "/v1/answer_batch", &batch_body).unwrap();
+    assert_eq!(status, 200);
+    let t = Instant::now();
+    let rounds = 20;
+    for _ in 0..rounds {
+        let (status, _) = request(addr, "POST", "/v1/answer_batch", &batch_body).unwrap();
+        assert_eq!(status, 200);
+    }
+    let answer_batch_qps = (rounds * queries.len()) as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "  POST /v1/answer_batch: {answer_batch_qps:.0} q/s ({} queries/call)",
+        queries.len()
+    );
+    server.shutdown();
+
+    // Cached serving: every request after the warm pass is a frontier
+    // cache hit — what remains is pure wire + resolution overhead.
+    let server = boot(&kg, 4096);
+    let addr = server.addr();
+    closed_loop(
+        addr,
+        "POST",
+        "/v1/answer",
+        Arc::clone(&bodies),
+        2,
+        bodies.len(),
+    );
+    let answer_cached_qps = closed_loop(addr, "POST", "/v1/answer", Arc::clone(&bodies), 4, 300);
+    println!("  POST /v1/answer: {answer_cached_qps:.0} q/s (4 clients, cache hot)");
+    server.shutdown();
+
+    let http = HttpBench {
+        dataset: "tiny".into(),
+        conn_threads: 4,
+        pool_workers: 2,
+        beam: 8,
+        steps: 3,
+        healthz_rps,
+        answer,
+        answer_cached_qps,
+        answer_batch_qps,
+    };
+
+    // Merge into BENCH_serve.json (replacing any previous "http" key).
+    let mut root = match std::fs::read_to_string("BENCH_serve.json") {
+        Ok(text) => match from_str_value(&text) {
+            Ok(Value::Object(entries)) => entries,
+            _ => panic!("BENCH_serve.json is not a JSON object"),
+        },
+        Err(_) => Vec::new(),
+    };
+    root.retain(|(k, _)| k != "http");
+    root.push(("http".to_string(), http.serialize_value()));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("[saved BENCH_serve.json] http section updated");
+}

@@ -364,7 +364,7 @@ impl RolloutPolicy for MmkgrModel {
 }
 
 /// A completed beam: where it ended and how it got there.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BeamPath {
     pub entity: EntityId,
     pub logp: f32,

@@ -1,0 +1,804 @@
+//! A dependency-free HTTP/1.1 front end over a [`ModelRegistry`].
+//!
+//! The workspace builds offline (no hyper/axum), so the server is a
+//! small, explicitly blocking `std::net` stack:
+//!
+//! ```text
+//! accept thread ──▶ mpsc channel ──▶ N connection threads ──▶ registry
+//!                  (queue_depth)         │
+//!                                        └─ /v1/answer_batch fans out on a
+//!                                           per-model serve::WorkerPool
+//! ```
+//!
+//! One thread accepts; a fixed pool of connection threads parses
+//! requests, drives the [`ModelRegistry`] pipelines, and writes
+//! responses. Single answers run on the connection thread itself (each
+//! owns a warm thread-local beam engine); batches fan out on the
+//! per-model [`WorkerPool`]s the server spawns at construction.
+//!
+//! # Routes (protocol `v1` — see [`super::protocol`])
+//!
+//! | route | body | response |
+//! |---|---|---|
+//! | `POST /v1/answer` | [`AnswerRequest`] | [`WireAnswer`](super::protocol::WireAnswer) |
+//! | `POST /v1/answer_batch` | [`AnswerBatchRequest`] | [`AnswerBatchResponse`](super::protocol::AnswerBatchResponse) |
+//! | `POST /v1/explain` | [`ExplainRequest`] | [`ExplainResponse`](super::protocol::ExplainResponse) |
+//! | `GET /v1/models` | — | [`ModelsResponse`](super::protocol::ModelsResponse) |
+//! | `GET /healthz` | — | [`HealthResponse`](super::protocol::HealthResponse) |
+//! | `GET /metrics` | — | [`MetricsResponse`](super::protocol::MetricsResponse) |
+//!
+//! Failures return `{"error": {"code": ..., ...}}` with the
+//! [`ApiError`]'s status. Connections are `Connection: close`
+//! (keep-alive and streaming are roadmap follow-ups); the protocol
+//! lives entirely in the body, so clients are trivial — see
+//! [`request`] and `examples/http_client.rs`.
+//!
+//! # Quickstart
+//!
+//! ```bash
+//! mmkgr serve --dataset wn9 --models MMKGR,ConvE --port 8080 &
+//! curl -s localhost:8080/healthz
+//! curl -s localhost:8080/v1/models
+//! curl -s localhost:8080/v1/answer -d '{"query": {"source": "e17", "relation": "r3"}}'
+//! curl -s localhost:8080/v1/answer -d '{"model": "ConvE", "query": {"source": "e17", "relation": "~r3", "top_k": 3}}'
+//! curl -s localhost:8080/metrics
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::protocol::{
+    AnswerBatchRequest, AnswerRequest, ApiError, ApiResponse, ExplainRequest, MetricsResponse,
+    RouteMetrics, PROTOCOL_VERSION,
+};
+use super::registry::ModelRegistry;
+use super::WorkerPool;
+
+/// Server knobs. The defaults suit tests and small deployments; a real
+/// box mostly wants more `conn_threads`.
+#[derive(Copy, Clone, Debug)]
+pub struct HttpServerConfig {
+    /// Connection-handler threads (each also runs single answers on its
+    /// own warm beam engine).
+    pub conn_threads: usize,
+    /// Worker threads per model for `/v1/answer_batch` fan-out.
+    pub pool_workers: usize,
+    /// Reject request bodies beyond this size (413 `payload_too_large`).
+    pub max_body_bytes: usize,
+    /// Total budget for reading one request (also the per-`read` socket
+    /// timeout and the response write timeout).
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        HttpServerConfig {
+            conn_threads: 4,
+            pool_workers: 2,
+            max_body_bytes: 4 << 20,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Route slots for the per-route counters (fixed set; `Other` absorbs
+/// 404/405 traffic).
+#[derive(Copy, Clone)]
+enum Route {
+    Answer,
+    AnswerBatch,
+    Explain,
+    Models,
+    Healthz,
+    Metrics,
+    Other,
+}
+
+const ROUTE_NAMES: [&str; 7] = [
+    "/v1/answer",
+    "/v1/answer_batch",
+    "/v1/explain",
+    "/v1/models",
+    "/healthz",
+    "/metrics",
+    "(other)",
+];
+
+#[derive(Default)]
+struct RouteCounter {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+/// State shared by the accept thread, connection threads, and handles.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    /// Batch fan-out pools, one per registered model.
+    pools: HashMap<String, WorkerPool>,
+    counters: [RouteCounter; 7],
+    queue_depth: AtomicUsize,
+    stop: AtomicBool,
+    cfg: HttpServerConfig,
+}
+
+impl Shared {
+    fn observe(&self, route: Route, err: bool, elapsed: Duration) {
+        let c = &self.counters[route as usize];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if err {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.latency_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn metrics(&self) -> MetricsResponse {
+        MetricsResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            routes: ROUTE_NAMES
+                .iter()
+                .zip(&self.counters)
+                .map(|(route, c)| RouteMetrics {
+                    route: route.to_string(),
+                    requests: c.requests.load(Ordering::Relaxed),
+                    errors: c.errors.load(Ordering::Relaxed),
+                    latency_ns_total: c.latency_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+            models: self.registry.model_metrics(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server. [`Self::spawn`] starts the
+/// threads and returns the running handle; [`Self::serve`] is the
+/// foreground convenience the CLI uses.
+pub struct HttpServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) over `registry`.
+    /// Spawns one [`WorkerPool`] per registered model for batch fan-out.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        cfg: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let pools = registry
+            .model_names()
+            .iter()
+            .map(|name| {
+                let (_, reasoner) = registry.get(Some(name)).expect("registered model resolves");
+                (
+                    name.clone(),
+                    WorkerPool::new(Arc::clone(reasoner), cfg.pool_workers),
+                )
+            })
+            .collect();
+        Ok(HttpServer {
+            listener,
+            shared: Arc::new(Shared {
+                registry,
+                pools,
+                counters: Default::default(),
+                queue_depth: AtomicUsize::new(0),
+                stop: AtomicBool::new(false),
+                cfg,
+            }),
+        })
+    }
+
+    /// The bound address (read the real port after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Start the accept thread and connection pool; returns immediately.
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.local_addr();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.shared.cfg.conn_threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || loop {
+                    let stream = match rx.lock().unwrap().recv() {
+                        Ok(s) => s,
+                        Err(_) => return, // accept loop gone, queue drained
+                    };
+                    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    handle_connection(stream, &shared);
+                })
+            })
+            .collect();
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // tx drops here: connection threads drain the queue and exit.
+        });
+        RunningServer {
+            addr,
+            shared: self.shared,
+            accept: Some(accept),
+            workers,
+        }
+    }
+
+    /// Serve on the current thread until the process dies (the CLI's
+    /// foreground mode).
+    pub fn serve(self) {
+        let running = self.spawn();
+        running.join();
+    }
+}
+
+/// Handle to a live server: address, metrics, graceful shutdown.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters (same payload as `GET /metrics`).
+    pub fn metrics(&self) -> MetricsResponse {
+        self.shared.metrics()
+    }
+
+    /// Stop accepting, drain queued connections, and join every thread.
+    /// In-flight requests finish; the per-model worker pools join on
+    /// drop.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept() with a throwaway connection. A
+        // wildcard bind (0.0.0.0 / ::) is not connectable everywhere, so
+        // aim the wake-up at loopback on the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(2));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server exits (it only does on [`Self::shutdown`]
+    /// from another handle-holder, so this is effectively forever for
+    /// the CLI).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ------------------------------------------------------------ connection
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    // A client that never reads its response must not pin this thread.
+    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let (status, body) = match read_request(&mut stream, &shared.cfg) {
+        Ok(req) => {
+            let started = Instant::now();
+            let (route, response) = dispatch(&req, shared);
+            let status = response.http_status();
+            shared.observe(route, status >= 400, started.elapsed());
+            (status, response.body())
+        }
+        Err(e) => {
+            let response = ApiResponse::Error(e);
+            shared.observe(Route::Other, true, Duration::ZERO);
+            (response.http_status(), response.body())
+        }
+    };
+    let _ = write_response(&mut stream, status, &body);
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Read one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body). Anything the parser can't stomach becomes a 400
+/// [`ApiError::MalformedRequest`]; bodies beyond
+/// [`HttpServerConfig::max_body_bytes`] a 413
+/// [`ApiError::PayloadTooLarge`]. The whole request must arrive within
+/// `read_timeout` *total* — the per-`read` socket timeout alone would
+/// let a slow-loris client trickle one byte per timeout window and pin
+/// a connection thread indefinitely.
+fn read_request(stream: &mut TcpStream, cfg: &HttpServerConfig) -> Result<HttpRequest, ApiError> {
+    let malformed = |detail: &str| ApiError::MalformedRequest {
+        detail: detail.to_string(),
+    };
+    let started = Instant::now();
+    let max_body = cfg.max_body_bytes;
+    // Read until the end of the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 << 10 {
+            return Err(malformed("header block exceeds 64 KiB"));
+        }
+        if started.elapsed() > cfg.read_timeout {
+            return Err(malformed("request read deadline exceeded"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| malformed(&format!("read: {e}")))?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| malformed("headers are not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(malformed("bad request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed("expected HTTP/1.x"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        // Drain a bounded slice of the refused body so the client can
+        // finish writing and actually read the 413 — closing with
+        // unread data in the socket buffer turns the response into an
+        // RST. Truly huge bodies still get cut off.
+        let mut drained = buf.len().saturating_sub(header_end + 4);
+        while drained < content_length.min(256 << 10) {
+            if started.elapsed() > cfg.read_timeout {
+                break;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+        return Err(ApiError::PayloadTooLarge {
+            limit_bytes: max_body,
+            got_bytes: content_length,
+        });
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        if started.elapsed() > cfg.read_timeout {
+            return Err(malformed("request read deadline exceeded"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| malformed(&format!("read body: {e}")))?;
+        if n == 0 {
+            return Err(malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| malformed("body is not UTF-8"))?;
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// -------------------------------------------------------------- dispatch
+
+fn parse_body<T: serde::Deserialize>(body: &str) -> Result<T, ApiError> {
+    serde_json::from_str(body).map_err(|e| ApiError::MalformedRequest {
+        detail: e.to_string(),
+    })
+}
+
+/// Route and execute one request. Handler panics (a reasoner bug, a
+/// poisoned pool) become 500s instead of killing the connection thread.
+fn dispatch(req: &HttpRequest, shared: &Shared) -> (Route, ApiResponse) {
+    // Health checks and probes often append cache-busting query params;
+    // routing only looks at the path component.
+    let path = req.path.split('?').next().unwrap_or_default();
+    let (route, expect_post) = match path {
+        "/v1/answer" => (Route::Answer, true),
+        "/v1/answer_batch" => (Route::AnswerBatch, true),
+        "/v1/explain" => (Route::Explain, true),
+        "/v1/models" => (Route::Models, false),
+        "/healthz" => (Route::Healthz, false),
+        "/metrics" => (Route::Metrics, false),
+        _ => {
+            return (
+                Route::Other,
+                ApiResponse::Error(ApiError::UnknownRoute {
+                    path: req.path.clone(),
+                }),
+            )
+        }
+    };
+    let method_ok = if expect_post {
+        req.method == "POST"
+    } else {
+        req.method == "GET"
+    };
+    if !method_ok {
+        return (
+            route,
+            ApiResponse::Error(ApiError::MethodNotAllowed {
+                path: req.path.clone(),
+                allowed: if expect_post { "POST" } else { "GET" }.to_string(),
+            }),
+        );
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute(route, &req.body, shared)
+    }));
+    let response = match outcome {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) => ApiResponse::Error(e),
+        Err(_) => ApiResponse::Error(ApiError::Internal {
+            detail: "handler panicked".to_string(),
+        }),
+    };
+    (route, response)
+}
+
+fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, ApiError> {
+    let registry = &shared.registry;
+    Ok(match route {
+        Route::Answer => {
+            let req: AnswerRequest = parse_body(body)?;
+            ApiResponse::Answer(registry.answer(&req)?)
+        }
+        Route::AnswerBatch => {
+            let req: AnswerBatchRequest = parse_body(body)?;
+            let (name, reasoner, queries) = registry.resolve_batch(&req)?;
+            let answers = match shared.pools.get(name) {
+                Some(pool) => pool.answer_batch(&queries),
+                None => queries.iter().map(|q| reasoner.answer(q)).collect(),
+            };
+            ApiResponse::AnswerBatch(registry.render_batch(name, &answers))
+        }
+        Route::Explain => {
+            let req: ExplainRequest = parse_body(body)?;
+            ApiResponse::Explain(registry.explain(&req)?)
+        }
+        Route::Models => ApiResponse::Models(registry.models()),
+        Route::Healthz => ApiResponse::Health(registry.health()),
+        Route::Metrics => ApiResponse::Metrics(shared.metrics()),
+        Route::Other => unreachable!("dispatch handles unknown routes"),
+    })
+}
+
+// ----------------------------------------------------------- test client
+
+/// Minimal blocking HTTP/1.1 client for tests, benches, and examples:
+/// one request per connection (matching the server's `Connection:
+/// close`), returns `(status, body)`.
+///
+/// This is deliberately not a production client — it exists so the
+/// workspace can drive the server without a crates.io HTTP stack.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    // A server may respond-and-close before consuming the whole body
+    // (e.g. a 413); keep going and read whatever response made it out.
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or_default();
+    let body = parts.next().unwrap_or_default().to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::protocol::{NameIndex, NamedQuery, WireAnswer};
+    use super::super::{PolicyReasoner, Query, ServeConfig};
+    use super::*;
+    use crate::config::MmkgrConfig;
+    use crate::model::MmkgrModel;
+    use mmkgr_datagen::{generate, GenConfig};
+
+    fn tiny_server() -> (mmkgr_kg::MultiModalKG, RunningServer) {
+        let kg = generate(&GenConfig::tiny());
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        let mut reg = ModelRegistry::new(NameIndex::synthetic(
+            kg.num_entities(),
+            kg.num_base_relations(),
+        ));
+        reg.register(Arc::new(PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig::default().with_cache(64),
+        )));
+        let server = HttpServer::bind(
+            ("127.0.0.1", 0),
+            Arc::new(reg),
+            HttpServerConfig {
+                conn_threads: 2,
+                pool_workers: 2,
+                max_body_bytes: 8 << 10,
+                ..HttpServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        (kg, server.spawn())
+    }
+
+    #[test]
+    fn healthz_models_and_metrics_respond() {
+        let (_, server) = tiny_server();
+        let addr = server.addr();
+        let (status, body) = request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+
+        // Probes often cache-bust with query params; routing ignores them.
+        let (status, _) = request(addr, "GET", "/healthz?ts=123", "").unwrap();
+        assert_eq!(status, 200);
+
+        let (status, body) = request(addr, "GET", "/v1/models", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"MMKGR\""), "{body}");
+        assert!(body.contains("\"path\""), "{body}");
+
+        let (status, body) = request(addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"queue_depth\""), "{body}");
+        assert!(body.contains("/v1/answer"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn answer_over_http_matches_in_process() {
+        let (kg, server) = tiny_server();
+        let t = kg.split.test[0];
+        let body = serde_json::to_string(&AnswerRequest {
+            model: None,
+            query: NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                .with_top_k(5)
+                .with_beam(8)
+                .with_steps(3),
+        })
+        .unwrap();
+        let (status, resp) = request(server.addr(), "POST", "/v1/answer", &body).unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let wire: WireAnswer = serde_json::from_str(&resp).unwrap();
+
+        // In-process ground truth on an identical model.
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        let reasoner = PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig::default(),
+        );
+        use super::super::KgReasoner;
+        let direct = reasoner.answer(
+            &Query::new(t.s, t.r)
+                .with_top_k(5)
+                .with_beam(8)
+                .with_steps(3),
+        );
+        assert_eq!(wire.ranked.len(), direct.ranked.len());
+        for (w, d) in wire.ranked.iter().zip(&direct.ranked) {
+            assert_eq!(w.entity, format!("e{}", d.entity.0));
+            assert!((w.score - d.score).abs() < 1e-6);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_unroutable_requests_get_typed_errors() {
+        let (_, server) = tiny_server();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "POST", "/v1/answer", "{ not json").unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("malformed_request"), "{body}");
+
+        let (status, body) =
+            request(addr, "POST", "/v1/answer", r#"{"query": {"source": "e0"}}"#).unwrap();
+        assert_eq!(status, 400, "missing relation field is malformed: {body}");
+
+        let (status, body) = request(addr, "GET", "/v2/answer", "").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("unknown_route"), "{body}");
+
+        let (status, body) = request(addr, "GET", "/v1/answer", "").unwrap();
+        assert_eq!(status, 405);
+        assert!(body.contains("method_not_allowed"), "{body}");
+        assert!(body.contains("POST"), "{body}");
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/answer",
+            r#"{"query": {"source": "e999999", "relation": "r0"}}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("unknown_entity"), "{body}");
+
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/v1/answer",
+            r#"{"model": "GPT", "query": {"source": "e0", "relation": "r0"}}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("unknown_model"), "{body}");
+        assert!(
+            body.contains("MMKGR"),
+            "available list names models: {body}"
+        );
+
+        let oversized = "x".repeat(16 << 10);
+        let (status, body) = request(addr, "POST", "/v1/answer", &oversized).unwrap();
+        assert_eq!(status, 413);
+        assert!(body.contains("payload_too_large"), "{body}");
+
+        // Errors are counted.
+        let metrics = server.metrics();
+        let answer_row = metrics
+            .routes
+            .iter()
+            .find(|r| r.route == "/v1/answer")
+            .unwrap();
+        assert!(answer_row.errors >= 4, "{answer_row:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_route_runs_on_the_pool_and_matches_single_answers() {
+        let (kg, server) = tiny_server();
+        let queries: Vec<NamedQuery> = kg
+            .split
+            .test
+            .iter()
+            .take(5)
+            .map(|t| {
+                NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                    .with_top_k(4)
+                    .with_beam(4)
+                    .with_steps(2)
+            })
+            .collect();
+        let body = serde_json::to_string(&AnswerBatchRequest {
+            model: None,
+            queries: queries.clone(),
+        })
+        .unwrap();
+        let (status, resp) = request(server.addr(), "POST", "/v1/answer_batch", &body).unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let batch: super::super::protocol::AnswerBatchResponse =
+            serde_json::from_str(&resp).unwrap();
+        assert_eq!(batch.answers.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch.answers) {
+            let body = serde_json::to_string(&AnswerRequest {
+                model: None,
+                query: q.clone(),
+            })
+            .unwrap();
+            let (_, one) = request(server.addr(), "POST", "/v1/answer", &body).unwrap();
+            let one: WireAnswer = serde_json::from_str(&one).unwrap();
+            assert_eq!(*got, one, "batch answer equals single answer");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let (_, server) = tiny_server();
+        let addr = server.addr();
+        let (status, _) = request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+        // The port stops answering once the server is down.
+        assert!(request(addr, "GET", "/healthz", "").is_err());
+    }
+}

@@ -41,16 +41,31 @@
 //!    one entry. Hits are byte-identical to recomputation.
 //! 3. **Pool** ([`WorkerPool`]): a persistent, channel-fed worker pool
 //!    (engine per worker thread, spawned once) serves batches;
-//!    [`answer_batch`] is a one-shot convenience over the same
-//!    machinery. Work-stealing over an atomic cursor keeps stragglers
-//!    from serializing a batch.
+//!    [`answer_batch`] is a deprecated one-shot convenience over the
+//!    same machinery. Work-stealing over an atomic cursor keeps
+//!    stragglers from serializing a batch.
+//!
+//! # Remote serving
+//!
+//! The in-process surface above is wrapped by three further layers that
+//! turn a reasoner into a network service:
+//!
+//! - [`protocol`]: the versioned (v1) wire protocol — name-based
+//!   [`protocol::NamedQuery`] requests, [`protocol::ApiError`], and the
+//!   JSON envelopes for every route;
+//! - [`registry`]: a [`registry::ModelRegistry`] hosting several named
+//!   reasoners behind one resolution + dispatch surface;
+//! - [`http`]: a dependency-free `std::net` HTTP/1.1 front end
+//!   ([`http::HttpServer`]) exposing the registry at `POST /v1/answer`,
+//!   `POST /v1/answer_batch`, `POST /v1/explain`, `GET /v1/models`,
+//!   `GET /healthz`, and `GET /metrics`.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use mmkgr_core::prelude::*;
-//! use mmkgr_core::serve::{answer_batch, KgReasoner, PolicyReasoner, Query, ServeConfig};
+//! use mmkgr_core::serve::{KgReasoner, PolicyReasoner, Query, ServeConfig, WorkerPool};
 //! use mmkgr_datagen::{generate, GenConfig};
 //!
 //! let kg = generate(&GenConfig::tiny());
@@ -65,9 +80,10 @@
 //! for cand in &answer.ranked {
 //!     println!("{:?} score {:.3}", cand.entity, cand.score);
 //! }
+//! let pool = WorkerPool::new(Arc::clone(&reasoner), 4);
 //! let queries: Vec<Query> =
 //!     kg.split.test.iter().map(|t| Query::new(t.s, t.r)).collect();
-//! let answers = answer_batch(&reasoner, &queries, 4);
+//! let answers = pool.answer_batch(&queries);
 //! assert_eq!(answers.len(), queries.len());
 //! ```
 
@@ -80,7 +96,18 @@ use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace};
 use serde::{Deserialize, Serialize};
 
 use crate::beam::{with_thread_engine, BeamConfig};
-use crate::infer::RolloutPolicy;
+use crate::infer::{BeamPath, RolloutPolicy};
+
+pub mod http;
+pub mod protocol;
+pub mod registry;
+
+pub use http::{HttpServer, HttpServerConfig, RunningServer};
+pub use protocol::{
+    AnswerBatchRequest, AnswerRequest, ApiError, ApiRequest, ApiResponse, ExplainRequest,
+    ModelInfo, NameIndex, NamedQuery, WireAnswer, WireCandidate, WireEvidence, PROTOCOL_VERSION,
+};
+pub use registry::ModelRegistry;
 
 /// A serving request: answer `(source, relation, ?)`.
 ///
@@ -273,7 +300,44 @@ impl ServeConfig {
         self.beam_dedup = dedup;
         self
     }
+
+    /// Reject configurations the beam engine cannot run (zero beam width
+    /// or step horizon), with a typed error instead of a panic deep in
+    /// the search loop.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.beam_width == 0 {
+            return Err(ServeConfigError::ZeroBeamWidth);
+        }
+        if self.max_steps == 0 {
+            return Err(ServeConfigError::ZeroMaxSteps);
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`ServeConfig`] was rejected at reasoner construction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `beam_width == 0`: the beam engine would have no frontier slots.
+    ZeroBeamWidth,
+    /// `max_steps == 0`: the walker could never leave the source.
+    ZeroMaxSteps,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroBeamWidth => {
+                write!(f, "ServeConfig::beam_width must be at least 1")
+            }
+            ServeConfigError::ZeroMaxSteps => {
+                write!(f, "ServeConfig::max_steps must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
 
 /// The unified serving protocol: one query in, ranked answers with
 /// optional path evidence out. Object-safe by design — every consumer
@@ -291,6 +355,27 @@ pub trait KgReasoner {
 
     /// Answer one query.
     fn answer(&self, query: &Query) -> Answer;
+
+    /// Enumerate the raw reasoning paths behind a query — every beam
+    /// slot, including multiple derivations of the same answer entity,
+    /// sorted by descending log-probability. `None` for models without
+    /// path evidence (the KGE scorers).
+    fn explain(&self, query: &Query) -> Option<Vec<BeamPath>> {
+        let _ = query;
+        None
+    }
+
+    /// Frontier-cache counters, for models that cache (`None` otherwise).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Does this reasoner attach reasoning-path [`Evidence`] to answers
+    /// (and implement [`Self::explain`])? Path reasoners say `true`;
+    /// exhaustive KGE scorers keep the default `false`.
+    fn has_path_evidence(&self) -> bool {
+        false
+    }
 }
 
 impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
@@ -308,6 +393,18 @@ impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
 
     fn answer(&self, query: &Query) -> Answer {
         (**self).answer(query)
+    }
+
+    fn explain(&self, query: &Query) -> Option<Vec<BeamPath>> {
+        (**self).explain(query)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
+
+    fn has_path_evidence(&self) -> bool {
+        (**self).has_path_evidence()
     }
 }
 
@@ -443,19 +540,38 @@ pub struct PolicyReasoner<P> {
 }
 
 impl<P: RolloutPolicy> PolicyReasoner<P> {
+    /// Build a reasoner, panicking on an invalid [`ServeConfig`]. Use
+    /// [`Self::try_new`] to handle the error instead — either way the
+    /// config is rejected here, at construction, never deep inside
+    /// [`crate::beam::BeamEngine`] mid-query.
     pub fn new(
         name: impl Into<String>,
         policy: P,
         graph: Arc<KnowledgeGraph>,
         cfg: ServeConfig,
     ) -> Self {
-        PolicyReasoner {
+        match Self::try_new(name, policy, graph, cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("PolicyReasoner: {e}"),
+        }
+    }
+
+    /// Build a reasoner, rejecting an invalid [`ServeConfig`] with a
+    /// typed [`ServeConfigError`].
+    pub fn try_new(
+        name: impl Into<String>,
+        policy: P,
+        graph: Arc<KnowledgeGraph>,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeConfigError> {
+        cfg.validate()?;
+        Ok(PolicyReasoner {
             name: name.into(),
             policy,
             graph,
             cfg,
             cache: (cfg.cache_capacity > 0).then(|| FrontierCache::new(cfg.cache_capacity)),
-        }
+        })
     }
 
     /// The underlying policy (e.g. to hand back to a trainer).
@@ -581,6 +697,42 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
             coverage: Coverage::Reached,
             ranked,
         }
+    }
+
+    /// Raw beam enumeration: one [`BeamPath`] per surviving beam slot
+    /// (already in descending-logp order — the engine's frontier is
+    /// sorted), truncated to `top_k`. Unlike `answer`, distinct
+    /// derivations of the same entity each keep their own path — this is
+    /// what `/v1/explain` and `mmkgr explain` show.
+    fn explain(&self, query: &Query) -> Option<Vec<BeamPath>> {
+        let width = query.beam.unwrap_or(self.cfg.beam_width);
+        let steps = query.steps.unwrap_or(self.cfg.max_steps);
+        let beam_cfg = BeamConfig {
+            width,
+            steps,
+            dedup: self.cfg.beam_dedup,
+        };
+        let mut paths = with_thread_engine(|engine| {
+            engine.search(
+                &self.policy,
+                &self.graph,
+                query.source,
+                query.relation,
+                &beam_cfg,
+            )
+        });
+        if query.top_k > 0 {
+            paths.truncate(query.top_k);
+        }
+        Some(paths)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        PolicyReasoner::cache_stats(self)
+    }
+
+    fn has_path_evidence(&self) -> bool {
+        true
     }
 }
 
@@ -830,10 +982,18 @@ impl Drop for WorkerPool {
 }
 
 /// Answer a batch of queries across `workers` OS threads sharing the
-/// reasoner `Arc`. One-shot convenience over [`WorkerPool`] — services
-/// that answer repeatedly should hold a pool instead and amortize the
-/// spawn. Results come back in query order and are identical to calling
-/// [`KgReasoner::answer`] sequentially.
+/// reasoner `Arc`. One-shot convenience over [`WorkerPool`] — it spawns
+/// and joins a fresh pool on every call, so services that answer
+/// repeatedly pay thread startup each time. Hold a [`WorkerPool`] (as
+/// the HTTP front end does) and call
+/// [`WorkerPool::answer_batch`] instead. Results come back in query
+/// order and are identical to calling [`KgReasoner::answer`]
+/// sequentially.
+#[deprecated(
+    since = "0.2.0",
+    note = "hold a serve::WorkerPool and call WorkerPool::answer_batch; \
+            this free function spawns and joins a pool per call"
+)]
 pub fn answer_batch(
     reasoner: &Arc<dyn KgReasoner + Send + Sync>,
     queries: &[Query],
@@ -847,6 +1007,7 @@ pub fn answer_batch(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated free answer_batch stays pinned by tests
 mod tests {
     use super::*;
     use crate::config::MmkgrConfig;
@@ -1006,6 +1167,108 @@ mod tests {
         let q = [Query::new(EntityId(0), RelationId(0))];
         let one = answer_batch(&r, &q, 1);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn serve_config_zero_params_are_typed_errors() {
+        assert_eq!(
+            ServeConfig {
+                beam_width: 0,
+                ..ServeConfig::default()
+            }
+            .validate(),
+            Err(ServeConfigError::ZeroBeamWidth)
+        );
+        assert_eq!(
+            ServeConfig {
+                max_steps: 0,
+                ..ServeConfig::default()
+            }
+            .validate(),
+            Err(ServeConfigError::ZeroMaxSteps)
+        );
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+
+        let (kg, model) = tiny();
+        let err = PolicyReasoner::try_new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig {
+                beam_width: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .err()
+        .expect("zero beam width must be rejected at construction");
+        assert_eq!(err, ServeConfigError::ZeroBeamWidth);
+        assert!(err.to_string().contains("beam_width"));
+    }
+
+    #[test]
+    fn explain_enumerates_raw_beam_paths() {
+        let (kg, model) = tiny();
+        let t = kg.split.test[0];
+        let direct = beam_search(&model, &kg.graph, t.s, t.r, 8, 3);
+        let r = PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig::default(),
+        );
+        let paths = r
+            .explain(
+                &Query::new(t.s, t.r)
+                    .with_top_k(0)
+                    .with_beam(8)
+                    .with_steps(3),
+            )
+            .expect("path reasoners explain");
+        assert_eq!(paths, direct, "explain must equal raw beam_search");
+        for w in paths.windows(2) {
+            assert!(w[0].logp >= w[1].logp, "paths sorted by descending logp");
+        }
+        let capped = r
+            .explain(
+                &Query::new(t.s, t.r)
+                    .with_top_k(3)
+                    .with_beam(8)
+                    .with_steps(3),
+            )
+            .unwrap();
+        assert_eq!(capped.len(), 3.min(direct.len()));
+        // Scorers have no paths to show.
+        struct Flat;
+        impl TripleScorer for Flat {
+            fn score(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+                0.0
+            }
+        }
+        let s = ScorerReasoner::for_graph("Flat", Flat, &kg.graph);
+        assert!(s.explain(&Query::new(t.s, t.r)).is_none());
+    }
+
+    #[test]
+    fn worker_pool_drop_joins_threads_cleanly() {
+        let (_, r) = policy_reasoner();
+        let queries: Vec<Query> = (0..6)
+            .map(|i| {
+                Query::new(EntityId(i), RelationId(0))
+                    .with_beam(4)
+                    .with_steps(2)
+            })
+            .collect();
+        let pool = WorkerPool::new(Arc::clone(&r), 3);
+        let answers = pool.answer_batch(&queries);
+        assert_eq!(answers.len(), queries.len());
+        drop(pool);
+        // Drop closes the channel and joins every worker; once they are
+        // gone, the only reasoner handle left is ours.
+        assert_eq!(
+            Arc::strong_count(&r),
+            1,
+            "worker threads must drop their reasoner clones on join"
+        );
     }
 
     #[test]

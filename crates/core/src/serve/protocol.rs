@@ -1,0 +1,971 @@
+//! The versioned wire protocol (`v1`) spoken by the HTTP front end.
+//!
+//! In-process callers hold typed [`Query`]s with dense [`EntityId`] /
+//! [`RelationId`] indices. Remote clients don't know the dense id space —
+//! they address entities and relations **by name** and let the server
+//! resolve names against the dataset's id spaces via a [`NameIndex`].
+//! This module defines that boundary:
+//!
+//! - [`NamedQuery`] — the wire query (`source`/`relation` as strings,
+//!   optional `top_k`/`beam`/`steps` overrides);
+//! - [`AnswerRequest`] / [`AnswerBatchRequest`] / [`ExplainRequest`] —
+//!   the request envelope per POST route, each optionally naming a
+//!   `model` from the registry;
+//! - [`WireAnswer`] / [`ExplainResponse`] / [`ModelsResponse`] /
+//!   [`HealthResponse`] / [`MetricsResponse`] — the response envelopes;
+//! - [`ApiError`] — every way a request can fail, as a typed enum with a
+//!   stable wire encoding (`{"code": ..., "message": ..., ...}`) and an
+//!   HTTP status per variant;
+//! - [`ApiRequest`] / [`ApiResponse`] — the typed unions the server
+//!   routes through (on the wire, the route is the tag: `POST
+//!   /v1/answer` carries a bare [`AnswerRequest`] body, never a tagged
+//!   union).
+//!
+//! # Version policy
+//!
+//! The `v1` surface is **frozen**: field names, their meaning, the error
+//! codes, and the route set may only grow, never change or disappear.
+//! Evolution rules:
+//!
+//! - **Additive fields only.** New response fields may appear at any
+//!   time; clients must ignore fields they don't know. New request
+//!   fields must be optional (`#[serde(default)]`) so old clients stay
+//!   valid. The server likewise ignores unknown request fields rather
+//!   than rejecting them, so a newer client degrades gracefully against
+//!   an older server.
+//! - **No re-typing.** A field's JSON type never changes; a breaking
+//!   reshape means a new `/v2/` route family living alongside `/v1/`.
+//! - **Error codes are append-only.** Clients switch on
+//!   [`ApiError::code`]; existing codes keep their meaning and HTTP
+//!   status forever.
+//!
+//! Every response envelope carries a `protocol` field (currently
+//! [`PROTOCOL_VERSION`]) so logs and clients can tell which contract a
+//! payload honours.
+
+use std::collections::HashMap;
+
+use mmkgr_kg::{EntityId, RelationId, RelationSpace};
+use serde::{Deserialize, Serialize, Value};
+
+use super::{Answer, CacheStats, Coverage, Query};
+use crate::infer::BeamPath;
+
+/// The wire protocol generation all envelopes in this module encode.
+pub const PROTOCOL_VERSION: &str = "v1";
+
+fn protocol_version_string() -> String {
+    PROTOCOL_VERSION.to_string()
+}
+
+// --------------------------------------------------------------- requests
+
+/// A name-addressed serving query: the wire twin of [`Query`].
+///
+/// `source` must name an entity and `relation` a relation of the served
+/// dataset. Relations accept a leading `~` for the synthetic inverse
+/// (`{"relation": "~r3"}` asks `(?, r3, source)` — a head query).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NamedQuery {
+    pub source: String,
+    pub relation: String,
+    /// Maximum candidates returned (0 = every candidate). Omitted on the
+    /// wire means [`Query::DEFAULT_TOP_K`], matching the in-process
+    /// default.
+    #[serde(default = "NamedQuery::default_top_k")]
+    pub top_k: usize,
+    /// Beam width override for path reasoners (null/omitted = model
+    /// default). Zero is rejected with [`ApiError::InvalidBeamParams`].
+    #[serde(default)]
+    pub beam: Option<usize>,
+    /// Step-horizon override for path reasoners (null/omitted = model
+    /// default). Zero is rejected with [`ApiError::InvalidBeamParams`].
+    #[serde(default)]
+    pub steps: Option<usize>,
+}
+
+impl NamedQuery {
+    fn default_top_k() -> usize {
+        Query::DEFAULT_TOP_K
+    }
+
+    pub fn new(source: impl Into<String>, relation: impl Into<String>) -> Self {
+        NamedQuery {
+            source: source.into(),
+            relation: relation.into(),
+            top_k: Query::DEFAULT_TOP_K,
+            beam: None,
+            steps: None,
+        }
+    }
+
+    /// Request at most `k` answers (0 = all).
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    pub fn with_beam(mut self, width: usize) -> Self {
+        self.beam = Some(width);
+        self
+    }
+
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+}
+
+/// Body of `POST /v1/answer`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnswerRequest {
+    /// Registry model to query (omitted = the registry default).
+    #[serde(default)]
+    pub model: Option<String>,
+    pub query: NamedQuery,
+}
+
+/// Body of `POST /v1/answer_batch`: one model, many queries, answered on
+/// the server's worker pool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnswerBatchRequest {
+    #[serde(default)]
+    pub model: Option<String>,
+    pub queries: Vec<NamedQuery>,
+}
+
+/// Body of `POST /v1/explain`: like [`AnswerRequest`] but returns raw
+/// reasoning paths (several per entity) instead of a per-entity ranking.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainRequest {
+    #[serde(default)]
+    pub model: Option<String>,
+    pub query: NamedQuery,
+}
+
+/// Typed union of every v1 request. On the wire the route is the tag
+/// (each POST body is the bare inner struct); the server materializes
+/// this union after routing, and tests round-trip it directly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ApiRequest {
+    Answer(AnswerRequest),
+    AnswerBatch(AnswerBatchRequest),
+    Explain(ExplainRequest),
+}
+
+impl ApiRequest {
+    /// The route this request travels on.
+    pub fn route(&self) -> &'static str {
+        match self {
+            ApiRequest::Answer(_) => "/v1/answer",
+            ApiRequest::AnswerBatch(_) => "/v1/answer_batch",
+            ApiRequest::Explain(_) => "/v1/explain",
+        }
+    }
+}
+
+// -------------------------------------------------------------- responses
+
+/// One ranked candidate on the wire: entity by name, score, and (for
+/// path reasoners) the best reasoning path behind it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireCandidate {
+    pub entity: String,
+    pub score: f32,
+    #[serde(default)]
+    pub evidence: Option<WireEvidence>,
+}
+
+/// A reasoning path on the wire: relation names in walk order (inverse
+/// traversals carry the `~` prefix).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireEvidence {
+    pub path: Vec<String>,
+    pub hops: usize,
+    pub logp: f32,
+}
+
+/// Response of `POST /v1/answer`: the wire twin of [`Answer`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireAnswer {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    /// The model that answered (resolved registry name).
+    pub model: String,
+    pub source: String,
+    pub relation: String,
+    pub coverage: Coverage,
+    pub ranked: Vec<WireCandidate>,
+}
+
+impl WireAnswer {
+    /// Render an in-process [`Answer`] for the wire.
+    pub fn from_answer(model: &str, answer: &Answer, names: &NameIndex) -> Self {
+        WireAnswer {
+            protocol: protocol_version_string(),
+            model: model.to_string(),
+            source: names.entity_name(answer.query.source),
+            relation: names.relation_name(answer.query.relation),
+            coverage: answer.coverage,
+            ranked: answer
+                .ranked
+                .iter()
+                .map(|c| WireCandidate {
+                    entity: names.entity_name(c.entity),
+                    score: c.score,
+                    evidence: c.evidence.as_ref().map(|e| WireEvidence {
+                        path: e
+                            .relations
+                            .iter()
+                            .map(|&r| names.relation_name(r))
+                            .collect(),
+                        hops: e.hops,
+                        logp: e.logp,
+                    }),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Response of `POST /v1/answer_batch`: answers in query order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnswerBatchResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub model: String,
+    pub answers: Vec<WireAnswer>,
+}
+
+/// One raw reasoning path of `POST /v1/explain` (unlike
+/// [`WireCandidate`], several paths may end at the same entity).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WirePath {
+    pub entity: String,
+    pub logp: f32,
+    pub hops: usize,
+    pub path: Vec<String>,
+}
+
+/// Response of `POST /v1/explain`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub model: String,
+    pub source: String,
+    pub relation: String,
+    /// Raw beam paths, descending log-probability.
+    pub paths: Vec<WirePath>,
+}
+
+impl ExplainResponse {
+    /// Render raw beam paths for the wire.
+    pub fn from_paths(model: &str, query: &Query, paths: &[BeamPath], names: &NameIndex) -> Self {
+        ExplainResponse {
+            protocol: protocol_version_string(),
+            model: model.to_string(),
+            source: names.entity_name(query.source),
+            relation: names.relation_name(query.relation),
+            paths: paths
+                .iter()
+                .map(|p| WirePath {
+                    entity: names.entity_name(p.entity),
+                    logp: p.logp,
+                    hops: p.hops,
+                    path: p
+                        .relations
+                        .iter()
+                        .map(|&r| names.relation_name(r))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Cache counters on the wire (`GET /v1/models`, `GET /metrics`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCacheStats {
+    pub entries: usize,
+    pub capacity: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl From<CacheStats> for WireCacheStats {
+    fn from(s: CacheStats) -> Self {
+        WireCacheStats {
+            entries: s.entries,
+            capacity: s.capacity,
+            hits: s.hits,
+            misses: s.misses,
+        }
+    }
+}
+
+/// One registry entry in `GET /v1/models`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    pub name: String,
+    /// `"path"` (multi-hop, answers carry evidence) or `"kge"`
+    /// (exhaustive single-hop scorer).
+    pub family: String,
+    pub entities: usize,
+    /// Base (dataset) relations — inverses and NO_OP excluded.
+    pub relations: usize,
+    #[serde(default)]
+    pub cache: Option<WireCacheStats>,
+}
+
+/// Response of `GET /v1/models`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub default_model: String,
+    pub models: Vec<ModelInfo>,
+}
+
+/// Response of `GET /healthz`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub status: String,
+    pub models: usize,
+}
+
+/// Per-route serving counters in `GET /metrics`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteMetrics {
+    pub route: String,
+    pub requests: u64,
+    pub errors: u64,
+    /// Total handling wall time; divide by `requests` for the mean.
+    pub latency_ns_total: u64,
+}
+
+/// Per-model cache counters in `GET /metrics`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelMetrics {
+    pub model: String,
+    #[serde(default)]
+    pub cache: Option<WireCacheStats>,
+}
+
+/// Response of `GET /metrics`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    /// Connections accepted but not yet picked up by a handler thread.
+    pub queue_depth: usize,
+    pub routes: Vec<RouteMetrics>,
+    pub models: Vec<ModelMetrics>,
+}
+
+/// Typed union of every v1 response. Like [`ApiRequest`], the route is
+/// the wire tag: success bodies are the bare inner struct, and errors
+/// travel as `{"error": {...}}` with the variant's HTTP status.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ApiResponse {
+    Answer(WireAnswer),
+    AnswerBatch(AnswerBatchResponse),
+    Explain(ExplainResponse),
+    Models(ModelsResponse),
+    Health(HealthResponse),
+    Metrics(MetricsResponse),
+    Error(ApiError),
+}
+
+impl ApiResponse {
+    /// HTTP status this response travels with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiResponse::Error(e) => e.http_status(),
+            _ => 200,
+        }
+    }
+
+    /// The JSON body: the bare payload for successes, `{"error": ...}`
+    /// for failures.
+    pub fn body(&self) -> String {
+        let value = match self {
+            ApiResponse::Answer(x) => x.serialize_value(),
+            ApiResponse::AnswerBatch(x) => x.serialize_value(),
+            ApiResponse::Explain(x) => x.serialize_value(),
+            ApiResponse::Models(x) => x.serialize_value(),
+            ApiResponse::Health(x) => x.serialize_value(),
+            ApiResponse::Metrics(x) => x.serialize_value(),
+            ApiResponse::Error(e) => {
+                Value::Object(vec![("error".to_string(), e.serialize_value())])
+            }
+        };
+        serde_json::to_string(&value).expect("value tree renders")
+    }
+}
+
+// ----------------------------------------------------------------- errors
+
+/// Every way a v1 request can fail, with a stable wire encoding:
+///
+/// ```json
+/// {"code": "unknown_entity", "message": "...", "name": "e999"}
+/// ```
+///
+/// `code` and the variant's extra fields are the machine contract;
+/// `message` is advisory prose (regenerated server-side, ignored on
+/// parse). Codes are append-only — see the module's version policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiError {
+    /// The requested model is not in the registry.
+    UnknownModel {
+        model: String,
+        available: Vec<String>,
+    },
+    /// `source` does not name an entity of the served dataset.
+    UnknownEntity { name: String },
+    /// `relation` does not name a relation of the served dataset.
+    UnknownRelation { name: String },
+    /// Unusable beam overrides (`beam: 0` / `steps: 0`) or an empty
+    /// batch.
+    InvalidBeamParams { detail: String },
+    /// Body was not valid JSON for the route's request type.
+    MalformedRequest { detail: String },
+    /// Body exceeds the server's size limit.
+    PayloadTooLarge {
+        limit_bytes: usize,
+        got_bytes: usize,
+    },
+    /// No route at this path.
+    UnknownRoute { path: String },
+    /// Route exists, wrong method (`allowed` names the right one).
+    MethodNotAllowed { path: String, allowed: String },
+    /// The server failed while answering.
+    Internal { detail: String },
+}
+
+impl ApiError {
+    /// The stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::UnknownModel { .. } => "unknown_model",
+            ApiError::UnknownEntity { .. } => "unknown_entity",
+            ApiError::UnknownRelation { .. } => "unknown_relation",
+            ApiError::InvalidBeamParams { .. } => "invalid_beam_params",
+            ApiError::MalformedRequest { .. } => "malformed_request",
+            ApiError::PayloadTooLarge { .. } => "payload_too_large",
+            ApiError::UnknownRoute { .. } => "unknown_route",
+            ApiError::MethodNotAllowed { .. } => "method_not_allowed",
+            ApiError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The HTTP status this error travels with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiError::UnknownModel { .. }
+            | ApiError::UnknownEntity { .. }
+            | ApiError::UnknownRelation { .. }
+            | ApiError::UnknownRoute { .. } => 404,
+            ApiError::InvalidBeamParams { .. } | ApiError::MalformedRequest { .. } => 400,
+            ApiError::PayloadTooLarge { .. } => 413,
+            ApiError::MethodNotAllowed { .. } => 405,
+            ApiError::Internal { .. } => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::UnknownModel { model, available } => {
+                write!(
+                    f,
+                    "unknown model `{model}` (available: {})",
+                    available.join(", ")
+                )
+            }
+            ApiError::UnknownEntity { name } => write!(f, "unknown entity `{name}`"),
+            ApiError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            ApiError::InvalidBeamParams { detail } => write!(f, "invalid beam params: {detail}"),
+            ApiError::MalformedRequest { detail } => write!(f, "malformed request: {detail}"),
+            ApiError::PayloadTooLarge {
+                limit_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "body of {got_bytes} bytes exceeds the {limit_bytes}-byte limit"
+            ),
+            ApiError::UnknownRoute { path } => write!(f, "no route at `{path}`"),
+            ApiError::MethodNotAllowed { path, allowed } => {
+                write!(f, "method not allowed at `{path}` (use {allowed})")
+            }
+            ApiError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+// The flat `{"code": ..., fields...}` wire shape is hand-rolled: the
+// derive would emit the externally-tagged `{"UnknownModel": {...}}`
+// form, which is a worse contract for non-Rust clients.
+impl Serialize for ApiError {
+    fn serialize_value(&self) -> Value {
+        fn str_field(k: &str, v: &str) -> (String, Value) {
+            (k.to_string(), Value::Str(v.to_string()))
+        }
+        let mut fields: Vec<(String, Value)> = vec![
+            str_field("code", self.code()),
+            str_field("message", &self.to_string()),
+        ];
+        match self {
+            ApiError::UnknownModel { model, available } => {
+                fields.push(str_field("model", model));
+                fields.push((
+                    "available".to_string(),
+                    Value::Array(available.iter().map(|m| Value::Str(m.clone())).collect()),
+                ));
+            }
+            ApiError::UnknownEntity { name } | ApiError::UnknownRelation { name } => {
+                fields.push(str_field("name", name))
+            }
+            ApiError::InvalidBeamParams { detail }
+            | ApiError::MalformedRequest { detail }
+            | ApiError::Internal { detail } => fields.push(str_field("detail", detail)),
+            ApiError::PayloadTooLarge {
+                limit_bytes,
+                got_bytes,
+            } => {
+                fields.push(("limit_bytes".to_string(), Value::U64(*limit_bytes as u64)));
+                fields.push(("got_bytes".to_string(), Value::U64(*got_bytes as u64)));
+            }
+            ApiError::UnknownRoute { path } => fields.push(str_field("path", path)),
+            ApiError::MethodNotAllowed { path, allowed } => {
+                fields.push(str_field("path", path));
+                fields.push(str_field("allowed", allowed));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ApiError {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::DeError> {
+        let field = |k: &str| -> Result<String, serde::DeError> {
+            v.get_field(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| serde::DeError::new(format!("ApiError: missing field `{k}`")))
+        };
+        let code = field("code")?;
+        Ok(match code.as_str() {
+            "unknown_model" => ApiError::UnknownModel {
+                model: field("model")?,
+                available: match v.get_field("available") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|m| {
+                            m.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| serde::DeError::expected("model name string", m))
+                        })
+                        .collect::<Result<_, _>>()?,
+                    _ => Vec::new(),
+                },
+            },
+            "unknown_entity" => ApiError::UnknownEntity {
+                name: field("name")?,
+            },
+            "unknown_relation" => ApiError::UnknownRelation {
+                name: field("name")?,
+            },
+            "invalid_beam_params" => ApiError::InvalidBeamParams {
+                detail: field("detail")?,
+            },
+            "malformed_request" => ApiError::MalformedRequest {
+                detail: field("detail")?,
+            },
+            "payload_too_large" => {
+                let num = |k: &str| -> Result<usize, serde::DeError> {
+                    v.get_field(k)
+                        .and_then(Value::as_u64)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| {
+                            serde::DeError::new(format!("ApiError: missing field `{k}`"))
+                        })
+                };
+                ApiError::PayloadTooLarge {
+                    limit_bytes: num("limit_bytes")?,
+                    got_bytes: num("got_bytes")?,
+                }
+            }
+            "unknown_route" => ApiError::UnknownRoute {
+                path: field("path")?,
+            },
+            "method_not_allowed" => ApiError::MethodNotAllowed {
+                path: field("path")?,
+                allowed: field("allowed")?,
+            },
+            "internal" => ApiError::Internal {
+                detail: field("detail")?,
+            },
+            other => {
+                return Err(serde::DeError::new(format!(
+                    "ApiError: unknown code `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+// ------------------------------------------------------------- name index
+
+/// Bidirectional entity/relation name ↔ dense-id mapping for one served
+/// dataset: the server half of name-based query resolution.
+///
+/// Relation names cover the **base** relations; the synthetic inverse of
+/// base relation `x` is addressed as `~x` (and rendered the same way in
+/// evidence paths), so head queries need no extra id space on the wire.
+#[derive(Clone, Debug)]
+pub struct NameIndex {
+    entities: Vec<String>,
+    entity_ids: HashMap<String, u32>,
+    relations: Vec<String>,
+    relation_ids: HashMap<String, u32>,
+    rs: RelationSpace,
+}
+
+impl NameIndex {
+    /// Build from explicit name tables (e.g. a TSV [`Vocab`]'s
+    /// `entities`/`relations`, or any external symbol table).
+    ///
+    /// [`Vocab`]: mmkgr_kg::io::Vocab
+    pub fn new(entities: Vec<String>, relations: Vec<String>) -> Self {
+        let entity_ids = entities
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        let relation_ids = relations
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        let rs = RelationSpace::new(relations.len());
+        NameIndex {
+            entities,
+            entity_ids,
+            relations,
+            relation_ids,
+            rs,
+        }
+    }
+
+    /// The synthetic-dataset convention: entities `e0..`, base relations
+    /// `r0..` — matching `mmkgr generate`'s TSV export.
+    pub fn synthetic(num_entities: usize, num_base_relations: usize) -> Self {
+        Self::new(
+            (0..num_entities).map(|e| format!("e{e}")).collect(),
+            (0..num_base_relations).map(|r| format!("r{r}")).collect(),
+        )
+    }
+
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    pub fn relation_space(&self) -> RelationSpace {
+        self.rs
+    }
+
+    /// Resolve an entity name.
+    pub fn resolve_entity(&self, name: &str) -> Result<EntityId, ApiError> {
+        self.entity_ids
+            .get(name)
+            .map(|&id| EntityId(id))
+            .ok_or_else(|| ApiError::UnknownEntity {
+                name: name.to_string(),
+            })
+    }
+
+    /// Resolve a relation name; `~name` resolves to the synthetic
+    /// inverse of base relation `name`.
+    pub fn resolve_relation(&self, name: &str) -> Result<RelationId, ApiError> {
+        let (base_name, inverse) = match name.strip_prefix('~') {
+            Some(rest) => (rest, true),
+            None => (name, false),
+        };
+        let base = self
+            .relation_ids
+            .get(base_name)
+            .map(|&id| RelationId(id))
+            .ok_or_else(|| ApiError::UnknownRelation {
+                name: name.to_string(),
+            })?;
+        Ok(if inverse { self.rs.inverse(base) } else { base })
+    }
+
+    /// Render an entity id (falls back to the `e{id}` convention for ids
+    /// beyond the table — never panics on server data).
+    pub fn entity_name(&self, e: EntityId) -> String {
+        self.entities
+            .get(e.index())
+            .cloned()
+            .unwrap_or_else(|| format!("e{}", e.0))
+    }
+
+    /// Render a relation id: base relations by name, inverses as
+    /// `~name`, the NO_OP as `~stay~` (it never appears in evidence).
+    pub fn relation_name(&self, r: RelationId) -> String {
+        if r == self.rs.no_op() {
+            return "~stay~".to_string();
+        }
+        let (base, prefix) = if self.rs.is_inverse(r) {
+            (self.rs.inverse(r), "~")
+        } else {
+            (r, "")
+        };
+        match self.relations.get(base.index()) {
+            Some(name) => format!("{prefix}{name}"),
+            None => format!("{prefix}r{}", base.0),
+        }
+    }
+
+    /// Resolve a full wire query against this index, validating beam
+    /// overrides (zero width/steps are unusable and rejected here with a
+    /// typed error, long before the beam engine could choke on them).
+    pub fn resolve_query(&self, q: &NamedQuery) -> Result<Query, ApiError> {
+        if q.beam == Some(0) {
+            return Err(ApiError::InvalidBeamParams {
+                detail: "beam must be at least 1".to_string(),
+            });
+        }
+        if q.steps == Some(0) {
+            return Err(ApiError::InvalidBeamParams {
+                detail: "steps must be at least 1".to_string(),
+            });
+        }
+        Ok(Query {
+            source: self.resolve_entity(&q.source)?,
+            relation: self.resolve_relation(&q.relation)?,
+            top_k: q.top_k,
+            beam: q.beam,
+            steps: q.steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> NameIndex {
+        NameIndex::synthetic(5, 3)
+    }
+
+    #[test]
+    fn named_query_defaults_match_in_process_defaults() {
+        let q: NamedQuery = serde_json::from_str(r#"{"source": "e1", "relation": "r0"}"#).unwrap();
+        assert_eq!(q.top_k, Query::DEFAULT_TOP_K);
+        assert_eq!(q.beam, None);
+        assert_eq!(q.steps, None);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let req = ApiRequest::Answer(AnswerRequest {
+            model: Some("MMKGR".to_string()),
+            query: NamedQuery::new("e1", "r2").with_top_k(3).with_beam(8),
+        });
+        let s = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<ApiRequest>(&s).unwrap(), req);
+
+        let batch = ApiRequest::AnswerBatch(AnswerBatchRequest {
+            model: None,
+            queries: vec![NamedQuery::new("e0", "~r1"), NamedQuery::new("e2", "r0")],
+        });
+        let s = serde_json::to_string(&batch).unwrap();
+        assert_eq!(serde_json::from_str::<ApiRequest>(&s).unwrap(), batch);
+
+        let explain = ApiRequest::Explain(ExplainRequest {
+            model: None,
+            query: NamedQuery::new("e4", "r1").with_steps(2),
+        });
+        let s = serde_json::to_string(&explain).unwrap();
+        assert_eq!(serde_json::from_str::<ApiRequest>(&s).unwrap(), explain);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = ApiResponse::Answer(WireAnswer {
+            protocol: PROTOCOL_VERSION.to_string(),
+            model: "MMKGR".to_string(),
+            source: "e1".to_string(),
+            relation: "r2".to_string(),
+            coverage: Coverage::Reached,
+            ranked: vec![WireCandidate {
+                entity: "e3".to_string(),
+                score: -1.25,
+                evidence: Some(WireEvidence {
+                    path: vec!["r2".to_string(), "~r0".to_string()],
+                    hops: 2,
+                    logp: -1.25,
+                }),
+            }],
+        });
+        let s = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<ApiResponse>(&s).unwrap(), resp);
+        assert_eq!(resp.http_status(), 200);
+        assert!(resp.body().contains("\"ranked\""));
+    }
+
+    #[test]
+    fn api_errors_roundtrip_with_flat_codes() {
+        let cases = vec![
+            ApiError::UnknownModel {
+                model: "GPT".to_string(),
+                available: vec!["MMKGR".to_string(), "ConvE".to_string()],
+            },
+            ApiError::UnknownEntity {
+                name: "e999".to_string(),
+            },
+            ApiError::UnknownRelation {
+                name: "~r77".to_string(),
+            },
+            ApiError::InvalidBeamParams {
+                detail: "beam must be at least 1".to_string(),
+            },
+            ApiError::MalformedRequest {
+                detail: "expected object".to_string(),
+            },
+            ApiError::PayloadTooLarge {
+                limit_bytes: 4 << 20,
+                got_bytes: 9_000_000,
+            },
+            ApiError::UnknownRoute {
+                path: "/v2/answer".to_string(),
+            },
+            ApiError::MethodNotAllowed {
+                path: "/v1/answer".to_string(),
+                allowed: "POST".to_string(),
+            },
+            ApiError::Internal {
+                detail: "worker died".to_string(),
+            },
+        ];
+        for e in cases {
+            let s = serde_json::to_string(&e).unwrap();
+            assert!(
+                s.contains(&format!("\"code\": \"{}\"", e.code()))
+                    || s.contains(&format!("\"code\":\"{}\"", e.code())),
+                "flat code field on the wire: {s}"
+            );
+            let back: ApiError = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn error_statuses_follow_the_contract() {
+        assert_eq!(
+            ApiError::UnknownEntity { name: "x".into() }.http_status(),
+            404
+        );
+        assert_eq!(
+            ApiError::MalformedRequest { detail: "x".into() }.http_status(),
+            400
+        );
+        assert_eq!(
+            ApiError::MethodNotAllowed {
+                path: "/v1/answer".into(),
+                allowed: "POST".into()
+            }
+            .http_status(),
+            405
+        );
+        assert_eq!(ApiError::Internal { detail: "x".into() }.http_status(), 500);
+        assert_eq!(
+            ApiError::PayloadTooLarge {
+                limit_bytes: 1,
+                got_bytes: 2
+            }
+            .http_status(),
+            413
+        );
+        let err = ApiResponse::Error(ApiError::UnknownRoute {
+            path: "/nope".into(),
+        });
+        assert_eq!(err.http_status(), 404);
+        assert!(err.body().starts_with("{\"error\":"));
+    }
+
+    #[test]
+    fn name_index_resolves_both_directions() {
+        let idx = index();
+        assert_eq!(idx.resolve_entity("e3").unwrap(), EntityId(3));
+        assert_eq!(idx.resolve_relation("r1").unwrap(), RelationId(1));
+        // `~` addresses the synthetic inverse.
+        let rs = idx.relation_space();
+        assert_eq!(
+            idx.resolve_relation("~r1").unwrap(),
+            rs.inverse(RelationId(1))
+        );
+        assert_eq!(idx.relation_name(rs.inverse(RelationId(1))), "~r1");
+        assert_eq!(idx.entity_name(EntityId(3)), "e3");
+        assert_eq!(idx.relation_name(RelationId(1)), "r1");
+
+        assert_eq!(
+            idx.resolve_entity("e99"),
+            Err(ApiError::UnknownEntity { name: "e99".into() })
+        );
+        assert_eq!(
+            idx.resolve_relation("nope"),
+            Err(ApiError::UnknownRelation {
+                name: "nope".into()
+            })
+        );
+        assert_eq!(
+            idx.resolve_relation("~nope"),
+            Err(ApiError::UnknownRelation {
+                name: "~nope".into()
+            })
+        );
+    }
+
+    #[test]
+    fn resolve_query_validates_beam_params() {
+        let idx = index();
+        let q = idx
+            .resolve_query(&NamedQuery::new("e2", "~r0").with_top_k(0).with_beam(16))
+            .unwrap();
+        assert_eq!(q.source, EntityId(2));
+        assert_eq!(q.relation, idx.relation_space().inverse(RelationId(0)));
+        assert_eq!(q.top_k, 0);
+        assert_eq!(q.beam, Some(16));
+
+        let zero_beam = idx.resolve_query(&NamedQuery::new("e2", "r0").with_beam(0));
+        assert!(matches!(zero_beam, Err(ApiError::InvalidBeamParams { .. })));
+        let zero_steps = idx.resolve_query(&NamedQuery::new("e2", "r0").with_steps(0));
+        assert!(matches!(
+            zero_steps,
+            Err(ApiError::InvalidBeamParams { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_vocab_names_resolve() {
+        let idx = NameIndex::new(
+            vec!["paris".into(), "france".into()],
+            vec!["capital_of".into()],
+        );
+        assert_eq!(idx.resolve_entity("paris").unwrap(), EntityId(0));
+        assert_eq!(idx.resolve_relation("capital_of").unwrap(), RelationId(0));
+        assert_eq!(
+            idx.relation_name(idx.relation_space().inverse(RelationId(0))),
+            "~capital_of"
+        );
+    }
+}

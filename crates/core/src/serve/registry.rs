@@ -1,0 +1,434 @@
+//! [`ModelRegistry`]: several named reasoners behind one resolution +
+//! dispatch surface.
+//!
+//! A serving process hosts one dataset (one [`NameIndex`]) and any
+//! number of models over it — the full MMKGR variant next to ablations,
+//! walkers, and KGE scorers. The registry is the glue between the wire
+//! protocol and the in-process [`KgReasoner`]s:
+//!
+//! 1. pick the model (`"model"` field, falling back to the default);
+//! 2. resolve the [`NamedQuery`]'s entity/relation strings to dense ids
+//!    (validating beam overrides);
+//! 3. dispatch to the reasoner;
+//! 4. render the typed [`Answer`] back to names for the wire.
+//!
+//! Every step fails with a typed [`ApiError`], so the HTTP layer is a
+//! dumb pipe: parse body → call registry → serialize result.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::protocol::{
+    AnswerBatchRequest, AnswerBatchResponse, AnswerRequest, ApiError, ExplainRequest,
+    ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, NameIndex,
+    NamedQuery, WireAnswer, PROTOCOL_VERSION,
+};
+use super::{Answer, KgReasoner, Query};
+
+/// A shared, immutable-after-construction table of named reasoners plus
+/// the name index they serve under. Build it once, wrap it in an `Arc`,
+/// and hand it to [`super::http::HttpServer`] (or call the request
+/// pipelines directly for in-process use and tests).
+pub struct ModelRegistry {
+    names: NameIndex,
+    order: Vec<String>,
+    models: HashMap<String, Arc<dyn KgReasoner + Send + Sync>>,
+    default_model: Option<String>,
+}
+
+impl ModelRegistry {
+    pub fn new(names: NameIndex) -> Self {
+        ModelRegistry {
+            names,
+            order: Vec::new(),
+            models: HashMap::new(),
+            default_model: None,
+        }
+    }
+
+    /// Register a reasoner under its own [`KgReasoner::name`]. The first
+    /// registration becomes the default model; re-registering a name
+    /// replaces the model and keeps its position.
+    pub fn register(&mut self, reasoner: Arc<dyn KgReasoner + Send + Sync>) -> &mut Self {
+        let name = reasoner.name().to_string();
+        self.register_as(name, reasoner)
+    }
+
+    /// Register under an explicit name (e.g. `"MMKGR@wide"` for a second
+    /// config of the same model).
+    pub fn register_as(
+        &mut self,
+        name: impl Into<String>,
+        reasoner: Arc<dyn KgReasoner + Send + Sync>,
+    ) -> &mut Self {
+        let name = name.into();
+        if self.models.insert(name.clone(), reasoner).is_none() {
+            self.order.push(name.clone());
+        }
+        if self.default_model.is_none() {
+            self.default_model = Some(name);
+        }
+        self
+    }
+
+    /// Make `name` the model unnamed requests hit.
+    pub fn set_default(&mut self, name: &str) -> Result<(), ApiError> {
+        if !self.models.contains_key(name) {
+            return Err(self.unknown_model(name));
+        }
+        self.default_model = Some(name.to_string());
+        Ok(())
+    }
+
+    pub fn names(&self) -> &NameIndex {
+        &self.names
+    }
+
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Registered model names, in registration order.
+    pub fn model_names(&self) -> &[String] {
+        &self.order
+    }
+
+    pub fn default_model(&self) -> Option<&str> {
+        self.default_model.as_deref()
+    }
+
+    fn unknown_model(&self, name: &str) -> ApiError {
+        ApiError::UnknownModel {
+            model: name.to_string(),
+            available: self.order.clone(),
+        }
+    }
+
+    /// Resolve a request's model choice to `(registry name, reasoner)`.
+    /// The returned name is the registry's own `String` (stable for
+    /// responses, independent of the request buffer's lifetime).
+    pub fn get(
+        &self,
+        model: Option<&str>,
+    ) -> Result<(&str, &Arc<dyn KgReasoner + Send + Sync>), ApiError> {
+        let name = match model {
+            Some(m) => m,
+            None => self
+                .default_model
+                .as_deref()
+                .ok_or_else(|| ApiError::Internal {
+                    detail: "registry has no models".to_string(),
+                })?,
+        };
+        match self.models.get_key_value(name) {
+            Some((canonical, r)) => Ok((canonical.as_str(), r)),
+            None => Err(self.unknown_model(name)),
+        }
+    }
+
+    // -------------------------------------------------- request pipelines
+
+    /// Full `POST /v1/answer` pipeline.
+    pub fn answer(&self, req: &AnswerRequest) -> Result<WireAnswer, ApiError> {
+        let (name, reasoner) = self.get(req.model.as_deref())?;
+        let query = self.names.resolve_query(&req.query)?;
+        let answer = reasoner.answer(&query);
+        Ok(WireAnswer::from_answer(name, &answer, &self.names))
+    }
+
+    /// Resolve the model + queries of a batch request. The caller picks
+    /// the execution strategy (the HTTP server runs a
+    /// [`super::WorkerPool`]); [`Self::render_batch`] turns the typed
+    /// answers back into the wire envelope.
+    #[allow(clippy::type_complexity)]
+    pub fn resolve_batch(
+        &self,
+        req: &AnswerBatchRequest,
+    ) -> Result<(&str, &Arc<dyn KgReasoner + Send + Sync>, Vec<Query>), ApiError> {
+        if req.queries.is_empty() {
+            return Err(ApiError::InvalidBeamParams {
+                detail: "empty batch (supply at least one query)".to_string(),
+            });
+        }
+        let (name, reasoner) = self.get(req.model.as_deref())?;
+        let queries = req
+            .queries
+            .iter()
+            .map(|q| self.names.resolve_query(q))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((name, reasoner, queries))
+    }
+
+    /// Wire envelope for a batch answered elsewhere (worker pool or
+    /// sequential loop).
+    pub fn render_batch(&self, model: &str, answers: &[Answer]) -> AnswerBatchResponse {
+        AnswerBatchResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            model: model.to_string(),
+            answers: answers
+                .iter()
+                .map(|a| WireAnswer::from_answer(model, a, &self.names))
+                .collect(),
+        }
+    }
+
+    /// Full `POST /v1/answer_batch` pipeline, answered sequentially on
+    /// the calling thread (the HTTP server substitutes its worker pool).
+    pub fn answer_batch(&self, req: &AnswerBatchRequest) -> Result<AnswerBatchResponse, ApiError> {
+        let (name, reasoner, queries) = self.resolve_batch(req)?;
+        let answers: Vec<Answer> = queries.iter().map(|q| reasoner.answer(q)).collect();
+        Ok(self.render_batch(name, &answers))
+    }
+
+    /// Full `POST /v1/explain` pipeline. Models without path evidence
+    /// answer with an empty path list (the typed protocol's way of
+    /// saying "nothing to show" — not an error, so clients can probe).
+    pub fn explain(&self, req: &ExplainRequest) -> Result<ExplainResponse, ApiError> {
+        let (name, reasoner) = self.get(req.model.as_deref())?;
+        let query = self.names.resolve_query(&req.query)?;
+        let paths = reasoner.explain(&query).unwrap_or_default();
+        Ok(ExplainResponse::from_paths(
+            name,
+            &query,
+            &paths,
+            &self.names,
+        ))
+    }
+
+    /// `GET /v1/models` payload.
+    pub fn models(&self) -> ModelsResponse {
+        ModelsResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            default_model: self.default_model.clone().unwrap_or_default(),
+            models: self
+                .order
+                .iter()
+                .map(|name| {
+                    let r = &self.models[name];
+                    ModelInfo {
+                        name: name.clone(),
+                        family: if r.has_path_evidence() { "path" } else { "kge" }.to_string(),
+                        entities: r.num_entities(),
+                        relations: r.relations().base(),
+                        cache: r.cache_stats().map(Into::into),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// `GET /healthz` payload.
+    pub fn health(&self) -> HealthResponse {
+        HealthResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            status: "ok".to_string(),
+            models: self.len(),
+        }
+    }
+
+    /// Per-model cache counters for `GET /metrics`.
+    pub fn model_metrics(&self) -> Vec<ModelMetrics> {
+        self.order
+            .iter()
+            .map(|name| ModelMetrics {
+                model: name.clone(),
+                cache: self.models[name].cache_stats().map(Into::into),
+            })
+            .collect()
+    }
+
+    /// Convenience for tests and examples: answer one named query on the
+    /// default model.
+    pub fn answer_named(&self, query: NamedQuery) -> Result<WireAnswer, ApiError> {
+        self.answer(&AnswerRequest { model: None, query })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{PolicyReasoner, Query, ScorerReasoner, ServeConfig};
+    use super::*;
+    use crate::config::MmkgrConfig;
+    use crate::model::MmkgrModel;
+    use mmkgr_datagen::{generate, GenConfig};
+    use mmkgr_embed::TripleScorer;
+    use mmkgr_kg::{EntityId, RelationId};
+
+    fn tiny_registry() -> (mmkgr_kg::MultiModalKG, ModelRegistry) {
+        let kg = generate(&GenConfig::tiny());
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        let graph = Arc::new(kg.graph.clone());
+        let mut reg = ModelRegistry::new(NameIndex::synthetic(
+            kg.num_entities(),
+            kg.num_base_relations(),
+        ));
+        struct ByIndex;
+        impl TripleScorer for ByIndex {
+            fn score(&self, _: EntityId, _: RelationId, o: EntityId) -> f32 {
+                o.0 as f32
+            }
+        }
+        reg.register(Arc::new(PolicyReasoner::new(
+            "MMKGR",
+            model,
+            graph,
+            ServeConfig::default(),
+        )));
+        reg.register(Arc::new(ScorerReasoner::for_graph(
+            "ByIndex", ByIndex, &kg.graph,
+        )));
+        (kg, reg)
+    }
+
+    #[test]
+    fn registry_hosts_named_models_with_a_default() {
+        let (_, reg) = tiny_registry();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.default_model(), Some("MMKGR"));
+        assert_eq!(reg.model_names(), ["MMKGR", "ByIndex"]);
+        let (name, _) = reg.get(None).unwrap();
+        assert_eq!(name, "MMKGR");
+        let (name, _) = reg.get(Some("ByIndex")).unwrap();
+        assert_eq!(name, "ByIndex");
+        let err = reg.get(Some("GPT")).err().unwrap();
+        assert_eq!(
+            err,
+            ApiError::UnknownModel {
+                model: "GPT".into(),
+                available: vec!["MMKGR".into(), "ByIndex".into()],
+            }
+        );
+        let infos = reg.models();
+        assert_eq!(infos.default_model, "MMKGR");
+        assert_eq!(infos.models[0].family, "path");
+        assert_eq!(infos.models[1].family, "kge");
+    }
+
+    #[test]
+    fn named_answers_match_in_process_answers() {
+        let (kg, reg) = tiny_registry();
+        let t = kg.split.test[0];
+        let wire = reg
+            .answer(&AnswerRequest {
+                model: Some("MMKGR".to_string()),
+                query: NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                    .with_top_k(5)
+                    .with_beam(8)
+                    .with_steps(3),
+            })
+            .unwrap();
+        let (_, reasoner) = reg.get(Some("MMKGR")).unwrap();
+        let direct = reasoner.answer(
+            &Query::new(t.s, t.r)
+                .with_top_k(5)
+                .with_beam(8)
+                .with_steps(3),
+        );
+        assert_eq!(wire.model, "MMKGR");
+        assert_eq!(wire.source, format!("e{}", t.s.0));
+        assert_eq!(wire.ranked.len(), direct.ranked.len());
+        for (w, d) in wire.ranked.iter().zip(&direct.ranked) {
+            assert_eq!(w.entity, format!("e{}", d.entity.0));
+            assert_eq!(w.score, d.score);
+            let we = w.evidence.as_ref().unwrap();
+            let de = d.evidence.as_ref().unwrap();
+            assert_eq!(we.hops, de.hops);
+            assert_eq!(we.path.len(), de.relations.len());
+        }
+    }
+
+    #[test]
+    fn resolution_failures_are_typed() {
+        let (_, reg) = tiny_registry();
+        let bad_entity = reg.answer_named(NamedQuery::new("e99999", "r0"));
+        assert_eq!(
+            bad_entity,
+            Err(ApiError::UnknownEntity {
+                name: "e99999".into()
+            })
+        );
+        let bad_relation = reg.answer_named(NamedQuery::new("e0", "r999"));
+        assert_eq!(
+            bad_relation,
+            Err(ApiError::UnknownRelation {
+                name: "r999".into()
+            })
+        );
+        let zero_beam = reg.answer_named(NamedQuery::new("e0", "r0").with_beam(0));
+        assert!(matches!(zero_beam, Err(ApiError::InvalidBeamParams { .. })));
+    }
+
+    #[test]
+    fn batch_pipeline_matches_sequential_answers() {
+        let (kg, reg) = tiny_registry();
+        let queries: Vec<NamedQuery> = kg
+            .split
+            .test
+            .iter()
+            .take(4)
+            .map(|t| {
+                NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                    .with_beam(4)
+                    .with_steps(2)
+            })
+            .collect();
+        let batch = reg
+            .answer_batch(&AnswerBatchRequest {
+                model: None,
+                queries: queries.clone(),
+            })
+            .unwrap();
+        assert_eq!(batch.answers.len(), queries.len());
+        for (q, a) in queries.iter().zip(&batch.answers) {
+            let one = reg.answer_named(q.clone()).unwrap();
+            assert_eq!(*a, one);
+        }
+        let empty = reg.answer_batch(&AnswerBatchRequest {
+            model: None,
+            queries: vec![],
+        });
+        assert!(matches!(empty, Err(ApiError::InvalidBeamParams { .. })));
+    }
+
+    #[test]
+    fn explain_pipeline_serves_paths_and_tolerates_scorers() {
+        let (kg, reg) = tiny_registry();
+        let t = kg.split.test[0];
+        let q = NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+            .with_top_k(3)
+            .with_beam(8)
+            .with_steps(3);
+        let resp = reg
+            .explain(&ExplainRequest {
+                model: None,
+                query: q.clone(),
+            })
+            .unwrap();
+        assert_eq!(resp.model, "MMKGR");
+        assert!(resp.paths.len() <= 3);
+        for w in resp.paths.windows(2) {
+            assert!(w[0].logp >= w[1].logp);
+        }
+        // A KGE scorer has no paths — empty list, not an error.
+        let resp = reg
+            .explain(&ExplainRequest {
+                model: Some("ByIndex".to_string()),
+                query: q,
+            })
+            .unwrap();
+        assert!(resp.paths.is_empty());
+    }
+
+    #[test]
+    fn health_reports_model_count() {
+        let (_, reg) = tiny_registry();
+        let h = reg.health();
+        assert_eq!(h.status, "ok");
+        assert_eq!(h.models, 2);
+        assert_eq!(h.protocol, PROTOCOL_VERSION);
+    }
+}

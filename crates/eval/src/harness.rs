@@ -23,11 +23,13 @@ use crate::ranker::{
     RelationMapResult,
 };
 
-/// The two paper datasets.
+/// The two paper datasets, plus the 60-entity `tiny` smoke dataset
+/// (seconds to train end to end — CI jobs and `mmkgr serve` demos).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Dataset {
     Wn9ImgTxt,
     FbImgTxt,
+    Tiny,
 }
 
 impl Dataset {
@@ -35,6 +37,7 @@ impl Dataset {
         match self {
             Dataset::Wn9ImgTxt => "WN9-IMG-TXT",
             Dataset::FbImgTxt => "FB-IMG-TXT",
+            Dataset::Tiny => "TINY",
         }
     }
 
@@ -42,6 +45,7 @@ impl Dataset {
         let base = match self {
             Dataset::Wn9ImgTxt => GenConfig::wn9_img_txt(),
             Dataset::FbImgTxt => GenConfig::fb_img_txt(),
+            Dataset::Tiny => GenConfig::tiny(),
         };
         if (scale - 1.0).abs() < 1e-9 {
             base
@@ -129,6 +133,9 @@ impl HarnessConfig {
             (Dataset::FbImgTxt, ScaleChoice::Quick) => (0.01, 10, 10, 60, 16),
             (Dataset::FbImgTxt, ScaleChoice::Standard) => (0.02, 15, 15, 120, 48),
             (Dataset::FbImgTxt, ScaleChoice::Full) => (0.15, 40, 30, 400, 96),
+            (Dataset::Tiny, ScaleChoice::Quick) => (1.0, 3, 3, 30, 8),
+            (Dataset::Tiny, ScaleChoice::Standard) => (1.0, 8, 8, 60, 16),
+            (Dataset::Tiny, ScaleChoice::Full) => (1.0, 15, 15, 100, 32),
         };
         let rollouts = match scale {
             ScaleChoice::Quick => 1,

@@ -27,4 +27,6 @@ pub use ranker::{
     eval_scorer_relation_map, LinkPredictionResult, RelationMapResult,
 };
 pub use report::{pct, pct_delta, save_json, Table};
-pub use serving::{build_reasoner, BuiltReasoner, ModelChoice, ReasonerBuilder};
+pub use serving::{
+    build_reasoner, build_registry, harness_name_index, BuiltReasoner, ModelChoice, ReasonerBuilder,
+};

@@ -29,7 +29,9 @@
 
 use std::sync::Arc;
 
-use mmkgr_core::serve::{KgReasoner, PolicyReasoner, ScorerReasoner, ServeConfig};
+use mmkgr_core::serve::{
+    KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, ScorerReasoner, ServeConfig,
+};
 use mmkgr_core::Variant;
 use mmkgr_embed::{ComplEx, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD};
 
@@ -90,6 +92,40 @@ impl ModelChoice {
             self,
             ModelChoice::Mmkgr(_) | ModelChoice::Minerva | ModelChoice::Rlh | ModelChoice::Fire
         )
+    }
+
+    /// Parse a model name (the CLI's `--models` list and config files).
+    /// Case-insensitive; accepts every [`Self::name`] plus the MMKGR
+    /// ablation variant codes (`OSKGR`, `STKGR`, …).
+    pub fn parse(s: &str) -> Result<ModelChoice, String> {
+        Ok(match s.to_ascii_uppercase().as_str() {
+            "MMKGR" | "FULL" => ModelChoice::Mmkgr(Variant::Full),
+            "OSKGR" => ModelChoice::Mmkgr(Variant::Oskgr),
+            "STKGR" => ModelChoice::Mmkgr(Variant::Stkgr),
+            "SIKGR" => ModelChoice::Mmkgr(Variant::Sikgr),
+            "FAKGR" => ModelChoice::Mmkgr(Variant::Fakgr),
+            "FGKGR" => ModelChoice::Mmkgr(Variant::Fgkgr),
+            "DEKGR" => ModelChoice::Mmkgr(Variant::Dekgr),
+            "DSKGR" => ModelChoice::Mmkgr(Variant::Dskgr),
+            "DVKGR" => ModelChoice::Mmkgr(Variant::Dvkgr),
+            "ZOKGR" => ModelChoice::Mmkgr(Variant::Zokgr),
+            "MINERVA" => ModelChoice::Minerva,
+            "RLH" => ModelChoice::Rlh,
+            "FIRE" => ModelChoice::Fire,
+            "TRANSE" => ModelChoice::TransE,
+            "TRANSD" => ModelChoice::TransD,
+            "DISTMULT" => ModelChoice::DistMult,
+            "COMPLEX" => ModelChoice::ComplEx,
+            "RESCAL" => ModelChoice::Rescal,
+            "HOLE" => ModelChoice::Hole,
+            "CONVE" => ModelChoice::ConvE,
+            "IKRL" => ModelChoice::Ikrl,
+            "TRANSAE" => ModelChoice::TransAe,
+            "MTRL" => ModelChoice::Mtrl,
+            "GAATS" => ModelChoice::Gaats,
+            "NEURALLP" => ModelChoice::NeuralLp,
+            other => return Err(format!("unknown model `{other}`")),
+        })
     }
 }
 
@@ -173,6 +209,24 @@ impl ReasonerBuilder {
         let reasoner = build_reasoner(&harness, self.choice, serve);
         BuiltReasoner { reasoner, harness }
     }
+}
+
+/// The name-resolution index of a harness's synthetic dataset: entities
+/// `e0..`, base relations `r0..` — the same convention `mmkgr generate`
+/// exports, so TSV dumps and the wire protocol agree on names.
+pub fn harness_name_index(h: &Harness) -> NameIndex {
+    NameIndex::synthetic(h.kg.num_entities(), h.kg.num_base_relations())
+}
+
+/// Train every `choice` over one shared harness and host them in a
+/// [`ModelRegistry`] — the construction half of `mmkgr serve`. The first
+/// choice becomes the registry default.
+pub fn build_registry(h: &Harness, choices: &[ModelChoice], serve: ServeConfig) -> ModelRegistry {
+    let mut registry = ModelRegistry::new(harness_name_index(h));
+    for &choice in choices {
+        registry.register(build_reasoner(h, choice, serve));
+    }
+    registry
 }
 
 /// Train `choice` on an existing harness (shared dataset + substrates)
@@ -261,7 +315,7 @@ pub fn build_reasoner(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmkgr_core::serve::{answer_batch, Query};
+    use mmkgr_core::serve::{NamedQuery, Query, WorkerPool};
 
     fn quick_builder(choice: ModelChoice) -> ReasonerBuilder {
         ReasonerBuilder::new(Dataset::Wn9ImgTxt, ScaleChoice::Quick)
@@ -311,8 +365,86 @@ mod tests {
         assert!(from_policy.ranked[0].evidence.is_some());
         assert!(from_scorer.ranked[0].evidence.is_none());
         // Batch serving works over the trait object.
-        let answers = answer_batch(&built.reasoner, &[q, q], 2);
+        let pool = WorkerPool::new(Arc::clone(&built.reasoner), 2);
+        let answers = pool.answer_batch(&[q, q]);
         assert_eq!(answers.len(), 2);
         assert_eq!(answers[0], answers[1]);
+    }
+
+    #[test]
+    fn model_choice_parses_every_family() {
+        assert_eq!(
+            ModelChoice::parse("mmkgr").unwrap(),
+            ModelChoice::Mmkgr(Variant::Full)
+        );
+        assert_eq!(
+            ModelChoice::parse("OSKGR").unwrap(),
+            ModelChoice::Mmkgr(Variant::Oskgr)
+        );
+        assert_eq!(ModelChoice::parse("ConvE").unwrap(), ModelChoice::ConvE);
+        assert_eq!(ModelChoice::parse("minerva").unwrap(), ModelChoice::Minerva);
+        assert!(ModelChoice::parse("gpt4").is_err());
+        // parse() inverts name() for every non-variant family.
+        for choice in [
+            ModelChoice::Minerva,
+            ModelChoice::Rlh,
+            ModelChoice::Fire,
+            ModelChoice::TransE,
+            ModelChoice::TransD,
+            ModelChoice::DistMult,
+            ModelChoice::ComplEx,
+            ModelChoice::Rescal,
+            ModelChoice::Hole,
+            ModelChoice::ConvE,
+            ModelChoice::Ikrl,
+            ModelChoice::TransAe,
+            ModelChoice::Mtrl,
+            ModelChoice::Gaats,
+            ModelChoice::NeuralLp,
+        ] {
+            assert_eq!(ModelChoice::parse(choice.name()).unwrap(), choice);
+        }
+    }
+
+    #[test]
+    fn registry_hosts_two_models_over_one_harness() {
+        let built = quick_builder(ModelChoice::Mmkgr(Variant::Full)).build();
+        let registry = build_registry(
+            &built.harness,
+            &[ModelChoice::Mmkgr(Variant::Full), ModelChoice::ConvE],
+            ServeConfig::default(),
+        );
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.default_model(), Some("MMKGR"));
+        let t = built.harness.eval_triples[0];
+        // Name-based answers agree with the in-process reasoner.
+        let wire = registry
+            .answer_named(
+                NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                    .with_top_k(5)
+                    .with_beam(8)
+                    .with_steps(3),
+            )
+            .unwrap();
+        let direct = built.reasoner.answer(
+            &Query::new(t.s, t.r)
+                .with_top_k(5)
+                .with_beam(8)
+                .with_steps(3),
+        );
+        assert_eq!(wire.ranked.len(), direct.ranked.len());
+        for (w, d) in wire.ranked.iter().zip(&direct.ranked) {
+            assert_eq!(w.entity, format!("e{}", d.entity.0));
+            assert!((w.score - d.score).abs() < 1e-6);
+        }
+        // The second model answers under its own name.
+        let conve = registry
+            .answer(&mmkgr_core::serve::AnswerRequest {
+                model: Some("ConvE".to_string()),
+                query: NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0)),
+            })
+            .unwrap();
+        assert_eq!(conve.model, "ConvE");
+        assert!(!conve.ranked.is_empty());
     }
 }

@@ -44,15 +44,16 @@ fn main() {
         );
     }
 
-    // 3. Batch serving: fan the whole eval split across 4 worker threads
-    //    sharing the reasoner Arc. Results are identical to sequential
-    //    `answer` calls, in query order.
+    // 3. Batch serving: a persistent 4-thread WorkerPool sharing the
+    //    reasoner Arc (spawned once; reuse it for every batch). Results
+    //    are identical to sequential `answer` calls, in query order.
     let queries: Vec<Query> = h
         .eval_triples
         .iter()
         .map(|t| Query::new(t.s, t.r))
         .collect();
-    let answers = answer_batch(&built.reasoner, &queries, 4);
+    let pool = WorkerPool::new(std::sync::Arc::clone(&built.reasoner), 4);
+    let answers = pool.answer_batch(&queries);
     let hit1 = answers
         .iter()
         .zip(&h.eval_triples)

@@ -9,11 +9,15 @@
 //! mmkgr eval     --run runs/wn9                                # MRR / Hits@N of a checkpoint
 //! mmkgr answer   --run runs/wn9 --source 17 --relation 3       # ranked answers + evidence
 //! mmkgr explain  --run runs/wn9 --source 17 --relation 3       # top reasoning paths
+//! mmkgr serve    --dataset tiny --models MMKGR,ConvE --port 0  # HTTP front end
 //! ```
 //!
 //! `answer` and `explain` drive the unified serving API
 //! (`mmkgr::core::serve`): the checkpoint is wrapped in a
-//! [`PolicyReasoner`] and every query goes through [`KgReasoner::answer`].
+//! [`PolicyReasoner`] and every query goes through [`KgReasoner::answer`]
+//! / [`KgReasoner::explain`]. `serve` trains a registry of models over
+//! one dataset and exposes the v1 wire protocol
+//! (`mmkgr::core::serve::protocol`) over HTTP.
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs only) to keep the
 //! dependency set at the workspace's sanctioned crates.
@@ -29,7 +33,10 @@ use mmkgr::core::serve::{Evidence, KgReasoner, PolicyReasoner, Query, ServeConfi
 use mmkgr::core::HistoryEncoder;
 use mmkgr::datagen::{generate, GenConfig};
 use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
-use mmkgr::eval::{eval_policy_entity, pct};
+use mmkgr::eval::{
+    build_registry, eval_policy_entity, pct, Dataset, Harness, HarnessConfig, ModelChoice,
+    ScaleChoice,
+};
 use mmkgr::kg::io::{write_triples, Vocab};
 use mmkgr::kg::MultiModalKG;
 
@@ -60,6 +67,15 @@ COMMANDS
   stats      profile a dataset (degrees, components, relation skew,
              k-hop reachability, modality shape)
              --dataset wn9|fb|tiny   --scale <f64>   --seed <u64>
+  serve      train a registry of models over one dataset and serve the
+             v1 wire protocol over HTTP (POST /v1/answer,
+             /v1/answer_batch, /v1/explain; GET /v1/models, /healthz,
+             /metrics)
+             --dataset wn9|fb|tiny    --size quick|standard|full
+             --models MMKGR,ConvE,…   --addr <ip>     --port <n> (0 = ephemeral)
+             [--threads <n>] [--workers <n>] [--cache <n>]
+             [--beam <n>] [--steps <n>] [--rl-epochs <n>] [--kge-epochs <n>]
+             [--dataset-scale <f64>] [--seed <u64>]
 
 The dataset is regenerated deterministically from (dataset, scale, seed)
 recorded in the checkpoint's meta.json, so checkpoints stay portable.
@@ -86,6 +102,7 @@ fn main() -> ExitCode {
         "answer" => cmd_answer(&flags),
         "explain" => cmd_explain(&flags),
         "stats" => cmd_stats(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -541,6 +558,8 @@ fn cmd_answer(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Unlike `answer` (one best path per entity, the serving protocol),
 /// `explain` enumerates raw beam paths — including several distinct
 /// derivations of the same answer — which is the point of the command.
+/// Routed through [`KgReasoner::explain`], the same surface
+/// `POST /v1/explain` serves.
 fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     let (meta, model, kg) = load_run(flags)?;
     let beam: usize = parse_or(flags, "beam", 16)?;
@@ -551,14 +570,13 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         "query (e{source}, r{relation}, ?) on {}@{} — {} paths, beam {beam}, T={steps}",
         meta.dataset, meta.scale, meta.variant
     );
-    let paths = beam_search(
-        &model,
-        &kg.graph,
-        mmkgr::kg::EntityId(source),
-        mmkgr::kg::RelationId(relation),
-        beam,
-        steps,
-    );
+    let reasoner = reasoner_for_run(&meta, model, &kg, beam, steps);
+    let paths = reasoner
+        .explain(
+            &Query::new(mmkgr::kg::EntityId(source), mmkgr::kg::RelationId(relation))
+                .with_top_k(top),
+        )
+        .expect("path reasoners explain");
     let rs = kg.graph.relations();
     for (i, p) in paths.iter().take(top).enumerate() {
         let evidence = Evidence {
@@ -582,6 +600,85 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     if paths.is_empty() {
         println!("(no path found within T={steps})");
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- serve
+
+/// Train a registry of models over one dataset and serve the v1 wire
+/// protocol over HTTP until killed. `--port 0` binds an ephemeral port;
+/// the `listening on` line (flushed before serving) tells scripts where.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let dataset = match flag(flags, "dataset").unwrap_or("tiny") {
+        "tiny" => Dataset::Tiny,
+        "wn9" => Dataset::Wn9ImgTxt,
+        "fb" => Dataset::FbImgTxt,
+        other => return Err(format!("unknown dataset `{other}` (wn9|fb|tiny)")),
+    };
+    let size = match flag(flags, "size").unwrap_or("quick") {
+        "quick" => ScaleChoice::Quick,
+        "standard" => ScaleChoice::Standard,
+        "full" => ScaleChoice::Full,
+        other => return Err(format!("unknown size `{other}` (quick|standard|full)")),
+    };
+    let models_spec = flag(flags, "models").unwrap_or("MMKGR,ConvE");
+    let mut choices: Vec<ModelChoice> = Vec::new();
+    for spec in models_spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let choice = ModelChoice::parse(spec.trim())?;
+        // Aliases ("MMKGR", "FULL") resolve to one registry entry —
+        // don't train the same model twice only to have the second
+        // registration replace the first.
+        if !choices.contains(&choice) {
+            choices.push(choice);
+        }
+    }
+    if choices.is_empty() {
+        return Err("--models needs at least one model".to_string());
+    }
+    let addr = flag(flags, "addr").unwrap_or("127.0.0.1");
+    let port: u16 = parse_or(flags, "port", 8080)?;
+
+    let mut hcfg = HarnessConfig::new(dataset, size);
+    if let Some(v) = flags.get("dataset-scale") {
+        hcfg.dataset_scale = v
+            .parse()
+            .map_err(|_| format!("--dataset-scale: cannot parse `{v}`"))?;
+    }
+    hcfg.rl_epochs = parse_or(flags, "rl-epochs", hcfg.rl_epochs)?;
+    hcfg.kge_epochs = parse_or(flags, "kge-epochs", hcfg.kge_epochs)?;
+    hcfg.seed = parse_or(flags, "seed", hcfg.seed)?;
+    let serve_cfg = ServeConfig {
+        beam_width: parse_or(flags, "beam", hcfg.beam)?,
+        max_steps: parse_or(flags, "steps", 4)?,
+        ..ServeConfig::default()
+    }
+    .with_cache(parse_or(flags, "cache", 1024)?);
+    serve_cfg.validate().map_err(|e| format!("config: {e}"))?;
+
+    let names: Vec<&str> = choices.iter().map(|c| c.name()).collect();
+    println!(
+        "training {} model(s) [{}] on {}@{:?}…",
+        choices.len(),
+        names.join(", "),
+        dataset.name(),
+        size
+    );
+    let harness = Harness::new(hcfg);
+    let registry = std::sync::Arc::new(build_registry(&harness, &choices, serve_cfg));
+    let http_cfg = mmkgr::core::serve::HttpServerConfig {
+        conn_threads: parse_or(flags, "threads", 4)?,
+        pool_workers: parse_or(flags, "workers", 2)?,
+        ..Default::default()
+    };
+    let server = mmkgr::core::serve::HttpServer::bind((addr, port), registry, http_cfg)
+        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    println!("models: {}", names.join(", "));
+    println!("listening on http://{}", server.local_addr());
+    // Scripts (CI smoke, tests) parse the line above from a pipe.
+    let _ = std::io::stdout().flush();
+    server.serve();
     Ok(())
 }
 

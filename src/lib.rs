@@ -49,11 +49,12 @@
 //!     println!("{:?} (score {:.2}) via {}", c.entity, c.score, proof.render(&rs));
 //! }
 //!
-//! // 3. Serve a batch across threads over the shared Arc.
+//! // 3. Serve a batch across a persistent worker pool sharing the Arc.
 //! let queries: Vec<Query> = built.harness.eval_triples.iter()
 //!     .map(|t| Query::new(t.s, t.r))
 //!     .collect();
-//! let answers = answer_batch(&built.reasoner, &queries, 4);
+//! let pool = WorkerPool::new(std::sync::Arc::clone(&built.reasoner), 4);
+//! let answers = pool.answer_batch(&queries);
 //! assert_eq!(answers.len(), queries.len());
 //! ```
 //!
@@ -61,6 +62,17 @@
 //! scorer (`ModelChoice::ConvE`), a hand-trained model
 //! ([`mmkgr_core::serve::PolicyReasoner`]), or any [`TripleScorer`]
 //! ([`mmkgr_core::serve::ScorerReasoner`]).
+//!
+//! # Remote serving
+//!
+//! `mmkgr serve` (or [`mmkgr_core::serve::HttpServer`] in-process) hosts
+//! a [`mmkgr_core::serve::ModelRegistry`] of named reasoners behind the
+//! versioned v1 wire protocol ([`mmkgr_core::serve::protocol`]):
+//! name-based queries in (`{"query": {"source": "e17", "relation":
+//! "r3"}}`), ranked candidates with reasoning-path evidence out, plus
+//! `/v1/models`, `/healthz`, and `/metrics` for operations. See
+//! `examples/http_client.rs` for the end-to-end loop and the curl
+//! equivalents.
 
 pub use mmkgr_baselines as baselines;
 pub use mmkgr_core as core;
@@ -78,12 +90,15 @@ pub use mmkgr_tensor as tensor;
 /// [`mmkgr_kg::Query`].
 pub mod prelude {
     pub use mmkgr_core::prelude::*;
+    pub use mmkgr_core::serve::{
+        HttpServer, HttpServerConfig, ModelRegistry, NameIndex, NamedQuery,
+    };
     pub use mmkgr_datagen::GenConfig;
     pub use mmkgr_embed::{ConvE, KgeTrainConfig, Mtrl, TransE, TripleScorer};
     pub use mmkgr_eval::FewShotSplit;
     pub use mmkgr_eval::{
-        build_reasoner, BuiltReasoner, Dataset, Harness, HarnessConfig, ModelChoice,
-        ReasonerBuilder, ScaleChoice,
+        build_reasoner, build_registry, BuiltReasoner, Dataset, Harness, HarnessConfig,
+        ModelChoice, ReasonerBuilder, ScaleChoice,
     };
     pub use mmkgr_kg::{
         EntityId, KnowledgeGraph, ModalBank, MultiModalKG, RelationId, Split, Triple,

@@ -7,6 +7,10 @@
 //!   `score_all_objects`.
 //! - Concurrency: `answer_batch` from 4 worker threads over the shared
 //!   `Arc<dyn KgReasoner + Send + Sync>` equals sequential answering.
+//!   (The free `answer_batch` is deprecated in favor of holding a
+//!   `WorkerPool`, but stays pinned here through its deprecation
+//!   window.)
+#![allow(deprecated)]
 
 use std::collections::HashMap;
 use std::sync::Arc;
