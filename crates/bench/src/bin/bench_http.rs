@@ -34,8 +34,7 @@ use mmkgr_core::serve::{
     RunningServer, ServeConfig,
 };
 use mmkgr_datagen::{generate, GenConfig};
-use serde::{Serialize, Value};
-use serde_json::from_str_value;
+use serde::Serialize;
 
 #[derive(Serialize)]
 struct AnswerLoad {
@@ -47,6 +46,8 @@ struct AnswerLoad {
 #[derive(Serialize)]
 struct HttpBench {
     dataset: String,
+    machine: String,
+    commit: String,
     conn_threads: usize,
     pool_workers: usize,
     beam: usize,
@@ -207,8 +208,11 @@ fn main() {
     println!("  POST /v1/answer: {answer_cached_qps:.0} q/s (4 clients, cache hot)");
     server.shutdown();
 
+    let stamp = mmkgr_bench::RunStamp::capture();
     let http = HttpBench {
         dataset: "tiny".into(),
+        machine: stamp.machine,
+        commit: stamp.commit,
         conn_threads: 4,
         pool_workers: 2,
         beam: 8,
@@ -219,17 +223,5 @@ fn main() {
         answer_batch_qps,
     };
 
-    // Merge into BENCH_serve.json (replacing any previous "http" key).
-    let mut root = match std::fs::read_to_string("BENCH_serve.json") {
-        Ok(text) => match from_str_value(&text) {
-            Ok(Value::Object(entries)) => entries,
-            _ => panic!("BENCH_serve.json is not a JSON object"),
-        },
-        Err(_) => Vec::new(),
-    };
-    root.retain(|(k, _)| k != "http");
-    root.push(("http".to_string(), http.serialize_value()));
-    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("[saved BENCH_serve.json] http section updated");
+    mmkgr_bench::merge_bench_section("BENCH_serve.json", "http", http.serialize_value());
 }

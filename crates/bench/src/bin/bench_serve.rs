@@ -78,6 +78,8 @@ struct BatchBench {
 #[derive(Serialize)]
 struct ServeBench {
     dataset: String,
+    machine: String,
+    commit: String,
     pre_change_commit: String,
     beam_search: Vec<BeamBench>,
     answer_batch: BatchBench,
@@ -235,8 +237,11 @@ fn main() {
         queries.len()
     );
 
+    let stamp = mmkgr_bench::RunStamp::capture();
     let out = ServeBench {
         dataset: "tiny".into(),
+        machine: stamp.machine,
+        commit: stamp.commit,
         pre_change_commit: PRE_CHANGE_COMMIT.into(),
         beam_search: beam_rows,
         answer_batch: BatchBench {
@@ -251,7 +256,13 @@ fn main() {
         },
         speedup_w64,
     };
-    let json = serde_json::to_string_pretty(&out).expect("serialize BENCH_serve");
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    // Field-wise merge: this binary owns the top-level engine keys,
+    // while `bench_http` / `bench_store` own the "http" / "store"
+    // sections of the same file — never clobber theirs.
+    if let serde::Value::Object(fields) = out.serialize_value() {
+        for (key, value) in fields {
+            mmkgr_bench::merge_bench_section("BENCH_serve.json", &key, value);
+        }
+    }
     println!("[saved BENCH_serve.json] speedup_w64 = {speedup_w64:.2}x");
 }

@@ -1,0 +1,205 @@
+//! Storage-tier benchmark: the `"store"` section of `BENCH_serve.json`.
+//!
+//! Answers the million-entity questions the snapshot tier exists for,
+//! on a structural scale graph (`mmkgr_datagen::generate_scale`,
+//! 10^6 entities by default):
+//!
+//! - **write/load** — wall time to serialize the CSR graph plus a KGE
+//!   weight section into one `.mmkg` file, and to open it back (mmap);
+//!   the loaded CSR arrays are byte-compared against the originals, so
+//!   every run re-proves the bitwise round-trip at full scale.
+//! - **boot-to-first-answer** — `Snapshot::open` → graph → restore
+//!   TransE weights → `ScorerReasoner` → first `/v1/answer`-equivalent
+//!   query, the cold-start latency `mmkgr serve --snapshot` promises
+//!   (<1s at 10^6 entities).
+//! - **sharded vs unsharded q/s** — exhaustive scoring throughput of
+//!   [`ShardedReasoner`] (entity-range shards) against the single-core
+//!   [`ScorerReasoner`] on identical queries, with the parity of every
+//!   answer asserted along the way.
+//!
+//! Usage: `cargo run --release -p mmkgr-bench --bin bench_store`
+//! (`MMKGR_STORE_ENTITIES=50000` shrinks the tier for smoke runs; the
+//! section merges into `BENCH_serve.json` in the current directory).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mmkgr_bench::{merge_bench_section, RunStamp};
+use mmkgr_core::serve::{KgReasoner, Query, ScorerReasoner, ShardedReasoner};
+use mmkgr_datagen::{generate_scale, ScaleConfig};
+use mmkgr_embed::TransE;
+use mmkgr_kg::{KnowledgeGraph, Snapshot, SnapshotWriter};
+use serde::Serialize;
+
+const DIM: usize = 16;
+const SEED: u64 = 0xB007;
+
+#[derive(Serialize)]
+struct StoreBench {
+    machine: String,
+    commit: String,
+    entities: usize,
+    base_relations: usize,
+    train_triples: usize,
+    edges_with_inverses: usize,
+    snapshot_bytes: u64,
+    generate_ms: f64,
+    write_ms: f64,
+    load_ms: f64,
+    mmap_backed: bool,
+    roundtrip_bitwise: bool,
+    boot_to_first_answer_ms: f64,
+    queries: usize,
+    unsharded_qps: f64,
+    shards: usize,
+    sharded_qps: f64,
+    sharded_answers_identical: bool,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn edges_eq(a: &KnowledgeGraph, b: &KnowledgeGraph) -> bool {
+    a.store().offsets_slice() == b.store().offsets_slice()
+        && a.store().edges_slice() == b.store().edges_slice()
+        && a.store().triples() == b.store().triples()
+        && a.relations() == b.relations()
+}
+
+fn main() {
+    let entities: usize = std::env::var("MMKGR_STORE_ENTITIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let cfg = ScaleConfig::million().with_entities(entities);
+    println!("store bench: {entities} entities, TransE dim {DIM}");
+
+    let t = Instant::now();
+    let kg = generate_scale(&cfg);
+    let generate_ms = ms(t);
+    println!(
+        "  generated {} train triples ({} CSR edges) in {generate_ms:.0} ms",
+        kg.split.train.len(),
+        kg.graph.store().num_edges()
+    );
+
+    // Untrained TransE: the storage tier measures bytes moved, not MRR.
+    let rs = kg.graph.relations();
+    let transe = TransE::new(entities, rs.total(), DIM, SEED);
+    let flat: Vec<f32> = {
+        let mut v = Vec::with_capacity(transe.params.num_scalars());
+        for (_, _, m) in transe.params.iter() {
+            v.extend_from_slice(m.as_slice());
+        }
+        v
+    };
+
+    let path = std::env::temp_dir().join(format!("mmkgr_bench_store_{}.mmkg", std::process::id()));
+    let t = Instant::now();
+    let mut w = SnapshotWriter::create(&path).expect("create snapshot");
+    w.add_graph(&kg.graph).expect("write graph");
+    let weight_section = w.add_f32(&flat, 1, flat.len()).expect("write weights");
+    w.finish().expect("finish snapshot");
+    let write_ms = ms(t);
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("  wrote {snapshot_bytes} bytes in {write_ms:.0} ms");
+
+    let t = Instant::now();
+    let snap = Snapshot::open(&path).expect("open snapshot");
+    let loaded = snap.graph().expect("load graph");
+    let load_ms = ms(t);
+    let mmap_backed = snap.is_mapped();
+    let roundtrip_bitwise = edges_eq(&kg.graph, &loaded);
+    assert!(roundtrip_bitwise, "CSR arrays must round-trip bitwise");
+    println!(
+        "  loaded ({}) in {load_ms:.0} ms — bitwise round-trip ok",
+        if mmap_backed { "mmap" } else { "read" }
+    );
+
+    // Cold boot: open → graph → weights → reasoner → first answer.
+    let queries: Vec<Query> = kg
+        .split
+        .test
+        .iter()
+        .take(64)
+        .map(|q| Query::new(q.s, q.r).with_top_k(10))
+        .collect();
+    let t = Instant::now();
+    let snap2 = Snapshot::open(&path).expect("reopen snapshot");
+    let graph2 = snap2.graph().expect("load graph");
+    let (flat2, _, _) = snap2.f32_tensor(weight_section).expect("load weights");
+    let mut booted = TransE::new(graph2.num_entities(), graph2.relations().total(), DIM, SEED);
+    {
+        let mut off = 0;
+        for (_, value, _) in booted.params.iter_mut() {
+            let n = value.len();
+            value.as_mut_slice().copy_from_slice(&flat2[off..off + n]);
+            off += n;
+        }
+    }
+    let unsharded = ScorerReasoner::new(
+        "TransE",
+        Arc::new(booted),
+        graph2.num_entities(),
+        graph2.relations(),
+    );
+    let first = unsharded.answer(&queries[0]);
+    let boot_to_first_answer_ms = ms(t);
+    assert!(!first.ranked.is_empty());
+    println!("  boot-to-first-answer: {boot_to_first_answer_ms:.0} ms");
+
+    // Throughput: unsharded vs entity-range sharded exhaustive scoring.
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let sharded = ShardedReasoner::from_scorer(
+        "TransE",
+        Arc::new(TransE::new(entities, rs.total(), DIM, SEED)),
+        entities,
+        rs,
+        shards,
+    )
+    .expect("sharded reasoner");
+
+    let t = Instant::now();
+    let unsharded_answers: Vec<_> = queries.iter().map(|q| unsharded.answer(q)).collect();
+    let unsharded_qps = queries.len() as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let sharded_answers: Vec<_> = queries.iter().map(|q| sharded.answer(q)).collect();
+    let sharded_qps = queries.len() as f64 / t.elapsed().as_secs_f64();
+    let sharded_answers_identical = unsharded_answers == sharded_answers;
+    assert!(
+        sharded_answers_identical,
+        "sharded answers must be identical to unsharded"
+    );
+    println!(
+        "  exhaustive scoring: {unsharded_qps:.1} q/s unsharded, {sharded_qps:.1} q/s with {shards} shards"
+    );
+
+    std::fs::remove_file(&path).ok();
+
+    let stamp = RunStamp::capture();
+    let section = StoreBench {
+        machine: stamp.machine,
+        commit: stamp.commit,
+        entities,
+        base_relations: cfg.base_relations,
+        train_triples: kg.split.train.len(),
+        edges_with_inverses: kg.graph.store().num_edges(),
+        snapshot_bytes,
+        generate_ms,
+        write_ms,
+        load_ms,
+        mmap_backed,
+        roundtrip_bitwise,
+        boot_to_first_answer_ms,
+        queries: queries.len(),
+        unsharded_qps,
+        shards,
+        sharded_qps,
+        sharded_answers_identical,
+    };
+    merge_bench_section("BENCH_serve.json", "store", section.serialize_value());
+}

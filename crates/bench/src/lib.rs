@@ -48,6 +48,58 @@ pub fn print_series(label: &str, xs: &[(String, f64)]) {
     println!();
 }
 
+/// Provenance stamp for persisted bench sections: which machine and
+/// commit produced the numbers. Benchmarks are only comparable within a
+/// machine, and "which build was this" is the first question any perf
+/// regression hunt asks — so every `BENCH_*.json` section carries one.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunStamp {
+    pub machine: String,
+    pub commit: String,
+}
+
+impl RunStamp {
+    /// Best-effort capture: hostname (or `unknown`) plus the short git
+    /// HEAD (or `unknown` outside a work tree).
+    pub fn capture() -> Self {
+        let machine = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .map(|s| s.trim().to_string())
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .unwrap_or_else(|| "unknown".to_string());
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunStamp { machine, commit }
+    }
+}
+
+/// Merge `section` into the top-level JSON object at `path` (created if
+/// missing), replacing any previous value under `key`. The shared
+/// persistence idiom of `bench_serve`/`bench_http`/`bench_store`: each
+/// binary owns one key of `BENCH_serve.json` and leaves the rest alone.
+pub fn merge_bench_section(path: &str, key: &str, section: serde::Value) {
+    use serde::Value;
+    let mut root = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str_value(&text) {
+            Ok(Value::Object(entries)) => entries,
+            _ => panic!("{path} is not a JSON object"),
+        },
+        Err(_) => Vec::new(),
+    };
+    root.retain(|(k, _)| k != key);
+    root.push((key.to_string(), section));
+    let json = serde_json::to_string_pretty(&Value::Object(root)).expect("serialize");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[saved {path}] {key} section updated");
+}
+
 /// Wall-clock stamp helper for experiment logs.
 pub struct Stopwatch(std::time::Instant);
 

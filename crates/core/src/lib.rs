@@ -52,11 +52,10 @@ pub use mdp::{Env, RolloutQuery, RolloutState};
 pub use model::{HistoryCell, MmkgrModel};
 pub use reward::{NoShaper, RewardBreakdown, RewardEngine};
 pub use rollout::{demonstration_path, queries_from_triples, EpochStats, TrainReport, Trainer};
-#[allow(deprecated)] // answer_batch stays re-exported through its deprecation window
-pub use serve::answer_batch;
 pub use serve::{
     Answer, ApiError, Candidate, Coverage, Evidence, HttpServer, KgReasoner, ModelRegistry,
-    NameIndex, PolicyReasoner, Query, ScorerReasoner, ServeConfig, ServeConfigError, WorkerPool,
+    NameIndex, PolicyReasoner, Query, ScorerReasoner, ServeConfig, ServeConfigError,
+    ShardedReasoner, WorkerPool,
 };
 
 /// Common imports for downstream crates and examples.
@@ -70,10 +69,8 @@ pub mod prelude {
     pub use crate::model::MmkgrModel;
     pub use crate::reward::{NoShaper, RewardEngine};
     pub use crate::rollout::{queries_from_triples, Trainer};
-    #[allow(deprecated)] // answer_batch stays re-exported through its deprecation window
-    pub use crate::serve::answer_batch;
     pub use crate::serve::{
         Answer, Candidate, Coverage, Evidence, KgReasoner, PolicyReasoner, Query, ScorerReasoner,
-        ServeConfig, WorkerPool,
+        ServeConfig, ShardedReasoner, WorkerPool,
     };
 }

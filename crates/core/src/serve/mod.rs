@@ -16,8 +16,10 @@
 //!   family) via exhaustive candidate scoring.
 //!
 //! Both produce the same typed [`Answer`], so evaluation, the CLI, and
-//! batch serving ([`answer_batch`]) are written once against
-//! `Arc<dyn KgReasoner + Send + Sync>`.
+//! batch serving ([`WorkerPool`]) are written once against
+//! `Arc<dyn KgReasoner + Send + Sync>`. [`ShardedReasoner`] composes N
+//! entity-partitioned reasoners behind the same trait for graphs too
+//! large for one exhaustive scorer pass.
 //!
 //! # Serving performance architecture
 //!
@@ -40,10 +42,9 @@
 //!    `top_k` truncation happens after the cache, so any cutoff shares
 //!    one entry. Hits are byte-identical to recomputation.
 //! 3. **Pool** ([`WorkerPool`]): a persistent, channel-fed worker pool
-//!    (engine per worker thread, spawned once) serves batches;
-//!    [`answer_batch`] is a deprecated one-shot convenience over the
-//!    same machinery. Work-stealing over an atomic cursor keeps
-//!    stragglers from serializing a batch.
+//!    (engine per worker thread, spawned once) serves batches.
+//!    Work-stealing over an atomic cursor keeps stragglers from
+//!    serializing a batch.
 //!
 //! # Remote serving
 //!
@@ -101,6 +102,7 @@ use crate::infer::{BeamPath, RolloutPolicy};
 pub mod http;
 pub mod protocol;
 pub mod registry;
+pub mod sharded;
 
 pub use http::{HttpServer, HttpServerConfig, RunningServer};
 pub use protocol::{
@@ -108,6 +110,7 @@ pub use protocol::{
     ModelInfo, NameIndex, NamedQuery, WireAnswer, WireCandidate, WireEvidence, PROTOCOL_VERSION,
 };
 pub use registry::ModelRegistry;
+pub use sharded::ShardedReasoner;
 
 /// A serving request: answer `(source, relation, ?)`.
 ///
@@ -410,18 +413,112 @@ impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
 
 /// Sort candidates into rank order: descending score, ascending entity id
 /// so equal-scored answers are deterministic across runs and threads.
-fn sort_candidates(cands: &mut [Candidate]) {
-    cands.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.entity.0.cmp(&b.entity.0))
-    });
+fn candidate_cmp(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then_with(|| a.entity.0.cmp(&b.entity.0))
 }
 
-fn truncate_top_k(cands: &mut Vec<Candidate>, top_k: usize) {
+pub(crate) fn sort_candidates(cands: &mut [Candidate]) {
+    cands.sort_by(candidate_cmp);
+}
+
+pub(crate) fn truncate_top_k(cands: &mut Vec<Candidate>, top_k: usize) {
     if top_k > 0 && cands.len() > top_k {
         cands.truncate(top_k);
     }
+}
+
+/// `sort_candidates` + `truncate_top_k`, with an O(n) selection fast
+/// path when only a small prefix of a large candidate set survives
+/// (exhaustive scorers over 10^6 entities answering `top_k = 10`).
+/// `candidate_cmp` is a total order (score bits, then entity id), so
+/// select-then-sort returns exactly the full sort's prefix.
+pub(crate) fn rank_top_k(cands: &mut Vec<Candidate>, top_k: usize) {
+    if top_k > 0 && cands.len() > top_k.saturating_mul(4) {
+        cands.select_nth_unstable_by(top_k - 1, candidate_cmp);
+        cands.truncate(top_k);
+    }
+    sort_candidates(cands);
+    truncate_top_k(cands, top_k);
+}
+
+/// Rank key mirroring `candidate_cmp` for evidence-free candidates:
+/// `Ord::cmp` returns `Less` when `self` outranks `other`.
+struct RankKey {
+    score: f32,
+    entity: u32,
+}
+
+impl PartialEq for RankKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for RankKey {}
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.entity.cmp(&other.entity))
+    }
+}
+
+/// Turn an exhaustive score slab (`scores[i]` is entity `base + i`) into
+/// the ranked, truncated candidate list — without materializing one
+/// `Candidate` per entity when only `top_k` of a million survive. The
+/// bounded worst-out heap keeps exactly the `candidate_cmp`-best `k`
+/// (the comparator is total, so the selection is unambiguous), and the
+/// final small sort reproduces the full sort's prefix bit-for-bit.
+pub(crate) fn candidates_from_scores(scores: &[f32], base: usize, top_k: usize) -> Vec<Candidate> {
+    let full = |n: usize| -> Vec<Candidate> {
+        scores[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| Candidate {
+                entity: EntityId((base + i) as u32),
+                score,
+                evidence: None,
+            })
+            .collect()
+    };
+    if top_k == 0 || scores.len() <= top_k.saturating_mul(4) {
+        let mut cands = full(scores.len());
+        rank_top_k(&mut cands, top_k);
+        return cands;
+    }
+    // BinaryHeap pops its max; RankKey orders "better = Less", so the
+    // max is the current worst of the kept k and eviction is O(log k).
+    let mut heap: std::collections::BinaryHeap<RankKey> =
+        std::collections::BinaryHeap::with_capacity(top_k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        let key = RankKey {
+            score,
+            entity: (base + i) as u32,
+        };
+        if heap.len() < top_k {
+            heap.push(key);
+        } else if key < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(key);
+        }
+    }
+    let mut cands: Vec<Candidate> = heap
+        .into_iter()
+        .map(|k| Candidate {
+            entity: EntityId(k.entity),
+            score: k.score,
+            evidence: None,
+        })
+        .collect();
+    sort_candidates(&mut cands);
+    cands
 }
 
 // ----------------------------------------------------------------- cache
@@ -795,7 +892,7 @@ impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
             static SCORE_BUF: std::cell::RefCell<Vec<f32>> =
                 const { std::cell::RefCell::new(Vec::new()) };
         }
-        let mut cands: Vec<Candidate> = SCORE_BUF.with(|buf| {
+        let cands: Vec<Candidate> = SCORE_BUF.with(|buf| {
             let mut scores = buf.borrow_mut();
             self.scorer.score_all_objects(
                 query.source,
@@ -803,18 +900,8 @@ impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
                 self.num_entities,
                 &mut scores,
             );
-            scores
-                .iter()
-                .enumerate()
-                .map(|(o, &score)| Candidate {
-                    entity: EntityId(o as u32),
-                    score,
-                    evidence: None,
-                })
-                .collect()
+            candidates_from_scores(&scores, 0, query.top_k)
         });
-        sort_candidates(&mut cands);
-        truncate_top_k(&mut cands, query.top_k);
         Answer {
             query: *query,
             coverage: Coverage::Exhaustive,
@@ -981,33 +1068,7 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Answer a batch of queries across `workers` OS threads sharing the
-/// reasoner `Arc`. One-shot convenience over [`WorkerPool`] — it spawns
-/// and joins a fresh pool on every call, so services that answer
-/// repeatedly pay thread startup each time. Hold a [`WorkerPool`] (as
-/// the HTTP front end does) and call
-/// [`WorkerPool::answer_batch`] instead. Results come back in query
-/// order and are identical to calling [`KgReasoner::answer`]
-/// sequentially.
-#[deprecated(
-    since = "0.2.0",
-    note = "hold a serve::WorkerPool and call WorkerPool::answer_batch; \
-            this free function spawns and joins a pool per call"
-)]
-pub fn answer_batch(
-    reasoner: &Arc<dyn KgReasoner + Send + Sync>,
-    queries: &[Query],
-    workers: usize,
-) -> Vec<Answer> {
-    let workers = workers.max(1).min(queries.len().max(1));
-    if workers == 1 {
-        return queries.iter().map(|q| reasoner.answer(q)).collect();
-    }
-    WorkerPool::new(Arc::clone(reasoner), workers).answer_batch(queries)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated free answer_batch stays pinned by tests
 mod tests {
     use super::*;
     use crate::config::MmkgrConfig;
@@ -1146,7 +1207,7 @@ mod tests {
     }
 
     #[test]
-    fn answer_batch_matches_sequential() {
+    fn pool_answer_batch_matches_sequential() {
         let (kg, r) = policy_reasoner();
         let queries: Vec<Query> = kg
             .split
@@ -1156,17 +1217,75 @@ mod tests {
             .map(|t| Query::new(t.s, t.r).with_beam(8).with_steps(3))
             .collect();
         let sequential: Vec<Answer> = queries.iter().map(|q| r.answer(q)).collect();
-        let batched = answer_batch(&r, &queries, 4);
+        let batched = WorkerPool::new(Arc::clone(&r), 4).answer_batch(&queries);
         assert_eq!(batched, sequential);
     }
 
     #[test]
-    fn answer_batch_handles_empty_and_single_worker() {
+    fn pool_answer_batch_handles_empty_and_single_worker() {
         let (_, r) = policy_reasoner();
-        assert!(answer_batch(&r, &[], 4).is_empty());
+        let one_worker = WorkerPool::new(Arc::clone(&r), 1);
+        assert!(one_worker.answer_batch(&[]).is_empty());
         let q = [Query::new(EntityId(0), RelationId(0))];
-        let one = answer_batch(&r, &q, 1);
+        let one = one_worker.answer_batch(&q);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn rank_top_k_matches_full_sort_exactly() {
+        // Scores collide heavily (mod 97) so the entity-id tiebreak is
+        // load-bearing, and n ≫ 4k forces the selection fast path.
+        let mk = |n: usize| -> Vec<Candidate> {
+            (0..n)
+                .map(|i| Candidate {
+                    entity: EntityId(i as u32),
+                    score: ((i.wrapping_mul(2654435761)) % 97) as f32 / 7.0,
+                    evidence: None,
+                })
+                .collect()
+        };
+        for (n, k) in [
+            (1000, 10),
+            (1000, 1),
+            (1000, 999),
+            (50, 10),
+            (10, 0),
+            (0, 5),
+        ] {
+            let mut full = mk(n);
+            sort_candidates(&mut full);
+            truncate_top_k(&mut full, k);
+            let mut fast = mk(n);
+            rank_top_k(&mut fast, k);
+            assert_eq!(fast, full, "n={n}, top_k={k}");
+        }
+    }
+
+    #[test]
+    fn candidates_from_scores_matches_materialize_and_sort() {
+        // Heavy ties via mod 7 make the entity-id tiebreak decisive.
+        let scores: Vec<f32> = (0..500)
+            .map(|i: usize| ((i.wrapping_mul(48271)) % 7) as f32 - 3.0)
+            .collect();
+        for (base, k) in [(0usize, 10usize), (100, 1), (0, 0), (0, 499), (7, 125)] {
+            let mut full: Vec<Candidate> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &score)| Candidate {
+                    entity: EntityId((base + i) as u32),
+                    score,
+                    evidence: None,
+                })
+                .collect();
+            sort_candidates(&mut full);
+            truncate_top_k(&mut full, k);
+            assert_eq!(
+                candidates_from_scores(&scores, base, k),
+                full,
+                "base={base}, top_k={k}"
+            );
+        }
+        assert!(candidates_from_scores(&[], 0, 5).is_empty());
     }
 
     #[test]

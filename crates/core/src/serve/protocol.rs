@@ -664,6 +664,13 @@ impl NameIndex {
         }
     }
 
+    /// Build from a TSV-interned [`Vocab`](mmkgr_kg::io::Vocab): the
+    /// adoption path for real datasets, where `load_split_dir` assigns
+    /// dense ids in file order and this index must agree with them.
+    pub fn from_vocab(vocab: &mmkgr_kg::io::Vocab) -> Self {
+        Self::new(vocab.entities.clone(), vocab.relations.clone())
+    }
+
     /// The synthetic-dataset convention: entities `e0..`, base relations
     /// `r0..` — matching `mmkgr generate`'s TSV export.
     pub fn synthetic(num_entities: usize, num_base_relations: usize) -> Self {
@@ -764,6 +771,75 @@ mod tests {
 
     fn index() -> NameIndex {
         NameIndex::synthetic(5, 3)
+    }
+
+    /// Intern a symbolic TSV through the real dataset reader and check
+    /// that `from_vocab` agrees with the reader's id assignment — the
+    /// contract real WN18/FB15k-style datasets rely on.
+    #[test]
+    fn from_vocab_agrees_with_tsv_interning() {
+        use mmkgr_kg::io::{read_triples, Vocab};
+
+        let path = std::env::temp_dir().join(format!("mmkgr_vocab_{}.tsv", std::process::id()));
+        std::fs::write(
+            &path,
+            "tokyo\tcapital_of\tjapan\njapan\tneighbor_of\tkorea\n",
+        )
+        .unwrap();
+        let mut vocab = Vocab::default();
+        let triples = read_triples(&path, &mut vocab).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let idx = NameIndex::from_vocab(&vocab);
+        assert_eq!(idx.num_entities(), 3);
+        // Every interned symbol resolves to the id the reader assigned,
+        // and renders back to the same name.
+        for name in &vocab.entities {
+            let id = idx.resolve_entity(name).unwrap();
+            assert_eq!(id.0, vocab.lookup_entity(name).unwrap());
+            assert_eq!(idx.entity_name(id), *name);
+        }
+        for name in &vocab.relations {
+            let id = idx.resolve_relation(name).unwrap();
+            assert_eq!(id.0, vocab.lookup_relation(name).unwrap());
+            assert_eq!(idx.relation_name(id), *name);
+        }
+        // The parsed triples speak the same id space.
+        let t = &triples[0];
+        assert_eq!(idx.entity_name(t.s), "tokyo");
+        assert_eq!(idx.relation_name(t.r), "capital_of");
+        assert_eq!(idx.entity_name(t.o), "japan");
+    }
+
+    #[test]
+    fn from_vocab_handles_inverses_and_unknowns() {
+        use mmkgr_kg::io::Vocab;
+
+        let vocab = Vocab::from_tables(
+            vec!["tokyo".into(), "japan".into()],
+            vec!["capital_of".into()],
+        );
+        let idx = NameIndex::from_vocab(&vocab);
+
+        // `~name` addresses the synthetic inverse, and renders back as `~name`.
+        let base = idx.resolve_relation("capital_of").unwrap();
+        let inv = idx.resolve_relation("~capital_of").unwrap();
+        assert_eq!(inv, idx.relation_space().inverse(base));
+        assert_eq!(idx.relation_name(inv), "~capital_of");
+
+        // Unknown symbols are typed errors, not panics.
+        assert!(matches!(
+            idx.resolve_entity("osaka"),
+            Err(ApiError::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            idx.resolve_relation("borders"),
+            Err(ApiError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            idx.resolve_relation("~borders"),
+            Err(ApiError::UnknownRelation { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Entity-sharded serving: one [`ShardedReasoner`] composes N shards
+//! behind the same [`KgReasoner`] trait the registry and HTTP front end
+//! already speak, so sharding is invisible above this module.
+//!
+//! Two sharding disciplines, matching the two model families:
+//!
+//! - **Scored** (KGE scorers): exhaustive object scoring is partitioned
+//!   by contiguous entity range. Shard `i` scores objects in
+//!   `bounds[i]..bounds[i+1]` on its own thread, ranks and truncates its
+//!   slice locally, and the merger re-sorts the per-shard top-k unions.
+//!   This is exact: `score(s, r, o)` does not depend on which shard
+//!   evaluates it, and the global top-k is always a subset of the union
+//!   of per-shard top-ks, so the merged ranking is bit-identical to an
+//!   unsharded [`super::ScorerReasoner`] pass (both use
+//!   [`super::sort_candidates`]'s descending-score / ascending-id order).
+//! - **Routed** (path reasoners): beam search walks the whole graph from
+//!   one source, so it cannot be range-split. Instead each query routes
+//!   to the shard owning its *source* entity; shards hold full replicas
+//!   (or shard-local fine-tunes) and answer independently. Batches fan
+//!   out across shards with one thread per non-empty shard.
+//!
+//! Either way the v1 wire surface is untouched: a `ShardedReasoner`
+//! registers in [`super::ModelRegistry`] like any other model.
+
+use std::sync::Arc;
+
+use mmkgr_embed::TripleScorer;
+use mmkgr_kg::{EntityId, RelationId, RelationSpace};
+
+use super::{
+    candidates_from_scores, rank_top_k, Answer, CacheStats, Candidate, Coverage, KgReasoner, Query,
+};
+use crate::infer::BeamPath;
+
+/// Why a [`ShardedReasoner`] could not be assembled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// Zero shards requested (or an empty shard list supplied).
+    NoShards,
+    /// A routed shard disagrees with shard 0 on entity count or relation
+    /// layout — replicas must serve the same graph shape.
+    ShapeMismatch {
+        shard: usize,
+        expected_entities: usize,
+        got_entities: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::NoShards => write!(f, "ShardedReasoner needs at least one shard"),
+            ShardError::ShapeMismatch {
+                shard,
+                expected_entities,
+                got_entities,
+            } => write!(
+                f,
+                "shard {shard} serves {got_entities} entities but shard 0 serves \
+                 {expected_entities}; routed shards must be shape-identical replicas"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Object-safe view of a [`TripleScorer`] for range scoring — lets the
+/// sharded reasoner stay non-generic (it is always held as
+/// `Arc<dyn KgReasoner>`).
+trait ObjectScorer: Send + Sync {
+    /// Scores for `lo..hi`, via the scorer's vectorized range path.
+    fn score_range(&self, s: EntityId, r: RelationId, lo: usize, hi: usize, out: &mut Vec<f32>);
+}
+
+impl<S: TripleScorer + Send + Sync> ObjectScorer for S {
+    fn score_range(&self, s: EntityId, r: RelationId, lo: usize, hi: usize, out: &mut Vec<f32>) {
+        self.score_objects_range(s, r, lo, hi, out);
+    }
+}
+
+enum Mode {
+    /// Exhaustive scoring split by entity range.
+    Scored(Arc<dyn ObjectScorer>),
+    /// Full reasoners, queries routed by source-entity shard.
+    Routed(Vec<Arc<dyn KgReasoner + Send + Sync>>),
+}
+
+/// N entity-partitioned shards behind one [`KgReasoner`] (see the module
+/// docs for the two disciplines and the exactness argument).
+pub struct ShardedReasoner {
+    name: String,
+    mode: Mode,
+    num_entities: usize,
+    relations: RelationSpace,
+    /// `bounds[i]..bounds[i+1]` is shard `i`'s entity range;
+    /// `bounds.len() == shards + 1`, `bounds[0] == 0`, last == entities.
+    bounds: Vec<usize>,
+}
+
+impl std::fmt::Debug for ShardedReasoner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedReasoner")
+            .field("name", &self.name)
+            .field(
+                "mode",
+                &match self.mode {
+                    Mode::Scored(_) => "scored",
+                    Mode::Routed(_) => "routed",
+                },
+            )
+            .field("num_entities", &self.num_entities)
+            .field("bounds", &self.bounds)
+            .finish()
+    }
+}
+
+/// Contiguous near-equal split of `0..n` into `shards` ranges.
+fn uniform_bounds(n: usize, shards: usize) -> Vec<usize> {
+    (0..=shards).map(|i| i * n / shards).collect()
+}
+
+impl ShardedReasoner {
+    /// Shard an exhaustive [`TripleScorer`] by entity range. The scorer
+    /// is shared (`Arc`-cloned) across shards — only the score loop is
+    /// partitioned. Errors on `shards == 0`.
+    pub fn from_scorer<S>(
+        name: impl Into<String>,
+        scorer: S,
+        num_entities: usize,
+        relations: RelationSpace,
+        shards: usize,
+    ) -> Result<Self, ShardError>
+    where
+        S: TripleScorer + Send + Sync + 'static,
+    {
+        if shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        Ok(ShardedReasoner {
+            name: name.into(),
+            mode: Mode::Scored(Arc::new(scorer)),
+            num_entities,
+            relations,
+            bounds: uniform_bounds(num_entities, shards),
+        })
+    }
+
+    /// Compose full reasoner replicas, routing each query to the shard
+    /// that owns its source entity. All shards must agree on entity
+    /// count and relation layout. Errors on an empty list or a shape
+    /// mismatch.
+    pub fn from_routed(
+        name: impl Into<String>,
+        shards: Vec<Arc<dyn KgReasoner + Send + Sync>>,
+    ) -> Result<Self, ShardError> {
+        let first = shards.first().ok_or(ShardError::NoShards)?;
+        let num_entities = first.num_entities();
+        let relations = first.relations();
+        for (i, s) in shards.iter().enumerate().skip(1) {
+            if s.num_entities() != num_entities || s.relations() != relations {
+                return Err(ShardError::ShapeMismatch {
+                    shard: i,
+                    expected_entities: num_entities,
+                    got_entities: s.num_entities(),
+                });
+            }
+        }
+        let bounds = uniform_bounds(num_entities, shards.len());
+        Ok(ShardedReasoner {
+            name: name.into(),
+            mode: Mode::Routed(shards),
+            num_entities,
+            relations,
+            bounds,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Which shard owns entity `e` (callers guarantee `e` is in range).
+    fn shard_of(&self, e: EntityId) -> usize {
+        // bounds is sorted; the owner is the last bound <= e.
+        self.bounds
+            .partition_point(|&b| b <= e.index())
+            .saturating_sub(1)
+            .min(self.num_shards() - 1)
+    }
+
+    /// Score shard `i`'s entity range, returning its slice of the
+    /// ranking already sorted and truncated to `top_k`.
+    fn score_shard(
+        scorer: &dyn ObjectScorer,
+        query: &Query,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<Candidate> {
+        let mut scores = Vec::new();
+        scorer.score_range(query.source, query.relation, lo, hi, &mut scores);
+        candidates_from_scores(&scores, lo, query.top_k)
+    }
+
+    /// Exhaustive answer, fanned across shards. One scoped thread per
+    /// non-empty shard beyond the first; the first range is scored on
+    /// the calling thread so a 1-shard reasoner never spawns.
+    fn answer_scored(&self, scorer: &Arc<dyn ObjectScorer>, query: &Query) -> Answer {
+        let ranges: Vec<(usize, usize)> = self
+            .bounds
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut merged: Vec<Candidate> = match ranges.split_first() {
+            None => Vec::new(),
+            Some((&(lo0, hi0), rest)) => std::thread::scope(|scope| {
+                let handles: Vec<_> = rest
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let scorer = Arc::clone(scorer);
+                        scope.spawn(move || Self::score_shard(&*scorer, query, lo, hi))
+                    })
+                    .collect();
+                let mut all = Self::score_shard(&**scorer, query, lo0, hi0);
+                for h in handles {
+                    // A scorer panic propagates to the caller, matching
+                    // WorkerPool's panic discipline.
+                    all.extend(h.join().expect("shard scoring thread panicked"));
+                }
+                all
+            }),
+        };
+        // Per-shard slices are each sorted, but the union is not; the
+        // final order must match the unsharded single sort exactly.
+        rank_top_k(&mut merged, query.top_k);
+        Answer {
+            query: *query,
+            coverage: Coverage::Exhaustive,
+            ranked: merged,
+        }
+    }
+
+    /// Batch convenience with per-shard fan-out (routed mode groups
+    /// queries by owning shard; scored mode answers sequentially, each
+    /// answer already fanning across shards internally). Answers come
+    /// back in query order, identical to [`KgReasoner::answer`] per
+    /// query.
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        match &self.mode {
+            Mode::Scored(_) => queries.iter().map(|q| self.answer(q)).collect(),
+            Mode::Routed(shards) => {
+                let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shards.len()];
+                for (i, q) in queries.iter().enumerate() {
+                    by_shard[self.shard_of(q.source)].push(i);
+                }
+                let mut slots: Vec<Option<Answer>> = vec![None; queries.len()];
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = by_shard
+                        .iter()
+                        .zip(shards)
+                        .filter(|(idx, _)| !idx.is_empty())
+                        .map(|(idx, shard)| {
+                            scope.spawn(move || {
+                                idx.iter()
+                                    .map(|&i| (i, shard.answer(&queries[i])))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (i, a) in h.join().expect("shard answer thread panicked") {
+                            slots[i] = Some(a);
+                        }
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|a| a.expect("every slot filled"))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl KgReasoner for ShardedReasoner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn relations(&self) -> RelationSpace {
+        self.relations
+    }
+
+    fn answer(&self, query: &Query) -> Answer {
+        match &self.mode {
+            Mode::Scored(scorer) => self.answer_scored(scorer, query),
+            Mode::Routed(shards) => shards[self.shard_of(query.source)].answer(query),
+        }
+    }
+
+    fn explain(&self, query: &Query) -> Option<Vec<BeamPath>> {
+        match &self.mode {
+            Mode::Scored(_) => None,
+            Mode::Routed(shards) => shards[self.shard_of(query.source)].explain(query),
+        }
+    }
+
+    /// Routed mode: counters summed across shards that report any
+    /// (capacity and entries add; a miss on one shard is a miss).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.mode {
+            Mode::Scored(_) => None,
+            Mode::Routed(shards) => {
+                let per_shard: Vec<CacheStats> =
+                    shards.iter().filter_map(|s| s.cache_stats()).collect();
+                if per_shard.is_empty() {
+                    return None;
+                }
+                let mut total = CacheStats::default();
+                for s in per_shard {
+                    total.entries += s.entries;
+                    total.capacity += s.capacity;
+                    total.hits += s.hits;
+                    total.misses += s.misses;
+                }
+                Some(total)
+            }
+        }
+    }
+
+    fn has_path_evidence(&self) -> bool {
+        match &self.mode {
+            Mode::Scored(_) => false,
+            Mode::Routed(shards) => shards[0].has_path_evidence(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{PolicyReasoner, ScorerReasoner, ServeConfig};
+    use super::*;
+    use crate::config::MmkgrConfig;
+    use crate::model::MmkgrModel;
+    use mmkgr_datagen::{generate, GenConfig};
+    use mmkgr_embed::TransE;
+
+    fn shape() -> (usize, RelationSpace) {
+        (23, RelationSpace::new(3))
+    }
+
+    fn transe(n: usize, rs: RelationSpace) -> Arc<TransE> {
+        Arc::new(TransE::new(n, rs.total(), 8, 7))
+    }
+
+    #[test]
+    fn uniform_bounds_cover_and_partition() {
+        let b = uniform_bounds(23, 4);
+        assert_eq!(b, vec![0, 5, 11, 17, 23]);
+        assert_eq!(uniform_bounds(3, 4), vec![0, 0, 1, 2, 3]);
+        assert_eq!(uniform_bounds(0, 2), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn sharded_scorer_matches_unsharded_exactly() {
+        let (n, rs) = shape();
+        let scorer = transe(n, rs);
+        let whole = ScorerReasoner::new("TransE", Arc::clone(&scorer), n, rs);
+        for shards in [1, 2, 4, 7] {
+            let sharded =
+                ShardedReasoner::from_scorer("TransE", Arc::clone(&scorer), n, rs, shards).unwrap();
+            assert_eq!(sharded.num_shards(), shards);
+            for src in [0u32, 3, 22] {
+                for top_k in [0usize, 1, 5, 100] {
+                    let q = Query::new(EntityId(src), RelationId(1)).with_top_k(top_k);
+                    let a = sharded.answer(&q);
+                    let b = whole.answer(&q);
+                    assert_eq!(a, b, "shards={shards} src={src} top_k={top_k}");
+                    assert_eq!(a.coverage, Coverage::Exhaustive);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scorer_breaks_ties_like_unsharded() {
+        // All-equal scores: the merged order must still be ascending
+        // entity id, same as one global sort.
+        struct Flat;
+        impl TripleScorer for Flat {
+            fn score(&self, _: EntityId, _: RelationId, _: EntityId) -> f32 {
+                1.0
+            }
+        }
+        let rs = RelationSpace::new(2);
+        let sharded = ShardedReasoner::from_scorer("Flat", Flat, 10, rs, 4).unwrap();
+        let a = sharded.answer(&Query::new(EntityId(0), RelationId(0)).with_top_k(0));
+        let ids: Vec<u32> = a.ranked.iter().map(|c| c.entity.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+    }
+
+    fn policy_shards(
+        replicas: usize,
+    ) -> (Vec<Query>, Arc<PolicyReasoner<MmkgrModel>>, ShardedReasoner) {
+        let kg = generate(&GenConfig::tiny());
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        let graph = Arc::new(kg.graph.clone());
+        let single = Arc::new(PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::clone(&graph),
+            ServeConfig::default(),
+        ));
+        // Replicas share the single reasoner: routing must be a pure
+        // dispatch, so "shard i answered" is indistinguishable by value.
+        let shards: Vec<Arc<dyn KgReasoner + Send + Sync>> = (0..replicas)
+            .map(|_| Arc::clone(&single) as Arc<dyn KgReasoner + Send + Sync>)
+            .collect();
+        let sharded = ShardedReasoner::from_routed("MMKGR-x4", shards).unwrap();
+        let queries: Vec<Query> = kg
+            .split
+            .test
+            .iter()
+            .take(8)
+            .map(|t| Query::new(t.s, t.r).with_beam(8).with_steps(3))
+            .collect();
+        (queries, single, sharded)
+    }
+
+    #[test]
+    fn routed_policy_matches_single_reasoner() {
+        let (queries, single, sharded) = policy_shards(4);
+        assert!(sharded.has_path_evidence());
+        for q in &queries {
+            assert_eq!(sharded.answer(q), single.answer(q));
+            assert_eq!(sharded.explain(q), single.explain(q));
+        }
+        // Batch fan-out across shards preserves query order.
+        let batched = sharded.answer_batch(&queries);
+        let sequential: Vec<Answer> = queries.iter().map(|q| single.answer(q)).collect();
+        assert_eq!(batched, sequential);
+        assert!(sharded.answer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn every_entity_routes_to_a_valid_shard() {
+        let (_, _, sharded) = policy_shards(4);
+        let n = sharded.num_entities();
+        for e in 0..n as u32 {
+            let s = sharded.shard_of(EntityId(e));
+            assert!(s < sharded.num_shards());
+            assert!(sharded.bounds[s] <= e as usize && (e as usize) < sharded.bounds[s + 1]);
+        }
+    }
+
+    #[test]
+    fn constructors_reject_degenerate_shapes() {
+        let (n, rs) = shape();
+        assert_eq!(
+            ShardedReasoner::from_scorer("x", transe(n, rs), n, rs, 0).unwrap_err(),
+            ShardError::NoShards
+        );
+        assert_eq!(
+            ShardedReasoner::from_routed("x", Vec::new()).unwrap_err(),
+            ShardError::NoShards
+        );
+        let a = Arc::new(ScorerReasoner::new("a", transe(n, rs), n, rs));
+        let b = Arc::new(ScorerReasoner::new("b", transe(9, rs), 9, rs));
+        let err = ShardedReasoner::from_routed(
+            "mixed",
+            vec![
+                a as Arc<dyn KgReasoner + Send + Sync>,
+                b as Arc<dyn KgReasoner + Send + Sync>,
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ShardError::ShapeMismatch {
+                shard: 1,
+                expected_entities: n,
+                got_entities: 9
+            }
+        );
+    }
+}

@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod config;
 pub mod modality;
+pub mod scale;
 pub mod schema;
 
 use mmkgr_kg::{KnowledgeGraph, MultiModalKG};
@@ -33,6 +34,7 @@ use mmkgr_tensor::init::seeded_rng;
 
 pub use builder::{inferable_fraction, verify_no_leakage};
 pub use config::GenConfig;
+pub use scale::{generate_scale, ScaleConfig};
 
 /// Generate a complete multi-modal KG dataset from a config.
 pub fn generate(cfg: &GenConfig) -> MultiModalKG {

@@ -22,6 +22,26 @@ pub trait TripleScorer {
         }
     }
 
+    /// Score `(s, r, o)` for every entity `o` in `lo..hi` — the shard
+    /// primitive behind entity-range sharding (`serve::ShardedReasoner`).
+    /// The default loops [`TripleScorer::score`]; models with a
+    /// vectorized [`TripleScorer::score_all_objects`] should override
+    /// with the same arithmetic restricted to the range, so sharded and
+    /// unsharded rankings stay bit-identical.
+    fn score_objects_range(
+        &self,
+        s: EntityId,
+        r: RelationId,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<f32>,
+    ) {
+        prepare_score_buffer(out, hi.saturating_sub(lo));
+        for o in lo..hi {
+            out.push(self.score(s, r, EntityId(o as u32)));
+        }
+    }
+
     /// Plausibility probability via a sigmoid squash — the `l(e_s, r_q, e_T)`
     /// shaping term of the paper's destination reward (Eq. 13).
     fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
@@ -53,6 +73,17 @@ impl<T: TripleScorer> TripleScorer for std::sync::Arc<T> {
         (**self).score_all_objects(s, r, n, out)
     }
 
+    fn score_objects_range(
+        &self,
+        s: EntityId,
+        r: RelationId,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<f32>,
+    ) {
+        (**self).score_objects_range(s, r, lo, hi, out)
+    }
+
     fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
         (**self).probability(s, r, o)
     }
@@ -65,6 +96,17 @@ impl<T: TripleScorer + ?Sized> TripleScorer for &T {
 
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
         (**self).score_all_objects(s, r, n, out)
+    }
+
+    fn score_objects_range(
+        &self,
+        s: EntityId,
+        r: RelationId,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<f32>,
+    ) {
+        (**self).score_objects_range(s, r, lo, hi, out)
     }
 
     fn probability(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {

@@ -124,12 +124,23 @@ impl TripleScorer for TransE {
     }
 
     fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
-        crate::scorer::prepare_score_buffer(out, n);
+        self.score_objects_range(s, r, 0, n, out);
+    }
+
+    fn score_objects_range(
+        &self,
+        s: EntityId,
+        r: RelationId,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<f32>,
+    ) {
+        crate::scorer::prepare_score_buffer(out, hi.saturating_sub(lo));
         let es = self.entities.row(&self.params, s.index());
         let er = self.relations.row(&self.params, r.index());
         let query: Vec<f32> = es.iter().zip(er).map(|(a, b)| a + b).collect();
         let table = self.params.value(self.entities.table);
-        for o in 0..n {
+        for o in lo..hi {
             let row = table.row(o);
             let mut d = 0.0f32;
             for i in 0..self.dim {
@@ -187,6 +198,10 @@ mod tests {
             let p = model.score(EntityId(1), RelationId(0), EntityId(o as u32));
             assert!((v - p).abs() < 1e-5);
         }
+        // The shard primitive must be a bit-exact slice of the full pass.
+        let mut range = Vec::new();
+        model.score_objects_range(EntityId(1), RelationId(0), 2, 5, &mut range);
+        assert_eq!(range, out[2..5]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   [`harness::Harness`] per (dataset, scale) pair.
 //! - [`serving`]: [`ReasonerBuilder`] — dataset → substrate → model →
 //!   `Arc<dyn KgReasoner + Send + Sync>` in one call.
+//! - [`snapshot`]: encode trained registries into `.mmkg` snapshots and
+//!   boot them back in milliseconds (`mmkgr serve --snapshot`).
 //! - [`report`]: paper-style aligned tables and JSON persistence.
 
 pub mod fewshot;
@@ -16,6 +18,7 @@ pub mod metrics;
 pub mod ranker;
 pub mod report;
 pub mod serving;
+pub mod snapshot;
 
 pub use fewshot::{relation_frequencies, FewShotSplit, FrequencyBucket};
 pub use harness::{datasets_from_args, Dataset, Harness, HarnessConfig, ScaleChoice};
@@ -28,5 +31,9 @@ pub use ranker::{
 };
 pub use report::{pct, pct_delta, save_json, Table};
 pub use serving::{
-    build_reasoner, build_registry, harness_name_index, BuiltReasoner, ModelChoice, ReasonerBuilder,
+    build_reasoner, build_registry, harness_name_index, train_model, BuiltReasoner, KgeModel,
+    KgeSpec, ModelChoice, ReasonerBuilder, TrainedModel, TrainedModelKind,
+};
+pub use snapshot::{
+    load_registry_snapshot, write_registry_snapshot, LoadedRegistry, SnapshotBuildError,
 };

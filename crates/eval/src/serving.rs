@@ -32,8 +32,13 @@ use std::sync::Arc;
 use mmkgr_core::serve::{
     KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, ScorerReasoner, ServeConfig,
 };
-use mmkgr_core::Variant;
-use mmkgr_embed::{ComplEx, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD};
+use mmkgr_core::{MmkgrModel, Variant};
+use mmkgr_embed::{
+    ComplEx, ConvE, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD, TransE,
+    TripleScorer,
+};
+use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId};
+use mmkgr_nn::Params;
 
 use crate::harness::{Dataset, Harness, HarnessConfig, ScaleChoice};
 
@@ -229,16 +234,149 @@ pub fn build_registry(h: &Harness, choices: &[ModelChoice], serve: ServeConfig) 
     registry
 }
 
-/// Train `choice` on an existing harness (shared dataset + substrates)
-/// and wrap it in the serving protocol. Used by [`ReasonerBuilder`] and
-/// directly by experiment binaries that compare many models on one
-/// dataset.
-pub fn build_reasoner(
-    h: &Harness,
-    choice: ModelChoice,
-    serve: ServeConfig,
-) -> Arc<dyn KgReasoner + Send + Sync> {
-    let name = choice.name();
+/// Reconstruction recipe for a snapshotted KGE scorer: re-running the
+/// model's deterministic constructor with these arguments rebuilds a
+/// parameter arena of identical shape (same tensors in the same order),
+/// which a snapshot's flat weight section then overwrites. See
+/// [`crate::snapshot`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct KgeSpec {
+    /// Model kind tag (matches [`ModelChoice::name`]).
+    pub model: &'static str,
+    /// Embedding dimension passed to the constructor.
+    pub dim: usize,
+    /// Init seed passed to the constructor.
+    pub seed: u64,
+    /// `(img_h, img_w, channels)` for ConvE's image-plane constructor.
+    pub img: Option<(usize, usize, usize)>,
+}
+
+/// A trained KGE scorer whose parameters live in a [`Params`] arena —
+/// the snapshotable subset of the Table-I family. Delegates every
+/// [`TripleScorer`] method so serving through this wrapper is
+/// bit-identical to serving the concrete model.
+pub enum KgeModel {
+    TransE(Arc<TransE>),
+    ConvE(Arc<ConvE>),
+    TransD(TransD),
+    DistMult(DistMult),
+    ComplEx(ComplEx),
+    Rescal(Rescal),
+    Hole(Hole),
+}
+
+impl KgeModel {
+    /// The trained parameter arena (flattened into snapshots).
+    pub fn params(&self) -> &Params {
+        match self {
+            KgeModel::TransE(m) => &m.params,
+            KgeModel::ConvE(m) => &m.params,
+            KgeModel::TransD(m) => &m.params,
+            KgeModel::DistMult(m) => &m.params,
+            KgeModel::ComplEx(m) => &m.params,
+            KgeModel::Rescal(m) => &m.params,
+            KgeModel::Hole(m) => &m.params,
+        }
+    }
+}
+
+impl TripleScorer for KgeModel {
+    fn score(&self, s: EntityId, r: RelationId, o: EntityId) -> f32 {
+        match self {
+            KgeModel::TransE(m) => m.score(s, r, o),
+            KgeModel::ConvE(m) => m.score(s, r, o),
+            KgeModel::TransD(m) => m.score(s, r, o),
+            KgeModel::DistMult(m) => m.score(s, r, o),
+            KgeModel::ComplEx(m) => m.score(s, r, o),
+            KgeModel::Rescal(m) => m.score(s, r, o),
+            KgeModel::Hole(m) => m.score(s, r, o),
+        }
+    }
+
+    // Forward the vectorized paths too — the wrapper must not silently
+    // fall back to the pointwise default.
+    fn score_all_objects(&self, s: EntityId, r: RelationId, n: usize, out: &mut Vec<f32>) {
+        match self {
+            KgeModel::TransE(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::ConvE(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::TransD(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::DistMult(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::ComplEx(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::Rescal(m) => m.score_all_objects(s, r, n, out),
+            KgeModel::Hole(m) => m.score_all_objects(s, r, n, out),
+        }
+    }
+
+    fn score_objects_range(
+        &self,
+        s: EntityId,
+        r: RelationId,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<f32>,
+    ) {
+        match self {
+            KgeModel::TransE(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::ConvE(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::TransD(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::DistMult(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::ComplEx(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::Rescal(m) => m.score_objects_range(s, r, lo, hi, out),
+            KgeModel::Hole(m) => m.score_objects_range(s, r, lo, hi, out),
+        }
+    }
+}
+
+/// A trained model, separated from the reasoner it will be served as —
+/// the snapshot writer encodes this, the serving path wraps it via
+/// [`TrainedModel::into_reasoner`]. Both halves therefore share one
+/// training run.
+pub struct TrainedModel {
+    /// Registry/display name (e.g. `"MMKGR"`, `"TransE"`).
+    pub name: String,
+    pub kind: TrainedModelKind,
+}
+
+pub enum TrainedModelKind {
+    /// An MMKGR-family policy. Snapshots store its self-contained JSON
+    /// checkpoint ([`MmkgrModel::to_json`]).
+    Mmkgr(Box<MmkgrModel>),
+    /// A KGE scorer with a deterministic reconstruction recipe; snapshots
+    /// store the flat f32 parameters plus the [`KgeSpec`].
+    Kge { model: KgeModel, spec: KgeSpec },
+    /// Served as-is but not snapshotable: the baseline walkers (whose
+    /// policies have no stable checkpoint format) and the modal/composite
+    /// scorers (whose reconstruction needs the modal bank).
+    Opaque(Arc<dyn KgReasoner + Send + Sync>),
+}
+
+impl TrainedModel {
+    /// Wrap into the unified serving protocol over `graph`.
+    pub fn into_reasoner(
+        self,
+        graph: Arc<KnowledgeGraph>,
+        serve: ServeConfig,
+    ) -> Arc<dyn KgReasoner + Send + Sync> {
+        let n_ent = graph.num_entities();
+        let rs = graph.relations();
+        match self.kind {
+            TrainedModelKind::Mmkgr(model) => {
+                Arc::new(PolicyReasoner::new(self.name, *model, graph, serve))
+            }
+            TrainedModelKind::Kge { model, .. } => {
+                Arc::new(ScorerReasoner::new(self.name, model, n_ent, rs))
+            }
+            TrainedModelKind::Opaque(r) => r,
+        }
+    }
+}
+
+/// Train `choice` on an existing harness (shared dataset + substrates),
+/// keeping the trained model separate from its serving wrapper so the
+/// snapshot writer can encode it. `serve` is only consumed by the model
+/// families that must wrap immediately (the non-snapshotable walkers).
+pub fn train_model(h: &Harness, choice: ModelChoice, serve: ServeConfig) -> TrainedModel {
+    let name = choice.name().to_string();
     let n_ent = h.kg.num_entities();
     let n_rel = h.relation_total();
     let dim = h.cfg.struct_dim;
@@ -247,69 +385,155 @@ pub fn build_reasoner(
         .with_seed(h.cfg.seed ^ 0xA11);
     let rs = h.kg.graph.relations();
 
+    // Shapes the per-family `KgeSpec` (constructor args must mirror the
+    // actual construction below and in `Harness::{transe,conve}`).
+    let spec = |model: &'static str, seed: u64| KgeSpec {
+        model,
+        dim,
+        seed,
+        img: None,
+    };
+    let kge = |model: KgeModel, spec: KgeSpec| TrainedModel {
+        name: name.clone(),
+        kind: TrainedModelKind::Kge { model, spec },
+    };
+
     match choice {
         ModelChoice::Mmkgr(v) => {
             let (trainer, _) = h.train_variant(v);
-            Arc::new(PolicyReasoner::new(
+            TrainedModel {
                 name,
-                trainer.model,
-                h.graph_arc(),
-                serve,
-            ))
+                kind: TrainedModelKind::Mmkgr(Box::new(trainer.model)),
+            }
         }
         ModelChoice::Minerva => {
             let (w, _) = h.train_minerva();
-            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+            TrainedModel {
+                name: name.clone(),
+                kind: TrainedModelKind::Opaque(Arc::new(PolicyReasoner::new(
+                    name,
+                    w,
+                    h.graph_arc(),
+                    serve,
+                ))),
+            }
         }
         ModelChoice::Rlh => {
             let (w, _) = h.train_rlh();
-            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+            TrainedModel {
+                name: name.clone(),
+                kind: TrainedModelKind::Opaque(Arc::new(PolicyReasoner::new(
+                    name,
+                    w,
+                    h.graph_arc(),
+                    serve,
+                ))),
+            }
         }
         ModelChoice::Fire => {
             let (w, _) = h.train_fire();
-            Arc::new(PolicyReasoner::new(name, w, h.graph_arc(), serve))
+            TrainedModel {
+                name: name.clone(),
+                kind: TrainedModelKind::Opaque(Arc::new(PolicyReasoner::new(
+                    name,
+                    w,
+                    h.graph_arc(),
+                    serve,
+                ))),
+            }
         }
-        ModelChoice::TransE => Arc::new(ScorerReasoner::new(name, h.transe(), n_ent, rs)),
-        ModelChoice::ConvE => Arc::new(ScorerReasoner::new(name, h.conve(), n_ent, rs)),
+        ModelChoice::TransE => kge(KgeModel::TransE(h.transe()), spec("TransE", h.cfg.seed)),
+        ModelChoice::ConvE => kge(
+            KgeModel::ConvE(h.conve()),
+            KgeSpec {
+                model: "ConvE",
+                dim,
+                seed: h.cfg.seed ^ 0xC0,
+                // Matches Harness::conve's 4×8 image plane, 6 channels.
+                img: Some((4, 8, 6)),
+            },
+        ),
         ModelChoice::TransD => {
             let mut m = TransD::new(n_ent, n_rel, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            kge(KgeModel::TransD(m), spec("TransD", kge_cfg.seed))
         }
         ModelChoice::DistMult => {
             let mut m = DistMult::new(n_ent, n_rel, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            kge(KgeModel::DistMult(m), spec("DistMult", kge_cfg.seed))
         }
         ModelChoice::ComplEx => {
             let mut m = ComplEx::new(n_ent, n_rel, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            kge(KgeModel::ComplEx(m), spec("ComplEx", kge_cfg.seed))
         }
         ModelChoice::Rescal => {
             let mut m = Rescal::new(n_ent, n_rel, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            kge(KgeModel::Rescal(m), spec("RESCAL", kge_cfg.seed))
         }
         ModelChoice::Hole => {
             let mut m = Hole::new(n_ent, n_rel, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            kge(KgeModel::Hole(m), spec("HolE", kge_cfg.seed))
         }
         ModelChoice::Ikrl => {
             let mut m = Ikrl::new(n_ent, n_rel, &h.kg.modal, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            TrainedModel {
+                name: name.clone(),
+                kind: TrainedModelKind::Opaque(Arc::new(ScorerReasoner::new(name, m, n_ent, rs))),
+            }
         }
         ModelChoice::TransAe => {
             let mut m = TransAe::new(n_ent, n_rel, &h.kg.modal, dim, kge_cfg.seed);
             m.train(&h.kg.split.train, &h.known, &kge_cfg);
-            Arc::new(ScorerReasoner::new(name, m, n_ent, rs))
+            TrainedModel {
+                name: name.clone(),
+                kind: TrainedModelKind::Opaque(Arc::new(ScorerReasoner::new(name, m, n_ent, rs))),
+            }
         }
-        ModelChoice::Mtrl => Arc::new(ScorerReasoner::new(name, h.train_mtrl(), n_ent, rs)),
-        ModelChoice::Gaats => Arc::new(ScorerReasoner::new(name, h.train_gaats(), n_ent, rs)),
-        ModelChoice::NeuralLp => Arc::new(ScorerReasoner::new(name, h.train_neurallp(), n_ent, rs)),
+        ModelChoice::Mtrl => TrainedModel {
+            name: name.clone(),
+            kind: TrainedModelKind::Opaque(Arc::new(ScorerReasoner::new(
+                name,
+                h.train_mtrl(),
+                n_ent,
+                rs,
+            ))),
+        },
+        ModelChoice::Gaats => TrainedModel {
+            name: name.clone(),
+            kind: TrainedModelKind::Opaque(Arc::new(ScorerReasoner::new(
+                name,
+                h.train_gaats(),
+                n_ent,
+                rs,
+            ))),
+        },
+        ModelChoice::NeuralLp => TrainedModel {
+            name: name.clone(),
+            kind: TrainedModelKind::Opaque(Arc::new(ScorerReasoner::new(
+                name,
+                h.train_neurallp(),
+                n_ent,
+                rs,
+            ))),
+        },
     }
+}
+
+/// Train `choice` and wrap it in the serving protocol. Used by
+/// [`ReasonerBuilder`] and directly by experiment binaries that compare
+/// many models on one dataset. Composition of [`train_model`] and
+/// [`TrainedModel::into_reasoner`].
+pub fn build_reasoner(
+    h: &Harness,
+    choice: ModelChoice,
+    serve: ServeConfig,
+) -> Arc<dyn KgReasoner + Send + Sync> {
+    train_model(h, choice, serve).into_reasoner(h.graph_arc(), serve)
 }
 
 #[cfg(test)]

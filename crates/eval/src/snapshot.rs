@@ -1,0 +1,489 @@
+//! Registry snapshots: encode a trained serving stack into one `.mmkg`
+//! file and boot a [`ModelRegistry`] back from it in milliseconds.
+//!
+//! A registry snapshot holds, in one memory-mappable file (see
+//! `docs/snapshot-format.md` and `mmkgr_kg::store`):
+//!
+//! - the graph's CSR arrays (loaded back zero-copy via mmap);
+//! - optional entity/relation name tables (synthetic datasets omit them
+//!   and fall back to the `e{i}`/`r{i}` convention);
+//! - one weight section per model — flat f32 parameters for the KGE
+//!   family, the self-contained JSON checkpoint for MMKGR policies;
+//! - a JSON [`RegistryManifest`] tying sections to models.
+//!
+//! KGE decoding re-runs the model's deterministic constructor (same
+//! `(entities, relations, dim, seed)` as training — the [`KgeSpec`]
+//! recorded at write time), which rebuilds a parameter arena of
+//! identical shape, then overwrites every tensor from the snapshot's
+//! flat section. Answers served from a loaded snapshot are therefore
+//! bit-identical to the freshly-trained registry — pinned by the
+//! round-trip tests below and the `snapshot_e2e` HTTP harness.
+//!
+//! Baseline walkers (MINERVA/RLH/FIRE) and the modal scorers (IKRL,
+//! TransAE, MTRL, …) have no snapshot encoding — writing one is a typed
+//! [`SnapshotBuildError::Unsupported`], not a silent omission.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mmkgr_core::serve::{
+    KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, ScorerReasoner, ServeConfig,
+    ShardedReasoner,
+};
+use mmkgr_core::MmkgrModel;
+use mmkgr_embed::{ComplEx, ConvE, DistMult, Hole, Rescal, TransD, TransE};
+use mmkgr_kg::store::SectionKind;
+use mmkgr_kg::{KnowledgeGraph, Snapshot, SnapshotError, SnapshotWriter};
+use mmkgr_nn::Params;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::Harness;
+use crate::serving::{train_model, KgeModel, ModelChoice, TrainedModel, TrainedModelKind};
+
+/// `manifest.kind` tag for registry snapshots.
+pub const REGISTRY_KIND: &str = "mmkgr-registry";
+
+/// One model's manifest entry: which section holds its weights and how
+/// to reconstruct it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// Registry/display name (e.g. `"MMKGR"`, `"TransE"`).
+    pub name: String,
+    /// `"mmkgr"` (JSON checkpoint blob) or `"kge"` (flat f32 params).
+    pub family: String,
+    /// KGE kind tag (`"TransE"`, `"ConvE"`, …); unused for `"mmkgr"`.
+    #[serde(default)]
+    pub model: String,
+    /// Constructor embedding dimension (KGE only).
+    #[serde(default)]
+    pub dim: usize,
+    /// Constructor init seed (KGE only).
+    #[serde(default)]
+    pub seed: u64,
+    /// `[img_h, img_w, channels]` for ConvE's image-plane constructor.
+    #[serde(default)]
+    pub img: Vec<usize>,
+    /// Section index of the weights (F32Tensor for kge, Blob for mmkgr).
+    pub section: usize,
+}
+
+/// The snapshot's model manifest (stored as the JSON Manifest section).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegistryManifest {
+    /// Always [`REGISTRY_KIND`].
+    pub kind: String,
+    /// Name of the registry's default model (the first one written).
+    pub default_model: String,
+    /// Serving defaults the registry was built with.
+    pub serve: ServeConfig,
+    pub models: Vec<ModelEntry>,
+}
+
+/// Why a registry snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum SnapshotBuildError {
+    /// This model family has no snapshot encoding (walkers, modal
+    /// scorers).
+    Unsupported(String),
+    /// Underlying `.mmkg` format error.
+    Snapshot(SnapshotError),
+    /// Manifest missing, malformed, or of the wrong kind.
+    BadManifest(String),
+    /// A weight section's scalar count disagrees with the reconstructed
+    /// parameter arena.
+    ShapeMismatch {
+        model: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotBuildError::Unsupported(name) => {
+                write!(f, "model `{name}` has no snapshot encoding")
+            }
+            SnapshotBuildError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            SnapshotBuildError::BadManifest(why) => write!(f, "bad registry manifest: {why}"),
+            SnapshotBuildError::ShapeMismatch {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "model `{model}`: weight section holds {got} scalars but the \
+                 reconstructed arena needs {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotBuildError {}
+
+impl From<SnapshotError> for SnapshotBuildError {
+    fn from(e: SnapshotError) -> Self {
+        SnapshotBuildError::Snapshot(e)
+    }
+}
+
+/// Flatten a parameter arena in insertion order (the order every
+/// deterministic constructor re-creates).
+fn flatten_params(p: &Params) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(p.num_scalars());
+    for (_, _, value) in p.iter() {
+        flat.extend_from_slice(value.as_slice());
+    }
+    flat
+}
+
+/// Overwrite `p`'s tensors from a flat slice written by
+/// [`flatten_params`] on an identically-shaped arena.
+fn restore_params(model: &str, p: &mut Params, flat: &[f32]) -> Result<(), SnapshotBuildError> {
+    if p.num_scalars() != flat.len() {
+        return Err(SnapshotBuildError::ShapeMismatch {
+            model: model.to_string(),
+            expected: p.num_scalars(),
+            got: flat.len(),
+        });
+    }
+    let mut off = 0;
+    for (_, value, _) in p.iter_mut() {
+        let n = value.len();
+        value.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+    Ok(())
+}
+
+fn encode_model(
+    w: &mut SnapshotWriter,
+    tm: TrainedModel,
+) -> Result<ModelEntry, SnapshotBuildError> {
+    match tm.kind {
+        TrainedModelKind::Mmkgr(model) => {
+            let section = w.add_blob(model.to_json().as_bytes())?;
+            Ok(ModelEntry {
+                name: tm.name,
+                family: "mmkgr".to_string(),
+                model: String::new(),
+                dim: 0,
+                seed: 0,
+                img: Vec::new(),
+                section,
+            })
+        }
+        TrainedModelKind::Kge { model, spec } => {
+            let flat = flatten_params(model.params());
+            let section = w.add_f32(&flat, 1, flat.len())?;
+            Ok(ModelEntry {
+                name: tm.name,
+                family: "kge".to_string(),
+                model: spec.model.to_string(),
+                dim: spec.dim,
+                seed: spec.seed,
+                img: spec.img.map(|(h, w, c)| vec![h, w, c]).unwrap_or_default(),
+                section,
+            })
+        }
+        TrainedModelKind::Opaque(_) => Err(SnapshotBuildError::Unsupported(tm.name)),
+    }
+}
+
+/// Train `choices` over `h` and write graph + weights + manifest to a
+/// registry snapshot at `path`. The first choice becomes the registry
+/// default on load, mirroring [`crate::serving::build_registry`].
+pub fn write_registry_snapshot(
+    path: &Path,
+    h: &Harness,
+    choices: &[ModelChoice],
+    serve: ServeConfig,
+) -> Result<(), SnapshotBuildError> {
+    let mut w = SnapshotWriter::create(path)?;
+    w.add_graph(&h.kg.graph)?;
+    let mut models = Vec::with_capacity(choices.len());
+    for &choice in choices {
+        models.push(encode_model(&mut w, train_model(h, choice, serve))?);
+    }
+    let manifest = RegistryManifest {
+        kind: REGISTRY_KIND.to_string(),
+        default_model: models.first().map(|m| m.name.clone()).unwrap_or_default(),
+        serve,
+        models,
+    };
+    let json = serde_json::to_string(&manifest)
+        .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
+    w.add_manifest(&json)?;
+    w.finish()?;
+    Ok(())
+}
+
+fn reconstruct_kge(
+    entry: &ModelEntry,
+    n_ent: usize,
+    n_rel: usize,
+    flat: &[f32],
+) -> Result<KgeModel, SnapshotBuildError> {
+    let (dim, seed) = (entry.dim, entry.seed);
+    Ok(match entry.model.as_str() {
+        "TransE" => {
+            let mut m = TransE::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::TransE(Arc::new(m))
+        }
+        "ConvE" => {
+            let [img_h, img_w, channels]: [usize; 3] =
+                entry.img.as_slice().try_into().map_err(|_| {
+                    SnapshotBuildError::BadManifest(
+                        "ConvE entry needs img = [h, w, channels]".to_string(),
+                    )
+                })?;
+            let mut m = ConvE::new(n_ent, n_rel, img_h, img_w, channels, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::ConvE(Arc::new(m))
+        }
+        "TransD" => {
+            let mut m = TransD::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::TransD(m)
+        }
+        "DistMult" => {
+            let mut m = DistMult::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::DistMult(m)
+        }
+        "ComplEx" => {
+            let mut m = ComplEx::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::ComplEx(m)
+        }
+        "RESCAL" => {
+            let mut m = Rescal::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::Rescal(m)
+        }
+        "HolE" => {
+            let mut m = Hole::new(n_ent, n_rel, dim, seed);
+            restore_params(&entry.name, &mut m.params, flat)?;
+            KgeModel::Hole(m)
+        }
+        other => {
+            return Err(SnapshotBuildError::Unsupported(format!(
+                "{} (kge kind `{other}`)",
+                entry.name
+            )))
+        }
+    })
+}
+
+fn decode_model(
+    snap: &Snapshot,
+    graph: &Arc<KnowledgeGraph>,
+    entry: &ModelEntry,
+    serve: ServeConfig,
+    shards: usize,
+) -> Result<Arc<dyn KgReasoner + Send + Sync>, SnapshotBuildError> {
+    let n_ent = graph.num_entities();
+    let rs = graph.relations();
+    let shard_err = |e| SnapshotBuildError::BadManifest(format!("sharding: {e}"));
+    match entry.family.as_str() {
+        "mmkgr" => {
+            let json = std::str::from_utf8(snap.blob(entry.section)?).map_err(|_| {
+                SnapshotBuildError::BadManifest("mmkgr checkpoint not UTF-8".to_string())
+            })?;
+            let model = MmkgrModel::from_json(json)
+                .map_err(|e| SnapshotBuildError::BadManifest(format!("mmkgr checkpoint: {e}")))?;
+            let single: Arc<dyn KgReasoner + Send + Sync> = Arc::new(PolicyReasoner::new(
+                entry.name.clone(),
+                model,
+                Arc::clone(graph),
+                serve,
+            ));
+            if shards > 1 {
+                // Policy shards are source-routed replicas of one model
+                // (beam search cannot be range-split; see serve::sharded).
+                let replicas = (0..shards).map(|_| Arc::clone(&single)).collect();
+                Ok(Arc::new(
+                    ShardedReasoner::from_routed(entry.name.clone(), replicas)
+                        .map_err(shard_err)?,
+                ))
+            } else {
+                Ok(single)
+            }
+        }
+        "kge" => {
+            let (flat, _, _) = snap.f32_tensor(entry.section)?;
+            let kge = reconstruct_kge(entry, n_ent, rs.total(), &flat)?;
+            if shards > 1 {
+                Ok(Arc::new(
+                    ShardedReasoner::from_scorer(entry.name.clone(), kge, n_ent, rs, shards)
+                        .map_err(shard_err)?,
+                ))
+            } else {
+                Ok(Arc::new(ScorerReasoner::new(
+                    entry.name.clone(),
+                    kge,
+                    n_ent,
+                    rs,
+                )))
+            }
+        }
+        other => Err(SnapshotBuildError::BadManifest(format!(
+            "unknown model family `{other}`"
+        ))),
+    }
+}
+
+/// A registry booted from a snapshot.
+pub struct LoadedRegistry {
+    pub registry: ModelRegistry,
+    pub graph: Arc<KnowledgeGraph>,
+    pub manifest: RegistryManifest,
+    /// True when the CSR arrays are mmap-backed (zero-copy boot).
+    pub mapped: bool,
+}
+
+/// Boot a [`ModelRegistry`] from a registry snapshot. No training runs:
+/// the graph is mmap-loaded and each model's weights are restored from
+/// their sections, so boot time is file-open + parameter copy.
+///
+/// `serve_override` replaces the snapshot's recorded [`ServeConfig`];
+/// `shards > 1` wraps every model in a [`ShardedReasoner`] (entity-range
+/// sharding for scorers, source-routed replicas for policies).
+pub fn load_registry_snapshot(
+    path: &Path,
+    serve_override: Option<ServeConfig>,
+    shards: usize,
+) -> Result<LoadedRegistry, SnapshotBuildError> {
+    let snap = Snapshot::open(path)?;
+    let mapped = snap.is_mapped();
+    let graph = Arc::new(snap.graph()?);
+    let manifest_json = snap
+        .manifest()?
+        .ok_or_else(|| SnapshotBuildError::BadManifest("no manifest section".to_string()))?;
+    let manifest: RegistryManifest = serde_json::from_str(manifest_json)
+        .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
+    if manifest.kind != REGISTRY_KIND {
+        return Err(SnapshotBuildError::BadManifest(format!(
+            "kind `{}` is not `{REGISTRY_KIND}`",
+            manifest.kind
+        )));
+    }
+    let serve = serve_override.unwrap_or(manifest.serve);
+    let names = match snap.find(SectionKind::EntNameOffsets) {
+        Some(_) => {
+            let (ents, rels) = snap.vocab_names()?;
+            NameIndex::new(ents, rels)
+        }
+        None => NameIndex::synthetic(graph.num_entities(), graph.relations().base()),
+    };
+    let mut registry = ModelRegistry::new(names);
+    for entry in &manifest.models {
+        registry.register(decode_model(&snap, &graph, entry, serve, shards)?);
+    }
+    Ok(LoadedRegistry {
+        registry,
+        graph,
+        manifest,
+        mapped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{Dataset, HarnessConfig, ScaleChoice};
+    use crate::serving::build_reasoner;
+    use mmkgr_core::serve::Query;
+    use mmkgr_core::Variant;
+
+    fn tiny_harness() -> Harness {
+        let mut cfg = HarnessConfig::new(Dataset::Tiny, ScaleChoice::Quick);
+        cfg.rl_epochs = 1;
+        cfg.kge_epochs = 2;
+        cfg.max_eval = 6;
+        Harness::new(cfg)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmkgr_regsnap_{}_{name}.mmkg", std::process::id()))
+    }
+
+    #[test]
+    fn kge_registry_round_trips_bit_exact_and_sharded() {
+        let h = tiny_harness();
+        let serve = ServeConfig::default();
+        let path = tmp("kge");
+        write_registry_snapshot(&path, &h, &[ModelChoice::TransE], serve).unwrap();
+
+        let fresh = build_reasoner(&h, ModelChoice::TransE, serve);
+        for shards in [1usize, 4] {
+            let loaded = load_registry_snapshot(&path, None, shards).unwrap();
+            assert_eq!(loaded.manifest.default_model, "TransE");
+            assert_eq!(loaded.graph.num_entities(), h.kg.num_entities());
+            let (_, booted) = loaded.registry.get(Some("TransE")).unwrap();
+            for t in h.eval_triples.iter().take(4) {
+                let q = Query::new(t.s, t.r).with_top_k(0);
+                assert_eq!(
+                    booted.answer(&q),
+                    fresh.answer(&q),
+                    "snapshot-booted TransE must answer bit-identically (shards={shards})"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmkgr_policy_round_trips_through_json_blob() {
+        let h = tiny_harness();
+        let serve = ServeConfig::default();
+        let path = tmp("mmkgr");
+        write_registry_snapshot(&path, &h, &[ModelChoice::Mmkgr(Variant::Full)], serve).unwrap();
+
+        let fresh = build_reasoner(&h, ModelChoice::Mmkgr(Variant::Full), serve);
+        let loaded = load_registry_snapshot(&path, None, 1).unwrap();
+        let (_, booted) = loaded.registry.get(Some("MMKGR")).unwrap();
+        assert!(booted.has_path_evidence());
+        for t in h.eval_triples.iter().take(3) {
+            let q = Query::new(t.s, t.r)
+                .with_beam(8)
+                .with_steps(3)
+                .with_top_k(0);
+            assert_eq!(booted.answer(&q), fresh.answer(&q));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn walkers_are_a_typed_unsupported_error() {
+        let h = tiny_harness();
+        let path = tmp("walker");
+        let err =
+            write_registry_snapshot(&path, &h, &[ModelChoice::Minerva], ServeConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, SnapshotBuildError::Unsupported(ref n) if n == "MINERVA"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_survives_its_own_json() {
+        let m = RegistryManifest {
+            kind: REGISTRY_KIND.to_string(),
+            default_model: "TransE".to_string(),
+            serve: ServeConfig::default(),
+            models: vec![ModelEntry {
+                name: "ConvE".to_string(),
+                family: "kge".to_string(),
+                model: "ConvE".to_string(),
+                dim: 32,
+                seed: 99,
+                img: vec![4, 8, 6],
+                section: 5,
+            }],
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RegistryManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -7,25 +7,42 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{EntityId, RelationId, RelationSpace};
+use crate::store::CsrStore;
 use crate::triple::{Triple, TripleSet};
 
 /// One outgoing edge `(relation, target)`.
+///
+/// `repr(C)`: two `u32`s, no padding — edge arrays are stored as raw byte
+/// sections in `.mmkg` snapshots and viewed back zero-copy.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Edge {
     pub relation: RelationId,
     pub target: EntityId,
 }
 
 /// Immutable CSR adjacency over a set of triples (plus inverses).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Backed by a [`CsrStore`] (see [`crate::store`]), whose flat arrays may
+/// be heap-owned or zero-copy views into a memory-mapped snapshot; either
+/// way the accessors below hand out the same `&[Edge]` slices.
+#[derive(Clone, Debug)]
 pub struct KnowledgeGraph {
-    num_entities: usize,
-    relations: RelationSpace,
-    /// CSR offsets: edges of entity `e` live at `edges[offsets[e]..offsets[e+1]]`.
-    offsets: Vec<u32>,
-    edges: Vec<Edge>,
-    /// The original (non-inverse) triples this graph was built from.
-    triples: Vec<Triple>,
+    store: CsrStore,
+}
+
+// Serializes exactly as its backing store (same field set the pre-store
+// struct had), so the wire format is unchanged by the storage refactor.
+impl Serialize for KnowledgeGraph {
+    fn serialize_value(&self) -> serde::Value {
+        self.store.serialize_value()
+    }
+}
+
+impl Deserialize for KnowledgeGraph {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        CsrStore::deserialize_value(v).map(KnowledgeGraph::from_store)
+    }
 }
 
 impl KnowledgeGraph {
@@ -41,167 +58,101 @@ impl KnowledgeGraph {
         triples: Vec<Triple>,
         max_out_degree: Option<usize>,
     ) -> Self {
-        let relations = RelationSpace::new(num_base_relations);
-        for t in &triples {
-            assert!(
-                t.s.index() < num_entities,
-                "triple source {} out of range",
-                t.s
-            );
-            assert!(
-                t.o.index() < num_entities,
-                "triple target {} out of range",
-                t.o
-            );
-            assert!(
-                relations.is_base(t.r),
-                "triple relation {} must be a base relation (< {num_base_relations})",
-                t.r
-            );
+        KnowledgeGraph {
+            store: CsrStore::from_triples(
+                num_entities,
+                num_base_relations,
+                triples,
+                max_out_degree,
+            ),
         }
-        // Count degrees (forward + inverse).
-        let mut degree = vec![0u32; num_entities];
-        for t in &triples {
-            degree[t.s.index()] += 1;
-            degree[t.o.index()] += 1;
-        }
-        let mut offsets = Vec::with_capacity(num_entities + 1);
-        offsets.push(0u32);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
-        }
-        let total = *offsets.last().unwrap() as usize;
-        let mut edges = vec![
-            Edge {
-                relation: RelationId(0),
-                target: EntityId(0)
-            };
-            total
-        ];
-        let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
-        for t in &triples {
-            let slot = cursor[t.s.index()] as usize;
-            edges[slot] = Edge {
-                relation: t.r,
-                target: t.o,
-            };
-            cursor[t.s.index()] += 1;
-            let slot = cursor[t.o.index()] as usize;
-            edges[slot] = Edge {
-                relation: relations.inverse(t.r),
-                target: t.s,
-            };
-            cursor[t.o.index()] += 1;
-        }
-        // Sort each bucket for determinism and binary-searchability.
-        for e in 0..num_entities {
-            let (a, b) = (offsets[e] as usize, offsets[e + 1] as usize);
-            edges[a..b].sort_unstable_by_key(|e| (e.relation, e.target));
-        }
-        let mut graph = KnowledgeGraph {
-            num_entities,
-            relations,
-            offsets,
-            edges,
-            triples,
-        };
-        if let Some(cap) = max_out_degree {
-            graph = graph.truncated(cap);
-        }
-        graph
     }
 
-    /// Copy with each entity's out-edges truncated to `cap`.
-    fn truncated(&self, cap: usize) -> Self {
-        let mut offsets = Vec::with_capacity(self.num_entities + 1);
-        let mut edges = Vec::with_capacity(self.edges.len());
-        offsets.push(0u32);
-        for e in 0..self.num_entities {
-            let bucket = self.neighbors(EntityId(e as u32));
-            let take = bucket.len().min(cap);
-            edges.extend_from_slice(&bucket[..take]);
-            offsets.push(edges.len() as u32);
-        }
-        KnowledgeGraph {
-            num_entities: self.num_entities,
-            relations: self.relations,
-            offsets,
-            edges,
-            triples: self.triples.clone(),
-        }
+    /// Wrap an already-built (e.g. snapshot-loaded) CSR store.
+    pub fn from_store(store: CsrStore) -> Self {
+        KnowledgeGraph { store }
+    }
+
+    /// The backing CSR store (flat arrays; snapshot writer input).
+    #[inline]
+    pub fn store(&self) -> &CsrStore {
+        &self.store
     }
 
     #[inline]
     pub fn num_entities(&self) -> usize {
-        self.num_entities
+        self.store.num_entities()
     }
 
     /// Relation id layout (base / inverse / NO_OP).
     #[inline]
     pub fn relations(&self) -> RelationSpace {
-        self.relations
+        self.store.relations()
     }
 
     /// All outgoing edges of `e` (inverse edges included), sorted.
     #[inline]
     pub fn neighbors(&self, e: EntityId) -> &[Edge] {
-        let (a, b) = (
-            self.offsets[e.index()] as usize,
-            self.offsets[e.index() + 1] as usize,
-        );
-        &self.edges[a..b]
+        self.store.neighbors(e)
+    }
+
+    /// Only the base-relation edges of `e` (a prefix of its bucket).
+    #[inline]
+    pub fn forward_neighbors(&self, e: EntityId) -> &[Edge] {
+        self.store.forward_neighbors(e)
+    }
+
+    /// Only the synthetic inverse edges of `e` (the bucket's suffix).
+    #[inline]
+    pub fn inverse_neighbors(&self, e: EntityId) -> &[Edge] {
+        self.store.inverse_neighbors(e)
     }
 
     #[inline]
     pub fn out_degree(&self, e: EntityId) -> usize {
-        (self.offsets[e.index() + 1] - self.offsets[e.index()]) as usize
+        self.store.out_degree(e)
     }
 
     /// Total directed edges (2× the base triples, before truncation).
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.store.num_edges()
     }
 
     /// The base triples the graph was built from.
     pub fn triples(&self) -> &[Triple] {
-        &self.triples
+        self.store.triples()
     }
 
     /// Membership set over the base triples.
     pub fn triple_set(&self) -> TripleSet {
-        TripleSet::from_triples(&self.triples)
+        TripleSet::from_triples(self.store.triples())
     }
 
     /// Does the edge `(s, r, o)` exist (r may be base or inverse)?
     pub fn has_edge(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
-        self.neighbors(s)
-            .binary_search_by_key(&(r, o), |e| (e.relation, e.target))
-            .is_ok()
+        self.store.has_edge(s, r, o)
     }
 
     /// Targets reachable from `s` via relation `r` (base or inverse).
     pub fn targets(&self, s: EntityId, r: RelationId) -> impl Iterator<Item = EntityId> + '_ {
-        let bucket = self.neighbors(s);
-        let start = bucket.partition_point(|e| e.relation < r);
-        bucket[start..]
-            .iter()
-            .take_while(move |e| e.relation == r)
-            .map(|e| e.target)
+        self.store.targets(s, r)
     }
 
     /// Mean out-degree — a sparsity diagnostic used by the harness.
     pub fn mean_out_degree(&self) -> f64 {
-        if self.num_entities == 0 {
+        if self.num_entities() == 0 {
             0.0
         } else {
-            self.edges.len() as f64 / self.num_entities as f64
+            self.num_edges() as f64 / self.num_entities() as f64
         }
     }
 
     /// Largest action space any walker will see.
     pub fn max_out_degree(&self) -> usize {
-        (0..self.num_entities)
-            .map(|e| self.out_degree(EntityId(e as u32)))
+        self.store
+            .offsets_slice()
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
     }

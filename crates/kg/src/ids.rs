@@ -8,11 +8,16 @@
 use serde::{Deserialize, Serialize};
 
 /// Entity identifier (dense, `0..num_entities`).
+///
+/// `repr(transparent)` so id arrays can be reinterpreted as raw `u32`
+/// slices by the zero-copy snapshot loader ([`crate::store`]).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct EntityId(pub u32);
 
 /// Relation identifier (dense; see [`RelationSpace`] for the layout).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct RelationId(pub u32);
 
 impl EntityId {

@@ -25,6 +25,27 @@ pub struct Vocab {
 }
 
 impl Vocab {
+    /// Rebuild a vocab from already-ordered name tables (the snapshot
+    /// loader path: ids are the positions in the tables).
+    pub fn from_tables(entities: Vec<String>, relations: Vec<String>) -> Self {
+        let entity_ids = entities
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        let relation_ids = relations
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Vocab {
+            entities,
+            relations,
+            entity_ids,
+            relation_ids,
+        }
+    }
+
     pub fn entity_id(&mut self, name: &str) -> u32 {
         if let Some(&id) = self.entity_ids.get(name) {
             return id;

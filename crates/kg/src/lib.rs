@@ -20,6 +20,7 @@ pub mod modal;
 pub mod paths;
 pub mod query;
 pub mod stats;
+pub mod store;
 pub mod triple;
 
 pub use dataset::{DatasetStats, MultiModalKG, Split};
@@ -30,4 +31,5 @@ pub use modal::ModalBank;
 pub use paths::{enumerate_paths, hop_distance, random_walk, Path};
 pub use query::{Query, QueryKind, RankFilter};
 pub use stats::{gini, GraphProfile};
+pub use store::{CsrStore, Snapshot, SnapshotError, SnapshotWriter};
 pub use triple::{Triple, TripleSet};

@@ -7,7 +7,7 @@
 use std::collections::VecDeque;
 
 use crate::graph::KnowledgeGraph;
-use crate::ids::{EntityId, RelationId};
+use crate::ids::EntityId;
 
 /// Distributional summary of a knowledge graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +33,11 @@ pub struct GraphProfile {
     /// Fraction of sampled ordered entity pairs connected within k hops,
     /// for k = 1..=4 (index 0 ⇔ 1 hop). Sampled, not exhaustive.
     pub reach_within: [f64; 4],
+    /// Log2-bucketed out-degree histogram over *all* stored edges
+    /// (inverses included): `degree_hist_log2[k]` counts entities with
+    /// degree in `[2^k, 2^(k+1))`; bucket 0 also holds degree-0 entities.
+    /// Streamed from the CSR offsets — no per-entity allocation.
+    pub degree_hist_log2: Vec<usize>,
 }
 
 impl GraphProfile {
@@ -41,25 +46,19 @@ impl GraphProfile {
     pub fn compute(graph: &KnowledgeGraph, reach_samples: usize) -> Self {
         let n = graph.num_entities();
         let base = graph.relations().base();
+        let store = graph.store();
 
-        // Degrees over *base* edges only: the CSR stores inverses too, so
-        // filter by relation id.
-        let is_base = |r: RelationId| (r.0 as usize) < base;
-        let mut edges = 0usize;
+        // Degrees over *base* edges only. The CSR buckets keep base
+        // relations as a prefix, so the forward view is a slice length —
+        // no per-entity Vec is ever materialized (safe at 10^6 entities).
+        let rel_counts = store.relation_histogram();
+        let edges: usize = rel_counts.iter().sum();
         let mut max_out = 0usize;
         let mut sinks = 0usize;
-        let mut rel_counts = vec![0usize; base.max(1)];
         for e in 0..n {
-            let mut out = 0usize;
-            for edge in graph.neighbors(EntityId(e as u32)) {
-                if is_base(edge.relation) {
-                    out += 1;
-                    rel_counts[edge.relation.0 as usize] += 1;
-                }
-            }
-            edges += out;
-            max_out = max_out.max(out);
-            if graph.out_degree(EntityId(e as u32)) == 0 {
+            let e = EntityId(e as u32);
+            max_out = max_out.max(store.forward_neighbors(e).len());
+            if store.out_degree(e) == 0 {
                 sinks += 1;
             }
         }
@@ -78,6 +77,7 @@ impl GraphProfile {
             largest_component_frac: largest as f64 / n.max(1) as f64,
             relation_gini: gini(&rel_counts),
             reach_within,
+            degree_hist_log2: store.degree_histogram_log2(),
         }
     }
 }
@@ -147,13 +147,21 @@ fn weak_components(graph: &KnowledgeGraph) -> (usize, usize) {
             }
         }
     }
-    let mut sizes = std::collections::HashMap::new();
+    // Count component sizes with a dense Vec indexed by root id — a
+    // HashMap here costs hundreds of MB of entries at 10^6 entities.
+    let mut sizes = vec![0usize; n];
     for e in 0..n {
         let root = find(&mut parent, e as u32);
-        *sizes.entry(root).or_insert(0usize) += 1;
+        sizes[root as usize] += 1;
     }
-    let largest = sizes.values().copied().max().unwrap_or(0);
-    (sizes.len(), largest)
+    let (mut count, mut largest) = (0usize, 0usize);
+    for &s in &sizes {
+        if s > 0 {
+            count += 1;
+            largest = largest.max(s);
+        }
+    }
+    (count, largest)
 }
 
 /// Sampled k-hop reachability: from `samples` deterministic source
@@ -268,6 +276,16 @@ mod tests {
         // chains include inverse edges → from the middle everything is
         // reachable within 4 hops; from the ends less. Strictly positive.
         assert!(p.reach_within[0] > 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_covers_every_entity() {
+        let g = chain(5);
+        let p = GraphProfile::compute(&g, 4);
+        assert_eq!(p.degree_hist_log2.iter().sum::<usize>(), 5);
+        // ends have degree 1 (bucket 0), middle entities degree 2 (bucket 1)
+        assert_eq!(p.degree_hist_log2[0], 2);
+        assert_eq!(p.degree_hist_log2[1], 3);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The CSR adjacency store.
+//!
+//! Flat, snapshot-friendly arrays: per-entity `offsets` into a single
+//! relation-sorted `edges` array (forward and inverse edges interleaved in
+//! each bucket, inverse ids sorting after base ids), plus the original base
+//! `triples`. Every array is a [`Slab`], so a store can be built in memory
+//! or viewed zero-copy out of a memory-mapped snapshot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Edge;
+use crate::ids::{EntityId, RelationId, RelationSpace};
+use crate::triple::Triple;
+
+use super::Slab;
+
+/// Validation failure when assembling a store from untrusted parts
+/// (e.g. a snapshot file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    OffsetsLength { expected: usize, got: usize },
+    OffsetsNotMonotone { entity: usize },
+    OffsetsMismatch { last: u32, edges: usize },
+    EdgeTargetOutOfRange { index: usize, target: u32 },
+    EdgeRelationOutOfRange { index: usize, relation: u32 },
+    BucketNotSorted { entity: usize },
+    TripleOutOfRange { index: usize },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::OffsetsLength { expected, got } => {
+                write!(f, "offsets length {got}, expected {expected}")
+            }
+            CsrError::OffsetsNotMonotone { entity } => {
+                write!(f, "offsets decrease at entity {entity}")
+            }
+            CsrError::OffsetsMismatch { last, edges } => {
+                write!(f, "final offset {last} != edge count {edges}")
+            }
+            CsrError::EdgeTargetOutOfRange { index, target } => {
+                write!(f, "edge {index} targets out-of-range entity {target}")
+            }
+            CsrError::EdgeRelationOutOfRange { index, relation } => {
+                write!(f, "edge {index} uses out-of-range relation {relation}")
+            }
+            CsrError::BucketNotSorted { entity } => {
+                write!(f, "edge bucket of entity {entity} is not relation-sorted")
+            }
+            CsrError::TripleOutOfRange { index } => {
+                write!(f, "base triple {index} references out-of-range ids")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// Immutable CSR adjacency over a set of triples plus their inverses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrStore {
+    num_entities: usize,
+    relations: RelationSpace,
+    /// CSR offsets: edges of entity `e` live at `edges[offsets[e]..offsets[e+1]]`.
+    offsets: Slab<u32>,
+    edges: Slab<Edge>,
+    /// The original (non-inverse) triples this store was built from.
+    triples: Slab<Triple>,
+}
+
+impl CsrStore {
+    /// Build from base triples. Inverse edges are added automatically; each
+    /// bucket is sorted by `(relation, target)`, so base relations form a
+    /// prefix and inverse relations a suffix of every bucket.
+    ///
+    /// `max_out_degree` (if `Some`) truncates each entity's edge list to
+    /// bound the RL action space, keeping the first edges after sorting —
+    /// mirrors the action-space truncation used by MINERVA-family
+    /// implementations.
+    pub fn from_triples(
+        num_entities: usize,
+        num_base_relations: usize,
+        triples: Vec<Triple>,
+        max_out_degree: Option<usize>,
+    ) -> Self {
+        let relations = RelationSpace::new(num_base_relations);
+        for t in &triples {
+            assert!(
+                t.s.index() < num_entities,
+                "triple source {} out of range",
+                t.s
+            );
+            assert!(
+                t.o.index() < num_entities,
+                "triple target {} out of range",
+                t.o
+            );
+            assert!(
+                relations.is_base(t.r),
+                "triple relation {} must be a base relation (< {num_base_relations})",
+                t.r
+            );
+        }
+        // Count degrees (forward + inverse).
+        let mut degree = vec![0u32; num_entities];
+        for t in &triples {
+            degree[t.s.index()] += 1;
+            degree[t.o.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_entities + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut edges = vec![
+            Edge {
+                relation: RelationId(0),
+                target: EntityId(0)
+            };
+            total
+        ];
+        let mut cursor: Vec<u32> = offsets[..num_entities].to_vec();
+        for t in &triples {
+            let slot = cursor[t.s.index()] as usize;
+            edges[slot] = Edge {
+                relation: t.r,
+                target: t.o,
+            };
+            cursor[t.s.index()] += 1;
+            let slot = cursor[t.o.index()] as usize;
+            edges[slot] = Edge {
+                relation: relations.inverse(t.r),
+                target: t.s,
+            };
+            cursor[t.o.index()] += 1;
+        }
+        // Sort each bucket for determinism and binary-searchability.
+        for e in 0..num_entities {
+            let (a, b) = (offsets[e] as usize, offsets[e + 1] as usize);
+            edges[a..b].sort_unstable_by_key(|e| (e.relation, e.target));
+        }
+        let mut store = CsrStore {
+            num_entities,
+            relations,
+            offsets: offsets.into(),
+            edges: edges.into(),
+            triples: triples.into(),
+        };
+        if let Some(cap) = max_out_degree {
+            store = store.truncated(cap);
+        }
+        store
+    }
+
+    /// Assemble from pre-built (possibly memory-mapped) parts, validating
+    /// every structural invariant the accessors rely on. This is the
+    /// untrusted-input path used by the snapshot loader.
+    pub fn from_parts(
+        num_entities: usize,
+        relations: RelationSpace,
+        offsets: Slab<u32>,
+        edges: Slab<Edge>,
+        triples: Slab<Triple>,
+    ) -> Result<Self, CsrError> {
+        if offsets.len() != num_entities + 1 {
+            return Err(CsrError::OffsetsLength {
+                expected: num_entities + 1,
+                got: offsets.len(),
+            });
+        }
+        for e in 0..num_entities {
+            if offsets[e] > offsets[e + 1] {
+                return Err(CsrError::OffsetsNotMonotone { entity: e });
+            }
+        }
+        let last = *offsets.last().unwrap_or(&0);
+        if last as usize != edges.len() {
+            return Err(CsrError::OffsetsMismatch {
+                last,
+                edges: edges.len(),
+            });
+        }
+        let total_rel = relations.total() as u32;
+        for (i, edge) in edges.iter().enumerate() {
+            if edge.target.index() >= num_entities {
+                return Err(CsrError::EdgeTargetOutOfRange {
+                    index: i,
+                    target: edge.target.0,
+                });
+            }
+            if edge.relation.0 >= total_rel {
+                return Err(CsrError::EdgeRelationOutOfRange {
+                    index: i,
+                    relation: edge.relation.0,
+                });
+            }
+        }
+        for e in 0..num_entities {
+            let bucket = &edges[offsets[e] as usize..offsets[e + 1] as usize];
+            if bucket
+                .windows(2)
+                .any(|w| (w[0].relation, w[0].target) > (w[1].relation, w[1].target))
+            {
+                return Err(CsrError::BucketNotSorted { entity: e });
+            }
+        }
+        for (i, t) in triples.iter().enumerate() {
+            if t.s.index() >= num_entities || t.o.index() >= num_entities || !relations.is_base(t.r)
+            {
+                return Err(CsrError::TripleOutOfRange { index: i });
+            }
+        }
+        Ok(CsrStore {
+            num_entities,
+            relations,
+            offsets,
+            edges,
+            triples,
+        })
+    }
+
+    /// Copy with each entity's out-edges truncated to `cap`.
+    fn truncated(&self, cap: usize) -> Self {
+        let mut offsets = Vec::with_capacity(self.num_entities + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0u32);
+        for e in 0..self.num_entities {
+            let bucket = self.neighbors(EntityId(e as u32));
+            let take = bucket.len().min(cap);
+            edges.extend_from_slice(&bucket[..take]);
+            offsets.push(edges.len() as u32);
+        }
+        CsrStore {
+            num_entities: self.num_entities,
+            relations: self.relations,
+            offsets: offsets.into(),
+            edges: edges.into(),
+            triples: self.triples.clone(),
+        }
+    }
+
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    #[inline]
+    pub fn relations(&self) -> RelationSpace {
+        self.relations
+    }
+
+    /// All outgoing edges of `e` (inverse edges included), sorted by
+    /// `(relation, target)`.
+    #[inline]
+    pub fn neighbors(&self, e: EntityId) -> &[Edge] {
+        let (a, b) = (
+            self.offsets[e.index()] as usize,
+            self.offsets[e.index() + 1] as usize,
+        );
+        &self.edges[a..b]
+    }
+
+    /// Forward view: only edges via base relations. Because buckets are
+    /// relation-sorted and base ids precede inverse ids, this is a prefix
+    /// slice — O(log d) to locate, zero-copy to use.
+    pub fn forward_neighbors(&self, e: EntityId) -> &[Edge] {
+        let bucket = self.neighbors(e);
+        let split = bucket.partition_point(|edge| self.relations.is_base(edge.relation));
+        &bucket[..split]
+    }
+
+    /// Inverse view: only edges via synthetic inverse relations (the
+    /// suffix complement of [`CsrStore::forward_neighbors`]).
+    pub fn inverse_neighbors(&self, e: EntityId) -> &[Edge] {
+        let bucket = self.neighbors(e);
+        let split = bucket.partition_point(|edge| self.relations.is_base(edge.relation));
+        &bucket[split..]
+    }
+
+    #[inline]
+    pub fn out_degree(&self, e: EntityId) -> usize {
+        (self.offsets[e.index() + 1] - self.offsets[e.index()]) as usize
+    }
+
+    /// Total directed edges (2× the base triples, before truncation).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The base triples the store was built from.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Does the edge `(s, r, o)` exist (r may be base or inverse)?
+    pub fn has_edge(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
+        self.neighbors(s)
+            .binary_search_by_key(&(r, o), |e| (e.relation, e.target))
+            .is_ok()
+    }
+
+    /// Targets reachable from `s` via relation `r` (base or inverse).
+    pub fn targets(&self, s: EntityId, r: RelationId) -> impl Iterator<Item = EntityId> + '_ {
+        let bucket = self.neighbors(s);
+        let start = bucket.partition_point(|e| e.relation < r);
+        bucket[start..]
+            .iter()
+            .take_while(move |e| e.relation == r)
+            .map(|e| e.target)
+    }
+
+    /// Raw CSR offsets array (`num_entities + 1` entries) — snapshot writer
+    /// input; also the basis for streaming degree statistics.
+    pub fn offsets_slice(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw relation-sorted edge array — snapshot writer input.
+    pub fn edges_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// True when every CSR array is a zero-copy view into a mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() && self.edges.is_mapped() && self.triples.is_mapped()
+    }
+
+    /// Histogram of out-degrees in log2 buckets: `hist[k]` counts entities
+    /// with total out-degree in `[2^k, 2^(k+1))` (`hist[0]` counts degrees
+    /// 0 and 1). Computed by streaming the offsets array — no per-entity
+    /// allocation, safe at 10^6+ entities.
+    pub fn degree_histogram_log2(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; 1];
+        for w in self.offsets.windows(2) {
+            let d = (w[1] - w[0]) as usize;
+            let bucket = (usize::BITS - d.leading_zeros()).saturating_sub(1) as usize;
+            if bucket >= hist.len() {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+
+    /// Per-base-relation directed edge counts (forward direction only),
+    /// streamed over the edge array.
+    pub fn relation_histogram(&self) -> Vec<usize> {
+        let base = self.relations.base();
+        let mut counts = vec![0usize; base.max(1)];
+        for edge in self.edges.iter() {
+            let r = edge.relation.0 as usize;
+            if r < base {
+                counts[r] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CsrStore {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(0, 1, 2),
+        ];
+        CsrStore::from_triples(3, 2, triples, None)
+    }
+
+    #[test]
+    fn forward_and_inverse_views_partition_the_bucket() {
+        let s = toy();
+        for e in 0..3u32 {
+            let e = EntityId(e);
+            let fwd = s.forward_neighbors(e);
+            let inv = s.inverse_neighbors(e);
+            assert_eq!(fwd.len() + inv.len(), s.out_degree(e));
+            assert!(fwd.iter().all(|x| s.relations().is_base(x.relation)));
+            assert!(inv.iter().all(|x| s.relations().is_inverse(x.relation)));
+        }
+        // entity 0 has two forward edges and no inverse edges
+        assert_eq!(s.forward_neighbors(EntityId(0)).len(), 2);
+        assert!(s.inverse_neighbors(EntityId(0)).is_empty());
+        // entity 2 is only ever a target: all inverse
+        assert!(s.forward_neighbors(EntityId(2)).is_empty());
+        assert_eq!(s.inverse_neighbors(EntityId(2)).len(), 2);
+    }
+
+    #[test]
+    fn from_parts_accepts_own_output() {
+        let s = toy();
+        let rebuilt = CsrStore::from_parts(
+            s.num_entities(),
+            s.relations(),
+            s.offsets.clone(),
+            s.edges.clone(),
+            s.triples.clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.edges_slice(), s.edges_slice());
+    }
+
+    #[test]
+    fn from_parts_rejects_corruption() {
+        let s = toy();
+        // wrong offsets length
+        let err = CsrStore::from_parts(
+            s.num_entities(),
+            s.relations(),
+            Slab::Owned(vec![0u32]),
+            s.edges.clone(),
+            s.triples.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsrError::OffsetsLength { .. }));
+        // edge target out of range
+        let bad = vec![
+            Edge {
+                relation: RelationId(0),
+                target: EntityId(99),
+            };
+            s.num_edges()
+        ];
+        let err = CsrStore::from_parts(
+            s.num_entities(),
+            s.relations(),
+            s.offsets.clone(),
+            Slab::Owned(bad),
+            s.triples.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsrError::EdgeTargetOutOfRange { .. }));
+        // non-monotone offsets
+        let err = CsrStore::from_parts(
+            s.num_entities(),
+            s.relations(),
+            Slab::Owned(vec![0, 4, 2, s.num_edges() as u32]),
+            s.edges.clone(),
+            s.triples.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsrError::OffsetsNotMonotone { .. }));
+    }
+
+    #[test]
+    fn histograms_stream_without_per_entity_state() {
+        let s = toy();
+        let deg = s.degree_histogram_log2();
+        // degrees are 2, 2, 2 → all in bucket 1 ([2,4))
+        assert_eq!(deg[1], 3);
+        assert_eq!(deg.iter().sum::<usize>(), 3);
+        let rel = s.relation_histogram();
+        // r0 appears once, r1 twice (forward only)
+        assert_eq!(rel, vec![1, 2]);
+    }
+}

@@ -1,0 +1,101 @@
+//! The million-entity storage tier.
+//!
+//! Three layers, bottom-up:
+//!
+//! - [`slab`] — [`Mmap`] (read-only file mapping via direct `mmap(2)` FFI)
+//!   and [`Slab<T>`], a typed array that is either heap-owned or a
+//!   zero-copy view into a mapping.
+//! - [`csr`] — [`CsrStore`], the flat CSR adjacency (relation-sorted edge
+//!   buckets with per-entity offsets, forward + inverse views) that
+//!   [`crate::KnowledgeGraph`] is backed by.
+//! - [`snapshot`] — the versioned `.mmkg` snapshot format: a writer, a
+//!   validating reader, and an mmap-backed loader so a server boots from
+//!   disk in milliseconds instead of rebuilding/retraining.
+//!
+//! See `docs/snapshot-format.md` for the on-disk layout and compat rules.
+
+pub mod csr;
+pub mod slab;
+pub mod snapshot;
+
+pub use csr::CsrStore;
+pub use slab::{Mmap, Slab};
+pub use snapshot::{SectionKind, Snapshot, SnapshotError, SnapshotWriter, SNAPSHOT_VERSION};
+
+use crate::graph::Edge;
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+
+/// Marker for types that may be reinterpreted to/from raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be `repr(C)`/`repr(transparent)` with **no padding
+/// bytes** and no bit-pattern invariants: every byte sequence of
+/// `size_of::<Self>()` bytes is a valid value. This is what makes both
+/// directions of the cast (`&[T]` → `&[u8]` for the writer, `&[u8]` →
+/// `&[T]` for the zero-copy loader) sound.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for EntityId {}
+unsafe impl Pod for RelationId {}
+unsafe impl Pod for Edge {}
+unsafe impl Pod for Triple {}
+
+/// View a POD slice as raw bytes (native endianness).
+pub fn pod_bytes<T: Pod>(data: &[T]) -> &[u8] {
+    // Safety: `T: Pod` has no padding, so all bytes are initialized.
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
+}
+
+/// View raw bytes as a POD slice; `None` if misaligned or not an exact
+/// multiple of `size_of::<T>()`.
+pub fn bytes_as_pod<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
+    let size = std::mem::size_of::<T>();
+    if size == 0 || !bytes.len().is_multiple_of(size) {
+        return None;
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return None;
+    }
+    // Safety: alignment and length checked above; `T: Pod` accepts any bits.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_layout_assumptions_hold() {
+        // The snapshot format depends on these exact sizes.
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+        assert_eq!(std::mem::align_of::<Edge>(), 4);
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+        assert_eq!(std::mem::align_of::<Triple>(), 4);
+    }
+
+    #[test]
+    fn byte_casts_roundtrip() {
+        let edges = vec![
+            Edge {
+                relation: RelationId(3),
+                target: EntityId(9),
+            },
+            Edge {
+                relation: RelationId(1),
+                target: EntityId(4),
+            },
+        ];
+        let bytes = pod_bytes(&edges);
+        assert_eq!(bytes.len(), 16);
+        let back: &[Edge] = bytes_as_pod(bytes).unwrap();
+        assert_eq!(back, &edges[..]);
+        // not a multiple of the element size
+        assert!(bytes_as_pod::<Edge>(&bytes[..15]).is_none());
+    }
+}

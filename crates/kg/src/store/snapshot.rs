@@ -1,0 +1,783 @@
+//! The versioned `.mmkg` snapshot format.
+//!
+//! Layout (all integers native-endian; the header carries an endianness
+//! marker so a mismatched reader refuses instead of mis-reading):
+//!
+//! ```text
+//! [0..64)      header:  magic "MMKG" | version u32 | endian u32
+//!                       | header_len u32 | section_count u32 | reserved
+//! [64..8256)   section table: 256 × 32-byte entries
+//!                       { kind u32, reserved u32, offset u64, len u64, extra u64 }
+//! [8256..)     section payloads, each 64-byte aligned, zero-padded gaps
+//! ```
+//!
+//! Sections hold raw POD arrays (CSR offsets/edges, base triples, f32
+//! tensors) or UTF-8 bytes (string tables, JSON manifest/blobs), so a
+//! reader can `mmap(2)` the file and hand out `&[T]` views without
+//! copying. See `docs/snapshot-format.md` for the compat policy.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::graph::{Edge, KnowledgeGraph};
+use crate::ids::RelationSpace;
+use crate::triple::Triple;
+
+use super::csr::{CsrError, CsrStore};
+use super::slab::{Mmap, Slab};
+use super::{pod_bytes, Pod};
+
+/// Current format version. Readers refuse other versions (no migration
+/// machinery yet — regenerate snapshots after a bump).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"MMKG";
+const ENDIAN_MARK: u32 = 0x0102_0304;
+const HEADER_LEN: usize = 64;
+const MAX_SECTIONS: usize = 256;
+const TABLE_ENTRY_LEN: usize = 32;
+const DATA_START: u64 = (HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN) as u64; // 8256, 64-aligned
+const ALIGN: u64 = 64;
+
+/// What a section contains. Unknown kinds are preserved and skippable —
+/// readers only interpret the kinds they know.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// 16-byte payload: `num_entities: u64, base_relations: u64`.
+    GraphMeta = 1,
+    /// `u32` CSR offsets, `num_entities + 1` entries.
+    CsrOffsets = 2,
+    /// Relation-sorted [`Edge`] array.
+    CsrEdges = 3,
+    /// Base [`Triple`] array.
+    Triples = 4,
+    /// `u64` byte offsets into [`SectionKind::EntNameBytes`], `n + 1` entries.
+    EntNameOffsets = 5,
+    /// Concatenated UTF-8 entity names.
+    EntNameBytes = 6,
+    /// `u64` byte offsets into [`SectionKind::RelNameBytes`].
+    RelNameOffsets = 7,
+    /// Concatenated UTF-8 relation names.
+    RelNameBytes = 8,
+    /// UTF-8 JSON manifest describing model sections.
+    Manifest = 9,
+    /// Raw `f32` matrix; `extra` packs `rows << 32 | cols`.
+    F32Tensor = 10,
+    /// Opaque bytes (e.g. a JSON-serialized policy model).
+    Blob = 11,
+}
+
+/// One parsed section-table entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    pub kind: u32,
+    pub offset: u64,
+    pub len: u64,
+    pub extra: u64,
+}
+
+/// Everything that can go wrong opening or interpreting a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    BadMagic,
+    BadVersion {
+        got: u32,
+        expected: u32,
+    },
+    /// Written on a machine with different byte order — refuse, don't swap.
+    BadEndian,
+    Truncated,
+    TooManySections {
+        got: u32,
+    },
+    SectionOutOfBounds {
+        index: usize,
+    },
+    SectionMisaligned {
+        index: usize,
+    },
+    MissingSection {
+        kind: SectionKind,
+    },
+    BadSectionShape {
+        index: usize,
+        reason: &'static str,
+    },
+    Csr(CsrError),
+    BadStrings(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a .mmkg snapshot (bad magic)"),
+            SnapshotError::BadVersion { got, expected } => {
+                write!(
+                    f,
+                    "snapshot version {got} unsupported (reader expects {expected})"
+                )
+            }
+            SnapshotError::BadEndian => {
+                write!(
+                    f,
+                    "snapshot written with different byte order; regenerate on this machine"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file truncated"),
+            SnapshotError::TooManySections { got } => {
+                write!(
+                    f,
+                    "section count {got} exceeds table capacity {MAX_SECTIONS}"
+                )
+            }
+            SnapshotError::SectionOutOfBounds { index } => {
+                write!(f, "section {index} extends past end of file")
+            }
+            SnapshotError::SectionMisaligned { index } => {
+                write!(f, "section {index} payload is not {ALIGN}-byte aligned")
+            }
+            SnapshotError::MissingSection { kind } => {
+                write!(f, "snapshot is missing a required {kind:?} section")
+            }
+            SnapshotError::BadSectionShape { index, reason } => {
+                write!(f, "section {index} malformed: {reason}")
+            }
+            SnapshotError::Csr(e) => write!(f, "snapshot CSR arrays invalid: {e}"),
+            SnapshotError::BadStrings(what) => write!(f, "snapshot string table invalid: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CsrError> for SnapshotError {
+    fn from(e: CsrError) -> Self {
+        SnapshotError::Csr(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming snapshot writer: payloads are written (64-byte aligned) as
+/// sections are added; [`SnapshotWriter::finish`] seeks back and commits
+/// the header + section table.
+pub struct SnapshotWriter {
+    file: std::fs::File,
+    sections: Vec<Section>,
+    pos: u64,
+}
+
+impl SnapshotWriter {
+    pub fn create(path: &Path) -> Result<Self, SnapshotError> {
+        let mut file = std::fs::File::create(path)?;
+        file.seek(SeekFrom::Start(DATA_START))?;
+        Ok(SnapshotWriter {
+            file,
+            sections: Vec::new(),
+            pos: DATA_START,
+        })
+    }
+
+    /// Append one section; returns its table index.
+    pub fn add_bytes(
+        &mut self,
+        kind: SectionKind,
+        extra: u64,
+        payload: &[u8],
+    ) -> Result<usize, SnapshotError> {
+        if self.sections.len() >= MAX_SECTIONS {
+            return Err(SnapshotError::TooManySections {
+                got: self.sections.len() as u32 + 1,
+            });
+        }
+        let pad = (ALIGN - self.pos % ALIGN) % ALIGN;
+        if pad > 0 {
+            self.file
+                .write_all(&[0u8; ALIGN as usize][..pad as usize])?;
+            self.pos += pad;
+        }
+        let offset = self.pos;
+        self.file.write_all(payload)?;
+        self.pos += payload.len() as u64;
+        self.sections.push(Section {
+            kind: kind as u32,
+            offset,
+            len: payload.len() as u64,
+            extra,
+        });
+        Ok(self.sections.len() - 1)
+    }
+
+    /// Append a POD array section (raw native-endian bytes).
+    pub fn add_pod<T: Pod>(
+        &mut self,
+        kind: SectionKind,
+        extra: u64,
+        data: &[T],
+    ) -> Result<usize, SnapshotError> {
+        self.add_bytes(kind, extra, pod_bytes(data))
+    }
+
+    /// Write the full CSR graph (meta + offsets + edges + base triples).
+    pub fn add_graph(&mut self, graph: &KnowledgeGraph) -> Result<(), SnapshotError> {
+        let store = graph.store();
+        let mut meta = [0u8; 16];
+        meta[..8].copy_from_slice(&(store.num_entities() as u64).to_ne_bytes());
+        meta[8..].copy_from_slice(&(store.relations().base() as u64).to_ne_bytes());
+        self.add_bytes(SectionKind::GraphMeta, 0, &meta)?;
+        self.add_pod(SectionKind::CsrOffsets, 0, store.offsets_slice())?;
+        self.add_pod(SectionKind::CsrEdges, 0, store.edges_slice())?;
+        self.add_pod(SectionKind::Triples, 0, store.triples())?;
+        Ok(())
+    }
+
+    fn add_names(
+        &mut self,
+        offsets_kind: SectionKind,
+        bytes_kind: SectionKind,
+        names: &[String],
+    ) -> Result<(), SnapshotError> {
+        let mut offsets = Vec::with_capacity(names.len() + 1);
+        let mut cursor = 0u64;
+        offsets.push(cursor);
+        for n in names {
+            cursor += n.len() as u64;
+            offsets.push(cursor);
+        }
+        self.add_pod(offsets_kind, 0, &offsets)?;
+        // Stream the concatenated bytes without building one giant String.
+        if self.sections.len() >= MAX_SECTIONS {
+            return Err(SnapshotError::TooManySections {
+                got: self.sections.len() as u32 + 1,
+            });
+        }
+        let pad = (ALIGN - self.pos % ALIGN) % ALIGN;
+        if pad > 0 {
+            self.file
+                .write_all(&[0u8; ALIGN as usize][..pad as usize])?;
+            self.pos += pad;
+        }
+        let offset = self.pos;
+        for n in names {
+            self.file.write_all(n.as_bytes())?;
+        }
+        self.pos += cursor;
+        self.sections.push(Section {
+            kind: bytes_kind as u32,
+            offset,
+            len: cursor,
+            extra: 0,
+        });
+        Ok(())
+    }
+
+    /// Write entity + relation string tables (the `Vocab` of the graph).
+    pub fn add_vocab(
+        &mut self,
+        entity_names: &[String],
+        relation_names: &[String],
+    ) -> Result<(), SnapshotError> {
+        self.add_names(
+            SectionKind::EntNameOffsets,
+            SectionKind::EntNameBytes,
+            entity_names,
+        )?;
+        self.add_names(
+            SectionKind::RelNameOffsets,
+            SectionKind::RelNameBytes,
+            relation_names,
+        )
+    }
+
+    /// Write an f32 matrix section; returns its index for manifests.
+    pub fn add_f32(
+        &mut self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+    ) -> Result<usize, SnapshotError> {
+        debug_assert_eq!(data.len(), rows * cols);
+        let extra = ((rows as u64) << 32) | cols as u64;
+        self.add_pod(SectionKind::F32Tensor, extra, data)
+    }
+
+    /// Write an opaque byte blob; returns its index for manifests.
+    pub fn add_blob(&mut self, bytes: &[u8]) -> Result<usize, SnapshotError> {
+        self.add_bytes(SectionKind::Blob, 0, bytes)
+    }
+
+    /// Write the JSON manifest (at most one per snapshot).
+    pub fn add_manifest(&mut self, json: &str) -> Result<(), SnapshotError> {
+        self.add_bytes(SectionKind::Manifest, 0, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Commit the header and section table; the file is complete after this.
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        let mut head = vec![0u8; HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN];
+        head[0..4].copy_from_slice(&MAGIC);
+        head[4..8].copy_from_slice(&SNAPSHOT_VERSION.to_ne_bytes());
+        head[8..12].copy_from_slice(&ENDIAN_MARK.to_ne_bytes());
+        head[12..16].copy_from_slice(&(HEADER_LEN as u32).to_ne_bytes());
+        head[16..20].copy_from_slice(&(self.sections.len() as u32).to_ne_bytes());
+        for (i, s) in self.sections.iter().enumerate() {
+            let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            head[at..at + 4].copy_from_slice(&s.kind.to_ne_bytes());
+            head[at + 8..at + 16].copy_from_slice(&s.offset.to_ne_bytes());
+            head[at + 16..at + 24].copy_from_slice(&s.len.to_ne_bytes());
+            head[at + 24..at + 32].copy_from_slice(&s.extra.to_ne_bytes());
+        }
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&head)?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+enum SnapshotData {
+    Mapped(Arc<Mmap>),
+    Owned(Vec<u8>),
+}
+
+impl SnapshotData {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            SnapshotData::Mapped(m) => m.as_slice(),
+            SnapshotData::Owned(v) => v,
+        }
+    }
+}
+
+/// A validated, opened snapshot. On 64-bit Unix the file is memory-mapped
+/// and POD sections are handed out zero-copy; elsewhere the file is read
+/// into memory.
+pub struct Snapshot {
+    data: SnapshotData,
+    sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Open and validate, memory-mapping when the platform supports it.
+    pub fn open(path: &Path) -> Result<Self, SnapshotError> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let file = std::fs::File::open(path)?;
+            let map = Arc::new(Mmap::map_file(&file)?);
+            Self::parse(SnapshotData::Mapped(map))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            Self::open_read(path)
+        }
+    }
+
+    /// Open by reading the whole file into memory (no mmap) — the portable
+    /// fallback, also useful for tests.
+    pub fn open_read(path: &Path) -> Result<Self, SnapshotError> {
+        let mut file = std::fs::File::open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Self::parse(SnapshotData::Owned(buf))
+    }
+
+    fn parse(data: SnapshotData) -> Result<Self, SnapshotError> {
+        let bytes = data.bytes();
+        if bytes.len() < HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN {
+            return Err(if bytes.len() >= 4 && bytes[0..4] != MAGIC {
+                SnapshotError::BadMagic
+            } else {
+                SnapshotError::Truncated
+            });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let read_u32 = |at: usize| u32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap());
+        let read_u64 = |at: usize| u64::from_ne_bytes(bytes[at..at + 8].try_into().unwrap());
+        let version = read_u32(4);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion {
+                got: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if read_u32(8) != ENDIAN_MARK {
+            return Err(SnapshotError::BadEndian);
+        }
+        let count = read_u32(16);
+        if count as usize > MAX_SECTIONS {
+            return Err(SnapshotError::TooManySections { got: count });
+        }
+        let mut sections = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let s = Section {
+                kind: read_u32(at),
+                offset: read_u64(at + 8),
+                len: read_u64(at + 16),
+                extra: read_u64(at + 24),
+            };
+            if s.offset < DATA_START
+                || s.offset
+                    .checked_add(s.len)
+                    .is_none_or(|end| end > bytes.len() as u64)
+            {
+                return Err(SnapshotError::SectionOutOfBounds { index: i });
+            }
+            if !s.offset.is_multiple_of(ALIGN) {
+                return Err(SnapshotError::SectionMisaligned { index: i });
+            }
+            sections.push(s);
+        }
+        Ok(Snapshot { data, sections })
+    }
+
+    /// True when the payload is a live memory mapping (zero-copy reads).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, SnapshotData::Mapped(_))
+    }
+
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// First section of `kind`, if present.
+    pub fn find(&self, kind: SectionKind) -> Option<usize> {
+        self.sections.iter().position(|s| s.kind == kind as u32)
+    }
+
+    fn require(&self, kind: SectionKind) -> Result<usize, SnapshotError> {
+        self.find(kind)
+            .ok_or(SnapshotError::MissingSection { kind })
+    }
+
+    /// Raw payload bytes of section `index`.
+    pub fn section_bytes(&self, index: usize) -> Result<&[u8], SnapshotError> {
+        let s = self
+            .sections
+            .get(index)
+            .ok_or(SnapshotError::SectionOutOfBounds { index })?;
+        Ok(&self.data.bytes()[s.offset as usize..(s.offset + s.len) as usize])
+    }
+
+    /// Typed view of a POD section: zero-copy when mapped, copied otherwise.
+    pub fn slab<T: Pod>(&self, index: usize) -> Result<Slab<T>, SnapshotError> {
+        let s = self
+            .sections
+            .get(index)
+            .ok_or(SnapshotError::SectionOutOfBounds { index })?;
+        let size = std::mem::size_of::<T>() as u64;
+        if size == 0 || s.len % size != 0 {
+            return Err(SnapshotError::BadSectionShape {
+                index,
+                reason: "length not a multiple of element size",
+            });
+        }
+        let elems = (s.len / size) as usize;
+        match &self.data {
+            SnapshotData::Mapped(map) => Slab::from_mmap(Arc::clone(map), s.offset as usize, elems)
+                .ok_or(SnapshotError::BadSectionShape {
+                    index,
+                    reason: "mapped view misaligned or out of bounds",
+                }),
+            SnapshotData::Owned(_) => Ok(Slab::Owned(self.pod_vec_inner(index, elems)?)),
+        }
+    }
+
+    /// Owned copy of a POD section (alignment-safe for any backing).
+    pub fn pod_vec<T: Pod>(&self, index: usize) -> Result<Vec<T>, SnapshotError> {
+        let bytes = self.section_bytes(index)?;
+        let size = std::mem::size_of::<T>();
+        if size == 0 || bytes.len() % size != 0 {
+            return Err(SnapshotError::BadSectionShape {
+                index,
+                reason: "length not a multiple of element size",
+            });
+        }
+        self.pod_vec_inner(index, bytes.len() / size)
+    }
+
+    fn pod_vec_inner<T: Pod>(&self, index: usize, elems: usize) -> Result<Vec<T>, SnapshotError> {
+        let bytes = self.section_bytes(index)?;
+        let mut out: Vec<T> = Vec::with_capacity(elems);
+        // Copy through the properly-aligned Vec allocation; the source may
+        // have any alignment.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr() as *mut u8,
+                elems * std::mem::size_of::<T>(),
+            );
+            out.set_len(elems);
+        }
+        Ok(out)
+    }
+
+    /// Reconstruct the knowledge graph, validating every CSR invariant.
+    /// Zero-copy (the graph's arrays alias the mapping) when mapped.
+    pub fn graph(&self) -> Result<KnowledgeGraph, SnapshotError> {
+        let meta = self.section_bytes(self.require(SectionKind::GraphMeta)?)?;
+        if meta.len() != 16 {
+            return Err(SnapshotError::BadSectionShape {
+                index: self.require(SectionKind::GraphMeta)?,
+                reason: "graph meta must be 16 bytes",
+            });
+        }
+        let num_entities = u64::from_ne_bytes(meta[..8].try_into().unwrap()) as usize;
+        let base_relations = u64::from_ne_bytes(meta[8..].try_into().unwrap()) as usize;
+        let offsets: Slab<u32> = self.slab(self.require(SectionKind::CsrOffsets)?)?;
+        let edges: Slab<Edge> = self.slab(self.require(SectionKind::CsrEdges)?)?;
+        let triples: Slab<Triple> = self.slab(self.require(SectionKind::Triples)?)?;
+        let store = CsrStore::from_parts(
+            num_entities,
+            RelationSpace::new(base_relations),
+            offsets,
+            edges,
+            triples,
+        )?;
+        Ok(KnowledgeGraph::from_store(store))
+    }
+
+    fn names(
+        &self,
+        offsets_kind: SectionKind,
+        bytes_kind: SectionKind,
+    ) -> Result<Vec<String>, SnapshotError> {
+        let offsets: Vec<u64> = self.pod_vec(self.require(offsets_kind)?)?;
+        let bytes = self.section_bytes(self.require(bytes_kind)?)?;
+        if offsets.is_empty() {
+            return Err(SnapshotError::BadStrings("empty offsets table"));
+        }
+        let mut out = Vec::with_capacity(offsets.len() - 1);
+        for w in offsets.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            if a > b || b > bytes.len() {
+                return Err(SnapshotError::BadStrings(
+                    "offsets not monotone or out of bounds",
+                ));
+            }
+            let s = std::str::from_utf8(&bytes[a..b])
+                .map_err(|_| SnapshotError::BadStrings("non-UTF-8 name"))?;
+            out.push(s.to_string());
+        }
+        Ok(out)
+    }
+
+    /// Decode the entity + relation string tables.
+    pub fn vocab_names(&self) -> Result<(Vec<String>, Vec<String>), SnapshotError> {
+        let ents = self.names(SectionKind::EntNameOffsets, SectionKind::EntNameBytes)?;
+        let rels = self.names(SectionKind::RelNameOffsets, SectionKind::RelNameBytes)?;
+        Ok((ents, rels))
+    }
+
+    /// The JSON model manifest, if the snapshot carries one.
+    pub fn manifest(&self) -> Result<Option<&str>, SnapshotError> {
+        match self.find(SectionKind::Manifest) {
+            None => Ok(None),
+            Some(idx) => {
+                let bytes = self.section_bytes(idx)?;
+                std::str::from_utf8(bytes)
+                    .map(Some)
+                    .map_err(|_| SnapshotError::BadStrings("manifest not UTF-8"))
+            }
+        }
+    }
+
+    /// Owned copy of an f32 tensor section with its `(rows, cols)` shape.
+    pub fn f32_tensor(&self, index: usize) -> Result<(Vec<f32>, usize, usize), SnapshotError> {
+        let s = self
+            .sections
+            .get(index)
+            .copied()
+            .ok_or(SnapshotError::SectionOutOfBounds { index })?;
+        if s.kind != SectionKind::F32Tensor as u32 {
+            return Err(SnapshotError::BadSectionShape {
+                index,
+                reason: "not an f32 tensor section",
+            });
+        }
+        let rows = (s.extra >> 32) as usize;
+        let cols = (s.extra & 0xffff_ffff) as usize;
+        let data: Vec<f32> = self.pod_vec(index)?;
+        if data.len() != rows * cols {
+            return Err(SnapshotError::BadSectionShape {
+                index,
+                reason: "tensor length disagrees with declared shape",
+            });
+        }
+        Ok((data, rows, cols))
+    }
+
+    /// Raw bytes of a blob section.
+    pub fn blob(&self, index: usize) -> Result<&[u8], SnapshotError> {
+        let s = self
+            .sections
+            .get(index)
+            .ok_or(SnapshotError::SectionOutOfBounds { index })?;
+        if s.kind != SectionKind::Blob as u32 {
+            return Err(SnapshotError::BadSectionShape {
+                index,
+                reason: "not a blob section",
+            });
+        }
+        self.section_bytes(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_graph() -> KnowledgeGraph {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 2),
+            Triple::new(0, 1, 2),
+            Triple::new(3, 0, 0),
+        ];
+        KnowledgeGraph::from_triples(4, 2, triples, None)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmkgr_snap_{}_{}", std::process::id(), name))
+    }
+
+    fn write_toy(path: &Path) {
+        let g = toy_graph();
+        let mut w = SnapshotWriter::create(path).unwrap();
+        w.add_graph(&g).unwrap();
+        let ents: Vec<String> = (0..4).map(|i| format!("e{i}")).collect();
+        let rels: Vec<String> = (0..2).map(|i| format!("r{i}")).collect();
+        w.add_vocab(&ents, &rels).unwrap();
+        let t = w.add_f32(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap();
+        let b = w.add_blob(b"{\"hello\":1}").unwrap();
+        w.add_manifest(&format!("{{\"tensor\":{t},\"blob\":{b}}}"))
+            .unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_bitwise_identical() {
+        let path = tmp("rt.mmkg");
+        write_toy(&path);
+        let g = toy_graph();
+        for snap in [
+            Snapshot::open(&path).unwrap(),
+            Snapshot::open_read(&path).unwrap(),
+        ] {
+            let loaded = snap.graph().unwrap();
+            assert_eq!(loaded.store().offsets_slice(), g.store().offsets_slice());
+            assert_eq!(loaded.store().edges_slice(), g.store().edges_slice());
+            assert_eq!(loaded.triples(), g.triples());
+            assert_eq!(loaded.num_entities(), 4);
+            assert_eq!(loaded.relations().base(), 2);
+            let (ents, rels) = snap.vocab_names().unwrap();
+            assert_eq!(ents, vec!["e0", "e1", "e2", "e3"]);
+            assert_eq!(rels, vec!["r0", "r1"]);
+            let manifest = snap.manifest().unwrap().unwrap().to_string();
+            let v: serde_json::Value = serde_json::from_str(&manifest).unwrap();
+            let tensor_idx = v.get_field("tensor").unwrap().as_u64().unwrap() as usize;
+            let (data, rows, cols) = snap.f32_tensor(tensor_idx).unwrap();
+            assert_eq!((rows, cols), (2, 3));
+            assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+            let blob_idx = v.get_field("blob").unwrap().as_u64().unwrap() as usize;
+            assert_eq!(snap.blob(blob_idx).unwrap(), b"{\"hello\":1}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mapped_load_is_zero_copy() {
+        let path = tmp("zc.mmkg");
+        write_toy(&path);
+        let snap = Snapshot::open(&path).unwrap();
+        assert!(snap.is_mapped());
+        let g = snap.graph().unwrap();
+        assert!(g.store().is_mapped(), "graph arrays must alias the mapping");
+        // the graph stays usable after the Snapshot handle is dropped
+        drop(snap);
+        assert_eq!(g.out_degree(crate::EntityId(0)), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic.mmkg");
+        write_toy(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let path = tmp("ver.mmkg");
+        write_toy(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_ne_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(SnapshotError::BadVersion { got: 99, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let path = tmp("trunc.mmkg");
+        write_toy(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..100]).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(SnapshotError::Truncated)
+        ));
+        // cutting into the payload trips the section bounds check instead
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(SnapshotError::SectionOutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_csr_rejected_by_validation() {
+        let path = tmp("csr.mmkg");
+        write_toy(&path);
+        let snap = Snapshot::open_read(&path).unwrap();
+        let idx = snap.find(SectionKind::CsrEdges).unwrap();
+        let off = snap.sections()[idx].offset as usize;
+        drop(snap);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // point the first edge at an absurd target entity
+        bytes[off + 4..off + 8].copy_from_slice(&0xdead_beefu32.to_ne_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let snap = Snapshot::open_read(&path).unwrap();
+        assert!(matches!(snap.graph(), Err(SnapshotError::Csr(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

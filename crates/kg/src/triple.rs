@@ -6,7 +6,11 @@ use std::collections::HashSet;
 use crate::ids::{EntityId, RelationId};
 
 /// A `(source, relation, target)` fact.
+///
+/// `repr(C)`: three `u32`s, no padding — triple arrays are stored as raw
+/// byte sections in `.mmkg` snapshots (see [`crate::store`]).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Triple {
     pub s: EntityId,
     pub r: RelationId,

@@ -70,6 +70,57 @@ proptest! {
         }
     }
 
+    /// Pin the CSR store against a naive edge-list adjacency: for every
+    /// entity, the multiset of (relation, target) neighbors must be
+    /// identical, and the forward/inverse views must partition it.
+    #[test]
+    fn csr_neighbor_sets_match_naive_adjacency(triples in arb_triples(12, 3)) {
+        let g = KnowledgeGraph::from_triples(12, 3, triples.clone(), None);
+        let rs = g.relations();
+        // naive reference: per-entity sorted vec of (relation, target)
+        let mut naive: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 12];
+        for t in &triples {
+            naive[t.s.index()].push((t.r.0, t.o.0));
+            naive[t.o.index()].push((rs.inverse(t.r).0, t.s.0));
+        }
+        for bucket in &mut naive {
+            bucket.sort_unstable();
+        }
+        for e in 0..12u32 {
+            let got: Vec<(u32, u32)> = g
+                .neighbors(EntityId(e))
+                .iter()
+                .map(|edge| (edge.relation.0, edge.target.0))
+                .collect();
+            prop_assert_eq!(&got, &naive[e as usize]);
+            let fwd = g.forward_neighbors(EntityId(e));
+            let inv = g.inverse_neighbors(EntityId(e));
+            prop_assert_eq!(fwd.len() + inv.len(), got.len());
+            prop_assert!(fwd.iter().all(|x| rs.is_base(x.relation)));
+            prop_assert!(inv.iter().all(|x| rs.is_inverse(x.relation)));
+        }
+    }
+
+    /// Snapshot round-trip preserves the CSR arrays bit-for-bit.
+    #[test]
+    fn snapshot_roundtrip_is_bitwise(triples in arb_triples(10, 3)) {
+        let g = KnowledgeGraph::from_triples(10, 3, triples, None);
+        let path = std::env::temp_dir().join(format!(
+            "mmkgr_prop_{}_{:x}.mmkg",
+            std::process::id(),
+            g.num_edges() * 31 + g.triples().len()
+        ));
+        let mut w = mmkgr_kg::SnapshotWriter::create(&path).unwrap();
+        w.add_graph(&g).unwrap();
+        w.finish().unwrap();
+        let snap = mmkgr_kg::Snapshot::open(&path).unwrap();
+        let back = snap.graph().unwrap();
+        prop_assert_eq!(back.store().offsets_slice(), g.store().offsets_slice());
+        prop_assert_eq!(back.store().edges_slice(), g.store().edges_slice());
+        prop_assert_eq!(back.triples(), g.triples());
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn hop_distance_symmetric_with_inverses(triples in arb_triples(10, 2)) {
         // Because every edge has an inverse, reachability is symmetric.

@@ -34,8 +34,8 @@ use mmkgr::core::HistoryEncoder;
 use mmkgr::datagen::{generate, GenConfig};
 use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
 use mmkgr::eval::{
-    build_registry, eval_policy_entity, pct, Dataset, Harness, HarnessConfig, ModelChoice,
-    ScaleChoice,
+    build_registry, eval_policy_entity, load_registry_snapshot, pct, write_registry_snapshot,
+    Dataset, Harness, HarnessConfig, ModelChoice, ScaleChoice,
 };
 use mmkgr::kg::io::{write_triples, Vocab};
 use mmkgr::kg::MultiModalKG;
@@ -76,9 +76,24 @@ COMMANDS
              [--threads <n>] [--workers <n>] [--cache <n>]
              [--beam <n>] [--steps <n>] [--rl-epochs <n>] [--kge-epochs <n>]
              [--dataset-scale <f64>] [--seed <u64>]
+             [--snapshot <file.mmkg>]  boot from a registry snapshot
+                                       instead of training (no dataset
+                                       flags needed)
+             [--shards <n>]            wrap each model in a sharded
+                                       reasoner (snapshot boot only)
+  snapshot   train a registry of models and write one `.mmkg` registry
+             snapshot (graph CSR + model weights + manifest) that
+             `serve --snapshot` boots in milliseconds
+             --out <file.mmkg>
+             --dataset wn9|fb|tiny    --size quick|standard|full
+             --models MMKGR,ConvE,…   [--beam <n>] [--steps <n>] [--cache <n>]
+             [--rl-epochs <n>] [--kge-epochs <n>]
+             [--dataset-scale <f64>] [--seed <u64>]
 
 The dataset is regenerated deterministically from (dataset, scale, seed)
 recorded in the checkpoint's meta.json, so checkpoints stay portable.
+Registry snapshots carry the graph and weights themselves (see
+docs/snapshot-format.md) and need no regeneration at boot.
 ";
 
 fn main() -> ExitCode {
@@ -103,6 +118,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&flags),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "snapshot" => cmd_snapshot(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -605,12 +621,9 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
 
 // ---------------------------------------------------------------- serve
 
-/// Train a registry of models over one dataset and serve the v1 wire
-/// protocol over HTTP until killed. `--port 0` binds an ephemeral port;
-/// the `listening on` line (flushed before serving) tells scripts where.
-fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use std::io::Write as _;
-
+/// Parse the dataset/scale/training flags shared by `serve` and
+/// `snapshot` into a [`HarnessConfig`].
+fn harness_flags(flags: &HashMap<String, String>) -> Result<HarnessConfig, String> {
     let dataset = match flag(flags, "dataset").unwrap_or("tiny") {
         "tiny" => Dataset::Tiny,
         "wn9" => Dataset::Wn9ImgTxt,
@@ -623,6 +636,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         "full" => ScaleChoice::Full,
         other => return Err(format!("unknown size `{other}` (quick|standard|full)")),
     };
+    let mut hcfg = HarnessConfig::new(dataset, size);
+    if let Some(v) = flags.get("dataset-scale") {
+        hcfg.dataset_scale = v
+            .parse()
+            .map_err(|_| format!("--dataset-scale: cannot parse `{v}`"))?;
+    }
+    hcfg.rl_epochs = parse_or(flags, "rl-epochs", hcfg.rl_epochs)?;
+    hcfg.kge_epochs = parse_or(flags, "kge-epochs", hcfg.kge_epochs)?;
+    hcfg.seed = parse_or(flags, "seed", hcfg.seed)?;
+    Ok(hcfg)
+}
+
+fn model_choice_flags(flags: &HashMap<String, String>) -> Result<Vec<ModelChoice>, String> {
     let models_spec = flag(flags, "models").unwrap_or("MMKGR,ConvE");
     let mut choices: Vec<ModelChoice> = Vec::new();
     for spec in models_spec.split(',').filter(|s| !s.trim().is_empty()) {
@@ -637,36 +663,34 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if choices.is_empty() {
         return Err("--models needs at least one model".to_string());
     }
-    let addr = flag(flags, "addr").unwrap_or("127.0.0.1");
-    let port: u16 = parse_or(flags, "port", 8080)?;
+    Ok(choices)
+}
 
-    let mut hcfg = HarnessConfig::new(dataset, size);
-    if let Some(v) = flags.get("dataset-scale") {
-        hcfg.dataset_scale = v
-            .parse()
-            .map_err(|_| format!("--dataset-scale: cannot parse `{v}`"))?;
-    }
-    hcfg.rl_epochs = parse_or(flags, "rl-epochs", hcfg.rl_epochs)?;
-    hcfg.kge_epochs = parse_or(flags, "kge-epochs", hcfg.kge_epochs)?;
-    hcfg.seed = parse_or(flags, "seed", hcfg.seed)?;
-    let serve_cfg = ServeConfig {
-        beam_width: parse_or(flags, "beam", hcfg.beam)?,
+fn serve_config_flags(
+    flags: &HashMap<String, String>,
+    default_beam: usize,
+) -> Result<ServeConfig, String> {
+    let cfg = ServeConfig {
+        beam_width: parse_or(flags, "beam", default_beam)?,
         max_steps: parse_or(flags, "steps", 4)?,
         ..ServeConfig::default()
     }
     .with_cache(parse_or(flags, "cache", 1024)?);
-    serve_cfg.validate().map_err(|e| format!("config: {e}"))?;
+    cfg.validate().map_err(|e| format!("config: {e}"))?;
+    Ok(cfg)
+}
 
-    let names: Vec<&str> = choices.iter().map(|c| c.name()).collect();
-    println!(
-        "training {} model(s) [{}] on {}@{:?}…",
-        choices.len(),
-        names.join(", "),
-        dataset.name(),
-        size
-    );
-    let harness = Harness::new(hcfg);
-    let registry = std::sync::Arc::new(build_registry(&harness, &choices, serve_cfg));
+/// Bind the HTTP front end and serve until killed. `--port 0` binds an
+/// ephemeral port; the `listening on` line (flushed before serving)
+/// tells scripts where.
+fn serve_registry(
+    flags: &HashMap<String, String>,
+    registry: std::sync::Arc<mmkgr::core::serve::ModelRegistry>,
+) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let addr = flag(flags, "addr").unwrap_or("127.0.0.1");
+    let port: u16 = parse_or(flags, "port", 8080)?;
     let http_cfg = mmkgr::core::serve::HttpServerConfig {
         conn_threads: parse_or(flags, "threads", 4)?,
         pool_workers: parse_or(flags, "workers", 2)?,
@@ -674,11 +698,92 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let server = mmkgr::core::serve::HttpServer::bind((addr, port), registry, http_cfg)
         .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
-    println!("models: {}", names.join(", "));
     println!("listening on http://{}", server.local_addr());
     // Scripts (CI smoke, tests) parse the line above from a pipe.
     let _ = std::io::stdout().flush();
     server.serve();
+    Ok(())
+}
+
+/// Train a registry of models over one dataset (or boot one from a
+/// `.mmkg` registry snapshot via `--snapshot`) and serve the v1 wire
+/// protocol over HTTP until killed.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(snap) = flag(flags, "snapshot") {
+        // Snapshot boot: no training, no dataset regeneration. Serving
+        // overrides apply only when explicitly flagged — otherwise the
+        // snapshot's recorded ServeConfig wins, keeping answers
+        // byte-identical to the writing process.
+        let shards: usize = parse_or(flags, "shards", 1)?;
+        let overridden = ["beam", "steps", "cache"]
+            .iter()
+            .any(|f| flags.contains_key(*f));
+        let serve_override = if overridden {
+            Some(serve_config_flags(flags, 16)?)
+        } else {
+            None
+        };
+        let loaded = load_registry_snapshot(Path::new(snap), serve_override, shards)
+            .map_err(|e| format!("{snap}: {e}"))?;
+        println!(
+            "booted {} model(s) [{}] from {snap} ({}, {} entities{})",
+            loaded.registry.len(),
+            loaded.registry.model_names().join(", "),
+            if loaded.mapped { "mmap" } else { "read" },
+            loaded.graph.num_entities(),
+            if shards > 1 {
+                format!(", {shards} shards")
+            } else {
+                String::new()
+            }
+        );
+        return serve_registry(flags, std::sync::Arc::new(loaded.registry));
+    }
+
+    let hcfg = harness_flags(flags)?;
+    let choices = model_choice_flags(flags)?;
+    let serve_cfg = serve_config_flags(flags, hcfg.beam)?;
+    let names: Vec<&str> = choices.iter().map(|c| c.name()).collect();
+    println!(
+        "training {} model(s) [{}] on {}@{}…",
+        choices.len(),
+        names.join(", "),
+        hcfg.dataset.name(),
+        hcfg.dataset_scale
+    );
+    let harness = Harness::new(hcfg);
+    let registry = std::sync::Arc::new(build_registry(&harness, &choices, serve_cfg));
+    println!("models: {}", names.join(", "));
+    serve_registry(flags, registry)
+}
+
+// ---------------------------------------------------------------- snapshot
+
+/// Train a registry and persist it as one `.mmkg` registry snapshot
+/// that `serve --snapshot` boots without retraining.
+fn cmd_snapshot(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = PathBuf::from(flag(flags, "out").ok_or("--out <file.mmkg> is required")?);
+    let hcfg = harness_flags(flags)?;
+    let choices = model_choice_flags(flags)?;
+    let serve_cfg = serve_config_flags(flags, hcfg.beam)?;
+    let names: Vec<&str> = choices.iter().map(|c| c.name()).collect();
+    println!(
+        "training {} model(s) [{}] on {}@{}…",
+        choices.len(),
+        names.join(", "),
+        hcfg.dataset.name(),
+        hcfg.dataset_scale
+    );
+    let harness = Harness::new(hcfg);
+    write_registry_snapshot(&out, &harness, &choices, serve_cfg).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({} bytes, {} entities, {} model(s))",
+        out.display(),
+        bytes,
+        harness.kg.num_entities(),
+        choices.len()
+    );
     Ok(())
 }
 

@@ -5,19 +5,16 @@
 //!   surface match `evaluate_ranking` on the same queries.
 //! - ConvE parity: `KgReasoner::answer` orders candidates exactly as
 //!   `score_all_objects`.
-//! - Concurrency: `answer_batch` from 4 worker threads over the shared
-//!   `Arc<dyn KgReasoner + Send + Sync>` equals sequential answering.
-//!   (The free `answer_batch` is deprecated in favor of holding a
-//!   `WorkerPool`, but stays pinned here through its deprecation
-//!   window.)
-#![allow(deprecated)]
+//! - Concurrency: [`WorkerPool::answer_batch`] from 4 worker threads over
+//!   the shared `Arc<dyn KgReasoner + Send + Sync>` equals sequential
+//!   answering.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use mmkgr::core::infer::{beam_search, evaluate_ranking};
 use mmkgr::core::mdp::RolloutQuery;
-use mmkgr::core::serve::{answer_batch, Coverage, KgReasoner, Query, ServeConfig};
+use mmkgr::core::serve::{Coverage, KgReasoner, Query, ServeConfig};
 use mmkgr::prelude::*;
 
 const BEAM: usize = 8;
@@ -172,14 +169,21 @@ fn answer_batch_from_four_threads_matches_sequential() {
     assert!(queries.len() >= 8, "need a real batch to exercise the pool");
 
     let sequential: Vec<_> = queries.iter().map(|q| reasoner.answer(q)).collect();
-    let batched = answer_batch(&reasoner, &queries, 4);
+    let pool = WorkerPool::new(Arc::clone(&reasoner), 4);
+    let batched = pool.answer_batch(&queries);
     assert_eq!(batched.len(), sequential.len());
     for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
         assert_eq!(b, s, "query {i}: batched answer must equal sequential");
     }
 
     // Degenerate worker counts behave.
-    assert_eq!(answer_batch(&reasoner, &queries, 1), sequential);
-    assert_eq!(answer_batch(&reasoner, &queries, 64), sequential);
-    assert!(answer_batch(&reasoner, &[], 4).is_empty());
+    assert_eq!(
+        WorkerPool::new(Arc::clone(&reasoner), 1).answer_batch(&queries),
+        sequential
+    );
+    assert_eq!(
+        WorkerPool::new(Arc::clone(&reasoner), 64).answer_batch(&queries),
+        sequential
+    );
+    assert!(pool.answer_batch(&[]).is_empty());
 }

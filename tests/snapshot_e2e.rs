@@ -1,0 +1,186 @@
+//! End-to-end acceptance for the `.mmkg` registry snapshot tier:
+//!
+//! - **In-process**: a registry booted from a snapshot answers
+//!   byte-identically (serialized `WireAnswer`) to one built fresh from
+//!   the same harness, for both a KGE scorer and the MMKGR policy, and
+//!   stays byte-identical when the snapshot boots a 4-way
+//!   [`ShardedReasoner`] instead of a single scorer.
+//! - **CLI/HTTP**: `mmkgr snapshot` → `mmkgr serve --snapshot … --shards 4`
+//!   boots without retraining and serves the same `/v1/answer` bytes as
+//!   a `mmkgr serve` that trains the same models from scratch.
+//!
+//! [`ShardedReasoner`]: mmkgr::core::serve::ShardedReasoner
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use mmkgr::core::serve::http::request;
+use mmkgr::core::serve::{AnswerRequest, NamedQuery, ServeConfig};
+use mmkgr::eval::{build_registry, load_registry_snapshot, write_registry_snapshot};
+use mmkgr::prelude::*;
+
+const BEAM: usize = 8;
+const STEPS: usize = 3;
+
+fn quick_harness() -> Harness {
+    Harness::new({
+        let mut c = HarnessConfig::new(Dataset::Tiny, ScaleChoice::Quick);
+        c.rl_epochs = 1;
+        c.kge_epochs = 2;
+        c.max_eval = 8;
+        c
+    })
+}
+
+fn snap_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mmkgr_e2e_{}_{tag}.mmkg", std::process::id()))
+}
+
+#[test]
+fn snapshot_boot_is_byte_identical_to_fresh_build() {
+    let h = quick_harness();
+    let choices = [ModelChoice::TransE, ModelChoice::Mmkgr(Variant::Full)];
+    let serve = ServeConfig {
+        beam_width: BEAM,
+        max_steps: STEPS,
+        ..ServeConfig::default()
+    };
+    let path = snap_path("inproc");
+    write_registry_snapshot(&path, &h, &choices, serve).expect("snapshot writes");
+
+    let fresh = build_registry(&h, &choices, serve);
+    let snap1 = load_registry_snapshot(&path, None, 1).expect("snapshot boots");
+    let snap4 = load_registry_snapshot(&path, None, 4).expect("snapshot boots sharded");
+    assert!(snap1.mapped, "snapshot should serve zero-copy");
+    assert_eq!(
+        fresh.model_names(),
+        snap1.registry.model_names(),
+        "same models in the same order"
+    );
+
+    for model in ["TransE", "MMKGR"] {
+        for t in h.eval_triples.iter().take(5) {
+            let req = AnswerRequest {
+                model: Some(model.to_string()),
+                query: NamedQuery::new(format!("e{}", t.s.0), format!("r{}", t.r.0))
+                    .with_top_k(7)
+                    .with_beam(BEAM)
+                    .with_steps(STEPS),
+            };
+            let want = serde_json::to_string(&fresh.answer(&req).unwrap()).expect("serializes");
+            let got1 = serde_json::to_string(&snap1.registry.answer(&req).unwrap()).unwrap();
+            let got4 = serde_json::to_string(&snap4.registry.answer(&req).unwrap()).unwrap();
+            assert_eq!(
+                want, got1,
+                "{model}: snapshot boot answers byte-identically"
+            );
+            assert_eq!(want, got4, "{model}: 4-shard boot answers byte-identically");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Spawn a `mmkgr serve` child and block until it prints its address.
+fn boot_server(args: &[&str]) -> (Child, SocketAddr, Vec<String>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mmkgr"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("mmkgr serve spawns");
+
+    // Watchdog: never let a wedged server hang the test harness.
+    let pid = child.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(300));
+        let _ = Command::new("kill").arg(pid.to_string()).status();
+    });
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = Vec::new();
+    let mut addr: Option<SocketAddr> = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.expect("server stdout line");
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            addr = Some(rest.trim().parse().expect("addr parses"));
+            break;
+        }
+        banner.push(line);
+    }
+    (child, addr.expect("server printed its address"), banner)
+}
+
+#[test]
+fn cli_snapshot_serve_matches_fresh_serve_over_http() {
+    let path = snap_path("cli");
+    let path_s = path.to_str().unwrap();
+    let train_flags = [
+        "--dataset",
+        "tiny",
+        "--size",
+        "quick",
+        "--models",
+        "TransE,MMKGR",
+        "--rl-epochs",
+        "1",
+        "--kge-epochs",
+        "2",
+    ];
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mmkgr"))
+        .args(["snapshot", "--out", path_s])
+        .args(train_flags)
+        .output()
+        .expect("mmkgr snapshot runs");
+    assert!(
+        out.status.success(),
+        "snapshot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Snapshot boot (4 shards, no training) vs a from-scratch boot of the
+    // exact same training configuration.
+    let (mut snap_child, snap_addr, banner) = boot_server(&[
+        "serve",
+        "--snapshot",
+        path_s,
+        "--shards",
+        "4",
+        "--port",
+        "0",
+    ]);
+    assert!(
+        banner
+            .iter()
+            .any(|l| l.contains("booted") && l.contains("4 shards")),
+        "snapshot boot banner missing: {banner:?}"
+    );
+    let mut fresh_args = vec!["serve", "--port", "0"];
+    fresh_args.extend_from_slice(&train_flags);
+    let (mut fresh_child, fresh_addr, _) = boot_server(&fresh_args);
+
+    for model in ["TransE", "MMKGR"] {
+        for e in 0..6 {
+            let body = format!(
+                r#"{{"model": "{model}", "query": {{"source": "e{e}", "relation": "r0", "top_k": 5, "beam": {BEAM}, "steps": {STEPS}}}}}"#
+            );
+            let (snap_status, snap_body) = request(snap_addr, "POST", "/v1/answer", &body).unwrap();
+            let (fresh_status, fresh_body) =
+                request(fresh_addr, "POST", "/v1/answer", &body).unwrap();
+            assert_eq!(snap_status, 200, "{snap_body}");
+            assert_eq!(fresh_status, 200, "{fresh_body}");
+            assert_eq!(
+                snap_body, fresh_body,
+                "{model} e{e}: snapshot-served bytes differ from fresh-served"
+            );
+        }
+    }
+
+    snap_child.kill().expect("kill snapshot server");
+    fresh_child.kill().expect("kill fresh server");
+    let _ = snap_child.wait();
+    let _ = fresh_child.wait();
+    std::fs::remove_file(&path).ok();
+}
