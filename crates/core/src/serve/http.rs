@@ -53,10 +53,10 @@ use std::time::{Duration, Instant};
 
 use super::protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiResponse, ExplainRequest, MetricsResponse,
-    RouteMetrics, PROTOCOL_VERSION,
+    RobustnessMetrics, RouteMetrics, PROTOCOL_VERSION,
 };
-use super::registry::ModelRegistry;
-use super::WorkerPool;
+use super::registry::{budget_for_timeouts, ModelRegistry};
+use super::{faults, Answer, WorkerPool};
 
 /// Server knobs. The defaults suit tests and small deployments; a real
 /// box mostly wants more `conn_threads`.
@@ -70,8 +70,24 @@ pub struct HttpServerConfig {
     /// Reject request bodies beyond this size (413 `payload_too_large`).
     pub max_body_bytes: usize,
     /// Total budget for reading one request (also the per-`read` socket
-    /// timeout and the response write timeout).
+    /// timeout and the response write timeout). A client that stalls
+    /// past it gets a 408 `request_timeout`.
     pub read_timeout: Duration,
+    /// Default execution deadline for answer/explain requests that carry
+    /// no explicit `timeout_ms` (0 = no default deadline). Exceeding it
+    /// is a 504 `deadline_exceeded`.
+    pub default_timeout_ms: u64,
+    /// Load shedding: accepted connections beyond this many queued and
+    /// unclaimed are answered `503 overloaded` + `Retry-After` without
+    /// dispatching (0 = never shed).
+    pub max_queue_depth: usize,
+    /// Per-model in-flight cap for answer/batch/explain work (0 = no
+    /// cap). Requests beyond it shed with `503 overloaded`, isolating a
+    /// slow model from the rest of the registry.
+    pub model_inflight_limit: usize,
+    /// `Retry-After` hint (in ms, rounded up to seconds on the wire)
+    /// attached to shed responses.
+    pub retry_after_ms: u64,
 }
 
 impl Default for HttpServerConfig {
@@ -81,6 +97,10 @@ impl Default for HttpServerConfig {
             pool_workers: 2,
             max_body_bytes: 4 << 20,
             read_timeout: Duration::from_secs(10),
+            default_timeout_ms: 30_000,
+            max_queue_depth: 1024,
+            model_inflight_limit: 0,
+            retry_after_ms: 1000,
         }
     }
 }
@@ -115,6 +135,16 @@ struct RouteCounter {
     latency_ns: AtomicU64,
 }
 
+/// Per-server robustness counters (the process-global shard/worker
+/// supervision counters live in [`faults`]).
+#[derive(Default)]
+struct RobustCounters {
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded_answers: AtomicU64,
+    request_timeouts: AtomicU64,
+}
+
 /// State shared by the accept thread, connection threads, and handles.
 struct Shared {
     registry: Arc<ModelRegistry>,
@@ -122,8 +152,21 @@ struct Shared {
     pools: HashMap<String, WorkerPool>,
     counters: [RouteCounter; 7],
     queue_depth: AtomicUsize,
+    /// Per-model in-flight answer/batch/explain requests, for the
+    /// `model_inflight_limit` bulkhead.
+    inflight: HashMap<String, AtomicUsize>,
+    robust: RobustCounters,
     stop: AtomicBool,
     cfg: HttpServerConfig,
+}
+
+/// RAII release of one per-model in-flight slot.
+struct InflightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
@@ -135,6 +178,41 @@ impl Shared {
         }
         c.latency_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Bump the robustness counter matching a typed failure (called once
+    /// per response on each error path — never double-counted).
+    fn note_error(&self, e: &ApiError) {
+        match e {
+            ApiError::Overloaded { .. } => &self.robust.shed,
+            ApiError::DeadlineExceeded { .. } => &self.robust.deadline_exceeded,
+            ApiError::RequestTimeout { .. } => &self.robust.request_timeouts,
+            _ => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Claim one in-flight slot for `model`, or shed with a typed 503
+    /// when the bulkhead is full. `None` means no cap is configured.
+    fn acquire_inflight(&self, model: &str) -> Result<Option<InflightSlot<'_>>, ApiError> {
+        let limit = self.cfg.model_inflight_limit;
+        let Some(counter) = (limit > 0).then(|| self.inflight.get(model)).flatten() else {
+            return Ok(None);
+        };
+        if counter.fetch_add(1, Ordering::SeqCst) >= limit {
+            counter.fetch_sub(1, Ordering::SeqCst);
+            return Err(ApiError::Overloaded {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        Ok(Some(InflightSlot(counter)))
+    }
+
+    fn count_degraded(&self, answers: &[&super::protocol::WireAnswer]) {
+        let n = answers.iter().filter(|a| a.degraded).count() as u64;
+        if n > 0 {
+            self.robust.degraded_answers.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     fn metrics(&self) -> MetricsResponse {
@@ -152,6 +230,14 @@ impl Shared {
                 })
                 .collect(),
             models: self.registry.model_metrics(),
+            robustness: RobustnessMetrics {
+                shed: self.robust.shed.load(Ordering::Relaxed),
+                deadline_exceeded: self.robust.deadline_exceeded.load(Ordering::Relaxed),
+                degraded_answers: self.robust.degraded_answers.load(Ordering::Relaxed),
+                shard_retries: faults::SHARD_RETRIES.load(Ordering::Relaxed),
+                worker_respawns: faults::WORKER_RESPAWNS.load(Ordering::Relaxed),
+                request_timeouts: self.robust.request_timeouts.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -167,11 +253,15 @@ pub struct HttpServer {
 impl HttpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) over `registry`.
     /// Spawns one [`WorkerPool`] per registered model for batch fan-out.
+    /// Also installs any `MMKGR_FAULTS` chaos plan (a malformed spec is
+    /// a bind error — better to refuse than to serve without the faults
+    /// the operator asked for).
     pub fn bind(
         addr: impl ToSocketAddrs,
         registry: Arc<ModelRegistry>,
         cfg: HttpServerConfig,
     ) -> std::io::Result<HttpServer> {
+        faults::init_from_env().map_err(std::io::Error::other)?;
         let listener = TcpListener::bind(addr)?;
         let pools = registry
             .model_names()
@@ -184,6 +274,11 @@ impl HttpServer {
                 )
             })
             .collect();
+        let inflight = registry
+            .model_names()
+            .iter()
+            .map(|name| (name.clone(), AtomicUsize::new(0)))
+            .collect();
         Ok(HttpServer {
             listener,
             shared: Arc::new(Shared {
@@ -191,6 +286,8 @@ impl HttpServer {
                 pools,
                 counters: Default::default(),
                 queue_depth: AtomicUsize::new(0),
+                inflight,
+                robust: RobustCounters::default(),
                 stop: AtomicBool::new(false),
                 cfg,
             }),
@@ -229,7 +326,38 @@ impl HttpServer {
                     break;
                 }
                 match stream {
-                    Ok(s) => {
+                    Ok(mut s) => {
+                        // Admission control: past the queue bound, shed
+                        // right here on the accept thread — a cheap 503
+                        // + Retry-After instead of joining a queue the
+                        // connection threads are not draining.
+                        let depth = shared.queue_depth.load(Ordering::Relaxed);
+                        if shared.cfg.max_queue_depth > 0 && depth >= shared.cfg.max_queue_depth {
+                            let err = ApiError::Overloaded {
+                                retry_after_ms: shared.cfg.retry_after_ms,
+                            };
+                            shared.note_error(&err);
+                            shared.observe(Route::Other, true, Duration::ZERO);
+                            let extra = err.extra_headers();
+                            let response = ApiResponse::Error(err);
+                            let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                            let _ = write_response(
+                                &mut s,
+                                response.http_status(),
+                                &response.body(),
+                                &extra,
+                            );
+                            // Drain whatever request bytes are in
+                            // flight before closing: dropping a socket
+                            // with unread data turns the close into an
+                            // RST, which can destroy the 503 sitting in
+                            // the client's receive buffer.
+                            let _ = s.shutdown(std::net::Shutdown::Write);
+                            let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
+                            let mut sink = [0u8; 4096];
+                            while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+                            continue;
+                        }
                         shared.queue_depth.fetch_add(1, Ordering::Relaxed);
                         if tx.send(s).is_err() {
                             break;
@@ -319,21 +447,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
-    let (status, body) = match read_request(&mut stream, &shared.cfg) {
+    let (status, body, extra) = match read_request(&mut stream, &shared.cfg) {
         Ok(req) => {
             let started = Instant::now();
             let (route, response) = dispatch(&req, shared);
             let status = response.http_status();
             shared.observe(route, status >= 400, started.elapsed());
-            (status, response.body())
+            (status, response.body(), response_extra_headers(&response))
         }
         Err(e) => {
+            shared.note_error(&e);
+            let extra = e.extra_headers();
             let response = ApiResponse::Error(e);
             shared.observe(Route::Other, true, Duration::ZERO);
-            (response.http_status(), response.body())
+            (response.http_status(), response.body(), extra)
         }
     };
-    let _ = write_response(&mut stream, status, &body);
+    let _ = write_response(&mut stream, status, &body, &extra);
+}
+
+fn response_extra_headers(response: &ApiResponse) -> Vec<(&'static str, String)> {
+    match response {
+        ApiResponse::Error(e) => e.extra_headers(),
+        _ => Vec::new(),
+    }
 }
 
 struct HttpRequest {
@@ -346,12 +483,16 @@ struct HttpRequest {
 /// body). Anything the parser can't stomach becomes a 400
 /// [`ApiError::MalformedRequest`]; bodies beyond
 /// [`HttpServerConfig::max_body_bytes`] a 413
-/// [`ApiError::PayloadTooLarge`]. The whole request must arrive within
-/// `read_timeout` *total* — the per-`read` socket timeout alone would
-/// let a slow-loris client trickle one byte per timeout window and pin
-/// a connection thread indefinitely.
+/// [`ApiError::PayloadTooLarge`]; a client that stalls mid-headers or
+/// mid-body a 408 [`ApiError::RequestTimeout`]. The whole request must
+/// arrive within `read_timeout` *total* — the per-`read` socket timeout
+/// alone would let a slow-loris client trickle one byte per timeout
+/// window and pin a connection thread indefinitely.
 fn read_request(stream: &mut TcpStream, cfg: &HttpServerConfig) -> Result<HttpRequest, ApiError> {
     let malformed = |detail: &str| ApiError::MalformedRequest {
+        detail: detail.to_string(),
+    };
+    let stalled = |detail: &str| ApiError::RequestTimeout {
         detail: detail.to_string(),
     };
     let started = Instant::now();
@@ -367,11 +508,15 @@ fn read_request(stream: &mut TcpStream, cfg: &HttpServerConfig) -> Result<HttpRe
             return Err(malformed("header block exceeds 64 KiB"));
         }
         if started.elapsed() > cfg.read_timeout {
-            return Err(malformed("request read deadline exceeded"));
+            return Err(stalled("headers stalled past the read deadline"));
         }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| malformed(&format!("read: {e}")))?;
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if is_timeout(&e) {
+                stalled("socket read timed out reading headers")
+            } else {
+                malformed(&format!("read: {e}"))
+            }
+        })?;
         if n == 0 {
             return Err(malformed("connection closed mid-request"));
         }
@@ -423,11 +568,15 @@ fn read_request(stream: &mut TcpStream, cfg: &HttpServerConfig) -> Result<HttpRe
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
         if started.elapsed() > cfg.read_timeout {
-            return Err(malformed("request read deadline exceeded"));
+            return Err(stalled("body stalled past the read deadline"));
         }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| malformed(&format!("read body: {e}")))?;
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if is_timeout(&e) {
+                stalled("socket read timed out reading the body")
+            } else {
+                malformed(&format!("read body: {e}"))
+            }
+        })?;
         if n == 0 {
             return Err(malformed("connection closed mid-body"));
         }
@@ -446,24 +595,48 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Was this I/O failure a socket-timeout expiry (vs a real transport
+/// error)? Both kinds appear depending on platform.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&'static str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -523,28 +696,45 @@ fn dispatch(req: &HttpRequest, shared: &Shared) -> (Route, ApiResponse) {
             detail: "handler panicked".to_string(),
         }),
     };
+    if let ApiResponse::Error(e) = &response {
+        shared.note_error(e);
+    }
     (route, response)
 }
 
 fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, ApiError> {
     let registry = &shared.registry;
+    let default_ms = shared.cfg.default_timeout_ms;
     Ok(match route {
         Route::Answer => {
             let req: AnswerRequest = parse_body(body)?;
-            ApiResponse::Answer(registry.answer(&req)?)
+            let (name, _) = registry.get(req.model.as_deref())?;
+            let _slot = shared.acquire_inflight(name)?;
+            let wire = registry.answer_budgeted(&req, default_ms)?;
+            shared.count_degraded(&[&wire]);
+            ApiResponse::Answer(wire)
         }
         Route::AnswerBatch => {
             let req: AnswerBatchRequest = parse_body(body)?;
+            let budget = budget_for_timeouts(req.queries.iter().map(|q| q.timeout_ms), default_ms)?;
             let (name, reasoner, queries) = registry.resolve_batch(&req)?;
-            let answers = match shared.pools.get(name) {
-                Some(pool) => pool.answer_batch(&queries),
-                None => queries.iter().map(|q| reasoner.answer(q)).collect(),
+            let _slot = shared.acquire_inflight(name)?;
+            let answers: Vec<Answer> = match shared.pools.get(name) {
+                Some(pool) => pool.answer_batch_within(&queries, budget)?,
+                None => queries
+                    .iter()
+                    .map(|q| reasoner.answer_within(q, budget))
+                    .collect::<Result<_, _>>()?,
             };
-            ApiResponse::AnswerBatch(registry.render_batch(name, &answers))
+            let rendered = registry.render_batch(name, &answers);
+            shared.count_degraded(&rendered.answers.iter().collect::<Vec<_>>());
+            ApiResponse::AnswerBatch(rendered)
         }
         Route::Explain => {
             let req: ExplainRequest = parse_body(body)?;
-            ApiResponse::Explain(registry.explain(&req)?)
+            let (name, _) = registry.get(req.model.as_deref())?;
+            let _slot = shared.acquire_inflight(name)?;
+            ApiResponse::Explain(registry.explain_budgeted(&req, default_ms)?)
         }
         Route::Models => ApiResponse::Models(registry.models()),
         Route::Healthz => ApiResponse::Health(registry.health()),

@@ -91,19 +91,22 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::Duration;
 
 use mmkgr_embed::TripleScorer;
 use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::beam::{with_thread_engine, BeamConfig};
 use crate::infer::{BeamPath, RolloutPolicy};
 
+pub mod faults;
 pub mod http;
 pub mod protocol;
 pub mod registry;
 pub mod sharded;
 
+pub use faults::{FaultGuard, FaultPlan, ShardSel};
 pub use http::{HttpServer, HttpServerConfig, RunningServer};
 pub use protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiRequest, ApiResponse, ExplainRequest,
@@ -168,6 +171,66 @@ impl Query {
     }
 }
 
+/// A wall-clock execution budget threaded through the serving path
+/// (registry dispatch → worker pools → shard fan-out). [`Budget::none`]
+/// means unlimited — the pre-deadline behavior, and the default for
+/// in-process callers. Deliberately *not* part of [`Query`]: the budget
+/// is transport/supervision state, not part of the question, so cached
+/// or replayed answers never depend on it.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<std::time::Instant>,
+    timeout_ms: u64,
+}
+
+impl Budget {
+    /// No deadline (never expires).
+    pub fn none() -> Budget {
+        Budget::default()
+    }
+
+    /// Expire `ms` milliseconds from now.
+    pub fn from_timeout_ms(ms: u64) -> Budget {
+        Budget {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            timeout_ms: ms,
+        }
+    }
+
+    /// The originally requested timeout (0 for [`Budget::none`]) — used
+    /// to report which deadline was exceeded.
+    pub fn timeout_ms(&self) -> u64 {
+        self.timeout_ms
+    }
+
+    /// Time left, or `None` for an unlimited budget. An expired budget
+    /// returns `Some(Duration::ZERO)`.
+    pub fn remaining(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(std::time::Instant::now()))
+    }
+
+    pub fn expired(&self) -> bool {
+        self.remaining() == Some(std::time::Duration::ZERO)
+    }
+
+    /// The typed error for this budget's deadline having passed.
+    pub fn exceeded(&self) -> ApiError {
+        ApiError::DeadlineExceeded {
+            timeout_ms: self.timeout_ms,
+        }
+    }
+
+    /// Clamp a wait to the remaining budget (unlimited budgets return
+    /// the wait unchanged).
+    pub fn clamp(&self, wait: std::time::Duration) -> std::time::Duration {
+        match self.remaining() {
+            Some(left) => wait.min(left),
+            None => wait,
+        }
+    }
+}
+
 /// The reasoning path behind one candidate answer (path reasoners only;
 /// KGE scorers have no path to show).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -224,13 +287,61 @@ pub enum Coverage {
     Reached,
 }
 
-/// The response to one [`Query`]: candidates in rank order.
+/// Annotation on an [`Answer`] whose sharded backend lost shards and
+/// answered from the survivors: the ranking is exact over the surviving
+/// entity ranges but blind to the failed ones.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Degraded {
+    /// Indices of the shards that failed (after retry).
+    pub shards_failed: Vec<usize>,
+    /// Total shards in the fan-out.
+    pub shards_total: usize,
+}
+
+/// The response to one [`Query`]: candidates in rank order.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Answer {
     pub query: Query,
     pub coverage: Coverage,
     /// Candidates sorted by descending score (ties: ascending entity id).
     pub ranked: Vec<Candidate>,
+    /// Present only when a sharded backend dropped shards; healthy
+    /// answers carry `None` and serialize without the field.
+    pub degraded: Option<Degraded>,
+}
+
+// Hand-rolled so healthy answers serialize exactly as they did before
+// degradation existed (the field only appears when set).
+impl Serialize for Answer {
+    fn serialize_value(&self) -> Value {
+        let mut fields = vec![
+            ("query".to_string(), self.query.serialize_value()),
+            ("coverage".to_string(), self.coverage.serialize_value()),
+            ("ranked".to_string(), self.ranked.serialize_value()),
+        ];
+        if let Some(d) = &self.degraded {
+            fields.push(("degraded".to_string(), d.serialize_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Answer {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::DeError> {
+        let req = |k: &str| -> Result<&Value, serde::DeError> {
+            v.get_field(k)
+                .ok_or_else(|| serde::DeError::new(format!("Answer: missing field `{k}`")))
+        };
+        Ok(Answer {
+            query: Query::deserialize_value(req("query")?)?,
+            coverage: Coverage::deserialize_value(req("coverage")?)?,
+            ranked: Vec::deserialize_value(req("ranked")?)?,
+            degraded: match v.get_field("degraded") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(Degraded::deserialize_value(d)?),
+            },
+        })
+    }
 }
 
 impl Answer {
@@ -359,6 +470,27 @@ pub trait KgReasoner {
     /// Answer one query.
     fn answer(&self, query: &Query) -> Answer;
 
+    /// Answer one query within a wall-clock [`Budget`].
+    ///
+    /// The default implementation checks the budget *around* an
+    /// uninterruptible [`Self::answer`] call — enough for reasoners
+    /// whose single-query latency is small against any sane deadline.
+    /// Supervised backends ([`ShardedReasoner`]) override this to bound
+    /// their internal waits by the remaining budget and to degrade
+    /// rather than hang. Returns [`ApiError::DeadlineExceeded`] when the
+    /// budget ran out (even if an answer was computed late — a deadline
+    /// is a promise to the caller, not a best effort).
+    fn answer_within(&self, query: &Query, budget: Budget) -> Result<Answer, ApiError> {
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        let answer = self.answer(query);
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        Ok(answer)
+    }
+
     /// Enumerate the raw reasoning paths behind a query — every beam
     /// slot, including multiple derivations of the same answer entity,
     /// sorted by descending log-probability. `None` for models without
@@ -396,6 +528,10 @@ impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
 
     fn answer(&self, query: &Query) -> Answer {
         (**self).answer(query)
+    }
+
+    fn answer_within(&self, query: &Query, budget: Budget) -> Result<Answer, ApiError> {
+        (**self).answer_within(query, budget)
     }
 
     fn explain(&self, query: &Query) -> Option<Vec<BeamPath>> {
@@ -793,6 +929,7 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
             query: *query,
             coverage: Coverage::Reached,
             ranked,
+            degraded: None,
         }
     }
 
@@ -906,6 +1043,7 @@ impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
             query: *query,
             coverage: Coverage::Exhaustive,
             ranked: cands,
+            degraded: None,
         }
     }
 }
@@ -918,6 +1056,7 @@ impl<S: TripleScorer> KgReasoner for ScorerReasoner<S> {
 /// caught, recorded in `panicked`, and re-raised at the submitter (so
 /// the pool's threads survive, matching the old `thread::scope`
 /// behaviour of propagating the panic to the caller).
+#[derive(Clone)]
 struct BatchJob {
     queries: Arc<Vec<Query>>,
     next: Arc<AtomicUsize>,
@@ -927,7 +1066,7 @@ struct BatchJob {
     done_tx: mpsc::Sender<()>,
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -948,9 +1087,64 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// independently; candidate order is fully deterministic). Dropping the
 /// pool closes the channel and joins the workers.
 pub struct WorkerPool {
+    reasoner: Arc<dyn KgReasoner + Send + Sync>,
     tx: Option<mpsc::Sender<BatchJob>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    rx: Arc<Mutex<mpsc::Receiver<BatchJob>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     workers: usize,
+}
+
+fn spawn_pool_worker(
+    reasoner: Arc<dyn KgReasoner + Send + Sync>,
+    rx: Arc<Mutex<mpsc::Receiver<BatchJob>>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        // One receiver, shared: idle workers block here.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // pool dropped
+        };
+        // Chaos hook, deliberately *outside* the per-query catch_unwind:
+        // a fired fault kills this thread and exercises the respawn
+        // supervision in `ensure_workers`. No query index has been
+        // claimed yet, so the batch loses capacity but never answers.
+        faults::on_worker_job();
+        let total = job.queries.len();
+        let mut local: Vec<(usize, Answer)> = Vec::new();
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            let reasoner = &reasoner;
+            let queries = &job.queries;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reasoner.answer(&queries[i])
+            })) {
+                Ok(a) => local.push((i, a)),
+                Err(payload) => {
+                    *job.panicked.lock().unwrap() = Some(panic_message(&*payload));
+                    let _ = job.done_tx.send(());
+                    break;
+                }
+            }
+        }
+        if local.is_empty() {
+            continue;
+        }
+        let count = local.len();
+        {
+            let mut slots = job.slots.lock().unwrap();
+            for (i, a) in local {
+                slots[i] = Some(a);
+            }
+        }
+        if job.filled.fetch_add(count, Ordering::AcqRel) + count == total {
+            // Submitter may already have gone away on panic;
+            // a closed channel is fine.
+            let _ = job.done_tx.send(());
+        }
+    })
 }
 
 impl WorkerPool {
@@ -959,56 +1153,13 @@ impl WorkerPool {
         let (tx, rx) = mpsc::channel::<BatchJob>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
-            .map(|_| {
-                let reasoner = Arc::clone(&reasoner);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // One receiver, shared: idle workers block here.
-                    let job = match rx.lock().unwrap().recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // pool dropped
-                    };
-                    let total = job.queries.len();
-                    let mut local: Vec<(usize, Answer)> = Vec::new();
-                    loop {
-                        let i = job.next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
-                        }
-                        let reasoner = &reasoner;
-                        let queries = &job.queries;
-                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            reasoner.answer(&queries[i])
-                        })) {
-                            Ok(a) => local.push((i, a)),
-                            Err(payload) => {
-                                *job.panicked.lock().unwrap() = Some(panic_message(&*payload));
-                                let _ = job.done_tx.send(());
-                                break;
-                            }
-                        }
-                    }
-                    if local.is_empty() {
-                        continue;
-                    }
-                    let count = local.len();
-                    {
-                        let mut slots = job.slots.lock().unwrap();
-                        for (i, a) in local {
-                            slots[i] = Some(a);
-                        }
-                    }
-                    if job.filled.fetch_add(count, Ordering::AcqRel) + count == total {
-                        // Submitter may already have gone away on panic;
-                        // a closed channel is fine.
-                        let _ = job.done_tx.send(());
-                    }
-                })
-            })
+            .map(|_| spawn_pool_worker(Arc::clone(&reasoner), Arc::clone(&rx)))
             .collect();
         WorkerPool {
+            reasoner,
             tx: Some(tx),
-            handles,
+            rx,
+            handles: Mutex::new(handles),
             workers,
         }
     }
@@ -1018,51 +1169,106 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Answer a batch on the pool; blocks until every query is answered.
-    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
-        if queries.is_empty() {
-            return Vec::new();
+    /// Respawn supervision: replace any worker thread that died (a panic
+    /// that escaped the per-query guard — e.g. an injected chaos fault).
+    /// Returns how many workers were respawned; each bumps the global
+    /// [`faults::WORKER_RESPAWNS`] counter.
+    fn ensure_workers(&self) -> usize {
+        let mut handles = self.handles.lock().unwrap();
+        let mut respawned = 0;
+        for h in handles.iter_mut() {
+            if h.is_finished() {
+                let fresh = spawn_pool_worker(Arc::clone(&self.reasoner), Arc::clone(&self.rx));
+                let _ = std::mem::replace(h, fresh).join();
+                respawned += 1;
+            }
         }
-        let queries = Arc::new(queries.to_vec());
-        let next = Arc::new(AtomicUsize::new(0));
-        let slots: Arc<Mutex<Vec<Option<Answer>>>> =
-            Arc::new(Mutex::new((0..queries.len()).map(|_| None).collect()));
-        let filled = Arc::new(AtomicUsize::new(0));
-        let panicked: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
-        let (done_tx, done_rx) = mpsc::channel();
+        if respawned > 0 {
+            faults::WORKER_RESPAWNS.fetch_add(respawned as u64, Ordering::Relaxed);
+        }
+        respawned
+    }
+
+    /// Hand every (live) worker a handle to the job; late receivers see
+    /// an exhausted cursor and move on.
+    fn submit(&self, job: &BatchJob) {
         let tx = self.tx.as_ref().expect("pool channel open while alive");
-        // Every idle worker gets a handle to the job; late receivers see
-        // an exhausted cursor and move on.
         for _ in 0..self.workers {
-            tx.send(BatchJob {
-                queries: Arc::clone(&queries),
-                next: Arc::clone(&next),
-                slots: Arc::clone(&slots),
-                filled: Arc::clone(&filled),
-                panicked: Arc::clone(&panicked),
-                done_tx: done_tx.clone(),
-            })
-            .expect("pool workers alive");
+            tx.send(job.clone()).expect("pool receiver alive");
         }
-        drop(done_tx);
-        let signal = done_rx.recv();
-        if let Some(msg) = panicked.lock().unwrap().take() {
-            panic!("WorkerPool: reasoner panicked while answering a batch: {msg}");
+    }
+
+    /// Answer a batch on the pool; blocks until every query is answered.
+    /// A reasoner panic propagates to the caller (the pool itself
+    /// survives). Budget-aware callers want [`Self::answer_batch_within`].
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        match self.answer_batch_within(queries, Budget::none()) {
+            Ok(answers) => answers,
+            Err(ApiError::Internal { detail }) => {
+                panic!("WorkerPool: reasoner panicked while answering a batch: {detail}")
+            }
+            Err(e) => panic!("WorkerPool: unexpected batch failure: {e}"),
         }
-        signal.expect("batch completion signal");
-        Arc::try_unwrap(slots)
+    }
+
+    /// Answer a batch within a wall-clock [`Budget`], under supervision:
+    /// dead workers are respawned (and the job re-offered) mid-wait, a
+    /// reasoner panic surfaces as a typed [`ApiError::Internal`], and an
+    /// exhausted budget returns [`ApiError::DeadlineExceeded`] — workers
+    /// still finishing the abandoned batch discard their results.
+    pub fn answer_batch_within(
+        &self,
+        queries: &[Query],
+        budget: Budget,
+    ) -> Result<Vec<Answer>, ApiError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_workers();
+        let (done_tx, done_rx) = mpsc::channel();
+        let job = BatchJob {
+            queries: Arc::new(queries.to_vec()),
+            next: Arc::new(AtomicUsize::new(0)),
+            slots: Arc::new(Mutex::new((0..queries.len()).map(|_| None).collect())),
+            filled: Arc::new(AtomicUsize::new(0)),
+            panicked: Arc::new(Mutex::new(None)),
+            done_tx,
+        };
+        self.submit(&job);
+        // Supervision wait: poll so that a worker killed *while holding
+        // this very job* (nothing left to signal `done`) still gets
+        // respawned and the job re-offered instead of hanging forever.
+        loop {
+            match done_rx.recv_timeout(budget.clamp(Duration::from_millis(50))) {
+                Ok(()) => break,
+                Err(mpsc::RecvTimeoutError::Timeout)
+                | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    if budget.expired() {
+                        return Err(budget.exceeded());
+                    }
+                    if self.ensure_workers() > 0 {
+                        self.submit(&job);
+                    }
+                }
+            }
+        }
+        if let Some(msg) = job.panicked.lock().unwrap().take() {
+            return Err(ApiError::Internal { detail: msg });
+        }
+        let BatchJob { slots, .. } = job;
+        Ok(Arc::try_unwrap(slots)
             .map(|m| m.into_inner().unwrap())
             .unwrap_or_else(|slots| std::mem::take(&mut *slots.lock().unwrap()))
             .into_iter()
             .map(|a| a.expect("every query slot filled"))
-            .collect()
+            .collect())
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.tx.take(); // close the channel → workers exit their recv loop
-        for h in self.handles.drain(..) {
+        for h in self.handles.lock().unwrap().drain(..) {
             let _ = h.join();
         }
     }
@@ -1175,6 +1381,7 @@ mod tests {
         let a = Answer {
             query: Query::new(EntityId(0), RelationId(0)),
             coverage: Coverage::Exhaustive,
+            degraded: None,
             ranked: vec![
                 Candidate {
                     entity: EntityId(5),

@@ -82,6 +82,13 @@ pub struct NamedQuery {
     /// default). Zero is rejected with [`ApiError::InvalidBeamParams`].
     #[serde(default)]
     pub steps: Option<usize>,
+    /// Request deadline in milliseconds (null/omitted = the server's
+    /// default budget). Zero is rejected with
+    /// [`ApiError::InvalidBeamParams`]. When the budget runs out before
+    /// an answer is ready the server replies
+    /// [`ApiError::DeadlineExceeded`] (504) instead of hanging.
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
 }
 
 impl NamedQuery {
@@ -96,6 +103,7 @@ impl NamedQuery {
             top_k: Query::DEFAULT_TOP_K,
             beam: None,
             steps: None,
+            timeout_ms: None,
         }
     }
 
@@ -112,6 +120,12 @@ impl NamedQuery {
 
     pub fn with_steps(mut self, steps: usize) -> Self {
         self.steps = Some(steps);
+        self
+    }
+
+    /// Cap this request's total budget at `ms` milliseconds.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
         self
     }
 }
@@ -186,9 +200,13 @@ pub struct WireEvidence {
 }
 
 /// Response of `POST /v1/answer`: the wire twin of [`Answer`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `degraded`/`shards_failed` only appear on the wire when a sharded
+/// backend lost shards and answered from the survivors (see
+/// `docs/robustness.md`); healthy answers serialize exactly as they did
+/// before those fields existed.
+#[derive(Clone, Debug, PartialEq)]
 pub struct WireAnswer {
-    #[serde(default = "protocol_version_string")]
     pub protocol: String,
     /// The model that answered (resolved registry name).
     pub model: String,
@@ -196,6 +214,63 @@ pub struct WireAnswer {
     pub relation: String,
     pub coverage: Coverage,
     pub ranked: Vec<WireCandidate>,
+    /// True when shards failed and `ranked` is the merged top-k of the
+    /// surviving shards only.
+    pub degraded: bool,
+    /// Indices of the shards that failed (empty when not degraded).
+    pub shards_failed: Vec<u64>,
+}
+
+// Hand-rolled so the degradation annotations are omitted for healthy
+// answers — the common-case body stays byte-identical to the
+// pre-degradation wire format.
+impl Serialize for WireAnswer {
+    fn serialize_value(&self) -> Value {
+        let mut fields = vec![
+            ("protocol".to_string(), Value::Str(self.protocol.clone())),
+            ("model".to_string(), Value::Str(self.model.clone())),
+            ("source".to_string(), Value::Str(self.source.clone())),
+            ("relation".to_string(), Value::Str(self.relation.clone())),
+            ("coverage".to_string(), self.coverage.serialize_value()),
+            ("ranked".to_string(), self.ranked.serialize_value()),
+        ];
+        if self.degraded {
+            fields.push(("degraded".to_string(), self.degraded.serialize_value()));
+            fields.push((
+                "shards_failed".to_string(),
+                self.shards_failed.serialize_value(),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for WireAnswer {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::DeError> {
+        let req = |k: &str| -> Result<&Value, serde::DeError> {
+            v.get_field(k)
+                .ok_or_else(|| serde::DeError::new(format!("WireAnswer: missing field `{k}`")))
+        };
+        Ok(WireAnswer {
+            protocol: match v.get_field("protocol") {
+                Some(p) => String::deserialize_value(p)?,
+                None => protocol_version_string(),
+            },
+            model: String::deserialize_value(req("model")?)?,
+            source: String::deserialize_value(req("source")?)?,
+            relation: String::deserialize_value(req("relation")?)?,
+            coverage: Coverage::deserialize_value(req("coverage")?)?,
+            ranked: Vec::deserialize_value(req("ranked")?)?,
+            degraded: match v.get_field("degraded") {
+                Some(d) => bool::deserialize_value(d)?,
+                None => false,
+            },
+            shards_failed: match v.get_field("shards_failed") {
+                Some(s) => Vec::deserialize_value(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl WireAnswer {
@@ -224,6 +299,12 @@ impl WireAnswer {
                     }),
                 })
                 .collect(),
+            degraded: answer.degraded.is_some(),
+            shards_failed: answer
+                .degraded
+                .as_ref()
+                .map(|d| d.shards_failed.iter().map(|&s| s as u64).collect())
+                .unwrap_or_default(),
         }
     }
 }
@@ -354,6 +435,30 @@ pub struct ModelMetrics {
     pub cache: Option<WireCacheStats>,
 }
 
+/// Fault-tolerance counters in `GET /metrics` (all additive fields:
+/// older clients parse a body without them as zeros).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessMetrics {
+    /// Requests refused with `overloaded` (503) by admission control.
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests that ran out of budget and answered 504.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Answers served from surviving shards after shard failure.
+    #[serde(default)]
+    pub degraded_answers: u64,
+    /// Shard tasks retried after a failure or timeout.
+    #[serde(default)]
+    pub shard_retries: u64,
+    /// Pool workers respawned after a panic poisoned them.
+    #[serde(default)]
+    pub worker_respawns: u64,
+    /// Connections dropped with 408 for stalling mid-request.
+    #[serde(default)]
+    pub request_timeouts: u64,
+}
+
 /// Response of `GET /metrics`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -363,6 +468,9 @@ pub struct MetricsResponse {
     pub queue_depth: usize,
     pub routes: Vec<RouteMetrics>,
     pub models: Vec<ModelMetrics>,
+    /// Fault-tolerance counters (additive to the frozen v1 envelope).
+    #[serde(default)]
+    pub robustness: RobustnessMetrics,
 }
 
 /// Typed union of every v1 response. Like [`ApiRequest`], the route is
@@ -444,6 +552,14 @@ pub enum ApiError {
     MethodNotAllowed { path: String, allowed: String },
     /// The server failed while answering.
     Internal { detail: String },
+    /// The request's time budget ran out before an answer was ready.
+    DeadlineExceeded { timeout_ms: u64 },
+    /// Admission control shed this request; retry after the hinted
+    /// backoff (also sent as an HTTP `Retry-After` header).
+    Overloaded { retry_after_ms: u64 },
+    /// The client stalled mid-request (slow-loris headers or body) and
+    /// the connection was dropped.
+    RequestTimeout { detail: String },
 }
 
 impl ApiError {
@@ -459,6 +575,9 @@ impl ApiError {
             ApiError::UnknownRoute { .. } => "unknown_route",
             ApiError::MethodNotAllowed { .. } => "method_not_allowed",
             ApiError::Internal { .. } => "internal",
+            ApiError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ApiError::Overloaded { .. } => "overloaded",
+            ApiError::RequestTimeout { .. } => "request_timeout",
         }
     }
 
@@ -473,6 +592,23 @@ impl ApiError {
             ApiError::PayloadTooLarge { .. } => 413,
             ApiError::MethodNotAllowed { .. } => 405,
             ApiError::Internal { .. } => 500,
+            ApiError::DeadlineExceeded { .. } => 504,
+            ApiError::Overloaded { .. } => 503,
+            ApiError::RequestTimeout { .. } => 408,
+        }
+    }
+
+    /// Extra HTTP headers this error travels with (beyond the fixed
+    /// set), as `(name, value)` pairs.
+    pub fn extra_headers(&self) -> Vec<(&'static str, String)> {
+        match self {
+            // Retry-After is whole seconds, rounded up so "come back in
+            // 250ms" never renders as "come back now".
+            ApiError::Overloaded { retry_after_ms } => vec![(
+                "Retry-After",
+                retry_after_ms.div_ceil(1000).max(1).to_string(),
+            )],
+            _ => Vec::new(),
         }
     }
 }
@@ -503,6 +639,16 @@ impl std::fmt::Display for ApiError {
                 write!(f, "method not allowed at `{path}` (use {allowed})")
             }
             ApiError::Internal { detail } => write!(f, "internal error: {detail}"),
+            ApiError::DeadlineExceeded { timeout_ms } => {
+                write!(
+                    f,
+                    "deadline of {timeout_ms}ms exceeded before an answer was ready"
+                )
+            }
+            ApiError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
+            ApiError::RequestTimeout { detail } => write!(f, "request timed out: {detail}"),
         }
     }
 }
@@ -547,6 +693,13 @@ impl Serialize for ApiError {
                 fields.push(str_field("path", path));
                 fields.push(str_field("allowed", allowed));
             }
+            ApiError::DeadlineExceeded { timeout_ms } => {
+                fields.push(("timeout_ms".to_string(), Value::U64(*timeout_ms)));
+            }
+            ApiError::Overloaded { retry_after_ms } => {
+                fields.push(("retry_after_ms".to_string(), Value::U64(*retry_after_ms)));
+            }
+            ApiError::RequestTimeout { detail } => fields.push(str_field("detail", detail)),
         }
         Value::Object(fields)
     }
@@ -610,6 +763,23 @@ impl Deserialize for ApiError {
                 allowed: field("allowed")?,
             },
             "internal" => ApiError::Internal {
+                detail: field("detail")?,
+            },
+            "deadline_exceeded" => ApiError::DeadlineExceeded {
+                timeout_ms: v
+                    .get_field("timeout_ms")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| serde::DeError::new("ApiError: missing field `timeout_ms`"))?,
+            },
+            "overloaded" => ApiError::Overloaded {
+                retry_after_ms: v
+                    .get_field("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| {
+                        serde::DeError::new("ApiError: missing field `retry_after_ms`")
+                    })?,
+            },
+            "request_timeout" => ApiError::RequestTimeout {
                 detail: field("detail")?,
             },
             other => {
@@ -891,11 +1061,44 @@ mod tests {
                     logp: -1.25,
                 }),
             }],
+            degraded: false,
+            shards_failed: vec![],
         });
         let s = serde_json::to_string(&resp).unwrap();
         assert_eq!(serde_json::from_str::<ApiResponse>(&s).unwrap(), resp);
         assert_eq!(resp.http_status(), 200);
         assert!(resp.body().contains("\"ranked\""));
+        // healthy answers never mention degradation on the wire
+        assert!(!resp.body().contains("degraded"));
+        assert!(!resp.body().contains("shards_failed"));
+    }
+
+    #[test]
+    fn degraded_answers_roundtrip_with_annotations() {
+        let resp = ApiResponse::Answer(WireAnswer {
+            protocol: PROTOCOL_VERSION.to_string(),
+            model: "ConvE".to_string(),
+            source: "e1".to_string(),
+            relation: "r2".to_string(),
+            coverage: Coverage::Reached,
+            ranked: vec![],
+            degraded: true,
+            shards_failed: vec![2],
+        });
+        let s = serde_json::to_string(&resp).unwrap();
+        assert!(s.contains("\"degraded\""));
+        assert!(s.contains("\"shards_failed\""));
+        assert_eq!(serde_json::from_str::<ApiResponse>(&s).unwrap(), resp);
+    }
+
+    #[test]
+    fn named_query_timeout_defaults_to_none() {
+        let q: NamedQuery = serde_json::from_str(r#"{"source": "e1", "relation": "r0"}"#).unwrap();
+        assert_eq!(q.timeout_ms, None);
+        let q: NamedQuery =
+            serde_json::from_str(r#"{"source": "e1", "relation": "r0", "timeout_ms": 250}"#)
+                .unwrap();
+        assert_eq!(q.timeout_ms, Some(250));
     }
 
     #[test]
@@ -930,6 +1133,13 @@ mod tests {
             },
             ApiError::Internal {
                 detail: "worker died".to_string(),
+            },
+            ApiError::DeadlineExceeded { timeout_ms: 250 },
+            ApiError::Overloaded {
+                retry_after_ms: 500,
+            },
+            ApiError::RequestTimeout {
+                detail: "headers stalled".to_string(),
             },
         ];
         for e in cases {
@@ -976,6 +1186,30 @@ mod tests {
         });
         assert_eq!(err.http_status(), 404);
         assert!(err.body().starts_with("{\"error\":"));
+
+        assert_eq!(
+            ApiError::DeadlineExceeded { timeout_ms: 1 }.http_status(),
+            504
+        );
+        assert_eq!(
+            ApiError::Overloaded { retry_after_ms: 1 }.http_status(),
+            503
+        );
+        assert_eq!(
+            ApiError::RequestTimeout { detail: "x".into() }.http_status(),
+            408
+        );
+        // overload responses hint a whole-second Retry-After, rounded up
+        let overloaded = ApiError::Overloaded {
+            retry_after_ms: 250,
+        };
+        assert_eq!(
+            overloaded.extra_headers(),
+            vec![("Retry-After", "1".to_string())]
+        );
+        assert!(ApiError::DeadlineExceeded { timeout_ms: 1 }
+            .extra_headers()
+            .is_empty());
     }
 
     #[test]

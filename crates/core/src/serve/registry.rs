@@ -23,7 +23,37 @@ use super::protocol::{
     ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, NameIndex,
     NamedQuery, WireAnswer, PROTOCOL_VERSION,
 };
-use super::{Answer, KgReasoner, Query};
+use super::{Answer, Budget, KgReasoner, Query};
+
+/// Derive the execution [`Budget`] for a request from its wire timeouts:
+/// the tightest explicit `timeout_ms` wins (a batch runs under its most
+/// impatient query), otherwise the server default applies (`0` = no
+/// deadline). An explicit `timeout_ms: 0` is rejected — omit the field
+/// (or send `null`) to ask for the server default.
+pub fn budget_for_timeouts(
+    timeouts: impl IntoIterator<Item = Option<u64>>,
+    default_timeout_ms: u64,
+) -> Result<Budget, ApiError> {
+    let mut tightest: Option<u64> = None;
+    for t in timeouts {
+        match t {
+            Some(0) => {
+                return Err(ApiError::InvalidBeamParams {
+                    detail: "timeout_ms must be at least 1 (omit it for the server default)"
+                        .to_string(),
+                })
+            }
+            Some(ms) => tightest = Some(tightest.map_or(ms, |cur| cur.min(ms))),
+            None => {}
+        }
+    }
+    Ok(
+        match tightest.or((default_timeout_ms > 0).then_some(default_timeout_ms)) {
+            Some(ms) => Budget::from_timeout_ms(ms),
+            None => Budget::none(),
+        },
+    )
+}
 
 /// A shared, immutable-after-construction table of named reasoners plus
 /// the name index they serve under. Build it once, wrap it in an `Arc`,
@@ -132,11 +162,25 @@ impl ModelRegistry {
 
     // -------------------------------------------------- request pipelines
 
-    /// Full `POST /v1/answer` pipeline.
+    /// Full `POST /v1/answer` pipeline. A `timeout_ms` on the query is
+    /// honored (no server default here — in-process callers opt in per
+    /// query); the HTTP front end routes through
+    /// [`Self::answer_budgeted`] to add its configured default.
     pub fn answer(&self, req: &AnswerRequest) -> Result<WireAnswer, ApiError> {
+        self.answer_budgeted(req, 0)
+    }
+
+    /// [`Self::answer`] with a server-side default timeout (0 = none)
+    /// applied when the query carries no explicit `timeout_ms`.
+    pub fn answer_budgeted(
+        &self,
+        req: &AnswerRequest,
+        default_timeout_ms: u64,
+    ) -> Result<WireAnswer, ApiError> {
+        let budget = budget_for_timeouts([req.query.timeout_ms], default_timeout_ms)?;
         let (name, reasoner) = self.get(req.model.as_deref())?;
         let query = self.names.resolve_query(&req.query)?;
-        let answer = reasoner.answer(&query);
+        let answer = reasoner.answer_within(&query, budget)?;
         Ok(WireAnswer::from_answer(name, &answer, &self.names))
     }
 
@@ -178,9 +222,15 @@ impl ModelRegistry {
 
     /// Full `POST /v1/answer_batch` pipeline, answered sequentially on
     /// the calling thread (the HTTP server substitutes its worker pool).
+    /// The batch budget is the tightest explicit `timeout_ms` across its
+    /// queries (none = unlimited).
     pub fn answer_batch(&self, req: &AnswerBatchRequest) -> Result<AnswerBatchResponse, ApiError> {
+        let budget = budget_for_timeouts(req.queries.iter().map(|q| q.timeout_ms), 0)?;
         let (name, reasoner, queries) = self.resolve_batch(req)?;
-        let answers: Vec<Answer> = queries.iter().map(|q| reasoner.answer(q)).collect();
+        let answers = queries
+            .iter()
+            .map(|q| reasoner.answer_within(q, budget))
+            .collect::<Result<Vec<Answer>, _>>()?;
         Ok(self.render_batch(name, &answers))
     }
 
@@ -197,6 +247,26 @@ impl ModelRegistry {
             &paths,
             &self.names,
         ))
+    }
+
+    /// [`Self::explain`] under a deadline. Path enumeration is one
+    /// uninterruptible beam pass, so the budget is enforced around it:
+    /// an already-expired budget skips the work, a late result is
+    /// discarded in favor of the typed deadline error.
+    pub fn explain_budgeted(
+        &self,
+        req: &ExplainRequest,
+        default_timeout_ms: u64,
+    ) -> Result<ExplainResponse, ApiError> {
+        let budget = budget_for_timeouts([req.query.timeout_ms], default_timeout_ms)?;
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        let resp = self.explain(req)?;
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        Ok(resp)
     }
 
     /// `GET /v1/models` payload.

@@ -21,14 +21,30 @@
 //!
 //! Either way the v1 wire surface is untouched: a `ShardedReasoner`
 //! registers in [`super::ModelRegistry`] like any other model.
+//!
+//! # Supervision
+//!
+//! Scored fan-out runs on a persistent per-reasoner shard pool (spawned
+//! once at construction, closing the old per-query `thread::scope`
+//! spawn cost) under a supervisor: every shard task runs inside
+//! `catch_unwind`, waits are bounded by the caller's [`Budget`], and a
+//! failed shard is retried **once** after a jittered backoff. A shard
+//! that still fails is dropped from the merge — the answer is the exact
+//! merged top-k of the survivors, annotated with
+//! [`Degraded`](super::Degraded) so clients can tell a partial ranking
+//! from a full one. An exhausted budget wins over degradation: the
+//! caller gets [`ApiError::DeadlineExceeded`], never a late answer.
 
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use mmkgr_embed::TripleScorer;
 use mmkgr_kg::{EntityId, RelationId, RelationSpace};
 
 use super::{
-    candidates_from_scores, rank_top_k, Answer, CacheStats, Candidate, Coverage, KgReasoner, Query,
+    candidates_from_scores, faults, panic_message, rank_top_k, Answer, ApiError, Budget,
+    CacheStats, Candidate, Coverage, Degraded, KgReasoner, Query,
 };
 use crate::infer::BeamPath;
 
@@ -86,6 +102,78 @@ enum Mode {
     Routed(Vec<Arc<dyn KgReasoner + Send + Sync>>),
 }
 
+/// One unit of shard work: score a range, report back.
+type ShardTask = Box<dyn FnOnce() + Send>;
+
+/// A persistent pool of shard-task threads, spawned once per
+/// [`ShardedReasoner`]. Tasks run under `catch_unwind` so a panicking
+/// scorer (or an injected chaos fault) never kills a pool thread — the
+/// failure is reported through the task's own result channel and the
+/// thread moves on to the next task.
+struct ShardPool {
+    tx: Mutex<Option<mpsc::Sender<ShardTask>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ShardPool {
+    fn new(threads: usize) -> ShardPool {
+        let (tx, rx) = mpsc::channel::<ShardTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let task = match rx.lock().unwrap().recv() {
+                        Ok(t) => t,
+                        Err(_) => return, // pool dropped
+                    };
+                    // The pool boundary: a panic inside the task is the
+                    // task's problem, not the thread's.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                })
+            })
+            .collect();
+        ShardPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    fn submit(&self, task: ShardTask) {
+        let tx = self.tx.lock().unwrap();
+        tx.as_ref()
+            .expect("shard pool open while alive")
+            .send(task)
+            .expect("shard pool workers alive");
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.tx.lock().unwrap().take(); // close the channel
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One supervised attempt at scoring a shard: chaos hooks first (so
+/// injected latency/panics land inside the unwind guard), then the real
+/// range scoring. `Err` carries the panic message.
+fn shard_attempt(
+    scorer: &dyn ObjectScorer,
+    query: &Query,
+    shard: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Candidate>, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        faults::on_shard_task(shard);
+        ShardedReasoner::score_shard(scorer, query, lo, hi)
+    }))
+    .map_err(|p| panic_message(&*p))
+}
+
 /// N entity-partitioned shards behind one [`KgReasoner`] (see the module
 /// docs for the two disciplines and the exactness argument).
 pub struct ShardedReasoner {
@@ -96,6 +184,9 @@ pub struct ShardedReasoner {
     /// `bounds[i]..bounds[i+1]` is shard `i`'s entity range;
     /// `bounds.len() == shards + 1`, `bounds[0] == 0`, last == entities.
     bounds: Vec<usize>,
+    /// Persistent fan-out threads for scored mode (`None` for routed
+    /// mode and for a single shard, which scores on the caller thread).
+    pool: Option<ShardPool>,
 }
 
 impl std::fmt::Debug for ShardedReasoner {
@@ -143,6 +234,7 @@ impl ShardedReasoner {
             num_entities,
             relations,
             bounds: uniform_bounds(num_entities, shards),
+            pool: (shards > 1).then(|| ShardPool::new(shards.min(16))),
         })
     }
 
@@ -173,6 +265,7 @@ impl ShardedReasoner {
             num_entities,
             relations,
             bounds,
+            pool: None,
         })
     }
 
@@ -203,43 +296,109 @@ impl ShardedReasoner {
         candidates_from_scores(&scores, lo, query.top_k)
     }
 
-    /// Exhaustive answer, fanned across shards. One scoped thread per
-    /// non-empty shard beyond the first; the first range is scored on
-    /// the calling thread so a 1-shard reasoner never spawns.
-    fn answer_scored(&self, scorer: &Arc<dyn ObjectScorer>, query: &Query) -> Answer {
-        let ranges: Vec<(usize, usize)> = self
+    /// Run one wave of shard attempts — concurrently on the shard pool
+    /// when there is one, inline otherwise — collecting each shard's
+    /// result. Waits are bounded by the remaining `budget`; a shard that
+    /// produced nothing before the deadline simply has no entry in the
+    /// returned list.
+    fn run_wave(
+        &self,
+        scorer: &Arc<dyn ObjectScorer>,
+        query: &Query,
+        pending: &[(usize, usize, usize)],
+        budget: Budget,
+    ) -> Vec<(usize, Result<Vec<Candidate>, String>)> {
+        let Some(pool) = &self.pool else {
+            return pending
+                .iter()
+                .map(|&(shard, lo, hi)| (shard, shard_attempt(&**scorer, query, shard, lo, hi)))
+                .collect();
+        };
+        let (res_tx, res_rx) = mpsc::channel();
+        for &(shard, lo, hi) in pending {
+            let scorer = Arc::clone(scorer);
+            let query = *query;
+            let tx = res_tx.clone();
+            pool.submit(Box::new(move || {
+                // The receiver may be gone (deadline hit): fine.
+                let _ = tx.send((shard, shard_attempt(&*scorer, &query, shard, lo, hi)));
+            }));
+        }
+        drop(res_tx);
+        let mut results = Vec::with_capacity(pending.len());
+        for _ in 0..pending.len() {
+            let next = match budget.remaining() {
+                None => res_rx.recv().ok(),
+                Some(left) => res_rx.recv_timeout(left).ok(),
+            };
+            match next {
+                Some(pair) => results.push(pair),
+                None => break, // deadline: undelivered shards count as failed
+            }
+        }
+        results
+    }
+
+    /// Exhaustive answer, fanned across shards under supervision: every
+    /// shard attempt is unwind-guarded, waits are budget-bounded, and a
+    /// failed shard gets exactly one retry after a jittered backoff.
+    /// Survivor results merge into the exact top-k over their ranges; if
+    /// any shard stayed down the answer carries a [`Degraded`]
+    /// annotation. An exhausted budget is an error, not a late answer.
+    fn answer_scored_within(
+        &self,
+        scorer: &Arc<dyn ObjectScorer>,
+        query: &Query,
+        budget: Budget,
+    ) -> Result<Answer, ApiError> {
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        let mut pending: Vec<(usize, usize, usize)> = self
             .bounds
             .windows(2)
-            .map(|w| (w[0], w[1]))
-            .filter(|(lo, hi)| lo < hi)
+            .enumerate()
+            .map(|(i, w)| (i, w[0], w[1]))
+            .filter(|&(_, lo, hi)| lo < hi)
             .collect();
-        let mut merged: Vec<Candidate> = match ranges.split_first() {
-            None => Vec::new(),
-            Some((&(lo0, hi0), rest)) => std::thread::scope(|scope| {
-                let handles: Vec<_> = rest
-                    .iter()
-                    .map(|&(lo, hi)| {
-                        let scorer = Arc::clone(scorer);
-                        scope.spawn(move || Self::score_shard(&*scorer, query, lo, hi))
-                    })
-                    .collect();
-                let mut all = Self::score_shard(&**scorer, query, lo0, hi0);
-                for h in handles {
-                    // A scorer panic propagates to the caller, matching
-                    // WorkerPool's panic discipline.
-                    all.extend(h.join().expect("shard scoring thread panicked"));
+        let mut merged: Vec<Candidate> = Vec::new();
+        for attempt in 0..2 {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                if budget.expired() {
+                    break;
                 }
-                all
-            }),
-        };
+                faults::SHARD_RETRIES.fetch_add(pending.len() as u64, Ordering::Relaxed);
+                std::thread::sleep(budget.clamp(Duration::from_millis(1) + faults::jitter(8)));
+            }
+            let wave = self.run_wave(scorer, query, &pending, budget);
+            pending.retain(|&(shard, _, _)| {
+                !wave.iter().any(|&(s, ref out)| s == shard && out.is_ok())
+            });
+            for (_, out) in wave {
+                if let Ok(cands) = out {
+                    merged.extend(cands);
+                }
+            }
+        }
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
         // Per-shard slices are each sorted, but the union is not; the
-        // final order must match the unsharded single sort exactly.
+        // final order must match the unsharded single sort exactly
+        // (restricted to the surviving ranges when degraded).
         rank_top_k(&mut merged, query.top_k);
-        Answer {
+        Ok(Answer {
             query: *query,
             coverage: Coverage::Exhaustive,
             ranked: merged,
-        }
+            degraded: (!pending.is_empty()).then(|| Degraded {
+                shards_failed: pending.iter().map(|&(shard, _, _)| shard).collect(),
+                shards_total: self.num_shards(),
+            }),
+        })
     }
 
     /// Batch convenience with per-shard fan-out (routed mode groups
@@ -299,8 +458,19 @@ impl KgReasoner for ShardedReasoner {
 
     fn answer(&self, query: &Query) -> Answer {
         match &self.mode {
-            Mode::Scored(scorer) => self.answer_scored(scorer, query),
+            Mode::Scored(scorer) => self
+                .answer_scored_within(scorer, query, Budget::none())
+                .expect("an unlimited budget cannot exceed its deadline"),
             Mode::Routed(shards) => shards[self.shard_of(query.source)].answer(query),
+        }
+    }
+
+    fn answer_within(&self, query: &Query, budget: Budget) -> Result<Answer, ApiError> {
+        match &self.mode {
+            Mode::Scored(scorer) => self.answer_scored_within(scorer, query, budget),
+            Mode::Routed(shards) => {
+                shards[self.shard_of(query.source)].answer_within(query, budget)
+            }
         }
     }
 
@@ -457,6 +627,103 @@ mod tests {
             assert!(s < sharded.num_shards());
             assert!(sharded.bounds[s] <= e as usize && (e as usize) < sharded.bounds[s + 1]);
         }
+    }
+
+    /// Degraded-mode parity: with shard `dead` forced down, the answer
+    /// must be *exactly* the merged top-k over the surviving ranges —
+    /// computed here as an unsharded reference pass restricted to those
+    /// ranges — plus the degradation annotation. Nothing else may leak
+    /// from the dead shard's range.
+    #[test]
+    fn degraded_answer_is_exact_merge_of_survivors() {
+        let (n, rs) = shape();
+        let scorer = transe(n, rs);
+        let shards = 4usize;
+        let sharded =
+            ShardedReasoner::from_scorer("TransE", Arc::clone(&scorer), n, rs, shards).unwrap();
+        for dead in 0..shards {
+            let _guard = faults::install(
+                faults::FaultPlan::new()
+                    .with_shard_panic(faults::ShardSel::One(dead), faults::ALWAYS),
+            );
+            for top_k in [0usize, 1, 5, 100] {
+                let q = Query::new(EntityId(3), RelationId(1)).with_top_k(top_k);
+                let got = sharded.answer(&q);
+                // Reference: score each surviving range directly.
+                let scorer_dyn: &dyn ObjectScorer = &*scorer;
+                let mut expect: Vec<Candidate> = Vec::new();
+                for (i, w) in sharded.bounds.windows(2).enumerate() {
+                    if i != dead && w[0] < w[1] {
+                        expect.extend(ShardedReasoner::score_shard(scorer_dyn, &q, w[0], w[1]));
+                    }
+                }
+                rank_top_k(&mut expect, top_k);
+                assert_eq!(got.ranked, expect, "dead={dead} top_k={top_k}");
+                assert_eq!(
+                    got.degraded,
+                    Some(Degraded {
+                        shards_failed: vec![dead],
+                        shards_total: shards,
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_shard_panic_is_retried_to_a_full_answer() {
+        let (n, rs) = shape();
+        let scorer = transe(n, rs);
+        let whole = ScorerReasoner::new("TransE", Arc::clone(&scorer), n, rs);
+        let sharded =
+            ShardedReasoner::from_scorer("TransE", Arc::clone(&scorer), n, rs, 3).unwrap();
+        let q = Query::new(EntityId(7), RelationId(0)).with_top_k(5);
+        let retries_before = faults::SHARD_RETRIES.load(Ordering::Relaxed);
+        let got = {
+            // Shard 1 panics exactly once: the retry must succeed and
+            // the answer must be indistinguishable from a healthy run.
+            let _guard = faults::install(
+                faults::FaultPlan::new().with_shard_panic(faults::ShardSel::One(1), 1),
+            );
+            sharded.answer(&q)
+        };
+        assert_eq!(got, whole.answer(&q));
+        assert!(got.degraded.is_none());
+        assert!(faults::SHARD_RETRIES.load(Ordering::Relaxed) > retries_before);
+    }
+
+    #[test]
+    fn injected_latency_past_the_deadline_is_a_typed_504() {
+        let (n, rs) = shape();
+        let sharded = ShardedReasoner::from_scorer("TransE", transe(n, rs), n, rs, 2).unwrap();
+        let q = Query::new(EntityId(0), RelationId(1));
+        let _guard = faults::install(
+            faults::FaultPlan::new()
+                .with_shard_latency(faults::ShardSel::All, Duration::from_millis(400)),
+        );
+        let started = std::time::Instant::now();
+        let err = sharded
+            .answer_within(&q, Budget::from_timeout_ms(50))
+            .unwrap_err();
+        assert!(matches!(err, ApiError::DeadlineExceeded { timeout_ms: 50 }));
+        // The caller got its answer near the deadline, not after the
+        // injected latency drained (generous bound for slow CI).
+        assert!(started.elapsed() < Duration::from_millis(350));
+    }
+
+    #[test]
+    fn faults_disabled_answers_are_byte_identical() {
+        let (n, rs) = shape();
+        let scorer = transe(n, rs);
+        let whole = ScorerReasoner::new("TransE", Arc::clone(&scorer), n, rs);
+        let sharded =
+            ShardedReasoner::from_scorer("TransE", Arc::clone(&scorer), n, rs, 4).unwrap();
+        let q = Query::new(EntityId(11), RelationId(2)).with_top_k(7);
+        let a = sharded
+            .answer_within(&q, Budget::from_timeout_ms(60_000))
+            .unwrap();
+        assert_eq!(a, whole.answer(&q));
+        assert!(a.degraded.is_none());
     }
 
     #[test]

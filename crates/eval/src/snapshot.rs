@@ -355,6 +355,11 @@ pub fn load_registry_snapshot(
     serve_override: Option<ServeConfig>,
     shards: usize,
 ) -> Result<LoadedRegistry, SnapshotBuildError> {
+    // Chaos hook: an installed `io_error` fault fails the load exactly
+    // like a broken disk would, exercising callers' typed error paths.
+    if let Some(e) = mmkgr_core::serve::faults::maybe_io_error("registry snapshot load") {
+        return Err(SnapshotBuildError::Snapshot(SnapshotError::Io(e)));
+    }
     let snap = Snapshot::open(path)?;
     let mapped = snap.is_mapped();
     let graph = Arc::new(snap.graph()?);

@@ -17,7 +17,7 @@
 //! copying. See `docs/snapshot-format.md` for the compat policy.
 
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::graph::{Edge, KnowledgeGraph};
@@ -39,6 +39,70 @@ const MAX_SECTIONS: usize = 256;
 const TABLE_ENTRY_LEN: usize = 32;
 const DATA_START: u64 = (HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN) as u64; // 8256, 64-aligned
 const ALIGN: u64 = 64;
+
+/// Header flag (u32 at offset 20): every section-table entry carries a
+/// CRC32 of its payload in the entry's formerly-reserved u32. Files
+/// written before this flag existed have 0 here and are read unchecked,
+/// so the format version stays 1.
+const FLAG_SECTION_CRCS: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, reflected, poly 0xEDB88320) — table-driven, no deps
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC32 used by the writer (string tables stream name by
+/// name) and the reader's verification pass.
+#[derive(Copy, Clone)]
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    fn finish(self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// CRC32 of a full byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
 
 /// What a section contains. Unknown kinds are preserved and skippable —
 /// readers only interpret the kinds they know.
@@ -76,6 +140,9 @@ pub struct Section {
     pub offset: u64,
     pub len: u64,
     pub extra: u64,
+    /// CRC32 of the payload; 0 when the file predates checksums (see
+    /// `FLAG_SECTION_CRCS`).
+    pub crc: u32,
 }
 
 /// Everything that can go wrong opening or interpreting a snapshot.
@@ -98,6 +165,13 @@ pub enum SnapshotError {
     },
     SectionMisaligned {
         index: usize,
+    },
+    /// A section payload's CRC32 disagrees with the table — the file was
+    /// corrupted after it was written (bit rot, torn copy, tampering).
+    ChecksumMismatch {
+        index: usize,
+        stored: u32,
+        computed: u32,
     },
     MissingSection {
         kind: SectionKind,
@@ -140,6 +214,16 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::SectionMisaligned { index } => {
                 write!(f, "section {index} payload is not {ALIGN}-byte aligned")
             }
+            SnapshotError::ChecksumMismatch {
+                index,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "section {index} checksum mismatch (stored {stored:#010x}, computed {computed:#010x}): snapshot is corrupted"
+                )
+            }
             SnapshotError::MissingSection { kind } => {
                 write!(f, "snapshot is missing a required {kind:?} section")
             }
@@ -173,21 +257,48 @@ impl From<CsrError> for SnapshotError {
 /// Streaming snapshot writer: payloads are written (64-byte aligned) as
 /// sections are added; [`SnapshotWriter::finish`] seeks back and commits
 /// the header + section table.
+///
+/// Writes go to a temporary file next to the destination; `finish`
+/// fsyncs and renames it into place, so an interrupted write (crash,
+/// panic, early drop) can never leave a half-written `.mmkg` at the
+/// destination — whatever was there before stays intact.
 pub struct SnapshotWriter {
     file: std::fs::File,
     sections: Vec<Section>,
     pos: u64,
+    dest: PathBuf,
+    tmp: PathBuf,
+    committed: bool,
 }
 
 impl SnapshotWriter {
     pub fn create(path: &Path) -> Result<Self, SnapshotError> {
-        let mut file = std::fs::File::create(path)?;
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "snapshot.mmkg".into());
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
         file.seek(SeekFrom::Start(DATA_START))?;
         Ok(SnapshotWriter {
             file,
             sections: Vec::new(),
             pos: DATA_START,
+            dest: path.to_path_buf(),
+            tmp,
+            committed: false,
         })
+    }
+
+    /// Where the finished snapshot will land.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// The temporary file writes are staged in until [`Self::finish`].
+    pub fn staging_path(&self) -> &Path {
+        &self.tmp
     }
 
     /// Append one section; returns its table index.
@@ -216,6 +327,7 @@ impl SnapshotWriter {
             offset,
             len: payload.len() as u64,
             extra,
+            crc: crc32(payload),
         });
         Ok(self.sections.len() - 1)
     }
@@ -270,8 +382,10 @@ impl SnapshotWriter {
             self.pos += pad;
         }
         let offset = self.pos;
+        let mut crc = Crc32::new();
         for n in names {
             self.file.write_all(n.as_bytes())?;
+            crc.update(n.as_bytes());
         }
         self.pos += cursor;
         self.sections.push(Section {
@@ -279,6 +393,7 @@ impl SnapshotWriter {
             offset,
             len: cursor,
             extra: 0,
+            crc: crc.finish(),
         });
         Ok(())
     }
@@ -324,7 +439,9 @@ impl SnapshotWriter {
         Ok(())
     }
 
-    /// Commit the header and section table; the file is complete after this.
+    /// Commit the header and section table, fsync, and atomically rename
+    /// the staged file onto the destination. The destination either holds
+    /// its previous contents or a complete new snapshot — never a mix.
     pub fn finish(mut self) -> Result<(), SnapshotError> {
         let mut head = vec![0u8; HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN];
         head[0..4].copy_from_slice(&MAGIC);
@@ -332,17 +449,44 @@ impl SnapshotWriter {
         head[8..12].copy_from_slice(&ENDIAN_MARK.to_ne_bytes());
         head[12..16].copy_from_slice(&(HEADER_LEN as u32).to_ne_bytes());
         head[16..20].copy_from_slice(&(self.sections.len() as u32).to_ne_bytes());
+        head[20..24].copy_from_slice(&FLAG_SECTION_CRCS.to_ne_bytes());
         for (i, s) in self.sections.iter().enumerate() {
             let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
             head[at..at + 4].copy_from_slice(&s.kind.to_ne_bytes());
+            head[at + 4..at + 8].copy_from_slice(&s.crc.to_ne_bytes());
             head[at + 8..at + 16].copy_from_slice(&s.offset.to_ne_bytes());
             head[at + 16..at + 24].copy_from_slice(&s.len.to_ne_bytes());
             head[at + 24..at + 32].copy_from_slice(&s.extra.to_ne_bytes());
         }
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&head)?;
-        self.file.flush()?;
+        self.file.sync_all()?;
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.committed = true;
+        // Durability of the rename itself needs the directory synced; do it
+        // best-effort — a failure here can't un-commit the data.
+        #[cfg(unix)]
+        if let Some(dir) = self.dest.parent() {
+            let dir = if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            };
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Aborted mid-write: discard the staged temp file so nothing
+            // half-written survives, and the destination stays untouched.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 
@@ -424,6 +568,8 @@ impl Snapshot {
         if count as usize > MAX_SECTIONS {
             return Err(SnapshotError::TooManySections { got: count });
         }
+        let flags = read_u32(20);
+        let has_crcs = flags & FLAG_SECTION_CRCS != 0;
         let mut sections = Vec::with_capacity(count as usize);
         for i in 0..count as usize {
             let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
@@ -432,6 +578,7 @@ impl Snapshot {
                 offset: read_u64(at + 8),
                 len: read_u64(at + 16),
                 extra: read_u64(at + 24),
+                crc: if has_crcs { read_u32(at + 4) } else { 0 },
             };
             if s.offset < DATA_START
                 || s.offset
@@ -442,6 +589,17 @@ impl Snapshot {
             }
             if !s.offset.is_multiple_of(ALIGN) {
                 return Err(SnapshotError::SectionMisaligned { index: i });
+            }
+            if has_crcs {
+                let payload = &bytes[s.offset as usize..(s.offset + s.len) as usize];
+                let computed = crc32(payload);
+                if computed != s.crc {
+                    return Err(SnapshotError::ChecksumMismatch {
+                        index: i,
+                        stored: s.crc,
+                        computed,
+                    });
+                }
             }
             sections.push(s);
         }
@@ -775,9 +933,84 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         // point the first edge at an absurd target entity
         bytes[off + 4..off + 8].copy_from_slice(&0xdead_beefu32.to_ne_bytes());
+        // clear the checksum flag so the corruption reaches CSR validation
+        // (mimics a pre-checksum file with the same bad edge)
+        bytes[20..24].copy_from_slice(&0u32.to_ne_bytes());
         std::fs::write(&path, &bytes).unwrap();
         let snap = Snapshot::open_read(&path).unwrap();
         assert!(matches!(snap.graph(), Err(SnapshotError::Csr(_))));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_caught_by_checksum() {
+        let path = tmp("crc.mmkg");
+        write_toy(&path);
+        let snap = Snapshot::open_read(&path).unwrap();
+        let idx = snap.find(SectionKind::CsrEdges).unwrap();
+        let s = snap.sections()[idx];
+        assert_ne!(s.crc, 0, "writer must stamp a checksum");
+        let off = s.offset as usize;
+        drop(snap);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[off] ^= 0x01; // single bit flip in the payload
+        std::fs::write(&path, &bytes).unwrap();
+        match Snapshot::open_read(&path) {
+            Err(SnapshotError::ChecksumMismatch { index, .. }) => assert_eq!(index, idx),
+            Err(other) => panic!("expected ChecksumMismatch, got {other:?}"),
+            Ok(_) => panic!("expected ChecksumMismatch, got a valid snapshot"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_file_without_checksums_still_opens() {
+        let path = tmp("legacy.mmkg");
+        write_toy(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // zero the flags word, mimicking a file written before checksums
+        bytes[20..24].copy_from_slice(&0u32.to_ne_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let snap = Snapshot::open_read(&path).unwrap();
+        assert!(snap.graph().is_ok());
+        assert_eq!(snap.sections()[0].crc, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aborted_write_leaves_destination_intact() {
+        let path = tmp("abort.mmkg");
+        write_toy(&path);
+        let before = std::fs::read(&path).unwrap();
+        // Start a rewrite and abort mid-write (drop without finish).
+        {
+            let g = toy_graph();
+            let mut w = SnapshotWriter::create(&path).unwrap();
+            w.add_graph(&g).unwrap();
+            let staged = w.staging_path().to_path_buf();
+            assert!(staged.exists(), "writes must stage in a temp file");
+            drop(w);
+            assert!(!staged.exists(), "aborted temp file must be cleaned up");
+        }
+        // The destination still holds the previous complete snapshot.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        assert!(Snapshot::open_read(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aborted_first_write_creates_nothing() {
+        let path = tmp("abort_fresh.mmkg");
+        std::fs::remove_file(&path).ok();
+        {
+            let g = toy_graph();
+            let mut w = SnapshotWriter::create(&path).unwrap();
+            w.add_graph(&g).unwrap();
+            // dropped without finish
+        }
+        assert!(
+            !path.exists(),
+            "aborted first write must not create the destination"
+        );
     }
 }

@@ -116,7 +116,23 @@ fn main() {
         r#"{"query": {"source": "atlantis", "relation": "r0"}}"#,
     );
 
-    // Serving counters (per-route latency, queue depth, cache hits).
+    // Deadlines: `timeout_ms` caps a request's total budget. This one
+    // is generous so it answers normally; a request that runs out gets
+    // a 504 with code `deadline_exceeded` instead of hanging (see
+    // docs/robustness.md for shedding, degraded answers, and fault
+    // injection via MMKGR_FAULTS).
+    show(
+        addr,
+        "POST",
+        "/v1/answer",
+        &format!(
+            r#"{{"query": {{"source": "e{}", "relation": "r{}", "top_k": 3, "timeout_ms": 5000}}}}"#,
+            t.s.0, t.r.0
+        ),
+    );
+
+    // Serving counters (per-route latency, queue depth, cache hits,
+    // robustness: shed / deadline_exceeded / degraded_answers / …).
     show(addr, "GET", "/metrics", "");
 
     server.shutdown();

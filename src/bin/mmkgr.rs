@@ -76,6 +76,13 @@ COMMANDS
              [--threads <n>] [--workers <n>] [--cache <n>]
              [--beam <n>] [--steps <n>] [--rl-epochs <n>] [--kge-epochs <n>]
              [--dataset-scale <f64>] [--seed <u64>]
+             [--timeout-ms <n>]        default per-request deadline
+                                       (504 past it; 0 = none)
+             [--max-queue <n>]         shed (503 + Retry-After) past this
+                                       many queued connections (0 = off)
+             [--model-inflight <n>]    per-model in-flight cap (0 = off)
+             MMKGR_FAULTS=<spec>       env: chaos fault injection, e.g.
+                                       shard_latency=*:200,shard_panic=1
              [--snapshot <file.mmkg>]  boot from a registry snapshot
                                        instead of training (no dataset
                                        flags needed)
@@ -691,10 +698,14 @@ fn serve_registry(
 
     let addr = flag(flags, "addr").unwrap_or("127.0.0.1");
     let port: u16 = parse_or(flags, "port", 8080)?;
+    let defaults = mmkgr::core::serve::HttpServerConfig::default();
     let http_cfg = mmkgr::core::serve::HttpServerConfig {
         conn_threads: parse_or(flags, "threads", 4)?,
         pool_workers: parse_or(flags, "workers", 2)?,
-        ..Default::default()
+        default_timeout_ms: parse_or(flags, "timeout-ms", defaults.default_timeout_ms)?,
+        max_queue_depth: parse_or(flags, "max-queue", defaults.max_queue_depth)?,
+        model_inflight_limit: parse_or(flags, "model-inflight", defaults.model_inflight_limit)?,
+        ..defaults
     };
     let server = mmkgr::core::serve::HttpServer::bind((addr, port), registry, http_cfg)
         .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
