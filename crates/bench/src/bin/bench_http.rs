@@ -17,11 +17,14 @@
 //!   isolates the wire overhead (the engine is out of the loop).
 //! - `answer_batch_qps` — the whole query set as one
 //!   `POST /v1/answer_batch`, fanned out on the server's worker pool.
+//! - `retrieve` at 1/2/4 client threads — `POST /v1/retrieve` k-hop
+//!   subgraph + ranked-path-context extraction (the `"retrieve"`
+//!   section of `BENCH_serve.json`).
 //!
 //! Usage: `cargo run --release -p mmkgr-bench --bin bench_http`
-//! (run `bench_serve` first; this merges `"http"` into its
-//! `BENCH_serve.json` in the current directory, creating the file if it
-//! is missing).
+//! (run `bench_serve` first; this merges `"http"` and `"retrieve"` into
+//! its `BENCH_serve.json` in the current directory, creating the file if
+//! it is missing).
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -65,6 +68,21 @@ struct HttpBench {
     shed_rate: f64,
 }
 
+#[derive(Serialize)]
+struct RetrieveBench {
+    dataset: String,
+    machine: String,
+    commit: String,
+    hops: usize,
+    max_entities: usize,
+    max_paths: usize,
+    diversity: f64,
+    retrieve: Vec<AnswerLoad>,
+    requests_total: usize,
+    errors_total: usize,
+    shed_total: usize,
+}
+
 /// Outcome of one closed-loop run: throughput plus the response mix.
 struct LoopResult {
     qps: f64,
@@ -85,6 +103,9 @@ fn boot(kg: &mmkgr_kg::MultiModalKG, cache: usize) -> RunningServer {
         Arc::new(kg.graph.clone()),
         ServeConfig::default().with_cache(cache),
     )));
+    registry.set_retriever(Arc::new(mmkgr_core::serve::Retriever::new(Arc::new(
+        kg.graph.clone(),
+    ))));
     HttpServer::bind(
         ("127.0.0.1", 0),
         Arc::new(registry),
@@ -238,6 +259,48 @@ fn main() {
         "  POST /v1/answer_batch: {answer_batch_qps:.0} q/s ({} queries/call)",
         queries.len()
     );
+
+    // KG-RAG retrieval: 2-hop subgraph + MMR-ranked path contexts per
+    // request, seeded round-robin over the eval queries. Tallied into
+    // its own section so retrieval load doesn't skew the answer mix.
+    let (hops, max_entities, max_paths, diversity) = (2usize, 64usize, 8usize, 0.25f64);
+    let retrieve_bodies: Arc<Vec<String>> = Arc::new(
+        kg.split
+            .test
+            .iter()
+            .map(|t| {
+                format!(
+                    r#"{{"seeds": ["e{}"], "relation": "r{}", "hops": {hops}, "max_entities": {max_entities}, "max_paths": {max_paths}, "diversity": {diversity}}}"#,
+                    t.s.0, t.r.0
+                )
+            })
+            .collect(),
+    );
+    let (mut r_requests, mut r_shed, mut r_errors) = (0usize, 0usize, 0usize);
+    let mut retrieve = Vec::new();
+    for clients in [1, 2, 4] {
+        let per_client = 400 / clients;
+        let r = closed_loop(
+            addr,
+            "POST",
+            "/v1/retrieve",
+            Arc::clone(&retrieve_bodies),
+            clients,
+            per_client,
+        );
+        r_requests += r.ok + r.shed + r.errors;
+        r_shed += r.shed;
+        r_errors += r.errors;
+        println!(
+            "  POST /v1/retrieve: {:.0} q/s ({clients} client(s))",
+            r.qps
+        );
+        retrieve.push(AnswerLoad {
+            clients,
+            requests: clients * per_client,
+            qps: r.qps,
+        });
+    }
     server.shutdown();
 
     // Cached serving: every request after the warm pass is a frontier
@@ -284,5 +347,24 @@ fn main() {
     };
     println!("  response mix: {requests_total} requests, {errors_total} errors, {shed_total} shed");
 
+    let retrieve_section = RetrieveBench {
+        dataset: "tiny".into(),
+        machine: http.machine.clone(),
+        commit: http.commit.clone(),
+        hops,
+        max_entities,
+        max_paths,
+        diversity,
+        retrieve,
+        requests_total: r_requests,
+        errors_total: r_errors,
+        shed_total: r_shed,
+    };
+
     mmkgr_bench::merge_bench_section("BENCH_serve.json", "http", http.serialize_value());
+    mmkgr_bench::merge_bench_section(
+        "BENCH_serve.json",
+        "retrieve",
+        retrieve_section.serialize_value(),
+    );
 }

@@ -23,6 +23,7 @@
 //! | `POST /v1/answer` | [`AnswerRequest`] | [`WireAnswer`](super::protocol::WireAnswer) |
 //! | `POST /v1/answer_batch` | [`AnswerBatchRequest`] | [`AnswerBatchResponse`](super::protocol::AnswerBatchResponse) |
 //! | `POST /v1/explain` | [`ExplainRequest`] | [`ExplainResponse`](super::protocol::ExplainResponse) |
+//! | `POST /v1/retrieve` | [`RetrieveRequest`] | [`RetrieveResponse`](super::protocol::RetrieveResponse) |
 //! | `GET /v1/models` | — | [`ModelsResponse`](super::protocol::ModelsResponse) |
 //! | `GET /healthz` | — | [`HealthResponse`](super::protocol::HealthResponse) |
 //! | `GET /metrics` | — | [`MetricsResponse`](super::protocol::MetricsResponse) |
@@ -53,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use super::protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiResponse, ExplainRequest, MetricsResponse,
-    RobustnessMetrics, RouteMetrics, PROTOCOL_VERSION,
+    RetrieveMetrics, RetrieveRequest, RobustnessMetrics, RouteMetrics, PROTOCOL_VERSION,
 };
 use super::registry::{budget_for_timeouts, ModelRegistry};
 use super::{faults, Answer, WorkerPool};
@@ -112,16 +113,18 @@ enum Route {
     Answer,
     AnswerBatch,
     Explain,
+    Retrieve,
     Models,
     Healthz,
     Metrics,
     Other,
 }
 
-const ROUTE_NAMES: [&str; 7] = [
+const ROUTE_NAMES: [&str; 8] = [
     "/v1/answer",
     "/v1/answer_batch",
     "/v1/explain",
+    "/v1/retrieve",
     "/v1/models",
     "/healthz",
     "/metrics",
@@ -150,12 +153,16 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     /// Batch fan-out pools, one per registered model.
     pools: HashMap<String, WorkerPool>,
-    counters: [RouteCounter; 7],
+    counters: [RouteCounter; 8],
     queue_depth: AtomicUsize,
     /// Per-model in-flight answer/batch/explain requests, for the
     /// `model_inflight_limit` bulkhead.
     inflight: HashMap<String, AtomicUsize>,
     robust: RobustCounters,
+    /// Reranker activity for `/v1/retrieve`: path candidates examined and
+    /// path contexts actually returned.
+    retrieve_paths_considered: AtomicU64,
+    retrieve_paths_selected: AtomicU64,
     stop: AtomicBool,
     cfg: HttpServerConfig,
 }
@@ -238,6 +245,10 @@ impl Shared {
                 worker_respawns: faults::WORKER_RESPAWNS.load(Ordering::Relaxed),
                 request_timeouts: self.robust.request_timeouts.load(Ordering::Relaxed),
             },
+            retrieve: RetrieveMetrics {
+                paths_considered: self.retrieve_paths_considered.load(Ordering::Relaxed),
+                paths_selected: self.retrieve_paths_selected.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -288,6 +299,8 @@ impl HttpServer {
                 queue_depth: AtomicUsize::new(0),
                 inflight,
                 robust: RobustCounters::default(),
+                retrieve_paths_considered: AtomicU64::new(0),
+                retrieve_paths_selected: AtomicU64::new(0),
                 stop: AtomicBool::new(false),
                 cfg,
             }),
@@ -660,6 +673,7 @@ fn dispatch(req: &HttpRequest, shared: &Shared) -> (Route, ApiResponse) {
         "/v1/answer" => (Route::Answer, true),
         "/v1/answer_batch" => (Route::AnswerBatch, true),
         "/v1/explain" => (Route::Explain, true),
+        "/v1/retrieve" => (Route::Retrieve, true),
         "/v1/models" => (Route::Models, false),
         "/healthz" => (Route::Healthz, false),
         "/metrics" => (Route::Metrics, false),
@@ -736,6 +750,19 @@ fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, Api
             let _slot = shared.acquire_inflight(name)?;
             ApiResponse::Explain(registry.explain_budgeted(&req, default_ms)?)
         }
+        Route::Retrieve => {
+            let req: RetrieveRequest = parse_body(body)?;
+            let (name, _) = registry.get(req.model.as_deref())?;
+            let _slot = shared.acquire_inflight(name)?;
+            let resp = registry.retrieve_budgeted(&req, default_ms)?;
+            shared
+                .retrieve_paths_considered
+                .fetch_add(resp.paths_considered, Ordering::Relaxed);
+            shared
+                .retrieve_paths_selected
+                .fetch_add(resp.paths.len() as u64, Ordering::Relaxed);
+            ApiResponse::Retrieve(resp)
+        }
         Route::Models => ApiResponse::Models(registry.models()),
         Route::Healthz => ApiResponse::Health(registry.health()),
         Route::Metrics => ApiResponse::Metrics(shared.metrics()),
@@ -804,6 +831,9 @@ mod tests {
             Arc::new(kg.graph.clone()),
             ServeConfig::default().with_cache(64),
         )));
+        reg.set_retriever(Arc::new(super::super::retrieve::Retriever::new(Arc::new(
+            kg.graph.clone(),
+        ))));
         let server = HttpServer::bind(
             ("127.0.0.1", 0),
             Arc::new(reg),
@@ -978,6 +1008,38 @@ mod tests {
             let one: WireAnswer = serde_json::from_str(&one).unwrap();
             assert_eq!(*got, one, "batch answer equals single answer");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn retrieve_over_http_returns_subgraph_and_counts_paths() {
+        let (kg, server) = tiny_server();
+        let t = kg.split.test[0];
+        let body = format!(
+            r#"{{"seeds": ["e{}"], "relation": "r{}", "hops": 2, "max_paths": 4}}"#,
+            t.s.0, t.r.0
+        );
+        let (status, resp) = request(server.addr(), "POST", "/v1/retrieve", &body).unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let wire: super::super::protocol::RetrieveResponse = serde_json::from_str(&resp).unwrap();
+        assert!(!wire.subgraph.entities.is_empty(), "{resp}");
+        assert!(!wire.paths.is_empty(), "{resp}");
+
+        let (status, body) =
+            request(server.addr(), "POST", "/v1/retrieve", r#"{"seeds": []}"#).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("invalid_retrieve_params"), "{body}");
+
+        let metrics = server.metrics();
+        assert!(metrics.retrieve.paths_selected >= wire.paths.len() as u64);
+        assert!(metrics.retrieve.paths_considered >= metrics.retrieve.paths_selected);
+        let row = metrics
+            .routes
+            .iter()
+            .find(|r| r.route == "/v1/retrieve")
+            .unwrap();
+        assert_eq!(row.requests, 2, "{row:?}");
+        assert_eq!(row.errors, 1, "{row:?}");
         server.shutdown();
     }
 

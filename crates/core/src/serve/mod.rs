@@ -104,15 +104,18 @@ pub mod faults;
 pub mod http;
 pub mod protocol;
 pub mod registry;
+pub mod retrieve;
 pub mod sharded;
 
 pub use faults::{FaultGuard, FaultPlan, ShardSel};
 pub use http::{HttpServer, HttpServerConfig, RunningServer};
 pub use protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiRequest, ApiResponse, ExplainRequest,
-    ModelInfo, NameIndex, NamedQuery, WireAnswer, WireCandidate, WireEvidence, PROTOCOL_VERSION,
+    ModelInfo, NameIndex, NamedQuery, RetrieveRequest, RetrieveResponse, WireAnswer, WireCandidate,
+    WireContextPath, WireEvidence, WireSubgraph, PROTOCOL_VERSION,
 };
 pub use registry::ModelRegistry;
+pub use retrieve::{ContextPath, FewShotInfo, Retrieval, RetrieveSpec, Retriever};
 pub use sharded::ShardedReasoner;
 
 /// A serving request: answer `(source, relation, ?)`.

@@ -48,6 +48,7 @@ use std::collections::HashMap;
 use mmkgr_kg::{EntityId, RelationId, RelationSpace};
 use serde::{Deserialize, Serialize, Value};
 
+use super::retrieve::Retrieval;
 use super::{Answer, CacheStats, Coverage, Query};
 use crate::infer::BeamPath;
 
@@ -157,6 +158,108 @@ pub struct ExplainRequest {
     pub query: NamedQuery,
 }
 
+/// Body of `POST /v1/retrieve`: a KG-RAG retrieval context — the bounded
+/// k-hop subgraph around the named `seeds` plus diversity-ranked
+/// reasoning-path contexts (see `docs/retrieval.md`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetrieveRequest {
+    /// Registry model whose beam paths back the contexts (omitted = the
+    /// registry default).
+    #[serde(default)]
+    pub model: Option<String>,
+    /// Seed entity names (at least one; unknown names are
+    /// [`ApiError::UnknownEntity`]).
+    pub seeds: Vec<String>,
+    /// Optional query relation: when present and the model is a path
+    /// reasoner, contexts are its beam paths for `(seed, relation, ?)`;
+    /// otherwise they fall back to subgraph topology paths.
+    #[serde(default)]
+    pub relation: Option<String>,
+    /// k-hop expansion radius (must be ≥ 1).
+    #[serde(default = "RetrieveRequest::default_hops")]
+    pub hops: usize,
+    /// Cap on subgraph entities, seeds included (0 = unlimited).
+    #[serde(default = "RetrieveRequest::default_max_entities")]
+    pub max_entities: usize,
+    /// Cap on selected path contexts (0 = unlimited).
+    #[serde(default = "RetrieveRequest::default_max_paths")]
+    pub max_paths: usize,
+    /// MMR diversity weight in `[0, 1]`: 0 = plain score order, higher
+    /// values penalize entity/relation overlap with already-selected
+    /// paths.
+    #[serde(default)]
+    pub diversity: f32,
+    /// Request deadline in milliseconds (null/omitted = server default).
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+}
+
+impl RetrieveRequest {
+    pub const DEFAULT_HOPS: usize = 2;
+    pub const DEFAULT_MAX_ENTITIES: usize = 64;
+    pub const DEFAULT_MAX_PATHS: usize = 8;
+
+    fn default_hops() -> usize {
+        Self::DEFAULT_HOPS
+    }
+
+    fn default_max_entities() -> usize {
+        Self::DEFAULT_MAX_ENTITIES
+    }
+
+    fn default_max_paths() -> usize {
+        Self::DEFAULT_MAX_PATHS
+    }
+
+    pub fn new(seeds: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        RetrieveRequest {
+            model: None,
+            seeds: seeds.into_iter().map(Into::into).collect(),
+            relation: None,
+            hops: Self::DEFAULT_HOPS,
+            max_entities: Self::DEFAULT_MAX_ENTITIES,
+            max_paths: Self::DEFAULT_MAX_PATHS,
+            diversity: 0.0,
+            timeout_ms: None,
+        }
+    }
+
+    pub fn with_model(mut self, model: impl Into<String>) -> Self {
+        self.model = Some(model.into());
+        self
+    }
+
+    pub fn with_relation(mut self, relation: impl Into<String>) -> Self {
+        self.relation = Some(relation.into());
+        self
+    }
+
+    pub fn with_hops(mut self, hops: usize) -> Self {
+        self.hops = hops;
+        self
+    }
+
+    pub fn with_max_entities(mut self, n: usize) -> Self {
+        self.max_entities = n;
+        self
+    }
+
+    pub fn with_max_paths(mut self, n: usize) -> Self {
+        self.max_paths = n;
+        self
+    }
+
+    pub fn with_diversity(mut self, w: f32) -> Self {
+        self.diversity = w;
+        self
+    }
+
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+}
+
 /// Typed union of every v1 request. On the wire the route is the tag
 /// (each POST body is the bare inner struct); the server materializes
 /// this union after routing, and tests round-trip it directly.
@@ -165,6 +268,7 @@ pub enum ApiRequest {
     Answer(AnswerRequest),
     AnswerBatch(AnswerBatchRequest),
     Explain(ExplainRequest),
+    Retrieve(RetrieveRequest),
 }
 
 impl ApiRequest {
@@ -174,6 +278,7 @@ impl ApiRequest {
             ApiRequest::Answer(_) => "/v1/answer",
             ApiRequest::AnswerBatch(_) => "/v1/answer_batch",
             ApiRequest::Explain(_) => "/v1/explain",
+            ApiRequest::Retrieve(_) => "/v1/retrieve",
         }
     }
 }
@@ -365,6 +470,140 @@ impl ExplainResponse {
     }
 }
 
+/// One subgraph entity of `POST /v1/retrieve`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireSubgraphEntity {
+    pub entity: String,
+    /// Hop distance from the nearest seed (seeds are `0`).
+    pub hops: usize,
+    pub has_image: bool,
+    pub has_text: bool,
+}
+
+/// One induced triple of a retrieved subgraph (base orientation).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireTriple {
+    pub s: String,
+    pub r: String,
+    pub o: String,
+}
+
+/// The k-hop subgraph of `POST /v1/retrieve`: entities in ascending id
+/// order, induced triples in ascending `(s, r, o)` order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireSubgraph {
+    pub entities: Vec<WireSubgraphEntity>,
+    pub triples: Vec<WireTriple>,
+    /// True when `max_entities` (or a fanout cap) dropped candidates.
+    pub truncated: bool,
+}
+
+/// One reasoning-path context of `POST /v1/retrieve`: a walk from seed
+/// `source` to `entity` (relation names in walk order, `~`-prefixed for
+/// inverse traversals).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireContextPath {
+    pub source: String,
+    pub entity: String,
+    /// Beam paths carry the model's log-probability; topology fallback
+    /// paths carry `-hops`.
+    pub score: f32,
+    pub hops: usize,
+    pub path: Vec<String>,
+}
+
+/// Few-shot annotation of `POST /v1/retrieve` (present when the request
+/// named a relation).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireFewShot {
+    pub relation: String,
+    /// Training triples of the relation's base orientation.
+    pub train_frequency: u64,
+    /// True when the relation falls under the few-shot threshold.
+    pub few_shot: bool,
+}
+
+/// Response of `POST /v1/retrieve`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetrieveResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub model: String,
+    /// The request's seeds, echoed in request order.
+    pub seeds: Vec<String>,
+    pub hops: usize,
+    pub subgraph: WireSubgraph,
+    /// Selected path contexts, in diversity-rerank selection order.
+    pub paths: Vec<WireContextPath>,
+    /// Candidate paths the reranker chose from (observability).
+    pub paths_considered: u64,
+    #[serde(default)]
+    pub few_shot: Option<WireFewShot>,
+}
+
+impl RetrieveResponse {
+    /// Render a typed [`Retrieval`] for the wire.
+    pub fn from_retrieval(
+        model: &str,
+        seeds: &[String],
+        hops: usize,
+        r: &Retrieval,
+        names: &NameIndex,
+    ) -> Self {
+        RetrieveResponse {
+            protocol: protocol_version_string(),
+            model: model.to_string(),
+            seeds: seeds.to_vec(),
+            hops,
+            subgraph: WireSubgraph {
+                entities: r
+                    .subgraph
+                    .entities
+                    .iter()
+                    .map(|e| WireSubgraphEntity {
+                        entity: names.entity_name(e.entity),
+                        hops: e.hops,
+                        has_image: e.has_image,
+                        has_text: e.has_text,
+                    })
+                    .collect(),
+                triples: r
+                    .subgraph
+                    .triples
+                    .iter()
+                    .map(|t| WireTriple {
+                        s: names.entity_name(t.s),
+                        r: names.relation_name(t.r),
+                        o: names.entity_name(t.o),
+                    })
+                    .collect(),
+                truncated: r.subgraph.truncated,
+            },
+            paths: r
+                .paths
+                .iter()
+                .map(|p| WireContextPath {
+                    source: names.entity_name(p.source),
+                    entity: names.entity_name(p.entity),
+                    score: p.score,
+                    hops: p.hops,
+                    path: p
+                        .relations
+                        .iter()
+                        .map(|&x| names.relation_name(x))
+                        .collect(),
+                })
+                .collect(),
+            paths_considered: r.paths_considered as u64,
+            few_shot: r.few_shot.map(|f| WireFewShot {
+                relation: names.relation_name(f.relation),
+                train_frequency: f.train_frequency as u64,
+                few_shot: f.few_shot,
+            }),
+        }
+    }
+}
+
 /// Cache counters on the wire (`GET /v1/models`, `GET /metrics`).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireCacheStats {
@@ -459,6 +698,18 @@ pub struct RobustnessMetrics {
     pub request_timeouts: u64,
 }
 
+/// `/v1/retrieve` reranker counters in `GET /metrics` (additive fields:
+/// older clients parse a body without them as zeros).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrieveMetrics {
+    /// Candidate paths the diversity reranker chose from.
+    #[serde(default)]
+    pub paths_considered: u64,
+    /// Paths selected into responses.
+    #[serde(default)]
+    pub paths_selected: u64,
+}
+
 /// Response of `GET /metrics`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -471,6 +722,9 @@ pub struct MetricsResponse {
     /// Fault-tolerance counters (additive to the frozen v1 envelope).
     #[serde(default)]
     pub robustness: RobustnessMetrics,
+    /// `/v1/retrieve` reranker counters (additive).
+    #[serde(default)]
+    pub retrieve: RetrieveMetrics,
 }
 
 /// Typed union of every v1 response. Like [`ApiRequest`], the route is
@@ -481,6 +735,7 @@ pub enum ApiResponse {
     Answer(WireAnswer),
     AnswerBatch(AnswerBatchResponse),
     Explain(ExplainResponse),
+    Retrieve(RetrieveResponse),
     Models(ModelsResponse),
     Health(HealthResponse),
     Metrics(MetricsResponse),
@@ -503,6 +758,7 @@ impl ApiResponse {
             ApiResponse::Answer(x) => x.serialize_value(),
             ApiResponse::AnswerBatch(x) => x.serialize_value(),
             ApiResponse::Explain(x) => x.serialize_value(),
+            ApiResponse::Retrieve(x) => x.serialize_value(),
             ApiResponse::Models(x) => x.serialize_value(),
             ApiResponse::Health(x) => x.serialize_value(),
             ApiResponse::Metrics(x) => x.serialize_value(),
@@ -539,6 +795,9 @@ pub enum ApiError {
     /// Unusable beam overrides (`beam: 0` / `steps: 0`) or an empty
     /// batch.
     InvalidBeamParams { detail: String },
+    /// Unusable `/v1/retrieve` parameters (no seeds, `hops: 0`, or a
+    /// `diversity` weight outside `[0, 1]`).
+    InvalidRetrieveParams { detail: String },
     /// Body was not valid JSON for the route's request type.
     MalformedRequest { detail: String },
     /// Body exceeds the server's size limit.
@@ -570,6 +829,7 @@ impl ApiError {
             ApiError::UnknownEntity { .. } => "unknown_entity",
             ApiError::UnknownRelation { .. } => "unknown_relation",
             ApiError::InvalidBeamParams { .. } => "invalid_beam_params",
+            ApiError::InvalidRetrieveParams { .. } => "invalid_retrieve_params",
             ApiError::MalformedRequest { .. } => "malformed_request",
             ApiError::PayloadTooLarge { .. } => "payload_too_large",
             ApiError::UnknownRoute { .. } => "unknown_route",
@@ -588,7 +848,9 @@ impl ApiError {
             | ApiError::UnknownEntity { .. }
             | ApiError::UnknownRelation { .. }
             | ApiError::UnknownRoute { .. } => 404,
-            ApiError::InvalidBeamParams { .. } | ApiError::MalformedRequest { .. } => 400,
+            ApiError::InvalidBeamParams { .. }
+            | ApiError::InvalidRetrieveParams { .. }
+            | ApiError::MalformedRequest { .. } => 400,
             ApiError::PayloadTooLarge { .. } => 413,
             ApiError::MethodNotAllowed { .. } => 405,
             ApiError::Internal { .. } => 500,
@@ -626,6 +888,9 @@ impl std::fmt::Display for ApiError {
             ApiError::UnknownEntity { name } => write!(f, "unknown entity `{name}`"),
             ApiError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             ApiError::InvalidBeamParams { detail } => write!(f, "invalid beam params: {detail}"),
+            ApiError::InvalidRetrieveParams { detail } => {
+                write!(f, "invalid retrieve params: {detail}")
+            }
             ApiError::MalformedRequest { detail } => write!(f, "malformed request: {detail}"),
             ApiError::PayloadTooLarge {
                 limit_bytes,
@@ -679,6 +944,7 @@ impl Serialize for ApiError {
                 fields.push(str_field("name", name))
             }
             ApiError::InvalidBeamParams { detail }
+            | ApiError::InvalidRetrieveParams { detail }
             | ApiError::MalformedRequest { detail }
             | ApiError::Internal { detail } => fields.push(str_field("detail", detail)),
             ApiError::PayloadTooLarge {
@@ -736,6 +1002,9 @@ impl Deserialize for ApiError {
                 name: field("name")?,
             },
             "invalid_beam_params" => ApiError::InvalidBeamParams {
+                detail: field("detail")?,
+            },
+            "invalid_retrieve_params" => ApiError::InvalidRetrieveParams {
                 detail: field("detail")?,
             },
             "malformed_request" => ApiError::MalformedRequest {
@@ -1042,6 +1311,81 @@ mod tests {
         });
         let s = serde_json::to_string(&explain).unwrap();
         assert_eq!(serde_json::from_str::<ApiRequest>(&s).unwrap(), explain);
+
+        let retrieve = ApiRequest::Retrieve(
+            RetrieveRequest::new(["e1", "e4"])
+                .with_relation("r0")
+                .with_hops(3)
+                .with_max_entities(32)
+                .with_max_paths(4)
+                .with_diversity(0.5),
+        );
+        assert_eq!(retrieve.route(), "/v1/retrieve");
+        let s = serde_json::to_string(&retrieve).unwrap();
+        assert_eq!(serde_json::from_str::<ApiRequest>(&s).unwrap(), retrieve);
+    }
+
+    #[test]
+    fn retrieve_request_defaults() {
+        let req: RetrieveRequest = serde_json::from_str(r#"{"seeds": ["e1"]}"#).unwrap();
+        assert_eq!(req.seeds, vec!["e1".to_string()]);
+        assert_eq!(req.model, None);
+        assert_eq!(req.relation, None);
+        assert_eq!(req.hops, RetrieveRequest::DEFAULT_HOPS);
+        assert_eq!(req.max_entities, RetrieveRequest::DEFAULT_MAX_ENTITIES);
+        assert_eq!(req.max_paths, RetrieveRequest::DEFAULT_MAX_PATHS);
+        assert_eq!(req.diversity, 0.0);
+        assert_eq!(req.timeout_ms, None);
+    }
+
+    #[test]
+    fn retrieve_responses_roundtrip() {
+        let resp = ApiResponse::Retrieve(RetrieveResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            model: "MMKGR".to_string(),
+            seeds: vec!["e1".to_string()],
+            hops: 2,
+            subgraph: WireSubgraph {
+                entities: vec![
+                    WireSubgraphEntity {
+                        entity: "e1".to_string(),
+                        hops: 0,
+                        has_image: true,
+                        has_text: true,
+                    },
+                    WireSubgraphEntity {
+                        entity: "e2".to_string(),
+                        hops: 1,
+                        has_image: false,
+                        has_text: true,
+                    },
+                ],
+                triples: vec![WireTriple {
+                    s: "e1".to_string(),
+                    r: "r0".to_string(),
+                    o: "e2".to_string(),
+                }],
+                truncated: false,
+            },
+            paths: vec![WireContextPath {
+                source: "e1".to_string(),
+                entity: "e2".to_string(),
+                score: -0.5,
+                hops: 1,
+                path: vec!["r0".to_string()],
+            }],
+            paths_considered: 3,
+            few_shot: Some(WireFewShot {
+                relation: "r0".to_string(),
+                train_frequency: 4,
+                few_shot: true,
+            }),
+        });
+        let s = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<ApiResponse>(&s).unwrap(), resp);
+        assert_eq!(resp.http_status(), 200);
+        assert!(resp.body().contains("\"subgraph\""));
+        assert!(resp.body().contains("\"truncated\""));
     }
 
     #[test]
@@ -1116,6 +1460,9 @@ mod tests {
             },
             ApiError::InvalidBeamParams {
                 detail: "beam must be at least 1".to_string(),
+            },
+            ApiError::InvalidRetrieveParams {
+                detail: "seeds must not be empty".to_string(),
             },
             ApiError::MalformedRequest {
                 detail: "expected object".to_string(),

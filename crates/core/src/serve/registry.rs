@@ -21,8 +21,9 @@ use std::sync::Arc;
 use super::protocol::{
     AnswerBatchRequest, AnswerBatchResponse, AnswerRequest, ApiError, ExplainRequest,
     ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, NameIndex,
-    NamedQuery, WireAnswer, PROTOCOL_VERSION,
+    NamedQuery, RetrieveRequest, RetrieveResponse, WireAnswer, PROTOCOL_VERSION,
 };
+use super::retrieve::{RetrieveSpec, Retriever};
 use super::{Answer, Budget, KgReasoner, Query};
 
 /// Derive the execution [`Budget`] for a request from its wire timeouts:
@@ -64,6 +65,10 @@ pub struct ModelRegistry {
     order: Vec<String>,
     models: HashMap<String, Arc<dyn KgReasoner + Send + Sync>>,
     default_model: Option<String>,
+    /// Shared retrieval state for `POST /v1/retrieve` (the subgraph side
+    /// is per-dataset, not per-model; path contexts come from whichever
+    /// model the request names). `None` = retrieval not configured.
+    retriever: Option<Arc<Retriever>>,
 }
 
 impl ModelRegistry {
@@ -73,7 +78,18 @@ impl ModelRegistry {
             order: Vec::new(),
             models: HashMap::new(),
             default_model: None,
+            retriever: None,
         }
+    }
+
+    /// Attach the retrieval subsystem serving `POST /v1/retrieve`.
+    pub fn set_retriever(&mut self, retriever: Arc<Retriever>) -> &mut Self {
+        self.retriever = Some(retriever);
+        self
+    }
+
+    pub fn retriever(&self) -> Option<&Arc<Retriever>> {
+        self.retriever.as_ref()
     }
 
     /// Register a reasoner under its own [`KgReasoner::name`]. The first
@@ -269,6 +285,80 @@ impl ModelRegistry {
         Ok(resp)
     }
 
+    /// Validate + resolve a retrieve request into a dense-id
+    /// [`RetrieveSpec`] (typed errors, never panics on wire input).
+    fn resolve_retrieve(&self, req: &RetrieveRequest) -> Result<RetrieveSpec, ApiError> {
+        if req.seeds.is_empty() {
+            return Err(ApiError::InvalidRetrieveParams {
+                detail: "seeds must not be empty".to_string(),
+            });
+        }
+        if req.hops == 0 {
+            return Err(ApiError::InvalidRetrieveParams {
+                detail: "hops must be at least 1".to_string(),
+            });
+        }
+        if !req.diversity.is_finite() || !(0.0..=1.0).contains(&req.diversity) {
+            return Err(ApiError::InvalidRetrieveParams {
+                detail: format!("diversity must be in [0, 1], got {}", req.diversity),
+            });
+        }
+        let seeds = req
+            .seeds
+            .iter()
+            .map(|s| self.names.resolve_entity(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let relation = req
+            .relation
+            .as_deref()
+            .map(|r| self.names.resolve_relation(r))
+            .transpose()?;
+        Ok(RetrieveSpec {
+            seeds,
+            relation,
+            hops: req.hops,
+            max_entities: req.max_entities,
+            max_paths: req.max_paths,
+            diversity: req.diversity,
+        })
+    }
+
+    /// Full `POST /v1/retrieve` pipeline (no server default timeout —
+    /// the HTTP front end routes through [`Self::retrieve_budgeted`]).
+    pub fn retrieve(&self, req: &RetrieveRequest) -> Result<RetrieveResponse, ApiError> {
+        self.retrieve_budgeted(req, 0)
+    }
+
+    /// [`Self::retrieve`] under a deadline. Like explain, a retrieval is
+    /// one uninterruptible pass (subgraph expansion + beam queries +
+    /// rerank), so the budget is enforced around it.
+    pub fn retrieve_budgeted(
+        &self,
+        req: &RetrieveRequest,
+        default_timeout_ms: u64,
+    ) -> Result<RetrieveResponse, ApiError> {
+        let budget = budget_for_timeouts([req.timeout_ms], default_timeout_ms)?;
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        let (name, reasoner) = self.get(req.model.as_deref())?;
+        let retriever = self.retriever.as_ref().ok_or_else(|| ApiError::Internal {
+            detail: "retrieval is not configured for this registry".to_string(),
+        })?;
+        let spec = self.resolve_retrieve(req)?;
+        let result = retriever.retrieve(Some(&**reasoner), &spec);
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        Ok(RetrieveResponse::from_retrieval(
+            name,
+            &req.seeds,
+            req.hops,
+            &result,
+            &self.names,
+        ))
+    }
+
     /// `GET /v1/models` payload.
     pub fn models(&self) -> ModelsResponse {
         ModelsResponse {
@@ -351,6 +441,7 @@ mod tests {
         reg.register(Arc::new(ScorerReasoner::for_graph(
             "ByIndex", ByIndex, &kg.graph,
         )));
+        reg.set_retriever(Arc::new(Retriever::new(Arc::new(kg.graph.clone()))));
         (kg, reg)
     }
 
@@ -491,6 +582,94 @@ mod tests {
             })
             .unwrap();
         assert!(resp.paths.is_empty());
+    }
+
+    #[test]
+    fn retrieve_pipeline_serves_both_model_families() {
+        let (kg, reg) = tiny_registry();
+        let t = kg.split.test[0];
+        let seed = format!("e{}", t.s.0);
+        let req = RetrieveRequest::new([seed.clone()])
+            .with_relation(format!("r{}", t.r.0))
+            .with_hops(2)
+            .with_max_entities(16)
+            .with_max_paths(4);
+        // Path family: beam paths (or topology fallback if the beam
+        // finds nothing) — always ≥1 context when neighbors exist.
+        let policy = reg.retrieve(&req.clone().with_model("MMKGR")).unwrap();
+        assert_eq!(policy.model, "MMKGR");
+        assert!(!policy.subgraph.entities.is_empty());
+        assert!(!policy.paths.is_empty());
+        assert_eq!(policy.seeds, vec![seed.clone()]);
+        // KGE family: no beam — topology fallback still yields contexts.
+        let kge = reg.retrieve(&req.with_model("ByIndex")).unwrap();
+        assert_eq!(kge.model, "ByIndex");
+        assert!(!kge.subgraph.entities.is_empty());
+        assert!(!kge.paths.is_empty());
+        for p in &kge.paths {
+            assert_eq!(p.score, -(p.hops as f32));
+        }
+        // Both families agree on the subgraph (it is model-independent).
+        assert_eq!(policy.subgraph, kge.subgraph);
+        // The relation was named, so the few-shot annotation is present.
+        assert!(policy.few_shot.is_some());
+    }
+
+    #[test]
+    fn retrieve_validation_is_typed() {
+        let (_, reg) = tiny_registry();
+        let no_seeds = reg.retrieve(&RetrieveRequest::new(Vec::<String>::new()));
+        assert!(matches!(
+            no_seeds,
+            Err(ApiError::InvalidRetrieveParams { .. })
+        ));
+        let zero_hops = reg.retrieve(&RetrieveRequest::new(["e0"]).with_hops(0));
+        assert!(matches!(
+            zero_hops,
+            Err(ApiError::InvalidRetrieveParams { .. })
+        ));
+        let bad_diversity = reg.retrieve(&RetrieveRequest::new(["e0"]).with_diversity(1.5));
+        assert!(matches!(
+            bad_diversity,
+            Err(ApiError::InvalidRetrieveParams { .. })
+        ));
+        let unknown_seed = reg.retrieve(&RetrieveRequest::new(["e99999"]));
+        assert_eq!(
+            unknown_seed,
+            Err(ApiError::UnknownEntity {
+                name: "e99999".into()
+            })
+        );
+        let unknown_relation = reg.retrieve(&RetrieveRequest::new(["e0"]).with_relation("r999"));
+        assert_eq!(
+            unknown_relation,
+            Err(ApiError::UnknownRelation {
+                name: "r999".into()
+            })
+        );
+        let zero_timeout = reg.retrieve(&RetrieveRequest::new(["e0"]).with_timeout_ms(0));
+        assert!(matches!(
+            zero_timeout,
+            Err(ApiError::InvalidBeamParams { .. })
+        ));
+    }
+
+    #[test]
+    fn retrieve_without_retriever_is_internal_error() {
+        let kg = generate(&GenConfig::tiny());
+        let model = MmkgrModel::new(&kg, MmkgrConfig::quick(), None);
+        let mut reg = ModelRegistry::new(NameIndex::synthetic(
+            kg.num_entities(),
+            kg.num_base_relations(),
+        ));
+        reg.register(Arc::new(PolicyReasoner::new(
+            "MMKGR",
+            model,
+            Arc::new(kg.graph.clone()),
+            ServeConfig::default(),
+        )));
+        let err = reg.retrieve(&RetrieveRequest::new(["e0"]));
+        assert!(matches!(err, Err(ApiError::Internal { .. })));
     }
 
     #[test]

@@ -171,6 +171,14 @@ pub struct Harness {
 impl Harness {
     pub fn new(cfg: HarnessConfig) -> Self {
         let kg = generate(&cfg.dataset.gen_config(cfg.dataset_scale));
+        Harness::from_parts(cfg, kg)
+    }
+
+    /// Build a harness over an externally-constructed dataset (e.g. one
+    /// ingested from a triples TSV) instead of the synthetic generator.
+    /// Eval-triple sampling follows the same seeded protocol as
+    /// [`Self::new`].
+    pub fn from_parts(cfg: HarnessConfig, kg: MultiModalKG) -> Self {
         let known = kg.all_known();
         let mut eval_triples = kg.split.test.clone();
         let mut rng = seeded_rng(cfg.seed ^ 0xE7A1);

@@ -31,9 +31,10 @@ pub use ranker::{
 };
 pub use report::{pct, pct_delta, save_json, Table};
 pub use serving::{
-    build_reasoner, build_registry, harness_name_index, train_model, BuiltReasoner, KgeModel,
-    KgeSpec, ModelChoice, ReasonerBuilder, TrainedModel, TrainedModelKind,
+    build_reasoner, build_registry, harness_name_index, harness_retriever, train_model,
+    BuiltReasoner, KgeModel, KgeSpec, ModelChoice, ReasonerBuilder, TrainedModel, TrainedModelKind,
 };
 pub use snapshot::{
-    load_registry_snapshot, write_registry_snapshot, LoadedRegistry, SnapshotBuildError,
+    load_registry_snapshot, write_registry_snapshot, write_registry_snapshot_with_vocab,
+    LoadedRegistry, SnapshotBuildError,
 };

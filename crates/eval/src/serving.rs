@@ -30,14 +30,14 @@
 use std::sync::Arc;
 
 use mmkgr_core::serve::{
-    KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, ScorerReasoner, ServeConfig,
+    KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, Retriever, ScorerReasoner, ServeConfig,
 };
 use mmkgr_core::{MmkgrModel, Variant};
 use mmkgr_embed::{
     ComplEx, ConvE, DistMult, Hole, Ikrl, KgeTrainConfig, Rescal, TransAe, TransD, TransE,
     TripleScorer,
 };
-use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId};
+use mmkgr_kg::{EntityId, KnowledgeGraph, ModalPresence, RelationId};
 use mmkgr_nn::Params;
 
 use crate::harness::{Dataset, Harness, HarnessConfig, ScaleChoice};
@@ -231,7 +231,18 @@ pub fn build_registry(h: &Harness, choices: &[ModelChoice], serve: ServeConfig) 
     for &choice in choices {
         registry.register(build_reasoner(h, choice, serve));
     }
+    registry.set_retriever(Arc::new(harness_retriever(h)));
     registry
+}
+
+/// The `/v1/retrieve` back end over a harness's dataset: k-hop subgraphs
+/// annotated with the modal bank's per-entity image/text presence, and
+/// few-shot relation tags from the training-split frequencies (the same
+/// counts `mmkgr stats` and the few-shot bench report).
+pub fn harness_retriever(h: &Harness) -> Retriever {
+    Retriever::new(h.graph_arc())
+        .with_modal_presence(ModalPresence::from_bank(&h.kg.modal))
+        .with_relation_frequencies(crate::fewshot::relation_frequencies(&h.kg.split.train))
 }
 
 /// Reconstruction recipe for a snapshotted KGE scorer: re-running the

@@ -199,8 +199,25 @@ pub fn write_registry_snapshot(
     choices: &[ModelChoice],
     serve: ServeConfig,
 ) -> Result<(), SnapshotBuildError> {
+    write_registry_snapshot_with_vocab(path, h, choices, serve, None)
+}
+
+/// [`write_registry_snapshot`] plus an optional `(entities, relations)`
+/// name table. Datasets ingested from a TSV carry real names; writing
+/// them into the snapshot lets `load_registry_snapshot` serve those
+/// names on the wire instead of the synthetic `e{i}`/`r{i}` fallback.
+pub fn write_registry_snapshot_with_vocab(
+    path: &Path,
+    h: &Harness,
+    choices: &[ModelChoice],
+    serve: ServeConfig,
+    vocab: Option<(&[String], &[String])>,
+) -> Result<(), SnapshotBuildError> {
     let mut w = SnapshotWriter::create(path)?;
     w.add_graph(&h.kg.graph)?;
+    if let Some((ents, rels)) = vocab {
+        w.add_vocab(ents, rels)?;
+    }
     let mut models = Vec::with_capacity(choices.len());
     for &choice in choices {
         models.push(encode_model(&mut w, train_model(h, choice, serve))?);
@@ -386,6 +403,12 @@ pub fn load_registry_snapshot(
     for entry in &manifest.models {
         registry.register(decode_model(&snap, &graph, entry, serve, shards)?);
     }
+    // Snapshots carry no modal bank or training split, so the booted
+    // retriever serves topology-only subgraphs (no modality flags, no
+    // few-shot tags) — still byte-deterministic for identical requests.
+    registry.set_retriever(Arc::new(mmkgr_core::serve::Retriever::new(Arc::clone(
+        &graph,
+    ))));
     Ok(LoadedRegistry {
         registry,
         graph,

@@ -21,6 +21,7 @@ pub mod paths;
 pub mod query;
 pub mod stats;
 pub mod store;
+pub mod subgraph;
 pub mod triple;
 
 pub use dataset::{DatasetStats, MultiModalKG, Split};
@@ -32,4 +33,5 @@ pub use paths::{enumerate_paths, hop_distance, random_walk, Path};
 pub use query::{Query, QueryKind, RankFilter};
 pub use stats::{gini, GraphProfile};
 pub use store::{CsrStore, Snapshot, SnapshotError, SnapshotWriter};
+pub use subgraph::{extract, ModalPresence, Subgraph, SubgraphConfig, SubgraphEntity};
 pub use triple::{Triple, TripleSet};

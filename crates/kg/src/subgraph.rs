@@ -1,0 +1,466 @@
+//! Deterministic bounded k-hop subgraph extraction over [`CsrStore`].
+//!
+//! Retrieval-augmented generation over a multi-modal KG (M³KG-RAG-style)
+//! grounds an LLM in the k-hop neighborhood of the query's seed entities.
+//! This module extracts that neighborhood as a typed [`Subgraph`]:
+//! entities with hop distances and modality-presence flags, plus the
+//! induced base-relation triples between them.
+//!
+//! Determinism is a serving contract (responses are pinned byte-identical
+//! across processes), so every choice point is ordered:
+//!
+//! - the frontier is expanded in ascending entity-id order;
+//! - each entity's neighbors are taken in CSR bucket order, i.e. sorted
+//!   by `(relation, target)`;
+//! - when a cap forces dropping candidates, survivors are admitted in
+//!   ascending entity-id order — the same tie-break the serving layer
+//!   uses for equal-score candidates.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EntityId, RelationId};
+use crate::modal::ModalBank;
+use crate::store::CsrStore;
+use crate::triple::Triple;
+
+/// Bounds and filters for one extraction. All caps use `0 = unlimited`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubgraphConfig {
+    /// Maximum hop distance from the nearest seed (k of "k-hop").
+    pub hops: usize,
+    /// Cap on total entities in the subgraph (seeds included); `0` = no cap.
+    pub max_entities: usize,
+    /// Cap on edges followed out of each frontier entity per hop; `0` = no cap.
+    pub per_hop_fanout: usize,
+    /// If `Some`, only traverse (and induce triples over) these base
+    /// relations; inverse edges match through their base relation.
+    pub relations: Option<Vec<RelationId>>,
+    /// Only admit non-seed entities that have at least one image feature.
+    pub require_images: bool,
+    /// Only admit non-seed entities that have a text feature.
+    pub require_text: bool,
+}
+
+impl Default for SubgraphConfig {
+    fn default() -> Self {
+        SubgraphConfig {
+            hops: 2,
+            max_entities: 0,
+            per_hop_fanout: 0,
+            relations: None,
+            require_images: false,
+            require_text: false,
+        }
+    }
+}
+
+/// Per-entity modality presence, decoupled from the feature tensors so
+/// snapshot-booted servers (graph only, no [`ModalBank`]) can still build
+/// subgraphs — their flags are simply all `false`.
+#[derive(Clone, Debug, Default)]
+pub struct ModalPresence {
+    has_image: Vec<bool>,
+    has_text: Vec<bool>,
+}
+
+impl ModalPresence {
+    pub fn from_bank(bank: &ModalBank) -> Self {
+        let n = bank.num_entities();
+        let text = bank.text_dim() > 0;
+        ModalPresence {
+            has_image: (0..n)
+                .map(|e| bank.image_count(EntityId(e as u32)) > 0)
+                .collect(),
+            has_text: vec![text; n],
+        }
+    }
+
+    #[inline]
+    pub fn has_image(&self, e: EntityId) -> bool {
+        self.has_image.get(e.index()).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    pub fn has_text(&self, e: EntityId) -> bool {
+        self.has_text.get(e.index()).copied().unwrap_or(false)
+    }
+}
+
+/// One entity of an extracted subgraph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubgraphEntity {
+    pub entity: EntityId,
+    /// Hop distance from the nearest seed (seeds are `0`).
+    pub hops: usize,
+    pub has_image: bool,
+    pub has_text: bool,
+}
+
+/// A bounded k-hop neighborhood: entities (ascending id order, each with
+/// its hop distance and modality flags) plus the induced base-relation
+/// triples between included entities (ascending `(s, r, o)` order).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Subgraph {
+    pub entities: Vec<SubgraphEntity>,
+    pub triples: Vec<Triple>,
+    /// True when a cap (`max_entities` or `per_hop_fanout`) dropped
+    /// candidates that the unbounded expansion would have included.
+    pub truncated: bool,
+}
+
+impl Subgraph {
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Hop distance of `e`, if included.
+    pub fn hop_of(&self, e: EntityId) -> Option<usize> {
+        self.entities
+            .binary_search_by_key(&e, |se| se.entity)
+            .ok()
+            .map(|i| self.entities[i].hops)
+    }
+}
+
+/// Extract the bounded k-hop neighborhood of `seeds` (frontier union:
+/// hop distance is the minimum over all seeds). Out-of-range seeds are
+/// ignored; no valid seeds yields an empty subgraph.
+///
+/// Traversal follows both edge directions (the CSR stores synthetic
+/// inverses), but induced triples are reported in base orientation only.
+pub fn extract(
+    store: &CsrStore,
+    seeds: &[EntityId],
+    cfg: &SubgraphConfig,
+    modal: Option<&ModalPresence>,
+) -> Subgraph {
+    let rs = store.relations();
+    let relation_allowed = |r: RelationId| -> bool {
+        if r == rs.no_op() {
+            return false;
+        }
+        match &cfg.relations {
+            None => true,
+            Some(allow) => {
+                let base = if rs.is_inverse(r) { rs.inverse(r) } else { r };
+                allow.contains(&base)
+            }
+        }
+    };
+    let modality_ok = |e: EntityId| -> bool {
+        let (img, txt) = match modal {
+            Some(p) => (p.has_image(e), p.has_text(e)),
+            None => (false, false),
+        };
+        (!cfg.require_images || img) && (!cfg.require_text || txt)
+    };
+
+    // hop distances; BTreeMap keeps iteration in ascending entity order.
+    let mut dist: BTreeMap<EntityId, usize> = BTreeMap::new();
+    let mut truncated = false;
+    for &s in seeds {
+        if s.index() < store.num_entities() {
+            dist.entry(s).or_insert(0);
+        }
+    }
+    if cfg.max_entities > 0 && dist.len() > cfg.max_entities {
+        // More seeds than the cap: keep the lowest-id seeds.
+        let keep: Vec<EntityId> = dist.keys().copied().take(cfg.max_entities).collect();
+        dist.retain(|e, _| keep.contains(e));
+        truncated = true;
+    }
+    let mut frontier: Vec<EntityId> = dist.keys().copied().collect();
+
+    for hop in 1..=cfg.hops {
+        if frontier.is_empty() {
+            break;
+        }
+        // Candidates discovered this hop, in ascending entity-id order.
+        let mut found: BTreeMap<EntityId, ()> = BTreeMap::new();
+        for &e in &frontier {
+            let mut taken = 0usize;
+            for edge in store.neighbors(e) {
+                if !relation_allowed(edge.relation) {
+                    continue;
+                }
+                if cfg.per_hop_fanout > 0 && taken >= cfg.per_hop_fanout {
+                    truncated = true;
+                    break;
+                }
+                taken += 1;
+                let t = edge.target;
+                if dist.contains_key(&t) || found.contains_key(&t) || !modality_ok(t) {
+                    continue;
+                }
+                found.insert(t, ());
+            }
+        }
+        frontier.clear();
+        for (t, ()) in found {
+            if cfg.max_entities > 0 && dist.len() >= cfg.max_entities {
+                truncated = true;
+                break;
+            }
+            dist.insert(t, hop);
+            frontier.push(t);
+        }
+    }
+
+    // Induced triples: base-orientation forward edges between included
+    // entities, in ascending (s, r, o) order by CSR construction.
+    let mut triples = Vec::new();
+    for &s in dist.keys() {
+        for edge in store.forward_neighbors(s) {
+            if relation_allowed(edge.relation) && dist.contains_key(&edge.target) {
+                triples.push(Triple {
+                    s,
+                    r: edge.relation,
+                    o: edge.target,
+                });
+            }
+        }
+    }
+
+    let entities = dist
+        .iter()
+        .map(|(&entity, &hops)| SubgraphEntity {
+            entity,
+            hops,
+            has_image: modal.map(|p| p.has_image(entity)).unwrap_or(false),
+            has_text: modal.map(|p| p.has_text(entity)).unwrap_or(false),
+        })
+        .collect();
+
+    Subgraph {
+        entities,
+        triples,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeSet, HashMap, HashSet};
+
+    fn t(s: u32, r: u32, o: u32) -> Triple {
+        Triple {
+            s: EntityId(s),
+            r: RelationId(r),
+            o: EntityId(o),
+        }
+    }
+
+    /// A small chain + fan graph: 0-1-2-3 chain on r0, 1→{4,5,6} fan on r1.
+    fn store() -> CsrStore {
+        CsrStore::from_triples(
+            7,
+            2,
+            vec![
+                t(0, 0, 1),
+                t(1, 0, 2),
+                t(2, 0, 3),
+                t(1, 1, 4),
+                t(1, 1, 5),
+                t(1, 1, 6),
+            ],
+            None,
+        )
+    }
+
+    /// Naive reference: plain BFS with no caps, both directions.
+    fn naive_khop(store: &CsrStore, seeds: &[EntityId], hops: usize) -> HashMap<EntityId, usize> {
+        let rs = store.relations();
+        let mut dist: HashMap<EntityId, usize> = seeds
+            .iter()
+            .filter(|s| s.index() < store.num_entities())
+            .map(|&s| (s, 0))
+            .collect();
+        let mut frontier: Vec<EntityId> = dist.keys().copied().collect();
+        for hop in 1..=hops {
+            let mut next = Vec::new();
+            for &e in &frontier {
+                for edge in store.neighbors(e) {
+                    if edge.relation == rs.no_op() || dist.contains_key(&edge.target) {
+                        continue;
+                    }
+                    dist.insert(edge.target, hop);
+                    next.push(edge.target);
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    #[test]
+    fn uncapped_extraction_matches_naive_bfs() {
+        let s = store();
+        for hops in 0..=3 {
+            let cfg = SubgraphConfig {
+                hops,
+                ..SubgraphConfig::default()
+            };
+            let sg = extract(&s, &[EntityId(0)], &cfg, None);
+            let naive = naive_khop(&s, &[EntityId(0)], hops);
+            let got: HashMap<EntityId, usize> =
+                sg.entities.iter().map(|e| (e.entity, e.hops)).collect();
+            assert_eq!(got, naive, "hops={hops}");
+            assert!(!sg.truncated);
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let s = store();
+        let cfg = SubgraphConfig {
+            hops: 2,
+            max_entities: 4,
+            per_hop_fanout: 2,
+            ..SubgraphConfig::default()
+        };
+        let a = extract(&s, &[EntityId(0), EntityId(3)], &cfg, None);
+        let b = extract(&s, &[EntityId(0), EntityId(3)], &cfg, None);
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.triples, b.triples);
+        assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn max_entities_cap_admits_lowest_ids_first() {
+        let s = store();
+        // From seed 1 at hop 1 the uncapped frontier is {0, 2, 4, 5, 6};
+        // cap at 3 total ⇒ the 2 extra slots go to the lowest ids {0, 2}.
+        let cfg = SubgraphConfig {
+            hops: 1,
+            max_entities: 3,
+            ..SubgraphConfig::default()
+        };
+        let sg = extract(&s, &[EntityId(1)], &cfg, None);
+        let ids: Vec<u32> = sg.entities.iter().map(|e| e.entity.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(sg.truncated);
+    }
+
+    #[test]
+    fn fanout_cap_takes_csr_bucket_order() {
+        let s = store();
+        // Entity 1's bucket sorted by (relation, target):
+        // (r0,2), (r1,4), (r1,5), (r1,6), (~r0,0). Fanout 2 keeps the
+        // first two edges ⇒ hop-1 set {2, 4}.
+        let cfg = SubgraphConfig {
+            hops: 1,
+            per_hop_fanout: 2,
+            ..SubgraphConfig::default()
+        };
+        let sg = extract(&s, &[EntityId(1)], &cfg, None);
+        let ids: Vec<u32> = sg.entities.iter().map(|e| e.entity.0).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+        assert!(sg.truncated);
+    }
+
+    #[test]
+    fn relation_filter_blocks_traversal_and_triples() {
+        let s = store();
+        let cfg = SubgraphConfig {
+            hops: 2,
+            relations: Some(vec![RelationId(1)]),
+            ..SubgraphConfig::default()
+        };
+        let sg = extract(&s, &[EntityId(1)], &cfg, None);
+        let ids: BTreeSet<u32> = sg.entities.iter().map(|e| e.entity.0).collect();
+        assert_eq!(ids, BTreeSet::from([1, 4, 5, 6]));
+        assert!(sg.triples.iter().all(|tr| tr.r == RelationId(1)));
+        assert_eq!(sg.triples.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_out_of_range_seeds() {
+        let s = store();
+        let cfg = SubgraphConfig::default();
+        assert!(extract(&s, &[], &cfg, None).is_empty());
+        let sg = extract(&s, &[EntityId(999)], &cfg, None);
+        assert!(sg.is_empty());
+        assert!(!sg.truncated);
+    }
+
+    #[test]
+    fn multi_seed_union_takes_min_hop() {
+        let s = store();
+        let cfg = SubgraphConfig {
+            hops: 1,
+            ..SubgraphConfig::default()
+        };
+        let sg = extract(&s, &[EntityId(0), EntityId(2)], &cfg, None);
+        // 1 is adjacent to both seeds: hop 1, counted once.
+        assert_eq!(sg.hop_of(EntityId(1)), Some(1));
+        assert_eq!(sg.hop_of(EntityId(0)), Some(0));
+        assert_eq!(sg.hop_of(EntityId(2)), Some(0));
+        assert_eq!(sg.hop_of(EntityId(3)), Some(1));
+    }
+
+    #[test]
+    fn every_triple_within_hops_of_a_seed() {
+        // Property: over several seeds/configs, both endpoints of every
+        // induced triple are included entities with hop ≤ cfg.hops.
+        let s = store();
+        for seeds in [
+            vec![EntityId(0)],
+            vec![EntityId(1), EntityId(3)],
+            vec![EntityId(6)],
+        ] {
+            for hops in 0..=3 {
+                for max_entities in [0usize, 2, 5] {
+                    let cfg = SubgraphConfig {
+                        hops,
+                        max_entities,
+                        ..SubgraphConfig::default()
+                    };
+                    let sg = extract(&s, &seeds, &cfg, None);
+                    let included: HashSet<EntityId> =
+                        sg.entities.iter().map(|e| e.entity).collect();
+                    for e in &sg.entities {
+                        assert!(e.hops <= hops);
+                    }
+                    for tr in &sg.triples {
+                        assert!(included.contains(&tr.s) && included.contains(&tr.o));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modality_filter_and_flags() {
+        use mmkgr_tensor::Matrix;
+        let n = 7;
+        // Entities 4 and 5 get one image each; everyone has a text vector.
+        let stacks: Vec<Matrix> = (0..n)
+            .map(|e| {
+                if e == 4 || e == 5 {
+                    Matrix::from_vec(1, 2, vec![1.0, 0.0])
+                } else {
+                    Matrix::zeros(0, 2)
+                }
+            })
+            .collect();
+        let bank = ModalBank::new(stacks, Matrix::zeros(n, 3));
+        let presence = ModalPresence::from_bank(&bank);
+        let s = store();
+        let cfg = SubgraphConfig {
+            hops: 1,
+            require_images: true,
+            ..SubgraphConfig::default()
+        };
+        let sg = extract(&s, &[EntityId(1)], &cfg, Some(&presence));
+        let ids: BTreeSet<u32> = sg.entities.iter().map(|e| e.entity.0).collect();
+        // Seed stays regardless; only image-bearing neighbors admitted.
+        assert_eq!(ids, BTreeSet::from([1, 4, 5]));
+        for e in &sg.entities {
+            assert_eq!(e.has_image, e.entity.0 == 4 || e.entity.0 == 5);
+            assert!(e.has_text);
+        }
+    }
+}

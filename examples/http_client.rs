@@ -89,6 +89,19 @@ fn main() {
         ),
     );
 
+    // KG-RAG retrieval: a bounded 2-hop subgraph around the query
+    // entity plus diversity-reranked reasoning-path contexts — the
+    // grounding payload for a downstream LLM (see docs/retrieval.md).
+    show(
+        addr,
+        "POST",
+        "/v1/retrieve",
+        &format!(
+            r#"{{"seeds": ["e{}"], "relation": "r{}", "hops": 2, "max_entities": 32, "max_paths": 4, "diversity": 0.3}}"#,
+            t.s.0, t.r.0
+        ),
+    );
+
     // A batch fans out on the server's worker pool.
     let queries: Vec<String> = harness
         .eval_triples

@@ -29,16 +29,18 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mmkgr::core::prelude::*;
-use mmkgr::core::serve::{Evidence, KgReasoner, PolicyReasoner, Query, ServeConfig};
+use mmkgr::core::serve::{
+    Evidence, KgReasoner, PolicyReasoner, Query, RetrieveRequest, ServeConfig,
+};
 use mmkgr::core::HistoryEncoder;
 use mmkgr::datagen::{generate, GenConfig};
 use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
 use mmkgr::eval::{
-    build_registry, eval_policy_entity, load_registry_snapshot, pct, write_registry_snapshot,
-    Dataset, Harness, HarnessConfig, ModelChoice, ScaleChoice,
+    build_registry, eval_policy_entity, load_registry_snapshot, pct,
+    write_registry_snapshot_with_vocab, Dataset, Harness, HarnessConfig, ModelChoice, ScaleChoice,
 };
-use mmkgr::kg::io::{write_triples, Vocab};
-use mmkgr::kg::MultiModalKG;
+use mmkgr::kg::io::{read_triples, write_triples, Vocab};
+use mmkgr::kg::{KnowledgeGraph, ModalBank, MultiModalKG, Split};
 
 const USAGE: &str = "\
 mmkgr — Multi-hop Multi-modal Knowledge Graph Reasoning (ICDE 2023)
@@ -96,6 +98,20 @@ COMMANDS
              --models MMKGR,ConvE,…   [--beam <n>] [--steps <n>] [--cache <n>]
              [--rl-epochs <n>] [--kge-epochs <n>]
              [--dataset-scale <f64>] [--seed <u64>]
+             [--from-tsv <triples.tsv>]  ingest a real triples file
+                                      (head<TAB>rel<TAB>tail) instead of
+                                      the synthetic generator; the
+                                      snapshot carries the name tables so
+                                      booted servers answer by name
+  retrieve   extract a k-hop multi-modal subgraph around seed entities
+             plus diversity-ranked reasoning-path contexts — the KG-RAG
+             surface `POST /v1/retrieve` serves
+             --seeds <e1,e2,…>        [--relation <r>]  [--model <name>]
+             [--hops <n>]  [--max-entities <n>]  [--max-paths <n>]
+             [--diversity <0..1>]     MMR weight (0 = pure score order)
+             [--snapshot <file.mmkg>] boot from a snapshot instead of
+                                      training; otherwise the serve/
+                                      snapshot dataset flags apply
 
 The dataset is regenerated deterministically from (dataset, scale, seed)
 recorded in the checkpoint's meta.json, so checkpoints stay portable.
@@ -126,6 +142,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
         "snapshot" => cmd_snapshot(&flags),
+        "retrieve" => cmd_retrieve(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -770,23 +787,83 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
 // ---------------------------------------------------------------- snapshot
 
+/// Build a [`MultiModalKG`] from one triples TSV: symbols interned in
+/// file order, a deterministic 90/5/5 split (every 20th triple → test,
+/// every 20th+1 → valid), the graph over the training triples only, and
+/// an empty modal bank (real modality vectors would come from a separate
+/// ingestion step).
+fn ingest_tsv(path: &Path) -> Result<(MultiModalKG, Vocab), String> {
+    let mut vocab = Vocab::default();
+    let triples = read_triples(path, &mut vocab).map_err(|e| format!("{}: {e}", path.display()))?;
+    if triples.is_empty() {
+        return Err(format!("{}: no triples", path.display()));
+    }
+    let mut split = Split::default();
+    for (i, t) in triples.iter().enumerate() {
+        match i % 20 {
+            0 if triples.len() >= 20 => split.test.push(*t),
+            1 if triples.len() >= 20 => split.valid.push(*t),
+            _ => split.train.push(*t),
+        }
+    }
+    let n_ent = vocab.entities.len();
+    let graph =
+        KnowledgeGraph::from_triples(n_ent, vocab.relations.len(), split.train.clone(), None);
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "tsv".to_string());
+    let kg = MultiModalKG::new(name, graph, ModalBank::empty(n_ent), split);
+    Ok((kg, vocab))
+}
+
 /// Train a registry and persist it as one `.mmkg` registry snapshot
-/// that `serve --snapshot` boots without retraining.
+/// that `serve --snapshot` boots without retraining. With `--from-tsv`
+/// the dataset is ingested from a real triples file and the snapshot
+/// additionally carries the entity/relation name tables.
 fn cmd_snapshot(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = PathBuf::from(flag(flags, "out").ok_or("--out <file.mmkg> is required")?);
     let hcfg = harness_flags(flags)?;
     let choices = model_choice_flags(flags)?;
     let serve_cfg = serve_config_flags(flags, hcfg.beam)?;
     let names: Vec<&str> = choices.iter().map(|c| c.name()).collect();
-    println!(
-        "training {} model(s) [{}] on {}@{}…",
-        choices.len(),
-        names.join(", "),
-        hcfg.dataset.name(),
-        hcfg.dataset_scale
-    );
-    let harness = Harness::new(hcfg);
-    write_registry_snapshot(&out, &harness, &choices, serve_cfg).map_err(|e| e.to_string())?;
+    let (harness, vocab) = match flag(flags, "from-tsv") {
+        Some(tsv) => {
+            let (kg, vocab) = ingest_tsv(Path::new(tsv))?;
+            println!(
+                "ingested {tsv}: {} entities, {} relations, {} triples",
+                kg.num_entities(),
+                kg.num_base_relations(),
+                kg.split.total()
+            );
+            println!(
+                "training {} model(s) [{}]…",
+                choices.len(),
+                names.join(", ")
+            );
+            (Harness::from_parts(hcfg, kg), Some(vocab))
+        }
+        None => {
+            println!(
+                "training {} model(s) [{}] on {}@{}…",
+                choices.len(),
+                names.join(", "),
+                hcfg.dataset.name(),
+                hcfg.dataset_scale
+            );
+            (Harness::new(hcfg), None)
+        }
+    };
+    write_registry_snapshot_with_vocab(
+        &out,
+        &harness,
+        &choices,
+        serve_cfg,
+        vocab
+            .as_ref()
+            .map(|v| (v.entities.as_slice(), v.relations.as_slice())),
+    )
+    .map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
         "wrote {} ({} bytes, {} entities, {} model(s))",
@@ -795,6 +872,117 @@ fn cmd_snapshot(flags: &HashMap<String, String>) -> Result<(), String> {
         harness.kg.num_entities(),
         choices.len()
     );
+    Ok(())
+}
+
+// ---------------------------------------------------------------- retrieve
+
+/// One-shot KG-RAG retrieval: the same pipeline `POST /v1/retrieve`
+/// serves, against either a snapshot-booted registry or a freshly
+/// trained one.
+fn cmd_retrieve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seeds: Vec<String> = flag(flags, "seeds")
+        .ok_or("--seeds <e1,e2,…> is required")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut req = RetrieveRequest::new(seeds)
+        .with_hops(parse_or(flags, "hops", RetrieveRequest::DEFAULT_HOPS)?)
+        .with_max_entities(parse_or(
+            flags,
+            "max-entities",
+            RetrieveRequest::DEFAULT_MAX_ENTITIES,
+        )?)
+        .with_max_paths(parse_or(
+            flags,
+            "max-paths",
+            RetrieveRequest::DEFAULT_MAX_PATHS,
+        )?)
+        .with_diversity(parse_or(flags, "diversity", 0.0f32)?);
+    if let Some(m) = flag(flags, "model") {
+        req = req.with_model(m);
+    }
+    if let Some(r) = flag(flags, "relation") {
+        req = req.with_relation(r);
+    }
+
+    let registry = if let Some(snap) = flag(flags, "snapshot") {
+        load_registry_snapshot(Path::new(snap), None, 1)
+            .map_err(|e| format!("{snap}: {e}"))?
+            .registry
+    } else {
+        let hcfg = harness_flags(flags)?;
+        let choices = model_choice_flags(flags)?;
+        let serve_cfg = serve_config_flags(flags, hcfg.beam)?;
+        println!(
+            "training {} model(s) on {}@{}…",
+            choices.len(),
+            hcfg.dataset.name(),
+            hcfg.dataset_scale
+        );
+        let harness = Harness::new(hcfg);
+        build_registry(&harness, &choices, serve_cfg)
+    };
+
+    let resp = registry.retrieve(&req).map_err(|e| e.to_string())?;
+    println!(
+        "model {}  seeds [{}]  hops {}",
+        resp.model,
+        resp.seeds.join(", "),
+        resp.hops
+    );
+    println!(
+        "subgraph: {} entities, {} triples{}",
+        resp.subgraph.entities.len(),
+        resp.subgraph.triples.len(),
+        if resp.subgraph.truncated {
+            " (truncated)"
+        } else {
+            ""
+        }
+    );
+    for e in resp.subgraph.entities.iter().take(40) {
+        let mut tags = String::new();
+        if e.has_image {
+            tags.push_str(" [img]");
+        }
+        if e.has_text {
+            tags.push_str(" [txt]");
+        }
+        println!("  {:<12} hop {}{}", e.entity, e.hops, tags);
+    }
+    if resp.subgraph.entities.len() > 40 {
+        println!("  … {} more", resp.subgraph.entities.len() - 40);
+    }
+    println!(
+        "paths ({} selected of {} considered):",
+        resp.paths.len(),
+        resp.paths_considered
+    );
+    for (i, p) in resp.paths.iter().enumerate() {
+        println!(
+            "#{:<2} {} ⇒ {}  score {:>8.3}  hops {}  via {}",
+            i + 1,
+            p.source,
+            p.entity,
+            p.score,
+            p.hops,
+            if p.path.is_empty() {
+                "(seed)".to_string()
+            } else {
+                p.path.join(" → ")
+            }
+        );
+    }
+    if let Some(fs) = &resp.few_shot {
+        println!(
+            "relation {}: {} training triple(s){}",
+            fs.relation,
+            fs.train_frequency,
+            if fs.few_shot { " — few-shot" } else { "" }
+        );
+    }
     Ok(())
 }
 
