@@ -20,6 +20,13 @@
 //! - `retrieve` at 1/2/4 client threads — `POST /v1/retrieve` k-hop
 //!   subgraph + ranked-path-context extraction (the `"retrieve"`
 //!   section of `BENCH_serve.json`).
+//! - mutation churn — a writer thread sustains single-triple
+//!   insert/delete batches through `POST /v1/admin/mutate` (one WAL
+//!   fsync per batch) while two query clients keep reading; records the
+//!   apply p50/p99, the sustained batch rate, and the query p50/p99
+//!   *under churn* (the `"mutation"` section). Epoch-versioned reads
+//!   mean the readers never block on the writer — the query tail under
+//!   churn should sit near the unchurned `answer` numbers.
 //!
 //! Usage: `cargo run --release -p mmkgr-bench --bin bench_http`
 //! (run `bench_serve` first; this merges `"http"` and `"retrieve"` into
@@ -83,12 +90,86 @@ struct RetrieveBench {
     shed_total: usize,
 }
 
+#[derive(Serialize)]
+struct MutationBench {
+    dataset: String,
+    machine: String,
+    commit: String,
+    /// Single-op batches committed (one WAL fsync each).
+    batches: usize,
+    applied: u64,
+    final_epoch: u64,
+    /// Sustained mutation commit rate, fsync included.
+    apply_per_s: f64,
+    apply_p50_us: f64,
+    apply_p99_us: f64,
+    /// Concurrent `/v1/answer` load while the writer churns.
+    query_clients: usize,
+    query_qps_under_churn: f64,
+    query_p50_us: f64,
+    query_p99_us: f64,
+    query_errors: usize,
+}
+
 /// Outcome of one closed-loop run: throughput plus the response mix.
 struct LoopResult {
     qps: f64,
     ok: usize,
     shed: usize,
     errors: usize,
+}
+
+/// `p` in [0,1] over an unsorted sample (sorted in place).
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx]
+}
+
+/// Like [`boot`] but with a [`LiveGraphStore`] wired through the
+/// reasoner, the retriever, and the registry — the `serve --live`
+/// configuration, minus the snapshot file.
+///
+/// [`LiveGraphStore`]: mmkgr_core::serve::LiveGraphStore
+fn boot_live(
+    kg: &mmkgr_kg::MultiModalKG,
+    wal: &std::path::Path,
+    cache: usize,
+) -> (RunningServer, Arc<mmkgr_core::serve::LiveGraphStore>) {
+    let base = Arc::new(kg.graph.clone());
+    let live = Arc::new(mmkgr_core::serve::LiveGraphStore::open(base, wal, 0).expect("wal opens"));
+    let handle = live.handle();
+    let model = MmkgrModel::new(kg, MmkgrConfig::quick(), None);
+    let mut registry = ModelRegistry::new(NameIndex::synthetic(
+        kg.num_entities(),
+        kg.num_base_relations(),
+    ));
+    registry.register(Arc::new(
+        PolicyReasoner::try_new_live(
+            "MMKGR",
+            model,
+            handle.clone(),
+            ServeConfig::default().with_cache(cache),
+        )
+        .expect("serve config"),
+    ));
+    registry.set_retriever(Arc::new(mmkgr_core::serve::Retriever::new_live(handle)));
+    registry.set_live(Arc::clone(&live));
+    let server = HttpServer::bind(
+        ("127.0.0.1", 0),
+        Arc::new(registry),
+        HttpServerConfig {
+            conn_threads: 4,
+            pool_workers: 2,
+            ..HttpServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn();
+    (server, live)
 }
 
 fn boot(kg: &mmkgr_kg::MultiModalKG, cache: usize) -> RunningServer {
@@ -326,6 +407,107 @@ fn main() {
     println!("  POST /v1/answer: {answer_cached_qps:.0} q/s (4 clients, cache hot)");
     server.shutdown();
 
+    // Mutation churn: one writer committing single-op batches (WAL
+    // fsync each) flat-out, two query clients reading throughout.
+    let wal = std::env::temp_dir().join(format!("mmkgr_bench_http_{}.wal", std::process::id()));
+    std::fs::remove_file(&wal).ok();
+    let (server, live) = boot_live(&kg, &wal, 1024);
+    let addr = server.addr();
+    closed_loop(addr, "POST", "/v1/answer", Arc::clone(&bodies), 2, 50);
+
+    let n = kg.num_entities();
+    let batches = 300usize;
+    let query_clients = 2usize;
+    // Batch 2k inserts a churn triple, batch 2k+1 deletes it again, so
+    // the graph stays bounded while every batch does real work.
+    let churn_triple = move |i: usize| (i % n, i % 3, (i * 7 + 13) % n);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn_started = Instant::now();
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut lat_us = Vec::with_capacity(batches);
+            for i in 0..batches {
+                let (key, body) = if i % 2 == 0 {
+                    (i, "insert")
+                } else {
+                    (i - 1, "delete")
+                };
+                let (s, r, o) = churn_triple(key);
+                let body = format!(r#"{{"{body}": [{{"s": "e{s}", "r": "r{r}", "o": "e{o}"}}]}}"#);
+                let t = Instant::now();
+                let (status, resp) =
+                    request(addr, "POST", "/v1/admin/mutate", &body).expect("mutate request");
+                lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                assert_eq!(status, 200, "{resp}");
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            lat_us
+        })
+    };
+    let readers: Vec<_> = (0..query_clients)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut lat_us = Vec::new();
+                let mut errors = 0usize;
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let body = &bodies[(c + i * query_clients) % bodies.len()];
+                    i += 1;
+                    let t = Instant::now();
+                    let (status, _) =
+                        request(addr, "POST", "/v1/answer", body).expect("answer request");
+                    lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    if status != 200 {
+                        errors += 1;
+                    }
+                }
+                (lat_us, errors)
+            })
+        })
+        .collect();
+    let mut apply_lat = writer.join().expect("writer thread");
+    let churn_elapsed = churn_started.elapsed().as_secs_f64();
+    let mut query_lat = Vec::new();
+    let mut query_errors = 0usize;
+    for r in readers {
+        let (lat, errs) = r.join().expect("reader thread");
+        query_lat.extend(lat);
+        query_errors += errs;
+    }
+    let m = live.metrics();
+    let mutation = MutationBench {
+        dataset: "tiny".into(),
+        machine: String::new(), // stamped below
+        commit: String::new(),
+        batches,
+        applied: m.applied,
+        final_epoch: m.epoch,
+        apply_per_s: batches as f64 / churn_elapsed,
+        apply_p50_us: percentile(&mut apply_lat, 0.50),
+        apply_p99_us: percentile(&mut apply_lat, 0.99),
+        query_clients,
+        query_qps_under_churn: query_lat.len() as f64 / churn_elapsed,
+        query_p50_us: percentile(&mut query_lat, 0.50),
+        query_p99_us: percentile(&mut query_lat, 0.99),
+        query_errors,
+    };
+    println!(
+        "  POST /v1/admin/mutate: {:.0} batches/s (apply p50 {:.0}us p99 {:.0}us); \
+         queries under churn: {:.0} q/s (p50 {:.0}us p99 {:.0}us, {} errors)",
+        mutation.apply_per_s,
+        mutation.apply_p50_us,
+        mutation.apply_p99_us,
+        mutation.query_qps_under_churn,
+        mutation.query_p50_us,
+        mutation.query_p99_us,
+        query_errors,
+    );
+    server.shutdown();
+    std::fs::remove_file(&wal).ok();
+
     let stamp = mmkgr_bench::RunStamp::capture();
     let http = HttpBench {
         dataset: "tiny".into(),
@@ -361,10 +543,17 @@ fn main() {
         shed_total: r_shed,
     };
 
+    let mutation = MutationBench {
+        machine: http.machine.clone(),
+        commit: http.commit.clone(),
+        ..mutation
+    };
+
     mmkgr_bench::merge_bench_section("BENCH_serve.json", "http", http.serialize_value());
     mmkgr_bench::merge_bench_section(
         "BENCH_serve.json",
         "retrieve",
         retrieve_section.serialize_value(),
     );
+    mmkgr_bench::merge_bench_section("BENCH_serve.json", "mutation", mutation.serialize_value());
 }

@@ -18,6 +18,8 @@
 //!   | `shard_panic=<idx\|*>[:<times>]` | panic in matching shard tasks (`times` omitted = every time) |
 //!   | `worker_panic[=<times>]` | kill a batch worker thread (default once) |
 //!   | `io_error` | fail snapshot loads with an injected I/O error |
+//!   | `wal_crash=<n>` | abort the process right after the `n`-th WAL record is fsynced (1-based), before it is applied in memory |
+//!   | `compact_crash` | abort the process mid-compaction, after the snapshot rewrite but before the WAL truncate |
 //!
 //! - **Tests**: [`install`] takes a builder-made plan and returns a
 //!   [`FaultGuard`] that holds a process-wide exclusivity lock (so
@@ -68,6 +70,16 @@ pub struct FaultPlan {
     pub worker_panic: u32,
     /// Fail snapshot loads with an injected `io::Error`.
     pub io_error: bool,
+    /// Abort the process right after the `n`-th appended WAL record
+    /// (1-based ordinal) has been fsynced but before the mutation is
+    /// applied in memory — the canonical crash-consistency point
+    /// (committed to the log, lost from RAM). 0 = off.
+    pub wal_crash: u32,
+    /// Abort the process mid-compaction: after the rewritten snapshot is
+    /// atomically in place but before the WAL is truncated. Recovery
+    /// must treat the still-present (already-folded) WAL records as
+    /// no-ops via the snapshot's sequence watermark.
+    pub compact_crash: bool,
 }
 
 impl FaultPlan {
@@ -80,6 +92,8 @@ impl FaultPlan {
             && self.shard_panic.is_empty()
             && self.worker_panic == 0
             && !self.io_error
+            && self.wal_crash == 0
+            && !self.compact_crash
     }
 
     pub fn with_shard_latency(mut self, sel: ShardSel, latency: Duration) -> FaultPlan {
@@ -99,6 +113,17 @@ impl FaultPlan {
 
     pub fn with_io_error(mut self) -> FaultPlan {
         self.io_error = true;
+        self
+    }
+
+    /// Abort after the `n`-th WAL record is durably committed (1-based).
+    pub fn with_wal_crash(mut self, record: u32) -> FaultPlan {
+        self.wal_crash = record;
+        self
+    }
+
+    pub fn with_compact_crash(mut self) -> FaultPlan {
+        self.compact_crash = true;
         self
     }
 
@@ -138,6 +163,15 @@ impl FaultPlan {
                     };
                 }
                 "io_error" => plan.io_error = true,
+                "wal_crash" => {
+                    let val = val.ok_or("wal_crash needs =<record ordinal>")?;
+                    let n = parse_num(val)? as u32;
+                    if n == 0 {
+                        return Err("wal_crash ordinal is 1-based (got 0)".to_string());
+                    }
+                    plan.wal_crash = n;
+                }
+                "compact_crash" => plan.compact_crash = true,
                 other => return Err(format!("unknown fault kind {other:?}")),
             }
         }
@@ -295,6 +329,34 @@ pub fn maybe_io_error(op: &str) -> Option<std::io::Error> {
     }
 }
 
+/// Injection point after a WAL record is durably committed (fsynced)
+/// but before it is applied in memory. `ordinal` is the 1-based count of
+/// records this store has appended. A hit **aborts the process** —
+/// `abort`, not `panic`, so no destructor gets a chance to "clean up"
+/// state a real `kill -9` would leave behind. Only CI's out-of-process
+/// chaos smoke enables this; in-process tests simulate the reboot
+/// instead (see `tests/mutation_api.rs`).
+#[inline]
+pub fn maybe_wal_crash(ordinal: u64) {
+    let Some(a) = active() else { return };
+    if a.plan.wal_crash != 0 && ordinal == a.plan.wal_crash as u64 {
+        eprintln!("injected fault: abort after WAL record {ordinal} (pre-apply)");
+        std::process::abort();
+    }
+}
+
+/// Injection point mid-compaction: the rewritten snapshot is atomically
+/// in place, the WAL is not yet truncated. Aborts the process (see
+/// [`maybe_wal_crash`] for why abort).
+#[inline]
+pub fn maybe_compact_crash() {
+    let Some(a) = active() else { return };
+    if a.plan.compact_crash {
+        eprintln!("injected fault: abort mid-compaction (snapshot written, WAL not truncated)");
+        std::process::abort();
+    }
+}
+
 // ------------------------------------------------------ global counters
 
 /// Shard tasks retried after a first failure (process-global; surfaced
@@ -355,6 +417,21 @@ mod tests {
         assert!(FaultPlan::parse("explode").is_err());
         assert!(FaultPlan::parse("shard_latency=*").is_err());
         assert!(FaultPlan::parse("shard_panic=x").is_err());
+        assert!(FaultPlan::parse("wal_crash").is_err());
+        assert!(FaultPlan::parse("wal_crash=0").is_err());
+    }
+
+    #[test]
+    fn crash_point_specs_parse() {
+        let plan = FaultPlan::parse("wal_crash=2, compact_crash").unwrap();
+        assert_eq!(plan.wal_crash, 2);
+        assert!(plan.compact_crash);
+        assert!(!plan.is_empty());
+        // Hooks are inert on non-matching ordinals / absent plans (a
+        // firing hook would abort the test runner, so only the miss
+        // paths are exercisable in-process).
+        maybe_wal_crash(1);
+        maybe_wal_crash(3);
     }
 
     #[test]

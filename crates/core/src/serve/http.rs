@@ -24,8 +24,10 @@
 //! | `POST /v1/answer_batch` | [`AnswerBatchRequest`] | [`AnswerBatchResponse`](super::protocol::AnswerBatchResponse) |
 //! | `POST /v1/explain` | [`ExplainRequest`] | [`ExplainResponse`](super::protocol::ExplainResponse) |
 //! | `POST /v1/retrieve` | [`RetrieveRequest`] | [`RetrieveResponse`](super::protocol::RetrieveResponse) |
+//! | `POST /v1/admin/mutate` | [`MutateRequest`] | [`MutateResponse`](super::protocol::MutateResponse) |
 //! | `GET /v1/models` | — | [`ModelsResponse`](super::protocol::ModelsResponse) |
 //! | `GET /healthz` | — | [`HealthResponse`](super::protocol::HealthResponse) |
+//! | `GET /readyz` | — | [`ReadyResponse`](super::protocol::ReadyResponse) (503 until ready) |
 //! | `GET /metrics` | — | [`MetricsResponse`](super::protocol::MetricsResponse) |
 //!
 //! Failures return `{"error": {"code": ..., ...}}` with the
@@ -54,7 +56,8 @@ use std::time::{Duration, Instant};
 
 use super::protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiResponse, ExplainRequest, MetricsResponse,
-    RetrieveMetrics, RetrieveRequest, RobustnessMetrics, RouteMetrics, PROTOCOL_VERSION,
+    MutateRequest, ReadyResponse, RetrieveMetrics, RetrieveRequest, RobustnessMetrics,
+    RouteMetrics, PROTOCOL_VERSION,
 };
 use super::registry::{budget_for_timeouts, ModelRegistry};
 use super::{faults, Answer, WorkerPool};
@@ -89,6 +92,12 @@ pub struct HttpServerConfig {
     /// `Retry-After` hint (in ms, rounded up to seconds on the wire)
     /// attached to shed responses.
     pub retry_after_ms: u64,
+    /// Whether the server is born ready (`GET /readyz` → 200). A live
+    /// boot that still has warm-up to do after binding passes `false`
+    /// and flips readiness with [`RunningServer::mark_ready`]; until
+    /// then `/readyz` answers 503 + `Retry-After` (while `/healthz`
+    /// liveness stays 200).
+    pub start_ready: bool,
 }
 
 impl Default for HttpServerConfig {
@@ -102,6 +111,7 @@ impl Default for HttpServerConfig {
             max_queue_depth: 1024,
             model_inflight_limit: 0,
             retry_after_ms: 1000,
+            start_ready: true,
         }
     }
 }
@@ -114,19 +124,23 @@ enum Route {
     AnswerBatch,
     Explain,
     Retrieve,
+    AdminMutate,
     Models,
     Healthz,
+    Readyz,
     Metrics,
     Other,
 }
 
-const ROUTE_NAMES: [&str; 8] = [
+const ROUTE_NAMES: [&str; 10] = [
     "/v1/answer",
     "/v1/answer_batch",
     "/v1/explain",
     "/v1/retrieve",
+    "/v1/admin/mutate",
     "/v1/models",
     "/healthz",
+    "/readyz",
     "/metrics",
     "(other)",
 ];
@@ -153,11 +167,15 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     /// Batch fan-out pools, one per registered model.
     pools: HashMap<String, WorkerPool>,
-    counters: [RouteCounter; 8],
+    counters: [RouteCounter; 10],
     queue_depth: AtomicUsize,
     /// Per-model in-flight answer/batch/explain requests, for the
-    /// `model_inflight_limit` bulkhead.
+    /// `model_inflight_limit` bulkhead. Admin mutations are exempt — a
+    /// saturated model must not be able to starve out the write path.
     inflight: HashMap<String, AtomicUsize>,
+    /// Readiness for `GET /readyz` (false until snapshot load + WAL
+    /// replay + warm-up finish; liveness `/healthz` is independent).
+    ready: AtomicBool,
     robust: RobustCounters,
     /// Reranker activity for `/v1/retrieve`: path candidates examined and
     /// path contexts actually returned.
@@ -249,6 +267,17 @@ impl Shared {
                 paths_considered: self.retrieve_paths_considered.load(Ordering::Relaxed),
                 paths_selected: self.retrieve_paths_selected.load(Ordering::Relaxed),
             },
+            mutation: self.registry.mutation_metrics(),
+        }
+    }
+
+    fn readiness(&self) -> ReadyResponse {
+        let ready = self.ready.load(Ordering::Relaxed);
+        ReadyResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            ready,
+            status: if ready { "ready" } else { "starting" }.to_string(),
+            models: self.registry.len(),
         }
     }
 }
@@ -298,6 +327,7 @@ impl HttpServer {
                 counters: Default::default(),
                 queue_depth: AtomicUsize::new(0),
                 inflight,
+                ready: AtomicBool::new(cfg.start_ready),
                 robust: RobustCounters::default(),
                 retrieve_paths_considered: AtomicU64::new(0),
                 retrieve_paths_selected: AtomicU64::new(0),
@@ -310,6 +340,13 @@ impl HttpServer {
     /// The bound address (read the real port after binding port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Flip `/readyz` to 200. For servers bound with
+    /// [`HttpServerConfig::start_ready`] false, call once boot work
+    /// (snapshot load, WAL replay, warm-up) is done.
+    pub fn mark_ready(&self) {
+        self.shared.ready.store(true, Ordering::Release);
     }
 
     /// Start the accept thread and connection pool; returns immediately.
@@ -415,6 +452,17 @@ impl RunningServer {
         self.shared.metrics()
     }
 
+    /// Flip `GET /readyz` to 200. Call once warm-up after a
+    /// `start_ready: false` bind is done (snapshot loaded, WAL
+    /// replayed, caches primed).
+    pub fn mark_ready(&self) {
+        self.shared.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.shared.ready.load(Ordering::Relaxed)
+    }
+
     /// Stop accepting, drain queued connections, and join every thread.
     /// In-flight requests finish; the per-model worker pools join on
     /// drop.
@@ -482,6 +530,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn response_extra_headers(response: &ApiResponse) -> Vec<(&'static str, String)> {
     match response {
         ApiResponse::Error(e) => e.extra_headers(),
+        // A not-yet-ready probe is a transient 503 like shedding: tell
+        // the poller when to come back.
+        ApiResponse::Ready(r) if !r.ready => vec![("Retry-After", "1".to_string())],
         _ => Vec::new(),
     }
 }
@@ -674,8 +725,10 @@ fn dispatch(req: &HttpRequest, shared: &Shared) -> (Route, ApiResponse) {
         "/v1/answer_batch" => (Route::AnswerBatch, true),
         "/v1/explain" => (Route::Explain, true),
         "/v1/retrieve" => (Route::Retrieve, true),
+        "/v1/admin/mutate" => (Route::AdminMutate, true),
         "/v1/models" => (Route::Models, false),
         "/healthz" => (Route::Healthz, false),
+        "/readyz" => (Route::Readyz, false),
         "/metrics" => (Route::Metrics, false),
         _ => {
             return (
@@ -763,8 +816,16 @@ fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, Api
                 .fetch_add(resp.paths.len() as u64, Ordering::Relaxed);
             ApiResponse::Retrieve(resp)
         }
+        // Admin mutations bypass the per-model bulkhead (they touch the
+        // store, not a reasoner) but still run under the request budget
+        // inside the registry pipeline.
+        Route::AdminMutate => {
+            let req: MutateRequest = parse_body(body)?;
+            ApiResponse::Mutate(registry.mutate(&req, default_ms)?)
+        }
         Route::Models => ApiResponse::Models(registry.models()),
         Route::Healthz => ApiResponse::Health(registry.health()),
+        Route::Readyz => ApiResponse::Ready(shared.readiness()),
         Route::Metrics => ApiResponse::Metrics(shared.metrics()),
         Route::Other => unreachable!("dispatch handles unknown routes"),
     })
@@ -776,6 +837,14 @@ fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, Api
 /// one request per connection (matching the server's `Connection:
 /// close`), returns `(status, body)`.
 ///
+/// A 503 carrying a `Retry-After` header (load shedding, a not-ready
+/// `/readyz`) is retried **once** after the hinted backoff plus a small
+/// jitter — enough for polite clients to ride out a transient
+/// overload without synchronizing their retries into a thundering
+/// herd. A second 503 is returned as-is. Callers that must observe the
+/// raw first response (chaos tests asserting on shed counts) should
+/// speak to the socket directly.
+///
 /// This is deliberately not a production client — it exists so the
 /// workspace can drive the server without a crates.io HTTP stack.
 pub fn request(
@@ -784,6 +853,44 @@ pub fn request(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let (status, head, resp_body) = request_once(addr, method, path, body)?;
+    if status != 503 {
+        return Ok((status, resp_body));
+    }
+    let Some(secs) = retry_after_secs(&head) else {
+        return Ok((status, resp_body));
+    };
+    // Cap the honored hint: a test client sleeping minutes because a
+    // server asked is worse than returning the 503.
+    let jitter_ms = u64::from(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0),
+    ) % 250;
+    std::thread::sleep(Duration::from_secs(secs.min(5)) + Duration::from_millis(jitter_ms));
+    let (status, _, resp_body) = request_once(addr, method, path, body)?;
+    Ok((status, resp_body))
+}
+
+/// Parse the whole-seconds `Retry-After` value out of a response head.
+fn retry_after_secs(head: &str) -> Option<u64> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        if k.trim().eq_ignore_ascii_case("retry-after") {
+            v.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let head = format!(
@@ -799,14 +906,14 @@ pub fn request(
     stream.read_to_end(&mut raw)?;
     let text = String::from_utf8_lossy(&raw);
     let mut parts = text.splitn(2, "\r\n\r\n");
-    let head = parts.next().unwrap_or_default();
+    let head = parts.next().unwrap_or_default().to_string();
     let body = parts.next().unwrap_or_default().to_string();
     let status: u16 = head
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    Ok((status, body))
+    Ok((status, head, body))
 }
 
 #[cfg(test)]

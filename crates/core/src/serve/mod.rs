@@ -94,7 +94,7 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use mmkgr_embed::TripleScorer;
-use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace};
+use mmkgr_kg::{EntityId, GraphHandle, KnowledgeGraph, RelationId, RelationSpace};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::beam::{with_thread_engine, BeamConfig};
@@ -102,6 +102,7 @@ use crate::infer::{BeamPath, RolloutPolicy};
 
 pub mod faults;
 pub mod http;
+pub mod mutation;
 pub mod protocol;
 pub mod registry;
 pub mod retrieve;
@@ -109,6 +110,7 @@ pub mod sharded;
 
 pub use faults::{FaultGuard, FaultPlan, ShardSel};
 pub use http::{HttpServer, HttpServerConfig, RunningServer};
+pub use mutation::{LiveGraphStore, MutationOutcome};
 pub use protocol::{
     AnswerBatchRequest, AnswerRequest, ApiError, ApiRequest, ApiResponse, ExplainRequest,
     ModelInfo, NameIndex, NamedQuery, RetrieveRequest, RetrieveResponse, WireAnswer, WireCandidate,
@@ -514,6 +516,15 @@ pub trait KgReasoner {
     fn has_path_evidence(&self) -> bool {
         false
     }
+
+    /// A live mutation touched these entities: drop any cached state
+    /// that mentions them (frontier-cache lines, memoized rankings).
+    /// Returns how many cached entries were invalidated. Stateless
+    /// reasoners keep the default no-op.
+    fn invalidate_entities(&self, touched: &[EntityId]) -> usize {
+        let _ = touched;
+        0
+    }
 }
 
 impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
@@ -547,6 +558,10 @@ impl<R: KgReasoner + ?Sized> KgReasoner for Arc<R> {
 
     fn has_path_evidence(&self) -> bool {
         (**self).has_path_evidence()
+    }
+
+    fn invalidate_entities(&self, touched: &[EntityId]) -> usize {
+        (**self).invalidate_entities(touched)
     }
 }
 
@@ -757,6 +772,28 @@ impl FrontierCache {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// Targeted invalidation after a live mutation: drop only the
+    /// entries whose query source or ranked candidates mention a touched
+    /// entity, keeping the rest of the cache warm (no full flush).
+    ///
+    /// This is keyed on the entities a ranking *names*; an entry whose
+    /// best paths merely pass through a touched entity without ranking
+    /// it keeps serving its (epoch-pinned, internally consistent)
+    /// pre-mutation ranking until evicted — the documented trade for not
+    /// flushing the world on every write.
+    fn invalidate_entities(&self, touched: &[EntityId]) -> usize {
+        if touched.is_empty() {
+            return 0;
+        }
+        let set: std::collections::HashSet<EntityId> = touched.iter().copied().collect();
+        let mut map = self.map.write().unwrap();
+        let before = map.len();
+        map.retain(|key, entry| {
+            !set.contains(&key.source) && !entry.ranked.iter().any(|c| set.contains(&c.entity))
+        });
+        before - map.len()
+    }
 }
 
 // ---------------------------------------------------------------- policy
@@ -770,7 +807,7 @@ impl FrontierCache {
 pub struct PolicyReasoner<P> {
     name: String,
     policy: P,
-    graph: Arc<KnowledgeGraph>,
+    graph: GraphHandle,
     cfg: ServeConfig,
     cache: Option<FrontierCache>,
 }
@@ -800,6 +837,19 @@ impl<P: RolloutPolicy> PolicyReasoner<P> {
         graph: Arc<KnowledgeGraph>,
         cfg: ServeConfig,
     ) -> Result<Self, ServeConfigError> {
+        Self::try_new_live(name, policy, GraphHandle::new(graph), cfg)
+    }
+
+    /// Build a reasoner over a live [`GraphHandle`]: each query pins the
+    /// epoch current at its start and runs entirely against that view,
+    /// so published mutations are picked up between queries but never
+    /// observed mid-query. `new`/`try_new` are this with a fixed handle.
+    pub fn try_new_live(
+        name: impl Into<String>,
+        policy: P,
+        graph: GraphHandle,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeConfigError> {
         cfg.validate()?;
         Ok(PolicyReasoner {
             name: name.into(),
@@ -815,8 +865,9 @@ impl<P: RolloutPolicy> PolicyReasoner<P> {
         &self.policy
     }
 
-    pub fn graph(&self) -> &Arc<KnowledgeGraph> {
-        &self.graph
+    /// Pin and return the currently published graph epoch.
+    pub fn graph(&self) -> Arc<KnowledgeGraph> {
+        self.graph.pin()
     }
 
     /// Frontier-cache counters (`None` when caching is disabled).
@@ -829,12 +880,13 @@ impl<P: RolloutPolicy> PolicyReasoner<P> {
     /// evaluation agree). Returns the full rank-ordered candidate list.
     fn compute_ranked(
         &self,
+        graph: &KnowledgeGraph,
         source: EntityId,
         relation: RelationId,
         cfg: &BeamConfig,
     ) -> Vec<Candidate> {
         with_thread_engine(|engine| {
-            engine.run(&self.policy, &self.graph, source, relation, cfg);
+            engine.run(&self.policy, graph, source, relation, cfg);
             let mut best: Vec<Candidate> = Vec::with_capacity(engine.frontier_len());
             let mut best_slot: Vec<usize> = Vec::with_capacity(engine.frontier_len());
             for (slot, b) in engine.frontier().enumerate() {
@@ -881,11 +933,11 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
     }
 
     fn num_entities(&self) -> usize {
-        self.graph.num_entities()
+        self.graph.pin().num_entities()
     }
 
     fn relations(&self) -> RelationSpace {
-        self.graph.relations()
+        self.graph.pin().relations()
     }
 
     fn answer(&self, query: &Query) -> Answer {
@@ -912,18 +964,24 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
             };
             full[..take].to_vec()
         };
+        // Pin once: the whole query (beam run included) sees one epoch.
+        let graph = self.graph.pin();
         let ranked: Vec<Candidate> = match &self.cache {
             Some(cache) => match cache.get(&key) {
                 Some(hit) => prefix(&hit),
                 None => {
-                    let computed =
-                        Arc::new(self.compute_ranked(query.source, query.relation, &beam_cfg));
+                    let computed = Arc::new(self.compute_ranked(
+                        &graph,
+                        query.source,
+                        query.relation,
+                        &beam_cfg,
+                    ));
                     cache.insert(key, Arc::clone(&computed));
                     prefix(&computed)
                 }
             },
             None => {
-                let mut full = self.compute_ranked(query.source, query.relation, &beam_cfg);
+                let mut full = self.compute_ranked(&graph, query.source, query.relation, &beam_cfg);
                 truncate_top_k(&mut full, query.top_k);
                 full
             }
@@ -949,10 +1007,11 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
             steps,
             dedup: self.cfg.beam_dedup,
         };
+        let graph = self.graph.pin();
         let mut paths = with_thread_engine(|engine| {
             engine.search(
                 &self.policy,
-                &self.graph,
+                &graph,
                 query.source,
                 query.relation,
                 &beam_cfg,
@@ -970,6 +1029,12 @@ impl<P: RolloutPolicy> KgReasoner for PolicyReasoner<P> {
 
     fn has_path_evidence(&self) -> bool {
         true
+    }
+
+    fn invalidate_entities(&self, touched: &[EntityId]) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.invalidate_entities(touched))
     }
 }
 

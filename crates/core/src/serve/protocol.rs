@@ -260,6 +260,74 @@ impl RetrieveRequest {
     }
 }
 
+/// Body of `POST /v1/admin/mutate`: one atomic batch of live triple
+/// edits against the served graph. Triples are named in **base**
+/// orientation (`~`-prefixed inverse relations are rejected — the store
+/// maintains both directions itself). The whole batch commits to the
+/// WAL and publishes as one epoch, or fails as a unit with
+/// [`ApiError::InvalidMutation`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MutateRequest {
+    /// Triples to insert (already-present inserts are no-ops).
+    #[serde(default)]
+    pub insert: Vec<WireTriple>,
+    /// Triples to delete (already-absent deletes are no-ops).
+    #[serde(default)]
+    pub delete: Vec<WireTriple>,
+    /// Request deadline in milliseconds (null/omitted = server default).
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+}
+
+impl MutateRequest {
+    pub fn new() -> Self {
+        MutateRequest {
+            insert: Vec::new(),
+            delete: Vec::new(),
+            timeout_ms: None,
+        }
+    }
+
+    pub fn with_insert(
+        mut self,
+        s: impl Into<String>,
+        r: impl Into<String>,
+        o: impl Into<String>,
+    ) -> Self {
+        self.insert.push(WireTriple {
+            s: s.into(),
+            r: r.into(),
+            o: o.into(),
+        });
+        self
+    }
+
+    pub fn with_delete(
+        mut self,
+        s: impl Into<String>,
+        r: impl Into<String>,
+        o: impl Into<String>,
+    ) -> Self {
+        self.delete.push(WireTriple {
+            s: s.into(),
+            r: r.into(),
+            o: o.into(),
+        });
+        self
+    }
+
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+}
+
+impl Default for MutateRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Typed union of every v1 request. On the wire the route is the tag
 /// (each POST body is the bare inner struct); the server materializes
 /// this union after routing, and tests round-trip it directly.
@@ -269,6 +337,7 @@ pub enum ApiRequest {
     AnswerBatch(AnswerBatchRequest),
     Explain(ExplainRequest),
     Retrieve(RetrieveRequest),
+    Mutate(MutateRequest),
 }
 
 impl ApiRequest {
@@ -279,6 +348,7 @@ impl ApiRequest {
             ApiRequest::AnswerBatch(_) => "/v1/answer_batch",
             ApiRequest::Explain(_) => "/v1/explain",
             ApiRequest::Retrieve(_) => "/v1/retrieve",
+            ApiRequest::Mutate(_) => "/v1/admin/mutate",
         }
     }
 }
@@ -710,6 +780,29 @@ pub struct RetrieveMetrics {
     pub paths_selected: u64,
 }
 
+/// Live-mutation counters in `GET /metrics` (additive fields: older
+/// clients parse a body without them as zeros; a server without a live
+/// store reports all zeros).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationMetrics {
+    /// Mutation batches committed (WAL fsync + publish) this boot.
+    #[serde(default)]
+    pub applied: u64,
+    /// Mutation batches replayed from the WAL at boot.
+    #[serde(default)]
+    pub replayed: u64,
+    /// Delta-overlay compactions folded into a fresh snapshot.
+    #[serde(default)]
+    pub compactions: u64,
+    /// Epoch of the currently published graph version.
+    #[serde(default)]
+    pub epoch: u64,
+    /// Published epoch minus the oldest epoch still pinned by an
+    /// in-flight reader (0 = no reader lags the writer).
+    #[serde(default)]
+    pub epoch_lag: u64,
+}
+
 /// Response of `GET /metrics`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -725,6 +818,43 @@ pub struct MetricsResponse {
     /// `/v1/retrieve` reranker counters (additive).
     #[serde(default)]
     pub retrieve: RetrieveMetrics,
+    /// Live-mutation counters (additive).
+    #[serde(default)]
+    pub mutation: MutationMetrics,
+}
+
+/// Response of `POST /v1/admin/mutate`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MutateResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    /// Epoch of the graph version this batch published.
+    pub epoch: u64,
+    /// WAL sequence number the batch committed under.
+    pub seq: u64,
+    /// Triples actually inserted (idempotent re-inserts excluded).
+    pub inserted: u64,
+    /// Triples actually deleted (absent deletes excluded).
+    pub deleted: u64,
+    /// Cached query entries invalidated across all served models.
+    pub invalidated: u64,
+    /// Whether this batch tripped a compaction (overlay folded into the
+    /// CSR and a fresh snapshot written).
+    pub compacted: bool,
+}
+
+/// Response of `GET /readyz`. Unlike `/healthz` (liveness — "the
+/// process is up"), readiness is "snapshot loaded, WAL replayed,
+/// warm-up done": the body travels with 503 + `Retry-After` until the
+/// server flips ready.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReadyResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    pub ready: bool,
+    /// `"ready"` or `"starting"`.
+    pub status: String,
+    pub models: usize,
 }
 
 /// Typed union of every v1 response. Like [`ApiRequest`], the route is
@@ -739,6 +869,8 @@ pub enum ApiResponse {
     Models(ModelsResponse),
     Health(HealthResponse),
     Metrics(MetricsResponse),
+    Mutate(MutateResponse),
+    Ready(ReadyResponse),
     Error(ApiError),
 }
 
@@ -747,6 +879,7 @@ impl ApiResponse {
     pub fn http_status(&self) -> u16 {
         match self {
             ApiResponse::Error(e) => e.http_status(),
+            ApiResponse::Ready(r) if !r.ready => 503,
             _ => 200,
         }
     }
@@ -762,6 +895,8 @@ impl ApiResponse {
             ApiResponse::Models(x) => x.serialize_value(),
             ApiResponse::Health(x) => x.serialize_value(),
             ApiResponse::Metrics(x) => x.serialize_value(),
+            ApiResponse::Mutate(x) => x.serialize_value(),
+            ApiResponse::Ready(x) => x.serialize_value(),
             ApiResponse::Error(e) => {
                 Value::Object(vec![("error".to_string(), e.serialize_value())])
             }
@@ -798,6 +933,11 @@ pub enum ApiError {
     /// Unusable `/v1/retrieve` parameters (no seeds, `hops: 0`, or a
     /// `diversity` weight outside `[0, 1]`).
     InvalidRetrieveParams { detail: String },
+    /// Unusable `/v1/admin/mutate` batch: empty (no inserts and no
+    /// deletes), an unresolvable entity/relation name, an inverse
+    /// (`~`-prefixed) relation, or no live store behind this server.
+    /// The whole batch is rejected; nothing was logged or applied.
+    InvalidMutation { detail: String },
     /// Body was not valid JSON for the route's request type.
     MalformedRequest { detail: String },
     /// Body exceeds the server's size limit.
@@ -830,6 +970,7 @@ impl ApiError {
             ApiError::UnknownRelation { .. } => "unknown_relation",
             ApiError::InvalidBeamParams { .. } => "invalid_beam_params",
             ApiError::InvalidRetrieveParams { .. } => "invalid_retrieve_params",
+            ApiError::InvalidMutation { .. } => "invalid_mutation",
             ApiError::MalformedRequest { .. } => "malformed_request",
             ApiError::PayloadTooLarge { .. } => "payload_too_large",
             ApiError::UnknownRoute { .. } => "unknown_route",
@@ -850,6 +991,7 @@ impl ApiError {
             | ApiError::UnknownRoute { .. } => 404,
             ApiError::InvalidBeamParams { .. }
             | ApiError::InvalidRetrieveParams { .. }
+            | ApiError::InvalidMutation { .. }
             | ApiError::MalformedRequest { .. } => 400,
             ApiError::PayloadTooLarge { .. } => 413,
             ApiError::MethodNotAllowed { .. } => 405,
@@ -891,6 +1033,7 @@ impl std::fmt::Display for ApiError {
             ApiError::InvalidRetrieveParams { detail } => {
                 write!(f, "invalid retrieve params: {detail}")
             }
+            ApiError::InvalidMutation { detail } => write!(f, "invalid mutation: {detail}"),
             ApiError::MalformedRequest { detail } => write!(f, "malformed request: {detail}"),
             ApiError::PayloadTooLarge {
                 limit_bytes,
@@ -945,6 +1088,7 @@ impl Serialize for ApiError {
             }
             ApiError::InvalidBeamParams { detail }
             | ApiError::InvalidRetrieveParams { detail }
+            | ApiError::InvalidMutation { detail }
             | ApiError::MalformedRequest { detail }
             | ApiError::Internal { detail } => fields.push(str_field("detail", detail)),
             ApiError::PayloadTooLarge {
@@ -1005,6 +1149,9 @@ impl Deserialize for ApiError {
                 detail: field("detail")?,
             },
             "invalid_retrieve_params" => ApiError::InvalidRetrieveParams {
+                detail: field("detail")?,
+            },
+            "invalid_mutation" => ApiError::InvalidMutation {
                 detail: field("detail")?,
             },
             "malformed_request" => ApiError::MalformedRequest {
@@ -1464,6 +1611,9 @@ mod tests {
             ApiError::InvalidRetrieveParams {
                 detail: "seeds must not be empty".to_string(),
             },
+            ApiError::InvalidMutation {
+                detail: "mutation batch is empty".to_string(),
+            },
             ApiError::MalformedRequest {
                 detail: "expected object".to_string(),
             },
@@ -1557,6 +1707,74 @@ mod tests {
         assert!(ApiError::DeadlineExceeded { timeout_ms: 1 }
             .extra_headers()
             .is_empty());
+        assert_eq!(
+            ApiError::InvalidMutation { detail: "x".into() }.http_status(),
+            400
+        );
+    }
+
+    #[test]
+    fn mutate_wire_shapes_roundtrip() {
+        // sparse request bodies default the missing arm to empty
+        let req: MutateRequest = serde_json::from_str(
+            r#"{"insert": [{"s": "e1", "r": "r0", "o": "e2"}], "timeout_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(req.insert.len(), 1);
+        assert!(req.delete.is_empty());
+        assert_eq!(req.timeout_ms, Some(250));
+
+        let built = MutateRequest::new()
+            .with_insert("e1", "r0", "e2")
+            .with_delete("e3", "r1", "e4");
+        let back: MutateRequest =
+            serde_json::from_str(&serde_json::to_string(&built).unwrap()).unwrap();
+        assert_eq!(back, built);
+
+        let resp = ApiResponse::Mutate(MutateResponse {
+            protocol: protocol_version_string(),
+            epoch: 3,
+            seq: 7,
+            inserted: 1,
+            deleted: 1,
+            invalidated: 2,
+            compacted: false,
+        });
+        assert_eq!(resp.http_status(), 200);
+        let body: MutateResponse = serde_json::from_str(&resp.body()).unwrap();
+        assert_eq!(body.epoch, 3);
+        assert_eq!(body.seq, 7);
+    }
+
+    #[test]
+    fn readiness_travels_503_until_ready() {
+        let starting = ApiResponse::Ready(ReadyResponse {
+            protocol: protocol_version_string(),
+            ready: false,
+            status: "starting".to_string(),
+            models: 0,
+        });
+        assert_eq!(starting.http_status(), 503);
+        let ready = ApiResponse::Ready(ReadyResponse {
+            protocol: protocol_version_string(),
+            ready: true,
+            status: "ready".to_string(),
+            models: 2,
+        });
+        assert_eq!(ready.http_status(), 200);
+        let body: ReadyResponse = serde_json::from_str(&ready.body()).unwrap();
+        assert!(body.ready);
+    }
+
+    #[test]
+    fn metrics_without_mutation_block_parse_as_zeros() {
+        // pre-mutation /metrics bodies (no `mutation` key) stay parseable
+        let m: MetricsResponse = serde_json::from_str(
+            r#"{"protocol": "v1", "queue_depth": 0, "routes": [], "models": []}"#,
+        )
+        .unwrap();
+        assert_eq!(m.mutation, MutationMetrics::default());
+        assert_eq!(m.mutation.applied, 0);
     }
 
     #[test]

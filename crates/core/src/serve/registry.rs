@@ -18,13 +18,16 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use super::mutation::{LiveGraphStore, LiveStoreError};
 use super::protocol::{
     AnswerBatchRequest, AnswerBatchResponse, AnswerRequest, ApiError, ExplainRequest,
-    ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, NameIndex,
-    NamedQuery, RetrieveRequest, RetrieveResponse, WireAnswer, PROTOCOL_VERSION,
+    ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, MutateRequest,
+    MutateResponse, MutationMetrics, NameIndex, NamedQuery, RetrieveRequest, RetrieveResponse,
+    WireAnswer, WireTriple, PROTOCOL_VERSION,
 };
 use super::retrieve::{RetrieveSpec, Retriever};
 use super::{Answer, Budget, KgReasoner, Query};
+use mmkgr_kg::{Triple, TripleOp};
 
 /// Derive the execution [`Budget`] for a request from its wire timeouts:
 /// the tightest explicit `timeout_ms` wins (a batch runs under its most
@@ -69,6 +72,10 @@ pub struct ModelRegistry {
     /// is per-dataset, not per-model; path contexts come from whichever
     /// model the request names). `None` = retrieval not configured.
     retriever: Option<Arc<Retriever>>,
+    /// Live mutation store behind `POST /v1/admin/mutate`. `None` = the
+    /// served graph is read-only (mutations answer
+    /// [`ApiError::InvalidMutation`]).
+    live: Option<Arc<LiveGraphStore>>,
 }
 
 impl ModelRegistry {
@@ -79,6 +86,7 @@ impl ModelRegistry {
             models: HashMap::new(),
             default_model: None,
             retriever: None,
+            live: None,
         }
     }
 
@@ -90,6 +98,28 @@ impl ModelRegistry {
 
     pub fn retriever(&self) -> Option<&Arc<Retriever>> {
         self.retriever.as_ref()
+    }
+
+    /// Attach the live mutation store serving `POST /v1/admin/mutate`.
+    /// The store's [`LiveGraphStore::handle`] must be the same
+    /// [`mmkgr_kg::GraphHandle`] the registered reasoners and retriever
+    /// read from, or published mutations will never become visible to
+    /// queries.
+    pub fn set_live(&mut self, live: Arc<LiveGraphStore>) -> &mut Self {
+        self.live = Some(live);
+        self
+    }
+
+    pub fn live(&self) -> Option<&Arc<LiveGraphStore>> {
+        self.live.as_ref()
+    }
+
+    /// Live-mutation counters for `GET /metrics` (all zeros when no
+    /// live store is attached).
+    pub fn mutation_metrics(&self) -> MutationMetrics {
+        self.live
+            .as_ref()
+            .map_or_else(MutationMetrics::default, |l| l.metrics())
     }
 
     /// Register a reasoner under its own [`KgReasoner::name`]. The first
@@ -357,6 +387,86 @@ impl ModelRegistry {
             &result,
             &self.names,
         ))
+    }
+
+    /// Resolve one wire triple to dense ids for a mutation. Mutations
+    /// are stated in base orientation only — the store maintains the
+    /// inverse direction itself, so an `~`-prefixed relation here would
+    /// silently double-apply and is rejected instead.
+    fn resolve_mutation_triple(&self, t: &WireTriple) -> Result<Triple, ApiError> {
+        if t.r.starts_with('~') {
+            return Err(ApiError::InvalidMutation {
+                detail: format!(
+                    "mutations take base-orientation relations; got inverse `{}` \
+                     (state the forward triple instead)",
+                    t.r
+                ),
+            });
+        }
+        Ok(Triple {
+            s: self.names.resolve_entity(&t.s)?,
+            r: self.names.resolve_relation(&t.r)?,
+            o: self.names.resolve_entity(&t.o)?,
+        })
+    }
+
+    /// Full `POST /v1/admin/mutate` pipeline: validate + resolve the
+    /// batch, commit it through the [`LiveGraphStore`] (WAL fsync, then
+    /// publish), then drop the touched entries from every model's query
+    /// cache. Any validation failure rejects the whole batch before
+    /// anything is logged or applied.
+    pub fn mutate(
+        &self,
+        req: &MutateRequest,
+        default_timeout_ms: u64,
+    ) -> Result<MutateResponse, ApiError> {
+        let budget = budget_for_timeouts([req.timeout_ms], default_timeout_ms)?;
+        if budget.expired() {
+            return Err(budget.exceeded());
+        }
+        let live = self
+            .live
+            .as_ref()
+            .ok_or_else(|| ApiError::InvalidMutation {
+                detail: "this server has no live mutation store (serve with --live)".to_string(),
+            })?;
+        if req.insert.is_empty() && req.delete.is_empty() {
+            return Err(ApiError::InvalidMutation {
+                detail: "mutation batch is empty (supply insert and/or delete triples)".to_string(),
+            });
+        }
+        let mut ops = Vec::with_capacity(req.insert.len() + req.delete.len());
+        for t in &req.insert {
+            ops.push(TripleOp::Insert(self.resolve_mutation_triple(t)?));
+        }
+        for t in &req.delete {
+            ops.push(TripleOp::Delete(self.resolve_mutation_triple(t)?));
+        }
+        let outcome = live.apply(&ops).map_err(|e| match e {
+            LiveStoreError::Invalid(err) => ApiError::InvalidMutation {
+                detail: err.to_string(),
+            },
+            other => ApiError::Internal {
+                detail: other.to_string(),
+            },
+        })?;
+        // Targeted invalidation: only cached answers whose source or
+        // ranked entities intersect the touched set are dropped; the
+        // rest of every cache survives the mutation.
+        let invalidated: usize = self
+            .order
+            .iter()
+            .map(|name| self.models[name].invalidate_entities(&outcome.stats.touched))
+            .sum();
+        Ok(MutateResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            epoch: outcome.epoch,
+            seq: outcome.seq,
+            inserted: outcome.stats.inserted as u64,
+            deleted: outcome.stats.deleted as u64,
+            invalidated: invalidated as u64,
+            compacted: outcome.compacted,
+        })
     }
 
     /// `GET /v1/models` payload.

@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use mmkgr_kg::subgraph::{extract, ModalPresence, Subgraph, SubgraphConfig};
-use mmkgr_kg::{EntityId, KnowledgeGraph, RelationId};
+use mmkgr_kg::{EntityId, GraphHandle, KnowledgeGraph, RelationId};
 
 use super::{KgReasoner, Query};
 
@@ -101,13 +101,20 @@ pub struct Retrieval {
 /// [`mmkgr_kg::ModalBank`]), and optional relation training frequencies
 /// for few-shot annotation.
 pub struct Retriever {
-    graph: Arc<KnowledgeGraph>,
+    graph: GraphHandle,
     modal: Option<ModalPresence>,
     relation_freqs: Option<HashMap<RelationId, usize>>,
 }
 
 impl Retriever {
     pub fn new(graph: Arc<KnowledgeGraph>) -> Self {
+        Self::new_live(GraphHandle::new(graph))
+    }
+
+    /// Build over a live [`GraphHandle`]: each retrieval pins the epoch
+    /// current at its start, so a published mutation is visible to the
+    /// next retrieval but never to one already in flight.
+    pub fn new_live(graph: GraphHandle) -> Self {
         Retriever {
             graph,
             modal: None,
@@ -128,16 +135,20 @@ impl Retriever {
         self
     }
 
-    pub fn graph(&self) -> &Arc<KnowledgeGraph> {
-        &self.graph
+    /// Pin and return the currently published graph epoch.
+    pub fn graph(&self) -> Arc<KnowledgeGraph> {
+        self.graph.pin()
     }
 
     /// Run one retrieval. `reasoner` supplies beam paths when it has
     /// path evidence and the spec names a relation; pass `None` to force
     /// the topology fallback.
     pub fn retrieve(&self, reasoner: Option<&dyn KgReasoner>, spec: &RetrieveSpec) -> Retrieval {
+        // Pin once: subgraph, fallback paths and annotations all read
+        // the same epoch.
+        let graph = self.graph.pin();
         let subgraph = extract(
-            self.graph.store(),
+            &graph,
             &spec.seeds,
             &SubgraphConfig {
                 hops: spec.hops,
@@ -154,13 +165,13 @@ impl Retriever {
             }
         }
         if candidates.is_empty() {
-            candidates = topology_paths(&self.graph, &spec.seeds, &subgraph);
+            candidates = topology_paths(&graph, &spec.seeds, &subgraph);
         }
         let paths_considered = candidates.len();
         let paths = mmr_rerank(candidates, spec.diversity, spec.max_paths);
 
         let few_shot = spec.relation.map(|r| {
-            let rs = self.graph.relations();
+            let rs = graph.relations();
             let base = if rs.is_inverse(r) { rs.inverse(r) } else { r };
             let train_frequency = self
                 .relation_freqs

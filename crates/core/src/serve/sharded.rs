@@ -510,6 +510,15 @@ impl KgReasoner for ShardedReasoner {
             Mode::Routed(shards) => shards[0].has_path_evidence(),
         }
     }
+
+    /// Routed mode: every replica caches independently, so a live-graph
+    /// mutation must drop the touched entries on all of them.
+    fn invalidate_entities(&self, touched: &[mmkgr_kg::EntityId]) -> usize {
+        match &self.mode {
+            Mode::Scored(_) => 0,
+            Mode::Routed(shards) => shards.iter().map(|s| s.invalidate_entities(touched)).sum(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub use serving::{
     BuiltReasoner, KgeModel, KgeSpec, ModelChoice, ReasonerBuilder, TrainedModel, TrainedModelKind,
 };
 pub use snapshot::{
-    load_registry_snapshot, write_registry_snapshot, write_registry_snapshot_with_vocab,
-    LoadedRegistry, SnapshotBuildError,
+    load_registry_snapshot, load_registry_snapshot_live, rewrite_registry_snapshot,
+    write_registry_snapshot, write_registry_snapshot_with_vocab, LoadedRegistry,
+    SnapshotBuildError,
 };

@@ -27,13 +27,13 @@ use std::path::Path;
 use std::sync::Arc;
 
 use mmkgr_core::serve::{
-    KgReasoner, ModelRegistry, NameIndex, PolicyReasoner, ScorerReasoner, ServeConfig,
-    ShardedReasoner,
+    KgReasoner, LiveGraphStore, ModelRegistry, NameIndex, PolicyReasoner, Retriever,
+    ScorerReasoner, ServeConfig, ShardedReasoner,
 };
 use mmkgr_core::MmkgrModel;
 use mmkgr_embed::{ComplEx, ConvE, DistMult, Hole, Rescal, TransD, TransE};
 use mmkgr_kg::store::SectionKind;
-use mmkgr_kg::{KnowledgeGraph, Snapshot, SnapshotError, SnapshotWriter};
+use mmkgr_kg::{GraphHandle, KnowledgeGraph, Snapshot, SnapshotError, SnapshotWriter};
 use mmkgr_nn::Params;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +77,12 @@ pub struct RegistryManifest {
     /// Serving defaults the registry was built with.
     pub serve: ServeConfig,
     pub models: Vec<ModelEntry>,
+    /// WAL watermark: the next WAL sequence number *not* folded into
+    /// this snapshot's graph. Recovery replays records with
+    /// `seq >= wal_seq` and skips older ones (already compacted in).
+    /// Pre-mutation snapshots parse as 0 — replay everything.
+    #[serde(default)]
+    pub wal_seq: u64,
 }
 
 /// Why a registry snapshot could not be written or loaded.
@@ -96,6 +102,9 @@ pub enum SnapshotBuildError {
         expected: usize,
         got: usize,
     },
+    /// WAL recovery failed on a live boot (corrupt log interior, or a
+    /// replayed record no longer applies to the snapshot's graph).
+    Wal(String),
 }
 
 impl std::fmt::Display for SnapshotBuildError {
@@ -115,6 +124,7 @@ impl std::fmt::Display for SnapshotBuildError {
                 "model `{model}`: weight section holds {got} scalars but the \
                  reconstructed arena needs {expected}"
             ),
+            SnapshotBuildError::Wal(why) => write!(f, "WAL recovery: {why}"),
         }
     }
 }
@@ -227,6 +237,7 @@ pub fn write_registry_snapshot_with_vocab(
         default_model: models.first().map(|m| m.name.clone()).unwrap_or_default(),
         serve,
         models,
+        wal_seq: 0,
     };
     let json = serde_json::to_string(&manifest)
         .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
@@ -296,6 +307,7 @@ fn reconstruct_kge(
 fn decode_model(
     snap: &Snapshot,
     graph: &Arc<KnowledgeGraph>,
+    handle: &GraphHandle,
     entry: &ModelEntry,
     serve: ServeConfig,
     shards: usize,
@@ -310,12 +322,12 @@ fn decode_model(
             })?;
             let model = MmkgrModel::from_json(json)
                 .map_err(|e| SnapshotBuildError::BadManifest(format!("mmkgr checkpoint: {e}")))?;
-            let single: Arc<dyn KgReasoner + Send + Sync> = Arc::new(PolicyReasoner::new(
-                entry.name.clone(),
-                model,
-                Arc::clone(graph),
-                serve,
-            ));
+            // Built over the *shared* handle, so a live boot's published
+            // mutations become visible to the policy's beam walks.
+            let single: Arc<dyn KgReasoner + Send + Sync> = Arc::new(
+                PolicyReasoner::try_new_live(entry.name.clone(), model, handle.clone(), serve)
+                    .map_err(|e| SnapshotBuildError::BadManifest(format!("serve config: {e}")))?,
+            );
             if shards > 1 {
                 // Policy shards are source-routed replicas of one model
                 // (beam search cannot be range-split; see serve::sharded).
@@ -360,6 +372,85 @@ pub struct LoadedRegistry {
     pub mapped: bool,
 }
 
+/// One opened registry snapshot: the parsed manifest plus everything
+/// both boot paths (read-only and live) need.
+struct OpenedRegistry {
+    snap: Snapshot,
+    mapped: bool,
+    base: Arc<KnowledgeGraph>,
+    manifest: RegistryManifest,
+    names: NameIndex,
+}
+
+fn open_registry(path: &Path) -> Result<OpenedRegistry, SnapshotBuildError> {
+    // Chaos hook: an installed `io_error` fault fails the load exactly
+    // like a broken disk would, exercising callers' typed error paths.
+    if let Some(e) = mmkgr_core::serve::faults::maybe_io_error("registry snapshot load") {
+        return Err(SnapshotBuildError::Snapshot(SnapshotError::Io(e)));
+    }
+    let snap = Snapshot::open(path)?;
+    let mapped = snap.is_mapped();
+    let base = Arc::new(snap.graph()?);
+    let manifest_json = snap
+        .manifest()?
+        .ok_or_else(|| SnapshotBuildError::BadManifest("no manifest section".to_string()))?;
+    let manifest: RegistryManifest = serde_json::from_str(manifest_json)
+        .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
+    if manifest.kind != REGISTRY_KIND {
+        return Err(SnapshotBuildError::BadManifest(format!(
+            "kind `{}` is not `{REGISTRY_KIND}`",
+            manifest.kind
+        )));
+    }
+    let names = match snap.find(SectionKind::EntNameOffsets) {
+        Some(_) => {
+            let (ents, rels) = snap.vocab_names()?;
+            NameIndex::new(ents, rels)
+        }
+        None => NameIndex::synthetic(base.num_entities(), base.relations().base()),
+    };
+    Ok(OpenedRegistry {
+        snap,
+        mapped,
+        base,
+        manifest,
+        names,
+    })
+}
+
+/// Shared tail of both boot paths: decode every model over `handle`,
+/// attach the retriever, assemble the [`LoadedRegistry`].
+fn finish_boot(
+    opened: OpenedRegistry,
+    graph: Arc<KnowledgeGraph>,
+    handle: GraphHandle,
+    serve_override: Option<ServeConfig>,
+    shards: usize,
+) -> Result<LoadedRegistry, SnapshotBuildError> {
+    let serve = serve_override.unwrap_or(opened.manifest.serve);
+    let mut registry = ModelRegistry::new(opened.names);
+    for entry in &opened.manifest.models {
+        registry.register(decode_model(
+            &opened.snap,
+            &graph,
+            &handle,
+            entry,
+            serve,
+            shards,
+        )?);
+    }
+    // Snapshots carry no modal bank or training split, so the booted
+    // retriever serves topology-only subgraphs (no modality flags, no
+    // few-shot tags) — still byte-deterministic for identical requests.
+    registry.set_retriever(Arc::new(Retriever::new_live(handle)));
+    Ok(LoadedRegistry {
+        registry,
+        graph,
+        manifest: opened.manifest,
+        mapped: opened.mapped,
+    })
+}
+
 /// Boot a [`ModelRegistry`] from a registry snapshot. No training runs:
 /// the graph is mmap-loaded and each model's weights are restored from
 /// their sections, so boot time is file-open + parameter copy.
@@ -372,49 +463,103 @@ pub fn load_registry_snapshot(
     serve_override: Option<ServeConfig>,
     shards: usize,
 ) -> Result<LoadedRegistry, SnapshotBuildError> {
-    // Chaos hook: an installed `io_error` fault fails the load exactly
-    // like a broken disk would, exercising callers' typed error paths.
-    if let Some(e) = mmkgr_core::serve::faults::maybe_io_error("registry snapshot load") {
-        return Err(SnapshotBuildError::Snapshot(SnapshotError::Io(e)));
+    let opened = open_registry(path)?;
+    let graph = Arc::clone(&opened.base);
+    let handle = GraphHandle::new(Arc::clone(&graph));
+    finish_boot(opened, graph, handle, serve_override, shards)
+}
+
+/// [`load_registry_snapshot`] plus crash-safe live mutation: open (or
+/// create) the WAL at `wal_path`, replay every record at or past the
+/// snapshot's `wal_seq` watermark onto the graph, and wire one shared
+/// [`GraphHandle`] through the reasoners, the retriever, and a
+/// [`LiveGraphStore`] attached to the registry — so
+/// `POST /v1/admin/mutate` publishes epochs every query path sees.
+///
+/// `compact_every > 0` folds the delta overlay back into the CSR every
+/// that-many batches, atomically rewrites the snapshot at `path` with
+/// the new watermark, and truncates the WAL. With `0` the WAL grows
+/// until a manual [`LiveGraphStore::compact`] (which, lacking a rewrite
+/// hook here, is a no-op) — fine for tests, not for long-lived servers.
+pub fn load_registry_snapshot_live(
+    path: &Path,
+    serve_override: Option<ServeConfig>,
+    shards: usize,
+    wal_path: &Path,
+    compact_every: u64,
+) -> Result<LoadedRegistry, SnapshotBuildError> {
+    let opened = open_registry(path)?;
+    let mut live =
+        LiveGraphStore::open(Arc::clone(&opened.base), wal_path, opened.manifest.wal_seq)
+            .map_err(|e| SnapshotBuildError::Wal(e.to_string()))?;
+    if compact_every > 0 {
+        let src = path.to_path_buf();
+        live = live.with_compaction(
+            compact_every,
+            Box::new(move |folded, wal_seq| {
+                rewrite_registry_snapshot(&src, &src, folded, wal_seq)
+                    .map_err(std::io::Error::other)
+            }),
+        );
     }
-    let snap = Snapshot::open(path)?;
-    let mapped = snap.is_mapped();
-    let graph = Arc::new(snap.graph()?);
-    let manifest_json = snap
-        .manifest()?
-        .ok_or_else(|| SnapshotBuildError::BadManifest("no manifest section".to_string()))?;
-    let manifest: RegistryManifest = serde_json::from_str(manifest_json)
-        .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
-    if manifest.kind != REGISTRY_KIND {
-        return Err(SnapshotBuildError::BadManifest(format!(
-            "kind `{}` is not `{REGISTRY_KIND}`",
-            manifest.kind
-        )));
+    let live = Arc::new(live);
+    let handle = live.handle();
+    // The post-replay view: committed-but-uncompacted WAL records are
+    // already applied here.
+    let graph = live.pin();
+    let mut loaded = finish_boot(opened, graph, handle, serve_override, shards)?;
+    loaded.registry.set_live(live);
+    Ok(loaded)
+}
+
+/// Rewrite the registry snapshot at `src` to `dst` with `folded` as its
+/// graph and `wal_seq` as the new WAL watermark, copying every model
+/// section and the vocabulary through unchanged. The write is atomic
+/// (temp file + rename), so a crash mid-rewrite leaves the old snapshot
+/// intact — which is exactly what compaction's crash-safety needs: the
+/// WAL is only truncated after this returns.
+pub fn rewrite_registry_snapshot(
+    src: &Path,
+    dst: &Path,
+    folded: &KnowledgeGraph,
+    wal_seq: u64,
+) -> Result<(), SnapshotBuildError> {
+    let opened = open_registry(src)?;
+    let mut w = SnapshotWriter::create(dst)?;
+    w.add_graph(folded)?;
+    if opened.snap.find(SectionKind::EntNameOffsets).is_some() {
+        let (ents, rels) = opened.snap.vocab_names()?;
+        w.add_vocab(&ents, &rels)?;
     }
-    let serve = serve_override.unwrap_or(manifest.serve);
-    let names = match snap.find(SectionKind::EntNameOffsets) {
-        Some(_) => {
-            let (ents, rels) = snap.vocab_names()?;
-            NameIndex::new(ents, rels)
-        }
-        None => NameIndex::synthetic(graph.num_entities(), graph.relations().base()),
+    let mut models = Vec::with_capacity(opened.manifest.models.len());
+    for entry in &opened.manifest.models {
+        let section = match entry.family.as_str() {
+            "mmkgr" => w.add_blob(opened.snap.blob(entry.section)?)?,
+            "kge" => {
+                let (flat, rows, cols) = opened.snap.f32_tensor(entry.section)?;
+                w.add_f32(&flat, rows, cols)?
+            }
+            other => {
+                return Err(SnapshotBuildError::BadManifest(format!(
+                    "unknown model family `{other}`"
+                )))
+            }
+        };
+        models.push(ModelEntry {
+            section,
+            ..entry.clone()
+        });
+    }
+    let manifest = RegistryManifest {
+        models,
+        wal_seq,
+        ..opened.manifest
     };
-    let mut registry = ModelRegistry::new(names);
-    for entry in &manifest.models {
-        registry.register(decode_model(&snap, &graph, entry, serve, shards)?);
-    }
-    // Snapshots carry no modal bank or training split, so the booted
-    // retriever serves topology-only subgraphs (no modality flags, no
-    // few-shot tags) — still byte-deterministic for identical requests.
-    registry.set_retriever(Arc::new(mmkgr_core::serve::Retriever::new(Arc::clone(
-        &graph,
-    ))));
-    Ok(LoadedRegistry {
-        registry,
-        graph,
-        manifest,
-        mapped,
-    })
+    let json = serde_json::to_string(&manifest)
+        .map_err(|e| SnapshotBuildError::BadManifest(e.to_string()))?;
+    w.add_manifest(&json)?;
+    w.finish()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -509,6 +654,7 @@ mod tests {
                 img: vec![4, 8, 6],
                 section: 5,
             }],
+            wal_seq: 17,
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: RegistryManifest = serde_json::from_str(&json).unwrap();

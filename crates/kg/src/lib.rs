@@ -16,6 +16,7 @@ pub mod dataset;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod live;
 pub mod modal;
 pub mod paths;
 pub mod query;
@@ -25,13 +26,17 @@ pub mod subgraph;
 pub mod triple;
 
 pub use dataset::{DatasetStats, MultiModalKG, Split};
-pub use graph::{Edge, KnowledgeGraph};
+pub use graph::{Edge, KnowledgeGraph, MutationError, MutationStats};
 pub use ids::{EntityId, RelationId, RelationSpace};
 pub use io::{load_split_dir, read_triples, write_triples, Vocab};
+pub use live::GraphHandle;
 pub use modal::ModalBank;
 pub use paths::{enumerate_paths, hop_distance, random_walk, Path};
 pub use query::{Query, QueryKind, RankFilter};
 pub use stats::{gini, GraphProfile};
-pub use store::{CsrStore, Snapshot, SnapshotError, SnapshotWriter};
+pub use store::{
+    CsrStore, SectionReport, Snapshot, SnapshotError, SnapshotWriter, TripleOp, VerifyReport,
+    WalError, WalRecord, WalWriter,
+};
 pub use subgraph::{extract, ModalPresence, Subgraph, SubgraphConfig, SubgraphEntity};
 pub use triple::{Triple, TripleSet};

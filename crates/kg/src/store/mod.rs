@@ -17,10 +17,15 @@
 pub mod csr;
 pub mod slab;
 pub mod snapshot;
+pub mod wal;
 
 pub use csr::CsrStore;
 pub use slab::{Mmap, Slab};
-pub use snapshot::{SectionKind, Snapshot, SnapshotError, SnapshotWriter, SNAPSHOT_VERSION};
+pub use snapshot::{
+    section_kind_name, verify, SectionKind, SectionReport, Snapshot, SnapshotError, SnapshotWriter,
+    VerifyReport, SNAPSHOT_VERSION,
+};
+pub use wal::{TripleOp, WalError, WalRecord, WalWriter};
 
 use crate::graph::Edge;
 use crate::ids::{EntityId, RelationId};

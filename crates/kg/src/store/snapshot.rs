@@ -798,6 +798,144 @@ impl Snapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lenient verification walker (`mmkgr verify-snapshot`)
+// ---------------------------------------------------------------------------
+
+/// Human-readable name of a section kind (unknown kinds print their
+/// numeric value via the caller).
+pub fn section_kind_name(kind: u32) -> &'static str {
+    match kind {
+        k if k == SectionKind::GraphMeta as u32 => "GraphMeta",
+        k if k == SectionKind::CsrOffsets as u32 => "CsrOffsets",
+        k if k == SectionKind::CsrEdges as u32 => "CsrEdges",
+        k if k == SectionKind::Triples as u32 => "Triples",
+        k if k == SectionKind::EntNameOffsets as u32 => "EntNameOffsets",
+        k if k == SectionKind::EntNameBytes as u32 => "EntNameBytes",
+        k if k == SectionKind::RelNameOffsets as u32 => "RelNameOffsets",
+        k if k == SectionKind::RelNameBytes as u32 => "RelNameBytes",
+        k if k == SectionKind::Manifest as u32 => "Manifest",
+        k if k == SectionKind::F32Tensor as u32 => "F32Tensor",
+        k if k == SectionKind::Blob as u32 => "Blob",
+        _ => "Unknown",
+    }
+}
+
+/// One section's verification outcome (see [`verify`]).
+#[derive(Clone, Debug)]
+pub struct SectionReport {
+    pub index: usize,
+    pub kind: u32,
+    pub offset: u64,
+    pub len: u64,
+    /// Payload lies fully inside the file.
+    pub in_bounds: bool,
+    /// Payload offset is 64-byte aligned.
+    pub aligned: bool,
+    /// Stored CRC32 matches the payload (vacuously true for files
+    /// written before per-section checksums, and false when the payload
+    /// is out of bounds and could not be hashed).
+    pub crc_ok: bool,
+}
+
+impl SectionReport {
+    pub fn ok(&self) -> bool {
+        self.in_bounds && self.aligned && self.crc_ok
+    }
+}
+
+/// Full-file verification outcome: header facts plus one report per
+/// section table entry.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    pub file_len: u64,
+    /// File carries per-section CRC32s (`FLAG_SECTION_CRCS`).
+    pub has_crcs: bool,
+    pub sections: Vec<SectionReport>,
+}
+
+impl VerifyReport {
+    /// True when every section verified clean.
+    pub fn ok(&self) -> bool {
+        self.sections.iter().all(|s| s.ok())
+    }
+
+    pub fn bad_sections(&self) -> usize {
+        self.sections.iter().filter(|s| !s.ok()).count()
+    }
+}
+
+/// Walk every section of a `.mmkg` file, checking bounds, alignment and
+/// CRC32s — **without** stopping at the first bad section (unlike
+/// [`Snapshot::open`], which fails fast). Header-level problems (bad
+/// magic/version/endianness, truncated table) are still hard errors:
+/// with no trustworthy section table there is nothing to walk.
+pub fn verify(path: &Path) -> Result<VerifyReport, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < HEADER_LEN + MAX_SECTIONS * TABLE_ENTRY_LEN {
+        return Err(if bytes.len() >= 4 && bytes[0..4] != MAGIC {
+            SnapshotError::BadMagic
+        } else {
+            SnapshotError::Truncated
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let read_u32 = |at: usize| u32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap());
+    let read_u64 = |at: usize| u64::from_ne_bytes(bytes[at..at + 8].try_into().unwrap());
+    let version = read_u32(4);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion {
+            got: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    if read_u32(8) != ENDIAN_MARK {
+        return Err(SnapshotError::BadEndian);
+    }
+    let count = read_u32(16);
+    if count as usize > MAX_SECTIONS {
+        return Err(SnapshotError::TooManySections { got: count });
+    }
+    let has_crcs = read_u32(20) & FLAG_SECTION_CRCS != 0;
+    let mut sections = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let at = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let kind = read_u32(at);
+        let stored_crc = read_u32(at + 4);
+        let offset = read_u64(at + 8);
+        let len = read_u64(at + 16);
+        let in_bounds = offset >= DATA_START
+            && offset
+                .checked_add(len)
+                .map(|end| end <= bytes.len() as u64)
+                .unwrap_or(false);
+        let aligned = offset.is_multiple_of(ALIGN);
+        let crc_ok = if !has_crcs {
+            true
+        } else if !in_bounds {
+            false
+        } else {
+            crc32(&bytes[offset as usize..(offset + len) as usize]) == stored_crc
+        };
+        sections.push(SectionReport {
+            index: i,
+            kind,
+            offset,
+            len,
+            in_bounds,
+            aligned,
+            crc_ok,
+        });
+    }
+    Ok(VerifyReport {
+        file_len: bytes.len() as u64,
+        has_crcs,
+        sections,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

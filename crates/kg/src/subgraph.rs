@@ -1,4 +1,4 @@
-//! Deterministic bounded k-hop subgraph extraction over [`CsrStore`].
+//! Deterministic bounded k-hop subgraph extraction over [`KnowledgeGraph`].
 //!
 //! Retrieval-augmented generation over a multi-modal KG (M³KG-RAG-style)
 //! grounds an LLM in the k-hop neighborhood of the query's seed entities.
@@ -20,9 +20,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::graph::KnowledgeGraph;
 use crate::ids::{EntityId, RelationId};
 use crate::modal::ModalBank;
-use crate::store::CsrStore;
 use crate::triple::Triple;
 
 /// Bounds and filters for one extraction. All caps use `0 = unlimited`.
@@ -130,8 +130,11 @@ impl Subgraph {
 ///
 /// Traversal follows both edge directions (the CSR stores synthetic
 /// inverses), but induced triples are reported in base orientation only.
+///
+/// Extraction reads through [`KnowledgeGraph`] — not the raw CSR store —
+/// so live-mutation delta overlays are visible to retrieval.
 pub fn extract(
-    store: &CsrStore,
+    store: &KnowledgeGraph,
     seeds: &[EntityId],
     cfg: &SubgraphConfig,
     modal: Option<&ModalPresence>,
@@ -254,8 +257,8 @@ mod tests {
     }
 
     /// A small chain + fan graph: 0-1-2-3 chain on r0, 1→{4,5,6} fan on r1.
-    fn store() -> CsrStore {
-        CsrStore::from_triples(
+    fn store() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(
             7,
             2,
             vec![
@@ -271,7 +274,11 @@ mod tests {
     }
 
     /// Naive reference: plain BFS with no caps, both directions.
-    fn naive_khop(store: &CsrStore, seeds: &[EntityId], hops: usize) -> HashMap<EntityId, usize> {
+    fn naive_khop(
+        store: &KnowledgeGraph,
+        seeds: &[EntityId],
+        hops: usize,
+    ) -> HashMap<EntityId, usize> {
         let rs = store.relations();
         let mut dist: HashMap<EntityId, usize> = seeds
             .iter()

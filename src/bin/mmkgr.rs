@@ -19,8 +19,9 @@
 //! one dataset and exposes the v1 wire protocol
 //! (`mmkgr::core::serve::protocol`) over HTTP.
 //!
-//! Argument parsing is hand-rolled (`--flag value` pairs only) to keep the
-//! dependency set at the workspace's sanctioned crates.
+//! Argument parsing is hand-rolled (`--flag value` pairs, plus bare
+//! boolean switches like `--live`) to keep the dependency set at the
+//! workspace's sanctioned crates.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -36,7 +37,7 @@ use mmkgr::core::HistoryEncoder;
 use mmkgr::datagen::{generate, GenConfig};
 use mmkgr::embed::{ConvE, KgeTrainConfig, TransE};
 use mmkgr::eval::{
-    build_registry, eval_policy_entity, load_registry_snapshot, pct,
+    build_registry, eval_policy_entity, load_registry_snapshot, load_registry_snapshot_live, pct,
     write_registry_snapshot_with_vocab, Dataset, Harness, HarnessConfig, ModelChoice, ScaleChoice,
 };
 use mmkgr::kg::io::{read_triples, write_triples, Vocab};
@@ -90,6 +91,17 @@ COMMANDS
                                        flags needed)
              [--shards <n>]            wrap each model in a sharded
                                        reasoner (snapshot boot only)
+             [--live]                  accept POST /v1/admin/mutate: WAL-
+                                       backed crash-safe triple insert/
+                                       delete (snapshot boot only)
+             [--wal <file>]            WAL path (default <snapshot>.wal;
+                                       implies --live)
+             [--compact-every <n>]     fold the delta overlay back into
+                                       the CSR + rewrite the snapshot
+                                       every n mutation batches (0 = off;
+                                       default 256 when --live)
+             GET /readyz returns 503 until the snapshot is loaded and the
+             WAL is replayed, then 200 (use /healthz for liveness).
   snapshot   train a registry of models and write one `.mmkg` registry
              snapshot (graph CSR + model weights + manifest) that
              `serve --snapshot` boots in milliseconds
@@ -103,6 +115,11 @@ COMMANDS
                                       the synthetic generator; the
                                       snapshot carries the name tables so
                                       booted servers answer by name
+  verify-snapshot
+             walk every section of a `.mmkg` snapshot and check bounds,
+             64-byte alignment, and per-section CRC32s; prints one line
+             per section and exits non-zero on corruption
+             mmkgr verify-snapshot <file.mmkg>
   retrieve   extract a k-hop multi-modal subgraph around seed entities
              plus diversity-ranked reasoning-path contexts — the KG-RAG
              surface `POST /v1/retrieve` serves
@@ -125,6 +142,16 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // verify-snapshot takes a positional path, which parse_flags rejects.
+    if command == "verify-snapshot" {
+        return match cmd_verify_snapshot(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {
@@ -162,15 +189,19 @@ fn main() -> ExitCode {
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(k) = it.next() {
         let Some(name) = k.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{k}`"));
         };
-        let v = it
-            .next()
-            .ok_or_else(|| format!("flag --{name} needs a value"))?;
-        flags.insert(name.to_string(), v.clone());
+        // A flag followed by another flag (or by nothing) is a bare
+        // boolean switch (`--live`); everything else is a `--flag value`
+        // pair.
+        let v = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(),
+        };
+        flags.insert(name.to_string(), v);
     }
     Ok(flags)
 }
@@ -724,11 +755,20 @@ fn serve_registry(
         model_inflight_limit: parse_or(flags, "model-inflight", defaults.model_inflight_limit)?,
         ..defaults
     };
+    // Bind not-ready so /readyz answers 503 until boot work (snapshot
+    // load, WAL replay) visible to this function is done — by the time
+    // we are called that work has finished, so flip to ready just
+    // before accepting traffic.
+    let http_cfg = mmkgr::core::serve::HttpServerConfig {
+        start_ready: false,
+        ..http_cfg
+    };
     let server = mmkgr::core::serve::HttpServer::bind((addr, port), registry, http_cfg)
         .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
     println!("listening on http://{}", server.local_addr());
     // Scripts (CI smoke, tests) parse the line above from a pipe.
     let _ = std::io::stdout().flush();
+    server.mark_ready();
     server.serve();
     Ok(())
 }
@@ -751,8 +791,35 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         } else {
             None
         };
-        let loaded = load_registry_snapshot(Path::new(snap), serve_override, shards)
+        let live = flags.contains_key("live") || flags.contains_key("wal");
+        let loaded = if live {
+            let wal = flag(flags, "wal")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(format!("{snap}.wal")));
+            let compact_every: u64 = parse_or(flags, "compact-every", 256)?;
+            let loaded = load_registry_snapshot_live(
+                Path::new(snap),
+                serve_override,
+                shards,
+                &wal,
+                compact_every,
+            )
             .map_err(|e| format!("{snap}: {e}"))?;
+            let replayed = loaded.registry.live().map_or(0, |l| l.replayed());
+            println!(
+                "live mutation on: wal={} ({replayed} record(s) replayed, compact every {})",
+                wal.display(),
+                if compact_every == 0 {
+                    "∞".to_string()
+                } else {
+                    compact_every.to_string()
+                }
+            );
+            loaded
+        } else {
+            load_registry_snapshot(Path::new(snap), serve_override, shards)
+                .map_err(|e| format!("{snap}: {e}"))?
+        };
         println!(
             "booted {} model(s) [{}] from {snap} ({}, {} entities{})",
             loaded.registry.len(),
@@ -783,6 +850,70 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let registry = std::sync::Arc::new(build_registry(&harness, &choices, serve_cfg));
     println!("models: {}", names.join(", "));
     serve_registry(flags, registry)
+}
+
+/// Walk every section of a `.mmkg` snapshot and check bounds, 64-byte
+/// alignment, and per-section CRC32s. One line per section; non-zero
+/// exit (an `Err`) when anything fails, so scripts can gate on it.
+fn cmd_verify_snapshot(args: &[String]) -> Result<(), String> {
+    let path = match args {
+        [p] if !p.starts_with("--") => PathBuf::from(p),
+        _ => {
+            let flags = parse_flags(args)?;
+            PathBuf::from(
+                flag(&flags, "snapshot").ok_or("usage: mmkgr verify-snapshot <file.mmkg>")?,
+            )
+        }
+    };
+    let report = mmkgr::kg::store::verify(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "{}: {} bytes, {} section(s), crcs {}",
+        path.display(),
+        report.file_len,
+        report.sections.len(),
+        if report.has_crcs { "present" } else { "absent" }
+    );
+    for s in &report.sections {
+        let status = if s.ok() {
+            "ok".to_string()
+        } else {
+            let mut bad = Vec::new();
+            if !s.in_bounds {
+                bad.push("out-of-bounds");
+            }
+            if !s.aligned {
+                bad.push("misaligned");
+            }
+            if !s.crc_ok {
+                bad.push("crc-mismatch");
+            }
+            bad.join(",")
+        };
+        println!(
+            "  [{:>2}] {:<12} offset={:<10} len={:<10} {status}",
+            s.index,
+            mmkgr::kg::store::section_kind_name(s.kind),
+            s.offset,
+            s.len
+        );
+    }
+    let bad = report.bad_sections();
+    if bad == 0 {
+        println!("OK");
+        Ok(())
+    } else {
+        let indices: Vec<String> = report
+            .sections
+            .iter()
+            .filter(|s| !s.ok())
+            .map(|s| s.index.to_string())
+            .collect();
+        Err(format!(
+            "{}: {bad} corrupt section(s): [{}]",
+            path.display(),
+            indices.join(", ")
+        ))
+    }
 }
 
 // ---------------------------------------------------------------- snapshot
@@ -1037,8 +1168,22 @@ mod tests {
     fn flag_parser_rejects_bare_values() {
         let args: Vec<String> = ["wn9"].iter().map(|s| s.to_string()).collect();
         assert!(parse_flags(&args).is_err());
-        let args: Vec<String> = ["--x"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn flag_parser_accepts_bare_switches() {
+        // A flag with no value (end of args, or followed by another
+        // flag) is a boolean switch: it parses to "true".
+        let args: Vec<String> = ["--live"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(flag(&f, "live"), Some("true"));
+        let args: Vec<String> = ["--live", "--wal", "g.wal"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(flag(&f, "live"), Some("true"));
+        assert_eq!(flag(&f, "wal"), Some("g.wal"));
     }
 
     #[test]

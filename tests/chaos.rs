@@ -29,15 +29,15 @@ use std::time::{Duration, Instant};
 
 use mmkgr::core::serve::http::request;
 use mmkgr::core::serve::protocol::AnswerBatchResponse;
-use mmkgr::core::serve::protocol::MetricsResponse;
+use mmkgr::core::serve::protocol::{MetricsResponse, RetrieveResponse};
 use mmkgr::core::serve::{
     faults, AnswerBatchRequest, AnswerRequest, Budget, FaultPlan, HttpServer, HttpServerConfig,
-    KgReasoner, ModelRegistry, NameIndex, NamedQuery, Query, RunningServer, ScorerReasoner,
-    ShardSel, ShardedReasoner, WireAnswer,
+    KgReasoner, ModelRegistry, NameIndex, NamedQuery, Query, RetrieveRequest, Retriever,
+    RunningServer, ScorerReasoner, ShardSel, ShardedReasoner, WireAnswer,
 };
 use mmkgr::embed::TransE;
 use mmkgr::eval::load_registry_snapshot;
-use mmkgr::kg::{EntityId, RelationId, RelationSpace};
+use mmkgr::kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace, Triple};
 
 const N: usize = 40;
 const SHARDS: usize = 4;
@@ -59,6 +59,43 @@ fn sharded_registry() -> Arc<ModelRegistry> {
 
 fn boot(cfg: HttpServerConfig) -> RunningServer {
     HttpServer::bind(("127.0.0.1", 0), sharded_registry(), cfg)
+        .expect("bind ephemeral port")
+        .spawn()
+}
+
+/// [`sharded_registry`] plus a retriever over a deterministic
+/// ring-with-chords graph, so `/v1/retrieve` exercises both the k-hop
+/// expansion and the sharded beam-evidence path under faults.
+fn retrieval_registry() -> Arc<ModelRegistry> {
+    let rs = RelationSpace::new(3);
+    let n = N as u32;
+    let triples: Vec<Triple> = (0..n)
+        .flat_map(|i| {
+            [
+                Triple {
+                    s: EntityId(i),
+                    r: RelationId(i % 3),
+                    o: EntityId((i + 1) % n),
+                },
+                Triple {
+                    s: EntityId(i),
+                    r: RelationId((i + 1) % 3),
+                    o: EntityId((i + 7) % n),
+                },
+            ]
+        })
+        .collect();
+    let graph = KnowledgeGraph::from_triples(N, 3, triples, None);
+    let mut registry = ModelRegistry::new(NameIndex::synthetic(N, 3));
+    registry.register(Arc::new(
+        ShardedReasoner::from_scorer("TransE", scorer(), N, rs, SHARDS).expect("shards"),
+    ));
+    registry.set_retriever(Arc::new(Retriever::new(Arc::new(graph))));
+    Arc::new(registry)
+}
+
+fn boot_retrieval(cfg: HttpServerConfig) -> RunningServer {
+    HttpServer::bind(("127.0.0.1", 0), retrieval_registry(), cfg)
         .expect("bind ephemeral port")
         .spawn()
 }
@@ -374,5 +411,144 @@ fn with_faults_disabled_the_wire_is_byte_identical_to_in_process() {
     assert_eq!(m.robustness.deadline_exceeded, 0);
     assert_eq!(m.robustness.degraded_answers, 0);
     assert_eq!(m.robustness.request_timeouts, 0);
+    server.shutdown();
+}
+
+#[test]
+fn retrieve_stays_whole_while_answers_degrade_on_a_dead_shard() {
+    // One shard of the answer reasoner panics on every call. `/v1/answer`
+    // on that server visibly degrades — but `/v1/retrieve` walks the
+    // graph, not the scorer shards, so the subgraph must come back
+    // whole, byte-identical to the healthy server, with path contexts
+    // still ranked. Retrieval is isolated from scorer-shard outages.
+    let guard =
+        faults::install(FaultPlan::new().with_shard_panic(ShardSel::One(2), faults::ALWAYS));
+    let server = boot_retrieval(HttpServerConfig::default());
+    let addr = server.addr();
+
+    // The fault is live and biting this server's answer surface…
+    let (status, body) = request(addr, "POST", "/v1/answer", &answer_body(None)).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let wire: WireAnswer = serde_json::from_str(&body).unwrap();
+    assert!(wire.degraded, "the dead shard must degrade answers: {body}");
+
+    // …while retrieval on the same server is unharmed.
+    let req = RetrieveRequest::new(["e3".to_string()])
+        .with_hops(2)
+        .with_max_paths(5);
+    let body = serde_json::to_string(&req).unwrap();
+    let (status, outage) = request(addr, "POST", "/v1/retrieve", &body).unwrap();
+    assert_eq!(
+        status, 200,
+        "a dead shard must not fail retrieval: {outage}"
+    );
+    let wire: RetrieveResponse = serde_json::from_str(&outage).unwrap();
+    assert!(!wire.subgraph.entities.is_empty(), "{outage}");
+    assert!(!wire.subgraph.triples.is_empty(), "{outage}");
+    assert!(!wire.paths.is_empty(), "{outage}");
+    assert!(
+        !outage.contains("degraded"),
+        "retrieval carries no degradation annotation: {outage}"
+    );
+
+    // Heal the fault: the retrieval bytes are identical across the
+    // outage — the dead shard never influenced them.
+    drop(guard);
+    let _quiet = faults::install(FaultPlan::new());
+    let (status, healthy) = request(addr, "POST", "/v1/retrieve", &body).unwrap();
+    assert_eq!(status, 200, "{healthy}");
+    assert_eq!(
+        outage, healthy,
+        "retrieval must be byte-identical with and without the dead shard"
+    );
+
+    let (status, _) = request(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn retrieve_near_deadline_budget_is_a_typed_504_and_the_server_survives() {
+    // Retrieval is one uninterruptible pass (expansion + evidence +
+    // rerank) enforced around by the request budget: a pass that
+    // outlasts its near-zero deadline yields a typed `deadline_exceeded`
+    // — never a hang, a 500, or a dead server. The heavy pass here is a
+    // 10-hop expansion over a 60k-entity graph.
+    let _quiet = faults::install(FaultPlan::new());
+    const BIG: usize = 60_000;
+    let n = BIG as u32;
+    let triples: Vec<Triple> = (0..n)
+        .flat_map(|i| {
+            [
+                Triple {
+                    s: EntityId(i),
+                    r: RelationId(i % 3),
+                    o: EntityId((i + 1) % n),
+                },
+                Triple {
+                    s: EntityId(i),
+                    r: RelationId((i + 1) % 3),
+                    o: EntityId((i + 7919) % n),
+                },
+            ]
+        })
+        .collect();
+    let graph = KnowledgeGraph::from_triples(BIG, 3, triples, None);
+    let mut registry = ModelRegistry::new(NameIndex::synthetic(BIG, 3));
+    registry.register(Arc::new(
+        ShardedReasoner::from_scorer(
+            "TransE",
+            TransE::new(BIG, RelationSpace::new(3).total(), 8, 11),
+            BIG,
+            RelationSpace::new(3),
+            SHARDS,
+        )
+        .expect("shards"),
+    ));
+    registry.set_retriever(Arc::new(Retriever::new(Arc::new(graph))));
+    let server = HttpServer::bind(
+        ("127.0.0.1", 0),
+        Arc::new(registry),
+        HttpServerConfig::default(),
+    )
+    .expect("bind ephemeral port")
+    .spawn();
+    let addr = server.addr();
+
+    // A small pass under a generous budget answers.
+    let ok = RetrieveRequest::new(["e3".to_string()])
+        .with_hops(1)
+        .with_max_paths(3)
+        .with_timeout_ms(30_000);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/retrieve",
+        &serde_json::to_string(&ok).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // The heavy pass under a 1ms budget is a typed 504.
+    let tight = RetrieveRequest::new(["e3".to_string()])
+        .with_hops(10)
+        .with_max_entities(2 * BIG)
+        .with_max_paths(3)
+        .with_timeout_ms(1);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/retrieve",
+        &serde_json::to_string(&tight).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"deadline_exceeded\""), "{body}");
+    assert!(body.contains("\"timeout_ms\""), "{body}");
+
+    let m = metrics(addr);
+    assert!(m.robustness.deadline_exceeded >= 1);
+    let (status, _) = request(addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
     server.shutdown();
 }

@@ -80,10 +80,12 @@ fn eval_rejects_missing_run_dir() {
 }
 
 #[test]
-fn flag_without_value_fails() {
-    let out = mmkgr(&["generate", "--out"]);
+fn bare_positional_arg_fails() {
+    // Flags without values are boolean switches (`--live`), but a bare
+    // positional where a flag is expected is still a parse error.
+    let out = mmkgr(&["generate", "wn9"]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("needs a value"));
+    assert!(stderr(&out).contains("expected --flag"));
 }
 
 #[test]

@@ -1,0 +1,448 @@
+//! End-to-end acceptance for crash-safe live graph mutation:
+//!
+//! - **Readiness**: a server bound `start_ready: false` answers 503 +
+//!   `Retry-After` on `/readyz` (while `/healthz` stays 200 — liveness
+//!   is not readiness), and the [`request`] client rides that header
+//!   through one retry to a 200 once boot completes.
+//! - **Typed rejection**: mutations against a static (non-live) server,
+//!   inverse relations, unknown names, empty batches, and deletes of
+//!   absent triples all arrive as typed wire errors, never a 500.
+//! - **Visibility**: a committed mutation is visible to the next
+//!   `/v1/retrieve` without a restart; readers pin an epoch, so the
+//!   server never blocks on the writer.
+//! - **Crash safety (CLI)**: with `MMKGR_FAULTS=wal_crash=1` the server
+//!   aborts *after* the WAL fsync and *before* publishing; on reboot
+//!   the record replays and nothing committed is lost. A recovered
+//!   server (snapshot + WAL replay, delta overlay reads) then serves
+//!   `/v1/answer` and `/v1/retrieve` bytes identical to a compacted
+//!   server (overlay folded back into the CSR, snapshot rewritten) —
+//!   the acceptance bar for the overlay/fold read paths.
+//!
+//! [`request`]: mmkgr::core::serve::http::request
+
+use std::io::{BufRead, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mmkgr::core::serve::http::request;
+use mmkgr::core::serve::protocol::RetrieveResponse;
+use mmkgr::core::serve::{
+    HttpServer, HttpServerConfig, LiveGraphStore, ModelRegistry, NameIndex, RetrieveRequest,
+    Retriever, ScorerReasoner,
+};
+use mmkgr::embed::TransE;
+use mmkgr::kg::{EntityId, KnowledgeGraph, RelationId, RelationSpace, Triple};
+
+const N: usize = 24;
+
+/// A live-mutable registry over a synthetic ring graph: one TransE
+/// scorer (mutations never touch parametric models), a retriever and a
+/// [`LiveGraphStore`] sharing one graph handle — no training, boots in
+/// milliseconds.
+fn live_registry(wal: &std::path::Path) -> (Arc<ModelRegistry>, Arc<LiveGraphStore>) {
+    let n = N as u32;
+    let triples: Vec<Triple> = (0..n)
+        .map(|i| Triple {
+            s: EntityId(i),
+            r: RelationId(i % 3),
+            o: EntityId((i + 1) % n),
+        })
+        .collect();
+    let base = Arc::new(KnowledgeGraph::from_triples(N, 3, triples, None));
+    let live = Arc::new(LiveGraphStore::open(base, wal, 0).expect("wal opens"));
+    let mut registry = ModelRegistry::new(NameIndex::synthetic(N, 3));
+    registry.register(Arc::new(ScorerReasoner::new(
+        "TransE",
+        Arc::new(TransE::new(N, RelationSpace::new(3).total(), 8, 7)),
+        N,
+        RelationSpace::new(3),
+    )));
+    registry.set_retriever(Arc::new(Retriever::new_live(live.handle())));
+    registry.set_live(Arc::clone(&live));
+    (Arc::new(registry), live)
+}
+
+fn wal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mmkgr_mut_{}_{tag}.wal", std::process::id()))
+}
+
+/// Like [`request`] but raw, returning the response head for header
+/// asserts — and never retrying, so 503s are observed as sent.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    let _ = stream.write_all(body.as_bytes());
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or_default().to_string();
+    let body = parts.next().unwrap_or_default().to_string();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, head, body)
+}
+
+#[test]
+fn readyz_gates_boot_and_the_client_retries_through_it() {
+    let wal = wal_path("ready");
+    let (registry, _live) = live_registry(&wal);
+    let server = HttpServer::bind(
+        ("127.0.0.1", 0),
+        registry,
+        HttpServerConfig {
+            start_ready: false,
+            ..HttpServerConfig::default()
+        },
+    )
+    .expect("bind")
+    .spawn();
+    let addr = server.addr();
+
+    // Not ready: 503 + Retry-After on /readyz, while liveness stays 200.
+    let (status, head, body) = request_raw(addr, "GET", "/readyz", "");
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after: 1"),
+        "a starting server must tell callers when to come back: {head}"
+    );
+    assert!(body.contains("\"starting\""), "{body}");
+    let (status, _, _) = request_raw(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "liveness is not readiness");
+    assert!(!server.is_ready());
+
+    // The high-level client honors Retry-After with one retry: fire it
+    // against the not-ready server, flip readiness under it, and the
+    // retry (~1s later) lands on a ready server.
+    let client = std::thread::spawn(move || request(addr, "GET", "/readyz", "").unwrap());
+    std::thread::sleep(Duration::from_millis(300));
+    server.mark_ready();
+    let (status, body) = client.join().expect("client thread");
+    assert_eq!(
+        status, 200,
+        "the retried request must see readiness: {body}"
+    );
+    assert!(body.contains("\"ready\""), "{body}");
+    assert!(server.is_ready());
+
+    server.shutdown();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn invalid_mutations_are_typed_errors_and_commits_are_immediately_visible() {
+    let wal = wal_path("typed");
+    std::fs::remove_file(&wal).ok();
+    let (registry, live) = live_registry(&wal);
+    let server = HttpServer::bind(("127.0.0.1", 0), registry, HttpServerConfig::default())
+        .expect("bind")
+        .spawn();
+    let addr = server.addr();
+
+    // Every rejection is typed and changes nothing.
+    for (label, body, code) in [
+        (
+            "empty batch",
+            r#"{"insert": [], "delete": []}"#.to_string(),
+            "invalid_mutation",
+        ),
+        (
+            "inverse relation",
+            r#"{"insert": [{"s": "e0", "r": "~r1", "o": "e5"}]}"#.to_string(),
+            "invalid_mutation",
+        ),
+        (
+            "unknown entity",
+            r#"{"insert": [{"s": "nope", "r": "r1", "o": "e5"}]}"#.to_string(),
+            "unknown_entity",
+        ),
+    ] {
+        let (status, resp) = request(addr, "POST", "/v1/admin/mutate", &body).unwrap();
+        assert!(
+            status == 400 || status == 404,
+            "{label}: expected a client error, got {status}: {resp}"
+        );
+        assert!(resp.contains(code), "{label}: {resp}");
+    }
+    assert_eq!(live.metrics().applied, 0, "rejected batches apply nothing");
+
+    // Deleting an absent triple is an idempotent no-op (replay-safe),
+    // not an error: it commits, deleting nothing.
+    let (status, resp) = request(
+        addr,
+        "POST",
+        "/v1/admin/mutate",
+        r#"{"delete": [{"s": "e0", "r": "r2", "o": "e9"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"deleted\":0"), "{resp}");
+    let epoch_before = live.handle().epoch();
+
+    // A committed batch is visible to the very next retrieval.
+    let (status, resp) = request(
+        addr,
+        "POST",
+        "/v1/admin/mutate",
+        r#"{"insert": [{"s": "e0", "r": "r2", "o": "e9"}], "delete": [{"s": "e0", "r": "r0", "o": "e1"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"inserted\":1"), "{resp}");
+    assert!(resp.contains("\"deleted\":1"), "{resp}");
+    assert!(live.handle().epoch() > epoch_before);
+
+    let body =
+        serde_json::to_string(&RetrieveRequest::new(["e0".to_string()]).with_hops(1)).unwrap();
+    let (status, resp) = request(addr, "POST", "/v1/retrieve", &body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let wire: RetrieveResponse = serde_json::from_str(&resp).unwrap();
+    let has = |s: &str, r: &str, o: &str| {
+        wire.subgraph
+            .triples
+            .iter()
+            .any(|t| t.s == s && t.r == r && t.o == o)
+    };
+    assert!(
+        has("e0", "r2", "e9"),
+        "insert visible without restart: {resp}"
+    );
+    assert!(
+        !has("e0", "r0", "e1"),
+        "delete visible without restart: {resp}"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&wal).ok();
+}
+
+// ---------------------------------------------------------------- CLI
+
+/// Spawn a `mmkgr serve` child (optionally with a fault plan in its
+/// environment) and block until it prints its address.
+fn boot_server(args: &[&str], faults: Option<&str>) -> (Child, SocketAddr, Vec<String>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mmkgr"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::null());
+    if let Some(plan) = faults {
+        cmd.env("MMKGR_FAULTS", plan);
+    } else {
+        cmd.env_remove("MMKGR_FAULTS");
+    }
+    let mut child = cmd.spawn().expect("mmkgr serve spawns");
+
+    // Watchdog: never let a wedged server hang the test harness.
+    let pid = child.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(300));
+        let _ = Command::new("kill").arg(pid.to_string()).status();
+    });
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = Vec::new();
+    let mut addr: Option<SocketAddr> = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.expect("server stdout line");
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            addr = Some(rest.trim().parse().expect("addr parses"));
+            break;
+        }
+        banner.push(line);
+    }
+    (child, addr.expect("server printed its address"), banner)
+}
+
+/// POST a body and swallow whatever happens — for requests whose server
+/// is rigged to abort mid-request.
+fn fire_and_forget(addr: SocketAddr, path: &str, body: &str) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len(),
+        );
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+}
+
+fn mutate_ok(addr: SocketAddr, body: &str) -> String {
+    let (status, resp) = request(addr, "POST", "/v1/admin/mutate", body).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    resp
+}
+
+#[test]
+fn crash_after_wal_commit_loses_nothing_and_recovery_matches_compacted_boot() {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let snap_a = tmp.join(format!("mmkgr_crash_{pid}_a.mmkg"));
+    let snap_b = tmp.join(format!("mmkgr_crash_{pid}_b.mmkg"));
+    let wal_a = tmp.join(format!("mmkgr_crash_{pid}_a.wal"));
+    let wal_b = tmp.join(format!("mmkgr_crash_{pid}_b.wal"));
+    for p in [&snap_a, &snap_b, &wal_a, &wal_b] {
+        std::fs::remove_file(p).ok();
+    }
+
+    // One trained snapshot, copied so each server owns its files.
+    let out = Command::new(env!("CARGO_BIN_EXE_mmkgr"))
+        .args([
+            "snapshot",
+            "--out",
+            snap_a.to_str().unwrap(),
+            "--dataset",
+            "tiny",
+            "--size",
+            "quick",
+            "--models",
+            "MMKGR",
+            "--rl-epochs",
+            "1",
+            "--kge-epochs",
+            "2",
+        ])
+        .output()
+        .expect("mmkgr snapshot runs");
+    assert!(
+        out.status.success(),
+        "snapshot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::copy(&snap_a, &snap_b).expect("copy snapshot");
+
+    let batch1 = r#"{"insert": [{"s": "e0", "r": "r1", "o": "e7"}]}"#;
+    let batch2 = r#"{"insert": [{"s": "e0", "r": "r1", "o": "e8"}], "delete": [{"s": "e0", "r": "r1", "o": "e7"}]}"#;
+
+    // --- Server A: crash after the WAL fsync, before publishing.
+    let serve_a = |faults: Option<&str>| {
+        boot_server(
+            &[
+                "serve",
+                "--snapshot",
+                snap_a.to_str().unwrap(),
+                "--wal",
+                wal_a.to_str().unwrap(),
+                "--port",
+                "0",
+            ],
+            faults,
+        )
+    };
+    let (mut a, addr_a, _) = serve_a(Some("wal_crash=1"));
+    fire_and_forget(addr_a, "/v1/admin/mutate", batch1);
+    let status = a.wait().expect("crashed server reaped");
+    assert!(
+        !status.success(),
+        "wal_crash must abort the server: {status:?}"
+    );
+
+    // Reboot clean: the committed record replays — nothing lost.
+    let (mut a, addr_a, banner) = serve_a(None);
+    assert!(
+        banner.iter().any(|l| l.contains("1 record(s) replayed")),
+        "recovery must replay the crashed-but-committed batch: {banner:?}"
+    );
+    let (status, _) = request(addr_a, "GET", "/readyz", "").unwrap();
+    assert_eq!(status, 200, "recovered server reports ready");
+    mutate_ok(addr_a, batch2);
+    a.kill().expect("kill server A");
+    let _ = a.wait();
+
+    // Second reboot: both records replay; reads come off the overlay.
+    let (mut a, addr_a, banner) = serve_a(None);
+    assert!(
+        banner.iter().any(|l| l.contains("2 record(s) replayed")),
+        "{banner:?}"
+    );
+
+    // --- Server B: same mutations, folded immediately into the CSR and
+    // a rewritten snapshot (compact-every 1), rebooted with a WAL that
+    // holds nothing.
+    let serve_b = |extra: &[&str]| {
+        let mut args = vec![
+            "serve",
+            "--snapshot",
+            snap_b.to_str().unwrap(),
+            "--wal",
+            wal_b.to_str().unwrap(),
+            "--port",
+            "0",
+        ];
+        args.extend_from_slice(extra);
+        boot_server(&args, None)
+    };
+    let (mut b, addr_b, _) = serve_b(&["--compact-every", "1"]);
+    let resp = mutate_ok(addr_b, batch1);
+    assert!(resp.contains("\"compacted\":true"), "{resp}");
+    mutate_ok(addr_b, batch2);
+    b.kill().expect("kill server B");
+    let _ = b.wait();
+    let (mut b, addr_b, banner) = serve_b(&[]);
+    assert!(
+        banner.iter().any(|l| l.contains("0 record(s) replayed")),
+        "compaction must have truncated the WAL: {banner:?}"
+    );
+
+    // --- Acceptance: overlay reads (A) are byte-identical to folded
+    // CSR reads (B) on both query surfaces.
+    for e in 0..6 {
+        for r in ["r0", "r1"] {
+            let body = format!(
+                r#"{{"model": "MMKGR", "query": {{"source": "e{e}", "relation": "{r}", "top_k": 5, "beam": 8, "steps": 3}}}}"#
+            );
+            let (sa, ba) = request(addr_a, "POST", "/v1/answer", &body).unwrap();
+            let (sb, bb) = request(addr_b, "POST", "/v1/answer", &body).unwrap();
+            assert_eq!(sa, 200, "{ba}");
+            assert_eq!(sb, 200, "{bb}");
+            assert_eq!(
+                ba, bb,
+                "e{e}/{r}: recovered-overlay answer differs from compacted-CSR answer"
+            );
+        }
+    }
+    let retrieve = serde_json::to_string(
+        &RetrieveRequest::new(["e0".to_string()])
+            .with_model("MMKGR")
+            .with_hops(2)
+            .with_max_paths(6),
+    )
+    .unwrap();
+    let (sa, ba) = request(addr_a, "POST", "/v1/retrieve", &retrieve).unwrap();
+    let (sb, bb) = request(addr_b, "POST", "/v1/retrieve", &retrieve).unwrap();
+    assert_eq!((sa, sb), (200, 200), "{ba}\n{bb}");
+    assert_eq!(ba, bb, "retrieval differs between recovery and compaction");
+    let wire: RetrieveResponse = serde_json::from_str(&ba).unwrap();
+    assert!(
+        wire.subgraph
+            .triples
+            .iter()
+            .any(|t| t.s == "e0" && t.r == "r1" && t.o == "e8"),
+        "the second batch's insert must be visible: {ba}"
+    );
+    assert!(
+        !wire
+            .subgraph
+            .triples
+            .iter()
+            .any(|t| t.s == "e0" && t.r == "r1" && t.o == "e7"),
+        "the deleted triple must be gone: {ba}"
+    );
+
+    a.kill().expect("kill server A");
+    b.kill().expect("kill server B");
+    let _ = a.wait();
+    let _ = b.wait();
+    for p in [&snap_a, &snap_b, &wal_a, &wal_b] {
+        std::fs::remove_file(p).ok();
+    }
+}
