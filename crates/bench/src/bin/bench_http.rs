@@ -41,7 +41,7 @@ use mmkgr_core::prelude::*;
 use mmkgr_core::serve::http::request;
 use mmkgr_core::serve::{
     HttpServer, HttpServerConfig, ModelRegistry, NameIndex, NamedQuery, PolicyReasoner,
-    RunningServer, ServeConfig,
+    ReplicaSource, ReplicationState, RunningServer, ServeConfig,
 };
 use mmkgr_datagen::{generate, GenConfig};
 use serde::Serialize;
@@ -109,6 +109,36 @@ struct MutationBench {
     query_p50_us: f64,
     query_p99_us: f64,
     query_errors: usize,
+    /// Concurrent writers in the group-commit A/B runs.
+    group_writers: usize,
+    /// Sustained batches/s with group commit disabled (one fsync per
+    /// caller — the pre-group-commit write path).
+    group_commit_off_batches_per_s: f64,
+    /// Sustained batches/s with group commit on (concurrent callers
+    /// share one fsync).
+    group_commit_on_batches_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct ReplicationBench {
+    dataset: String,
+    machine: String,
+    commit: String,
+    /// Single-op batches committed on the primary during the lag run.
+    churn_batches: usize,
+    churn_batches_per_s: f64,
+    /// Commit-to-follower-apply latency, sampled per frame (~0.5 ms
+    /// polling resolution).
+    lag_p50_ms: f64,
+    lag_p99_ms: f64,
+    lag_max_ms: f64,
+    frames_shipped: u64,
+    reconnects: u64,
+    /// Closed-loop `/v1/answer` clients in the read-scaling runs.
+    read_clients: usize,
+    single_node_qps: f64,
+    two_replica_qps: f64,
+    read_speedup: f64,
 }
 
 /// Outcome of one closed-loop run: throughput plus the response mix.
@@ -138,7 +168,12 @@ fn boot_live(
     kg: &mmkgr_kg::MultiModalKG,
     wal: &std::path::Path,
     cache: usize,
-) -> (RunningServer, Arc<mmkgr_core::serve::LiveGraphStore>) {
+    replication: Option<Arc<ReplicationState>>,
+) -> (
+    RunningServer,
+    Arc<mmkgr_core::serve::LiveGraphStore>,
+    Arc<ModelRegistry>,
+) {
     let base = Arc::new(kg.graph.clone());
     let live = Arc::new(mmkgr_core::serve::LiveGraphStore::open(base, wal, 0).expect("wal opens"));
     let handle = live.handle();
@@ -158,9 +193,13 @@ fn boot_live(
     ));
     registry.set_retriever(Arc::new(mmkgr_core::serve::Retriever::new_live(handle)));
     registry.set_live(Arc::clone(&live));
+    if let Some(rep) = replication {
+        registry.set_replication(rep);
+    }
+    let registry = Arc::new(registry);
     let server = HttpServer::bind(
         ("127.0.0.1", 0),
-        Arc::new(registry),
+        Arc::clone(&registry),
         HttpServerConfig {
             conn_threads: 4,
             pool_workers: 2,
@@ -169,7 +208,7 @@ fn boot_live(
     )
     .expect("bind ephemeral port")
     .spawn();
-    (server, live)
+    (server, live, registry)
 }
 
 fn boot(kg: &mmkgr_kg::MultiModalKG, cache: usize) -> RunningServer {
@@ -213,10 +252,25 @@ fn closed_loop(
     clients: usize,
     per_client: usize,
 ) -> LoopResult {
+    closed_loop_multi(&[addr], method, path, bodies, clients, per_client)
+}
+
+/// [`closed_loop`] over several replicas: client `c` pins itself to
+/// `addrs[c % addrs.len()]`, so a 2-address run splits the closed-loop
+/// load evenly across a primary/follower pair.
+fn closed_loop_multi(
+    addrs: &[SocketAddr],
+    method: &'static str,
+    path: &'static str,
+    bodies: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+) -> LoopResult {
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let bodies = Arc::clone(&bodies);
+            let addr = addrs[c % addrs.len()];
             std::thread::spawn(move || {
                 let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
                 for i in 0..per_client {
@@ -411,7 +465,7 @@ fn main() {
     // fsync each) flat-out, two query clients reading throughout.
     let wal = std::env::temp_dir().join(format!("mmkgr_bench_http_{}.wal", std::process::id()));
     std::fs::remove_file(&wal).ok();
-    let (server, live) = boot_live(&kg, &wal, 1024);
+    let (server, live, _registry) = boot_live(&kg, &wal, 1024, None);
     let addr = server.addr();
     closed_loop(addr, "POST", "/v1/answer", Arc::clone(&bodies), 2, 50);
 
@@ -477,6 +531,43 @@ fn main() {
         query_lat.extend(lat);
         query_errors += errs;
     }
+    // Group-commit A/B: the same single-op churn from concurrent
+    // writers, once with every caller paying its own fsync (the
+    // pre-group-commit write path) and once with concurrent callers
+    // sharing one (the default).
+    let group_writers = 4usize;
+    let per_writer = 150usize;
+    let group_run = |on: bool, round: usize| -> f64 {
+        live.set_group_commit(on);
+        let t = Instant::now();
+        let handles: Vec<_> = (0..group_writers)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        let key = (round * group_writers + w) * per_writer + i;
+                        let (s, r, o) = churn_triple(key);
+                        let op = if i % 2 == 0 { "insert" } else { "delete" };
+                        let body =
+                            format!(r#"{{"{op}": [{{"s": "e{s}", "r": "r{r}", "o": "e{o}"}}]}}"#);
+                        let (status, resp) =
+                            request(addr, "POST", "/v1/admin/mutate", &body).expect("mutate");
+                        assert_eq!(status, 200, "{resp}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("group writer");
+        }
+        (group_writers * per_writer) as f64 / t.elapsed().as_secs_f64()
+    };
+    let group_commit_off_batches_per_s = group_run(false, 1);
+    let group_commit_on_batches_per_s = group_run(true, 2);
+    println!(
+        "  group commit ({group_writers} writers): off {group_commit_off_batches_per_s:.0} \
+         batches/s -> on {group_commit_on_batches_per_s:.0} batches/s"
+    );
+
     let m = live.metrics();
     let mutation = MutationBench {
         dataset: "tiny".into(),
@@ -493,6 +584,9 @@ fn main() {
         query_p50_us: percentile(&mut query_lat, 0.50),
         query_p99_us: percentile(&mut query_lat, 0.99),
         query_errors,
+        group_writers,
+        group_commit_off_batches_per_s,
+        group_commit_on_batches_per_s,
     };
     println!(
         "  POST /v1/admin/mutate: {:.0} batches/s (apply p50 {:.0}us p99 {:.0}us); \
@@ -507,6 +601,143 @@ fn main() {
     );
     server.shutdown();
     std::fs::remove_file(&wal).ok();
+
+    // WAL-shipping replication: a primary and a follower in one
+    // process, the follower tailing committed frames over the real
+    // HTTP surface. Measures read scaling across the pair (closed-loop
+    // clients pinned per replica) and commit-ack → follower-apply lag
+    // under flat-out single-op churn (~0.5 ms sampling resolution).
+    let wal_p = std::env::temp_dir().join(format!("mmkgr_bench_repl_{}_p.wal", std::process::id()));
+    let wal_f = std::env::temp_dir().join(format!("mmkgr_bench_repl_{}_f.wal", std::process::id()));
+    std::fs::remove_file(&wal_p).ok();
+    std::fs::remove_file(&wal_f).ok();
+    let rep_p = Arc::new(ReplicationState::primary(ReplicaSource {
+        snapshot: wal_p.with_extension("mmkg"), // tail-only: never fetched
+        wal: wal_p.clone(),
+    }));
+    let (primary, live_p, _reg_p) = boot_live(&kg, &wal_p, 1024, Some(Arc::clone(&rep_p)));
+    let addr_p = primary.addr();
+    let rep_f = Arc::new(ReplicationState::follower(
+        addr_p.to_string(),
+        ReplicaSource {
+            snapshot: wal_f.with_extension("mmkg"),
+            wal: wal_f.clone(),
+        },
+    ));
+    let (follower, live_f, reg_f) = boot_live(&kg, &wal_f, 1024, Some(Arc::clone(&rep_f)));
+    let addr_f = follower.addr();
+    {
+        let reg = Arc::clone(&reg_f);
+        let rep = Arc::clone(&rep_f);
+        std::thread::spawn(move || mmkgr_core::serve::replication::run_tailer(reg, rep));
+    }
+
+    // Read scaling on a quiet pair: the same closed-loop client count
+    // against the primary alone, then split across both replicas.
+    closed_loop(addr_p, "POST", "/v1/answer", Arc::clone(&bodies), 2, 50);
+    closed_loop(addr_f, "POST", "/v1/answer", Arc::clone(&bodies), 2, 50);
+    let read_clients = 4usize;
+    let single_node_qps = closed_loop(
+        addr_p,
+        "POST",
+        "/v1/answer",
+        Arc::clone(&bodies),
+        read_clients,
+        150,
+    )
+    .qps;
+    let two_replica_qps = closed_loop_multi(
+        &[addr_p, addr_f],
+        "POST",
+        "/v1/answer",
+        Arc::clone(&bodies),
+        read_clients,
+        150,
+    )
+    .qps;
+    println!(
+        "  read scaling ({read_clients} clients): single {single_node_qps:.0} q/s -> \
+         2 replicas {two_replica_qps:.0} q/s ({:.2}x)",
+        two_replica_qps / single_node_qps.max(1e-9)
+    );
+
+    // Lag under churn: commit times recorded at mutate-ack, follower
+    // applies observed by polling its committed watermark.
+    let churn_batches = 600usize;
+    let sampler = {
+        let live_f = Arc::clone(&live_f);
+        std::thread::spawn(move || {
+            let mut seen = 0u64;
+            let mut transitions: Vec<(u64, Instant)> = Vec::new();
+            let deadline = Instant::now() + std::time::Duration::from_secs(120);
+            while seen < churn_batches as u64 && Instant::now() < deadline {
+                let f = live_f.committed_seq();
+                if f > seen {
+                    transitions.push((f, Instant::now()));
+                    seen = f;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            transitions
+        })
+    };
+    let mut commit_times = Vec::with_capacity(churn_batches);
+    let repl_churn_started = Instant::now();
+    for i in 0..churn_batches {
+        let (key, op) = if i % 2 == 0 {
+            (i, "insert")
+        } else {
+            (i - 1, "delete")
+        };
+        let (s, r, o) = churn_triple(key);
+        let body = format!(r#"{{"{op}": [{{"s": "e{s}", "r": "r{r}", "o": "e{o}"}}]}}"#);
+        let (status, resp) = request(addr_p, "POST", "/v1/admin/mutate", &body).expect("mutate");
+        assert_eq!(status, 200, "{resp}");
+        commit_times.push(Instant::now());
+    }
+    let repl_churn_elapsed = repl_churn_started.elapsed().as_secs_f64();
+    assert_eq!(live_p.committed_seq(), churn_batches as u64);
+    let transitions = sampler.join().expect("lag sampler");
+    let mut lag_ms = Vec::with_capacity(churn_batches);
+    let mut prev = 0u64;
+    for (f, observed) in transitions {
+        for s in prev..f {
+            if let Some(committed) = commit_times.get(s as usize) {
+                lag_ms.push(observed.saturating_duration_since(*committed).as_secs_f64() * 1e3);
+            }
+        }
+        prev = f;
+    }
+    let replication = ReplicationBench {
+        dataset: "tiny".into(),
+        machine: String::new(), // stamped below
+        commit: String::new(),
+        churn_batches,
+        churn_batches_per_s: churn_batches as f64 / repl_churn_elapsed,
+        lag_p50_ms: percentile(&mut lag_ms, 0.50),
+        lag_p99_ms: percentile(&mut lag_ms, 0.99),
+        lag_max_ms: lag_ms.iter().copied().fold(0.0, f64::max),
+        frames_shipped: rep_p.metrics().frames_shipped,
+        reconnects: rep_f.metrics().reconnects,
+        read_clients,
+        single_node_qps,
+        two_replica_qps,
+        read_speedup: two_replica_qps / single_node_qps.max(1e-9),
+    };
+    println!(
+        "  replication: {:.0} batches/s churn, follower lag p50 {:.2}ms p99 {:.2}ms \
+         (max {:.2}ms), {} frames shipped",
+        replication.churn_batches_per_s,
+        replication.lag_p50_ms,
+        replication.lag_p99_ms,
+        replication.lag_max_ms,
+        replication.frames_shipped,
+    );
+    rep_f.promote(); // unblocks the tailer loop so the process can exit
+    primary.shutdown();
+    follower.shutdown();
+    std::fs::remove_file(&wal_p).ok();
+    std::fs::remove_file(&wal_f).ok();
 
     let stamp = mmkgr_bench::RunStamp::capture();
     let http = HttpBench {
@@ -549,6 +780,12 @@ fn main() {
         ..mutation
     };
 
+    let replication = ReplicationBench {
+        machine: http.machine.clone(),
+        commit: http.commit.clone(),
+        ..replication
+    };
+
     mmkgr_bench::merge_bench_section("BENCH_serve.json", "http", http.serialize_value());
     mmkgr_bench::merge_bench_section(
         "BENCH_serve.json",
@@ -556,4 +793,9 @@ fn main() {
         retrieve_section.serialize_value(),
     );
     mmkgr_bench::merge_bench_section("BENCH_serve.json", "mutation", mutation.serialize_value());
+    mmkgr_bench::merge_bench_section(
+        "BENCH_serve.json",
+        "replication",
+        replication.serialize_value(),
+    );
 }

@@ -25,6 +25,8 @@
 //! | `POST /v1/explain` | [`ExplainRequest`] | [`ExplainResponse`](super::protocol::ExplainResponse) |
 //! | `POST /v1/retrieve` | [`RetrieveRequest`] | [`RetrieveResponse`](super::protocol::RetrieveResponse) |
 //! | `POST /v1/admin/mutate` | [`MutateRequest`] | [`MutateResponse`](super::protocol::MutateResponse) |
+//! | `POST /v1/admin/replicate` | [`ReplicateRequest`](super::protocol::ReplicateRequest) | snapshot bytes or a WAL frame stream (see [`super::replication`]) |
+//! | `POST /v1/admin/promote` | [`PromoteRequest`](super::protocol::PromoteRequest) | [`PromoteResponse`](super::protocol::PromoteResponse) |
 //! | `GET /v1/models` | — | [`ModelsResponse`](super::protocol::ModelsResponse) |
 //! | `GET /healthz` | — | [`HealthResponse`](super::protocol::HealthResponse) |
 //! | `GET /readyz` | — | [`ReadyResponse`](super::protocol::ReadyResponse) (503 until ready) |
@@ -125,6 +127,8 @@ enum Route {
     Explain,
     Retrieve,
     AdminMutate,
+    AdminReplicate,
+    AdminPromote,
     Models,
     Healthz,
     Readyz,
@@ -132,12 +136,14 @@ enum Route {
     Other,
 }
 
-const ROUTE_NAMES: [&str; 10] = [
+const ROUTE_NAMES: [&str; 12] = [
     "/v1/answer",
     "/v1/answer_batch",
     "/v1/explain",
     "/v1/retrieve",
     "/v1/admin/mutate",
+    "/v1/admin/replicate",
+    "/v1/admin/promote",
     "/v1/models",
     "/healthz",
     "/readyz",
@@ -167,7 +173,7 @@ struct Shared {
     registry: Arc<ModelRegistry>,
     /// Batch fan-out pools, one per registered model.
     pools: HashMap<String, WorkerPool>,
-    counters: [RouteCounter; 10],
+    counters: [RouteCounter; 12],
     queue_depth: AtomicUsize,
     /// Per-model in-flight answer/batch/explain requests, for the
     /// `model_inflight_limit` bulkhead. Admin mutations are exempt — a
@@ -268,6 +274,7 @@ impl Shared {
                 paths_selected: self.retrieve_paths_selected.load(Ordering::Relaxed),
             },
             mutation: self.registry.mutation_metrics(),
+            replication: self.registry.replication_metrics(),
         }
     }
 
@@ -510,6 +517,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut stream = stream;
     let (status, body, extra) = match read_request(&mut stream, &shared.cfg) {
         Ok(req) => {
+            // `/v1/admin/replicate` takes over the raw stream (snapshot
+            // bytes, or a long-lived WAL frame tail) and writes its own
+            // response; it cannot flow through the one-shot
+            // request→response pipe below.
+            if req.path.split('?').next().unwrap_or_default() == "/v1/admin/replicate"
+                && req.method == "POST"
+            {
+                let started = Instant::now();
+                let erred = super::replication::serve_replicate(
+                    &mut stream,
+                    &req.body,
+                    &shared.registry,
+                    &shared.stop,
+                )
+                .is_err();
+                shared.observe(Route::AdminReplicate, erred, started.elapsed());
+                return;
+            }
             let started = Instant::now();
             let (route, response) = dispatch(&req, shared);
             let status = response.http_status();
@@ -675,6 +700,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -683,7 +709,7 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
@@ -726,6 +752,10 @@ fn dispatch(req: &HttpRequest, shared: &Shared) -> (Route, ApiResponse) {
         "/v1/explain" => (Route::Explain, true),
         "/v1/retrieve" => (Route::Retrieve, true),
         "/v1/admin/mutate" => (Route::AdminMutate, true),
+        // POST /v1/admin/replicate is intercepted in `handle_connection`
+        // (stream takeover); only wrong-method requests reach this arm.
+        "/v1/admin/replicate" => (Route::AdminReplicate, true),
+        "/v1/admin/promote" => (Route::AdminPromote, true),
         "/v1/models" => (Route::Models, false),
         "/healthz" => (Route::Healthz, false),
         "/readyz" => (Route::Readyz, false),
@@ -823,6 +853,22 @@ fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, Api
             let req: MutateRequest = parse_body(body)?;
             ApiResponse::Mutate(registry.mutate(&req, default_ms)?)
         }
+        Route::AdminReplicate => {
+            return Err(ApiError::Internal {
+                detail: "replicate is handled at the connection layer".to_string(),
+            })
+        }
+        // Promotion is a plain request/response admin call. `curl -X
+        // POST` with no body is the common way to drive it, so an empty
+        // body parses as the default request.
+        Route::AdminPromote => {
+            let _req: super::protocol::PromoteRequest = if body.trim().is_empty() {
+                Default::default()
+            } else {
+                parse_body(body)?
+            };
+            ApiResponse::Promote(registry.promote()?)
+        }
         Route::Models => ApiResponse::Models(registry.models()),
         Route::Healthz => ApiResponse::Health(registry.health()),
         Route::Readyz => ApiResponse::Ready(shared.readiness()),
@@ -841,9 +887,12 @@ fn execute(route: Route, body: &str, shared: &Shared) -> Result<ApiResponse, Api
 /// `/readyz`) is retried **once** after the hinted backoff plus a small
 /// jitter — enough for polite clients to ride out a transient
 /// overload without synchronizing their retries into a thundering
-/// herd. A second 503 is returned as-is. Callers that must observe the
-/// raw first response (chaos tests asserting on shed counts) should
-/// speak to the socket directly.
+/// herd. A second 503 is returned as-is. Callers riding out a longer
+/// warm-up (a follower bootstrap holds `/readyz` at 503 until it
+/// catches up to the primary) use [`request_with_retries`] with a
+/// higher budget; callers that must observe the raw first response
+/// (chaos tests asserting on shed counts) should speak to the socket
+/// directly.
 ///
 /// This is deliberately not a production client — it exists so the
 /// workspace can drive the server without a crates.io HTTP stack.
@@ -853,28 +902,45 @@ pub fn request(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
-    let (status, head, resp_body) = request_once(addr, method, path, body)?;
-    if status != 503 {
-        return Ok((status, resp_body));
+    request_with_retries(addr, method, path, body, 1)
+}
+
+/// [`request`] with a configurable `Retry-After` budget: up to
+/// `max_retries` re-sends, each only when the previous response was a
+/// 503 that carried a `Retry-After` hint. A 503 without the header, any
+/// other status, or an exhausted budget returns the last response
+/// as-is. Each honored hint is capped at 5 s (a test client sleeping
+/// minutes because a server asked is worse than returning the 503) and
+/// gets a small decorrelating jitter.
+pub fn request_with_retries(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    max_retries: u32,
+) -> std::io::Result<(u16, String)> {
+    let (mut status, mut head, mut resp_body) = request_once(addr, method, path, body)?;
+    for _ in 0..max_retries {
+        if status != 503 {
+            break;
+        }
+        let Some(secs) = retry_after_secs(&head) else {
+            break;
+        };
+        let jitter_ms = u64::from(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0),
+        ) % 250;
+        std::thread::sleep(Duration::from_secs(secs.min(5)) + Duration::from_millis(jitter_ms));
+        (status, head, resp_body) = request_once(addr, method, path, body)?;
     }
-    let Some(secs) = retry_after_secs(&head) else {
-        return Ok((status, resp_body));
-    };
-    // Cap the honored hint: a test client sleeping minutes because a
-    // server asked is worse than returning the 503.
-    let jitter_ms = u64::from(
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.subsec_nanos())
-            .unwrap_or(0),
-    ) % 250;
-    std::thread::sleep(Duration::from_secs(secs.min(5)) + Duration::from_millis(jitter_ms));
-    let (status, _, resp_body) = request_once(addr, method, path, body)?;
     Ok((status, resp_body))
 }
 
 /// Parse the whole-seconds `Retry-After` value out of a response head.
-fn retry_after_secs(head: &str) -> Option<u64> {
+pub(crate) fn retry_after_secs(head: &str) -> Option<u64> {
     head.lines().find_map(|line| {
         let (k, v) = line.split_once(':')?;
         if k.trim().eq_ignore_ascii_case("retry-after") {

@@ -105,6 +105,7 @@ pub mod http;
 pub mod mutation;
 pub mod protocol;
 pub mod registry;
+pub mod replication;
 pub mod retrieve;
 pub mod sharded;
 
@@ -117,6 +118,7 @@ pub use protocol::{
     WireContextPath, WireEvidence, WireSubgraph, PROTOCOL_VERSION,
 };
 pub use registry::ModelRegistry;
+pub use replication::{ReplicaSource, ReplicationState};
 pub use retrieve::{ContextPath, FewShotInfo, Retrieval, RetrieveSpec, Retriever};
 pub use sharded::ShardedReasoner;
 

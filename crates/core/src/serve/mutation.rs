@@ -31,12 +31,13 @@
 //! pre-truncate. CI's kill-and-reboot smoke drives them end to end.
 
 use std::collections::VecDeque;
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
 use mmkgr_kg::{
-    GraphHandle, KnowledgeGraph, MutationError, MutationStats, TripleOp, WalError, WalWriter,
+    GraphHandle, KnowledgeGraph, MutationError, MutationStats, TripleOp, WalError, WalRecord,
+    WalWriter,
 };
 
 use super::faults;
@@ -118,6 +119,24 @@ impl From<WalError> for RecoveryError {
     }
 }
 
+/// One caller's batch waiting in the group-commit queue. The leader
+/// (whoever holds the WAL lock) drains the queue, writes every frame,
+/// fsyncs once, and fills each ticket's result.
+struct Ticket {
+    ops: Vec<TripleOp>,
+    done: Mutex<Option<Result<MutationOutcome, LiveStoreError>>>,
+}
+
+impl Ticket {
+    fn fill(&self, r: Result<MutationOutcome, LiveStoreError>) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+    }
+
+    fn take(&self) -> Option<Result<MutationOutcome, LiveStoreError>> {
+        self.done.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
 /// The serving write path: WAL-durable, epoch-versioned, periodically
 /// compacted live mutation over a [`GraphHandle`]. One per process.
 pub struct LiveGraphStore {
@@ -125,6 +144,18 @@ pub struct LiveGraphStore {
     /// Serializes writers and keeps WAL order identical to publish
     /// order; readers never take it.
     wal: Mutex<WalWriter>,
+    /// Batches waiting for a group-commit leader (empty when
+    /// `group_commit` is off).
+    pending: Mutex<VecDeque<Arc<Ticket>>>,
+    /// Batch concurrent `apply` callers into one fsync (on by default;
+    /// the bench toggles it off to measure the one-fsync-per-batch
+    /// baseline).
+    group_commit: AtomicBool,
+    /// Next WAL sequence number known fsync-durable: every record with
+    /// `seq < committed` survives a crash. The replication shipper only
+    /// ships below this watermark, so a follower can never see a frame
+    /// the primary might lose.
+    committed: AtomicU64,
     /// Records applied live (post-boot) by this process.
     applied: AtomicU64,
     /// Records replayed from the WAL at boot.
@@ -180,9 +211,13 @@ impl LiveGraphStore {
         let handle = GraphHandle::new(Arc::clone(&graph));
         let mut epochs = VecDeque::new();
         epochs.push_back((graph.epoch(), Arc::downgrade(&graph)));
+        let committed = writer.next_seq();
         Ok(LiveGraphStore {
             graph: handle,
             wal: Mutex::new(writer),
+            pending: Mutex::new(VecDeque::new()),
+            group_commit: AtomicBool::new(true),
+            committed: AtomicU64::new(committed),
             applied: AtomicU64::new(0),
             replayed,
             compactions: AtomicU64::new(0),
@@ -232,12 +267,81 @@ impl LiveGraphStore {
         self.compactions.load(Ordering::Relaxed)
     }
 
+    /// Turn group commit on or off (on by default). Off restores the
+    /// one-fsync-per-batch write path.
+    pub fn set_group_commit(&self, on: bool) {
+        self.group_commit.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether concurrent `apply` callers share fsyncs.
+    pub fn group_commit(&self) -> bool {
+        self.group_commit.load(Ordering::Relaxed)
+    }
+
+    /// WAL sequence number below which every record is fsync-durable.
+    pub fn committed_seq(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Path of the WAL file backing this store (the replication
+    /// shipper's read source).
+    pub fn wal_file(&self) -> PathBuf {
+        self.wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .path()
+            .to_path_buf()
+    }
+
     /// Validate → WAL-commit → apply → publish one batch; maybe compact.
+    ///
+    /// Concurrent callers are group-committed: each enqueues a ticket,
+    /// and whoever wins the WAL lock drains the queue, writes every
+    /// frame, fsyncs **once**, and publishes the batches in queue order
+    /// (WAL order and publish order stay identical). Batches form
+    /// naturally from callers that arrive while the previous leader's
+    /// fsync is in flight.
     ///
     /// The returned outcome's `stats.touched` lists every entity whose
     /// action space changed — the key for targeted cache invalidation.
     pub fn apply(&self, ops: &[TripleOp]) -> Result<MutationOutcome, LiveStoreError> {
+        if !self.group_commit.load(Ordering::Relaxed) {
+            let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+            return self.apply_one_locked(&mut wal, ops);
+        }
+        let ticket = Arc::new(Ticket {
+            ops: ops.to_vec(),
+            done: Mutex::new(None),
+        });
+        self.pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(Arc::clone(&ticket));
         let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        // A previous leader may have committed this ticket while we
+        // waited for the lock.
+        if let Some(result) = ticket.take() {
+            return result;
+        }
+        // We are the leader: drain the queue (our ticket is still in it —
+        // only a leader removes tickets, and ours has no result yet) and
+        // commit the whole group under one fsync.
+        let group: Vec<Arc<Ticket>> = self
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        self.commit_group_locked(&mut wal, &group);
+        ticket.take().expect("leader fills every drained ticket")
+    }
+
+    /// The pre-group-commit write path: one batch, one fsync.
+    fn apply_one_locked(
+        &self,
+        wal: &mut WalWriter,
+        ops: &[TripleOp],
+    ) -> Result<MutationOutcome, LiveStoreError> {
         // Pin *under the writer lock*: `next` must succeed the currently
         // published epoch, not a stale one.
         let current = self.graph.pin();
@@ -246,7 +350,128 @@ impl LiveGraphStore {
         // the mutation. Crash-after-commit loses only the in-memory
         // apply, which replay reconstructs.
         let seq = wal.append(ops).map_err(LiveStoreError::Wal)?;
+        self.committed.store(wal.next_seq(), Ordering::Release);
         let ordinal = self.applied.load(Ordering::Relaxed) + 1;
+        faults::maybe_wal_crash(ordinal);
+        let next = Arc::new(next);
+        let epoch = next.epoch();
+        self.track_epoch(epoch, &next);
+        self.graph.publish(next);
+        self.applied.store(ordinal, Ordering::Relaxed);
+        let pending = self.since_compact.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut compacted = false;
+        if self.compact_every > 0 && pending >= self.compact_every && self.rewrite.is_some() {
+            self.compact_locked(wal)?;
+            compacted = true;
+        }
+        Ok(MutationOutcome {
+            epoch,
+            seq,
+            stats,
+            compacted,
+        })
+    }
+
+    /// Commit a drained group: validate each batch against the evolving
+    /// graph, write every valid frame unsynced, fsync once, then publish
+    /// in queue order. Invalid batches get their typed error without
+    /// touching the log; they never block the rest of the group.
+    fn commit_group_locked(&self, wal: &mut WalWriter, group: &[Arc<Ticket>]) {
+        let mut graph = self.graph.pin();
+        // (ticket index, successor graph, stats, seq) per staged batch.
+        let mut staged: Vec<(usize, Arc<KnowledgeGraph>, MutationStats, u64)> = Vec::new();
+        for (i, ticket) in group.iter().enumerate() {
+            match graph.apply_ops(&ticket.ops) {
+                Err(e) => ticket.fill(Err(LiveStoreError::Invalid(e))),
+                Ok((next, stats)) => match wal.append_unsynced(&ticket.ops) {
+                    Err(e) => ticket.fill(Err(LiveStoreError::Wal(e))),
+                    Ok(seq) => {
+                        let next = Arc::new(next);
+                        graph = Arc::clone(&next);
+                        staged.push((i, next, stats, seq));
+                    }
+                },
+            }
+        }
+        if staged.is_empty() {
+            return;
+        }
+        // The group's single durability point.
+        if let Err(e) = wal.sync() {
+            let msg = e.to_string();
+            for (i, ..) in staged {
+                group[i].fill(Err(LiveStoreError::Wal(std::io::Error::other(msg.clone()))));
+            }
+            return;
+        }
+        self.committed.store(wal.next_seq(), Ordering::Release);
+        let last = staged.len() - 1;
+        for (n, (i, next, stats, seq)) in staged.into_iter().enumerate() {
+            let ordinal = self.applied.load(Ordering::Relaxed) + 1;
+            faults::maybe_wal_crash(ordinal);
+            let epoch = next.epoch();
+            self.track_epoch(epoch, &next);
+            self.graph.publish(next);
+            self.applied.store(ordinal, Ordering::Relaxed);
+            let pending = self.since_compact.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut outcome = MutationOutcome {
+                epoch,
+                seq,
+                stats,
+                compacted: false,
+            };
+            // Compaction (if due) runs once, after the whole group; its
+            // outcome — including a failed snapshot rewrite — lands on
+            // the group's final batch, matching the single-batch path.
+            if n == last
+                && self.compact_every > 0
+                && pending >= self.compact_every
+                && self.rewrite.is_some()
+            {
+                match self.compact_locked(wal) {
+                    Ok(()) => outcome.compacted = true,
+                    Err(e) => {
+                        group[i].fill(Err(e));
+                        continue;
+                    }
+                }
+            }
+            group[i].fill(Ok(outcome));
+        }
+    }
+
+    /// Apply one record shipped from the primary, preserving its
+    /// sequence number in the local WAL — the follower half of
+    /// WAL-shipping replication. Records at an already-applied `seq`
+    /// (overlap after a reconnect) are skipped with `Ok(None)`; a gap —
+    /// `rec.seq` ahead of the local log — is an error, because applying
+    /// past missing records would silently diverge from the primary.
+    pub fn apply_replicated(
+        &self,
+        rec: &WalRecord,
+    ) -> Result<Option<MutationOutcome>, LiveStoreError> {
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        let expected = wal.next_seq();
+        if rec.seq < expected {
+            return Ok(None);
+        }
+        if rec.seq > expected {
+            return Err(LiveStoreError::Wal(std::io::Error::other(format!(
+                "replication gap: got seq {}, expected {expected}",
+                rec.seq
+            ))));
+        }
+        let current = self.graph.pin();
+        let (next, stats) = current
+            .apply_ops(&rec.ops)
+            .map_err(LiveStoreError::Invalid)?;
+        let seq = wal.append(&rec.ops).map_err(LiveStoreError::Wal)?;
+        debug_assert_eq!(seq, rec.seq);
+        self.committed.store(wal.next_seq(), Ordering::Release);
+        let ordinal = self.applied.load(Ordering::Relaxed) + 1;
+        // The same post-commit/pre-publish crash point as the primary
+        // write path: `wal_crash` chaos plans fire on the shipping path
+        // too.
         faults::maybe_wal_crash(ordinal);
         let next = Arc::new(next);
         let epoch = next.epoch();
@@ -259,12 +484,12 @@ impl LiveGraphStore {
             self.compact_locked(&mut wal)?;
             compacted = true;
         }
-        Ok(MutationOutcome {
+        Ok(Some(MutationOutcome {
             epoch,
             seq,
             stats,
             compacted,
-        })
+        }))
     }
 
     /// Force a compaction now (no-op without a snapshot rewrite hook).
@@ -526,6 +751,96 @@ mod tests {
         let again = LiveGraphStore::open(base_graph(), &path, 0).unwrap();
         assert_eq!(again.replayed(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_appliers_group_commit_every_batch() {
+        let path = tmp("group");
+        let store = Arc::new(LiveGraphStore::open(base_graph(), &path, 0).unwrap());
+        assert!(store.group_commit());
+        // 4 writer threads toggling distinct edges: every batch must
+        // commit, in some serial order, with WAL order == publish order.
+        let threads: Vec<_> = (0..4)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        let op = if i % 2 == 0 {
+                            TripleOp::Insert(t(w, 1, (w + 1) % 6))
+                        } else {
+                            TripleOp::Delete(t(w, 1, (w + 1) % 6))
+                        };
+                        store.apply(&[op]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(store.applied(), 32);
+        assert_eq!(store.epoch(), 32);
+        assert_eq!(store.committed_seq(), 32);
+        // Every batch is durable and replays cleanly.
+        drop(store);
+        let again = LiveGraphStore::open(base_graph(), &path, 0).unwrap();
+        assert_eq!(again.replayed(), 32);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_reports_invalid_batches_individually() {
+        let path = tmp("group-invalid");
+        let store = LiveGraphStore::open(base_graph(), &path, 0).unwrap();
+        // Group of one invalid batch: typed error, nothing logged.
+        let err = store
+            .apply(&[TripleOp::Insert(t(0, 0, 99))])
+            .expect_err("entity 99 is out of range");
+        assert!(matches!(err, LiveStoreError::Invalid(_)));
+        assert_eq!(store.applied(), 0);
+        assert_eq!(store.committed_seq(), 0);
+        // A valid batch after it commits under seq 0.
+        let out = store.apply(&[TripleOp::Insert(t(3, 0, 4))]).unwrap();
+        assert_eq!(out.seq, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn apply_replicated_preserves_seq_skips_duplicates_rejects_gaps() {
+        let primary_wal = tmp("repl-primary");
+        let follower_wal = tmp("repl-follower");
+        let primary = LiveGraphStore::open(base_graph(), &primary_wal, 0).unwrap();
+        primary.apply(&[TripleOp::Insert(t(3, 0, 4))]).unwrap();
+        primary.apply(&[TripleOp::Insert(t(4, 0, 5))]).unwrap();
+        let records = mmkgr_kg::store::wal::replay(&primary_wal).unwrap();
+        assert_eq!(records.len(), 2);
+
+        let follower = LiveGraphStore::open(base_graph(), &follower_wal, 0).unwrap();
+        // A gap (seq 1 before seq 0) is refused — applying past missing
+        // records would diverge from the primary.
+        assert!(matches!(
+            follower.apply_replicated(&records[1]),
+            Err(LiveStoreError::Wal(_))
+        ));
+        let out = follower.apply_replicated(&records[0]).unwrap().unwrap();
+        assert_eq!(out.seq, 0);
+        // Duplicate delivery (reconnect overlap) is a clean skip.
+        assert!(follower.apply_replicated(&records[0]).unwrap().is_none());
+        let out = follower.apply_replicated(&records[1]).unwrap().unwrap();
+        assert_eq!(out.seq, 1);
+        // Same mutations, same epochs: the follower's graph converges.
+        assert_eq!(follower.epoch(), primary.epoch());
+        assert!(follower
+            .pin()
+            .has_edge(EntityId(4), RelationId(0), EntityId(5)));
+        // The follower's local WAL holds the same committed records.
+        drop(follower);
+        assert_eq!(
+            mmkgr_kg::store::wal::replay(&follower_wal).unwrap(),
+            records
+        );
+        let _ = std::fs::remove_file(&primary_wal);
+        let _ = std::fs::remove_file(&follower_wal);
     }
 
     #[test]

@@ -328,6 +328,32 @@ impl Default for MutateRequest {
     }
 }
 
+/// Body of `POST /v1/admin/replicate`: a follower (or a backup tool)
+/// asking the primary for replication data. Two modes:
+///
+/// - `"snapshot"` — the response body is the primary's current `.mmkg`
+///   snapshot, raw bytes with a `Content-Length` (the per-section
+///   CRC32s inside the format verify the transfer);
+/// - `"tail"` — the response body is an unbounded stream: the 8-byte
+///   WAL preamble (`MWAL` magic + version) followed by committed WAL
+///   frames from the first `seq ≥ from_seq`, in the on-disk frame
+///   encoding, shipped as they commit. The `X-Mmkgr-Head-Seq` response
+///   header carries the primary's next sequence number at connect time
+///   (what "caught up" means for a bootstrapping follower).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplicateRequest {
+    /// `"snapshot"` or `"tail"`.
+    pub mode: String,
+    /// First sequence number wanted (tail mode; ignored for snapshots).
+    #[serde(default)]
+    pub from_seq: u64,
+}
+
+/// Body of `POST /v1/admin/promote` (empty today; a future fence token
+/// would live here). Present so the route parses a `{}` body uniformly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PromoteRequest {}
+
 /// Typed union of every v1 request. On the wire the route is the tag
 /// (each POST body is the bare inner struct); the server materializes
 /// this union after routing, and tests round-trip it directly.
@@ -338,6 +364,8 @@ pub enum ApiRequest {
     Explain(ExplainRequest),
     Retrieve(RetrieveRequest),
     Mutate(MutateRequest),
+    Replicate(ReplicateRequest),
+    Promote(PromoteRequest),
 }
 
 impl ApiRequest {
@@ -349,6 +377,8 @@ impl ApiRequest {
             ApiRequest::Explain(_) => "/v1/explain",
             ApiRequest::Retrieve(_) => "/v1/retrieve",
             ApiRequest::Mutate(_) => "/v1/admin/mutate",
+            ApiRequest::Replicate(_) => "/v1/admin/replicate",
+            ApiRequest::Promote(_) => "/v1/admin/promote",
         }
     }
 }
@@ -803,6 +833,27 @@ pub struct MutationMetrics {
     pub epoch_lag: u64,
 }
 
+/// WAL-shipping replication counters in `GET /metrics` (additive
+/// fields: older clients parse a body without them as zeros; a server
+/// with no replication role reports the defaults).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationMetrics {
+    /// `"primary"`, `"follower"`, or `""` (no replication role).
+    #[serde(default)]
+    pub role: String,
+    /// Frames received from the primary but not yet applied locally
+    /// (followers; 0 when caught up).
+    #[serde(default)]
+    pub follower_lag_seq: u64,
+    /// WAL frames this primary has shipped to followers.
+    #[serde(default)]
+    pub frames_shipped: u64,
+    /// Times a follower's tail connection was re-established after a
+    /// primary loss.
+    #[serde(default)]
+    pub reconnects: u64,
+}
+
 /// Response of `GET /metrics`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -821,6 +872,9 @@ pub struct MetricsResponse {
     /// Live-mutation counters (additive).
     #[serde(default)]
     pub mutation: MutationMetrics,
+    /// WAL-shipping replication counters (additive).
+    #[serde(default)]
+    pub replication: ReplicationMetrics,
 }
 
 /// Response of `POST /v1/admin/mutate`.
@@ -841,6 +895,22 @@ pub struct MutateResponse {
     /// Whether this batch tripped a compaction (overlay folded into the
     /// CSR and a fresh snapshot written).
     pub compacted: bool,
+}
+
+/// Response of `POST /v1/admin/promote`: the follower is now a
+/// writable primary, fenced at `seq` — it stopped tailing, and every
+/// mutation it accepts commits at or above that watermark, so a
+/// resurrected old primary's frames can never interleave.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PromoteResponse {
+    #[serde(default = "protocol_version_string")]
+    pub protocol: String,
+    /// True when this call flipped the role (false = already primary).
+    pub promoted: bool,
+    /// The fenced sequence watermark: the next mutation commits here.
+    pub seq: u64,
+    /// Epoch of the published graph at promotion.
+    pub epoch: u64,
 }
 
 /// Response of `GET /readyz`. Unlike `/healthz` (liveness — "the
@@ -871,6 +941,7 @@ pub enum ApiResponse {
     Metrics(MetricsResponse),
     Mutate(MutateResponse),
     Ready(ReadyResponse),
+    Promote(PromoteResponse),
     Error(ApiError),
 }
 
@@ -897,6 +968,7 @@ impl ApiResponse {
             ApiResponse::Metrics(x) => x.serialize_value(),
             ApiResponse::Mutate(x) => x.serialize_value(),
             ApiResponse::Ready(x) => x.serialize_value(),
+            ApiResponse::Promote(x) => x.serialize_value(),
             ApiResponse::Error(e) => {
                 Value::Object(vec![("error".to_string(), e.serialize_value())])
             }
@@ -959,6 +1031,10 @@ pub enum ApiError {
     /// The client stalled mid-request (slow-loris headers or body) and
     /// the connection was dropped.
     RequestTimeout { detail: String },
+    /// `/v1/admin/mutate` hit a read-only follower; `primary` names the
+    /// address that accepts writes (empty when the primary is down and
+    /// no promotion has happened yet).
+    NotPrimary { primary: String },
 }
 
 impl ApiError {
@@ -979,6 +1055,7 @@ impl ApiError {
             ApiError::DeadlineExceeded { .. } => "deadline_exceeded",
             ApiError::Overloaded { .. } => "overloaded",
             ApiError::RequestTimeout { .. } => "request_timeout",
+            ApiError::NotPrimary { .. } => "not_primary",
         }
     }
 
@@ -999,6 +1076,9 @@ impl ApiError {
             ApiError::DeadlineExceeded { .. } => 504,
             ApiError::Overloaded { .. } => 503,
             ApiError::RequestTimeout { .. } => 408,
+            // Conflict: the request is well-formed but this replica's
+            // role refuses it — retry against the named primary.
+            ApiError::NotPrimary { .. } => 409,
         }
     }
 
@@ -1057,6 +1137,16 @@ impl std::fmt::Display for ApiError {
                 write!(f, "server overloaded; retry after {retry_after_ms}ms")
             }
             ApiError::RequestTimeout { detail } => write!(f, "request timed out: {detail}"),
+            ApiError::NotPrimary { primary } => {
+                if primary.is_empty() {
+                    write!(f, "this replica is a read-only follower (primary unknown)")
+                } else {
+                    write!(
+                        f,
+                        "this replica is a read-only follower; mutate the primary at {primary}"
+                    )
+                }
+            }
         }
     }
 }
@@ -1110,6 +1200,7 @@ impl Serialize for ApiError {
                 fields.push(("retry_after_ms".to_string(), Value::U64(*retry_after_ms)));
             }
             ApiError::RequestTimeout { detail } => fields.push(str_field("detail", detail)),
+            ApiError::NotPrimary { primary } => fields.push(str_field("primary", primary)),
         }
         Value::Object(fields)
     }
@@ -1197,6 +1288,9 @@ impl Deserialize for ApiError {
             },
             "request_timeout" => ApiError::RequestTimeout {
                 detail: field("detail")?,
+            },
+            "not_primary" => ApiError::NotPrimary {
+                primary: field("primary")?,
             },
             other => {
                 return Err(serde::DeError::new(format!(
@@ -1638,6 +1732,9 @@ mod tests {
             ApiError::RequestTimeout {
                 detail: "headers stalled".to_string(),
             },
+            ApiError::NotPrimary {
+                primary: "127.0.0.1:7070".to_string(),
+            },
         ];
         for e in cases {
             let s = serde_json::to_string(&e).unwrap();
@@ -1711,6 +1808,48 @@ mod tests {
             ApiError::InvalidMutation { detail: "x".into() }.http_status(),
             400
         );
+        assert_eq!(
+            ApiError::NotPrimary {
+                primary: "127.0.0.1:7070".into()
+            }
+            .http_status(),
+            409
+        );
+    }
+
+    #[test]
+    fn replication_wire_shapes_roundtrip() {
+        // tail requests default from_seq to 0
+        let req: ReplicateRequest = serde_json::from_str(r#"{"mode": "tail"}"#).unwrap();
+        assert_eq!(req.mode, "tail");
+        assert_eq!(req.from_seq, 0);
+        let built = ReplicateRequest {
+            mode: "tail".to_string(),
+            from_seq: 42,
+        };
+        let back: ReplicateRequest =
+            serde_json::from_str(&serde_json::to_string(&built).unwrap()).unwrap();
+        assert_eq!(back, built);
+
+        let resp = ApiResponse::Promote(PromoteResponse {
+            protocol: protocol_version_string(),
+            promoted: true,
+            seq: 17,
+            epoch: 9,
+        });
+        assert_eq!(resp.http_status(), 200);
+        let body: PromoteResponse = serde_json::from_str(&resp.body()).unwrap();
+        assert!(body.promoted);
+        assert_eq!(body.seq, 17);
+
+        // pre-replication /metrics bodies (no `replication` key) parse
+        // with an empty role and zero counters
+        let m: MetricsResponse = serde_json::from_str(
+            r#"{"protocol": "v1", "queue_depth": 0, "routes": [], "models": []}"#,
+        )
+        .unwrap();
+        assert_eq!(m.replication, ReplicationMetrics::default());
+        assert_eq!(m.replication.role, "");
     }
 
     #[test]

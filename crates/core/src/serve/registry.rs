@@ -18,16 +18,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use super::mutation::{LiveGraphStore, LiveStoreError};
+use super::mutation::{LiveGraphStore, LiveStoreError, MutationOutcome};
 use super::protocol::{
     AnswerBatchRequest, AnswerBatchResponse, AnswerRequest, ApiError, ExplainRequest,
     ExplainResponse, HealthResponse, ModelInfo, ModelMetrics, ModelsResponse, MutateRequest,
-    MutateResponse, MutationMetrics, NameIndex, NamedQuery, RetrieveRequest, RetrieveResponse,
-    WireAnswer, WireTriple, PROTOCOL_VERSION,
+    MutateResponse, MutationMetrics, NameIndex, NamedQuery, PromoteResponse, ReplicationMetrics,
+    RetrieveRequest, RetrieveResponse, WireAnswer, WireTriple, PROTOCOL_VERSION,
 };
+use super::replication::ReplicationState;
 use super::retrieve::{RetrieveSpec, Retriever};
 use super::{Answer, Budget, KgReasoner, Query};
-use mmkgr_kg::{Triple, TripleOp};
+use mmkgr_kg::{Triple, TripleOp, WalRecord};
 
 /// Derive the execution [`Budget`] for a request from its wire timeouts:
 /// the tightest explicit `timeout_ms` wins (a batch runs under its most
@@ -76,6 +77,10 @@ pub struct ModelRegistry {
     /// served graph is read-only (mutations answer
     /// [`ApiError::InvalidMutation`]).
     live: Option<Arc<LiveGraphStore>>,
+    /// Replication role + counters. `None` = a standalone node that is
+    /// neither shipping its WAL nor tailing another's (the pre-existing
+    /// single-process topology).
+    replication: Option<Arc<ReplicationState>>,
 }
 
 impl ModelRegistry {
@@ -87,6 +92,7 @@ impl ModelRegistry {
             default_model: None,
             retriever: None,
             live: None,
+            replication: None,
         }
     }
 
@@ -120,6 +126,81 @@ impl ModelRegistry {
         self.live
             .as_ref()
             .map_or_else(MutationMetrics::default, |l| l.metrics())
+    }
+
+    /// Attach replication role state. A primary sets this to advertise
+    /// its snapshot + WAL over `/v1/admin/replicate`; a follower sets it
+    /// to reject `/v1/admin/mutate` with [`ApiError::NotPrimary`] until
+    /// promoted.
+    pub fn set_replication(&mut self, state: Arc<ReplicationState>) -> &mut Self {
+        self.replication = Some(state);
+        self
+    }
+
+    pub fn replication(&self) -> Option<&Arc<ReplicationState>> {
+        self.replication.as_ref()
+    }
+
+    /// Replication counters for `GET /metrics` (defaults — empty role,
+    /// zero counters — when the node is not part of a replication
+    /// topology).
+    pub fn replication_metrics(&self) -> ReplicationMetrics {
+        self.replication
+            .as_ref()
+            .map_or_else(ReplicationMetrics::default, |r| r.metrics())
+    }
+
+    /// Apply one replicated WAL record through the live store (follower
+    /// tail path): same WAL-then-publish pipeline as a local mutation,
+    /// plus the same targeted per-model cache invalidation. `Ok(None)`
+    /// means the record was already applied (reconnect overlap).
+    pub fn apply_replicated(
+        &self,
+        rec: &WalRecord,
+    ) -> Result<Option<MutationOutcome>, LiveStoreError> {
+        let live = self.live.as_ref().ok_or_else(|| {
+            LiveStoreError::Wal(std::io::Error::other(
+                "this server has no live mutation store to replicate into",
+            ))
+        })?;
+        if let Some(rep) = &self.replication {
+            // The promotion fence: once this node is primary, frames
+            // still in flight from the old primary must not apply.
+            if !rep.is_follower() {
+                return Err(LiveStoreError::Wal(std::io::Error::other(
+                    "replication fenced: this node has been promoted to primary",
+                )));
+            }
+        }
+        let outcome = live.apply_replicated(rec)?;
+        if let Some(o) = &outcome {
+            for name in &self.order {
+                self.models[name].invalidate_entities(&o.stats.touched);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// `POST /v1/admin/promote` pipeline: flip a caught-up follower into
+    /// a writable primary, fenced at the current committed `seq`
+    /// watermark (replicated frames arriving after the flip are
+    /// refused; the next local mutation commits at or above the fence).
+    /// Promoting a node that is already primary is a no-op
+    /// (`promoted: false`) so operators can retry safely.
+    pub fn promote(&self) -> Result<PromoteResponse, ApiError> {
+        let live = self
+            .live
+            .as_ref()
+            .ok_or_else(|| ApiError::InvalidMutation {
+                detail: "this server has no live mutation store (nothing to promote)".to_string(),
+            })?;
+        let promoted = self.replication.as_ref().is_some_and(|rep| rep.promote());
+        Ok(PromoteResponse {
+            protocol: PROTOCOL_VERSION.to_string(),
+            promoted,
+            seq: live.committed_seq(),
+            epoch: live.epoch(),
+        })
     }
 
     /// Register a reasoner under its own [`KgReasoner::name`]. The first
@@ -423,6 +504,15 @@ impl ModelRegistry {
         let budget = budget_for_timeouts([req.timeout_ms], default_timeout_ms)?;
         if budget.expired() {
             return Err(budget.exceeded());
+        }
+        // Followers are read replicas: writes must go to the primary
+        // (named in the error so clients can redirect themselves).
+        if let Some(rep) = &self.replication {
+            if rep.is_follower() {
+                return Err(ApiError::NotPrimary {
+                    primary: rep.primary_addr(),
+                });
+            }
         }
         let live = self
             .live

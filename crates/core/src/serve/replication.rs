@@ -1,0 +1,748 @@
+//! WAL-shipping replication: primary/follower read scaling over the
+//! serving stack's existing durability machinery.
+//!
+//! The design adds no second log and no second wire format. The
+//! primary's crash-safe WAL (see [`mmkgr_kg::store::wal`]) *is* the
+//! replication stream: committed frames are shipped verbatim — length,
+//! CRC32, payload — over a long-lived HTTP connection, and the follower
+//! appends them to its own WAL through the same
+//! [`LiveGraphStore`](super::mutation::LiveGraphStore) pipeline a local
+//! mutation takes. Epoch-versioned reads, frontier-cache invalidation,
+//! and compaction therefore work unchanged on both roles, and a
+//! follower's WAL replay after a restart is indistinguishable from a
+//! primary's.
+//!
+//! ```text
+//!            POST /v1/admin/replicate {"mode":"snapshot"}
+//!   follower ───────────────────────────────────────────▶ primary
+//!            ◀───── raw .mmkg bytes (CRC-verified at open) ─────
+//!            POST /v1/admin/replicate {"mode":"tail","from_seq":N}
+//!            ◀───── MWAL preamble + committed frames, live ─────
+//! ```
+//!
+//! **Bootstrap** (`mmkgr serve --replicate-from <addr>`): fetch the
+//! primary's current `.mmkg` snapshot, boot from it exactly like a
+//! local snapshot boot (WAL replay included), then tail frames from the
+//! local WAL's `next_seq` and flip `/readyz` once caught up to the
+//! primary's head at connect time (`X-Mmkgr-Head-Seq`).
+//!
+//! **Committed-only shipping**: the tail never emits a frame with
+//! `seq >=` the primary's fsync watermark
+//! ([`LiveGraphStore::committed_seq`](super::mutation::LiveGraphStore::committed_seq)),
+//! so a follower can never observe a mutation the primary could still
+//! lose in a crash — zero committed-frame loss and no phantom frames,
+//! by construction.
+//!
+//! **Promotion** (`POST /v1/admin/promote`): flips the role flag, which
+//! simultaneously stops the tailer, fences late frames from the old
+//! primary (see [`super::registry::ModelRegistry::apply_replicated`]),
+//! and opens `/v1/admin/mutate` for writes at the fenced `seq`
+//! watermark.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::faults;
+use super::http::{retry_after_secs, write_response};
+use super::protocol::{ApiError, ApiResponse, ReplicateRequest, ReplicationMetrics};
+use super::registry::ModelRegistry;
+use mmkgr_kg::store::wal;
+use mmkgr_kg::WalRecord;
+
+/// How long the shipper sleeps when the WAL has no new committed frames
+/// (and how often it re-checks the server stop flag).
+const SHIP_POLL: Duration = Duration::from_millis(10);
+
+/// The error detail prefix a tail request gets when `from_seq` predates
+/// the oldest retained WAL frame (compaction folded it into the
+/// snapshot). The bundled follower matches on it to fall back to a full
+/// snapshot re-bootstrap; see [`is_snapshot_required`].
+const SNAPSHOT_REQUIRED: &str = "snapshot required";
+
+/// Response header carrying the primary's committed head `seq` on both
+/// replicate modes — the follower's "caught up" target.
+const HEAD_SEQ_HEADER: &str = "X-Mmkgr-Head-Seq";
+
+/// Where a replication-capable node's shippable artifacts live. Both
+/// roles have one (a follower keeps its own snapshot + WAL, so a
+/// promoted follower can immediately serve the next bootstrap).
+#[derive(Clone, Debug)]
+pub struct ReplicaSource {
+    /// The `.mmkg` registry snapshot served to bootstrapping followers.
+    pub snapshot: PathBuf,
+    /// The WAL file whose committed frames are tailed.
+    pub wal: PathBuf,
+}
+
+/// Shared replication role + counters, attached to the
+/// [`ModelRegistry`] of every node that participates in a topology.
+pub struct ReplicationState {
+    /// `true` while this node is a read-only follower; flipped (once,
+    /// irreversibly) by [`Self::promote`].
+    follower: AtomicBool,
+    /// The primary this node bootstrapped from (`""` on a born-primary;
+    /// kept after promotion for the metrics history).
+    primary: String,
+    source: Option<ReplicaSource>,
+    frames_shipped: AtomicU64,
+    reconnects: AtomicU64,
+    /// Follower watermarks, both in "next seq" convention: `received` is
+    /// the highest target the primary has advertised or shipped;
+    /// `applied` is the follower's committed seq. Lag is the gap.
+    received: AtomicU64,
+    applied: AtomicU64,
+    /// Set once the tailer first reaches its session's head target; the
+    /// boot path gates `mark_ready()` on this.
+    caught_up: AtomicBool,
+}
+
+impl ReplicationState {
+    /// A writable primary shipping `source` to followers.
+    pub fn primary(source: ReplicaSource) -> Self {
+        ReplicationState {
+            follower: AtomicBool::new(false),
+            primary: String::new(),
+            source: Some(source),
+            frames_shipped: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            caught_up: AtomicBool::new(true),
+        }
+    }
+
+    /// A read-only follower tailing `primary_addr`, keeping its own
+    /// shippable `source`.
+    pub fn follower(primary_addr: impl Into<String>, source: ReplicaSource) -> Self {
+        ReplicationState {
+            follower: AtomicBool::new(true),
+            primary: primary_addr.into(),
+            source: Some(source),
+            frames_shipped: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            caught_up: AtomicBool::new(false),
+        }
+    }
+
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::Acquire)
+    }
+
+    /// The primary's address for [`ApiError::NotPrimary`] redirects.
+    pub fn primary_addr(&self) -> String {
+        if self.is_follower() {
+            self.primary.clone()
+        } else {
+            String::new()
+        }
+    }
+
+    /// Flip follower → primary. Returns `true` if this call did the
+    /// flip (`false` = already primary, the idempotent retry case). The
+    /// single store is the whole fence: the tailer observes it and
+    /// stops, and [`ModelRegistry::apply_replicated`] refuses frames
+    /// from then on.
+    pub fn promote(&self) -> bool {
+        self.caught_up.store(true, Ordering::Release);
+        self.follower.swap(false, Ordering::AcqRel)
+    }
+
+    /// Has the tailer reached the head target of its current session at
+    /// least once? (Born-primaries are trivially caught up.)
+    pub fn is_caught_up(&self) -> bool {
+        self.caught_up.load(Ordering::Acquire)
+    }
+
+    pub fn metrics(&self) -> ReplicationMetrics {
+        let received = self.received.load(Ordering::Relaxed);
+        let applied = self.applied.load(Ordering::Relaxed);
+        ReplicationMetrics {
+            role: if self.is_follower() {
+                "follower"
+            } else {
+                "primary"
+            }
+            .to_string(),
+            follower_lag_seq: received.saturating_sub(applied),
+            frames_shipped: self.frames_shipped.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    fn source(&self) -> Option<&ReplicaSource> {
+        self.source.as_ref()
+    }
+
+    fn note_shipped(&self) {
+        self.frames_shipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the `received` watermark (never lowers it).
+    fn note_received(&self, next_seq: u64) {
+        self.received.fetch_max(next_seq, Ordering::Relaxed);
+    }
+
+    fn note_applied(&self, next_seq: u64) {
+        self.applied.fetch_max(next_seq, Ordering::Relaxed);
+        if next_seq >= self.received.load(Ordering::Relaxed) {
+            self.caught_up.store(true, Ordering::Release);
+        }
+    }
+}
+
+// ------------------------------------------------------- primary (ship)
+
+/// Serve one `POST /v1/admin/replicate` connection. Called from the
+/// HTTP connection handler with the raw stream (this endpoint writes
+/// its own response: a JSON error, a `Content-Length`-framed snapshot
+/// body, or an unbounded frame stream). The returned `Result` only
+/// feeds the route's error counter.
+pub(crate) fn serve_replicate(
+    stream: &mut TcpStream,
+    body: &str,
+    registry: &ModelRegistry,
+    stop: &AtomicBool,
+) -> Result<(), ApiError> {
+    match replicate_inner(stream, body, registry, stop) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Best-effort: the stream may already be half-written or
+            // gone; the error still counts against the route either way.
+            let response = ApiResponse::Error(e.clone());
+            let _ = write_response(stream, response.http_status(), &response.body(), &[]);
+            Err(e)
+        }
+    }
+}
+
+fn replicate_inner(
+    stream: &mut TcpStream,
+    body: &str,
+    registry: &ModelRegistry,
+    stop: &AtomicBool,
+) -> Result<(), ApiError> {
+    let req: ReplicateRequest =
+        serde_json::from_str(body).map_err(|e| ApiError::MalformedRequest {
+            detail: e.to_string(),
+        })?;
+    let source = registry
+        .replication()
+        .and_then(|r| r.source())
+        .cloned()
+        .ok_or_else(|| ApiError::Internal {
+            detail: "this server is not a replication source (serve from --snapshot with --wal)"
+                .to_string(),
+        })?;
+    let live = registry.live().ok_or_else(|| ApiError::Internal {
+        detail: "this server has no live store to replicate from".to_string(),
+    })?;
+    let rep = registry.replication().expect("source implies state");
+    match req.mode.as_str() {
+        "snapshot" => ship_snapshot(stream, &source.snapshot, live.committed_seq()),
+        "tail" => ship_tail(stream, &source.wal, req.from_seq, registry, rep, stop),
+        other => Err(ApiError::MalformedRequest {
+            detail: format!("replicate mode must be \"snapshot\" or \"tail\", got {other:?}"),
+        }),
+    }
+}
+
+/// Stream the current `.mmkg` snapshot file verbatim. The fd is opened
+/// before stat-ing so a concurrent compaction rewrite (tmp + rename)
+/// cannot tear the body: the follower reads the generation this fd
+/// pins, and every section's CRC32 is re-verified when it opens the
+/// file.
+fn ship_snapshot(stream: &mut TcpStream, path: &Path, head_seq: u64) -> Result<(), ApiError> {
+    let mut file = File::open(path).map_err(|e| ApiError::Internal {
+        detail: format!("open snapshot {}: {e}", path.display()),
+    })?;
+    let len = file
+        .metadata()
+        .map_err(|e| ApiError::Internal {
+            detail: format!("stat snapshot: {e}"),
+        })?
+        .len();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: {len}\r\n{HEAD_SEQ_HEADER}: {head_seq}\r\nConnection: close\r\n\r\n",
+    );
+    let io_err = |e: io::Error| ApiError::Internal {
+        detail: format!("ship snapshot: {e}"),
+    };
+    stream.write_all(head.as_bytes()).map_err(io_err)?;
+    io::copy(&mut file, stream).map_err(io_err)?;
+    stream.flush().map_err(io_err)
+}
+
+/// Stream committed WAL frames from `from_seq`, live, until the client
+/// hangs up or the server stops. Wire format after the response head:
+/// the 8-byte `MWAL` preamble, then raw frames — exactly the bytes a
+/// local WAL holds, so the follower side is the same incremental
+/// decoder the recovery path uses.
+fn ship_tail(
+    stream: &mut TcpStream,
+    wal_path: &Path,
+    from_seq: u64,
+    registry: &ModelRegistry,
+    rep: &ReplicationState,
+    stop: &AtomicBool,
+) -> Result<(), ApiError> {
+    let live = registry.live().expect("caller checked");
+    let committed = live.committed_seq();
+    if from_seq > committed {
+        return Err(ApiError::MalformedRequest {
+            detail: format!("from_seq {from_seq} is ahead of the primary head {committed}"),
+        });
+    }
+    let mut file = open_wal_checked(wal_path)?;
+    if from_seq < committed && !frame_available(&mut file, from_seq)? {
+        // The requested frames were folded into the snapshot by a
+        // compaction; the follower must re-bootstrap.
+        return Err(ApiError::Internal {
+            detail: format!(
+                "{SNAPSHOT_REQUIRED}: from_seq {from_seq} predates the oldest retained WAL frame"
+            ),
+        });
+    }
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n{HEAD_SEQ_HEADER}: {committed}\r\nConnection: close\r\n\r\n",
+    );
+    let done = |_e: io::Error| ApiError::Internal {
+        // A follower hanging up mid-tail is the normal end of a
+        // session, but it still closes this connection with an error
+        // status internally; the caller only counts it.
+        detail: "tail connection closed".to_string(),
+    };
+    stream.write_all(head.as_bytes()).map_err(done)?;
+    stream.write_all(&wal::header_bytes()).map_err(done)?;
+    stream.flush().map_err(done)?;
+
+    let mut pos = wal::HEADER_LEN;
+    file.seek(SeekFrom::Start(pos)).map_err(done)?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut cursor = from_seq; // next seq to ship
+    let mut chunk = [0u8; 64 << 10];
+    while !stop.load(Ordering::Relaxed) {
+        let len = file.metadata().map_err(done)?.len();
+        if len < pos {
+            // Compaction truncated the WAL under us. Frames resume at
+            // `next_seq` with no gap, so rewind and keep decoding; the
+            // seq cursor drops anything we already shipped.
+            file.seek(SeekFrom::Start(wal::HEADER_LEN)).map_err(done)?;
+            pos = wal::HEADER_LEN;
+            buf.clear();
+            continue;
+        }
+        let mut progressed = false;
+        if len > pos {
+            let n = file.read(&mut chunk).map_err(done)?;
+            if n > 0 {
+                buf.extend_from_slice(&chunk[..n]);
+                pos += n as u64;
+                progressed = true;
+            }
+        }
+        // Ship every complete, fsync-durable frame in the buffer.
+        loop {
+            let (rec, used) = match wal::decode_frame(&buf) {
+                Ok(Some(hit)) => hit,
+                Ok(None) => break, // incomplete tail — wait for more bytes
+                Err(e) => {
+                    // Interior corruption: stop shipping rather than
+                    // relay bad frames (the primary's own recovery owns
+                    // this file's fate).
+                    return Err(ApiError::Internal {
+                        detail: format!("wal corrupt under tail: {e}"),
+                    });
+                }
+            };
+            if rec.seq >= live.committed_seq() {
+                break; // written but not yet fsynced — never ship early
+            }
+            if rec.seq >= cursor {
+                if rec.seq > cursor {
+                    return Err(ApiError::Internal {
+                        detail: format!("wal gap under tail: jumped to seq {}", rec.seq),
+                    });
+                }
+                stream.write_all(&buf[..used]).map_err(done)?;
+                stream.flush().map_err(done)?;
+                rep.note_shipped();
+                cursor = rec.seq + 1;
+            }
+            buf.drain(..used);
+            progressed = true;
+        }
+        if !progressed {
+            std::thread::sleep(SHIP_POLL);
+        }
+    }
+    Ok(())
+}
+
+fn open_wal_checked(path: &Path) -> Result<File, ApiError> {
+    let io_err = |detail: String| ApiError::Internal { detail };
+    let mut file =
+        File::open(path).map_err(|e| io_err(format!("open wal {}: {e}", path.display())))?;
+    let mut head = [0u8; wal::HEADER_LEN as usize];
+    file.read_exact(&mut head)
+        .map_err(|e| io_err(format!("read wal header: {e}")))?;
+    wal::check_header(&head).map_err(|e| io_err(format!("bad wal header: {e}")))?;
+    Ok(file)
+}
+
+/// Is a frame with exactly `from_seq` still present in the WAL file?
+/// (Frames are contiguous, so it is enough to check the first one.)
+/// Leaves the file positioned after the header.
+fn frame_available(file: &mut File, from_seq: u64) -> Result<bool, ApiError> {
+    file.seek(SeekFrom::Start(wal::HEADER_LEN))
+        .map_err(|e| ApiError::Internal {
+            detail: format!("seek wal: {e}"),
+        })?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let first = loop {
+        match wal::decode_frame(&buf) {
+            Ok(Some((rec, _))) => break Some(rec.seq),
+            Ok(None) => {}
+            // A torn tail at the very first frame: treat as no frames.
+            Err(_) => break None,
+        }
+        match file.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                return Err(ApiError::Internal {
+                    detail: format!("read wal: {e}"),
+                })
+            }
+        }
+    };
+    file.seek(SeekFrom::Start(wal::HEADER_LEN))
+        .map_err(|e| ApiError::Internal {
+            detail: format!("seek wal: {e}"),
+        })?;
+    Ok(first.is_some_and(|s| s <= from_seq))
+}
+
+// ------------------------------------------------------ follower (tail)
+
+/// Does this error text carry the primary's "re-bootstrap" signal?
+pub fn is_snapshot_required(detail: &str) -> bool {
+    detail.contains(SNAPSHOT_REQUIRED)
+}
+
+/// Fetch the primary's current `.mmkg` snapshot into `dest`. Binary
+/// bytes, so this cannot go through the text-only
+/// [`super::http::request`] client. 503 + `Retry-After` (the primary
+/// still warming up, or shedding) is honored for up to `max_retries`
+/// rounds — the long-bootstrap loop the bundled client's single retry
+/// was too impatient for. Returns the primary's committed head seq.
+pub fn fetch_snapshot(primary: &str, dest: &Path, max_retries: u32) -> io::Result<u64> {
+    let body = r#"{"mode": "snapshot"}"#;
+    let mut attempt = 0u32;
+    loop {
+        let (status, head, mut stream, prefix) = replicate_head(primary, body)?;
+        if status == 503 && attempt < max_retries {
+            if let Some(secs) = retry_after_secs(&head) {
+                attempt += 1;
+                drop(stream);
+                std::thread::sleep(Duration::from_secs(secs.min(5)) + faults::jitter(250));
+                continue;
+            }
+        }
+        if status != 200 {
+            let mut rest = prefix;
+            let _ = stream.read_to_end(&mut rest);
+            return Err(io::Error::other(format!(
+                "snapshot fetch: HTTP {status}: {}",
+                String::from_utf8_lossy(&rest)
+            )));
+        }
+        let content_length: u64 = header_value(&head, "content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| io::Error::other("snapshot fetch: missing Content-Length"))?;
+        let head_seq: u64 = header_value(&head, &HEAD_SEQ_HEADER.to_ascii_lowercase())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        // Write via a sibling tmp so a failed fetch never leaves a
+        // half-snapshot where the boot path would find it.
+        let tmp = dest.with_extension("mmkg.fetch");
+        let mut out = File::create(&tmp)?;
+        out.write_all(&prefix)?;
+        // Connection: close — the body runs to EOF and is exactly
+        // Content-Length bytes; anything else is a torn transfer.
+        let got = prefix.len() as u64 + io::copy(&mut stream, &mut out)?;
+        if got != content_length {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io::Error::other(format!(
+                "snapshot fetch: truncated body ({got} of {content_length} bytes)"
+            )));
+        }
+        out.sync_data()?;
+        drop(out);
+        std::fs::rename(&tmp, dest)?;
+        return Ok(head_seq);
+    }
+}
+
+/// A live tail session: frames decoded off the socket one at a time.
+pub struct TailSession {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// The primary's committed head at connect — applying up to here
+    /// means "caught up" for readiness purposes.
+    pub head_seq: u64,
+}
+
+/// Open a tail of `primary` starting at `from_seq` (the follower's own
+/// WAL `next_seq`). Fails with an [`is_snapshot_required`] error text
+/// when the primary has compacted past `from_seq`.
+pub fn connect_tail(primary: &str, from_seq: u64) -> io::Result<TailSession> {
+    let body = format!(r#"{{"mode": "tail", "from_seq": {from_seq}}}"#);
+    let (status, head, mut stream, mut prefix) = replicate_head(primary, &body)?;
+    if status != 200 {
+        let _ = stream.read_to_end(&mut prefix);
+        return Err(io::Error::other(format!(
+            "tail connect: HTTP {status}: {}",
+            String::from_utf8_lossy(&prefix)
+        )));
+    }
+    let head_seq: u64 = header_value(&head, &HEAD_SEQ_HEADER.to_ascii_lowercase())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(from_seq);
+    // The stream opens with the standard WAL preamble.
+    let mut buf = prefix;
+    let mut chunk = [0u8; 4096];
+    while buf.len() < wal::HEADER_LEN as usize {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::other("tail connect: stream closed in preamble"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    wal::check_header(&buf[..wal::HEADER_LEN as usize])
+        .map_err(|e| io::Error::other(format!("tail connect: bad preamble: {e}")))?;
+    buf.drain(..wal::HEADER_LEN as usize);
+    // A short read timeout keeps the tailer responsive to promotion and
+    // shutdown even when the primary is idle.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    Ok(TailSession {
+        stream,
+        buf,
+        head_seq,
+    })
+}
+
+impl TailSession {
+    /// The next shipped frame. `Ok(None)` = no complete frame within
+    /// the read-timeout window (poll again after checking flags);
+    /// `Err` = the connection is gone (reconnect).
+    pub fn next_record(&mut self) -> io::Result<Option<WalRecord>> {
+        loop {
+            match wal::decode_frame(&self.buf) {
+                Ok(Some((rec, used))) => {
+                    self.buf.drain(..used);
+                    return Ok(Some(rec));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::other(format!("tail stream corrupt: {e}"))),
+            }
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "primary closed the tail",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Run the follower tail loop until promotion (or a fence error): apply
+/// every shipped frame through the registry (same WAL-then-publish path
+/// and cache invalidation as a local mutation), reconnect with jittered
+/// backoff on primary loss. Returns when the node stops being a
+/// follower; spawn it on a dedicated thread.
+pub fn run_tailer(registry: Arc<ModelRegistry>, rep: Arc<ReplicationState>) {
+    let mut backoff_ms = 100u64;
+    while rep.is_follower() {
+        let Some(live) = registry.live() else { return };
+        let from_seq = live.committed_seq();
+        match connect_tail(&rep.primary, from_seq) {
+            Ok(mut session) => {
+                backoff_ms = 100;
+                rep.note_received(session.head_seq);
+                rep.note_applied(from_seq);
+                loop {
+                    if !rep.is_follower() {
+                        return;
+                    }
+                    match session.next_record() {
+                        Ok(Some(rec)) => {
+                            rep.note_received(rec.seq + 1);
+                            match registry.apply_replicated(&rec) {
+                                Ok(_) => {
+                                    let live = registry.live().expect("checked above");
+                                    rep.note_applied(live.committed_seq());
+                                }
+                                // Fenced (promotion won the race) or a
+                                // gap the primary should never produce:
+                                // stop applying either way.
+                                Err(e) => {
+                                    eprintln!("replication tail stopped: {e}");
+                                    if rep.is_follower() {
+                                        break; // gap: reconnect and re-request
+                                    }
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(None) => continue, // idle window — re-check flags
+                        Err(_) => break,      // primary gone — reconnect
+                    }
+                }
+            }
+            Err(e) => {
+                if is_snapshot_required(&e.to_string()) {
+                    // The primary compacted past our position while we
+                    // were away; a restart re-bootstraps from its
+                    // current snapshot. Keep serving (stale) reads.
+                    eprintln!("replication tail: {e}; restart this follower to re-bootstrap");
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+            }
+        }
+        if !rep.is_follower() {
+            return;
+        }
+        rep.note_reconnect();
+        std::thread::sleep(Duration::from_millis(backoff_ms) + faults::jitter(backoff_ms));
+        backoff_ms = (backoff_ms * 2).min(5_000);
+    }
+}
+
+// --------------------------------------------------------- raw client IO
+
+/// POST `/v1/admin/replicate` and read just the response head. Returns
+/// `(status, head, stream, body_prefix)` — the prefix is whatever body
+/// bytes arrived in the same reads as the head.
+#[allow(clippy::type_complexity)]
+fn replicate_head(primary: &str, body: &str) -> io::Result<(u16, String, TcpStream, Vec<u8>)> {
+    let mut stream = TcpStream::connect(primary)?;
+    stream.set_nodelay(true)?;
+    let head = format!(
+        "POST /v1/admin/replicate HTTP/1.1\r\nHost: {primary}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > 64 << 10 {
+            return Err(io::Error::other("replicate: response head exceeds 64 KiB"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::other("replicate: connection closed in head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let prefix = buf[header_end + 4..].to_vec();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, head, stream, prefix))
+}
+
+/// Case-insensitive single-header lookup in a raw response head.
+fn header_value<'a>(head: &'a str, name_lower: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        (k.trim().to_ascii_lowercase() == name_lower).then(|| v.trim())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_state_tracks_roles_and_lag() {
+        let src = ReplicaSource {
+            snapshot: PathBuf::from("/tmp/x.mmkg"),
+            wal: PathBuf::from("/tmp/x.wal"),
+        };
+        let p = ReplicationState::primary(src.clone());
+        assert!(!p.is_follower());
+        assert!(p.is_caught_up());
+        assert_eq!(p.metrics().role, "primary");
+        assert_eq!(p.primary_addr(), "");
+
+        let f = ReplicationState::follower("127.0.0.1:9000", src);
+        assert!(f.is_follower());
+        assert!(!f.is_caught_up());
+        assert_eq!(f.primary_addr(), "127.0.0.1:9000");
+        f.note_received(10);
+        f.note_applied(4);
+        let m = f.metrics();
+        assert_eq!(m.role, "follower");
+        assert_eq!(m.follower_lag_seq, 6);
+        assert!(!f.is_caught_up());
+        f.note_applied(10);
+        assert!(f.is_caught_up());
+        assert_eq!(f.metrics().follower_lag_seq, 0);
+
+        // Promotion flips exactly once and never rewinds.
+        assert!(f.promote());
+        assert!(!f.is_follower());
+        assert!(!f.promote());
+        assert_eq!(f.metrics().role, "primary");
+        assert_eq!(f.primary_addr(), "", "a promoted node is its own primary");
+    }
+
+    #[test]
+    fn snapshot_required_detail_roundtrips() {
+        let detail =
+            format!("{SNAPSHOT_REQUIRED}: from_seq 3 predates the oldest retained WAL frame");
+        assert!(is_snapshot_required(&detail));
+        assert!(!is_snapshot_required("replication gap: got seq 9"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let head = "HTTP/1.1 200 OK\r\nContent-Length: 42\r\nX-Mmkgr-Head-Seq: 7";
+        assert_eq!(header_value(head, "content-length"), Some("42"));
+        assert_eq!(header_value(head, "x-mmkgr-head-seq"), Some("7"));
+        assert_eq!(header_value(head, "retry-after"), None);
+    }
+}

@@ -7,6 +7,9 @@
 //! - the graph's CSR arrays (loaded back zero-copy via mmap);
 //! - optional entity/relation name tables (synthetic datasets omit them
 //!   and fall back to the `e{i}`/`r{i}` convention);
+//! - per-entity modality flags and relation training frequencies
+//!   (additive sections — older snapshots omit them and boot with the
+//!   topology-only retriever fallback);
 //! - one weight section per model — flat f32 parameters for the KGE
 //!   family, the self-contained JSON checkpoint for MMKGR policies;
 //! - a JSON [`RegistryManifest`] tying sections to models.
@@ -23,6 +26,7 @@
 //! TransAE, MTRL, …) have no snapshot encoding — writing one is a typed
 //! [`SnapshotBuildError::Unsupported`], not a silent omission.
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -33,7 +37,9 @@ use mmkgr_core::serve::{
 use mmkgr_core::MmkgrModel;
 use mmkgr_embed::{ComplEx, ConvE, DistMult, Hole, Rescal, TransD, TransE};
 use mmkgr_kg::store::SectionKind;
-use mmkgr_kg::{GraphHandle, KnowledgeGraph, Snapshot, SnapshotError, SnapshotWriter};
+use mmkgr_kg::{
+    GraphHandle, KnowledgeGraph, ModalPresence, RelationId, Snapshot, SnapshotError, SnapshotWriter,
+};
 use mmkgr_nn::Params;
 use serde::{Deserialize, Serialize};
 
@@ -137,6 +143,80 @@ impl From<SnapshotError> for SnapshotBuildError {
     }
 }
 
+/// Write per-entity modality flags as the additive [`SectionKind::ModalPresence`]
+/// section: `n` has-image bytes then `n` has-text bytes, `extra = n`.
+fn write_modal_presence(
+    w: &mut SnapshotWriter,
+    presence: &ModalPresence,
+) -> Result<(), SnapshotBuildError> {
+    let (img, txt) = presence.flags();
+    let mut payload = Vec::with_capacity(img.len() + txt.len());
+    payload.extend(img.iter().map(|&b| b as u8));
+    payload.extend(txt.iter().map(|&b| b as u8));
+    w.add_bytes(SectionKind::ModalPresence, img.len() as u64, &payload)?;
+    Ok(())
+}
+
+/// Write relation training frequencies as the additive
+/// [`SectionKind::RelationFreqs`] section: flattened `u64 [rel, count]`
+/// pairs in ascending relation order (deterministic bytes), `extra` =
+/// pair count.
+fn write_relation_freqs(
+    w: &mut SnapshotWriter,
+    freqs: &HashMap<RelationId, usize>,
+) -> Result<(), SnapshotBuildError> {
+    let mut pairs: Vec<(u32, u64)> = freqs.iter().map(|(r, &c)| (r.0, c as u64)).collect();
+    pairs.sort_unstable();
+    let mut payload = Vec::with_capacity(pairs.len() * 16);
+    for &(r, c) in &pairs {
+        payload.extend_from_slice(&(r as u64).to_ne_bytes());
+        payload.extend_from_slice(&c.to_ne_bytes());
+    }
+    w.add_bytes(SectionKind::RelationFreqs, pairs.len() as u64, &payload)?;
+    Ok(())
+}
+
+fn decode_modal_presence(
+    snap: &Snapshot,
+    index: usize,
+) -> Result<ModalPresence, SnapshotBuildError> {
+    let n = snap.sections()[index].extra as usize;
+    let bytes = snap.section_bytes(index)?;
+    if bytes.len() != n * 2 {
+        return Err(SnapshotBuildError::BadManifest(format!(
+            "ModalPresence section holds {} bytes for {n} entities (want {})",
+            bytes.len(),
+            n * 2
+        )));
+    }
+    Ok(ModalPresence::from_flags(
+        bytes[..n].iter().map(|&b| b != 0).collect(),
+        bytes[n..].iter().map(|&b| b != 0).collect(),
+    ))
+}
+
+fn decode_relation_freqs(
+    snap: &Snapshot,
+    index: usize,
+) -> Result<HashMap<RelationId, usize>, SnapshotBuildError> {
+    let pairs = snap.sections()[index].extra as usize;
+    let bytes = snap.section_bytes(index)?;
+    if bytes.len() != pairs * 16 {
+        return Err(SnapshotBuildError::BadManifest(format!(
+            "RelationFreqs section holds {} bytes for {pairs} pairs (want {})",
+            bytes.len(),
+            pairs * 16
+        )));
+    }
+    let mut freqs = HashMap::with_capacity(pairs);
+    for chunk in bytes.chunks_exact(16) {
+        let r = u64::from_ne_bytes(chunk[..8].try_into().unwrap());
+        let c = u64::from_ne_bytes(chunk[8..].try_into().unwrap());
+        freqs.insert(RelationId(r as u32), c as usize);
+    }
+    Ok(freqs)
+}
+
 /// Flatten a parameter arena in insertion order (the order every
 /// deterministic constructor re-creates).
 fn flatten_params(p: &Params) -> Vec<f32> {
@@ -228,6 +308,16 @@ pub fn write_registry_snapshot_with_vocab(
     if let Some((ents, rels)) = vocab {
         w.add_vocab(ents, rels)?;
     }
+    // Carry modality flags + relation training frequencies so snapshot
+    // boots (and replication followers) serve the same /v1/retrieve
+    // annotations as the freshly-trained stack — without these sections
+    // a booted retriever degrades to all-`false` modality and
+    // all-few-shot tags.
+    write_modal_presence(&mut w, &ModalPresence::from_bank(&h.kg.modal))?;
+    write_relation_freqs(
+        &mut w,
+        &crate::fewshot::relation_frequencies(&h.kg.split.train),
+    )?;
     let mut models = Vec::with_capacity(choices.len());
     for &choice in choices {
         models.push(encode_model(&mut w, train_model(h, choice, serve))?);
@@ -439,10 +529,18 @@ fn finish_boot(
             shards,
         )?);
     }
-    // Snapshots carry no modal bank or training split, so the booted
-    // retriever serves topology-only subgraphs (no modality flags, no
-    // few-shot tags) — still byte-deterministic for identical requests.
-    registry.set_retriever(Arc::new(Retriever::new_live(handle)));
+    // Rehydrate modality flags + relation frequencies from their
+    // additive sections when present; older snapshots (which lack them)
+    // fall back to the topology-only retriever — all-`false` modality,
+    // every relation tagged few-shot.
+    let mut retriever = Retriever::new_live(handle);
+    if let Some(idx) = opened.snap.find(SectionKind::ModalPresence) {
+        retriever = retriever.with_modal_presence(decode_modal_presence(&opened.snap, idx)?);
+    }
+    if let Some(idx) = opened.snap.find(SectionKind::RelationFreqs) {
+        retriever = retriever.with_relation_frequencies(decode_relation_freqs(&opened.snap, idx)?);
+    }
+    registry.set_retriever(Arc::new(retriever));
     Ok(LoadedRegistry {
         registry,
         graph,
@@ -530,6 +628,14 @@ pub fn rewrite_registry_snapshot(
     if opened.snap.find(SectionKind::EntNameOffsets).is_some() {
         let (ents, rels) = opened.snap.vocab_names()?;
         w.add_vocab(&ents, &rels)?;
+    }
+    // Modality flags and relation frequencies ride through compaction
+    // byte-for-byte — mutation changes topology, not features.
+    for kind in [SectionKind::ModalPresence, SectionKind::RelationFreqs] {
+        if let Some(idx) = opened.snap.find(kind) {
+            let extra = opened.snap.sections()[idx].extra;
+            w.add_bytes(kind, extra, opened.snap.section_bytes(idx)?)?;
+        }
     }
     let mut models = Vec::with_capacity(opened.manifest.models.len());
     for entry in &opened.manifest.models {
@@ -625,6 +731,28 @@ mod tests {
                 .with_top_k(0);
             assert_eq!(booted.answer(&q), fresh.answer(&q));
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_boot_keeps_retrieve_annotations() {
+        use mmkgr_core::serve::RetrieveRequest;
+
+        let h = tiny_harness();
+        let serve = ServeConfig::default();
+        let path = tmp("retrieve");
+        write_registry_snapshot(&path, &h, &[ModelChoice::TransE], serve).unwrap();
+
+        let fresh = crate::serving::build_registry(&h, &[ModelChoice::TransE], serve);
+        let loaded = load_registry_snapshot(&path, None, 1).unwrap();
+        let mut req = RetrieveRequest::new(["e0", "e1"]);
+        req.max_paths = 6;
+        let a = serde_json::to_string(&fresh.retrieve(&req).unwrap()).unwrap();
+        let b = serde_json::to_string(&loaded.registry.retrieve(&req).unwrap()).unwrap();
+        assert_eq!(
+            a, b,
+            "snapshot-booted retriever must keep modality flags and few-shot tags"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -131,6 +131,14 @@ pub enum SectionKind {
     F32Tensor = 10,
     /// Opaque bytes (e.g. a JSON-serialized policy model).
     Blob = 11,
+    /// Per-entity modality flags: `num_entities` `u8` has-image flags
+    /// followed by `num_entities` `u8` has-text flags; `extra` holds
+    /// `num_entities`. Additive — readers that predate it fall back to
+    /// all-`false` presence.
+    ModalPresence = 12,
+    /// Relation training frequencies: flattened `u64` `[relation, count]`
+    /// pairs; `extra` holds the pair count. Additive.
+    RelationFreqs = 13,
 }
 
 /// One parsed section-table entry.
@@ -817,6 +825,8 @@ pub fn section_kind_name(kind: u32) -> &'static str {
         k if k == SectionKind::Manifest as u32 => "Manifest",
         k if k == SectionKind::F32Tensor as u32 => "F32Tensor",
         k if k == SectionKind::Blob as u32 => "Blob",
+        k if k == SectionKind::ModalPresence as u32 => "ModalPresence",
+        k if k == SectionKind::RelationFreqs as u32 => "RelationFreqs",
         _ => "Unknown",
     }
 }

@@ -44,7 +44,10 @@ use crate::triple::Triple;
 const WAL_MAGIC: &[u8; 4] = b"MWAL";
 /// Current WAL format version.
 pub const WAL_VERSION: u32 = 1;
-const HEADER_LEN: u64 = 8;
+/// Bytes of the file header (`MWAL` magic + version) preceding the
+/// first frame — also the preamble of a replication tail stream, which
+/// reuses the frame format verbatim as its wire format.
+pub const HEADER_LEN: u64 = 8;
 const FRAME_HEAD: usize = 8; // len + crc
 const PAYLOAD_FIXED: usize = 12; // seq u64 + op_count u32
 const OP_LEN: usize = 13; // kind u8 + 3 × u32
@@ -219,7 +222,16 @@ fn scan_frames(bytes: &[u8]) -> Result<Scan, WalError> {
     })
 }
 
-fn check_header(head: &[u8]) -> Result<(), WalError> {
+/// The 8-byte header a fresh WAL file (or a tail stream) starts with.
+pub fn header_bytes() -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..4].copy_from_slice(WAL_MAGIC);
+    h[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// Validate a WAL file header (or a tail stream's preamble).
+pub fn check_header(head: &[u8]) -> Result<(), WalError> {
     if head.len() < HEADER_LEN as usize || &head[..4] != WAL_MAGIC {
         return Err(WalError::BadMagic);
     }
@@ -228,6 +240,98 @@ fn check_header(head: &[u8]) -> Result<(), WalError> {
         return Err(WalError::BadVersion(version));
     }
     Ok(())
+}
+
+/// Encode one record as a complete frame (`len · crc32 · payload`) —
+/// the exact bytes [`WalWriter::append`] puts on disk and the
+/// replication shipper puts on the wire.
+pub fn encode_frame(seq: u64, ops: &[TripleOp]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(PAYLOAD_FIXED + ops.len() * OP_LEN);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        let (kind, t) = match *op {
+            TripleOp::Insert(t) => (0u8, t),
+            TripleOp::Delete(t) => (1u8, t),
+        };
+        payload.push(kind);
+        payload.extend_from_slice(&t.s.0.to_le_bytes());
+        payload.extend_from_slice(&t.r.0.to_le_bytes());
+        payload.extend_from_slice(&t.o.0.to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEAD + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Incrementally decode the first frame of `buf` (bytes after the
+/// header/preamble). Returns `Ok(None)` when `buf` holds only a prefix
+/// of a frame — read more and retry; `Ok(Some((record, consumed)))` on
+/// a complete valid frame. Unlike file replay there is no torn-tail
+/// tolerance: a CRC mismatch on a complete frame is always
+/// [`WalError::Corrupt`] (the stream reader decides whether to resync
+/// or drop the connection). Sequence monotonicity is the caller's
+/// concern.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(WalRecord, usize)>, WalError> {
+    if buf.len() < FRAME_HEAD {
+        return Ok(None);
+    }
+    let len = read_u32(buf, 0) as usize;
+    let crc = read_u32(buf, 4);
+    if len > MAX_PAYLOAD as usize {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: format!("frame length {len} exceeds maximum {MAX_PAYLOAD}"),
+        });
+    }
+    if buf.len() < FRAME_HEAD + len {
+        return Ok(None);
+    }
+    let payload = &buf[FRAME_HEAD..FRAME_HEAD + len];
+    let computed = crc32(payload);
+    if computed != crc {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: format!("crc mismatch: stored {crc:#010x}, computed {computed:#010x}"),
+        });
+    }
+    if len < PAYLOAD_FIXED {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: format!("payload too short for record header ({len} bytes)"),
+        });
+    }
+    let seq = read_u64(payload, 0);
+    let op_count = read_u32(payload, 8) as usize;
+    if len != PAYLOAD_FIXED + op_count * OP_LEN {
+        return Err(WalError::Corrupt {
+            offset: 0,
+            reason: format!("payload length {len} does not match op count {op_count}"),
+        });
+    }
+    let mut ops = Vec::with_capacity(op_count);
+    for i in 0..op_count {
+        let at = PAYLOAD_FIXED + i * OP_LEN;
+        let kind = payload[at];
+        let t = Triple {
+            s: EntityId(read_u32(payload, at + 1)),
+            r: RelationId(read_u32(payload, at + 5)),
+            o: EntityId(read_u32(payload, at + 9)),
+        };
+        ops.push(match kind {
+            0 => TripleOp::Insert(t),
+            1 => TripleOp::Delete(t),
+            k => {
+                return Err(WalError::Corrupt {
+                    offset: 0,
+                    reason: format!("unknown op kind {k}"),
+                })
+            }
+        });
+    }
+    Ok(Some((WalRecord { seq, ops }, FRAME_HEAD + len)))
 }
 
 /// Read-only replay of every valid record in `path` (torn tails are
@@ -317,28 +421,26 @@ impl WalWriter {
     /// guaranteed to survive a crash — once this returns the sequence
     /// number it was logged under.
     pub fn append(&mut self, ops: &[TripleOp]) -> io::Result<u64> {
+        let seq = self.append_unsynced(ops)?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Write one batch's frame **without** fsyncing it. The record is
+    /// NOT committed until a later [`WalWriter::sync`] returns — group
+    /// commit writes several frames and then syncs them all with one
+    /// `sync_data`, turning N fsyncs into one.
+    pub fn append_unsynced(&mut self, ops: &[TripleOp]) -> io::Result<u64> {
         let seq = self.next_seq;
-        let mut payload = Vec::with_capacity(PAYLOAD_FIXED + ops.len() * OP_LEN);
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
-        for op in ops {
-            let (kind, t) = match *op {
-                TripleOp::Insert(t) => (0u8, t),
-                TripleOp::Delete(t) => (1u8, t),
-            };
-            payload.push(kind);
-            payload.extend_from_slice(&t.s.0.to_le_bytes());
-            payload.extend_from_slice(&t.r.0.to_le_bytes());
-            payload.extend_from_slice(&t.o.0.to_le_bytes());
-        }
-        let mut frame = Vec::with_capacity(FRAME_HEAD + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        self.file.write_all(&encode_frame(seq, ops))?;
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// Make every frame written so far durable (the commit point of
+    /// [`WalWriter::append_unsynced`]).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
     }
 
     /// Drop every record (post-compaction: the snapshot now folds them
@@ -496,6 +598,51 @@ mod tests {
     fn missing_file_replays_empty() {
         let path = tmp("missing").with_extension("nope");
         assert!(replay(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encode_decode_frame_roundtrip() {
+        let ops = vec![TripleOp::Insert(t(1, 0, 2)), TripleOp::Delete(t(3, 1, 4))];
+        let frame = encode_frame(7, &ops);
+        // every strict prefix is "incomplete", never an error
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).unwrap().is_none());
+        }
+        let (rec, used) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.ops, ops);
+        // a flipped payload byte on a complete frame is typed corruption
+        let mut bad = frame.clone();
+        bad[FRAME_HEAD + 2] ^= 0xff;
+        assert!(matches!(decode_frame(&bad), Err(WalError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn grouped_appends_match_single_appends_byte_for_byte() {
+        let path = tmp("group");
+        let (mut w, _) = WalWriter::open(&path).unwrap();
+        assert_eq!(
+            w.append_unsynced(&[TripleOp::Insert(t(1, 0, 2))]).unwrap(),
+            0
+        );
+        assert_eq!(
+            w.append_unsynced(&[TripleOp::Insert(t(3, 0, 4))]).unwrap(),
+            1
+        );
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(replay(&path).unwrap().len(), 2);
+
+        let path2 = tmp("group-ref");
+        let (mut w2, _) = WalWriter::open(&path2).unwrap();
+        w2.append(&[TripleOp::Insert(t(1, 0, 2))]).unwrap();
+        w2.append(&[TripleOp::Insert(t(3, 0, 4))]).unwrap();
+        drop(w2);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
     }
 
     #[test]

@@ -77,6 +77,24 @@ impl ModalPresence {
         }
     }
 
+    /// Rebuild presence from raw flag vectors — the snapshot read path.
+    /// Mismatched lengths are truncated to the shorter one so a corrupt
+    /// section degrades to `false` flags rather than panicking.
+    pub fn from_flags(mut has_image: Vec<bool>, mut has_text: Vec<bool>) -> Self {
+        let n = has_image.len().min(has_text.len());
+        has_image.truncate(n);
+        has_text.truncate(n);
+        ModalPresence {
+            has_image,
+            has_text,
+        }
+    }
+
+    /// Raw flag vectors, `(has_image, has_text)` — the snapshot write path.
+    pub fn flags(&self) -> (&[bool], &[bool]) {
+        (&self.has_image, &self.has_text)
+    }
+
     #[inline]
     pub fn has_image(&self, e: EntityId) -> bool {
         self.has_image.get(e.index()).copied().unwrap_or(false)

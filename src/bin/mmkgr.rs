@@ -100,8 +100,23 @@ COMMANDS
                                        the CSR + rewrite the snapshot
                                        every n mutation batches (0 = off;
                                        default 256 when --live)
+             [--replicate-from <addr>] boot as a read-only follower of a
+                                       running primary: fetch its .mmkg
+                                       snapshot over /v1/admin/replicate,
+                                       replay, then tail committed WAL
+                                       frames live. --snapshot names the
+                                       local file the fetched snapshot
+                                       lands in (default follower.mmkg);
+                                       POST /v1/admin/mutate answers 409
+                                       not_primary until promoted
+             A primary served with --snapshot and --live/--wal ships both
+             over POST /v1/admin/replicate automatically.
              GET /readyz returns 503 until the snapshot is loaded and the
-             WAL is replayed, then 200 (use /healthz for liveness).
+             WAL is replayed (followers: until caught up with the
+             primary), then 200 (use /healthz for liveness).
+  promote    flip a caught-up follower into a writable primary, fenced
+             at its committed seq watermark (POST /v1/admin/promote)
+             --addr <host:port>
   snapshot   train a registry of models and write one `.mmkg` registry
              snapshot (graph CSR + model weights + manifest) that
              `serve --snapshot` boots in milliseconds
@@ -168,6 +183,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&flags),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "promote" => cmd_promote(&flags),
         "snapshot" => cmd_snapshot(&flags),
         "retrieve" => cmd_retrieve(&flags),
         "help" | "--help" | "-h" => {
@@ -742,6 +758,17 @@ fn serve_registry(
     flags: &HashMap<String, String>,
     registry: std::sync::Arc<mmkgr::core::serve::ModelRegistry>,
 ) -> Result<(), String> {
+    serve_registry_as(flags, registry, None)
+}
+
+/// [`serve_registry`], optionally as a replication follower: the tailer
+/// thread is spawned against the primary and `/readyz` stays 503 until
+/// the follower has applied up to the primary's head.
+fn serve_registry_as(
+    flags: &HashMap<String, String>,
+    registry: std::sync::Arc<mmkgr::core::serve::ModelRegistry>,
+    follower: Option<std::sync::Arc<mmkgr::core::serve::ReplicationState>>,
+) -> Result<(), String> {
     use std::io::Write as _;
 
     let addr = flag(flags, "addr").unwrap_or("127.0.0.1");
@@ -756,20 +783,43 @@ fn serve_registry(
         ..defaults
     };
     // Bind not-ready so /readyz answers 503 until boot work (snapshot
-    // load, WAL replay) visible to this function is done — by the time
-    // we are called that work has finished, so flip to ready just
-    // before accepting traffic.
+    // load, WAL replay, follower catch-up) visible to this function is
+    // done.
     let http_cfg = mmkgr::core::serve::HttpServerConfig {
         start_ready: false,
         ..http_cfg
     };
-    let server = mmkgr::core::serve::HttpServer::bind((addr, port), registry, http_cfg)
-        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    let server = mmkgr::core::serve::HttpServer::bind(
+        (addr, port),
+        std::sync::Arc::clone(&registry),
+        http_cfg,
+    )
+    .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
     println!("listening on http://{}", server.local_addr());
     // Scripts (CI smoke, tests) parse the line above from a pipe.
     let _ = std::io::stdout().flush();
-    server.mark_ready();
-    server.serve();
+    match follower {
+        None => {
+            server.mark_ready();
+            server.serve();
+        }
+        Some(rep) => {
+            let tail_registry = std::sync::Arc::clone(&registry);
+            let tail_rep = std::sync::Arc::clone(&rep);
+            std::thread::spawn(move || {
+                mmkgr::core::serve::replication::run_tailer(tail_registry, tail_rep)
+            });
+            let running = server.spawn();
+            while !rep.is_caught_up() {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            let lag = registry.replication_metrics().follower_lag_seq;
+            println!("caught up with primary (lag {lag} seq); ready");
+            let _ = std::io::stdout().flush();
+            running.mark_ready();
+            running.join();
+        }
+    }
     Ok(())
 }
 
@@ -777,6 +827,9 @@ fn serve_registry(
 /// `.mmkg` registry snapshot via `--snapshot`) and serve the v1 wire
 /// protocol over HTTP until killed.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(primary) = flag(flags, "replicate-from") {
+        return cmd_serve_follower(flags, primary);
+    }
     if let Some(snap) = flag(flags, "snapshot") {
         // Snapshot boot: no training, no dataset regeneration. Serving
         // overrides apply only when explicitly flagged — otherwise the
@@ -797,7 +850,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from(format!("{snap}.wal")));
             let compact_every: u64 = parse_or(flags, "compact-every", 256)?;
-            let loaded = load_registry_snapshot_live(
+            let mut loaded = load_registry_snapshot_live(
                 Path::new(snap),
                 serve_override,
                 shards,
@@ -815,6 +868,18 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                     compact_every.to_string()
                 }
             );
+            // A live snapshot boot has everything a replication primary
+            // ships (the snapshot file + its WAL), so it is one: POST
+            // /v1/admin/replicate serves follower bootstraps and tails.
+            use mmkgr::core::serve::{ReplicaSource, ReplicationState};
+            loaded
+                .registry
+                .set_replication(std::sync::Arc::new(ReplicationState::primary(
+                    ReplicaSource {
+                        snapshot: PathBuf::from(snap),
+                        wal,
+                    },
+                )));
             loaded
         } else {
             load_registry_snapshot(Path::new(snap), serve_override, shards)
@@ -850,6 +915,110 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let registry = std::sync::Arc::new(build_registry(&harness, &choices, serve_cfg));
     println!("models: {}", names.join(", "));
     serve_registry(flags, registry)
+}
+
+/// Boot as a read-only replication follower: fetch the primary's
+/// current `.mmkg` snapshot over `/v1/admin/replicate`, boot from it
+/// exactly like a local live snapshot boot (local WAL replay included,
+/// so a restarted follower resumes from its last applied seq), then
+/// tail committed WAL frames until promoted.
+fn cmd_serve_follower(flags: &HashMap<String, String>, primary: &str) -> Result<(), String> {
+    use mmkgr::core::serve::{replication, ReplicaSource, ReplicationState};
+
+    let snap = flag(flags, "snapshot")
+        .unwrap_or("follower.mmkg")
+        .to_string();
+    let wal = flag(flags, "wal")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{snap}.wal")));
+    let compact_every: u64 = parse_or(flags, "compact-every", 256)?;
+    let shards: usize = parse_or(flags, "shards", 1)?;
+    let overridden = ["beam", "steps", "cache"]
+        .iter()
+        .any(|f| flags.contains_key(*f));
+    let serve_override = if overridden {
+        Some(serve_config_flags(flags, 16)?)
+    } else {
+        None
+    };
+
+    // A restarted follower already has a snapshot + WAL: reuse them and
+    // let the tail catch up from the last applied seq instead of
+    // re-downloading everything. First boots fetch.
+    if Path::new(&snap).exists() {
+        println!("reusing local snapshot {snap} (restart); tail will catch up");
+    } else {
+        println!("bootstrapping from {primary}…");
+        let mut attempt = 0u32;
+        let head_seq = loop {
+            match replication::fetch_snapshot(primary, Path::new(&snap), 10) {
+                Ok(seq) => break seq,
+                // The primary may still be binding (CI boots both sides
+                // near-simultaneously) — connection errors retry too.
+                Err(e) if attempt < 10 => {
+                    attempt += 1;
+                    eprintln!("snapshot fetch (attempt {attempt}): {e}; retrying");
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                }
+                Err(e) => return Err(format!("snapshot fetch from {primary}: {e}")),
+            }
+        };
+        println!("fetched snapshot from {primary} (head seq {head_seq})");
+    }
+
+    let mut loaded = load_registry_snapshot_live(
+        Path::new(&snap),
+        serve_override,
+        shards,
+        &wal,
+        compact_every,
+    )
+    .map_err(|e| format!("{snap}: {e}"))?;
+    let replayed = loaded.registry.live().map_or(0, |l| l.replayed());
+    println!(
+        "live mutation on: wal={} ({replayed} record(s) replayed, compact every {})",
+        wal.display(),
+        if compact_every == 0 {
+            "∞".to_string()
+        } else {
+            compact_every.to_string()
+        }
+    );
+    let rep = std::sync::Arc::new(ReplicationState::follower(
+        primary,
+        ReplicaSource {
+            snapshot: PathBuf::from(&snap),
+            wal,
+        },
+    ));
+    loaded.registry.set_replication(std::sync::Arc::clone(&rep));
+    println!(
+        "booted {} model(s) [{}] as follower of {primary} ({} entities)",
+        loaded.registry.len(),
+        loaded.registry.model_names().join(", "),
+        loaded.graph.num_entities(),
+    );
+    serve_registry_as(flags, std::sync::Arc::new(loaded.registry), Some(rep))
+}
+
+/// Promote a follower over the wire: `POST /v1/admin/promote`.
+fn cmd_promote(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::net::ToSocketAddrs as _;
+
+    let addr = flag(flags, "addr").ok_or("--addr <host:port> is required")?;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("--addr {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr}: no address"))?;
+    let (status, body) =
+        mmkgr::core::serve::http::request_with_retries(sock, "POST", "/v1/admin/promote", "{}", 3)
+            .map_err(|e| format!("promote {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("promote {addr}: HTTP {status}: {body}"));
+    }
+    println!("{body}");
+    Ok(())
 }
 
 /// Walk every section of a `.mmkg` snapshot and check bounds, 64-byte

@@ -1,0 +1,457 @@
+//! End-to-end acceptance for WAL-shipping replication:
+//!
+//! - **Bootstrap + byte-identity**: a follower booted with
+//!   `--replicate-from` (snapshot fetch → WAL replay → live tail)
+//!   serves `/v1/answer` and `/v1/retrieve` bytes identical to the
+//!   primary at the same epoch, and new primary commits become visible
+//!   on the follower without a restart.
+//! - **Typed rejection**: `POST /v1/admin/mutate` on a follower is a
+//!   409 `not_primary` naming the primary — never a 500.
+//! - **Follower crash**: kill -9 the follower, keep mutating the
+//!   primary, restart the follower over its local files — it replays
+//!   its own WAL and the tail catches up from the last applied seq.
+//! - **Primary crash**: kill -9 the primary mid-mutation; the rebooted
+//!   primary (reference replay: committed frames kept, torn tail
+//!   dropped) and the reconnected follower converge to byte-identical
+//!   answers — zero committed-frame loss.
+//! - **Chaos reuse**: a `wal_crash` fault plan fires on the follower's
+//!   replicated-apply path exactly like on a primary's local commit:
+//!   abort after the WAL fsync, before publish; the restarted follower
+//!   replays the frame from its own WAL.
+//! - **Promotion**: `POST /v1/admin/promote` turns the caught-up
+//!   follower into a writable primary at a fenced seq watermark.
+
+use std::io::{BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mmkgr::core::serve::http::request_with_retries;
+use mmkgr::core::serve::protocol::{MetricsResponse, RetrieveResponse};
+use mmkgr::core::serve::RetrieveRequest;
+
+/// One-retry wrapper mirroring the bundled client's old default.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    request_with_retries(addr, method, path, body, 1).expect("request")
+}
+
+/// Raw single-shot request: no retries, returns the response head too.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    let _ = stream.write_all(body.as_bytes());
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let mut parts = text.splitn(2, "\r\n\r\n");
+    let head = parts.next().unwrap_or_default().to_string();
+    let body = parts.next().unwrap_or_default().to_string();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, head, body)
+}
+
+/// Spawn a `mmkgr serve` child (optionally with a fault plan) and block
+/// until it prints its address.
+fn boot_server(args: &[&str], faults: Option<&str>) -> (Child, SocketAddr, Vec<String>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mmkgr"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::null());
+    if let Some(plan) = faults {
+        cmd.env("MMKGR_FAULTS", plan);
+    } else {
+        cmd.env_remove("MMKGR_FAULTS");
+    }
+    let mut child = cmd.spawn().expect("mmkgr serve spawns");
+
+    // Watchdog: never let a wedged server hang the test harness.
+    let pid = child.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(300));
+        let _ = Command::new("kill").arg(pid.to_string()).status();
+    });
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = Vec::new();
+    let mut addr: Option<SocketAddr> = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("server stdout line") > 0 {
+        if let Some(rest) = line.trim_end().strip_prefix("listening on http://") {
+            addr = Some(rest.trim().parse().expect("addr parses"));
+            break;
+        }
+        banner.push(line.trim_end().to_string());
+        line.clear();
+    }
+    // Keep draining stdout: followers print "caught up … ready" after
+    // the listening line, and a dropped pipe would EPIPE that print.
+    std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    });
+    (child, addr.expect("server printed its address"), banner)
+}
+
+/// A port the OS just handed out — free at pick time, so a primary can
+/// be rebooted at the same address the follower keeps dialing.
+fn free_port() -> u16 {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("probe bind");
+    listener.local_addr().expect("probe addr").port()
+}
+
+/// Train one tiny MMKGR registry snapshot at `out`.
+fn train_snapshot(out: &std::path::Path) {
+    let run = Command::new(env!("CARGO_BIN_EXE_mmkgr"))
+        .args([
+            "snapshot",
+            "--out",
+            out.to_str().unwrap(),
+            "--dataset",
+            "tiny",
+            "--size",
+            "quick",
+            "--models",
+            "MMKGR",
+            "--rl-epochs",
+            "1",
+            "--kge-epochs",
+            "2",
+        ])
+        .output()
+        .expect("mmkgr snapshot runs");
+    assert!(
+        run.status.success(),
+        "snapshot failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+}
+
+fn mutate_ok(addr: SocketAddr, body: &str) -> String {
+    let (status, resp) = request(addr, "POST", "/v1/admin/mutate", body);
+    assert_eq!(status, 200, "{resp}");
+    resp
+}
+
+/// POST a body and swallow whatever happens — for requests whose server
+/// is about to be killed mid-flight.
+fn fire_and_forget(addr: SocketAddr, path: &str, body: &str) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len(),
+        );
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+}
+
+/// Poll `/readyz` until 200 — followers hold 503 + `Retry-After` until
+/// caught up with the primary, and the bundled client's configurable
+/// retry budget rides through more than one 503.
+fn await_ready(addr: SocketAddr) {
+    let (status, body) =
+        request_with_retries(addr, "GET", "/readyz", "", 30).expect("readyz reachable");
+    assert_eq!(status, 200, "server never became ready: {body}");
+}
+
+fn retrieve_body() -> String {
+    serde_json::to_string(
+        &RetrieveRequest::new(["e0".to_string()])
+            .with_model("MMKGR")
+            .with_hops(2)
+            .with_max_paths(6),
+    )
+    .unwrap()
+}
+
+/// Poll the follower until a triple is visible in `/v1/retrieve` — the
+/// live-tail acceptance ("committed on the primary, served by the
+/// follower, no restart").
+fn await_triple(addr: SocketAddr, s: &str, r: &str, o: &str) {
+    let body = serde_json::to_string(
+        &RetrieveRequest::new([s.to_string()])
+            .with_model("MMKGR")
+            .with_hops(1),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, resp) = request(addr, "POST", "/v1/retrieve", &body);
+        if status == 200 {
+            let wire: RetrieveResponse = serde_json::from_str(&resp).unwrap();
+            if wire
+                .subgraph
+                .triples
+                .iter()
+                .any(|t| t.s == s && t.r == r && t.o == o)
+            {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "triple ({s}, {r}, {o}) never became visible at {addr}: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Assert both servers answer `/v1/answer` and `/v1/retrieve`
+/// byte-identically — the replication acceptance bar. The whole surface
+/// is retried until `deadline` so a still-catching-up follower (frames
+/// in flight on the tail) converges instead of flaking.
+fn assert_replicas_identical(primary: SocketAddr, follower: SocketAddr) {
+    let mut surfaces = vec![("/v1/retrieve".to_string(), retrieve_body())];
+    for e in 0..6 {
+        for r in ["r0", "r1"] {
+            surfaces.push((
+                "/v1/answer".to_string(),
+                format!(
+                    r#"{{"model": "MMKGR", "query": {{"source": "e{e}", "relation": "{r}", "top_k": 5, "beam": 8, "steps": 3}}}}"#
+                ),
+            ));
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'retry: loop {
+        for (path, body) in &surfaces {
+            let (sp, bp) = request(primary, "POST", path, body);
+            let (sf, bf) = request(follower, "POST", path, body);
+            if (sp, sf) != (200, 200) || bp != bf {
+                assert!(
+                    Instant::now() < deadline,
+                    "follower never converged on {path} {body}:\nprimary  ({sp}): {bp}\nfollower ({sf}): {bf}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+                continue 'retry;
+            }
+        }
+        return;
+    }
+}
+
+fn metrics(addr: SocketAddr) -> MetricsResponse {
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{body}");
+    serde_json::from_str(&body).expect("metrics parse")
+}
+
+#[test]
+fn follower_bootstraps_tails_survives_crashes_and_promotes() {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let snap_p = tmp.join(format!("mmkgr_repl_{pid}_p.mmkg"));
+    let wal_p = tmp.join(format!("mmkgr_repl_{pid}_p.wal"));
+    let snap_f = tmp.join(format!("mmkgr_repl_{pid}_f.mmkg"));
+    let wal_f = tmp.join(format!("mmkgr_repl_{pid}_f.wal"));
+    for p in [&snap_p, &wal_p, &snap_f, &wal_f] {
+        std::fs::remove_file(p).ok();
+    }
+    train_snapshot(&snap_p);
+
+    // Fixed primary port so a rebooted primary comes back at the
+    // address the follower's tailer keeps dialing.
+    let port = free_port().to_string();
+    let boot_primary = || {
+        boot_server(
+            &[
+                "serve",
+                "--snapshot",
+                snap_p.to_str().unwrap(),
+                "--wal",
+                wal_p.to_str().unwrap(),
+                "--port",
+                &port,
+            ],
+            None,
+        )
+    };
+    let primary_str = format!("127.0.0.1:{port}");
+    let boot_follower = || {
+        boot_server(
+            &[
+                "serve",
+                "--replicate-from",
+                &primary_str,
+                "--snapshot",
+                snap_f.to_str().unwrap(),
+                "--wal",
+                wal_f.to_str().unwrap(),
+                "--port",
+                "0",
+            ],
+            None,
+        )
+    };
+
+    let (mut primary, addr_p, _) = boot_primary();
+    mutate_ok(addr_p, r#"{"insert": [{"s": "e0", "r": "r1", "o": "e7"}]}"#);
+
+    // --- Bootstrap: snapshot fetch + WAL replay + live tail.
+    let (mut follower, addr_f, _) = boot_follower();
+    await_ready(addr_f);
+    let m = metrics(addr_f);
+    assert_eq!(m.replication.role, "follower");
+    assert_eq!(metrics(addr_p).replication.role, "primary");
+    assert_replicas_identical(addr_p, addr_f);
+
+    // --- Live tail: a fresh primary commit shows up with no restart.
+    mutate_ok(addr_p, r#"{"insert": [{"s": "e0", "r": "r2", "o": "e5"}]}"#);
+    await_triple(addr_f, "e0", "r2", "e5");
+    assert_replicas_identical(addr_p, addr_f);
+    assert!(
+        metrics(addr_p).replication.frames_shipped >= 1,
+        "the primary must count shipped frames"
+    );
+
+    // --- Typed rejection: followers refuse writes, naming the primary.
+    let (status, _, body) = request_raw(
+        addr_f,
+        "POST",
+        "/v1/admin/mutate",
+        r#"{"insert": [{"s": "e1", "r": "r0", "o": "e3"}]}"#,
+    );
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("not_primary"), "{body}");
+    assert!(body.contains(&primary_str), "must name the primary: {body}");
+
+    // --- Follower crash: kill -9, mutate the primary meanwhile,
+    // restart over the same local files — catch-up from the last
+    // applied seq, not a re-bootstrap.
+    follower.kill().expect("kill -9 follower");
+    let _ = follower.wait();
+    mutate_ok(addr_p, r#"{"insert": [{"s": "e1", "r": "r1", "o": "e6"}]}"#);
+    let (mut follower, addr_f, banner) = boot_follower();
+    assert!(
+        banner.iter().any(|l| l.contains("reusing local snapshot")),
+        "a restarted follower must reuse its files: {banner:?}"
+    );
+    await_ready(addr_f);
+    await_triple(addr_f, "e1", "r1", "e6");
+    assert_replicas_identical(addr_p, addr_f);
+
+    // --- Primary crash mid-mutation: the in-flight batch either
+    // committed (reboot replays it, follower receives it on reconnect)
+    // or tore (reboot drops the tail, nobody serves it) — both sides
+    // must converge on the reference replay either way.
+    let fire_addr = addr_p;
+    let burst = std::thread::spawn(move || {
+        fire_and_forget(
+            fire_addr,
+            "/v1/admin/mutate",
+            r#"{"insert": [{"s": "e2", "r": "r0", "o": "e8"}]}"#,
+        );
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    primary.kill().expect("kill -9 primary");
+    let _ = primary.wait();
+    let _ = burst.join();
+
+    std::thread::sleep(Duration::from_millis(300));
+    let (mut primary, addr_p, _) = boot_primary();
+    await_ready(addr_p);
+    assert_replicas_identical(addr_p, addr_f);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while metrics(addr_f).replication.reconnects == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "the follower must count its reconnect to the rebooted primary"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // --- Promotion: primary gone for good, the follower takes writes.
+    primary.kill().expect("kill primary");
+    let _ = primary.wait();
+    let (status, body) = request(addr_f, "POST", "/v1/admin/promote", "{}");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"promoted\":true"), "{body}");
+    let m = metrics(addr_f);
+    assert_eq!(m.replication.role, "primary", "promotion flips the role");
+    mutate_ok(addr_f, r#"{"insert": [{"s": "e3", "r": "r2", "o": "e9"}]}"#);
+    await_triple(addr_f, "e3", "r2", "e9");
+
+    follower.kill().expect("kill follower");
+    let _ = follower.wait();
+    for p in [&snap_p, &wal_p, &snap_f, &wal_f] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn wal_crash_fault_fires_on_the_replicated_apply_path() {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let snap_p = tmp.join(format!("mmkgr_replcrash_{pid}_p.mmkg"));
+    let wal_p = tmp.join(format!("mmkgr_replcrash_{pid}_p.wal"));
+    let snap_f = tmp.join(format!("mmkgr_replcrash_{pid}_f.mmkg"));
+    let wal_f = tmp.join(format!("mmkgr_replcrash_{pid}_f.wal"));
+    for p in [&snap_p, &wal_p, &snap_f, &wal_f] {
+        std::fs::remove_file(p).ok();
+    }
+    train_snapshot(&snap_p);
+
+    let port = free_port().to_string();
+    let (mut primary, addr_p, _) = boot_server(
+        &[
+            "serve",
+            "--snapshot",
+            snap_p.to_str().unwrap(),
+            "--wal",
+            wal_p.to_str().unwrap(),
+            "--port",
+            &port,
+        ],
+        None,
+    );
+    let primary_str = format!("127.0.0.1:{port}");
+    let follower_args = [
+        "serve",
+        "--replicate-from",
+        primary_str.as_str(),
+        "--snapshot",
+        snap_f.to_str().unwrap(),
+        "--wal",
+        wal_f.to_str().unwrap(),
+        "--port",
+        "0",
+    ];
+
+    // Rigged follower: the first replicated frame fsyncs to the local
+    // WAL, then the process aborts before publishing — the same chaos
+    // hook the local mutate path honors.
+    let (mut follower, _, _) = boot_server(&follower_args, Some("wal_crash=1"));
+    mutate_ok(addr_p, r#"{"insert": [{"s": "e0", "r": "r1", "o": "e7"}]}"#);
+    let status = follower.wait().expect("crashed follower reaped");
+    assert!(
+        !status.success(),
+        "wal_crash must abort the follower on replicated apply: {status:?}"
+    );
+
+    // Clean restart: the frame replays from the follower's own WAL.
+    let (mut follower, addr_f, banner) = boot_server(&follower_args, None);
+    assert!(
+        banner.iter().any(|l| l.contains("1 record(s) replayed")),
+        "the crashed-but-committed replicated frame must replay: {banner:?}"
+    );
+    await_ready(addr_f);
+    await_triple(addr_f, "e0", "r1", "e7");
+    assert_replicas_identical(addr_p, addr_f);
+
+    primary.kill().expect("kill primary");
+    follower.kill().expect("kill follower");
+    let _ = primary.wait();
+    let _ = follower.wait();
+    for p in [&snap_p, &wal_p, &snap_f, &wal_f] {
+        std::fs::remove_file(p).ok();
+    }
+}
